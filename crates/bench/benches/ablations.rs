@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the eight ablations of DESIGN.md's experiment
+//! index (A1-A8). As with the figure benches, each prints its reproduced
+//! table once and then times the regeneration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parsched_core::prelude::*;
+
+fn opts() -> FigureOpts {
+    FigureOpts {
+        parallel: true,
+        ..FigureOpts::default()
+    }
+}
+
+fn bench_ablation(
+    c: &mut Criterion,
+    id: &str,
+    f: fn(&FigureOpts) -> Result<FigureTable, RunError>,
+) {
+    let o = opts();
+    match f(&o) {
+        Ok(table) => println!("\n== {id} ==\n{}", table.to_text()),
+        Err(e) => panic!("{id} failed: {e}"),
+    }
+    c.bench_function(id, |b| {
+        b.iter(|| f(&o).expect("ablation regenerates"));
+    });
+}
+
+fn a1_variance(c: &mut Criterion) {
+    bench_ablation(c, "ablation_variance", ablation_variance);
+}
+
+fn a2_topology(c: &mut Criterion) {
+    bench_ablation(c, "ablation_topology", ablation_topology);
+}
+
+fn a3_wormhole(c: &mut Criterion) {
+    bench_ablation(c, "ablation_wormhole", ablation_wormhole);
+}
+
+fn a4_quantum(c: &mut Criterion) {
+    bench_ablation(c, "ablation_quantum", ablation_quantum);
+}
+
+fn a5_mpl(c: &mut Criterion) {
+    bench_ablation(c, "ablation_mpl", ablation_mpl);
+}
+
+fn a6_overheads(c: &mut Criterion) {
+    bench_ablation(c, "ablation_overheads", ablation_overheads);
+}
+
+fn a7_memory(c: &mut Criterion) {
+    bench_ablation(c, "ablation_memory", ablation_memory);
+}
+
+fn a8_flow_control(c: &mut Criterion) {
+    bench_ablation(c, "ablation_flow_control", ablation_flow_control);
+}
+
+fn a9_gang(c: &mut Criterion) {
+    bench_ablation(c, "ablation_gang", ablation_gang);
+}
+
+fn a10_load(c: &mut Criterion) {
+    bench_ablation(c, "ablation_load", ablation_load);
+}
+
+fn a11_pipeline(c: &mut Criterion) {
+    bench_ablation(c, "ablation_pipeline", ablation_pipeline);
+}
+
+fn a12_partition_tuning(c: &mut Criterion) {
+    bench_ablation(c, "ablation_partition_tuning", ablation_partition_tuning);
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = a1_variance, a2_topology, a3_wormhole, a4_quantum, a5_mpl,
+              a6_overheads, a7_memory, a8_flow_control, a9_gang, a10_load, a11_pipeline, a12_partition_tuning
+}
+criterion_main!(ablations);

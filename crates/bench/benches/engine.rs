@@ -1,0 +1,110 @@
+//! Engine microbenchmarks (experiment P1 in DESIGN.md):
+//!
+//! * pending-event-set throughput: binary heap vs calendar queue, under the
+//!   hold-model workload (push one, pop one) and a churn workload;
+//! * end-to-end machine event rate on a representative simulation, per
+//!   backend — the number every other wall-time figure divides into.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parsched_core::prelude::*;
+use parsched_des::prelude::*;
+use parsched_topology::TopologyKind;
+use parsched_workload::prelude::*;
+
+/// Classic hold model: a queue at steady population `n`; each operation
+/// pops the minimum and pushes a successor a pseudo-random delay later.
+fn hold_model<Q: EventQueue<u64>>(queue: &mut Q, n: usize, ops: usize) -> u64 {
+    let mut seq = 0u64;
+    let mut state = 0x243f_6a88_85a3_08d3u64;
+    let mut rand = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state % 10_000
+    };
+    for _ in 0..n {
+        queue.push(Scheduled {
+            time: SimTime(rand()),
+            seq: {
+                seq += 1;
+                seq
+            },
+            event: seq,
+        });
+    }
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        let item = queue.pop().expect("population stays constant");
+        acc ^= item.event;
+        queue.push(Scheduled {
+            time: SimTime(item.time.nanos() + 1 + rand()),
+            seq: {
+                seq += 1;
+                seq
+            },
+            event: seq,
+        });
+    }
+    acc
+}
+
+fn pending_event_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pending_event_set_hold");
+    for &n in &[64usize, 1024, 16384] {
+        let ops = 100_000usize;
+        group.throughput(Throughput::Elements(ops as u64));
+        group.bench_with_input(BenchmarkId::new("binary_heap", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = BinaryHeapQueue::new();
+                hold_model(&mut q, n, ops)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("calendar", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = CalendarQueue::new();
+                hold_model(&mut q, n, ops)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn machine_event_rate(c: &mut Criterion) {
+    let sizes = BatchSizes::default();
+    let cost = CostModel::default();
+    let batch = paper_batch(App::MatMul, Arch::Fixed, 16, &sizes, &cost);
+    // How many events one run processes (for the throughput annotation).
+    let probe = run_batch(
+        &ExperimentConfig::paper(16, TopologyKind::Ring, PolicyKind::TimeSharing),
+        batch.clone(),
+    )
+    .expect("probe run");
+    println!(
+        "\nmachine_event_rate probe: {} events, simulated {}",
+        probe.events, probe.makespan
+    );
+
+    let mut group = c.benchmark_group("machine_event_rate");
+    group.throughput(Throughput::Elements(probe.events));
+    for (name, queue) in [
+        ("binary_heap", QueueKind::BinaryHeap),
+        ("calendar", QueueKind::Calendar),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg =
+                    ExperimentConfig::paper(16, TopologyKind::Ring, PolicyKind::TimeSharing);
+                cfg.queue = queue;
+                run_batch(&cfg, batch.clone()).expect("bench run")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = engine;
+    config = Criterion::default().sample_size(10);
+    targets = pending_event_set, machine_event_rate
+}
+criterion_main!(engine);

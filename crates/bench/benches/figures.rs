@@ -1,0 +1,56 @@
+//! One Criterion benchmark per paper figure: each iteration regenerates
+//! the figure's full configuration grid (13 configurations, static and
+//! time-sharing each scored over best/worst orderings = 52 simulations)
+//! and reports the wall time. The simulated results themselves are printed
+//! once per figure so the benchmark log doubles as a reproduction record;
+//! the `figures` binary gives the same tables without the timing harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parsched_core::prelude::*;
+
+fn opts() -> FigureOpts {
+    FigureOpts {
+        parallel: true,
+        ..FigureOpts::default()
+    }
+}
+
+fn bench_figure(
+    c: &mut Criterion,
+    id: &str,
+    f: fn(&FigureOpts) -> Result<FigureTable, RunError>,
+) {
+    let o = opts();
+    // Print the reproduced table once, so the benchmark log is also the
+    // reproduction artifact.
+    match f(&o) {
+        Ok(table) => println!("\n== {id} ==\n{}", table.to_text()),
+        Err(e) => panic!("{id} failed: {e}"),
+    }
+    c.bench_function(id, |b| {
+        b.iter(|| f(&o).expect("figure regenerates"));
+    });
+}
+
+fn fig3_matmul_fixed(c: &mut Criterion) {
+    bench_figure(c, "fig3_matmul_fixed", fig3);
+}
+
+fn fig4_matmul_adaptive(c: &mut Criterion) {
+    bench_figure(c, "fig4_matmul_adaptive", fig4);
+}
+
+fn fig5_sort_fixed(c: &mut Criterion) {
+    bench_figure(c, "fig5_sort_fixed", fig5);
+}
+
+fn fig6_sort_adaptive(c: &mut Criterion) {
+    bench_figure(c, "fig6_sort_adaptive", fig6);
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = fig3_matmul_fixed, fig4_matmul_adaptive, fig5_sort_fixed, fig6_sort_adaptive
+}
+criterion_main!(figures);

@@ -1,0 +1,6 @@
+//! # parsched-bench
+//!
+//! Benchmarks and the `figures` binary. See `benches/` for the Criterion
+//! benchmarks (one per paper figure plus ablations and an engine
+//! microbenchmark) and `src/bin/figures.rs` for the harness that prints the
+//! paper's rows/series.

@@ -1,0 +1,564 @@
+//! The hierarchical scheduler (§3.2 of the paper).
+//!
+//! The paper structures scheduling as a *super scheduler* (global FCFS job
+//! queue), one *partition scheduler* per partition (admission), and *local
+//! schedulers* per processor (the round-robin quanta executed by the
+//! machine's CPUs). [`Driver`] implements the super and partition levels on
+//! top of [`Machine`]; the policies differ only in the per-partition
+//! multiprogramming limit and the quantum rule:
+//!
+//! * **static space-sharing** — MPL 1 per partition, default quantum;
+//! * **time-sharing / hybrid** — unbounded MPL (the batch spreads
+//!   equitably), RR-job quanta.
+
+use crate::policy::{Discipline, Placement, PolicyKind, QuantumRule};
+use parsched_des::{Model, Scheduler, SimDuration, SimTime};
+
+/// `PolicyTick` token tag for job arrivals (low bits = batch index); tokens
+/// below this are gang-rotation ticks (partition indices).
+const ARRIVAL_TOKEN: u64 = 1 << 32;
+use parsched_machine::{Event, JobId, JobSpec, Machine, Note};
+use parsched_topology::PartitionPlan;
+use std::collections::VecDeque;
+
+/// One batch entry's lifecycle record.
+#[derive(Debug, Clone)]
+struct Entry {
+    spec: Option<JobSpec>,
+    job_id: Option<JobId>,
+    partition: Option<usize>,
+    arrival: SimTime,
+    finished: Option<SimTime>,
+}
+
+/// Gang-scheduling rotation state for one partition.
+#[derive(Debug, Clone, Default)]
+struct GangState {
+    /// Live jobs (batch indices); the front is the active one.
+    rotation: VecDeque<usize>,
+    /// A rotation tick is scheduled.
+    tick_live: bool,
+}
+
+/// The super + partition scheduler driving one machine through one batch.
+pub struct Driver {
+    /// The machine under control (public for post-run statistics capture).
+    pub machine: Machine,
+    plan: PartitionPlan,
+    policy: PolicyKind,
+    rule: QuantumRule,
+    placement: Placement,
+    /// Maximum jobs *executing* per partition at once.
+    mpl: usize,
+    /// Extra job loads staged ahead per partition (classic double
+    /// buffering: the next job's code/data ships while the current one
+    /// runs; its processes only start when an execution slot frees).
+    prefetch: usize,
+    /// Time-sharing coordination discipline.
+    discipline: Discipline,
+    /// Per-entry arrival instants (empty = whole batch at t = 0).
+    arrivals: Vec<SimTime>,
+    /// Per-partition gang rotation (front = the active job's batch index).
+    gang: Vec<GangState>,
+    entries: Vec<Entry>,
+    /// Super scheduler's FCFS queue of batch indices.
+    pending: VecDeque<usize>,
+    /// Batch indices assigned to each partition (loading/ready/running).
+    assigned: Vec<VecDeque<usize>>,
+    /// Executing job count per partition.
+    running: Vec<usize>,
+    /// batch index by machine JobId.
+    by_job: Vec<usize>,
+}
+
+impl Driver {
+    /// Build a driver for `batch` (in submission order) under the given
+    /// policy. The multiprogramming limit is 1 for the static policy and
+    /// unbounded for time-sharing; [`Driver::with_mpl`] overrides it.
+    pub fn new(
+        machine: Machine,
+        plan: PartitionPlan,
+        policy: PolicyKind,
+        rule: QuantumRule,
+        placement: Placement,
+        batch: Vec<JobSpec>,
+    ) -> Driver {
+        let mpl = match policy {
+            PolicyKind::Static => 1,
+            PolicyKind::TimeSharing => usize::MAX,
+        };
+        let count = plan.count();
+        Driver {
+            machine,
+            plan,
+            policy,
+            rule,
+            placement,
+            mpl,
+            prefetch: 1,
+            discipline: Discipline::Uncoordinated,
+            arrivals: Vec::new(),
+            gang: (0..count).map(|_| GangState::default()).collect(),
+            entries: batch
+                .into_iter()
+                .map(|spec| Entry {
+                    spec: Some(spec),
+                    job_id: None,
+                    partition: None,
+                    arrival: SimTime::ZERO,
+                    finished: None,
+                })
+                .collect(),
+            pending: VecDeque::new(),
+            assigned: (0..count).map(|_| VecDeque::new()).collect(),
+            running: vec![0; count],
+            by_job: Vec::new(),
+        }
+    }
+
+    /// Override the per-partition multiprogramming limit (the hybrid
+    /// policy's "set size" tuning parameter, §2.3).
+    pub fn with_mpl(mut self, mpl: usize) -> Driver {
+        assert!(mpl >= 1);
+        self.mpl = mpl;
+        self
+    }
+
+    /// Override the per-partition load-prefetch depth (0 disables
+    /// double-buffered loading).
+    pub fn with_prefetch(mut self, prefetch: usize) -> Driver {
+        self.prefetch = prefetch;
+        self
+    }
+
+    /// Select the time-sharing coordination discipline (gang scheduling or
+    /// the paper's uncoordinated local round-robin).
+    pub fn with_discipline(mut self, discipline: Discipline) -> Driver {
+        self.discipline = discipline;
+        self
+    }
+
+    /// Run an *open* workload: entry `i` arrives at `arrivals[i]` instead of
+    /// the whole batch arriving at t = 0. Response times are measured from
+    /// each job's own arrival.
+    ///
+    /// # Panics
+    /// Panics if the length does not match the batch.
+    pub fn with_arrivals(mut self, arrivals: Vec<SimTime>) -> Driver {
+        assert_eq!(arrivals.len(), self.entries.len(), "one arrival per job");
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// The policy this driver runs.
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
+    }
+
+    /// Seed every job's arrival with the engine. Call once, before
+    /// `engine.run`. With no [`Driver::with_arrivals`] the whole batch
+    /// arrives at t = 0 (the paper's setting); admission then spreads jobs
+    /// equitably over the partitions (§5.1) because each arrival picks the
+    /// least-loaded partition.
+    pub fn start(&mut self, engine: &mut parsched_des::Engine<Event>) {
+        for idx in 0..self.entries.len() {
+            let at = self.arrivals.get(idx).copied().unwrap_or(SimTime::ZERO);
+            engine.seed(
+                at,
+                Event::PolicyTick {
+                    token: ARRIVAL_TOKEN | idx as u64,
+                },
+            );
+        }
+    }
+
+    /// Super scheduler: a job arrives. Assign it to the least-loaded
+    /// partition with a free (execution or prefetch) slot, or queue it.
+    fn on_arrival(&mut self, idx: usize, now: SimTime, sched: &mut Scheduler<Event>) {
+        self.entries[idx].arrival = now;
+        let cap = self.mpl.saturating_add(self.prefetch);
+        let target = (0..self.plan.count())
+            .filter(|&part| self.assigned[part].len() < cap)
+            .min_by_key(|&part| self.assigned[part].len());
+        match target {
+            Some(part) => {
+                self.assigned[part].push_back(idx);
+                let job = self.queue_on(idx, part);
+                sched.schedule_now(Event::Admit { job });
+            }
+            None => self.pending.push_back(idx),
+        }
+    }
+
+    /// Register a batch entry with the machine on a partition; returns the
+    /// machine job id (the caller schedules the `Admit`).
+    fn queue_on(&mut self, idx: usize, part: usize) -> JobId {
+        let spec = self.entries[idx]
+            .spec
+            .take()
+            .expect("batch entry admitted twice");
+        let width = spec.width();
+        let psize = self.plan.partition_size;
+        let base = self.plan.partitions[part].base;
+        let quantum = match self.policy {
+            PolicyKind::Static => self.machine.cfg.default_quantum,
+            PolicyKind::TimeSharing => self.rule.quantum(psize, width),
+        };
+        let placement = self.placement.assign(base, psize, width, idx);
+        let job = self.machine.queue_job_with(spec, placement, quantum, false);
+        debug_assert_eq!(self.by_job.len(), job.idx(), "job ids must be dense");
+        self.by_job.push(idx);
+        self.entries[idx].job_id = Some(job);
+        self.entries[idx].partition = Some(part);
+        job
+    }
+
+    /// Start the first Ready job assigned to `part` if an execution slot is
+    /// free.
+    fn start_ready(&mut self, part: usize, now: SimTime, sched: &mut Scheduler<Event>) {
+        use parsched_machine::JobState;
+        while self.running[part] < self.mpl {
+            let next = self.assigned[part].iter().copied().find(|&i| {
+                self.entries[i]
+                    .job_id
+                    .is_some_and(|id| self.machine.job(id).state == JobState::Ready)
+            });
+            let Some(idx) = next else {
+                return;
+            };
+            let id = self.entries[idx].job_id.expect("checked");
+            self.machine.start_job(id, now, sched);
+            self.running[part] += 1;
+        }
+    }
+
+    fn on_note(&mut self, note: Note, now: SimTime, sched: &mut Scheduler<Event>) {
+        match note {
+            Note::JobLoaded(id) => {
+                if let Discipline::Gang { slot } = self.discipline {
+                    let idx = self.by_job[id.idx()];
+                    let part = self.entries[idx].partition.expect("loaded unplaced job");
+                    self.gang[part].rotation.push_back(idx);
+                    if self.gang[part].rotation.len() > 1 {
+                        // Not this job's turn yet: park it.
+                        self.machine.set_job_active(id, false, now, sched);
+                        if !self.gang[part].tick_live {
+                            self.gang[part].tick_live = true;
+                            sched.schedule(slot, Event::PolicyTick { token: part as u64 });
+                        }
+                    }
+                }
+            }
+            Note::JobReady(id) => {
+                let idx = self.by_job[id.idx()];
+                let part = self.entries[idx].partition.expect("ready unplaced job");
+                self.start_ready(part, now, sched);
+            }
+            Note::JobCompleted(id) => {
+                let idx = self.by_job[id.idx()];
+                self.entries[idx].finished = Some(now);
+                let part = self.entries[idx].partition.expect("completed unplaced job");
+                self.running[part] -= 1;
+                self.assigned[part].retain(|&i| i != idx);
+                if matches!(self.discipline, Discipline::Gang { .. }) {
+                    let was_active = self.gang[part].rotation.front() == Some(&idx);
+                    self.gang[part].rotation.retain(|&i| i != idx);
+                    if was_active {
+                        if let Some(&next) = self.gang[part].rotation.front() {
+                            let next_id =
+                                self.entries[next].job_id.expect("rotation holds live jobs");
+                            self.machine.set_job_active(next_id, true, now, sched);
+                        }
+                    }
+                }
+                // Partition scheduler: begin loading the next queued job
+                // into the freed assignment slot, and start any staged job
+                // that is already resident.
+                if let Some(next) = self.pending.pop_front() {
+                    self.assigned[part].push_back(next);
+                    let job = self.queue_on(next, part);
+                    sched.schedule_now(Event::Admit { job });
+                }
+                self.start_ready(part, now, sched);
+            }
+        }
+    }
+
+    /// True once every batch entry has completed.
+    pub fn all_done(&self) -> bool {
+        self.entries.iter().all(|e| e.finished.is_some())
+    }
+
+    /// Per-job response times in batch order, measured from each job's own
+    /// arrival (t = 0 for the whole batch in the paper's closed setting).
+    ///
+    /// # Panics
+    /// Panics if the batch has not fully completed.
+    pub fn response_times(&self) -> Vec<SimDuration> {
+        self.entries
+            .iter()
+            .map(|e| {
+                e.finished
+                    .expect("response_times before completion")
+                    .since(e.arrival)
+            })
+            .collect()
+    }
+
+    /// Render a stall diagnosis: which jobs have not finished and what the
+    /// machine's processes are doing. Used when a run drains without
+    /// completing (e.g. store-and-forward deadlock under `ReservedFifo`).
+    pub fn diagnose(&self) -> String {
+        use parsched_machine::PState;
+        let mut out = String::new();
+        let unfinished: Vec<usize> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.finished.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        out.push_str(&format!(
+            "stalled with {} unfinished of {} jobs: {:?}\n",
+            unfinished.len(),
+            self.entries.len(),
+            unfinished
+        ));
+        out.push_str(&format!(
+            "pending (never admitted): {:?}\n",
+            self.pending.iter().collect::<Vec<_>>()
+        ));
+        let mut ready = 0;
+        let mut running = 0;
+        let mut brecv = 0;
+        let mut balloc = 0;
+        let mut done = 0;
+        for p in self.machine.processes() {
+            match p.state {
+                PState::Ready => ready += 1,
+                PState::Running => running += 1,
+                PState::BlockedRecv(_) => brecv += 1,
+                PState::BlockedAlloc => balloc += 1,
+                PState::Finished => done += 1,
+            }
+        }
+        out.push_str(&format!(
+            "processes: ready={ready} running={running} blocked-recv={brecv} \
+             blocked-alloc={balloc} finished={done}\n"
+        ));
+        for n in 0..self.machine.node_count() {
+            let node = self.machine.node(n as u16);
+            if node.mmu.queue_len() > 0 {
+                out.push_str(&format!(
+                    "node {n}: mmu queue {} (used {}/{})\n",
+                    node.mmu.queue_len(),
+                    node.mmu.used(),
+                    node.mmu.capacity()
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl Driver {
+    /// Rotate a partition's gang: park the running job, release the next.
+    fn on_policy_tick(&mut self, part: usize, now: SimTime, sched: &mut Scheduler<Event>) {
+        let Discipline::Gang { slot } = self.discipline else {
+            return;
+        };
+        if self.gang[part].rotation.len() < 2 {
+            // Nothing to rotate; stop ticking until a second job arrives.
+            self.gang[part].tick_live = false;
+            return;
+        }
+        let old = *self.gang[part].rotation.front().expect("len >= 2");
+        self.gang[part].rotation.rotate_left(1);
+        let new = *self.gang[part].rotation.front().expect("len >= 2");
+        let old_id = self.entries[old].job_id.expect("rotation holds live jobs");
+        let new_id = self.entries[new].job_id.expect("rotation holds live jobs");
+        self.machine.set_job_active(old_id, false, now, sched);
+        self.machine.set_job_active(new_id, true, now, sched);
+        sched.schedule(slot, Event::PolicyTick { token: part as u64 });
+    }
+}
+
+impl Model for Driver {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<Event>) {
+        if let Event::PolicyTick { token } = event {
+            if token >= ARRIVAL_TOKEN {
+                self.on_arrival((token - ARRIVAL_TOKEN) as usize, now, sched);
+            } else {
+                self.on_policy_tick(token as usize, now, sched);
+            }
+            return;
+        }
+        self.machine.handle(now, event, sched);
+        for note in self.machine.drain_notes() {
+            self.on_note(note, now, sched);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsched_des::{Engine, QueueKind, RunOutcome};
+    use parsched_machine::program::ProcSpec;
+    use parsched_machine::{MachineConfig, Op, SystemNet};
+    use parsched_topology::TopologyKind;
+
+    fn job(name: &str, ms: u64) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            ship_bytes: 0,
+            procs: vec![ProcSpec {
+                program: vec![Op::Compute(SimDuration::from_millis(ms))],
+                mem_bytes: 1024,
+            }],
+        }
+    }
+
+    fn driver_for(
+        policy: PolicyKind,
+        partitions: (usize, usize), // (system, partition size)
+        batch: Vec<JobSpec>,
+    ) -> Driver {
+        let plan =
+            PartitionPlan::equal(partitions.0, partitions.1, TopologyKind::Linear).unwrap();
+        let cfg = MachineConfig {
+            host_link_per_byte: SimDuration::ZERO,
+            job_load_latency: SimDuration::from_millis(1),
+            ..MachineConfig::default()
+        };
+        let machine = Machine::new(cfg, SystemNet::from_plan(&plan));
+        Driver::new(
+            machine,
+            plan,
+            policy,
+            QuantumRule::default(),
+            Placement::RoundRobin,
+            batch,
+        )
+    }
+
+    fn run(driver: &mut Driver) {
+        let mut engine: Engine<Event> = Engine::new(QueueKind::BinaryHeap);
+        driver.start(&mut engine);
+        assert_eq!(engine.run(driver), RunOutcome::Drained);
+        assert!(driver.all_done(), "{}", driver.diagnose());
+    }
+
+    #[test]
+    fn static_driver_completes_fcfs() {
+        let batch = (0..6).map(|i| job(&format!("j{i}"), 10 + i)).collect();
+        let mut d = driver_for(PolicyKind::Static, (2, 1), batch);
+        run(&mut d);
+        let rts = d.response_times();
+        assert_eq!(rts.len(), 6);
+        // Two partitions, FCFS: jobs 0/1 finish first, 4/5 last.
+        assert!(rts[0] < rts[4]);
+        assert!(rts[1] < rts[5]);
+    }
+
+    #[test]
+    fn time_sharing_driver_admits_everything() {
+        let batch = (0..5).map(|i| job(&format!("j{i}"), 20)).collect();
+        let mut d = driver_for(PolicyKind::TimeSharing, (1, 1), batch);
+        run(&mut d);
+        let rts = d.response_times();
+        // All five share one CPU: everyone finishes near 5 x 20 ms.
+        let min = rts.iter().min().unwrap();
+        assert!(
+            *min >= SimDuration::from_millis(80),
+            "shortest finished too early: {min}"
+        );
+    }
+
+    #[test]
+    fn mpl_override_caps_concurrency() {
+        let batch = (0..4).map(|i| job(&format!("j{i}"), 20)).collect();
+        let mut d = driver_for(PolicyKind::TimeSharing, (1, 1), batch).with_mpl(1);
+        run(&mut d);
+        let rts = d.response_times();
+        // MPL 1 == FCFS: strictly increasing finish times.
+        for w in rts.windows(2) {
+            assert!(w[0] < w[1], "not FCFS: {rts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one arrival per job")]
+    fn with_arrivals_checks_length() {
+        let batch = vec![job("a", 1), job("b", 1)];
+        let _ = driver_for(PolicyKind::Static, (1, 1), batch)
+            .with_arrivals(vec![SimTime::ZERO]);
+    }
+
+    #[test]
+    fn arrivals_admit_to_least_loaded_partition() {
+        // 4 jobs arriving in sequence over 2 partitions: each partition
+        // must get two.
+        let batch = (0..4).map(|i| job(&format!("j{i}"), 5)).collect();
+        let arrivals = (0..4)
+            .map(|i| SimTime::ZERO + SimDuration::from_millis(i))
+            .collect();
+        let mut d =
+            driver_for(PolicyKind::TimeSharing, (2, 1), batch).with_arrivals(arrivals);
+        run(&mut d);
+        let parts: Vec<usize> = d
+            .entries
+            .iter()
+            .map(|e| e.partition.expect("placed"))
+            .collect();
+        assert_eq!(parts.iter().filter(|&&p| p == 0).count(), 2, "{parts:?}");
+        assert_eq!(parts.iter().filter(|&&p| p == 1).count(), 2, "{parts:?}");
+    }
+
+    #[test]
+    fn diagnose_reports_pending_jobs() {
+        let batch = vec![job("a", 1), job("b", 1), job("c", 1)];
+        let d = driver_for(PolicyKind::Static, (1, 1), batch);
+        // Nothing started: all unfinished; pending is empty until start().
+        let diag = d.diagnose();
+        assert!(diag.contains("3 unfinished of 3 jobs"), "{diag}");
+    }
+
+    #[test]
+    fn prefetch_zero_serializes_loads_behind_execution() {
+        // With prefetch 0 the next job's load cannot overlap the current
+        // job's run; makespan grows by one load latency per extra job.
+        let mk = |prefetch: usize| {
+            let batch = (0..3).map(|i| job(&format!("j{i}"), 50)).collect();
+            let plan = PartitionPlan::equal(1, 1, TopologyKind::Linear).unwrap();
+            let cfg = MachineConfig {
+                host_link_per_byte: SimDuration::ZERO,
+                job_load_latency: SimDuration::from_millis(20),
+                ..MachineConfig::default()
+            };
+            let machine = Machine::new(cfg, SystemNet::from_plan(&plan));
+            let mut d = Driver::new(
+                machine,
+                plan,
+                PolicyKind::Static,
+                QuantumRule::default(),
+                Placement::RoundRobin,
+                batch,
+            )
+            .with_prefetch(prefetch);
+            let mut engine: Engine<Event> = Engine::new(QueueKind::BinaryHeap);
+            d.start(&mut engine);
+            assert_eq!(engine.run(&mut d), RunOutcome::Drained);
+            *d.response_times().iter().max().unwrap()
+        };
+        let without = mk(0);
+        let with = mk(1);
+        // Prefetch hides two of the three 20 ms loads.
+        assert!(
+            without >= with + SimDuration::from_millis(30),
+            "prefetch gained too little: {without} vs {with}"
+        );
+    }
+}

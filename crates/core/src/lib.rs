@@ -1,0 +1,53 @@
+//! # parsched-core
+//!
+//! The paper's contribution: processor scheduling policies for a
+//! distributed-memory multicomputer, implemented over the simulated
+//! Transputer machine of `parsched-machine` and evaluated exactly as
+//! Chan, Dandamudi & Majumdar (IPPS 1997) evaluate them.
+//!
+//! * [`policy`] — static space-sharing, time-sharing/hybrid, the RR-job
+//!   quantum rule, and process placement;
+//! * [`driver`] — the hierarchical super/partition/local scheduler;
+//! * [`experiment`] — run configuration, best/worst static orderings, and
+//!   the mean-response-time metric;
+//! * [`figures`] — one function per paper figure and ablation;
+//! * [`report`] — the row/series output the paper's figures plot;
+//! * [`runner`] — parallel execution of configuration grids.
+//!
+//! ```no_run
+//! use parsched_core::prelude::*;
+//!
+//! // Regenerate Figure 4 (matrix multiplication, adaptive architecture).
+//! let table = fig4(&FigureOpts::default()).expect("simulation completed");
+//! println!("{}", table.to_text());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod experiment;
+pub mod figures;
+pub mod policy;
+pub mod report;
+pub mod runner;
+
+/// The core crate's commonly used names in one import.
+pub mod prelude {
+    pub use crate::driver::Driver;
+    pub use crate::experiment::{
+        order_batch, run_batch, run_batch_with_arrivals, run_experiment, run_replicated,
+        BatchOrder, ExperimentConfig, ExperimentResult, ReplicatedResult, RunError,
+        RunResult,
+    };
+    pub use crate::figures::{
+        ablation_flow_control, ablation_gang, ablation_load, ablation_memory, ablation_mpl,
+        ablation_overheads, ablation_partition_tuning, ablation_pipeline, ablation_quantum,
+        ablation_topology, ablation_variance,
+        ablation_wormhole, fig3, fig4, fig5, fig6, figure, FigureOpts,
+    };
+    pub use crate::policy::{Discipline, Placement, PolicyKind, QuantumRule};
+    pub use crate::report::{FigureRow, FigureTable};
+    pub use crate::runner::run_parallel;
+}
+
+pub use prelude::*;

@@ -1,0 +1,112 @@
+//! Parallel experiment execution.
+//!
+//! Every run is an independent single-threaded simulation, so a figure's
+//! configuration grid parallelizes embarrassingly: fan the (config, batch)
+//! tasks over worker threads and collect results in input order.
+
+use crate::experiment::{run_experiment, ExperimentConfig, ExperimentResult, RunError};
+use crossbeam::channel;
+use parsched_machine::JobSpec;
+
+/// Run every (config, batch) task and return results in input order.
+/// `parallel = false` runs inline (useful under benchmark harnesses that
+/// already saturate the machine).
+pub fn run_parallel(
+    tasks: Vec<(ExperimentConfig, Vec<JobSpec>)>,
+    parallel: bool,
+) -> Result<Vec<ExperimentResult>, RunError> {
+    if !parallel || tasks.len() <= 1 {
+        return tasks
+            .iter()
+            .map(|(cfg, batch)| run_experiment(cfg, batch))
+            .collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(tasks.len());
+    let (task_tx, task_rx) = channel::unbounded::<(usize, ExperimentConfig, Vec<JobSpec>)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, Result<ExperimentResult, RunError>)>();
+    let n = tasks.len();
+    for (i, (cfg, batch)) in tasks.into_iter().enumerate() {
+        task_tx.send((i, cfg, batch)).expect("queueing tasks");
+    }
+    drop(task_tx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let task_rx = task_rx.clone();
+            let res_tx = res_tx.clone();
+            scope.spawn(move || {
+                while let Ok((i, cfg, batch)) = task_rx.recv() {
+                    let r = run_experiment(&cfg, &batch);
+                    if res_tx.send((i, r)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        let mut out: Vec<Option<ExperimentResult>> = (0..n).map(|_| None).collect();
+        let mut first_err: Option<RunError> = None;
+        for (i, r) in res_rx.iter() {
+            match r {
+                Ok(res) => out[i] = Some(res),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        Ok(out
+            .into_iter()
+            .map(|o| o.expect("worker dropped a task"))
+            .collect())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+    use parsched_des::SimDuration;
+    use parsched_machine::{Op, ProcSpec};
+    use parsched_topology::TopologyKind;
+
+    fn task(ms: u64) -> (ExperimentConfig, Vec<JobSpec>) {
+        let cfg = ExperimentConfig {
+            system_size: 2,
+            ..ExperimentConfig::paper(1, TopologyKind::Linear, PolicyKind::Static)
+        };
+        let batch = vec![JobSpec {
+            name: format!("j{ms}"),
+            ship_bytes: 0,
+            procs: vec![ProcSpec {
+                program: vec![Op::Compute(SimDuration::from_millis(ms))],
+                mem_bytes: 0,
+            }],
+        }];
+        (cfg, batch)
+    }
+
+    #[test]
+    fn parallel_matches_serial_in_order() {
+        let tasks: Vec<_> = (1..=8).map(|i| task(i * 10)).collect();
+        let serial = run_parallel(tasks.clone(), false).unwrap();
+        let parallel = run_parallel(tasks, true).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.mean_response, p.mean_response);
+            assert_eq!(s.label, p.label);
+        }
+    }
+
+    #[test]
+    fn empty_task_list() {
+        assert!(run_parallel(Vec::new(), true).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,347 @@
+//! The event loop.
+//!
+//! [`Engine`] owns the simulation clock and the pending-event set. The model
+//! (one per simulation; in this repository the multicomputer in
+//! `parsched-machine`) implements [`Model`] and is driven by
+//! [`Engine::run`]. The engine is deliberately dumb: it knows nothing about
+//! nodes, processes, or messages — only timestamps and opaque events.
+
+use crate::queue::{BinaryHeapQueue, CalendarQueue, EventQueue, Scheduled};
+use crate::time::{SimDuration, SimTime};
+
+/// A simulation model: consumes events, may schedule more via the
+/// [`Scheduler`] handle passed to `handle`.
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Process one event at simulated time `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// Handle through which a model schedules future events during `handle`.
+///
+/// New events are buffered and merged into the queue after the handler
+/// returns; this keeps the borrow story simple and has no observable effect
+/// on ordering (a handler runs at one instant; everything it schedules is at
+/// `now` or later).
+pub struct Scheduler<E> {
+    now: SimTime,
+    pending: Vec<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> Scheduler<E> {
+    /// The current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` to fire `delay` after the current instant.
+    pub fn schedule(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedule `event` at an absolute instant (must not be in the past).
+    pub fn schedule_at(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {time} < {now}",
+            now = self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push(Scheduled { time, seq, event });
+    }
+
+    /// Schedule `event` to fire immediately (at the current instant, after
+    /// every event already pending for this instant).
+    pub fn schedule_now(&mut self, event: E) {
+        self.schedule_at(self.now, event);
+    }
+}
+
+/// Which pending-event set backend an [`Engine`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueKind {
+    /// Binary heap (`O(log n)`, the default).
+    BinaryHeap,
+    /// Calendar queue (`O(1)` amortized for stationary event populations).
+    Calendar,
+}
+
+enum Backend<E> {
+    Heap(BinaryHeapQueue<E>),
+    Calendar(CalendarQueue<E>),
+}
+
+impl<E> Backend<E> {
+    fn push(&mut self, item: Scheduled<E>) {
+        match self {
+            Backend::Heap(q) => q.push(item),
+            Backend::Calendar(q) => q.push(item),
+        }
+    }
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        match self {
+            Backend::Heap(q) => q.pop(),
+            Backend::Calendar(q) => q.pop(),
+        }
+    }
+    fn len(&self) -> usize {
+        match self {
+            Backend::Heap(q) => q.len(),
+            Backend::Calendar(q) => q.len(),
+        }
+    }
+}
+
+/// Why [`Engine::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The pending-event set drained completely.
+    Drained,
+    /// The time horizon was reached with events still pending.
+    HorizonReached,
+    /// The event budget was exhausted (runaway-simulation guard).
+    BudgetExhausted,
+}
+
+/// The discrete-event engine: a clock plus a pending-event set.
+pub struct Engine<E> {
+    queue: Backend<E>,
+    now: SimTime,
+    next_seq: u64,
+    events_processed: u64,
+    /// Stop processing events scheduled after this instant.
+    pub horizon: SimTime,
+    /// Abort after this many events (guards against accidental infinite
+    /// event loops in model code).
+    pub max_events: u64,
+}
+
+impl<E> Engine<E> {
+    /// A fresh engine at time zero with the given backend.
+    pub fn new(kind: QueueKind) -> Self {
+        let queue = match kind {
+            QueueKind::BinaryHeap => Backend::Heap(BinaryHeapQueue::new()),
+            QueueKind::Calendar => Backend::Calendar(CalendarQueue::new()),
+        };
+        Engine {
+            queue,
+            now: SimTime::ZERO,
+            next_seq: 0,
+            events_processed: 0,
+            horizon: SimTime::MAX,
+            max_events: u64::MAX,
+        }
+    }
+
+    /// The current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule an event before the run starts (or between runs).
+    pub fn seed(&mut self, time: SimTime, event: E) {
+        assert!(time >= self.now, "cannot seed into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled { time, seq, event });
+    }
+
+    /// Drive `model` until the queue drains, the horizon passes, or the
+    /// event budget runs out.
+    pub fn run<M: Model<Event = E>>(&mut self, model: &mut M) -> RunOutcome {
+        loop {
+            if self.events_processed >= self.max_events {
+                return RunOutcome::BudgetExhausted;
+            }
+            let Some(item) = self.queue.pop() else {
+                return RunOutcome::Drained;
+            };
+            if item.time > self.horizon {
+                // Put it back conceptually: we simply stop; the caller can
+                // inspect `pending()` to see there was more to do.
+                self.queue.push(item);
+                self.now = self.horizon;
+                return RunOutcome::HorizonReached;
+            }
+            debug_assert!(item.time >= self.now, "event queue returned the past");
+            self.now = item.time;
+            self.events_processed += 1;
+
+            let mut sched = Scheduler {
+                now: self.now,
+                pending: Vec::new(),
+                next_seq: self.next_seq,
+            };
+            model.handle(self.now, item.event, &mut sched);
+            self.next_seq = sched.next_seq;
+            for p in sched.pending {
+                self.queue.push(p);
+            }
+        }
+    }
+
+    /// Like [`Engine::run`] but stops once simulated time would exceed
+    /// `deadline` (a convenience for watchdog-style callers).
+    pub fn run_until<M: Model<Event = E>>(
+        &mut self,
+        model: &mut M,
+        deadline: SimTime,
+    ) -> RunOutcome {
+        let saved = self.horizon;
+        self.horizon = deadline.min(saved);
+        let outcome = self.run(model);
+        self.horizon = saved;
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A model that counts down: event `n` schedules `n-1` after 10 ns.
+    struct Countdown {
+        fired: Vec<(u64, u64)>, // (time, value)
+    }
+
+    impl Model for Countdown {
+        type Event = u64;
+        fn handle(&mut self, now: SimTime, ev: u64, sched: &mut Scheduler<u64>) {
+            self.fired.push((now.nanos(), ev));
+            if ev > 0 {
+                sched.schedule(SimDuration::from_nanos(10), ev - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn countdown_runs_to_completion_on_both_backends() {
+        for kind in [QueueKind::BinaryHeap, QueueKind::Calendar] {
+            let mut engine = Engine::new(kind);
+            engine.seed(SimTime(5), 3u64);
+            let mut model = Countdown { fired: Vec::new() };
+            assert_eq!(engine.run(&mut model), RunOutcome::Drained);
+            assert_eq!(model.fired, vec![(5, 3), (15, 2), (25, 1), (35, 0)]);
+            assert_eq!(engine.now(), SimTime(35));
+            assert_eq!(engine.events_processed(), 4);
+        }
+    }
+
+    #[test]
+    fn horizon_stops_the_run() {
+        let mut engine = Engine::new(QueueKind::BinaryHeap);
+        engine.horizon = SimTime(20);
+        engine.seed(SimTime(5), 3u64);
+        let mut model = Countdown { fired: Vec::new() };
+        assert_eq!(engine.run(&mut model), RunOutcome::HorizonReached);
+        assert_eq!(model.fired, vec![(5, 3), (15, 2)]);
+        assert_eq!(engine.pending(), 1);
+        assert_eq!(engine.now(), SimTime(20));
+    }
+
+    #[test]
+    fn event_budget_guards_runaway_models() {
+        struct Forever;
+        impl Model for Forever {
+            type Event = ();
+            fn handle(&mut self, _: SimTime, _: (), sched: &mut Scheduler<()>) {
+                sched.schedule(SimDuration::from_nanos(1), ());
+            }
+        }
+        let mut engine = Engine::new(QueueKind::BinaryHeap);
+        engine.max_events = 1000;
+        engine.seed(SimTime::ZERO, ());
+        assert_eq!(engine.run(&mut Forever), RunOutcome::BudgetExhausted);
+        assert_eq!(engine.events_processed(), 1000);
+    }
+
+    #[test]
+    fn same_instant_events_fire_in_schedule_order() {
+        struct Recorder(Vec<u32>);
+        impl Model for Recorder {
+            type Event = u32;
+            fn handle(&mut self, _: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+                self.0.push(ev);
+                if ev == 0 {
+                    // Three events at the same instant must pop FIFO.
+                    sched.schedule_now(1);
+                    sched.schedule_now(2);
+                    sched.schedule_now(3);
+                }
+            }
+        }
+        let mut engine = Engine::new(QueueKind::BinaryHeap);
+        engine.seed(SimTime::ZERO, 0u32);
+        let mut m = Recorder(Vec::new());
+        engine.run(&mut m);
+        assert_eq!(m.0, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn run_until_respects_deadline_and_restores_horizon() {
+        let mut engine = Engine::new(QueueKind::BinaryHeap);
+        engine.seed(SimTime(5), 3u64);
+        let mut model = Countdown { fired: Vec::new() };
+        assert_eq!(
+            engine.run_until(&mut model, SimTime(20)),
+            RunOutcome::HorizonReached
+        );
+        assert_eq!(engine.now(), SimTime(20));
+        assert_eq!(engine.horizon, SimTime::MAX, "horizon must be restored");
+        // Resuming finishes the countdown.
+        assert_eq!(engine.run(&mut model), RunOutcome::Drained);
+        assert_eq!(model.fired.len(), 4);
+    }
+
+    #[test]
+    fn pending_and_counters_track_queue_state() {
+        let mut engine: Engine<u64> = Engine::new(QueueKind::Calendar);
+        assert_eq!(engine.pending(), 0);
+        engine.seed(SimTime(1), 1);
+        engine.seed(SimTime(2), 2);
+        assert_eq!(engine.pending(), 2);
+        assert_eq!(engine.events_processed(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot seed into the past")]
+    fn seeding_into_the_past_panics() {
+        let mut engine = Engine::new(QueueKind::BinaryHeap);
+        engine.seed(SimTime(10), 0u64);
+        let mut model = Countdown { fired: Vec::new() };
+        engine.run(&mut model);
+        engine.seed(SimTime(5), 1u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        struct Bad;
+        impl Model for Bad {
+            type Event = ();
+            fn handle(&mut self, now: SimTime, _: (), sched: &mut Scheduler<()>) {
+                sched.schedule_at(SimTime(now.nanos() - 1), ());
+            }
+        }
+        let mut engine = Engine::new(QueueKind::BinaryHeap);
+        engine.seed(SimTime(10), ());
+        engine.run(&mut Bad);
+    }
+}

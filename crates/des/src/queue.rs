@@ -1,0 +1,428 @@
+//! Pending-event set implementations.
+//!
+//! The event queue is the hot data structure of a discrete-event simulator.
+//! Two backends are provided behind the [`EventQueue`] trait:
+//!
+//! * [`BinaryHeapQueue`] — a straightforward `O(log n)` binary heap; the
+//!   robust default.
+//! * [`CalendarQueue`] — the classic Brown (1988) calendar queue with `O(1)`
+//!   amortized enqueue/dequeue under stationary event-time distributions;
+//!   included because large time-sharing experiments enqueue hundreds of
+//!   thousands of quantum-expiry events, and benchmarked against the heap in
+//!   `benches/engine.rs`.
+//!
+//! Both backends break ties on event time by the insertion sequence number,
+//! so a simulation produces exactly the same event order regardless of the
+//! backend — a property the integration tests assert.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event of type `E` scheduled for a particular simulated instant.
+#[derive(Debug, Clone)]
+pub struct Scheduled<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Monotone insertion sequence; the deterministic tiebreaker.
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest event.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A pending-event set: a priority queue ordered by `(time, seq)`.
+pub trait EventQueue<E> {
+    /// Insert an event.
+    fn push(&mut self, item: Scheduled<E>);
+    /// Remove and return the earliest event, or `None` if empty.
+    fn pop(&mut self) -> Option<Scheduled<E>>;
+    /// The timestamp of the earliest event without removing it.
+    fn peek_time(&self) -> Option<SimTime>;
+    /// Number of pending events.
+    fn len(&self) -> usize;
+    /// True if no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Binary-heap backed pending-event set.
+#[derive(Debug)]
+pub struct BinaryHeapQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+}
+
+impl<E> Default for BinaryHeapQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> BinaryHeapQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        BinaryHeapQueue {
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+impl<E> EventQueue<E> for BinaryHeapQueue<E> {
+    fn push(&mut self, item: Scheduled<E>) {
+        self.heap.push(item);
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.heap.pop()
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// Calendar-queue backed pending-event set (Brown 1988).
+///
+/// Events are hashed into day "buckets" by `time / bucket_width`; a dequeue
+/// scans forward from the current day. The structure resizes (doubling or
+/// halving the bucket count and re-estimating the width from a sample of
+/// inter-event gaps) when the population crosses 2× or 0.5× the bucket count,
+/// giving `O(1)` amortized operations for stationary distributions.
+#[derive(Debug)]
+pub struct CalendarQueue<E> {
+    buckets: Vec<Vec<Scheduled<E>>>,
+    /// Width of one bucket in nanoseconds (never zero).
+    bucket_width: u64,
+    /// Number of events stored.
+    len: usize,
+    /// Bucket index the next dequeue starts scanning from.
+    current_bucket: usize,
+    /// Start time of `current_bucket`'s current "year" window.
+    current_year_start: u64,
+    /// Population thresholds for resizing.
+    grow_at: usize,
+    shrink_at: usize,
+}
+
+const CQ_INITIAL_BUCKETS: usize = 16;
+const CQ_INITIAL_WIDTH: u64 = 1_000; // 1 us
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> CalendarQueue<E> {
+    /// An empty queue with default geometry.
+    pub fn new() -> Self {
+        Self::with_geometry(CQ_INITIAL_BUCKETS, CQ_INITIAL_WIDTH)
+    }
+
+    /// An empty queue with an explicit bucket count (rounded up to a power of
+    /// two) and bucket width in nanoseconds.
+    pub fn with_geometry(buckets: usize, width_ns: u64) -> Self {
+        let n = buckets.next_power_of_two().max(2);
+        CalendarQueue {
+            buckets: (0..n).map(|_| Vec::new()).collect(),
+            bucket_width: width_ns.max(1),
+            len: 0,
+            current_bucket: 0,
+            current_year_start: 0,
+            grow_at: n * 2,
+            shrink_at: n / 2,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, time: SimTime) -> usize {
+        ((time.nanos() / self.bucket_width) as usize) & (self.buckets.len() - 1)
+    }
+
+    fn resize(&mut self, new_buckets: usize) {
+        let new_width = self.estimate_width();
+        let mut all: Vec<Scheduled<E>> = Vec::with_capacity(self.len);
+        for b in &mut self.buckets {
+            all.append(b);
+        }
+        let n = new_buckets.next_power_of_two().max(2);
+        self.buckets = (0..n).map(|_| Vec::new()).collect();
+        self.bucket_width = new_width;
+        self.grow_at = n * 2;
+        self.shrink_at = if n <= CQ_INITIAL_BUCKETS { 0 } else { n / 2 };
+        self.len = 0;
+        // Re-derive the scan position from the earliest event.
+        let min_time = all.iter().map(|s| s.time).min().unwrap_or(SimTime::ZERO);
+        self.set_scan_position(min_time);
+        for item in all {
+            self.insert_raw(item);
+        }
+    }
+
+    /// Estimate a bucket width as ~the average gap between the next few
+    /// events (the textbook heuristic), clamped to at least 1 ns.
+    fn estimate_width(&self) -> u64 {
+        let mut sample: Vec<u64> = self
+            .buckets
+            .iter()
+            .flat_map(|b| b.iter().map(|s| s.time.nanos()))
+            .collect();
+        if sample.len() < 2 {
+            return self.bucket_width;
+        }
+        sample.sort_unstable();
+        let take = sample.len().min(64);
+        let span = sample[take - 1].saturating_sub(sample[0]);
+        let gap = span / (take as u64 - 1).max(1);
+        // Three times the mean gap, per Brown's recommendation.
+        (gap.saturating_mul(3)).clamp(1, u64::MAX / 4)
+    }
+
+    fn set_scan_position(&mut self, time: SimTime) {
+        let day = time.nanos() / self.bucket_width;
+        self.current_bucket = (day as usize) & (self.buckets.len() - 1);
+        self.current_year_start = day * self.bucket_width;
+    }
+
+    fn insert_raw(&mut self, item: Scheduled<E>) {
+        let idx = self.bucket_of(item.time);
+        // Keep each bucket sorted descending so pop_min is a cheap pop().
+        let bucket = &mut self.buckets[idx];
+        let pos = bucket
+            .binary_search_by(|probe| {
+                (item.time, item.seq).cmp(&(probe.time, probe.seq))
+            })
+            .unwrap_or_else(|p| p);
+        bucket.insert(pos, item);
+        self.len += 1;
+    }
+}
+
+impl<E> EventQueue<E> for CalendarQueue<E> {
+    fn push(&mut self, item: Scheduled<E>) {
+        if self.len + 1 > self.grow_at {
+            let n = self.buckets.len() * 2;
+            self.resize(n);
+        }
+        // An event earlier than the scan position must move the scan back,
+        // otherwise it would only be found after a full wrap.
+        if item.time.nanos() < self.current_year_start {
+            self.set_scan_position(item.time);
+        }
+        self.insert_raw(item);
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.len < self.shrink_at {
+            let n = (self.buckets.len() / 2).max(CQ_INITIAL_BUCKETS);
+            if n < self.buckets.len() {
+                self.resize(n);
+            }
+        }
+        let nbuckets = self.buckets.len();
+        loop {
+            // Scan one "year": every bucket once, honouring the day windows.
+            let mut year_min: Option<(SimTime, u64, usize)> = None;
+            for step in 0..nbuckets {
+                let idx = (self.current_bucket + step) & (nbuckets - 1);
+                let window_start =
+                    self.current_year_start + (step as u64) * self.bucket_width;
+                let window_end = window_start.saturating_add(self.bucket_width);
+                if let Some(last) = self.buckets[idx].last() {
+                    let t = last.time.nanos();
+                    if t >= window_start && t < window_end {
+                        // In its home-day window: guaranteed earliest overall.
+                        self.current_bucket = idx;
+                        self.current_year_start = window_start;
+                        let item = self.buckets[idx].pop().expect("non-empty");
+                        self.len -= 1;
+                        return Some(item);
+                    }
+                    match year_min {
+                        Some((mt, ms, _)) if (last.time, last.seq) >= (mt, ms) => {}
+                        _ => year_min = Some((last.time, last.seq, idx)),
+                    }
+                }
+            }
+            match year_min {
+                // Nothing in its home window this year: jump straight to the
+                // year of the globally earliest event (direct search).
+                Some((t, _, idx)) => {
+                    self.set_scan_position(t);
+                    // Re-loop; the event is now inside its window. To avoid a
+                    // pathological infinite loop on width-overflow, pop
+                    // directly if the window test would still fail.
+                    let last_t = self.buckets[idx].last().expect("non-empty").time;
+                    if last_t == t && self.bucket_of(t) == idx {
+                        continue;
+                    }
+                    let item = self.buckets[idx].pop().expect("non-empty");
+                    self.len -= 1;
+                    return Some(item);
+                }
+                None => {
+                    debug_assert_eq!(self.len, 0, "len out of sync with buckets");
+                    return None;
+                }
+            }
+        }
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.buckets
+            .iter()
+            .filter_map(|b| b.last().map(|s| s.time))
+            .min()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(t: u64, seq: u64) -> Scheduled<u64> {
+        Scheduled {
+            time: SimTime(t),
+            seq,
+            event: seq,
+        }
+    }
+
+    fn drain<Q: EventQueue<u64>>(q: &mut Q) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some(s) = q.pop() {
+            out.push((s.time.nanos(), s.seq));
+        }
+        out
+    }
+
+    #[test]
+    fn heap_orders_by_time_then_seq() {
+        let mut q = BinaryHeapQueue::new();
+        q.push(sched(10, 2));
+        q.push(sched(5, 3));
+        q.push(sched(10, 1));
+        q.push(sched(5, 0));
+        assert_eq!(drain(&mut q), vec![(5, 0), (5, 3), (10, 1), (10, 2)]);
+    }
+
+    #[test]
+    fn calendar_orders_by_time_then_seq() {
+        let mut q = CalendarQueue::new();
+        q.push(sched(10, 2));
+        q.push(sched(5, 3));
+        q.push(sched(10, 1));
+        q.push(sched(5, 0));
+        assert_eq!(drain(&mut q), vec![(5, 0), (5, 3), (10, 1), (10, 2)]);
+    }
+
+    #[test]
+    fn calendar_handles_widely_spread_times() {
+        let mut q = CalendarQueue::with_geometry(4, 10);
+        for (i, t) in [1u64, 1_000_000, 3, 999, 500_000_000, 42].iter().enumerate() {
+            q.push(sched(*t, i as u64));
+        }
+        let times: Vec<u64> = drain(&mut q).into_iter().map(|(t, _)| t).collect();
+        assert_eq!(times, vec![1, 3, 42, 999, 1_000_000, 500_000_000]);
+    }
+
+    #[test]
+    fn calendar_grows_and_shrinks() {
+        let mut q = CalendarQueue::with_geometry(2, 100);
+        for i in 0..1000u64 {
+            q.push(sched(i * 7 % 997, i));
+        }
+        assert_eq!(q.len(), 1000);
+        let mut prev = (0u64, 0u64);
+        let mut first = true;
+        while let Some(s) = q.pop() {
+            let cur = (s.time.nanos(), s.seq);
+            if !first {
+                assert!(cur > prev, "out of order: {cur:?} after {prev:?}");
+            }
+            prev = cur;
+            first = false;
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = CalendarQueue::new();
+        let mut seq = 0u64;
+        let mut last_popped = 0u64;
+        // Pops interleaved with pushes of future times only (as in a real
+        // simulation, where events schedule later events).
+        for round in 0..200u64 {
+            for k in 0..5 {
+                q.push(sched(last_popped + 1 + (round * 31 + k * 17) % 1000, seq));
+                seq += 1;
+            }
+            for _ in 0..3 {
+                if let Some(s) = q.pop() {
+                    assert!(s.time.nanos() >= last_popped);
+                    last_popped = s.time.nanos();
+                }
+            }
+        }
+        while let Some(s) = q.pop() {
+            assert!(s.time.nanos() >= last_popped);
+            last_popped = s.time.nanos();
+        }
+    }
+
+    #[test]
+    fn empty_queues_behave() {
+        let mut h: BinaryHeapQueue<u64> = BinaryHeapQueue::new();
+        let mut c: CalendarQueue<u64> = CalendarQueue::new();
+        assert!(h.pop().is_none());
+        assert!(c.pop().is_none());
+        assert_eq!(h.peek_time(), None);
+        assert_eq!(c.peek_time(), None);
+        assert!(h.is_empty() && c.is_empty());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = CalendarQueue::new();
+        q.push(sched(9, 0));
+        q.push(sched(3, 1));
+        assert_eq!(q.peek_time(), Some(SimTime(3)));
+        assert_eq!(q.pop().unwrap().time, SimTime(3));
+        assert_eq!(q.peek_time(), Some(SimTime(9)));
+    }
+}

@@ -1,0 +1,239 @@
+//! Deterministic random-number support.
+//!
+//! Every stochastic element of an experiment draws from a [`DetRng`] seeded
+//! from the experiment configuration, so any run is exactly reproducible.
+//! Independent substreams (one per job, per node, ...) are derived by
+//! hashing a label into the master seed — changing how many draws one
+//! component makes can then never perturb another component's stream.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG with labelled substream derivation.
+///
+/// ```
+/// use parsched_des::rng::DetRng;
+///
+/// let root = DetRng::new(42);
+/// let mut a = root.substream("arrivals");
+/// let mut b = root.substream("arrivals");
+/// assert_eq!(a.uniform01(), b.uniform01()); // same label, same stream
+/// let mut c = root.substream("service");
+/// assert_ne!(a.uniform01(), c.uniform01()); // labels are independent
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    seed: u64,
+    rng: SmallRng,
+}
+
+impl DetRng {
+    /// A generator for the given master seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            seed,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The master seed this stream was derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive an independent substream for `label`.
+    ///
+    /// Uses SplitMix64 finalization over `seed ^ hash(label)`; the same
+    /// `(seed, label)` pair always yields the same substream.
+    pub fn substream(&self, label: &str) -> DetRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let derived = splitmix64(self.seed ^ h);
+        DetRng::new(derived)
+    }
+
+    /// Derive an independent substream for an integer index.
+    pub fn substream_idx(&self, label: &str, idx: u64) -> DetRng {
+        let base = self.substream(label);
+        DetRng::new(splitmix64(base.seed ^ idx.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform01(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform01()
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(hi > lo, "uniform_u64: empty range");
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Exponential with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential: mean must be positive");
+        let u = 1.0 - self.uniform01(); // avoid ln(0)
+        -mean * u.ln()
+    }
+
+    /// Erlang-k (sum of `k` exponentials), mean `mean`, CV `1/sqrt(k)`.
+    pub fn erlang(&mut self, k: u32, mean: f64) -> f64 {
+        assert!(k > 0, "erlang: k must be positive");
+        let stage_mean = mean / k as f64;
+        (0..k).map(|_| self.exponential(stage_mean)).sum()
+    }
+
+    /// Two-stage balanced hyperexponential with the given mean and
+    /// coefficient of variation `cv >= 1`.
+    ///
+    /// Uses the standard balanced-means construction: with probability `p`
+    /// draw from an exponential of rate `2p/mean`, else rate `2(1-p)/mean`,
+    /// where `p = (1 + sqrt((cv^2-1)/(cv^2+1))) / 2`.
+    pub fn hyperexponential(&mut self, mean: f64, cv: f64) -> f64 {
+        assert!(cv >= 1.0, "hyperexponential: cv must be >= 1");
+        let c2 = cv * cv;
+        let p = 0.5 * (1.0 + ((c2 - 1.0) / (c2 + 1.0)).sqrt());
+        let (p_branch, mean_branch) = if self.uniform01() < p {
+            (p, mean / (2.0 * p))
+        } else {
+            (1.0 - p, mean / (2.0 * (1.0 - p)))
+        };
+        let _ = p_branch;
+        self.exponential(mean_branch)
+    }
+
+    /// A sample with the given mean and coefficient of variation: degenerate
+    /// (constant) for `cv == 0`, Erlang for `cv < 1`, exponential for
+    /// `cv == 1`, hyperexponential for `cv > 1`.
+    pub fn with_cv(&mut self, mean: f64, cv: f64) -> f64 {
+        assert!(cv >= 0.0 && mean > 0.0);
+        if cv == 0.0 {
+            mean
+        } else if cv < 1.0 {
+            // Erlang-k has CV 1/sqrt(k); pick the k closest from above.
+            let k = (1.0 / (cv * cv)).round().max(1.0) as u32;
+            self.erlang(k, mean)
+        } else if cv == 1.0 {
+            self.exponential(mean)
+        } else {
+            self.hyperexponential(mean, cv)
+        }
+    }
+
+    /// Fisher-Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Welford;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform01(), b.uniform01());
+        }
+    }
+
+    #[test]
+    fn substreams_are_stable_and_distinct() {
+        let root = DetRng::new(7);
+        let mut s1 = root.substream("jobs");
+        let mut s1b = root.substream("jobs");
+        let mut s2 = root.substream("nodes");
+        let x1: Vec<f64> = (0..10).map(|_| s1.uniform01()).collect();
+        let x1b: Vec<f64> = (0..10).map(|_| s1b.uniform01()).collect();
+        let x2: Vec<f64> = (0..10).map(|_| s2.uniform01()).collect();
+        assert_eq!(x1, x1b);
+        assert_ne!(x1, x2);
+    }
+
+    #[test]
+    fn indexed_substreams_distinct() {
+        let root = DetRng::new(7);
+        let a: f64 = root.substream_idx("job", 0).uniform01();
+        let b: f64 = root.substream_idx("job", 1).uniform01();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut rng = DetRng::new(1);
+        let mut w = Welford::new();
+        for _ in 0..20_000 {
+            w.record(rng.exponential(5.0));
+        }
+        assert!((w.mean() - 5.0).abs() < 0.2, "mean {}", w.mean());
+        assert!((w.cv() - 1.0).abs() < 0.1, "cv {}", w.cv());
+    }
+
+    #[test]
+    fn erlang_reduces_cv() {
+        let mut rng = DetRng::new(2);
+        let mut w = Welford::new();
+        for _ in 0..20_000 {
+            w.record(rng.erlang(4, 8.0));
+        }
+        assert!((w.mean() - 8.0).abs() < 0.3, "mean {}", w.mean());
+        assert!((w.cv() - 0.5).abs() < 0.1, "cv {}", w.cv());
+    }
+
+    #[test]
+    fn hyperexponential_hits_target_cv() {
+        let mut rng = DetRng::new(3);
+        let mut w = Welford::new();
+        for _ in 0..100_000 {
+            w.record(rng.hyperexponential(10.0, 3.0));
+        }
+        assert!((w.mean() - 10.0).abs() < 0.5, "mean {}", w.mean());
+        assert!((w.cv() - 3.0).abs() < 0.4, "cv {}", w.cv());
+    }
+
+    #[test]
+    fn with_cv_dispatches() {
+        let mut rng = DetRng::new(4);
+        assert_eq!(rng.with_cv(5.0, 0.0), 5.0);
+        let mut lo = Welford::new();
+        let mut hi = Welford::new();
+        for _ in 0..20_000 {
+            lo.record(rng.with_cv(5.0, 0.25));
+            hi.record(rng.with_cv(5.0, 2.0));
+        }
+        assert!(lo.cv() < 0.35, "low-cv stream cv {}", lo.cv());
+        assert!(hi.cv() > 1.5, "high-cv stream cv {}", hi.cv());
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = DetRng::new(5);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "shuffle did nothing");
+    }
+}

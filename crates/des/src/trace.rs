@@ -1,0 +1,132 @@
+//! Bounded event tracing.
+//!
+//! A cheap ring buffer of recent simulation events, used by the machine
+//! model's deadlock watchdog to print what the system was doing when it
+//! stalled, and by tests to assert on event sequences without paying for an
+//! unbounded log.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the event happened.
+    pub time: SimTime,
+    /// Which component reported it (e.g. `"node3.cpu"`).
+    pub source: String,
+    /// Human-readable description.
+    pub what: String,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>14}] {:<16} {}", self.time, self.source, self.what)
+    }
+}
+
+/// A bounded ring buffer of [`TraceRecord`]s. A capacity of zero disables
+/// tracing entirely (all pushes are no-ops), which is the default for
+/// benchmark runs.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    cap: usize,
+    buf: VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A trace keeping at most `cap` records (0 disables tracing).
+    pub fn with_capacity(cap: usize) -> Self {
+        Trace {
+            cap,
+            buf: VecDeque::with_capacity(cap.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    /// Disabled trace.
+    pub fn disabled() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// True if pushes are recorded.
+    pub fn enabled(&self) -> bool {
+        self.cap > 0
+    }
+
+    /// Record an event (no-op when disabled).
+    pub fn push(&mut self, time: SimTime, source: impl Into<String>, what: impl Into<String>) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(TraceRecord {
+            time,
+            source: source.into(),
+            what: what.into(),
+        });
+    }
+
+    /// Records currently retained, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.buf.iter()
+    }
+
+    /// Number of records evicted to honour the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render the retained records, one per line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} earlier records dropped ...\n", self.dropped));
+        }
+        for r in &self.buf {
+            out.push_str(&format!("{r}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        assert!(!t.enabled());
+        t.push(SimTime(1), "x", "y");
+        assert_eq!(t.records().count(), 0);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Trace::with_capacity(3);
+        for i in 0..5u64 {
+            t.push(SimTime(i), "src", format!("ev{i}"));
+        }
+        let whats: Vec<&str> = t.records().map(|r| r.what.as_str()).collect();
+        assert_eq!(whats, vec!["ev2", "ev3", "ev4"]);
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn dump_mentions_drops() {
+        let mut t = Trace::with_capacity(1);
+        t.push(SimTime(0), "a", "first");
+        t.push(SimTime(1), "a", "second");
+        let dump = t.dump();
+        assert!(dump.contains("1 earlier records dropped"));
+        assert!(dump.contains("second"));
+        assert!(!dump.contains("first\n"));
+    }
+}

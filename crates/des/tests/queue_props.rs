@@ -1,0 +1,115 @@
+//! Differential property tests: the calendar queue must behave exactly like
+//! the binary heap (the obviously-correct reference) under arbitrary
+//! operation sequences, including the simulation-realistic constraint that
+//! pushes never go behind the last popped time.
+
+use parsched_des::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Cmd {
+    /// Push an event `delta` beyond the current low-water mark.
+    Push(u64),
+    /// Pop the earliest event.
+    Pop,
+}
+
+fn arb_cmds() -> impl Strategy<Value = Vec<Cmd>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0u64..5_000_000).prop_map(Cmd::Push),
+            2 => Just(Cmd::Pop),
+        ],
+        1..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn calendar_matches_heap_exactly(cmds in arb_cmds()) {
+        let mut heap: BinaryHeapQueue<u64> = BinaryHeapQueue::new();
+        let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+        let mut seq = 0u64;
+        let mut low_water = 0u64; // last popped time: pushes are >= this
+        for cmd in cmds {
+            match cmd {
+                Cmd::Push(delta) => {
+                    let time = SimTime(low_water + delta);
+                    seq += 1;
+                    heap.push(Scheduled { time, seq, event: seq });
+                    cal.push(Scheduled { time, seq, event: seq });
+                }
+                Cmd::Pop => {
+                    let a = heap.pop();
+                    let b = cal.pop();
+                    match (a, b) {
+                        (None, None) => {}
+                        (Some(x), Some(y)) => {
+                            prop_assert_eq!(x.time, y.time);
+                            prop_assert_eq!(x.seq, y.seq);
+                            prop_assert_eq!(x.event, y.event);
+                            low_water = x.time.nanos();
+                        }
+                        (x, y) => prop_assert!(
+                            false,
+                            "backends disagree on emptiness: {x:?} vs {y:?}"
+                        ),
+                    }
+                }
+            }
+            prop_assert_eq!(heap.len(), cal.len());
+            prop_assert_eq!(heap.peek_time(), cal.peek_time());
+        }
+        // Drain both completely; orders must match to the end.
+        loop {
+            match (heap.pop(), cal.pop()) {
+                (None, None) => break,
+                (Some(x), Some(y)) => {
+                    prop_assert_eq!((x.time, x.seq), (y.time, y.seq));
+                }
+                (x, y) => prop_assert!(
+                    false,
+                    "backends disagree while draining: {x:?} vs {y:?}"
+                ),
+            }
+        }
+    }
+
+    /// The calendar queue also tolerates pushes *earlier* than the scan
+    /// position (legal for a bare queue even though the engine forbids it).
+    #[test]
+    fn calendar_handles_unconstrained_times(
+        times in proptest::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let mut heap: BinaryHeapQueue<u64> = BinaryHeapQueue::new();
+        let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+        // Interleave: push half, pop a few, push the rest (some earlier).
+        let half = times.len() / 2;
+        for (i, &t) in times[..half].iter().enumerate() {
+            let s = Scheduled { time: SimTime(t), seq: i as u64, event: i as u64 };
+            heap.push(s.clone());
+            cal.push(s);
+        }
+        for _ in 0..half / 3 {
+            let a = heap.pop().map(|s| (s.time, s.seq));
+            let b = cal.pop().map(|s| (s.time, s.seq));
+            prop_assert_eq!(a, b);
+        }
+        for (i, &t) in times[half..].iter().enumerate() {
+            let seq = (half + i) as u64;
+            let s = Scheduled { time: SimTime(t), seq, event: seq };
+            heap.push(s.clone());
+            cal.push(s);
+        }
+        loop {
+            let a = heap.pop().map(|s| (s.time, s.seq));
+            let b = cal.pop().map(|s| (s.time, s.seq));
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

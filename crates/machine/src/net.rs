@@ -1,0 +1,160 @@
+//! Messages and links.
+//!
+//! Data structures for the communication subsystem: in-flight messages and
+//! the per-channel serialization state. The message *protocol* (buffer
+//! reservation, forwarding, delivery) is implemented in [`crate::system`].
+
+use crate::process::JobId;
+use crate::program::{Rank, Tag};
+use parsched_des::{SimTime, TimeWeighted};
+use std::collections::VecDeque;
+
+/// Machine-wide message identifier (index into the message table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MsgId(pub u32);
+
+impl MsgId {
+    /// The id as a `usize` for table lookups.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An in-flight (or delivered-but-unconsumed) message.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Identifier.
+    pub id: MsgId,
+    /// Owning job (messages never cross jobs).
+    pub job: JobId,
+    /// Sending rank.
+    pub from: Rank,
+    /// Receiving rank.
+    pub to: Rank,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Mailbox tag.
+    pub tag: Tag,
+    /// Global node sequence `[src, ..., dst]` (length 1 for self-sends).
+    pub path: Vec<u16>,
+    /// Index into `path` of the node currently holding the (store-and-
+    /// forward) buffered copy.
+    pub at: usize,
+    /// Cut-through: number of path edges whose transfer has completed.
+    pub edges_done: usize,
+    /// Cut-through: number of path edges enqueued on their channel so far.
+    pub ct_edges_started: usize,
+    /// When the sender injected it.
+    pub injected_at: SimTime,
+    /// Node currently charged for this message's buffer, if any.
+    pub buffered_on: Option<u16>,
+}
+
+impl Message {
+    /// Total hops (path edges).
+    pub fn hops(&self) -> usize {
+        self.path.len() - 1
+    }
+
+    /// True when the buffered copy sits at the destination.
+    pub fn at_destination(&self) -> bool {
+        self.at + 1 == self.path.len()
+    }
+
+    /// The node the buffered copy currently sits on.
+    pub fn current_node(&self) -> u16 {
+        self.path[self.at]
+    }
+
+    /// The next node along the path.
+    ///
+    /// # Panics
+    /// Panics when already at the destination.
+    pub fn next_node(&self) -> u16 {
+        self.path[self.at + 1]
+    }
+}
+
+/// One directed link's serialization state.
+#[derive(Debug)]
+pub struct ChannelState {
+    /// Sending endpoint (global).
+    pub from: u16,
+    /// Receiving endpoint (global).
+    pub to: u16,
+    /// Message currently occupying the channel.
+    pub busy_with: Option<MsgId>,
+    /// FIFO of messages waiting for the channel.
+    pub queue: VecDeque<MsgId>,
+    /// Busy/idle signal for utilization statistics.
+    pub busy: TimeWeighted,
+    /// Total payload bytes carried.
+    pub bytes_carried: u64,
+    /// Transfers completed.
+    pub transfers: u64,
+}
+
+impl ChannelState {
+    /// An idle channel.
+    pub fn new(from: u16, to: u16, t0: SimTime) -> ChannelState {
+        ChannelState {
+            from,
+            to,
+            busy_with: None,
+            queue: VecDeque::new(),
+            busy: TimeWeighted::new(t0, 0.0),
+            bytes_carried: 0,
+            transfers: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(path: Vec<u16>) -> Message {
+        Message {
+            id: MsgId(0),
+            job: JobId(0),
+            from: Rank(0),
+            to: Rank(1),
+            bytes: 100,
+            tag: Tag(1),
+            path,
+            at: 0,
+            edges_done: 0,
+            ct_edges_started: 0,
+            injected_at: SimTime::ZERO,
+            buffered_on: None,
+        }
+    }
+
+    #[test]
+    fn path_geometry() {
+        let m = msg(vec![0, 1, 2, 3]);
+        assert_eq!(m.hops(), 3);
+        assert_eq!(m.current_node(), 0);
+        assert_eq!(m.next_node(), 1);
+        assert!(!m.at_destination());
+    }
+
+    #[test]
+    fn self_send_is_at_destination() {
+        let m = msg(vec![5]);
+        assert_eq!(m.hops(), 0);
+        assert!(m.at_destination());
+        assert_eq!(m.current_node(), 5);
+    }
+
+    #[test]
+    fn advancing_reaches_destination() {
+        let mut m = msg(vec![0, 1, 2]);
+        m.at += 1;
+        assert!(!m.at_destination());
+        m.at += 1;
+        assert!(m.at_destination());
+        assert_eq!(m.current_node(), 2);
+    }
+}

@@ -1,0 +1,179 @@
+//! Process control blocks.
+
+use crate::program::{Op, Rank, Tag};
+use parsched_des::{SimDuration, SimTime};
+
+/// Machine-wide job identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u32);
+
+impl JobId {
+    /// The id as a `usize` for table lookups.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Machine-wide process identifier (index into the machine's process table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcKey(pub u32);
+
+impl ProcKey {
+    /// The key as a `usize` for table lookups.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What the process's current CPU phase is burning time on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Executing a `Compute` op.
+    Compute,
+    /// Paying the software overhead of a `Send` before injection.
+    SendOverhead,
+    /// Paying the software overhead of consuming a received message.
+    RecvOverhead,
+    /// No CPU phase loaded (about to examine the next op).
+    Idle,
+}
+
+/// Scheduling state of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PState {
+    /// Runnable, waiting in (or at the head of) a ready queue.
+    Ready,
+    /// Currently on a CPU.
+    Running,
+    /// Blocked until a message with the tag arrives.
+    BlockedRecv(Tag),
+    /// Blocked waiting for an outgoing message buffer.
+    BlockedAlloc,
+    /// Program exhausted.
+    Finished,
+}
+
+/// A process control block.
+#[derive(Debug, Clone)]
+pub struct Process {
+    /// Machine-wide key.
+    pub key: ProcKey,
+    /// Owning job.
+    pub job: JobId,
+    /// Rank within the job.
+    pub rank: Rank,
+    /// Global processor this process is pinned to (the paper's system has
+    /// no migration).
+    pub node: u16,
+    /// The straight-line program.
+    pub program: Vec<Op>,
+    /// Index of the op currently being executed / examined.
+    pub pc: usize,
+    /// Current CPU phase.
+    pub phase: Phase,
+    /// CPU time left in the current phase.
+    pub remaining: SimDuration,
+    /// Messages still to consume for the current `RecvAny`.
+    pub recv_left: u32,
+    /// Message claimed from the mailbox, being consumed in `RecvOverhead`.
+    pub claimed: Option<crate::net::MsgId>,
+    /// Message staged by a `Send` whose source buffer is still pending.
+    pub pending_msg: Option<crate::net::MsgId>,
+    /// Round-robin quantum granted per dispatch (set by the scheduling
+    /// policy; the RR-job rule makes it `(p / T) * q`).
+    pub quantum: SimDuration,
+    /// Scheduling state.
+    pub state: PState,
+    /// Parked by the policy (gang scheduling): the process keeps its state
+    /// but is withheld from the ready queue until its job's slot.
+    pub parked: bool,
+    /// Accumulated useful CPU time (statistics).
+    pub cpu_time: SimDuration,
+    /// When the process became ready for the first time.
+    pub started_at: SimTime,
+    /// When the process finished (valid once `state == Finished`).
+    pub finished_at: SimTime,
+}
+
+impl Process {
+    /// A fresh PCB at `pc = 0`, `Ready`.
+    pub fn new(
+        key: ProcKey,
+        job: JobId,
+        rank: Rank,
+        node: u16,
+        program: Vec<Op>,
+        quantum: SimDuration,
+        now: SimTime,
+    ) -> Process {
+        Process {
+            key,
+            job,
+            rank,
+            node,
+            program,
+            pc: 0,
+            phase: Phase::Idle,
+            remaining: SimDuration::ZERO,
+            recv_left: 0,
+            claimed: None,
+            pending_msg: None,
+            quantum,
+            state: PState::Ready,
+            parked: false,
+            cpu_time: SimDuration::ZERO,
+            started_at: now,
+            finished_at: SimTime::ZERO,
+        }
+    }
+
+    /// The op at the program counter, if any.
+    pub fn current_op(&self) -> Option<&Op> {
+        self.program.get(self.pc)
+    }
+
+    /// True once every op has retired.
+    pub fn is_finished(&self) -> bool {
+        self.pc >= self.program.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_pcb_is_ready_at_pc0() {
+        let p = Process::new(
+            ProcKey(3),
+            JobId(1),
+            Rank(0),
+            5,
+            vec![Op::Compute(SimDuration::from_millis(1))],
+            SimDuration::from_millis(2),
+            SimTime(42),
+        );
+        assert_eq!(p.state, PState::Ready);
+        assert_eq!(p.pc, 0);
+        assert!(!p.is_finished());
+        assert!(matches!(p.current_op(), Some(Op::Compute(_))));
+        assert_eq!(p.started_at, SimTime(42));
+    }
+
+    #[test]
+    fn empty_program_is_immediately_finished() {
+        let p = Process::new(
+            ProcKey(0),
+            JobId(0),
+            Rank(0),
+            0,
+            vec![],
+            SimDuration::from_millis(2),
+            SimTime::ZERO,
+        );
+        assert!(p.is_finished());
+        assert!(p.current_op().is_none());
+    }
+}

@@ -1,0 +1,1641 @@
+//! The machine: nodes, network and the event protocol tying them together.
+//!
+//! [`Machine`] implements [`parsched_des::Model`]; driving it with an
+//! [`Engine`](parsched_des::Engine) executes submitted jobs to completion.
+//! Scheduling *policies* (who gets which partition, when, with what quantum)
+//! live in `parsched-core`; this crate provides the mechanism:
+//!
+//! * two-priority CPUs with round-robin quanta and quantum-loss preemption;
+//! * per-node memory with a FIFO-queued MMU;
+//! * store-and-forward (or cut-through) message passing over serialized
+//!   links, with per-hop buffer reservation and handler CPU costs;
+//! * mailbox matching and blocking receives.
+
+use crate::config::{FlowControl, MachineConfig, SendMode, Switching};
+use crate::cpu::{Cpu, HandlerAction, HandlerTask, RunKind, Running};
+use crate::memory::{AllocResult, AllocWaiter, Mmu};
+use crate::net::{ChannelState, Message, MsgId};
+use crate::process::{JobId, PState, Phase, ProcKey, Process};
+use crate::timeline::{Span, SpanKind, Timeline};
+use crate::program::{JobSpec, Op, Rank, Tag};
+use crate::wiring::SystemNet;
+use parsched_des::{Model, Scheduler, SimDuration, SimTime, Trace};
+use std::collections::VecDeque;
+
+/// Events of the machine model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A queued job arrives (begins loading).
+    Admit {
+        /// Which job.
+        job: JobId,
+    },
+    /// Load latency elapsed: allocate the job's memory and spawn processes.
+    LoadJob {
+        /// Which job.
+        job: JobId,
+    },
+    /// Poke a node's CPU to dispatch if idle.
+    Dispatch {
+        /// Global node index.
+        node: u16,
+    },
+    /// The running item on `node` reached its scheduled boundary.
+    SliceEnd {
+        /// Global node index.
+        node: u16,
+        /// Dispatch sequence (stale events are ignored).
+        seq: u64,
+    },
+    /// The transfer occupying channel `chan` finished.
+    TransferDone {
+        /// Channel table index.
+        chan: u32,
+    },
+    /// Cut-through: the pipelined start of a message's next path edge.
+    HopStart {
+        /// Which message.
+        msg: MsgId,
+        /// Path-edge index to start.
+        edge: usize,
+    },
+    /// A starved transit buffer request escapes to the emergency pool.
+    AllocEscape {
+        /// Node whose MMU queue holds the request.
+        node: u16,
+        /// The waiting message.
+        msg: MsgId,
+    },
+    /// A scheduling-policy timer. The machine ignores it; policy drivers
+    /// (e.g. the gang scheduler) intercept it before forwarding events.
+    PolicyTick {
+        /// Opaque policy-defined token (e.g. a partition index).
+        token: u64,
+    },
+}
+
+/// Notifications the machine emits for the scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Note {
+    /// The job's memory is resident; it awaits [`Machine::start_job`]
+    /// (emitted for jobs queued with `auto_start = false`).
+    JobReady(JobId),
+    /// The job's processes are runnable.
+    JobLoaded(JobId),
+    /// All of the job's processes finished; memory has been freed.
+    JobCompleted(JobId),
+}
+
+/// Lifecycle state of a job inside the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Queued via [`Machine::queue_job`], not yet admitted.
+    Queued,
+    /// Admitted; load latency or memory allocation outstanding.
+    Loading,
+    /// Loaded and resident, waiting for [`Machine::start_job`].
+    Ready,
+    /// Processes runnable/running.
+    Running,
+    /// Complete.
+    Done,
+}
+
+/// Per-job runtime bookkeeping.
+#[derive(Debug)]
+pub struct JobRuntime {
+    /// Identifier.
+    pub id: JobId,
+    /// Name from the [`JobSpec`].
+    pub name: String,
+    /// rank -> global node.
+    pub placement: Vec<u16>,
+    /// rank -> process key (filled at spawn).
+    pub proc_keys: Vec<ProcKey>,
+    /// Memory charged per node, for release at completion.
+    pub mem_per_node: Vec<(u16, u64)>,
+    /// Outstanding job-load allocations.
+    pub pending_allocs: u32,
+    /// Processes not yet finished.
+    pub live_procs: u32,
+    /// Per-rank mailboxes of delivered, unconsumed messages.
+    pub mailboxes: Vec<VecDeque<MsgId>>,
+    /// Round-robin quantum for this job's processes.
+    pub quantum: SimDuration,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// When the job was admitted (arrival).
+    pub submitted_at: SimTime,
+    /// When its processes became runnable.
+    pub loaded_at: SimTime,
+    /// When it completed.
+    pub finished_at: SimTime,
+    /// Sequential CPU demand (from the spec; for reporting).
+    pub total_compute: SimDuration,
+    /// Bytes shipped through the host link at load time.
+    pub ship_bytes: u64,
+    /// Spawn processes as soon as the load completes (vs. waiting for
+    /// [`Machine::start_job`]).
+    pub auto_start: bool,
+    /// Parked by the policy (gang scheduling): processes exist but are
+    /// withheld from the ready queues.
+    pub parked: bool,
+    /// Blueprint, held until spawn.
+    spec: Option<JobSpec>,
+}
+
+impl JobRuntime {
+    /// Response time: completion minus arrival.
+    ///
+    /// # Panics
+    /// Panics if the job has not completed.
+    pub fn response_time(&self) -> SimDuration {
+        assert_eq!(self.state, JobState::Done, "job {:?} not done", self.id);
+        self.finished_at.since(self.submitted_at)
+    }
+}
+
+/// One node: a CPU plus its memory.
+#[derive(Debug)]
+pub struct Node {
+    /// The CPU.
+    pub cpu: Cpu,
+    /// The memory pool + MMU queue.
+    pub mmu: Mmu,
+}
+
+/// Machine-wide counters (see also per-node and per-channel state).
+#[derive(Debug, Default, Clone)]
+pub struct Counters {
+    /// Messages injected.
+    pub messages_sent: u64,
+    /// Messages consumed by receivers.
+    pub messages_consumed: u64,
+    /// Total payload bytes injected.
+    pub bytes_sent: u64,
+    /// Total hop transfers completed.
+    pub hop_transfers: u64,
+    /// Self-addressed messages (same-node mailbox traffic).
+    pub self_sends: u64,
+    /// Processes that blocked at least once waiting for a send buffer.
+    pub send_blocks: u64,
+    /// Transit requests that starved past the escape timeout and were
+    /// satisfied from the emergency pool.
+    pub transit_escapes: u64,
+    /// Jobs completed.
+    pub jobs_completed: u64,
+}
+
+/// The simulated multicomputer.
+pub struct Machine {
+    /// Timing and policy-mechanism configuration.
+    pub cfg: MachineConfig,
+    net: SystemNet,
+    nodes: Vec<Node>,
+    channels: Vec<ChannelState>,
+    procs: Vec<Process>,
+    jobs: Vec<JobRuntime>,
+    messages: Vec<Option<Message>>,
+    notes: Vec<Note>,
+    /// Machine-wide counters.
+    pub counters: Counters,
+    /// Optional bounded event trace (enable for debugging).
+    pub trace: Trace,
+    /// Execution spans (enable via `MachineConfig::record_timeline`).
+    pub timeline: Timeline,
+    /// When the host-link loader next becomes free (loads serialize).
+    loader_free_at: SimTime,
+    t0: SimTime,
+}
+
+impl Machine {
+    /// Build a machine over the given wiring.
+    pub fn new(cfg: MachineConfig, net: SystemNet) -> Machine {
+        let t0 = SimTime::ZERO;
+        let nodes = (0..net.nodes())
+            .map(|_| {
+                let capacity = cfg.mem_capacity.saturating_sub(cfg.os_overhead);
+                let mut mmu = Mmu::new(capacity, t0);
+                mmu.policy = cfg.alloc_policy;
+                mmu.set_transit_reserve(cfg.transit_reserve);
+                Node {
+                    cpu: Cpu::new(t0),
+                    mmu,
+                }
+            })
+            .collect();
+        let channels = net
+            .channels()
+            .iter()
+            .map(|c| ChannelState::new(c.from, c.to, t0))
+            .collect();
+        let timeline = if cfg.record_timeline {
+            Timeline::enabled(2_000_000)
+        } else {
+            Timeline::disabled()
+        };
+        Machine {
+            cfg,
+            net,
+            nodes,
+            channels,
+            procs: Vec::new(),
+            jobs: Vec::new(),
+            messages: Vec::new(),
+            notes: Vec::new(),
+            counters: Counters::default(),
+            trace: Trace::disabled(),
+            timeline,
+            loader_free_at: SimTime::ZERO,
+            t0,
+        }
+    }
+
+    /// Record a compute span for `pk` (no-op when the timeline is off).
+    fn record_compute(&mut self, pk: ProcKey, start: SimTime, end: SimTime) {
+        if !self.timeline.is_enabled() || end <= start {
+            return;
+        }
+        let p = &self.procs[pk.idx()];
+        self.timeline.record(Span {
+            kind: SpanKind::Compute,
+            node: p.node,
+            job: Some(p.job),
+            proc_: Some(pk),
+            rank: Some(p.rank),
+            start,
+            end,
+        });
+    }
+
+    /// Number of processors.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The wiring.
+    pub fn net(&self) -> &SystemNet {
+        &self.net
+    }
+
+    /// Per-node state (read-only).
+    pub fn node(&self, n: u16) -> &Node {
+        &self.nodes[n as usize]
+    }
+
+    /// Per-channel state (read-only).
+    pub fn channel_states(&self) -> &[ChannelState] {
+        &self.channels
+    }
+
+    /// Job runtime info.
+    pub fn job(&self, id: JobId) -> &JobRuntime {
+        &self.jobs[id.idx()]
+    }
+
+    /// All jobs.
+    pub fn jobs(&self) -> &[JobRuntime] {
+        &self.jobs
+    }
+
+    /// Process table (read-only).
+    pub fn processes(&self) -> &[Process] {
+        &self.procs
+    }
+
+    /// True once every queued job has completed.
+    pub fn all_jobs_done(&self) -> bool {
+        self.jobs.iter().all(|j| j.state == JobState::Done)
+    }
+
+    /// Drain accumulated notifications (the policy driver calls this after
+    /// every event).
+    pub fn drain_notes(&mut self) -> Vec<Note> {
+        std::mem::take(&mut self.notes)
+    }
+
+    /// Register a job without admitting it. `placement[rank]` is the global
+    /// node for that rank; every rank must be inside one partition.
+    /// Returns the id to use with [`Event::Admit`].
+    ///
+    /// # Panics
+    /// Panics if the placement length differs from the spec width, a node
+    /// index is out of range, or the job spans partitions.
+    pub fn queue_job(
+        &mut self,
+        spec: JobSpec,
+        placement: Vec<u16>,
+        quantum: SimDuration,
+    ) -> JobId {
+        self.queue_job_with(spec, placement, quantum, true)
+    }
+
+    /// Like [`Machine::queue_job`], with control over whether the job's
+    /// processes spawn automatically when its load completes
+    /// (`auto_start = true`) or wait for [`Machine::start_job`].
+    pub fn queue_job_with(
+        &mut self,
+        spec: JobSpec,
+        placement: Vec<u16>,
+        quantum: SimDuration,
+        auto_start: bool,
+    ) -> JobId {
+        assert_eq!(
+            placement.len(),
+            spec.width(),
+            "placement must cover every rank"
+        );
+        assert!(!placement.is_empty(), "job needs at least one process");
+        let part = self.net.partition_of(placement[0]);
+        for &n in &placement {
+            assert!((n as usize) < self.nodes.len(), "node {n} out of range");
+            assert_eq!(
+                self.net.partition_of(n),
+                part,
+                "job '{}' spans partitions",
+                spec.name
+            );
+        }
+        let id = JobId(self.jobs.len() as u32);
+        let width = spec.width();
+        // Sum the per-node memory demand once.
+        let mut per_node: Vec<(u16, u64)> = Vec::new();
+        for (rank, p) in spec.procs.iter().enumerate() {
+            let node = placement[rank];
+            match per_node.iter_mut().find(|(n, _)| *n == node) {
+                Some((_, b)) => *b += p.mem_bytes,
+                None => per_node.push((node, p.mem_bytes)),
+            }
+        }
+        // Fail fast on a job that can never load: stalling later is much
+        // harder to diagnose.
+        let usable = self.cfg.mem_capacity.saturating_sub(self.cfg.os_overhead);
+        for &(node, bytes) in &per_node {
+            assert!(
+                bytes <= usable,
+                "job '{}' needs {bytes} B on node {node} but only {usable} B                  of the {} B node memory is usable",
+                spec.name,
+                self.cfg.mem_capacity,
+            );
+        }
+        self.jobs.push(JobRuntime {
+            id,
+            name: spec.name.clone(),
+            placement,
+            proc_keys: Vec::new(),
+            mem_per_node: per_node,
+            pending_allocs: 0,
+            live_procs: width as u32,
+            mailboxes: (0..width).map(|_| VecDeque::new()).collect(),
+            quantum,
+            state: JobState::Queued,
+            submitted_at: SimTime::ZERO,
+            loaded_at: SimTime::ZERO,
+            finished_at: SimTime::ZERO,
+            total_compute: spec.total_compute(),
+            ship_bytes: spec.effective_ship_bytes(),
+            auto_start,
+            parked: false,
+            spec: Some(spec),
+        });
+        id
+    }
+
+    /// Start a [`JobState::Ready`] job's processes.
+    ///
+    /// # Panics
+    /// Panics if the job is not `Ready`.
+    pub fn start_job(&mut self, job: JobId, now: SimTime, sched: &mut Scheduler<Event>) {
+        assert_eq!(
+            self.jobs[job.idx()].state,
+            JobState::Ready,
+            "start_job on a job that is not ready"
+        );
+        self.spawn_job(job, now, sched);
+    }
+
+    // ------------------------------------------------------------------
+    // Job lifecycle
+    // ------------------------------------------------------------------
+
+    fn on_admit(&mut self, job: JobId, now: SimTime, sched: &mut Scheduler<Event>) {
+        let ship = self.jobs[job.idx()].ship_bytes;
+        let j = &mut self.jobs[job.idx()];
+        assert_eq!(j.state, JobState::Queued, "job admitted twice");
+        j.state = JobState::Loading;
+        j.submitted_at = now;
+        // Ship the job's code + data through the single host link: loads
+        // are globally serialized (FIFO in admission order).
+        let duration = self.cfg.job_load_latency
+            + SimDuration::from_nanos(self.cfg.host_link_per_byte.nanos() * ship);
+        let start = if self.loader_free_at > now {
+            self.loader_free_at
+        } else {
+            now
+        };
+        self.loader_free_at = start + duration;
+        sched.schedule_at(self.loader_free_at, Event::LoadJob { job });
+    }
+
+    fn on_load_job(&mut self, job: JobId, now: SimTime, sched: &mut Scheduler<Event>) {
+        // Request the job's resident memory on every node it touches. Any
+        // allocation that cannot be satisfied queues on that node's MMU;
+        // the job spawns when the last grant lands.
+        let per_node = self.jobs[job.idx()].mem_per_node.clone();
+        let mut pending = 0;
+        for (node, bytes) in per_node {
+            if bytes == 0 {
+                continue;
+            }
+            match self.nodes[node as usize]
+                .mmu
+                .request(now, bytes, AllocWaiter::JobLoad(job))
+            {
+                AllocResult::Granted => {}
+                AllocResult::Queued => pending += 1,
+            }
+        }
+        self.jobs[job.idx()].pending_allocs = pending;
+        if pending == 0 {
+            self.finish_load(job, now, sched);
+        }
+    }
+
+    /// The job's memory is fully resident: spawn or park it.
+    fn finish_load(&mut self, job: JobId, now: SimTime, sched: &mut Scheduler<Event>) {
+        if self.jobs[job.idx()].auto_start {
+            self.spawn_job(job, now, sched);
+        } else {
+            self.jobs[job.idx()].state = JobState::Ready;
+            self.notes.push(Note::JobReady(job));
+        }
+    }
+
+    fn spawn_job(&mut self, job: JobId, now: SimTime, sched: &mut Scheduler<Event>) {
+        debug_assert!(
+            matches!(
+                self.jobs[job.idx()].state,
+                JobState::Loading | JobState::Ready
+            ),
+            "spawning a job in the wrong state"
+        );
+        let spec = self.jobs[job.idx()]
+            .spec
+            .take()
+            .expect("job spawned twice");
+        let quantum = self.jobs[job.idx()].quantum;
+        let placement = self.jobs[job.idx()].placement.clone();
+        self.jobs[job.idx()].state = JobState::Running;
+        self.jobs[job.idx()].loaded_at = now;
+        let mut keys = Vec::with_capacity(spec.width());
+        for (rank, pspec) in spec.procs.into_iter().enumerate() {
+            let key = ProcKey(self.procs.len() as u32);
+            keys.push(key);
+            self.procs.push(Process::new(
+                key,
+                job,
+                Rank(rank as u32),
+                placement[rank],
+                pspec.program,
+                quantum,
+                now,
+            ));
+        }
+        self.jobs[job.idx()].proc_keys = keys.clone();
+        if self.jobs[job.idx()].parked {
+            for &key in &keys {
+                self.procs[key.idx()].parked = true;
+            }
+        }
+        self.notes.push(Note::JobLoaded(job));
+        for key in keys {
+            self.make_runnable(key, now, sched);
+        }
+    }
+
+    fn finish_process(&mut self, pk: ProcKey, now: SimTime, sched: &mut Scheduler<Event>) {
+        let p = &mut self.procs[pk.idx()];
+        p.state = PState::Finished;
+        p.finished_at = now;
+        let job = p.job;
+        let j = &mut self.jobs[job.idx()];
+        j.live_procs -= 1;
+        if j.live_procs == 0 {
+            j.state = JobState::Done;
+            j.finished_at = now;
+            debug_assert!(
+                j.mailboxes.iter().all(|m| m.is_empty()),
+                "job '{}' finished with unconsumed messages",
+                j.name
+            );
+            self.counters.jobs_completed += 1;
+            let mem = j.mem_per_node.clone();
+            for (node, bytes) in mem {
+                if bytes > 0 {
+                    self.release_memory(node, bytes, now, sched);
+                }
+            }
+            self.notes.push(Note::JobCompleted(job));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Process execution
+    // ------------------------------------------------------------------
+
+    /// Load the process's next CPU phase (possibly advancing over zero-cost
+    /// ops). Returns `true` if the process needs the CPU, `false` if it
+    /// blocked or finished (in which case its state has been updated and
+    /// any finish bookkeeping done).
+    fn make_runnable(&mut self, pk: ProcKey, now: SimTime, sched: &mut Scheduler<Event>) -> bool {
+        match self.load_phase(pk, now) {
+            PhaseLoad::NeedCpu => {
+                self.enqueue_ready(pk, now, sched);
+                true
+            }
+            PhaseLoad::Blocked => false,
+            PhaseLoad::Finished => {
+                self.finish_process(pk, now, sched);
+                false
+            }
+        }
+    }
+
+    /// Mark a process Ready and put it on its node's low-priority queue —
+    /// unless its job is parked (gang scheduling), in which case it stays
+    /// Ready but off-queue until [`Machine::set_job_active`] releases it.
+    fn enqueue_ready(&mut self, pk: ProcKey, now: SimTime, sched: &mut Scheduler<Event>) {
+        let p = &mut self.procs[pk.idx()];
+        p.state = PState::Ready;
+        if p.parked {
+            return;
+        }
+        let node = p.node;
+        self.nodes[node as usize].cpu.low.push_back(pk);
+        self.dispatch(node, now, sched);
+    }
+
+    /// Examine ops from `pc` until a CPU phase is loaded, the process
+    /// blocks, or the program ends. Does not touch ready queues.
+    fn load_phase(&mut self, pk: ProcKey, _now: SimTime) -> PhaseLoad {
+        loop {
+            let p = &self.procs[pk.idx()];
+            let Some(op) = p.current_op() else {
+                return PhaseLoad::Finished;
+            };
+            match *op {
+                Op::Compute(d) => {
+                    if d.is_zero() {
+                        self.procs[pk.idx()].pc += 1;
+                        continue;
+                    }
+                    let p = &mut self.procs[pk.idx()];
+                    p.phase = Phase::Compute;
+                    p.remaining = d;
+                    return PhaseLoad::NeedCpu;
+                }
+                Op::Send { bytes, .. } => {
+                    let cost = self.cfg.send_cost(bytes);
+                    let p = &mut self.procs[pk.idx()];
+                    p.phase = Phase::SendOverhead;
+                    p.remaining = cost;
+                    return PhaseLoad::NeedCpu;
+                }
+                Op::Recv { tag } => {
+                    if self.try_claim(pk, tag) {
+                        return PhaseLoad::NeedCpu;
+                    }
+                    self.procs[pk.idx()].state = PState::BlockedRecv(tag);
+                    return PhaseLoad::Blocked;
+                }
+                Op::RecvAny { count, tag } => {
+                    let p = &mut self.procs[pk.idx()];
+                    if p.recv_left == 0 {
+                        if count == 0 {
+                            p.pc += 1;
+                            continue;
+                        }
+                        p.recv_left = count;
+                    }
+                    if self.try_claim(pk, tag) {
+                        return PhaseLoad::NeedCpu;
+                    }
+                    self.procs[pk.idx()].state = PState::BlockedRecv(tag);
+                    return PhaseLoad::Blocked;
+                }
+            }
+        }
+    }
+
+    /// Pop a matching message from the process's mailbox and load the
+    /// receive-overhead phase. Returns `false` if no message matches.
+    fn try_claim(&mut self, pk: ProcKey, tag: Tag) -> bool {
+        let (job, rank) = {
+            let p = &self.procs[pk.idx()];
+            (p.job, p.rank)
+        };
+        let messages = &self.messages;
+        let pos = self.jobs[job.idx()].mailboxes[rank.idx()]
+            .iter()
+            .position(|&m| messages[m.idx()].as_ref().is_some_and(|mm| mm.tag == tag));
+        let Some(pos) = pos else {
+            return false;
+        };
+        let msg = self.jobs[job.idx()].mailboxes[rank.idx()]
+            .remove(pos)
+            .expect("position valid");
+        let bytes = self.messages[msg.idx()].as_ref().expect("claimed dead message").bytes;
+        let cost = self.cfg.recv_cost(bytes);
+        let p = &mut self.procs[pk.idx()];
+        p.claimed = Some(msg);
+        p.phase = Phase::RecvOverhead;
+        p.remaining = cost;
+        true
+    }
+
+    /// The loaded CPU phase just completed (remaining hit zero). Advance the
+    /// program. Returns the next disposition (same meanings as
+    /// [`Machine::load_phase`]).
+    fn complete_phase(&mut self, pk: ProcKey, now: SimTime, sched: &mut Scheduler<Event>) -> PhaseLoad {
+        let phase = self.procs[pk.idx()].phase;
+        self.procs[pk.idx()].phase = Phase::Idle;
+        match phase {
+            Phase::Compute => {
+                self.procs[pk.idx()].pc += 1;
+                self.load_phase(pk, now)
+            }
+            Phase::SendOverhead => {
+                // Overhead paid; now stage the message and (maybe) block for
+                // the source buffer.
+                if self.begin_injection(pk, now, sched) {
+                    self.procs[pk.idx()].pc += 1;
+                    self.load_phase(pk, now)
+                } else {
+                    self.procs[pk.idx()].state = PState::BlockedAlloc;
+                    PhaseLoad::Blocked
+                }
+            }
+            Phase::RecvOverhead => {
+                let msg = self.procs[pk.idx()]
+                    .claimed
+                    .take()
+                    .expect("RecvOverhead with no claimed message");
+                self.consume_message(msg, now, sched);
+                let p = &mut self.procs[pk.idx()];
+                match p.current_op() {
+                    Some(Op::Recv { .. }) => {
+                        p.pc += 1;
+                        self.load_phase(pk, now)
+                    }
+                    Some(Op::RecvAny { tag, .. }) => {
+                        let tag = *tag;
+                        p.recv_left -= 1;
+                        if p.recv_left == 0 {
+                            p.pc += 1;
+                            self.load_phase(pk, now)
+                        } else if self.try_claim(pk, tag) {
+                            PhaseLoad::NeedCpu
+                        } else {
+                            self.procs[pk.idx()].state = PState::BlockedRecv(tag);
+                            PhaseLoad::Blocked
+                        }
+                    }
+                    other => panic!("RecvOverhead completed on non-recv op {other:?}"),
+                }
+            }
+            Phase::Idle => panic!("complete_phase on Idle"),
+        }
+    }
+
+    /// Requeue a process at its node's queue tail (unless parked). Callers
+    /// dispatch afterwards.
+    fn requeue_ready(&mut self, pk: ProcKey) {
+        let p = &mut self.procs[pk.idx()];
+        p.state = PState::Ready;
+        if p.parked {
+            return;
+        }
+        let node = p.node as usize;
+        self.nodes[node].cpu.low.push_back(pk);
+    }
+
+    /// Park or release a job's processes (gang scheduling support).
+    ///
+    /// Parking removes the job's Ready processes from their ready queues
+    /// and preempts its Running ones (they lose the rest of their quantum,
+    /// like any preemption on this machine); blocked processes stay blocked
+    /// but will not re-enter a queue until released. Releasing re-enqueues
+    /// every Ready process. High-priority system work is unaffected.
+    pub fn set_job_active(
+        &mut self,
+        job: JobId,
+        active: bool,
+        now: SimTime,
+        sched: &mut Scheduler<Event>,
+    ) {
+        if self.jobs[job.idx()].state != JobState::Running {
+            // Not spawned yet (or already done): just record the wish; the
+            // spawn path reads `parked` from the PCB default (false), so
+            // pre-spawn parking is applied at spawn time via job record.
+            self.jobs[job.idx()].parked = !active;
+            return;
+        }
+        self.jobs[job.idx()].parked = !active;
+        let keys = self.jobs[job.idx()].proc_keys.clone();
+        for pk in keys {
+            self.procs[pk.idx()].parked = !active;
+            let state = self.procs[pk.idx()].state;
+            let node = self.procs[pk.idx()].node;
+            if !active {
+                match state {
+                    PState::Ready => {
+                        self.nodes[node as usize].cpu.remove_low(pk);
+                    }
+                    PState::Running => {
+                        // Preempt in place: account progress, park.
+                        let cpu = &mut self.nodes[node as usize].cpu;
+                        if let Some(running) = cpu.running {
+                            if let RunKind::Low(rpk) = running.kind {
+                                if rpk == pk {
+                                    cpu.preemptions += 1;
+                                    cpu.running = None;
+                                    cpu.bump_seq();
+                                    let elapsed =
+                                        now.saturating_since(running.work_started);
+                                    self.record_compute(
+                                        pk,
+                                        running.work_started,
+                                        now,
+                                    );
+                                    let p = &mut self.procs[pk.idx()];
+                                    let used = elapsed.min(p.remaining);
+                                    p.remaining -= used;
+                                    p.cpu_time += used;
+                                    if p.remaining.is_zero() {
+                                        match self.complete_phase(pk, now, sched) {
+                                            PhaseLoad::NeedCpu => self.requeue_ready(pk),
+                                            PhaseLoad::Blocked => {}
+                                            PhaseLoad::Finished => {
+                                                self.finish_process(pk, now, sched)
+                                            }
+                                        }
+                                    } else {
+                                        self.procs[pk.idx()].state = PState::Ready;
+                                    }
+                                    self.dispatch(node, now, sched);
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            } else if state == PState::Ready {
+                self.nodes[node as usize].cpu.low.push_back(pk);
+                self.dispatch(node, now, sched);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // CPU scheduling
+    // ------------------------------------------------------------------
+
+    /// Enqueue high-priority work on a node, preempting low-priority work.
+    fn enqueue_high(&mut self, node: u16, task: HandlerTask, now: SimTime, sched: &mut Scheduler<Event>) {
+        self.nodes[node as usize].cpu.high.push_back(task);
+        match self.nodes[node as usize].cpu.running {
+            None => self.dispatch(node, now, sched),
+            Some(Running { kind: RunKind::Low(pk), work_started, .. }) => {
+                // Preempt: account partial progress; the process loses the
+                // rest of its quantum (T805 rule) and requeues at the tail.
+                let cpu = &mut self.nodes[node as usize].cpu;
+                cpu.preemptions += 1;
+                cpu.running = None;
+                cpu.bump_seq();
+                let elapsed = now.saturating_since(work_started);
+                self.record_compute(pk, work_started, now);
+                let p = &mut self.procs[pk.idx()];
+                let used = elapsed.min(p.remaining);
+                p.remaining -= used;
+                p.cpu_time += used;
+                if p.remaining.is_zero() {
+                    // The phase actually completed at this very instant;
+                    // treat it as a normal boundary.
+                    match self.complete_phase(pk, now, sched) {
+                        PhaseLoad::NeedCpu => self.requeue_ready(pk),
+                        PhaseLoad::Blocked => {}
+                        PhaseLoad::Finished => self.finish_process(pk, now, sched),
+                    }
+                } else {
+                    self.requeue_ready(pk);
+                }
+                self.dispatch(node, now, sched);
+            }
+            Some(Running { kind: RunKind::High(_), .. }) => {
+                // High-priority work runs to completion; the new task waits
+                // its turn in FIFO order.
+            }
+        }
+    }
+
+    /// Start the next item on an idle CPU.
+    fn dispatch(&mut self, node: u16, now: SimTime, sched: &mut Scheduler<Event>) {
+        let cpu = &mut self.nodes[node as usize].cpu;
+        if cpu.running.is_some() || cpu.hold {
+            return;
+        }
+        if let Some(task) = cpu.high.pop_front() {
+            let seq = cpu.bump_seq();
+            let work_started = now + self.cfg.ctx_switch_high;
+            let end = work_started + task.cost;
+            cpu.running = Some(Running {
+                kind: RunKind::High(task),
+                work_started,
+                quantum_end: end,
+                seq,
+            });
+            cpu.handler_runs += 1;
+            cpu.busy.set(now, 1.0);
+            sched.schedule_at(end, Event::SliceEnd { node, seq });
+            return;
+        }
+        let Some(pk) = cpu.low.pop_front() else {
+            cpu.busy.set(now, 0.0);
+            return;
+        };
+        let seq = cpu.bump_seq();
+        cpu.ctx_switches += 1;
+        let p = &mut self.procs[pk.idx()];
+        debug_assert_eq!(p.state, PState::Ready, "dispatching non-ready process");
+        p.state = PState::Running;
+        let work_started = now + self.cfg.ctx_switch_low;
+        let quantum_end = work_started + p.quantum;
+        let end = quantum_end.min(work_started + p.remaining);
+        let cpu = &mut self.nodes[node as usize].cpu;
+        cpu.running = Some(Running {
+            kind: RunKind::Low(pk),
+            work_started,
+            quantum_end,
+            seq,
+        });
+        cpu.busy.set(now, 1.0);
+        sched.schedule_at(end, Event::SliceEnd { node, seq });
+    }
+
+    fn on_slice_end(&mut self, node: u16, seq: u64, now: SimTime, sched: &mut Scheduler<Event>) {
+        let cpu = &mut self.nodes[node as usize].cpu;
+        let Some(running) = cpu.running else {
+            return; // stale
+        };
+        if running.seq != seq {
+            return; // stale
+        }
+        cpu.running = None;
+        match running.kind {
+            RunKind::High(task) => {
+                if self.timeline.is_enabled() {
+                    let (HandlerAction::HopArrived(msg) | HandlerAction::PacketRelay(msg)) =
+                        task.action;
+                    let job = self.messages[msg.idx()].as_ref().map(|m| m.job);
+                    self.timeline.record(Span {
+                        kind: SpanKind::Handler,
+                        node,
+                        job,
+                        proc_: None,
+                        rank: None,
+                        start: running.work_started,
+                        end: now,
+                    });
+                }
+                self.run_handler_action(task.action, node, now, sched);
+                self.dispatch(node, now, sched);
+            }
+            RunKind::Low(pk) => {
+                let elapsed = now.saturating_since(running.work_started);
+                self.record_compute(pk, running.work_started, now);
+                let p = &mut self.procs[pk.idx()];
+                let used = elapsed.min(p.remaining);
+                p.remaining -= used;
+                p.cpu_time += used;
+                if p.remaining.is_zero() {
+                    // Advancing the program can have re-entrant side effects
+                    // (self-send handlers, wakeups) that would otherwise
+                    // dispatch onto this CPU while we still own the decision.
+                    self.nodes[node as usize].cpu.hold = true;
+                    let load = self.complete_phase(pk, now, sched);
+                    self.nodes[node as usize].cpu.hold = false;
+                    match load {
+                        PhaseLoad::NeedCpu => {
+                            let quantum_left = now < running.quantum_end;
+                            let high_waiting =
+                                !self.nodes[node as usize].cpu.high.is_empty();
+                            if quantum_left && !high_waiting {
+                                // Quantum not exhausted and nothing urgent:
+                                // keep running.
+                                let p = &mut self.procs[pk.idx()];
+                                p.state = PState::Running;
+                                let end = running.quantum_end.min(now + p.remaining);
+                                let cpu = &mut self.nodes[node as usize].cpu;
+                                let seq = cpu.bump_seq();
+                                cpu.running = Some(Running {
+                                    kind: RunKind::Low(pk),
+                                    work_started: now,
+                                    quantum_end: running.quantum_end,
+                                    seq,
+                                });
+                                sched.schedule_at(end, Event::SliceEnd { node, seq });
+                                return;
+                            }
+                            self.requeue_ready(pk);
+                            let cpu = &mut self.nodes[node as usize].cpu;
+                            if quantum_left {
+                                cpu.preemptions += 1;
+                            } else {
+                                cpu.quantum_expiries += 1;
+                            }
+                        }
+                        PhaseLoad::Blocked => {}
+                        PhaseLoad::Finished => self.finish_process(pk, now, sched),
+                    }
+                } else {
+                    // Quantum expired mid-phase: round-robin requeue.
+                    self.requeue_ready(pk);
+                    self.nodes[node as usize].cpu.quantum_expiries += 1;
+                }
+                self.dispatch(node, now, sched);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Messaging
+    // ------------------------------------------------------------------
+
+    /// Create the message for the `Send` op at the process's `pc` and claim
+    /// its source buffer. Returns `true` if injection proceeded; `false` if
+    /// the process must block until the buffer is granted.
+    fn begin_injection(&mut self, pk: ProcKey, now: SimTime, sched: &mut Scheduler<Event>) -> bool {
+        let (job, from, node, to, bytes, tag) = {
+            let p = &self.procs[pk.idx()];
+            let Some(Op::Send { to, bytes, tag }) = p.current_op().cloned() else {
+                panic!("begin_injection on non-send op");
+            };
+            (p.job, p.rank, p.node, to, bytes, tag)
+        };
+        let dst_node = self.jobs[job.idx()].placement[to.idx()];
+        let path = if dst_node == node {
+            vec![node]
+        } else {
+            let mut p = vec![node];
+            p.extend(
+                self.net
+                    .route(node, dst_node)
+                    .expect("job placement spans partitions"),
+            );
+            p
+        };
+        let id = MsgId(self.messages.len() as u32);
+        self.messages.push(Some(Message {
+            id,
+            job,
+            from,
+            to,
+            bytes,
+            tag,
+            path,
+            at: 0,
+            edges_done: 0,
+            ct_edges_started: 0,
+            injected_at: now,
+            buffered_on: None,
+        }));
+        self.counters.messages_sent += 1;
+        self.counters.bytes_sent += bytes;
+        let buf = bytes + self.cfg.msg_header_bytes;
+        let waiter = match self.cfg.send_mode {
+            SendMode::Async => AllocWaiter::PendingSend(id),
+            SendMode::Blocking => AllocWaiter::Sender(pk),
+        };
+        match self.nodes[node as usize].mmu.request(now, buf, waiter) {
+            AllocResult::Granted => {
+                self.messages[id.idx()].as_mut().expect("just created").buffered_on =
+                    Some(node);
+                self.route_message(id, now, sched);
+                true
+            }
+            AllocResult::Queued => {
+                self.counters.send_blocks += 1;
+                match self.cfg.send_mode {
+                    // Asynchronous mailbox semantics: the message waits in
+                    // the MMU queue; the process moves on immediately.
+                    SendMode::Async => true,
+                    SendMode::Blocking => {
+                        self.procs[pk.idx()].pending_msg = Some(id);
+                        false
+                    }
+                }
+            }
+        }
+    }
+
+    /// An asynchronously queued send finally got its source buffer.
+    fn start_pending_send(&mut self, msg: MsgId, now: SimTime, sched: &mut Scheduler<Event>) {
+        let node = {
+            let m = self.messages[msg.idx()].as_ref().expect("pending send dead");
+            m.path[0]
+        };
+        self.messages[msg.idx()]
+            .as_mut()
+            .expect("pending send dead")
+            .buffered_on = Some(node);
+        self.route_message(msg, now, sched);
+    }
+
+    /// A blocked sender's buffer was granted: finish the injection and wake
+    /// the process.
+    fn finish_blocked_injection(&mut self, pk: ProcKey, now: SimTime, sched: &mut Scheduler<Event>) {
+        let msg = self.procs[pk.idx()]
+            .pending_msg
+            .take()
+            .expect("sender unblocked with no pending message");
+        let node = self.procs[pk.idx()].node;
+        self.messages[msg.idx()]
+            .as_mut()
+            .expect("pending message alive")
+            .buffered_on = Some(node);
+        self.route_message(msg, now, sched);
+        self.procs[pk.idx()].pc += 1;
+        self.make_runnable(pk, now, sched);
+    }
+
+    /// Start moving a freshly buffered-at-source message.
+    fn route_message(&mut self, msg: MsgId, now: SimTime, sched: &mut Scheduler<Event>) {
+        let (is_self, node) = {
+            let m = self.messages[msg.idx()].as_ref().expect("routing dead message");
+            (m.at_destination(), m.current_node())
+        };
+        if is_self {
+            // Same-node sends still traverse the mailbox machinery (§5.2):
+            // a high-priority delivery handler on the local CPU.
+            self.counters.self_sends += 1;
+            let bytes = self.messages[msg.idx()].as_ref().expect("dead message").bytes;
+            self.enqueue_high(
+                node,
+                HandlerTask {
+                    cost: self.cfg.self_delivery_cost(bytes),
+                    action: HandlerAction::HopArrived(msg),
+                },
+                now,
+                sched,
+            );
+            return;
+        }
+        match self.cfg.switching {
+            Switching::StoreAndForward => self.saf_next_hop(msg, now, sched),
+            // Pipelined modes: start the first path edge; the rest follow.
+            Switching::PacketizedSaf | Switching::CutThrough => {
+                self.enqueue_channel(msg, now, sched)
+            }
+        }
+    }
+
+    /// Store-and-forward: reserve a buffer at the next node, then queue on
+    /// the connecting channel.
+    fn saf_next_hop(&mut self, msg: MsgId, now: SimTime, sched: &mut Scheduler<Event>) {
+        let (next, bytes) = {
+            let m = self.messages[msg.idx()].as_ref().expect("dead message");
+            (m.next_node(), m.bytes)
+        };
+        let buf = bytes + self.cfg.msg_header_bytes;
+        let granted = match self.cfg.flow {
+            FlowControl::InjectionLimited => {
+                self.nodes[next as usize].mmu.force_alloc(now, buf);
+                true
+            }
+            FlowControl::Reserved | FlowControl::ReservedStrict => {
+                let res = matches!(
+                    self.nodes[next as usize]
+                        .mmu
+                        .request(now, buf, AllocWaiter::Transit(msg)),
+                    AllocResult::Granted
+                );
+                if !res && self.cfg.flow == FlowControl::Reserved {
+                    sched.schedule(
+                        self.cfg.transit_escape_after,
+                        Event::AllocEscape { node: next, msg },
+                    );
+                }
+                res
+            }
+        };
+        if granted {
+            self.enqueue_channel(msg, now, sched);
+        }
+        // else: the Transit waiter resumes when memory frees (or via the
+        // emergency-pool escape under FlowControl::Reserved).
+    }
+
+    /// A starved transit request escapes to the emergency pool.
+    fn on_alloc_escape(&mut self, node: u16, msg: MsgId, now: SimTime, sched: &mut Scheduler<Event>) {
+        let Some(bytes) = self.nodes[node as usize].mmu.cancel_transit(msg) else {
+            return; // already granted normally
+        };
+        let mmu = &mut self.nodes[node as usize].mmu;
+        mmu.delayed_grants += 1;
+        mmu.total_wait += self.cfg.transit_escape_after;
+        mmu.force_alloc(now, bytes);
+        self.counters.transit_escapes += 1;
+        self.enqueue_channel(msg, now, sched);
+    }
+
+    /// Put a message on the channel for its current SAF hop (or CT edge),
+    /// starting the transfer if the channel is free.
+    fn enqueue_channel(&mut self, msg: MsgId, now: SimTime, sched: &mut Scheduler<Event>) {
+        let chan = {
+            let m = self.messages[msg.idx()].as_ref().expect("dead message");
+            let (from, to) = match self.cfg.switching {
+                Switching::StoreAndForward => (m.current_node(), m.next_node()),
+                Switching::PacketizedSaf | Switching::CutThrough => {
+                    // Pipelined: edge index = edges started so far.
+                    let e = m.ct_edges_started;
+                    (m.path[e], m.path[e + 1])
+                }
+            };
+            self.net
+                .channel_id(from, to)
+                .unwrap_or_else(|| panic!("no channel {from}->{to}"))
+        };
+        if matches!(
+            self.cfg.switching,
+            Switching::PacketizedSaf | Switching::CutThrough
+        ) {
+            self.messages[msg.idx()]
+                .as_mut()
+                .expect("dead message")
+                .ct_edges_started += 1;
+        }
+        let ch = &mut self.channels[chan];
+        if ch.busy_with.is_none() {
+            self.start_transfer(chan, msg, now, sched);
+        } else {
+            ch.queue.push_back(msg);
+        }
+    }
+
+    fn start_transfer(&mut self, chan: usize, msg: MsgId, now: SimTime, sched: &mut Scheduler<Event>) {
+        let bytes = self.messages[msg.idx()].as_ref().expect("dead message").bytes;
+        let ch = &mut self.channels[chan];
+        debug_assert!(ch.busy_with.is_none());
+        ch.busy_with = Some(msg);
+        ch.busy.set(now, 1.0);
+        let dur = self.cfg.transfer_time(bytes);
+        sched.schedule(dur, Event::TransferDone { chan: chan as u32 });
+        // Pipelining: the next edge starts one header/packet latency after
+        // this one starts (if the message has further to go).
+        let offset = match self.cfg.switching {
+            Switching::CutThrough => Some(self.cfg.cut_through_header),
+            Switching::PacketizedSaf => Some(self.cfg.packet_latency()),
+            Switching::StoreAndForward => None,
+        };
+        if let Some(offset) = offset {
+            let m = self.messages[msg.idx()].as_ref().expect("dead message");
+            if m.ct_edges_started < m.hops() {
+                sched.schedule(
+                    offset,
+                    Event::HopStart { msg, edge: m.ct_edges_started },
+                );
+            }
+        }
+    }
+
+    fn on_transfer_done(&mut self, chan: u32, now: SimTime, sched: &mut Scheduler<Event>) {
+        let chan = chan as usize;
+        let msg = {
+            let ch = &mut self.channels[chan];
+            let msg = ch.busy_with.take().expect("TransferDone on idle channel");
+            ch.busy.set(now, 0.0);
+            ch.transfers += 1;
+            msg
+        };
+        {
+            let bytes = self.messages[msg.idx()].as_ref().expect("dead message").bytes;
+            self.channels[chan].bytes_carried += bytes;
+        }
+        self.counters.hop_transfers += 1;
+
+        // Hand the channel to the next queued message *before* releasing any
+        // memory: a release can grant a blocked transit message that would
+        // otherwise race this queue for the just-freed channel.
+        if let Some(next) = self.channels[chan].queue.pop_front() {
+            self.start_transfer(chan, next, now, sched);
+        }
+
+        match self.cfg.switching {
+            Switching::StoreAndForward => {
+                // Free the buffer on the node the message just left, advance
+                // it, and run the arrival handler on the new node.
+                let (prev, bytes) = {
+                    let m = self.messages[msg.idx()].as_mut().expect("dead message");
+                    let prev = m.current_node();
+                    m.at += 1;
+                    m.buffered_on = Some(m.current_node());
+                    (prev, m.bytes)
+                };
+                self.release_memory(prev, bytes + self.cfg.msg_header_bytes, now, sched);
+                let (node, cost) = {
+                    let m = self.messages[msg.idx()].as_ref().expect("dead message");
+                    (m.current_node(), self.cfg.handler_cost(m.bytes))
+                };
+                self.enqueue_high(
+                    node,
+                    HandlerTask {
+                        cost,
+                        action: HandlerAction::HopArrived(msg),
+                    },
+                    now,
+                    sched,
+                );
+            }
+            Switching::PacketizedSaf | Switching::CutThrough => {
+                let packetized = self.cfg.switching == Switching::PacketizedSaf;
+                let (edges_done, hops, bytes, src) = {
+                    let m = self.messages[msg.idx()].as_mut().expect("dead message");
+                    m.edges_done += 1;
+                    (m.edges_done, m.hops(), m.bytes, m.path[0])
+                };
+                if edges_done == 1 {
+                    // The message has fully left the source: free its buffer.
+                    self.release_memory(src, bytes + self.cfg.msg_header_bytes, now, sched);
+                    self.messages[msg.idx()].as_mut().expect("dead").buffered_on = None;
+                }
+                if edges_done == hops {
+                    // Head reached the destination; deliver there.
+                    let dst = {
+                        let m = self.messages[msg.idx()].as_mut().expect("dead message");
+                        m.at = m.path.len() - 1;
+                        m.current_node()
+                    };
+                    if packetized {
+                        // The destination buffers the message until the
+                        // receiver consumes it. Packet buffers are granted
+                        // from the system pool (overdraft): per-packet
+                        // back-pressure is below this model's resolution.
+                        self.nodes[dst as usize]
+                            .mmu
+                            .force_alloc(now, bytes + self.cfg.msg_header_bytes);
+                        self.messages[msg.idx()].as_mut().expect("dead").buffered_on =
+                            Some(dst);
+                    }
+                    self.enqueue_high(
+                        dst,
+                        HandlerTask {
+                            cost: self.cfg.handler_cost(bytes),
+                            action: HandlerAction::HopArrived(msg),
+                        },
+                        now,
+                        sched,
+                    );
+                } else if packetized {
+                    // Intermediate node: every byte crossed its memory; the
+                    // relay CPU cost preempts local compute but does not
+                    // gate the (already pipelined) next edge.
+                    let via = {
+                        let m = self.messages[msg.idx()].as_ref().expect("dead message");
+                        m.path[edges_done]
+                    };
+                    self.enqueue_high(
+                        via,
+                        HandlerTask {
+                            cost: self.cfg.handler_cost(bytes),
+                            action: HandlerAction::PacketRelay(msg),
+                        },
+                        now,
+                        sched,
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_hop_start(&mut self, msg: MsgId, _edge: usize, now: SimTime, sched: &mut Scheduler<Event>) {
+        // Cut-through pipelined edge start.
+        self.enqueue_channel(msg, now, sched);
+    }
+
+    fn run_handler_action(&mut self, action: HandlerAction, node: u16, now: SimTime, sched: &mut Scheduler<Event>) {
+        match action {
+            HandlerAction::PacketRelay(_) => {
+                // Pure CPU cost; the pipeline drives itself.
+            }
+            HandlerAction::HopArrived(msg) => {
+                let at_dest = {
+                    let m = self.messages[msg.idx()].as_ref().expect("dead message");
+                    debug_assert_eq!(m.current_node(), node);
+                    m.at_destination()
+                };
+                if at_dest {
+                    self.deliver(msg, now, sched);
+                } else {
+                    self.saf_next_hop(msg, now, sched);
+                }
+            }
+        }
+    }
+
+    /// Put a message in its destination mailbox and wake a blocked receiver.
+    fn deliver(&mut self, msg: MsgId, now: SimTime, sched: &mut Scheduler<Event>) {
+        let (job, to, tag) = {
+            let m = self.messages[msg.idx()].as_ref().expect("dead message");
+            (m.job, m.to, m.tag)
+        };
+        self.jobs[job.idx()].mailboxes[to.idx()].push_back(msg);
+        let pk = self.jobs[job.idx()].proc_keys[to.idx()];
+        if self.procs[pk.idx()].state == PState::BlockedRecv(tag)
+            && self.try_claim(pk, tag) {
+                self.enqueue_ready(pk, now, sched);
+            }
+    }
+
+    /// A receiver finished consuming a message: free its buffer and retire it.
+    fn consume_message(&mut self, msg: MsgId, now: SimTime, sched: &mut Scheduler<Event>) {
+        let m = self.messages[msg.idx()].take().expect("consuming dead message");
+        self.counters.messages_consumed += 1;
+        if self.timeline.is_enabled() {
+            self.timeline.record(Span {
+                kind: SpanKind::Message,
+                node: *m.path.last().expect("nonempty path"),
+                job: Some(m.job),
+                proc_: None,
+                rank: Some(m.to),
+                start: m.injected_at,
+                end: now,
+            });
+        }
+        if let Some(node) = m.buffered_on {
+            self.release_memory(node, m.bytes + self.cfg.msg_header_bytes, now, sched);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memory
+    // ------------------------------------------------------------------
+
+    /// Release memory on a node and grant whatever queued requests now fit.
+    fn release_memory(&mut self, node: u16, bytes: u64, now: SimTime, sched: &mut Scheduler<Event>) {
+        self.nodes[node as usize].mmu.release(now, bytes);
+        let granted = self.nodes[node as usize].mmu.pump(now);
+        for req in granted {
+            match req.waiter {
+                AllocWaiter::Sender(pk) => self.finish_blocked_injection(pk, now, sched),
+                AllocWaiter::PendingSend(msg) => self.start_pending_send(msg, now, sched),
+                AllocWaiter::Transit(msg) => self.enqueue_channel(msg, now, sched),
+                AllocWaiter::JobLoad(job) => {
+                    let j = &mut self.jobs[job.idx()];
+                    j.pending_allocs -= 1;
+                    if j.pending_allocs == 0 {
+                        self.finish_load(job, now, sched);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Disposition after loading or completing a CPU phase.
+enum PhaseLoad {
+    NeedCpu,
+    Blocked,
+    Finished,
+}
+
+impl Model for Machine {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<Event>) {
+        if self.trace.enabled() {
+            self.trace.push(now, "machine", format!("{event:?}"));
+        }
+        match event {
+            Event::Admit { job } => self.on_admit(job, now, sched),
+            Event::LoadJob { job } => self.on_load_job(job, now, sched),
+            Event::Dispatch { node } => self.dispatch(node, now, sched),
+            Event::SliceEnd { node, seq } => self.on_slice_end(node, seq, now, sched),
+            Event::TransferDone { chan } => self.on_transfer_done(chan, now, sched),
+            Event::HopStart { msg, edge } => self.on_hop_start(msg, edge, now, sched),
+            Event::AllocEscape { node, msg } => self.on_alloc_escape(node, msg, now, sched),
+            Event::PolicyTick { .. } => {} // policy drivers intercept these
+        }
+    }
+}
+
+impl Machine {
+    /// The machine's start-of-time (for statistics baselines).
+    pub fn t0(&self) -> SimTime {
+        self.t0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProcSpec;
+    use parsched_des::{Engine, QueueKind, RunOutcome};
+    use parsched_topology::{build, PartitionPlan, TopologyKind};
+
+    fn single_node_machine() -> Machine {
+        Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(1)))
+    }
+
+    fn compute_spec(name: &str, ms: u64, mem: u64) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            ship_bytes: 0,
+            procs: vec![ProcSpec {
+                program: vec![Op::Compute(SimDuration::from_millis(ms))],
+                mem_bytes: mem,
+            }],
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "placement must cover every rank")]
+    fn queue_job_rejects_short_placement() {
+        let mut m = single_node_machine();
+        let spec = JobSpec {
+            name: "two".into(),
+            ship_bytes: 0,
+            procs: vec![
+                ProcSpec { program: vec![], mem_bytes: 0 },
+                ProcSpec { program: vec![], mem_bytes: 0 },
+            ],
+        };
+        m.queue_job(spec, vec![0], SimDuration::from_millis(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "spans partitions")]
+    fn queue_job_rejects_cross_partition_jobs() {
+        let plan = PartitionPlan::equal(4, 2, TopologyKind::Linear).unwrap();
+        let mut m = Machine::new(MachineConfig::default(), SystemNet::from_plan(&plan));
+        let spec = JobSpec {
+            name: "straddle".into(),
+            ship_bytes: 0,
+            procs: vec![
+                ProcSpec { program: vec![], mem_bytes: 0 },
+                ProcSpec { program: vec![], mem_bytes: 0 },
+            ],
+        };
+        m.queue_job(spec, vec![1, 2], SimDuration::from_millis(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "usable")]
+    fn queue_job_rejects_impossible_memory() {
+        let mut m = single_node_machine();
+        m.queue_job(
+            compute_spec("huge", 1, 64 * 1024 * 1024),
+            vec![0],
+            SimDuration::from_millis(2),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not ready")]
+    fn start_job_requires_ready_state() {
+        let mut m = single_node_machine();
+        let id = m.queue_job(compute_spec("j", 1, 0), vec![0], SimDuration::from_millis(2));
+        let mut engine: Engine<Event> = Engine::new(QueueKind::BinaryHeap);
+        // Never admitted: still Queued.
+        engine.seed(SimTime::ZERO, Event::Dispatch { node: 0 });
+        engine.run(&mut m);
+        // Calling start_job on a Queued job must panic; drive through the
+        // model API to get a Scheduler.
+        let mut e2: Engine<Event> = Engine::new(QueueKind::BinaryHeap);
+        e2.seed(SimTime::ZERO, Event::Dispatch { node: 0 });
+        struct Caller {
+            m: Machine,
+            id: JobId,
+        }
+        impl Model for Caller {
+            type Event = Event;
+            fn handle(&mut self, now: SimTime, _: Event, sched: &mut Scheduler<Event>) {
+                self.m.start_job(self.id, now, sched);
+            }
+        }
+        let mut caller = Caller { m, id };
+        e2.run(&mut caller);
+    }
+
+    #[test]
+    fn loader_serializes_admissions() {
+        // Two jobs admitted at t=0 with nonzero ship bytes: the second's
+        // load completes one full load-duration after the first's.
+        let cfg = MachineConfig {
+            job_load_latency: SimDuration::from_millis(10),
+            host_link_per_byte: SimDuration::from_micros(1), // 1 ms per KB
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::new(cfg, SystemNet::single(&build::linear(2)));
+        let a = m.queue_job(compute_spec("a", 1, 10_000), vec![0], SimDuration::from_millis(2));
+        let b = m.queue_job(compute_spec("b", 1, 10_000), vec![1], SimDuration::from_millis(2));
+        let mut engine: Engine<Event> = Engine::new(QueueKind::BinaryHeap);
+        engine.seed(SimTime::ZERO, Event::Admit { job: a });
+        engine.seed(SimTime::ZERO, Event::Admit { job: b });
+        assert_eq!(engine.run(&mut m), RunOutcome::Drained);
+        let ja = m.job(a);
+        let jb = m.job(b);
+        // Each load = 10 ms fixed + 10 ms shipping = 20 ms.
+        assert_eq!(ja.loaded_at, SimTime::ZERO + SimDuration::from_millis(20));
+        assert_eq!(jb.loaded_at, SimTime::ZERO + SimDuration::from_millis(40));
+    }
+
+    #[test]
+    fn ship_bytes_override_shortens_loads() {
+        let cfg = MachineConfig {
+            job_load_latency: SimDuration::ZERO,
+            host_link_per_byte: SimDuration::from_micros(1),
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::new(cfg, SystemNet::single(&build::linear(1)));
+        let mut spec = compute_spec("light", 1, 100_000);
+        spec.ship_bytes = 1_000; // resident 100 KB but only 1 KB shipped
+        let id = m.queue_job(spec, vec![0], SimDuration::from_millis(2));
+        let mut engine: Engine<Event> = Engine::new(QueueKind::BinaryHeap);
+        engine.seed(SimTime::ZERO, Event::Admit { job: id });
+        engine.run(&mut m);
+        assert_eq!(m.job(id).loaded_at, SimTime::ZERO + SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn parked_job_makes_no_progress_until_released() {
+        let mut m = single_node_machine();
+        let id = m.queue_job(compute_spec("parked", 5, 0), vec![0], SimDuration::from_millis(2));
+        // Park before it spawns.
+        struct ParkThenRelease {
+            m: Machine,
+            id: JobId,
+            released: bool,
+        }
+        impl Model for ParkThenRelease {
+            type Event = Event;
+            fn handle(&mut self, now: SimTime, ev: Event, sched: &mut Scheduler<Event>) {
+                if let Event::PolicyTick { token } = ev {
+                    match token {
+                        0 => self.m.set_job_active(self.id, false, now, sched),
+                        1 => {
+                            // Job must not have finished while parked.
+                            assert_ne!(self.m.job(self.id).state, JobState::Done);
+                            self.m.set_job_active(self.id, true, now, sched);
+                            self.released = true;
+                        }
+                        _ => unreachable!(),
+                    }
+                    return;
+                }
+                self.m.handle(now, ev, sched);
+            }
+        }
+        let mut engine: Engine<Event> = Engine::new(QueueKind::BinaryHeap);
+        engine.seed(SimTime::ZERO, Event::PolicyTick { token: 0 }); // park first
+        engine.seed(SimTime::ZERO, Event::Admit { job: id });
+        engine.seed(
+            SimTime::ZERO + SimDuration::from_secs(1),
+            Event::PolicyTick { token: 1 },
+        );
+        let mut model = ParkThenRelease { m, id, released: false };
+        assert_eq!(engine.run(&mut model), RunOutcome::Drained);
+        assert!(model.released);
+        let job = model.m.job(id);
+        assert_eq!(job.state, JobState::Done);
+        // The 5 ms of compute could only happen after the 1 s release.
+        assert!(job.finished_at >= SimTime::ZERO + SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn counters_track_a_simple_exchange() {
+        let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(2)));
+        let spec = JobSpec {
+            name: "pair".into(),
+            ship_bytes: 0,
+            procs: vec![
+                ProcSpec {
+                    program: vec![Op::Send { to: Rank(1), bytes: 500, tag: Tag(1) }],
+                    mem_bytes: 0,
+                },
+                ProcSpec {
+                    program: vec![Op::Recv { tag: Tag(1) }],
+                    mem_bytes: 0,
+                },
+            ],
+        };
+        let id = m.queue_job(spec, vec![0, 1], SimDuration::from_millis(2));
+        let mut engine: Engine<Event> = Engine::new(QueueKind::BinaryHeap);
+        engine.seed(SimTime::ZERO, Event::Admit { job: id });
+        engine.run(&mut m);
+        assert_eq!(m.counters.messages_sent, 1);
+        assert_eq!(m.counters.bytes_sent, 500);
+        assert_eq!(m.counters.hop_transfers, 1);
+        assert_eq!(m.counters.self_sends, 0);
+        assert_eq!(m.counters.jobs_completed, 1);
+    }
+}

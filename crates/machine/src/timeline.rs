@@ -1,0 +1,216 @@
+//! Execution timelines.
+//!
+//! When enabled ([`crate::config::MachineConfig::record_timeline`]), the
+//! machine records every process CPU span, every high-priority handler
+//! span, and every message lifetime. The result is the Gantt-style record
+//! an implementation study instruments its hardware for: it shows *where*
+//! response time went (compute, handler theft, network, queueing), and
+//! exports as CSV for plotting.
+
+use crate::process::{JobId, ProcKey};
+use crate::program::Rank;
+use parsched_des::{SimDuration, SimTime};
+use std::fmt::Write as _;
+
+/// What a span represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A low-priority process executing on its node's CPU.
+    Compute,
+    /// A high-priority handler (message relay/delivery) on a node's CPU.
+    Handler,
+    /// A message's life from injection to consumption.
+    Message,
+}
+
+impl SpanKind {
+    fn label(self) -> &'static str {
+        match self {
+            SpanKind::Compute => "compute",
+            SpanKind::Handler => "handler",
+            SpanKind::Message => "message",
+        }
+    }
+}
+
+/// One recorded interval.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Span class.
+    pub kind: SpanKind,
+    /// Node the span executed on (for messages: the destination).
+    pub node: u16,
+    /// Owning job, when known.
+    pub job: Option<JobId>,
+    /// Owning process, when known.
+    pub proc_: Option<ProcKey>,
+    /// Rank within the job, when known.
+    pub rank: Option<Rank>,
+    /// Start instant.
+    pub start: SimTime,
+    /// End instant.
+    pub end: SimTime,
+}
+
+impl Span {
+    /// The span's length.
+    pub fn duration(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// A bounded span recorder (disabled by default: zero overhead beyond one
+/// branch per hook).
+#[derive(Debug, Default)]
+pub struct Timeline {
+    enabled: bool,
+    spans: Vec<Span>,
+    /// Cap to keep memory bounded on huge runs (0 = unlimited).
+    cap: usize,
+    dropped: u64,
+}
+
+impl Timeline {
+    /// A disabled timeline (records nothing).
+    pub fn disabled() -> Timeline {
+        Timeline::default()
+    }
+
+    /// An enabled timeline holding at most `cap` spans (0 = unlimited).
+    pub fn enabled(cap: usize) -> Timeline {
+        Timeline {
+            enabled: true,
+            spans: Vec::new(),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record a span (no-op when disabled; counts drops beyond the cap).
+    pub fn record(&mut self, span: Span) {
+        if !self.enabled {
+            return;
+        }
+        if self.cap > 0 && self.spans.len() >= self.cap {
+            self.dropped += 1;
+            return;
+        }
+        self.spans.push(span);
+    }
+
+    /// All recorded spans, in recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Spans dropped to honour the cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total recorded time per span kind.
+    pub fn total(&self, kind: SpanKind) -> SimDuration {
+        self.spans
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.duration())
+            .sum()
+    }
+
+    /// Spans attributed to one job.
+    pub fn for_job(&self, job: JobId) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(move |s| s.job == Some(job))
+    }
+
+    /// Render as CSV: `kind,node,job,rank,start_ns,end_ns,duration_ns`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,node,job,rank,start_ns,end_ns,duration_ns\n");
+        for s in &self.spans {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{}",
+                s.kind.label(),
+                s.node,
+                s.job.map(|j| j.0.to_string()).unwrap_or_default(),
+                s.rank.map(|r| r.0.to_string()).unwrap_or_default(),
+                s.start.nanos(),
+                s.end.nanos(),
+                s.duration().nanos(),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(kind: SpanKind, start: u64, end: u64) -> Span {
+        Span {
+            kind,
+            node: 3,
+            job: Some(JobId(1)),
+            proc_: Some(ProcKey(9)),
+            rank: Some(Rank(2)),
+            start: SimTime(start),
+            end: SimTime(end),
+        }
+    }
+
+    #[test]
+    fn disabled_timeline_records_nothing() {
+        let mut t = Timeline::disabled();
+        t.record(span(SpanKind::Compute, 0, 10));
+        assert!(t.spans().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn totals_by_kind() {
+        let mut t = Timeline::enabled(0);
+        t.record(span(SpanKind::Compute, 0, 10));
+        t.record(span(SpanKind::Compute, 10, 25));
+        t.record(span(SpanKind::Handler, 5, 9));
+        assert_eq!(t.total(SpanKind::Compute), SimDuration::from_nanos(25));
+        assert_eq!(t.total(SpanKind::Handler), SimDuration::from_nanos(4));
+        assert_eq!(t.total(SpanKind::Message), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn cap_drops_and_counts() {
+        let mut t = Timeline::enabled(2);
+        for i in 0..5 {
+            t.record(span(SpanKind::Message, i, i + 1));
+        }
+        assert_eq!(t.spans().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let mut t = Timeline::enabled(0);
+        t.record(span(SpanKind::Compute, 100, 250));
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "kind,node,job,rank,start_ns,end_ns,duration_ns");
+        assert_eq!(lines[1], "compute,3,1,2,100,250,150");
+    }
+
+    #[test]
+    fn job_filter() {
+        let mut t = Timeline::enabled(0);
+        t.record(span(SpanKind::Compute, 0, 1));
+        let mut other = span(SpanKind::Compute, 1, 2);
+        other.job = Some(JobId(7));
+        t.record(other);
+        assert_eq!(t.for_job(JobId(1)).count(), 1);
+        assert_eq!(t.for_job(JobId(7)).count(), 1);
+        assert_eq!(t.for_job(JobId(3)).count(), 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! System wiring: the machine-wide view of a partitioned interconnect.
+//!
+//! The paper's machine is always *one* 16-processor system, but under
+//! space-sharing its network is configured as `16/p` disjoint sub-networks
+//! (one per partition). [`SystemNet`] composes the partition topologies into
+//! a single global channel table and routing function over global processor
+//! indices; there are no channels between partitions, and jobs never span
+//! one, so a route either stays inside a partition or does not exist.
+
+use parsched_topology::{Channel, NodeId, PartitionPlan, Router, Topology};
+
+/// A directed global channel between adjacent processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalChannel {
+    /// Global index of the sending processor.
+    pub from: u16,
+    /// Global index of the receiving processor.
+    pub to: u16,
+}
+
+/// The machine-wide interconnect: partition topologies plus routing.
+#[derive(Debug, Clone)]
+pub struct SystemNet {
+    nodes: usize,
+    partition_size: usize,
+    /// Per-partition minimal routers (index = partition id).
+    routers: Vec<Router>,
+    /// All directed channels, in deterministic order.
+    channels: Vec<GlobalChannel>,
+    /// `channel_index[from * nodes + to]` -> index into `channels`
+    /// (u32::MAX = not adjacent).
+    channel_index: Vec<u32>,
+}
+
+impl SystemNet {
+    /// Wire the machine according to a partition plan.
+    pub fn from_plan(plan: &PartitionPlan) -> SystemNet {
+        let nodes = plan.system_size;
+        let mut channels = Vec::new();
+        let mut channel_index = vec![u32::MAX; nodes * nodes];
+        let mut routers = Vec::with_capacity(plan.count());
+        for part in &plan.partitions {
+            routers.push(Router::for_topology(&part.topology));
+            for Channel { from, to } in part.topology.channels() {
+                let g = GlobalChannel {
+                    from: (part.base + from.idx()) as u16,
+                    to: (part.base + to.idx()) as u16,
+                };
+                channel_index[g.from as usize * nodes + g.to as usize] =
+                    channels.len() as u32;
+                channels.push(g);
+            }
+        }
+        SystemNet {
+            nodes,
+            partition_size: plan.partition_size,
+            routers,
+            channels,
+            channel_index,
+        }
+    }
+
+    /// Wire the whole machine as one partition with the given topology
+    /// (pure time-sharing, and unit tests).
+    pub fn single(topology: &Topology) -> SystemNet {
+        let plan = PartitionPlan {
+            system_size: topology.len(),
+            partition_size: topology.len(),
+            partitions: vec![parsched_topology::Partition {
+                id: 0,
+                base: 0,
+                topology: topology.clone(),
+            }],
+        };
+        SystemNet::from_plan(&plan)
+    }
+
+    /// Number of processors in the machine.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// All directed channels.
+    pub fn channels(&self) -> &[GlobalChannel] {
+        &self.channels
+    }
+
+    /// Index of the channel `from -> to`, if the processors are adjacent.
+    pub fn channel_id(&self, from: u16, to: u16) -> Option<usize> {
+        let v = self.channel_index[from as usize * self.nodes + to as usize];
+        (v != u32::MAX).then_some(v as usize)
+    }
+
+    /// Partition id of a global processor.
+    #[inline]
+    pub fn partition_of(&self, node: u16) -> usize {
+        node as usize / self.partition_size
+    }
+
+    /// The full global path from `src` to `dst` (exclusive of `src`).
+    /// Returns `None` if the processors are in different partitions.
+    pub fn route(&self, src: u16, dst: u16) -> Option<Vec<u16>> {
+        let p = self.partition_of(src);
+        if p != self.partition_of(dst) {
+            return None;
+        }
+        let base = (p * self.partition_size) as u16;
+        let local = self.routers[p].path(NodeId(src - base), NodeId(dst - base));
+        Some(local.into_iter().map(|l| base + l.0).collect())
+    }
+
+    /// Hop count from `src` to `dst` (0 for self; `None` across partitions).
+    pub fn hops(&self, src: u16, dst: u16) -> Option<usize> {
+        self.route(src, dst).map(|p| p.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsched_topology::{build, PartitionPlan, TopologyKind};
+
+    #[test]
+    fn single_partition_wiring() {
+        let net = SystemNet::single(&build::ring(4));
+        assert_eq!(net.nodes(), 4);
+        assert_eq!(net.channels().len(), 8);
+        assert!(net.channel_id(0, 1).is_some());
+        assert!(net.channel_id(0, 2).is_none());
+        assert_eq!(net.route(0, 2).unwrap().len(), 2);
+        assert_eq!(net.route(1, 1).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn partitioned_wiring_has_no_cross_links() {
+        let plan = PartitionPlan::equal(16, 4, TopologyKind::Linear).unwrap();
+        let net = SystemNet::from_plan(&plan);
+        assert_eq!(net.nodes(), 16);
+        // 4 partitions x 3 edges x 2 directions.
+        assert_eq!(net.channels().len(), 24);
+        assert!(net.channel_id(3, 4).is_none(), "no link across partitions");
+        assert!(net.route(0, 7).is_none(), "no route across partitions");
+        assert_eq!(net.route(4, 7).unwrap(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn global_routes_follow_local_topology() {
+        let plan = PartitionPlan::equal(16, 8, TopologyKind::Hypercube { dim: 0 }).unwrap();
+        let net = SystemNet::from_plan(&plan);
+        // Second partition: nodes 8..16 as a 3-cube; 8 -> 15 is 3 hops.
+        assert_eq!(net.hops(8, 15), Some(3));
+        let path = net.route(8, 15).unwrap();
+        assert_eq!(path.len(), 3);
+        assert!(path.iter().all(|&n| (8..16).contains(&n)));
+        assert_eq!(*path.last().unwrap(), 15);
+    }
+
+    #[test]
+    fn partition_of_maps_blocks() {
+        let plan = PartitionPlan::equal(16, 4, TopologyKind::Ring).unwrap();
+        let net = SystemNet::from_plan(&plan);
+        assert_eq!(net.partition_of(0), 0);
+        assert_eq!(net.partition_of(3), 0);
+        assert_eq!(net.partition_of(4), 1);
+        assert_eq!(net.partition_of(15), 3);
+    }
+}

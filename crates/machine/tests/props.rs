@@ -1,0 +1,291 @@
+//! Property-based tests: randomly generated (but always well-formed)
+//! workloads on random machines must satisfy the machine's conservation
+//! laws and determinism guarantees.
+#![allow(clippy::field_reassign_with_default)]
+
+use parsched_des::prelude::*;
+use parsched_machine::prelude::*;
+use parsched_topology::build;
+use proptest::prelude::*;
+
+/// A randomly shaped fork-join job: the coordinator scatters to every
+/// worker and gathers one reply from each; everyone computes. Always
+/// balanced by construction.
+#[derive(Debug, Clone)]
+struct ForkJoin {
+    width: usize,
+    scatter_bytes: u64,
+    gather_bytes: u64,
+    work_us: u64,
+    mem: u64,
+}
+
+fn arb_forkjoin() -> impl Strategy<Value = ForkJoin> {
+    (
+        1usize..=8,
+        0u64..40_000,
+        0u64..10_000,
+        0u64..20_000,
+        0u64..100_000,
+    )
+        .prop_map(|(width, scatter_bytes, gather_bytes, work_us, mem)| ForkJoin {
+            width,
+            scatter_bytes,
+            gather_bytes,
+            work_us,
+            mem,
+        })
+}
+
+fn build_job(idx: usize, fj: &ForkJoin) -> JobSpec {
+    let work = SimDuration::from_micros(fj.work_us);
+    if fj.width == 1 {
+        return JobSpec {
+            name: format!("fj{idx}"),
+            ship_bytes: 0,
+            procs: vec![ProcSpec {
+                program: vec![Op::Compute(work)],
+                mem_bytes: fj.mem,
+            }],
+        };
+    }
+    let mut procs = Vec::with_capacity(fj.width);
+    let mut coord = Vec::new();
+    for w in 1..fj.width {
+        coord.push(Op::Send {
+            to: Rank(w as u32),
+            bytes: fj.scatter_bytes,
+            tag: Tag(1),
+        });
+    }
+    coord.push(Op::Compute(work));
+    coord.push(Op::RecvAny {
+        count: (fj.width - 1) as u32,
+        tag: Tag(2),
+    });
+    procs.push(ProcSpec {
+        program: coord,
+        mem_bytes: fj.mem,
+    });
+    for _ in 1..fj.width {
+        procs.push(ProcSpec {
+            program: vec![
+                Op::Recv { tag: Tag(1) },
+                Op::Compute(work),
+                Op::Send {
+                    to: Rank(0),
+                    bytes: fj.gather_bytes,
+                    tag: Tag(2),
+                },
+            ],
+            mem_bytes: fj.mem,
+        });
+    }
+    JobSpec {
+        name: format!("fj{idx}"),
+        ship_bytes: 0,
+        procs,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Topo {
+    Linear(usize),
+    Ring(usize),
+    Mesh(usize, usize),
+    Cube(u8),
+}
+
+fn arb_topo() -> impl Strategy<Value = Topo> {
+    prop_oneof![
+        (2usize..=8).prop_map(Topo::Linear),
+        (3usize..=8).prop_map(Topo::Ring),
+        ((2usize..=3), (2usize..=3)).prop_map(|(r, c)| Topo::Mesh(r, c)),
+        (1u8..=3).prop_map(Topo::Cube),
+    ]
+}
+
+fn make_net(t: Topo) -> SystemNet {
+    let topo = match t {
+        Topo::Linear(n) => build::linear(n),
+        Topo::Ring(n) => build::ring(n),
+        Topo::Mesh(r, c) => build::mesh(r, c),
+        Topo::Cube(d) => build::hypercube(d),
+    };
+    SystemNet::single(&topo)
+}
+
+/// Run a set of jobs on a machine and return it for inspection.
+fn run_jobs(
+    cfg: MachineConfig,
+    net: SystemNet,
+    jobs: &[ForkJoin],
+    queue: QueueKind,
+) -> (Machine, SimTime, u64) {
+    let nodes = net.nodes() as u16;
+    let mut m = Machine::new(cfg, net);
+    let ids: Vec<JobId> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, fj)| {
+            let spec = build_job(i, fj);
+            spec.check_balanced().expect("generator emits balanced jobs");
+            let placement: Vec<u16> =
+                (0..spec.width()).map(|r| (r as u16 + i as u16) % nodes).collect();
+            m.queue_job(spec, placement, SimDuration::from_millis(2))
+        })
+        .collect();
+    let mut engine = Engine::new(queue);
+    engine.max_events = 5_000_000;
+    for id in ids {
+        engine.seed(SimTime::ZERO, Event::Admit { job: id });
+    }
+    let outcome = engine.run(&mut m);
+    assert_eq!(outcome, RunOutcome::Drained, "simulation must drain");
+    (m, engine.now(), engine.events_processed())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any balanced workload completes, consumes what it sends, and
+    /// returns all memory.
+    #[test]
+    fn conservation_laws_hold(
+        topo in arb_topo(),
+        jobs in proptest::collection::vec(arb_forkjoin(), 1..5),
+    ) {
+        let (m, _, _) = run_jobs(
+            MachineConfig::default(),
+            make_net(topo),
+            &jobs,
+            QueueKind::BinaryHeap,
+        );
+        prop_assert!(m.all_jobs_done());
+        prop_assert_eq!(m.counters.messages_sent, m.counters.messages_consumed);
+        let expected: u64 = jobs
+            .iter()
+            .map(|fj| 2 * (fj.width as u64 - 1))
+            .sum();
+        prop_assert_eq!(m.counters.messages_sent, expected);
+        for n in 0..m.node_count() {
+            let node = m.node(n as u16);
+            prop_assert_eq!(node.mmu.used(), 0);
+            prop_assert_eq!(node.mmu.queue_len(), 0);
+            prop_assert!(node.cpu.is_idle());
+        }
+    }
+
+    /// Process CPU accounting: every process accrues exactly its compute
+    /// demand plus its messaging costs (nothing lost to preemption).
+    #[test]
+    fn cpu_time_accounts_for_all_work(
+        topo in arb_topo(),
+        fj in arb_forkjoin(),
+    ) {
+        let cfg = MachineConfig::default();
+        let spec = build_job(0, &fj);
+        let expected: Vec<SimDuration> = spec
+            .procs
+            .iter()
+            .map(|p| {
+                let mut t = p.compute_demand();
+                for op in &p.program {
+                    match op {
+                        Op::Send { bytes, .. } => t += cfg.send_cost(*bytes),
+                        Op::Recv { .. } => {} // cost depends on the message
+                        _ => {}
+                    }
+                }
+                t
+            })
+            .collect();
+        let (m, _, _) = run_jobs(cfg.clone(), make_net(topo), std::slice::from_ref(&fj), QueueKind::BinaryHeap);
+        for (proc_, exp) in m.processes().iter().zip(expected) {
+            // recv costs add the per-byte cost of whatever messages the
+            // process consumed; build the exact expectation.
+            let recv_extra = match proc_.rank.0 {
+                0 => {
+                    // coordinator consumed width-1 gathers
+                    SimDuration::from_nanos(
+                        (fj.width as u64 - 1)
+                            * cfg.recv_cost(fj.gather_bytes).nanos(),
+                    )
+                }
+                _ => cfg.recv_cost(fj.scatter_bytes),
+            };
+            let want = if fj.width == 1 { exp } else { exp + recv_extra };
+            prop_assert_eq!(
+                proc_.cpu_time,
+                want,
+                "rank {} accrued {} expected {}",
+                proc_.rank.0,
+                proc_.cpu_time,
+                want
+            );
+        }
+    }
+
+    /// The two engine backends replay identical histories for arbitrary
+    /// workloads.
+    #[test]
+    fn backends_agree_on_random_workloads(
+        topo in arb_topo(),
+        jobs in proptest::collection::vec(arb_forkjoin(), 1..4),
+    ) {
+        let (ma, ta, ea) = run_jobs(
+            MachineConfig::default(), make_net(topo), &jobs, QueueKind::BinaryHeap);
+        let (mb, tb, eb) = run_jobs(
+            MachineConfig::default(), make_net(topo), &jobs, QueueKind::Calendar);
+        prop_assert_eq!(ta, tb, "end times differ");
+        prop_assert_eq!(ea, eb, "event counts differ");
+        let fa: Vec<SimTime> = ma.jobs().iter().map(|j| j.finished_at).collect();
+        let fb: Vec<SimTime> = mb.jobs().iter().map(|j| j.finished_at).collect();
+        prop_assert_eq!(fa, fb, "completion times differ");
+    }
+
+    /// Response time is bounded below by the critical path: load plus the
+    /// coordinator's own compute and messaging costs.
+    #[test]
+    fn response_respects_critical_path(
+        topo in arb_topo(),
+        fj in arb_forkjoin(),
+    ) {
+        let cfg = MachineConfig::default();
+        let (m, _, _) = run_jobs(cfg.clone(), make_net(topo), std::slice::from_ref(&fj), QueueKind::BinaryHeap);
+        let job = m.job(JobId(0));
+        let lower = SimDuration::from_micros(fj.work_us); // one work phase
+        prop_assert!(
+            job.response_time() >= lower,
+            "response {} below compute lower bound {}",
+            job.response_time(),
+            lower
+        );
+        // And the load must have happened before anything ran.
+        prop_assert!(job.loaded_at >= job.submitted_at);
+        prop_assert!(job.finished_at >= job.loaded_at);
+    }
+
+    /// Switching modes all complete arbitrary workloads with the same
+    /// message accounting.
+    #[test]
+    fn switching_modes_complete(
+        topo in arb_topo(),
+        jobs in proptest::collection::vec(arb_forkjoin(), 1..3),
+    ) {
+        let mut counts = Vec::new();
+        for switching in [
+            Switching::PacketizedSaf,
+            Switching::StoreAndForward,
+            Switching::CutThrough,
+        ] {
+            let mut cfg = MachineConfig::default();
+            cfg.switching = switching;
+            let (m, _, _) = run_jobs(cfg, make_net(topo), &jobs, QueueKind::BinaryHeap);
+            prop_assert!(m.all_jobs_done(), "{switching:?} stalled");
+            counts.push(m.counters.messages_consumed);
+        }
+        prop_assert_eq!(counts[0], counts[1]);
+        prop_assert_eq!(counts[1], counts[2]);
+    }
+}

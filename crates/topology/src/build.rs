@@ -1,0 +1,383 @@
+//! Topology constructors.
+//!
+//! The paper's Transputer system hardwires sixteen T805s into four pipelines
+//! of four ("naps") and uses INMOS C004 crossbar switches on the remaining
+//! links so that "almost all commonly used network topologies can be
+//! configured" (§3.1). We skip the switch-wiring detail and construct the
+//! logical topologies directly; [`nap_backbone`] builds the hardwired base
+//! configuration for tests that want it.
+
+use crate::types::{NodeId, Topology, TopologyKind};
+
+/// Linear array of `n` nodes: `0 - 1 - ... - n-1`.
+pub fn linear(n: usize) -> Topology {
+    assert!(n >= 1, "linear: need at least one node");
+    let adj = (0..n)
+        .map(|i| {
+            let mut l = Vec::with_capacity(2);
+            if i > 0 {
+                l.push(NodeId((i - 1) as u16));
+            }
+            if i + 1 < n {
+                l.push(NodeId((i + 1) as u16));
+            }
+            l
+        })
+        .collect();
+    Topology::from_adjacency(TopologyKind::Linear, adj)
+}
+
+/// Ring of `n` nodes (for `n <= 2` this degenerates to the linear array,
+/// since the graph is simple).
+pub fn ring(n: usize) -> Topology {
+    assert!(n >= 1, "ring: need at least one node");
+    if n <= 2 {
+        // Same adjacency as the linear array (the graph is simple), but keep
+        // the requested kind for labelling.
+        let base = linear(n);
+        let adj = base.nodes().map(|u| base.neighbors(u).to_vec()).collect();
+        return Topology::from_adjacency(TopologyKind::Ring, adj);
+    }
+    let adj = (0..n)
+        .map(|i| {
+            vec![
+                NodeId(((i + n - 1) % n) as u16),
+                NodeId(((i + 1) % n) as u16),
+            ]
+        })
+        .collect();
+    Topology::from_adjacency(TopologyKind::Ring, adj)
+}
+
+/// `rows x cols` 2-D mesh without wraparound. Node `(r, c)` has index
+/// `r * cols + c`.
+pub fn mesh(rows: usize, cols: usize) -> Topology {
+    assert!(rows >= 1 && cols >= 1, "mesh: need positive extents");
+    let n = rows * cols;
+    let mut adj = vec![Vec::with_capacity(4); n];
+    for r in 0..rows {
+        for c in 0..cols {
+            let i = r * cols + c;
+            if r > 0 {
+                adj[i].push(NodeId((i - cols) as u16));
+            }
+            if r + 1 < rows {
+                adj[i].push(NodeId((i + cols) as u16));
+            }
+            if c > 0 {
+                adj[i].push(NodeId((i - 1) as u16));
+            }
+            if c + 1 < cols {
+                adj[i].push(NodeId((i + 1) as u16));
+            }
+        }
+    }
+    Topology::from_adjacency(
+        TopologyKind::Mesh {
+            rows: rows as u16,
+            cols: cols as u16,
+        },
+        adj,
+    )
+}
+
+/// The squarest mesh for `n` nodes (the paper's partitions are powers of
+/// two: 4 -> 2x2, 8 -> 2x4, 16 -> 4x4).
+pub fn mesh_for(n: usize) -> Topology {
+    assert!(n >= 1);
+    let mut rows = (n as f64).sqrt() as usize;
+    while rows > 1 && !n.is_multiple_of(rows) {
+        rows -= 1;
+    }
+    mesh(rows.max(1), n / rows.max(1))
+}
+
+/// Binary hypercube with `2^dim` nodes; neighbors differ in one address bit.
+pub fn hypercube(dim: u8) -> Topology {
+    assert!(dim <= 15, "hypercube: dimension too large");
+    let n = 1usize << dim;
+    let adj = (0..n)
+        .map(|i| (0..dim).map(|d| NodeId((i ^ (1 << d)) as u16)).collect())
+        .collect();
+    Topology::from_adjacency(TopologyKind::Hypercube { dim }, adj)
+}
+
+/// `rows x cols` 2-D torus (mesh with wraparound links). Degree 4 for
+/// extents >= 3, so it fits the T805's four links — a configuration some
+/// contemporary Transputer machines used.
+pub fn torus(rows: usize, cols: usize) -> Topology {
+    assert!(rows >= 1 && cols >= 1, "torus: need positive extents");
+    let n = rows * cols;
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::with_capacity(4); n];
+    let connect = |a: usize, b: usize, adj: &mut Vec<Vec<NodeId>>| {
+        if a == b {
+            return;
+        }
+        if !adj[a].contains(&NodeId(b as u16)) {
+            adj[a].push(NodeId(b as u16));
+            adj[b].push(NodeId(a as u16));
+        }
+    };
+    for r in 0..rows {
+        for c in 0..cols {
+            let i = r * cols + c;
+            connect(i, r * cols + (c + 1) % cols, &mut adj);
+            connect(i, ((r + 1) % rows) * cols + c, &mut adj);
+        }
+    }
+    Topology::from_adjacency(
+        TopologyKind::Torus {
+            rows: rows as u16,
+            cols: cols as u16,
+        },
+        adj,
+    )
+}
+
+/// The squarest torus for `n` nodes.
+pub fn torus_for(n: usize) -> Topology {
+    assert!(n >= 1);
+    let mut rows = (n as f64).sqrt() as usize;
+    while rows > 1 && !n.is_multiple_of(rows) {
+        rows -= 1;
+    }
+    torus(rows.max(1), n / rows.max(1))
+}
+
+/// Complete binary tree rooted at node 0 (children of `i` are `2i+1` and
+/// `2i+2`). Degree <= 3.
+pub fn binary_tree(n: usize) -> Topology {
+    assert!(n >= 1, "binary_tree: need at least one node");
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::with_capacity(3); n];
+    for i in 1..n {
+        let parent = (i - 1) / 2;
+        adj[i].push(NodeId(parent as u16));
+        adj[parent].push(NodeId(i as u16));
+    }
+    Topology::from_adjacency(TopologyKind::Tree, adj)
+}
+
+/// Star: node 0 is the hub.
+pub fn star(n: usize) -> Topology {
+    assert!(n >= 1);
+    let mut adj = vec![Vec::new(); n];
+    for i in 1..n {
+        adj[0].push(NodeId(i as u16));
+        adj[i].push(NodeId(0));
+    }
+    Topology::from_adjacency(TopologyKind::Star, adj)
+}
+
+/// Complete graph (idealized crossbar).
+pub fn complete(n: usize) -> Topology {
+    assert!(n >= 1);
+    let adj = (0..n)
+        .map(|i| {
+            (0..n)
+                .filter(|&j| j != i)
+                .map(|j| NodeId(j as u16))
+                .collect()
+        })
+        .collect();
+    Topology::from_adjacency(TopologyKind::Complete, adj)
+}
+
+/// The hardwired base configuration of the paper's machine: four pipelines
+/// ("naps") of four processors, chained nap-to-nap so the base machine is
+/// connected (one inter-nap link between consecutive naps). The C004
+/// switches let the real machine rewire the spare links into any of the
+/// logical topologies; simulated experiments use those logical topologies
+/// directly.
+pub fn nap_backbone() -> Topology {
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); 16];
+    let mut connect = |a: usize, b: usize| {
+        adj[a].push(NodeId(b as u16));
+        adj[b].push(NodeId(a as u16));
+    };
+    for nap in 0..4 {
+        let base = nap * 4;
+        for k in 0..3 {
+            connect(base + k, base + k + 1);
+        }
+    }
+    // Chain the naps: last node of nap i to first node of nap i+1.
+    for nap in 0..3 {
+        connect(nap * 4 + 3, (nap + 1) * 4);
+    }
+    Topology::from_adjacency(TopologyKind::Linear, adj)
+}
+
+/// Build the topology the paper calls `<n><letter>` (e.g. `8L`, `4H`).
+///
+/// Returns `None` for combinations the shape cannot realize (a hypercube
+/// needs a power-of-two node count).
+pub fn by_kind(kind: TopologyKind, n: usize) -> Option<Topology> {
+    match kind {
+        TopologyKind::Linear => Some(linear(n)),
+        TopologyKind::Ring => Some(ring(n)),
+        TopologyKind::Mesh { .. } => Some(mesh_for(n)),
+        TopologyKind::Hypercube { .. } => {
+            if n.is_power_of_two() {
+                Some(hypercube(n.trailing_zeros() as u8))
+            } else {
+                None
+            }
+        }
+        TopologyKind::Torus { .. } => Some(torus_for(n)),
+        TopologyKind::Tree => Some(binary_tree(n)),
+        TopologyKind::Star => Some(star(n)),
+        TopologyKind::Complete => Some(complete(n)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_shape() {
+        let t = linear(5);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.edge_count(), 4);
+        assert_eq!(t.degree(NodeId(0)), 1);
+        assert_eq!(t.degree(NodeId(2)), 2);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn single_node_topologies() {
+        for t in [linear(1), ring(1), mesh(1, 1), hypercube(0), star(1), complete(1)] {
+            assert_eq!(t.len(), 1);
+            assert_eq!(t.edge_count(), 0);
+            assert!(t.is_connected());
+        }
+    }
+
+    #[test]
+    fn ring_shape() {
+        let t = ring(6);
+        assert_eq!(t.edge_count(), 6);
+        assert!(t.nodes().all(|u| t.degree(u) == 2));
+        assert!(t.adjacent(NodeId(0), NodeId(5)));
+    }
+
+    #[test]
+    fn ring_of_two_is_single_edge() {
+        let t = ring(2);
+        assert_eq!(t.edge_count(), 1);
+        assert_eq!(t.kind(), TopologyKind::Ring);
+    }
+
+    #[test]
+    fn mesh_shape() {
+        let t = mesh(4, 4);
+        assert_eq!(t.len(), 16);
+        assert_eq!(t.edge_count(), 24);
+        assert_eq!(t.degree(NodeId(0)), 2); // corner
+        assert_eq!(t.degree(NodeId(1)), 3); // edge
+        assert_eq!(t.degree(NodeId(5)), 4); // interior
+        assert!(t.max_degree() <= 4, "mesh must fit 4 transputer links");
+    }
+
+    #[test]
+    fn mesh_for_picks_squarest() {
+        assert_eq!(mesh_for(16).kind(), TopologyKind::Mesh { rows: 4, cols: 4 });
+        assert_eq!(mesh_for(8).kind(), TopologyKind::Mesh { rows: 2, cols: 4 });
+        assert_eq!(mesh_for(4).kind(), TopologyKind::Mesh { rows: 2, cols: 2 });
+        assert_eq!(mesh_for(2).kind(), TopologyKind::Mesh { rows: 1, cols: 2 });
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let t = hypercube(4);
+        assert_eq!(t.len(), 16);
+        assert_eq!(t.edge_count(), 32);
+        assert!(t.nodes().all(|u| t.degree(u) == 4));
+        assert!(t.adjacent(NodeId(0b0101), NodeId(0b0100)));
+        assert!(!t.adjacent(NodeId(0b0101), NodeId(0b0110)));
+    }
+
+    #[test]
+    fn transputer_link_budget() {
+        // Every topology the paper configures must respect the T805's four
+        // physical links per processor.
+        for t in [
+            linear(16),
+            ring(16),
+            mesh(4, 4),
+            hypercube(4),
+        ] {
+            assert!(t.max_degree() <= 4, "{} exceeds 4 links", t.kind());
+        }
+    }
+
+    #[test]
+    fn nap_backbone_is_connected_16_node() {
+        let t = nap_backbone();
+        assert_eq!(t.len(), 16);
+        assert!(t.is_connected());
+        assert!(t.max_degree() <= 4);
+        // A nap chain is a 16-node path.
+        assert_eq!(t.edge_count(), 15);
+    }
+
+    #[test]
+    fn by_kind_dispatch() {
+        assert_eq!(
+            by_kind(TopologyKind::Hypercube { dim: 0 }, 8).unwrap().len(),
+            8
+        );
+        assert!(by_kind(TopologyKind::Hypercube { dim: 0 }, 6).is_none());
+        assert_eq!(by_kind(TopologyKind::Linear, 3).unwrap().len(), 3);
+        assert_eq!(
+            by_kind(TopologyKind::Mesh { rows: 0, cols: 0 }, 8)
+                .unwrap()
+                .kind(),
+            TopologyKind::Mesh { rows: 2, cols: 4 }
+        );
+    }
+
+    #[test]
+    fn torus_shape() {
+        let t = torus(4, 4);
+        assert_eq!(t.len(), 16);
+        assert!(t.nodes().all(|u| t.degree(u) == 4), "torus is regular");
+        assert!(t.max_degree() <= 4, "must fit 4 transputer links");
+        assert_eq!(t.edge_count(), 32);
+        assert!(t.adjacent(NodeId(0), NodeId(3)), "row wraparound");
+        assert!(t.adjacent(NodeId(0), NodeId(12)), "column wraparound");
+        // Degenerate extents collapse gracefully.
+        assert_eq!(torus(1, 4).edge_count(), 4); // ring of 4
+        assert_eq!(torus(2, 2).edge_count(), 4); // no double edges
+    }
+
+    #[test]
+    fn torus_beats_mesh_on_distance() {
+        let m = crate::metrics::metrics(&mesh(4, 4));
+        let t = crate::metrics::metrics(&torus(4, 4));
+        assert!(t.diameter < m.diameter, "wraparound halves the diameter");
+        assert!(t.avg_distance < m.avg_distance);
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let t = binary_tree(15);
+        assert_eq!(t.edge_count(), 14);
+        assert_eq!(t.degree(NodeId(0)), 2);
+        assert_eq!(t.degree(NodeId(1)), 3);
+        assert_eq!(t.degree(NodeId(14)), 1);
+        assert!(t.max_degree() <= 3);
+        assert!(t.is_connected());
+        // Root to a deep leaf: down the left spine.
+        assert_eq!(t.bfs_distances(NodeId(0))[7], 3);
+    }
+
+    #[test]
+    fn complete_and_star() {
+        let c = complete(5);
+        assert_eq!(c.edge_count(), 10);
+        let s = star(5);
+        assert_eq!(s.edge_count(), 4);
+        assert_eq!(s.degree(NodeId(0)), 4);
+    }
+}

@@ -1,0 +1,34 @@
+//! # parsched-topology
+//!
+//! Interconnection networks for the simulated Transputer multicomputer:
+//! the four topologies the paper configures (linear array, ring, 2-D mesh,
+//! hypercube) plus test/ablation extras, deterministic minimal
+//! [routing](route) (BFS, dimension-order, e-cube),
+//! [graph metrics](metrics) (diameter, average distance, bisection width),
+//! and the [partitioning](partition) of the 16-processor system into equal
+//! sub-machines used by the space-sharing and hybrid policies.
+//!
+//! ```
+//! use parsched_topology::{build, route::Router, types::NodeId};
+//!
+//! let cube = build::hypercube(4); // the 16-node machine as a hypercube
+//! let router = Router::for_topology(&cube);
+//! assert_eq!(router.hops(NodeId(0b0000), NodeId(0b1111)), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod metrics;
+pub mod partition;
+pub mod route;
+pub mod types;
+
+pub use build::{
+    binary_tree, by_kind, complete, hypercube, linear, mesh, mesh_for, nap_backbone, ring,
+    star, torus, torus_for,
+};
+pub use metrics::{bisection_width, diameter, distance, metrics, TopologyMetrics};
+pub use partition::{config_label, paper_configs, Partition, PartitionPlan};
+pub use route::Router;
+pub use types::{Channel, NodeId, Topology, TopologyKind};

@@ -1,0 +1,210 @@
+//! Graph metrics used to reason about the paper's topology sensitivity:
+//! diameter, average inter-node distance, and bisection width.
+
+use crate::types::{NodeId, Topology};
+
+/// Summary metrics of a topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyMetrics {
+    /// Longest shortest path (hops).
+    pub diameter: u32,
+    /// Mean shortest-path length over ordered distinct pairs.
+    pub avg_distance: f64,
+    /// Edges crossing the worst balanced cut found (exact for <= 20 nodes,
+    /// lower-bound heuristic above).
+    pub bisection_width: u32,
+    /// Maximum node degree.
+    pub max_degree: usize,
+    /// Undirected edge count.
+    pub edges: usize,
+}
+
+/// Compute [`TopologyMetrics`] for a connected topology.
+///
+/// ```
+/// use parsched_topology::{build, metrics::metrics};
+///
+/// let cube = metrics(&build::hypercube(4));
+/// assert_eq!(cube.diameter, 4);
+/// assert_eq!(cube.bisection_width, 8);
+/// ```
+///
+/// # Panics
+/// Panics if the topology is disconnected (metrics are undefined).
+pub fn metrics(topo: &Topology) -> TopologyMetrics {
+    assert!(topo.is_connected(), "metrics: topology must be connected");
+    let n = topo.len();
+    let mut diameter = 0u32;
+    let mut total = 0u64;
+    for src in topo.nodes() {
+        for d in topo.bfs_distances(src) {
+            diameter = diameter.max(d);
+            total += d as u64;
+        }
+    }
+    let pairs = (n * n).saturating_sub(n);
+    TopologyMetrics {
+        diameter,
+        avg_distance: if pairs == 0 {
+            0.0
+        } else {
+            total as f64 / pairs as f64
+        },
+        bisection_width: bisection_width(topo),
+        max_degree: topo.max_degree(),
+        edges: topo.edge_count(),
+    }
+}
+
+/// Minimum number of edges crossing any balanced bipartition.
+///
+/// Exact exhaustive search for up to 20 nodes (the paper's machine has 16);
+/// for larger graphs a deterministic greedy refinement gives an upper bound.
+pub fn bisection_width(topo: &Topology) -> u32 {
+    let n = topo.len();
+    if n < 2 {
+        return 0;
+    }
+    if n <= 20 {
+        exact_bisection(topo)
+    } else {
+        greedy_bisection(topo)
+    }
+}
+
+fn cut_size(topo: &Topology, in_a: impl Fn(usize) -> bool) -> u32 {
+    let mut cut = 0;
+    for u in topo.nodes() {
+        for &v in topo.neighbors(u) {
+            if u < v && in_a(u.idx()) != in_a(v.idx()) {
+                cut += 1;
+            }
+        }
+    }
+    cut
+}
+
+fn exact_bisection(topo: &Topology) -> u32 {
+    let n = topo.len();
+    let half = n / 2;
+    let mut best = u32::MAX;
+    // Fix node 0 in side A to halve the search space.
+    let full: u32 = (1u32 << n) - 1;
+    let mut mask: u32 = 0;
+    while mask <= full {
+        if mask & 1 == 1 && mask.count_ones() as usize == half || n % 2 == 1 && mask & 1 == 1 && mask.count_ones() as usize == half + 1 {
+            let cut = cut_size(topo, |i| mask >> i & 1 == 1);
+            best = best.min(cut);
+        }
+        if mask == full {
+            break;
+        }
+        mask += 1;
+    }
+    best
+}
+
+fn greedy_bisection(topo: &Topology) -> u32 {
+    let n = topo.len();
+    let half = n / 2;
+    // Start with the first half, then hill-climb by swapping pairs.
+    let mut side = vec![false; n];
+    for s in side.iter_mut().take(half) {
+        *s = true;
+    }
+    let mut best = cut_size(topo, |i| side[i]);
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for a in 0..n {
+            if !side[a] {
+                continue;
+            }
+            for b in 0..n {
+                if side[b] {
+                    continue;
+                }
+                side[a] = false;
+                side[b] = true;
+                let cut = cut_size(topo, |i| side[i]);
+                if cut < best {
+                    best = cut;
+                    improved = true;
+                } else {
+                    side[a] = true;
+                    side[b] = false;
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Convenience: the diameter alone.
+pub fn diameter(topo: &Topology) -> u32 {
+    metrics(topo).diameter
+}
+
+/// Distance between two nodes.
+pub fn distance(topo: &Topology, a: NodeId, b: NodeId) -> u32 {
+    topo.bfs_distances(a)[b.idx()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build;
+
+    #[test]
+    fn known_diameters() {
+        assert_eq!(diameter(&build::linear(16)), 15);
+        assert_eq!(diameter(&build::ring(16)), 8);
+        assert_eq!(diameter(&build::mesh(4, 4)), 6);
+        assert_eq!(diameter(&build::hypercube(4)), 4);
+        assert_eq!(diameter(&build::complete(16)), 1);
+        assert_eq!(diameter(&build::star(16)), 2);
+    }
+
+    #[test]
+    fn known_bisections() {
+        assert_eq!(bisection_width(&build::linear(16)), 1);
+        assert_eq!(bisection_width(&build::ring(16)), 2);
+        assert_eq!(bisection_width(&build::mesh(4, 4)), 4);
+        assert_eq!(bisection_width(&build::hypercube(4)), 8);
+    }
+
+    #[test]
+    fn avg_distance_orders_paper_topologies() {
+        // The paper's intuition: linear is the "low degree, long diameter"
+        // worst case; hypercube the best.
+        let l = metrics(&build::linear(16)).avg_distance;
+        let r = metrics(&build::ring(16)).avg_distance;
+        let m = metrics(&build::mesh(4, 4)).avg_distance;
+        let h = metrics(&build::hypercube(4)).avg_distance;
+        assert!(l > r && r > m && m > h, "l={l} r={r} m={m} h={h}");
+    }
+
+    #[test]
+    fn avg_distance_linear_formula() {
+        // Mean distance of a path graph on n nodes is (n+1)/3.
+        let n = 10usize;
+        let got = metrics(&build::linear(n)).avg_distance;
+        let expect = (n as f64 + 1.0) / 3.0;
+        assert!((got - expect).abs() < 1e-9, "got {got}, expect {expect}");
+    }
+
+    #[test]
+    fn single_node_metrics() {
+        let m = metrics(&build::linear(1));
+        assert_eq!(m.diameter, 0);
+        assert_eq!(m.avg_distance, 0.0);
+        assert_eq!(m.bisection_width, 0);
+    }
+
+    #[test]
+    fn greedy_bisection_reasonable_on_large_ring() {
+        let t = build::ring(32);
+        let w = bisection_width(&t);
+        assert!((2..=4).contains(&w), "ring-32 bisection came out {w}");
+    }
+}

@@ -1,0 +1,232 @@
+//! System partitioning.
+//!
+//! The paper's space-sharing and hybrid policies split the 16-processor
+//! machine into `16/p` equal partitions of `p` processors; each partition is
+//! then wired (via the C004 switches) as its own linear array, ring, mesh or
+//! hypercube. A [`PartitionPlan`] captures that: contiguous blocks of global
+//! processors, each with a local topology and the mapping between local and
+//! global processor indices.
+
+use crate::build;
+use crate::types::{NodeId, Topology, TopologyKind};
+
+/// One partition: a contiguous block of global processors with its own
+/// interconnect.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Index of this partition within the plan.
+    pub id: usize,
+    /// Global index of the partition's first processor.
+    pub base: usize,
+    /// The partition's interconnect (over `size` local nodes).
+    pub topology: Topology,
+}
+
+impl Partition {
+    /// Number of processors in this partition.
+    pub fn size(&self) -> usize {
+        self.topology.len()
+    }
+
+    /// Map a local node id to the global processor index.
+    pub fn to_global(&self, local: NodeId) -> usize {
+        assert!(local.idx() < self.size(), "local id out of range");
+        self.base + local.idx()
+    }
+
+    /// Map a global processor index to the local node id.
+    ///
+    /// # Panics
+    /// Panics if the processor is not in this partition.
+    pub fn to_local(&self, global: usize) -> NodeId {
+        assert!(
+            self.contains(global),
+            "processor {global} not in partition {}",
+            self.id
+        );
+        NodeId((global - self.base) as u16)
+    }
+
+    /// True if the global processor index belongs to this partition.
+    pub fn contains(&self, global: usize) -> bool {
+        global >= self.base && global < self.base + self.size()
+    }
+}
+
+/// An equal partitioning of a `system_size`-processor machine.
+///
+/// ```
+/// use parsched_topology::{PartitionPlan, TopologyKind, NodeId};
+///
+/// let plan = PartitionPlan::equal(16, 4, TopologyKind::Ring).unwrap();
+/// assert_eq!(plan.count(), 4);
+/// let third = &plan.partitions[2];
+/// assert_eq!(third.to_global(NodeId(1)), 9); // local node 1 = processor 9
+/// assert!(PartitionPlan::equal(16, 3, TopologyKind::Ring).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PartitionPlan {
+    /// Total processors in the machine.
+    pub system_size: usize,
+    /// Processors per partition.
+    pub partition_size: usize,
+    /// The partitions, in base order.
+    pub partitions: Vec<Partition>,
+}
+
+impl PartitionPlan {
+    /// Split `system_size` processors into equal contiguous partitions of
+    /// `partition_size`, each wired as `kind`.
+    ///
+    /// Returns `None` when the combination is unrealizable: `partition_size`
+    /// must divide `system_size`, and a hypercube partition needs a
+    /// power-of-two size.
+    pub fn equal(
+        system_size: usize,
+        partition_size: usize,
+        kind: TopologyKind,
+    ) -> Option<PartitionPlan> {
+        if partition_size == 0
+            || system_size == 0
+            || !system_size.is_multiple_of(partition_size)
+        {
+            return None;
+        }
+        let count = system_size / partition_size;
+        let mut partitions = Vec::with_capacity(count);
+        for id in 0..count {
+            let topology = build::by_kind(kind, partition_size)?;
+            partitions.push(Partition {
+                id,
+                base: id * partition_size,
+                topology,
+            });
+        }
+        Some(PartitionPlan {
+            system_size,
+            partition_size,
+            partitions,
+        })
+    }
+
+    /// Number of partitions.
+    pub fn count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The partition owning a global processor index.
+    pub fn partition_of(&self, global: usize) -> &Partition {
+        assert!(global < self.system_size, "processor index out of range");
+        &self.partitions[global / self.partition_size]
+    }
+}
+
+/// The paper's figure-axis label for a partition configuration, e.g. `8L`
+/// (partition size 8, linear) or `1` (size-1 partitions need no network).
+pub fn config_label(partition_size: usize, kind: TopologyKind) -> String {
+    if partition_size == 1 {
+        "1".to_string()
+    } else {
+        format!("{partition_size}{}", kind.label())
+    }
+}
+
+/// The partition configurations shown on the paper's X axes: sizes 1..16 in
+/// powers of two, each with every distinct realizable topology.
+///
+/// * size 1 — a single bare processor (topology irrelevant; listed once);
+/// * size 2 — `L` and `R` coincide (a single edge); listed once as `2L`;
+/// * size 4, 8 — `L`, `R`, `M`, `H`;
+/// * size 16 — `L`, `R`, `M` (the paper's machine cannot wire a 16-node
+///   hypercube because one transputer link is reserved for the host; we
+///   follow the paper and omit it by default, `include_16h` adds it).
+pub fn paper_configs(include_16h: bool) -> Vec<(usize, TopologyKind)> {
+    use TopologyKind::*;
+    let mesh = Mesh { rows: 0, cols: 0 }; // extents filled by the builder
+    let hc = Hypercube { dim: 0 };
+    let mut configs = vec![
+        (1, Linear),
+        (2, Linear),
+        (4, Linear),
+        (4, Ring),
+        (4, Mesh { rows: 0, cols: 0 }),
+        (4, Hypercube { dim: 0 }),
+        (8, Linear),
+        (8, Ring),
+        (8, mesh),
+        (8, hc),
+        (16, Linear),
+        (16, Ring),
+        (16, mesh),
+    ];
+    if include_16h {
+        configs.push((16, hc));
+    }
+    configs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_partitioning_shapes() {
+        let plan = PartitionPlan::equal(16, 4, TopologyKind::Ring).unwrap();
+        assert_eq!(plan.count(), 4);
+        for (i, p) in plan.partitions.iter().enumerate() {
+            assert_eq!(p.id, i);
+            assert_eq!(p.base, i * 4);
+            assert_eq!(p.size(), 4);
+            assert_eq!(p.topology.kind(), TopologyKind::Ring);
+        }
+    }
+
+    #[test]
+    fn global_local_round_trip() {
+        let plan = PartitionPlan::equal(16, 8, TopologyKind::Linear).unwrap();
+        for g in 0..16 {
+            let p = plan.partition_of(g);
+            let l = p.to_local(g);
+            assert_eq!(p.to_global(l), g);
+        }
+    }
+
+    #[test]
+    fn unrealizable_combinations_rejected() {
+        assert!(PartitionPlan::equal(16, 3, TopologyKind::Linear).is_none());
+        assert!(PartitionPlan::equal(16, 0, TopologyKind::Linear).is_none());
+        assert!(
+            PartitionPlan::equal(12, 6, TopologyKind::Hypercube { dim: 0 }).is_none(),
+            "6-node hypercube must be rejected"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not in partition")]
+    fn to_local_checks_membership() {
+        let plan = PartitionPlan::equal(16, 4, TopologyKind::Linear).unwrap();
+        plan.partitions[0].to_local(5);
+    }
+
+    #[test]
+    fn paper_config_list() {
+        let configs = paper_configs(false);
+        assert_eq!(configs.len(), 13);
+        // All realizable against a 16-processor machine.
+        for (size, kind) in &configs {
+            assert!(
+                PartitionPlan::equal(16, *size, *kind).is_some(),
+                "config {size}{kind} not realizable"
+            );
+        }
+        assert_eq!(paper_configs(true).len(), 14);
+    }
+
+    #[test]
+    fn labels_match_paper_axis() {
+        assert_eq!(config_label(1, TopologyKind::Linear), "1");
+        assert_eq!(config_label(8, TopologyKind::Linear), "8L");
+        assert_eq!(config_label(16, TopologyKind::Mesh { rows: 4, cols: 4 }), "16M");
+        assert_eq!(config_label(4, TopologyKind::Hypercube { dim: 2 }), "4H");
+    }
+}

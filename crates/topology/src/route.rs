@@ -1,0 +1,352 @@
+//! Routing.
+//!
+//! The store-and-forward network needs, at every node, the next hop toward
+//! any destination. A [`Router`] is a full next-hop table. Three builders
+//! are provided:
+//!
+//! * [`Router::shortest_path`] — BFS-based minimal routing for any topology,
+//!   deterministic (smallest-index neighbor wins ties).
+//! * [`Router::dimension_order`] — X-then-Y routing for meshes (minimal and
+//!   deadlock-free under hop-by-hop buffering).
+//! * [`Router::ecube`] — e-cube routing for hypercubes (fix address bits
+//!   lowest-first; minimal and deadlock-free).
+//!
+//! For linear arrays and rings, shortest-path BFS already yields the natural
+//! route (rings break distance ties toward the lower-index neighbor).
+
+use crate::types::{NodeId, Topology, TopologyKind};
+
+/// Sentinel marking "no route" / "self" entries in the next-hop table.
+const NO_HOP: u16 = u16::MAX;
+
+/// A complete next-hop table for one topology.
+#[derive(Debug, Clone)]
+pub struct Router {
+    n: usize,
+    /// `table[src * n + dst]` = next hop from `src` toward `dst`.
+    table: Vec<u16>,
+}
+
+impl Router {
+    /// Minimal routing for an arbitrary connected topology via per-
+    /// destination BFS. Ties broken toward the smallest neighbor index, so
+    /// tables are deterministic.
+    pub fn shortest_path(topo: &Topology) -> Router {
+        let n = topo.len();
+        let mut table = vec![NO_HOP; n * n];
+        for dst in topo.nodes() {
+            // BFS from the destination; each node's parent-side neighbor on
+            // the BFS tree is its next hop toward dst.
+            let dist = topo.bfs_distances(dst);
+            for src in topo.nodes() {
+                if src == dst || dist[src.idx()] == u32::MAX {
+                    continue;
+                }
+                let hop = topo
+                    .neighbors(src)
+                    .iter()
+                    .copied()
+                    .filter(|nb| dist[nb.idx()] + 1 == dist[src.idx()])
+                    .min()
+                    .expect("BFS tree must provide a downhill neighbor");
+                table[src.idx() * n + dst.idx()] = hop.0;
+            }
+        }
+        Router { n, table }
+    }
+
+    /// Dimension-order (X-Y) routing for a mesh: correct columns first, then
+    /// rows.
+    ///
+    /// # Panics
+    /// Panics if `topo` is not a mesh.
+    pub fn dimension_order(topo: &Topology) -> Router {
+        let TopologyKind::Mesh { rows, cols } = topo.kind() else {
+            panic!("dimension_order: not a mesh: {}", topo.kind());
+        };
+        let (rows, cols) = (rows as usize, cols as usize);
+        let n = topo.len();
+        assert_eq!(n, rows * cols);
+        let mut table = vec![NO_HOP; n * n];
+        for src in 0..n {
+            let (sr, sc) = (src / cols, src % cols);
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                let (dr, dc) = (dst / cols, dst % cols);
+                let hop = if sc < dc {
+                    src + 1
+                } else if sc > dc {
+                    src - 1
+                } else if sr < dr {
+                    src + cols
+                } else {
+                    src - cols
+                };
+                table[src * n + dst] = hop as u16;
+            }
+        }
+        Router { n, table }
+    }
+
+    /// E-cube routing for a hypercube: flip the lowest differing address bit.
+    ///
+    /// # Panics
+    /// Panics if `topo` is not a hypercube.
+    pub fn ecube(topo: &Topology) -> Router {
+        let TopologyKind::Hypercube { .. } = topo.kind() else {
+            panic!("ecube: not a hypercube: {}", topo.kind());
+        };
+        let n = topo.len();
+        let mut table = vec![NO_HOP; n * n];
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                let diff = src ^ dst;
+                let bit = diff.trailing_zeros();
+                table[src * n + dst] = (src ^ (1 << bit)) as u16;
+            }
+        }
+        Router { n, table }
+    }
+
+    /// Dimension-order routing for a torus: correct columns first (shortest
+    /// way around the ring), then rows.
+    ///
+    /// # Panics
+    /// Panics if `topo` is not a torus.
+    pub fn dimension_order_torus(topo: &Topology) -> Router {
+        let TopologyKind::Torus { rows, cols } = topo.kind() else {
+            panic!("dimension_order_torus: not a torus: {}", topo.kind());
+        };
+        let (rows, cols) = (rows as usize, cols as usize);
+        let n = topo.len();
+        assert_eq!(n, rows * cols);
+        // One step along a ring of length `len`, the shortest way from `a`
+        // toward `b` (ties go up, matching BFS's smaller-index preference
+        // often enough for tests to pin separately).
+        fn step(a: usize, b: usize, len: usize) -> usize {
+            let fwd = (b + len - a) % len;
+            let bwd = (a + len - b) % len;
+            if fwd <= bwd {
+                (a + 1) % len
+            } else {
+                (a + len - 1) % len
+            }
+        }
+        let mut table = vec![NO_HOP; n * n];
+        for src in 0..n {
+            let (sr, sc) = (src / cols, src % cols);
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                let (dr, dc) = (dst / cols, dst % cols);
+                let hop = if sc != dc {
+                    sr * cols + step(sc, dc, cols)
+                } else {
+                    step(sr, dr, rows) * cols + sc
+                };
+                table[src * n + dst] = hop as u16;
+            }
+        }
+        Router { n, table }
+    }
+
+    /// The preferred router for a topology: dimension-order for meshes and
+    /// tori, e-cube for hypercubes, BFS otherwise.
+    pub fn for_topology(topo: &Topology) -> Router {
+        match topo.kind() {
+            TopologyKind::Mesh { .. } => Router::dimension_order(topo),
+            TopologyKind::Torus { .. } => Router::dimension_order_torus(topo),
+            TopologyKind::Hypercube { .. } => Router::ecube(topo),
+            _ => Router::shortest_path(topo),
+        }
+    }
+
+    /// Number of nodes this table covers.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the empty table.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Next hop from `src` toward `dst`; `None` when `src == dst` or no
+    /// route exists.
+    #[inline]
+    pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
+        let v = self.table[src.idx() * self.n + dst.idx()];
+        (v != NO_HOP).then_some(NodeId(v))
+    }
+
+    /// The full hop sequence from `src` to `dst` (exclusive of `src`,
+    /// inclusive of `dst`); empty when `src == dst`.
+    ///
+    /// # Panics
+    /// Panics if the table has no route or contains a loop (both are
+    /// construction bugs).
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        let mut path = Vec::new();
+        let mut cur = src;
+        while cur != dst {
+            let hop = self
+                .next_hop(cur, dst)
+                .unwrap_or_else(|| panic!("no route {cur} -> {dst}"));
+            path.push(hop);
+            cur = hop;
+            assert!(
+                path.len() <= self.n,
+                "routing loop detected between {src} and {dst}"
+            );
+        }
+        path
+    }
+
+    /// Hop count from `src` to `dst`.
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> usize {
+        self.path(src, dst).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build;
+
+    fn check_minimal(topo: &Topology, router: &Router) {
+        for src in topo.nodes() {
+            let dist = topo.bfs_distances(src);
+            for dst in topo.nodes() {
+                let path = router.path(src, dst);
+                assert_eq!(
+                    path.len() as u32,
+                    dist[dst.idx()],
+                    "non-minimal path {src}->{dst} on {}",
+                    topo.kind()
+                );
+                // Each hop must be a real edge.
+                let mut prev = src;
+                for &hop in &path {
+                    assert!(topo.adjacent(prev, hop), "phantom edge {prev}->{hop}");
+                    prev = hop;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_router_minimal_on_all_shapes() {
+        for topo in [
+            build::linear(7),
+            build::ring(8),
+            build::mesh(3, 5),
+            build::hypercube(3),
+            build::star(6),
+            build::complete(5),
+            build::nap_backbone(),
+        ] {
+            let r = Router::shortest_path(&topo);
+            check_minimal(&topo, &r);
+        }
+    }
+
+    #[test]
+    fn dimension_order_minimal_and_xy() {
+        let topo = build::mesh(4, 4);
+        let r = Router::dimension_order(&topo);
+        check_minimal(&topo, &r);
+        // From (0,0)=0 to (2,3)=11: must move in X (columns) first.
+        let path = r.path(NodeId(0), NodeId(11));
+        assert_eq!(path, vec![NodeId(1), NodeId(2), NodeId(3), NodeId(7), NodeId(11)]);
+    }
+
+    #[test]
+    fn ecube_minimal_and_bit_ordered() {
+        let topo = build::hypercube(4);
+        let r = Router::ecube(&topo);
+        check_minimal(&topo, &r);
+        // 0b0000 -> 0b1010 must fix bit 1 then bit 3.
+        let path = r.path(NodeId(0b0000), NodeId(0b1010));
+        assert_eq!(path, vec![NodeId(0b0010), NodeId(0b1010)]);
+    }
+
+    #[test]
+    fn ring_routes_take_short_way_round() {
+        let topo = build::ring(8);
+        let r = Router::shortest_path(&topo);
+        assert_eq!(r.hops(NodeId(0), NodeId(3)), 3);
+        assert_eq!(r.hops(NodeId(0), NodeId(6)), 2); // around the back
+        assert_eq!(r.hops(NodeId(0), NodeId(4)), 4); // tie: either way is 4
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let topo = build::linear(4);
+        let r = Router::shortest_path(&topo);
+        assert!(r.path(NodeId(2), NodeId(2)).is_empty());
+        assert_eq!(r.next_hop(NodeId(2), NodeId(2)), None);
+    }
+
+    #[test]
+    fn for_topology_picks_specialized_tables() {
+        let mesh = build::mesh(2, 4);
+        let hc = build::hypercube(3);
+        let lin = build::linear(4);
+        // All must produce minimal, loop-free routes.
+        check_minimal(&mesh, &Router::for_topology(&mesh));
+        check_minimal(&hc, &Router::for_topology(&hc));
+        check_minimal(&lin, &Router::for_topology(&lin));
+    }
+
+    #[test]
+    fn torus_dimension_order_minimal() {
+        for (r, c) in [(3usize, 3usize), (4, 4), (2, 5)] {
+            let topo = build::torus(r, c);
+            let router = Router::dimension_order_torus(&topo);
+            check_minimal(&topo, &router);
+        }
+        // Wraparound is actually used: 0 -> 3 on a 4x4 torus is one hop.
+        let topo = build::torus(4, 4);
+        let router = Router::dimension_order_torus(&topo);
+        assert_eq!(router.hops(NodeId(0), NodeId(3)), 1);
+        assert_eq!(router.hops(NodeId(0), NodeId(15)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a torus")]
+    fn torus_router_rejects_non_torus() {
+        let _ = Router::dimension_order_torus(&build::mesh(2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a mesh")]
+    fn dimension_order_rejects_non_mesh() {
+        let _ = Router::dimension_order(&build::ring(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a hypercube")]
+    fn ecube_rejects_non_hypercube() {
+        let _ = Router::ecube(&build::mesh(2, 2));
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let topo = build::ring(4);
+        let a = Router::shortest_path(&topo);
+        let b = Router::shortest_path(&topo);
+        for s in topo.nodes() {
+            for d in topo.nodes() {
+                assert_eq!(a.next_hop(s, d), b.next_hop(s, d));
+            }
+        }
+        // Distance-2 tie on a 4-ring resolves toward the smaller neighbor.
+        assert_eq!(a.next_hop(NodeId(0), NodeId(2)), Some(NodeId(1)));
+    }
+}

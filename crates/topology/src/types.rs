@@ -1,0 +1,290 @@
+//! Core graph types for interconnection networks.
+
+use std::fmt;
+
+/// Index of a node within one topology (local, zero-based).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The index as a `usize` for table lookups.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A directed channel between two adjacent nodes. The physical Transputer
+/// link is bidirectional but full-duplex, so each direction is modelled as
+/// its own serializing resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Channel {
+    /// Sending endpoint.
+    pub from: NodeId,
+    /// Receiving endpoint.
+    pub to: NodeId,
+}
+
+/// The interconnection shapes studied in the paper (§3.1) plus two extras
+/// used by tests and ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// Chain: node i connected to i±1.
+    Linear,
+    /// Chain with wraparound.
+    Ring,
+    /// 2-D mesh, `rows x cols`, no wraparound.
+    Mesh {
+        /// Number of rows.
+        rows: u16,
+        /// Number of columns.
+        cols: u16,
+    },
+    /// Binary hypercube of the given dimension.
+    Hypercube {
+        /// log2 of the node count.
+        dim: u8,
+    },
+    /// 2-D torus (mesh with wraparound), `rows x cols`.
+    Torus {
+        /// Number of rows.
+        rows: u16,
+        /// Number of columns.
+        cols: u16,
+    },
+    /// Complete binary tree rooted at node 0 (children of `i` are `2i+1`,
+    /// `2i+2`).
+    Tree,
+    /// Every node adjacent to node 0 (used in unit tests).
+    Star,
+    /// All pairs adjacent (an idealized crossbar; used in ablations).
+    Complete,
+}
+
+impl TopologyKind {
+    /// The single-letter label used on the paper's figure axes
+    /// (`L`, `R`, `M`, `H`); extras get lowercase letters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TopologyKind::Linear => "L",
+            TopologyKind::Ring => "R",
+            TopologyKind::Mesh { .. } => "M",
+            TopologyKind::Hypercube { .. } => "H",
+            TopologyKind::Torus { .. } => "T",
+            TopologyKind::Tree => "t",
+            TopologyKind::Star => "s",
+            TopologyKind::Complete => "c",
+        }
+    }
+}
+
+impl fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyKind::Linear => write!(f, "linear"),
+            TopologyKind::Ring => write!(f, "ring"),
+            TopologyKind::Mesh { rows, cols } => write!(f, "mesh{rows}x{cols}"),
+            TopologyKind::Hypercube { dim } => write!(f, "hypercube{dim}"),
+            TopologyKind::Torus { rows, cols } => write!(f, "torus{rows}x{cols}"),
+            TopologyKind::Tree => write!(f, "tree"),
+            TopologyKind::Star => write!(f, "star"),
+            TopologyKind::Complete => write!(f, "complete"),
+        }
+    }
+}
+
+/// An undirected interconnection network over `n` nodes, stored as sorted
+/// adjacency lists. Immutable once built.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    kind: TopologyKind,
+    adj: Vec<Vec<NodeId>>,
+}
+
+impl Topology {
+    /// Build from adjacency lists. Lists are normalized (sorted, deduped);
+    /// the graph is validated to be simple, symmetric and loop-free.
+    ///
+    /// # Panics
+    /// Panics on a malformed graph (asymmetric edge, self-loop, index out of
+    /// range) — topologies are constructed by this crate's builders, so a
+    /// malformed one is a programming error.
+    pub fn from_adjacency(kind: TopologyKind, mut adj: Vec<Vec<NodeId>>) -> Topology {
+        let n = adj.len();
+        for (i, list) in adj.iter_mut().enumerate() {
+            list.sort_unstable();
+            list.dedup();
+            for &nb in list.iter() {
+                assert!(nb.idx() < n, "adjacency index out of range");
+                assert!(nb.idx() != i, "self-loop at node {i}");
+            }
+        }
+        // Symmetry check.
+        for i in 0..n {
+            for &nb in &adj[i] {
+                assert!(
+                    adj[nb.idx()].binary_search(&NodeId(i as u16)).is_ok(),
+                    "edge {i}->{nb} has no reverse"
+                );
+            }
+        }
+        Topology { kind, adj }
+    }
+
+    /// The shape this network was built as.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True for the empty network.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// All node ids, in order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len() as u16).map(NodeId)
+    }
+
+    /// Neighbors of `node`, ascending.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.adj[node.idx()]
+    }
+
+    /// Degree of `node`.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adj[node.idx()].len()
+    }
+
+    /// True if `a` and `b` are directly connected.
+    pub fn adjacent(&self, a: NodeId, b: NodeId) -> bool {
+        self.adj[a.idx()].binary_search(&b).is_ok()
+    }
+
+    /// Every directed channel (both directions of every edge).
+    pub fn channels(&self) -> impl Iterator<Item = Channel> + '_ {
+        self.adj.iter().enumerate().flat_map(|(i, list)| {
+            list.iter().map(move |&to| Channel {
+                from: NodeId(i as u16),
+                to,
+            })
+        })
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(|l| l.len()).sum::<usize>() / 2
+    }
+
+    /// Maximum node degree.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(|l| l.len()).max().unwrap_or(0)
+    }
+
+    /// BFS distances from `src` to every node (`u32::MAX` if unreachable).
+    pub fn bfs_distances(&self, src: NodeId) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.len()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src.idx()] = 0;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.idx()];
+            for &v in self.neighbors(u) {
+                if dist[v.idx()] == u32::MAX {
+                    dist[v.idx()] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// True if every node can reach every other.
+    pub fn is_connected(&self) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        self.bfs_distances(NodeId(0)).iter().all(|&d| d != u32::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Topology {
+        Topology::from_adjacency(
+            TopologyKind::Linear,
+            vec![vec![NodeId(1)], vec![NodeId(0), NodeId(2)], vec![NodeId(1)]],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = path3();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.edge_count(), 2);
+        assert_eq!(t.degree(NodeId(1)), 2);
+        assert!(t.adjacent(NodeId(0), NodeId(1)));
+        assert!(!t.adjacent(NodeId(0), NodeId(2)));
+        assert_eq!(t.max_degree(), 2);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn channels_are_directed_pairs() {
+        let t = path3();
+        let chans: Vec<Channel> = t.channels().collect();
+        assert_eq!(chans.len(), 4); // two edges, both directions
+        assert!(chans.contains(&Channel { from: NodeId(0), to: NodeId(1) }));
+        assert!(chans.contains(&Channel { from: NodeId(1), to: NodeId(0) }));
+    }
+
+    #[test]
+    #[should_panic(expected = "no reverse")]
+    fn asymmetric_graph_rejected() {
+        Topology::from_adjacency(
+            TopologyKind::Linear,
+            vec![vec![NodeId(1)], vec![]],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        Topology::from_adjacency(TopologyKind::Linear, vec![vec![NodeId(0)]]);
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let t = path3();
+        assert_eq!(t.bfs_distances(NodeId(0)), vec![0, 1, 2]);
+        assert_eq!(t.bfs_distances(NodeId(1)), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let t = Topology::from_adjacency(
+            TopologyKind::Linear,
+            vec![vec![NodeId(1)], vec![NodeId(0)], vec![NodeId(3)], vec![NodeId(2)]],
+        );
+        assert!(!t.is_connected());
+    }
+}

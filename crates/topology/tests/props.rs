@@ -1,0 +1,107 @@
+//! Property-based tests for topology construction and routing invariants.
+
+use parsched_topology::{build, metrics, route::Router, types::NodeId, Topology, TopologyKind};
+use proptest::prelude::*;
+
+/// Strategy producing an arbitrary paper-relevant topology.
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (1usize..=24).prop_map(build::linear),
+        (1usize..=24).prop_map(build::ring),
+        ((1usize..=5), (1usize..=5)).prop_map(|(r, c)| build::mesh(r, c)),
+        (0u8..=4).prop_map(build::hypercube),
+        (1usize..=16).prop_map(build::star),
+        (1usize..=10).prop_map(build::complete),
+        ((1usize..=4), (1usize..=5)).prop_map(|(r, c)| build::torus(r, c)),
+        (1usize..=31).prop_map(build::binary_tree),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn topologies_are_connected_and_simple(topo in arb_topology()) {
+        prop_assert!(topo.is_connected());
+        // Adjacency symmetric and loop-free is enforced by the constructor;
+        // re-check degree bookkeeping here.
+        let total: usize = topo.nodes().map(|u| topo.degree(u)).sum();
+        prop_assert_eq!(total, topo.edge_count() * 2);
+    }
+
+    #[test]
+    fn preferred_router_is_minimal(topo in arb_topology()) {
+        let router = Router::for_topology(&topo);
+        for src in topo.nodes() {
+            let dist = topo.bfs_distances(src);
+            for dst in topo.nodes() {
+                let path = router.path(src, dst);
+                prop_assert_eq!(path.len() as u32, dist[dst.idx()]);
+                let mut prev = src;
+                for &hop in &path {
+                    prop_assert!(topo.adjacent(prev, hop));
+                    prev = hop;
+                }
+                prop_assert!(path.last().copied().unwrap_or(src) == dst);
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_loop_free(topo in arb_topology()) {
+        let router = Router::shortest_path(&topo);
+        // Following next_hop must strictly decrease the BFS distance.
+        for dst in topo.nodes() {
+            let dist = topo.bfs_distances(dst);
+            for src in topo.nodes() {
+                if src == dst { continue; }
+                let hop = router.next_hop(src, dst).unwrap();
+                prop_assert!(dist[hop.idx()] < dist[src.idx()]);
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_bounds(topo in arb_topology()) {
+        let m = metrics::metrics(&topo);
+        prop_assert!(m.avg_distance <= m.diameter as f64);
+        if topo.len() > 1 {
+            prop_assert!(m.diameter >= 1);
+            prop_assert!((m.diameter as usize) < topo.len());
+        }
+    }
+
+    #[test]
+    fn partition_plan_tiles_the_machine(
+        psize in prop_oneof![Just(1usize), Just(2), Just(4), Just(8), Just(16)],
+    ) {
+        let plan = parsched_topology::PartitionPlan::equal(
+            16, psize, TopologyKind::Ring,
+        ).unwrap();
+        prop_assert_eq!(plan.count() * psize, 16);
+        let mut seen = [false; 16];
+        for p in &plan.partitions {
+            for l in 0..p.size() {
+                let g = p.to_global(NodeId(l as u16));
+                prop_assert!(!seen[g], "processor {} covered twice", g);
+                seen[g] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}
+
+#[test]
+fn paper_topology_metrics_table() {
+    // Table of the 16-node variants used throughout EXPERIMENTS.md.
+    let rows = [
+        ("linear", build::linear(16), 15u32, 1u32),
+        ("ring", build::ring(16), 8, 2),
+        ("mesh", build::mesh(4, 4), 6, 4),
+        ("hypercube", build::hypercube(4), 4, 8),
+    ];
+    for (name, topo, diam, bisect) in rows {
+        let m = metrics::metrics(&topo);
+        assert_eq!(m.diameter, diam, "{name} diameter");
+        assert_eq!(m.bisection_width, bisect, "{name} bisection");
+        assert!(m.max_degree <= 4, "{name} exceeds transputer links");
+    }
+}

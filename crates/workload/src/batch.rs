@@ -1,0 +1,175 @@
+//! The paper's experimental batches (§5.1).
+//!
+//! Every experiment submits a batch of 16 jobs — 12 small and 4 large, to
+//! introduce service-demand variance — of one application in one software
+//! architecture. Job sizes (§5.2/§5.3, digits reconstructed per DESIGN.md):
+//! matrix multiplication 50x50 / 100x100, sort 6000 / 14000 keys.
+
+use crate::cost::CostModel;
+use crate::matmul::matmul_job;
+use crate::sort::sort_job;
+use parsched_machine::program::JobSpec;
+
+/// Which application a batch runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum App {
+    /// Fork-join matrix multiplication.
+    MatMul,
+    /// Divide-and-conquer selection sort.
+    Sort,
+}
+
+impl App {
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            App::MatMul => "matmul",
+            App::Sort => "sort",
+        }
+    }
+}
+
+/// The paper's two software architectures (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// Process count fixed at 16 regardless of the partition size.
+    Fixed,
+    /// Process count equals the number of processors allocated.
+    Adaptive,
+}
+
+impl Arch {
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Arch::Fixed => "fixed",
+            Arch::Adaptive => "adaptive",
+        }
+    }
+
+    /// Processes per job for a given partition size.
+    pub fn width(self, partition_size: usize) -> usize {
+        match self {
+            Arch::Fixed => 16,
+            Arch::Adaptive => partition_size,
+        }
+    }
+}
+
+/// Problem sizes of a batch.
+#[derive(Debug, Clone)]
+pub struct BatchSizes {
+    /// Jobs per batch.
+    pub jobs: usize,
+    /// How many of them are small.
+    pub small_count: usize,
+    /// Matrix dimension of a small / large matmul job.
+    pub mm_small: usize,
+    /// Large matrix dimension.
+    pub mm_large: usize,
+    /// Keys in a small / large sort job.
+    pub sort_small: usize,
+    /// Large key count.
+    pub sort_large: usize,
+}
+
+impl Default for BatchSizes {
+    fn default() -> Self {
+        BatchSizes {
+            jobs: 16,
+            small_count: 12,
+            mm_small: 50,
+            mm_large: 100,
+            sort_small: 6000,
+            sort_large: 14000,
+        }
+    }
+}
+
+/// Build one paper batch: `small_count` small jobs followed by the large
+/// ones (submission *order* is chosen by the policy under test — the static
+/// policy is evaluated under both best and worst orderings).
+pub fn paper_batch(
+    app: App,
+    arch: Arch,
+    partition_size: usize,
+    sizes: &BatchSizes,
+    cost: &CostModel,
+) -> Vec<JobSpec> {
+    let t = arch.width(partition_size);
+    (0..sizes.jobs)
+        .map(|i| {
+            let small = i < sizes.small_count;
+            let tagname = |sz: &str| format!("{}-{}-{}{}", app.label(), arch.label(), sz, i);
+            match (app, small) {
+                (App::MatMul, true) => matmul_job(tagname("S"), sizes.mm_small, t, cost),
+                (App::MatMul, false) => matmul_job(tagname("L"), sizes.mm_large, t, cost),
+                (App::Sort, true) => sort_job(tagname("S"), sizes.sort_small, t, cost),
+                (App::Sort, false) => sort_job(tagname("L"), sizes.sort_large, t, cost),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_batch_is_12_plus_4() {
+        let sizes = BatchSizes::default();
+        let cost = CostModel::default();
+        let batch = paper_batch(App::MatMul, Arch::Adaptive, 4, &sizes, &cost);
+        assert_eq!(batch.len(), 16);
+        let small: Vec<_> = batch.iter().filter(|j| j.name.contains("-S")).collect();
+        let large: Vec<_> = batch.iter().filter(|j| j.name.contains("-L")).collect();
+        assert_eq!(small.len(), 12);
+        assert_eq!(large.len(), 4);
+        // Adaptive at p=4 -> 4 processes each.
+        assert!(batch.iter().all(|j| j.width() == 4));
+    }
+
+    #[test]
+    fn fixed_arch_always_16_processes() {
+        let sizes = BatchSizes::default();
+        let cost = CostModel::default();
+        for p in [1, 2, 4, 8, 16] {
+            let batch = paper_batch(App::Sort, Arch::Fixed, p, &sizes, &cost);
+            assert!(batch.iter().all(|j| j.width() == 16), "p={p}");
+        }
+    }
+
+    #[test]
+    fn adaptive_width_tracks_partition() {
+        assert_eq!(Arch::Adaptive.width(8), 8);
+        assert_eq!(Arch::Fixed.width(8), 16);
+        assert_eq!(Arch::Adaptive.width(1), 1);
+    }
+
+    #[test]
+    fn all_batches_are_balanced() {
+        let sizes = BatchSizes::default();
+        let cost = CostModel::default();
+        for app in [App::MatMul, App::Sort] {
+            for arch in [Arch::Fixed, Arch::Adaptive] {
+                for p in [1, 2, 4, 8, 16] {
+                    for j in paper_batch(app, arch, p, &sizes, &cost) {
+                        j.check_balanced().unwrap_or_else(|e| {
+                            panic!("{app:?}/{arch:?}/p={p}: {e}")
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn variance_exists_between_sizes() {
+        let sizes = BatchSizes::default();
+        let cost = CostModel::default();
+        let batch = paper_batch(App::MatMul, Arch::Adaptive, 16, &sizes, &cost);
+        let small = batch[0].total_compute();
+        let large = batch[15].total_compute();
+        assert!(large.nanos() > 5 * small.nanos());
+    }
+}

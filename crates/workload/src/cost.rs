@@ -1,0 +1,137 @@
+//! The T805 cost model.
+//!
+//! Converts algorithmic work (multiply-accumulates, comparisons, element
+//! moves) into CPU time on the simulated node. Values are calibrated to a
+//! 25 MHz T805 running compiled occam/C with 2-D array indexing: ~5 us per
+//! floating multiply-accumulate and ~3 us per inner-loop step of integer
+//! compare/swap code (the integer multiply behind every array index costs
+//! 38 cycles alone). The experiments depend on cost *ratios* (compute vs.
+//! link time vs. software messaging overheads), which these values keep in
+//! the regime the paper reports; EXPERIMENTS.md records the calibration.
+
+use parsched_des::SimDuration;
+
+/// Per-operation costs and element sizes.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// One inner-loop multiply-accumulate of the matrix multiply
+    /// (load, multiply, add, index arithmetic).
+    pub mm_mac: SimDuration,
+    /// One inner-loop step of selection sort (compare + bookkeeping).
+    pub sort_cmp: SimDuration,
+    /// Per-element cost of the divide phase (splitting an array).
+    pub divide_step: SimDuration,
+    /// Per-element cost of merging two sorted runs.
+    pub merge_step: SimDuration,
+    /// Bytes per matrix element (double precision).
+    pub elem_matrix: u64,
+    /// Bytes per sort key (32-bit integer).
+    pub elem_key: u64,
+    /// Resident code + stack footprint per process.
+    pub proc_overhead_mem: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            mm_mac: SimDuration::from_nanos(5_000),
+            sort_cmp: SimDuration::from_nanos(3_000),
+            divide_step: SimDuration::from_nanos(500),
+            merge_step: SimDuration::from_nanos(3_000),
+            elem_matrix: 8,
+            elem_key: 4,
+            proc_overhead_mem: 64 * 1024,
+        }
+    }
+}
+
+impl CostModel {
+    /// CPU time to compute `rows` rows of an `n x n` result matrix
+    /// (`rows * n` dot products of length `n`).
+    pub fn mm_compute(&self, rows: usize, n: usize) -> SimDuration {
+        self.mm_mac * (rows as u64 * n as u64 * n as u64)
+    }
+
+    /// CPU time for a full sequential `n x n` matrix multiplication.
+    pub fn mm_full(&self, n: usize) -> SimDuration {
+        self.mm_compute(n, n)
+    }
+
+    /// CPU time to selection-sort `m` keys: `m (m - 1) / 2` inner steps.
+    pub fn selection_sort(&self, m: usize) -> SimDuration {
+        let m = m as u64;
+        self.sort_cmp * (m * m.saturating_sub(1) / 2)
+    }
+
+    /// CPU time to split an `m`-key array for the divide phase.
+    pub fn divide(&self, m: usize) -> SimDuration {
+        self.divide_step * m as u64
+    }
+
+    /// CPU time to merge two sorted runs totalling `m` keys.
+    pub fn merge(&self, m: usize) -> SimDuration {
+        self.merge_step * m as u64
+    }
+
+    /// Bytes of an `r x c` matrix block.
+    pub fn matrix_bytes(&self, r: usize, c: usize) -> u64 {
+        self.elem_matrix * r as u64 * c as u64
+    }
+
+    /// Bytes of `m` sort keys.
+    pub fn keys_bytes(&self, m: usize) -> u64 {
+        self.elem_key * m as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm_costs_scale_cubically() {
+        let c = CostModel::default();
+        let small = c.mm_full(50);
+        let large = c.mm_full(100);
+        assert_eq!(large.nanos(), small.nanos() * 8);
+        // 100^3 MACs at 5 us each = 5 s sequential: T805-with-occam scale.
+        assert_eq!(large, SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn partial_mm_matches_split() {
+        let c = CostModel::default();
+        let whole = c.mm_full(64);
+        let parts: SimDuration = (0..4).map(|_| c.mm_compute(16, 64)).sum();
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn selection_sort_is_quadratic() {
+        let c = CostModel::default();
+        let t1 = c.selection_sort(1000);
+        let t2 = c.selection_sort(2000);
+        let ratio = t2.nanos() as f64 / t1.nanos() as f64;
+        assert!((ratio - 4.0).abs() < 0.01, "ratio {ratio}");
+        assert_eq!(c.selection_sort(0), SimDuration::ZERO);
+        assert_eq!(c.selection_sort(1), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fixed_partitioning_reduces_total_sort_work() {
+        // The paper's §5.3 observation: sorting 16 pieces of n/16 keys costs
+        // far less than 4 pieces of n/4.
+        let c = CostModel::default();
+        let n = 1400;
+        let w16: SimDuration = (0..16).map(|_| c.selection_sort(n / 16)).sum();
+        let w4: SimDuration = (0..4).map(|_| c.selection_sort(n / 4)).sum();
+        assert!(w16.nanos() * 3 < w4.nanos(), "w16={w16} w4={w4}");
+    }
+
+    #[test]
+    fn byte_sizes() {
+        let c = CostModel::default();
+        assert_eq!(c.matrix_bytes(100, 100), 80_000);
+        assert_eq!(c.keys_bytes(1400), 5_600);
+    }
+}

@@ -1,0 +1,48 @@
+//! # parsched-workload
+//!
+//! The applications of the scheduling study, compiled to the machine's
+//! program model:
+//!
+//! * [`matmul`] — fork-join matrix multiplication (the paper's low-worker-
+//!   communication representative, §4.1);
+//! * [`sort`] — divide-and-conquer selection sort (§4.2), whose O(n²) work
+//!   phase makes the fixed software architecture shine;
+//! * [`pipeline`] — a streaming pipeline (extension): the third classic
+//!   parallel structure, with steady neighbour-to-neighbour traffic;
+//! * [`synthetic`] — fork-join jobs with controllable service-demand
+//!   variance for the time-sharing crossover ablation;
+//! * [`batch`] — the paper's 12-small + 4-large batches in both software
+//!   architectures;
+//! * [`cost`] — the T805 cost model converting algorithmic work to time.
+//!
+//! ```
+//! use parsched_workload::prelude::*;
+//!
+//! let cost = CostModel::default();
+//! let batch = paper_batch(App::MatMul, Arch::Adaptive, 8, &BatchSizes::default(), &cost);
+//! assert_eq!(batch.len(), 16);
+//! assert!(batch.iter().all(|job| job.check_balanced().is_ok()));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cost;
+pub mod matmul;
+pub mod pipeline;
+pub mod sort;
+pub mod synthetic;
+
+/// The workload crate's commonly used names in one import.
+pub mod prelude {
+    pub use crate::batch::{paper_batch, App, Arch, BatchSizes};
+    pub use crate::cost::CostModel;
+    pub use crate::matmul::matmul_job;
+    pub use crate::pipeline::{pipeline_job, PipelineParams};
+    pub use crate::sort::sort_job;
+    pub use crate::synthetic::{
+        poisson_arrivals, synthetic_batch, synthetic_job, SyntheticParams,
+    };
+}
+
+pub use prelude::*;

@@ -1,0 +1,193 @@
+//! The matrix-multiplication application (§4.1 of the paper).
+//!
+//! Fork-and-join structure: a coordinator (rank 0) distributes matrix `B`
+//! in full to every worker plus a block of `R/T` rows of `A`, every process
+//! (coordinator included) computes its block of `C = A x B`, and the
+//! coordinator gathers the result blocks. Chosen by the paper to represent
+//! workloads with *low* communication among workers — all traffic flows
+//! through the coordinator.
+
+use crate::cost::CostModel;
+use parsched_machine::program::{JobSpec, Op, ProcSpec, Rank, Tag};
+
+/// Mailbox tag for the broadcast of matrix `B`.
+pub const TAG_B: Tag = Tag(1);
+/// Mailbox tag for a worker's block of matrix `A`.
+pub const TAG_A: Tag = Tag(2);
+/// Mailbox tag for a result block of `C`.
+pub const TAG_C: Tag = Tag(3);
+
+/// Split `n` rows over `t` processes: earlier ranks get the remainder.
+pub fn row_split(n: usize, t: usize) -> Vec<usize> {
+    assert!(t >= 1 && n >= 1);
+    let base = n / t;
+    let extra = n % t;
+    (0..t).map(|r| base + usize::from(r < extra)).collect()
+}
+
+/// Build the matrix-multiplication job: multiply two `n x n` matrices with
+/// `t` processes.
+///
+/// With `t == 1` the job is a single local computation (no messages). The
+/// *fixed* software architecture always passes `t = 16`; the *adaptive* one
+/// passes `t = partition size`.
+///
+/// ```
+/// use parsched_workload::{matmul_job, CostModel};
+///
+/// let cost = CostModel::default();
+/// let job = matmul_job("demo", 64, 4, &cost);
+/// assert_eq!(job.width(), 4);
+/// job.check_balanced().unwrap();
+/// // Total compute is the sequential demand regardless of the split.
+/// assert_eq!(job.total_compute(), cost.mm_full(64));
+/// ```
+pub fn matmul_job(name: impl Into<String>, n: usize, t: usize, cost: &CostModel) -> JobSpec {
+    assert!(t >= 1, "need at least one process");
+    assert!(n >= t, "cannot split {n} rows over {t} processes");
+    let rows = row_split(n, t);
+    let b_bytes = cost.matrix_bytes(n, n);
+
+    if t == 1 {
+        return JobSpec {
+            name: name.into(),
+            ship_bytes: 0,
+            procs: vec![ProcSpec {
+                program: vec![Op::Compute(cost.mm_full(n))],
+                // A, B and C resident.
+                mem_bytes: 3 * b_bytes + cost.proc_overhead_mem,
+            }],
+        };
+    }
+
+    let mut procs = Vec::with_capacity(t);
+    // Coordinator: scatter B and the A-blocks, compute its own block,
+    // gather the C-blocks. It computes *after* distributing work, exactly
+    // like the paper's coordinator.
+    let mut coord = Vec::with_capacity(2 * (t - 1) + 2);
+    for (w, &w_rows) in rows.iter().enumerate().skip(1) {
+        coord.push(Op::Send { to: Rank(w as u32), bytes: b_bytes, tag: TAG_B });
+        coord.push(Op::Send {
+            to: Rank(w as u32),
+            bytes: cost.matrix_bytes(w_rows, n),
+            tag: TAG_A,
+        });
+    }
+    coord.push(Op::Compute(cost.mm_compute(rows[0], n)));
+    coord.push(Op::RecvAny { count: (t - 1) as u32, tag: TAG_C });
+    procs.push(ProcSpec {
+        program: coord,
+        // The coordinator holds all of A, B and C.
+        mem_bytes: 3 * b_bytes + cost.proc_overhead_mem,
+    });
+
+    for &w_rows in rows.iter().skip(1) {
+        let program = vec![
+            Op::Recv { tag: TAG_B },
+            Op::Recv { tag: TAG_A },
+            Op::Compute(cost.mm_compute(w_rows, n)),
+            Op::Send {
+                to: Rank(0),
+                bytes: cost.matrix_bytes(w_rows, n),
+                tag: TAG_C,
+            },
+        ];
+        procs.push(ProcSpec {
+            program,
+            // A worker holds its copy of B plus its A- and C-blocks.
+            mem_bytes: b_bytes
+                + 2 * cost.matrix_bytes(w_rows, n)
+                + cost.proc_overhead_mem,
+        });
+    }
+
+    let mut spec = JobSpec {
+        name: name.into(),
+        ship_bytes: 0,
+        procs,
+    };
+    // Ship one code image plus the data; per-process workspaces are
+    // allocated on the nodes, not transferred from the host.
+    spec.ship_bytes = spec
+        .total_mem()
+        .saturating_sub((spec.width() as u64 - 1) * cost.proc_overhead_mem)
+        .max(cost.proc_overhead_mem);
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsched_des::SimDuration;
+
+    #[test]
+    fn row_split_covers_everything() {
+        assert_eq!(row_split(100, 16).iter().sum::<usize>(), 100);
+        assert_eq!(row_split(50, 16).iter().sum::<usize>(), 50);
+        assert_eq!(row_split(100, 1), vec![100]);
+        let s = row_split(10, 3);
+        assert_eq!(s, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn single_process_job_is_local() {
+        let cost = CostModel::default();
+        let j = matmul_job("mm1", 100, 1, &cost);
+        assert_eq!(j.width(), 1);
+        assert_eq!(j.total_bytes(), 0);
+        assert_eq!(j.total_compute(), SimDuration::from_secs(5));
+        assert!(j.check_balanced().is_ok());
+    }
+
+    #[test]
+    fn parallel_job_is_balanced_and_complete() {
+        let cost = CostModel::default();
+        for t in [2, 4, 8, 16] {
+            let j = matmul_job("mm", 100, t, &cost);
+            assert_eq!(j.width(), t);
+            assert!(j.check_balanced().is_ok(), "t={t}");
+            // Total compute is exactly the sequential demand regardless of t.
+            assert_eq!(j.total_compute(), SimDuration::from_secs(5), "t={t}");
+        }
+    }
+
+    #[test]
+    fn communication_scales_with_process_count() {
+        // B goes to every worker: the fixed architecture (t=16) moves far
+        // more data than the adaptive one at small partitions (paper §5.2).
+        let cost = CostModel::default();
+        let j4 = matmul_job("mm4", 100, 4, &cost);
+        let j16 = matmul_job("mm16", 100, 16, &cost);
+        assert!(j16.total_bytes() > 3 * j4.total_bytes());
+    }
+
+    #[test]
+    fn memory_footprint_fits_paper_constraint() {
+        // 16 large jobs must (barely) fit the 16 x 4 MB machine: that is how
+        // the paper chose its matrix sizes (footnote in §5.2).
+        let cost = CostModel::default();
+        let j = matmul_job("mm", 100, 16, &cost);
+        let per_job = j.total_mem();
+        assert!(
+            16 * per_job <= 16 * 4 * 1024 * 1024,
+            "16 jobs need {} bytes",
+            16 * per_job
+        );
+        // ...but they are a large fraction of it, so buffer memory is tight.
+        assert!(16 * per_job >= 8 * 4 * 1024 * 1024 / 2);
+    }
+
+    #[test]
+    fn coordinator_computes_after_distributing() {
+        let cost = CostModel::default();
+        let j = matmul_job("mm", 64, 4, &cost);
+        let coord = &j.procs[0].program;
+        let first_compute = coord.iter().position(|o| matches!(o, Op::Compute(_))).unwrap();
+        let last_send = coord
+            .iter()
+            .rposition(|o| matches!(o, Op::Send { .. }))
+            .unwrap();
+        assert!(last_send < first_compute);
+        assert!(matches!(coord.last(), Some(Op::RecvAny { count: 3, .. })));
+    }
+}

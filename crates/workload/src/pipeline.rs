@@ -1,0 +1,150 @@
+//! A pipeline application (extension).
+//!
+//! The paper studies fork-join (matrix multiplication) and
+//! divide-and-conquer (sort) structures; the third classic structure its
+//! introduction's "parallel programs" space contains is the *pipeline*:
+//! `t` stages in a chain, `w` data waves streaming through, every stage
+//! computing on each wave and passing it to the next. Its communication is
+//! steady neighbour-to-neighbour traffic — the pattern that rewards
+//! topology locality most and (under time-sharing) suffers most when
+//! producer and consumer are never co-scheduled.
+
+use crate::cost::CostModel;
+use parsched_des::SimDuration;
+use parsched_machine::program::{JobSpec, Op, ProcSpec, Rank, Tag};
+
+/// Mailbox tag for inter-stage hand-offs; stage `s` receives on
+/// `Tag(TAG_STAGE_BASE.0 + s)`.
+pub const TAG_STAGE_BASE: Tag = Tag(300);
+
+/// Parameters of a pipeline job.
+#[derive(Debug, Clone)]
+pub struct PipelineParams {
+    /// Pipeline depth (= process count).
+    pub stages: usize,
+    /// Number of data waves streamed through.
+    pub waves: usize,
+    /// Payload bytes handed from stage to stage per wave.
+    pub wave_bytes: u64,
+    /// CPU work per stage per wave.
+    pub stage_work: SimDuration,
+}
+
+impl Default for PipelineParams {
+    fn default() -> Self {
+        PipelineParams {
+            stages: 8,
+            waves: 16,
+            wave_bytes: 8 * 1024,
+            stage_work: SimDuration::from_millis(20),
+        }
+    }
+}
+
+/// Build a pipeline job: stage `s` is rank `s`; rank 0 produces the waves,
+/// the last rank consumes them.
+pub fn pipeline_job(
+    name: impl Into<String>,
+    params: &PipelineParams,
+    cost: &CostModel,
+) -> JobSpec {
+    assert!(params.stages >= 1, "need at least one stage");
+    assert!(params.waves >= 1, "need at least one wave");
+    let t = params.stages;
+    let mut procs = Vec::with_capacity(t);
+    for s in 0..t {
+        let mut program = Vec::with_capacity(3 * params.waves);
+        for _ in 0..params.waves {
+            if s > 0 {
+                program.push(Op::Recv {
+                    tag: Tag(TAG_STAGE_BASE.0 + s as u32),
+                });
+            }
+            program.push(Op::Compute(params.stage_work));
+            if s + 1 < t {
+                program.push(Op::Send {
+                    to: Rank(s as u32 + 1),
+                    bytes: params.wave_bytes,
+                    tag: Tag(TAG_STAGE_BASE.0 + s as u32 + 1),
+                });
+            }
+        }
+        procs.push(ProcSpec {
+            program,
+            // Double-buffered wave storage plus workspace.
+            mem_bytes: 2 * params.wave_bytes + cost.proc_overhead_mem,
+        });
+    }
+    let mut spec = JobSpec {
+        name: name.into(),
+        ship_bytes: 0,
+        procs,
+    };
+    spec.ship_bytes = spec
+        .total_mem()
+        .saturating_sub((spec.width() as u64 - 1) * cost.proc_overhead_mem)
+        .max(cost.proc_overhead_mem);
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_is_balanced_for_all_depths() {
+        let cost = CostModel::default();
+        for stages in [1usize, 2, 5, 16] {
+            let params = PipelineParams {
+                stages,
+                ..PipelineParams::default()
+            };
+            let j = pipeline_job("p", &params, &cost);
+            assert_eq!(j.width(), stages);
+            j.check_balanced().unwrap_or_else(|e| panic!("stages={stages}: {e}"));
+        }
+    }
+
+    #[test]
+    fn work_scales_with_stages_and_waves() {
+        let cost = CostModel::default();
+        let base = PipelineParams::default();
+        let j = pipeline_job("p", &base, &cost);
+        assert_eq!(
+            j.total_compute(),
+            base.stage_work * (base.stages as u64 * base.waves as u64)
+        );
+        let deep = PipelineParams {
+            stages: base.stages * 2,
+            ..base.clone()
+        };
+        let jd = pipeline_job("pd", &deep, &cost);
+        assert_eq!(jd.total_compute().nanos(), 2 * j.total_compute().nanos());
+    }
+
+    #[test]
+    fn message_volume_is_waves_times_internal_edges() {
+        let cost = CostModel::default();
+        let params = PipelineParams::default();
+        let j = pipeline_job("p", &params, &cost);
+        let sends: u64 = j.procs.iter().map(|p| p.send_count()).sum();
+        assert_eq!(sends, (params.stages as u64 - 1) * params.waves as u64);
+        assert_eq!(
+            j.total_bytes(),
+            sends * params.wave_bytes
+        );
+    }
+
+    #[test]
+    fn single_stage_pipeline_is_pure_compute() {
+        let cost = CostModel::default();
+        let params = PipelineParams {
+            stages: 1,
+            waves: 4,
+            ..PipelineParams::default()
+        };
+        let j = pipeline_job("solo", &params, &cost);
+        assert_eq!(j.total_bytes(), 0);
+        assert_eq!(j.procs[0].recv_count(), 0);
+    }
+}

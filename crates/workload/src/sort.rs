@@ -1,0 +1,205 @@
+//! The sorting application (§4.2 of the paper).
+//!
+//! Divide-and-conquer structure over `t = 2^k` processes: a coordinator
+//! splits its array in half, ships one half to a partner process, recurses
+//! on its own half, and merges the partner's sorted half on return. Leaves
+//! run *selection sort* — deliberately O(n²), which is why the paper's
+//! fixed architecture (always 16 small pieces) beats the adaptive one for
+//! this application (§5.3). Coordinators double as workers at deeper levels
+//! (the shaded processes of the paper's Figure 2).
+
+use crate::cost::CostModel;
+use parsched_machine::program::{JobSpec, Op, ProcSpec, Rank, Tag};
+
+/// Mailbox tag for the divide-phase array halves.
+pub const TAG_DIVIDE: Tag = Tag(10);
+/// Base tag for merge-phase returns: the child sending its sorted run uses
+/// `Tag(TAG_MERGE_BASE.0 + child_rank)`, so a parent waiting on two children
+/// cannot confuse their results.
+pub const TAG_MERGE_BASE: Tag = Tag(100);
+
+/// Build the sort job: sort `m` keys with `t` processes (`t` a power of 2).
+///
+/// ```
+/// use parsched_workload::{sort_job, CostModel};
+///
+/// let cost = CostModel::default();
+/// let wide = sort_job("wide", 8000, 16, &cost);
+/// let narrow = sort_job("narrow", 8000, 2, &cost);
+/// wide.check_balanced().unwrap();
+/// // O(n^2) leaves: more, smaller pieces mean less total work (§5.3).
+/// assert!(wide.total_compute() < narrow.total_compute());
+/// ```
+pub fn sort_job(name: impl Into<String>, m: usize, t: usize, cost: &CostModel) -> JobSpec {
+    assert!(t >= 1 && t.is_power_of_two(), "sort needs a power-of-two width");
+    assert!(m >= t, "cannot split {m} keys over {t} processes");
+    let mut programs: Vec<Vec<Op>> = vec![Vec::new(); t];
+    let mut footprints: Vec<u64> = vec![0; t];
+    build(&mut programs, &mut footprints, 0, m, t, cost);
+    let procs = programs
+        .into_iter()
+        .zip(footprints)
+        .map(|(program, fp)| ProcSpec {
+            program,
+            // Held array plus merge buffer, plus code/stack.
+            mem_bytes: 2 * fp + cost.proc_overhead_mem,
+        })
+        .collect();
+    let mut spec = JobSpec {
+        name: name.into(),
+        ship_bytes: 0,
+        procs,
+    };
+    // Ship one code image plus the data; per-process workspaces are
+    // allocated on the nodes, not transferred from the host.
+    spec.ship_bytes = spec
+        .total_mem()
+        .saturating_sub((spec.width() as u64 - 1) * cost.proc_overhead_mem)
+        .max(cost.proc_overhead_mem);
+    spec
+}
+
+/// Recursively emit the ops for the subtree rooted at `rank`, which owns
+/// `elems` keys and `span` processes (`rank .. rank + span`).
+fn build(
+    programs: &mut Vec<Vec<Op>>,
+    footprints: &mut Vec<u64>,
+    rank: usize,
+    elems: usize,
+    span: usize,
+    cost: &CostModel,
+) {
+    footprints[rank] = footprints[rank].max(cost.keys_bytes(elems));
+    if span == 1 {
+        programs[rank].push(Op::Compute(cost.selection_sort(elems)));
+        return;
+    }
+    let half_span = span / 2;
+    let partner = rank + half_span;
+    let sent = elems / 2;
+    let kept = elems - sent;
+
+    // Divide: split the array and ship half to the partner.
+    programs[rank].push(Op::Compute(cost.divide(elems)));
+    programs[rank].push(Op::Send {
+        to: Rank(partner as u32),
+        bytes: cost.keys_bytes(sent),
+        tag: TAG_DIVIDE,
+    });
+    programs[partner].push(Op::Recv { tag: TAG_DIVIDE });
+
+    // Both halves recurse; the partner then returns its sorted run.
+    build(programs, footprints, partner, sent, half_span, cost);
+    programs[partner].push(Op::Send {
+        to: Rank(rank as u32),
+        bytes: cost.keys_bytes(sent),
+        tag: Tag(TAG_MERGE_BASE.0 + partner as u32),
+    });
+    build(programs, footprints, rank, kept, half_span, cost);
+
+    // Merge the partner's run with our own.
+    programs[rank].push(Op::Recv {
+        tag: Tag(TAG_MERGE_BASE.0 + partner as u32),
+    });
+    programs[rank].push(Op::Compute(cost.merge(elems)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsched_des::SimDuration;
+
+    #[test]
+    fn single_process_is_one_big_sort() {
+        let cost = CostModel::default();
+        let j = sort_job("s1", 1000, 1, &cost);
+        assert_eq!(j.width(), 1);
+        assert_eq!(j.total_bytes(), 0);
+        assert_eq!(j.total_compute(), cost.selection_sort(1000));
+        assert!(j.check_balanced().is_ok());
+    }
+
+    #[test]
+    fn trees_are_balanced_for_all_widths() {
+        let cost = CostModel::default();
+        for t in [2, 4, 8, 16] {
+            let j = sort_job("s", 1400, t, &cost);
+            assert_eq!(j.width(), t);
+            assert!(j.check_balanced().is_ok(), "t={t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        sort_job("bad", 100, 3, &CostModel::default());
+    }
+
+    #[test]
+    fn more_processes_means_less_total_work() {
+        // O(n^2) leaves: quadrupling the process count roughly quarters the
+        // sort work (divide/merge overheads grow only linearly).
+        let cost = CostModel::default();
+        let w1 = sort_job("a", 1400, 1, &cost).total_compute();
+        let w4 = sort_job("b", 1400, 4, &cost).total_compute();
+        let w16 = sort_job("c", 1400, 16, &cost).total_compute();
+        assert!(w4.nanos() * 3 < w1.nanos(), "w1={w1} w4={w4}");
+        assert!(w16.nanos() * 3 < w4.nanos(), "w4={w4} w16={w16}");
+    }
+
+    #[test]
+    fn every_rank_participates() {
+        let cost = CostModel::default();
+        let j = sort_job("s", 1600, 8, &cost);
+        for (r, p) in j.procs.iter().enumerate() {
+            assert!(
+                p.compute_demand() > SimDuration::ZERO,
+                "rank {r} does no work"
+            );
+            assert!(p.mem_bytes > 0);
+        }
+        // Rank 0 merges the full array last.
+        let last_ops = &j.procs[0].program;
+        assert!(matches!(last_ops.last(), Some(Op::Compute(_))));
+        assert!(matches!(
+            last_ops[last_ops.len() - 2],
+            Op::Recv { tag } if tag.0 >= TAG_MERGE_BASE.0
+        ));
+    }
+
+    #[test]
+    fn divide_tree_matches_figure_2() {
+        // t=4: rank 0 ships half to rank 2 and a quarter to rank 1;
+        // rank 2 ships a quarter to rank 3 (the paper's Figure 2 shape).
+        let cost = CostModel::default();
+        let j = sort_job("fig2", 1024, 4, &cost);
+        let sends = |r: usize| -> Vec<(u32, u64)> {
+            j.procs[r]
+                .program
+                .iter()
+                .filter_map(|o| match o {
+                    Op::Send { to, bytes, tag } if *tag == TAG_DIVIDE => {
+                        Some((to.0, *bytes))
+                    }
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(sends(0), vec![(2, 512 * 4), (1, 256 * 4)]);
+        assert_eq!(sends(2), vec![(3, 256 * 4)]);
+        assert!(sends(1).is_empty());
+        assert!(sends(3).is_empty());
+    }
+
+    #[test]
+    fn footprints_halve_down_the_tree() {
+        let cost = CostModel::default();
+        let j = sort_job("fp", 1024, 4, &cost);
+        // rank0 holds the full array, rank2 half, ranks 1 and 3 a quarter.
+        let fp: Vec<u64> = j.procs.iter().map(|p| p.mem_bytes - cost.proc_overhead_mem).collect();
+        assert_eq!(fp[0], 2 * 1024 * 4);
+        assert_eq!(fp[2], 2 * 512 * 4);
+        assert_eq!(fp[1], 2 * 256 * 4);
+        assert_eq!(fp[3], 2 * 256 * 4);
+    }
+}

@@ -1,0 +1,226 @@
+//! Synthetic fork-join jobs with controllable service-demand variance.
+//!
+//! The paper (§5.2) notes that its two-size batches have too little
+//! service-demand variance to favour time-sharing, and points to the
+//! companion reports [2, 3] for the high-variance regime where time-sharing
+//! wins. This module generates fork-join jobs whose *total* demand is drawn
+//! from a distribution with a chosen mean and coefficient of variation, so
+//! the crossover can be reproduced (experiment A1 in DESIGN.md).
+
+use crate::cost::CostModel;
+use parsched_des::rng::DetRng;
+use parsched_des::SimDuration;
+use parsched_machine::program::{JobSpec, Op, ProcSpec, Rank, Tag};
+
+/// Tag for the scatter messages.
+pub const TAG_WORK: Tag = Tag(20);
+/// Tag for the gather messages.
+pub const TAG_DONE: Tag = Tag(21);
+
+/// Parameters of a synthetic fork-join batch.
+#[derive(Debug, Clone)]
+pub struct SyntheticParams {
+    /// Mean sequential service demand per job.
+    pub mean_demand: SimDuration,
+    /// Coefficient of variation of the per-job demand (0 = constant,
+    /// 1 = exponential, >1 = hyperexponential).
+    pub cv: f64,
+    /// Processes per job.
+    pub width: usize,
+    /// Bytes scattered to each worker (and gathered back).
+    pub msg_bytes: u64,
+    /// Resident memory per process.
+    pub mem_per_proc: u64,
+}
+
+impl Default for SyntheticParams {
+    fn default() -> Self {
+        SyntheticParams {
+            mean_demand: SimDuration::from_secs(2),
+            cv: 1.0,
+            width: 16,
+            msg_bytes: 4 * 1024,
+            mem_per_proc: 4 * 1024,
+        }
+    }
+}
+
+/// Build one synthetic fork-join job with total demand `demand` split
+/// evenly over `params.width` processes.
+pub fn synthetic_job(
+    name: impl Into<String>,
+    demand: SimDuration,
+    params: &SyntheticParams,
+    cost: &CostModel,
+) -> JobSpec {
+    let t = params.width.max(1);
+    let share = demand / t as u64;
+    if t == 1 {
+        return JobSpec {
+            name: name.into(),
+            ship_bytes: 0,
+            procs: vec![ProcSpec {
+                program: vec![Op::Compute(demand)],
+                mem_bytes: params.mem_per_proc + cost.proc_overhead_mem,
+            }],
+        };
+    }
+    let mut procs = Vec::with_capacity(t);
+    let mut coord = Vec::new();
+    for w in 1..t {
+        coord.push(Op::Send {
+            to: Rank(w as u32),
+            bytes: params.msg_bytes,
+            tag: TAG_WORK,
+        });
+    }
+    coord.push(Op::Compute(share));
+    coord.push(Op::RecvAny {
+        count: (t - 1) as u32,
+        tag: TAG_DONE,
+    });
+    procs.push(ProcSpec {
+        program: coord,
+        mem_bytes: params.mem_per_proc + cost.proc_overhead_mem,
+    });
+    for _ in 1..t {
+        procs.push(ProcSpec {
+            program: vec![
+                Op::Recv { tag: TAG_WORK },
+                Op::Compute(share),
+                Op::Send {
+                    to: Rank(0),
+                    bytes: params.msg_bytes,
+                    tag: TAG_DONE,
+                },
+            ],
+            mem_bytes: params.mem_per_proc + cost.proc_overhead_mem,
+        });
+    }
+    let mut spec = JobSpec {
+        name: name.into(),
+        ship_bytes: 0,
+        procs,
+    };
+    // Ship one code image plus the data; per-process workspaces are
+    // allocated on the nodes, not transferred from the host.
+    spec.ship_bytes = spec
+        .total_mem()
+        .saturating_sub((spec.width() as u64 - 1) * cost.proc_overhead_mem)
+        .max(cost.proc_overhead_mem);
+    spec
+}
+
+/// Draw `count` Poisson arrival instants with the given mean interarrival
+/// time (deterministic given `rng`), in nondecreasing order starting after
+/// t = 0.
+pub fn poisson_arrivals(
+    count: usize,
+    mean_interarrival: SimDuration,
+    rng: &mut DetRng,
+) -> Vec<parsched_des::SimTime> {
+    let mut t = parsched_des::SimTime::ZERO;
+    (0..count)
+        .map(|_| {
+            t += SimDuration::from_secs_f64(
+                rng.exponential(mean_interarrival.as_secs_f64()),
+            );
+            t
+        })
+        .collect()
+}
+
+/// Draw `count` jobs whose total demands follow the configured
+/// mean/CV distribution (deterministic given `rng`).
+pub fn synthetic_batch(
+    count: usize,
+    params: &SyntheticParams,
+    cost: &CostModel,
+    rng: &mut DetRng,
+) -> Vec<JobSpec> {
+    (0..count)
+        .map(|i| {
+            let demand =
+                SimDuration::from_secs_f64(rng.with_cv(params.mean_demand.as_secs_f64(), params.cv));
+            // Floor at one quantum's worth of work so every job is real.
+            let demand = demand.max(SimDuration::from_millis(2));
+            synthetic_job(format!("syn{i}"), demand, params, cost)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsched_des::Welford;
+
+    #[test]
+    fn job_demand_splits_evenly() {
+        let params = SyntheticParams {
+            width: 4,
+            ..SyntheticParams::default()
+        };
+        let j = synthetic_job("s", SimDuration::from_millis(400), &params, &CostModel::default());
+        assert_eq!(j.width(), 4);
+        assert!(j.check_balanced().is_ok());
+        assert_eq!(j.total_compute(), SimDuration::from_millis(400));
+        for p in &j.procs {
+            assert_eq!(p.compute_demand(), SimDuration::from_millis(100));
+        }
+    }
+
+    #[test]
+    fn width_one_is_local() {
+        let params = SyntheticParams {
+            width: 1,
+            ..SyntheticParams::default()
+        };
+        let j = synthetic_job("s", SimDuration::from_millis(100), &params, &CostModel::default());
+        assert_eq!(j.total_bytes(), 0);
+    }
+
+    #[test]
+    fn batch_hits_target_mean_and_cv() {
+        let params = SyntheticParams {
+            cv: 2.0,
+            ..SyntheticParams::default()
+        };
+        let mut rng = DetRng::new(7).substream("synthetic");
+        let jobs = synthetic_batch(2000, &params, &CostModel::default(), &mut rng);
+        let mut w = Welford::new();
+        for j in &jobs {
+            w.record(j.total_compute().as_secs_f64());
+        }
+        assert!((w.mean() - 2.0).abs() < 0.2, "mean {}", w.mean());
+        assert!((w.cv() - 2.0).abs() < 0.3, "cv {}", w.cv());
+    }
+
+    #[test]
+    fn poisson_arrivals_are_ordered_and_scale() {
+        let mut rng = DetRng::new(11);
+        let arr = poisson_arrivals(500, SimDuration::from_millis(100), &mut rng);
+        assert_eq!(arr.len(), 500);
+        for w in arr.windows(2) {
+            assert!(w[0] <= w[1], "arrivals must be nondecreasing");
+        }
+        // Mean interarrival within 15% of the target.
+        let total = arr.last().unwrap().as_secs_f64();
+        let mean = total / 500.0;
+        assert!((mean - 0.1).abs() < 0.015, "mean interarrival {mean}");
+    }
+
+    #[test]
+    fn batch_is_deterministic() {
+        let params = SyntheticParams::default();
+        let cost = CostModel::default();
+        let a: Vec<_> = synthetic_batch(10, &params, &cost, &mut DetRng::new(3))
+            .iter()
+            .map(|j| j.total_compute())
+            .collect();
+        let b: Vec<_> = synthetic_batch(10, &params, &cost, &mut DetRng::new(3))
+            .iter()
+            .map(|j| j.total_compute())
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests: every generator emits balanced, well-formed jobs for
+//! arbitrary parameters, and the aggregate accounting identities hold.
+
+use parsched_des::rng::DetRng;
+use parsched_des::SimDuration;
+use parsched_workload::pipeline::{pipeline_job, PipelineParams};
+use parsched_workload::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn matmul_jobs_always_balanced(
+        n in 16usize..200,
+        t_pow in 0u32..5,
+    ) {
+        let t = 1usize << t_pow;
+        prop_assume!(n >= t);
+        let cost = CostModel::default();
+        let j = matmul_job("p", n, t, &cost);
+        prop_assert!(j.check_balanced().is_ok());
+        prop_assert_eq!(j.width(), t);
+        // Splitting never changes total work.
+        prop_assert_eq!(j.total_compute(), cost.mm_full(n));
+        // Ship bytes never exceed the resident footprint and always cover
+        // at least the data.
+        prop_assert!(j.effective_ship_bytes() <= j.total_mem());
+        prop_assert!(j.effective_ship_bytes() >= cost.proc_overhead_mem);
+    }
+
+    #[test]
+    fn sort_jobs_always_balanced(
+        m in 64usize..20_000,
+        t_pow in 0u32..5,
+    ) {
+        let t = 1usize << t_pow;
+        prop_assume!(m >= t);
+        let cost = CostModel::default();
+        let j = sort_job("s", m, t, &cost);
+        prop_assert!(j.check_balanced().is_ok());
+        prop_assert_eq!(j.width(), t);
+        // Every divide send has a matching merge return: sends come in
+        // pairs across the tree (t - 1 divides, t - 1 merges).
+        let sends: u64 = j.procs.iter().map(|p| p.send_count()).sum();
+        prop_assert_eq!(sends, 2 * (t as u64 - 1));
+    }
+
+    #[test]
+    fn pipeline_jobs_always_balanced(
+        stages in 1usize..20,
+        waves in 1usize..20,
+        bytes in 0u64..100_000,
+    ) {
+        let cost = CostModel::default();
+        let params = PipelineParams {
+            stages,
+            waves,
+            wave_bytes: bytes,
+            stage_work: SimDuration::from_micros(500),
+        };
+        let j = pipeline_job("pl", &params, &cost);
+        prop_assert!(j.check_balanced().is_ok());
+        let sends: u64 = j.procs.iter().map(|p| p.send_count()).sum();
+        prop_assert_eq!(sends, (stages as u64 - 1) * waves as u64);
+    }
+
+    #[test]
+    fn synthetic_jobs_split_demand_exactly(
+        width in 1usize..=16,
+        demand_ms in 1u64..5_000,
+    ) {
+        let cost = CostModel::default();
+        let params = SyntheticParams { width, ..SyntheticParams::default() };
+        let demand = SimDuration::from_millis(demand_ms);
+        let j = synthetic_job("syn", demand, &params, &cost);
+        prop_assert!(j.check_balanced().is_ok());
+        // Integer division may shave < width nanoseconds.
+        let total = j.total_compute();
+        prop_assert!(total <= demand);
+        prop_assert!(demand.nanos() - total.nanos() < width as u64);
+    }
+
+    #[test]
+    fn batches_respect_composition(
+        small in 0usize..=16,
+    ) {
+        let sizes = BatchSizes {
+            small_count: small,
+            ..BatchSizes::default()
+        };
+        let cost = CostModel::default();
+        let batch = paper_batch(App::Sort, Arch::Fixed, 4, &sizes, &cost);
+        prop_assert_eq!(batch.len(), sizes.jobs);
+        let smalls = batch.iter().filter(|j| j.name.contains("-S")).count();
+        prop_assert_eq!(smalls, small.min(sizes.jobs));
+    }
+
+    #[test]
+    fn arrivals_are_monotone_for_any_rate(
+        count in 1usize..200,
+        mean_us in 1u64..1_000_000,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = DetRng::new(seed);
+        let arr = poisson_arrivals(
+            count,
+            SimDuration::from_micros(mean_us),
+            &mut rng,
+        );
+        prop_assert_eq!(arr.len(), count);
+        for w in arr.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert!(arr[0].nanos() > 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: build a small batch, run it under both scheduling policies on
+//! a simulated Transputer machine, and compare mean response times.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use parsched::prelude::*;
+
+fn main() {
+    // A batch of eight fork-join jobs with exponential service demands
+    // (deterministic given the seed).
+    let cost = CostModel::default();
+    let params = SyntheticParams {
+        width: 8,
+        ..SyntheticParams::default()
+    };
+    let mut rng = DetRng::new(7).substream("quickstart");
+    let batch = synthetic_batch(8, &params, &cost, &mut rng);
+
+    println!("batch of {} jobs:", batch.len());
+    for job in &batch {
+        println!(
+            "  {:<6} demand {:>10}  {} processes, {} KB resident",
+            job.name,
+            format!("{}", job.total_compute()),
+            job.width(),
+            job.total_mem() / 1024,
+        );
+    }
+
+    // Two eight-processor partitions wired as rings.
+    for policy in [PolicyKind::Static, PolicyKind::TimeSharing] {
+        let config = ExperimentConfig::paper(8, TopologyKind::Ring, policy);
+        let result = run_experiment(&config, &batch).expect("simulation completed");
+        let stats = &result.primary.stats;
+        println!(
+            "\n{:<7} on {}: mean response {:.3} s (makespan {}, cpu {:.0}%, \
+             {} messages, {} engine events)",
+            policy.label(),
+            config.label(),
+            result.mean_response,
+            result.primary.makespan,
+            stats.mean_cpu_utilization * 100.0,
+            stats.messages_sent,
+            result.primary.events,
+        );
+    }
+}
