@@ -1,0 +1,272 @@
+//! Wall-clock benchmark of the simulator's hot paths.
+//!
+//! ```text
+//! perf [--check] [--iters N] [--warmup N] [--set-baseline] [--out PATH]
+//!      [--only NAME[,NAME...]]
+//! ```
+//!
+//! Scenarios:
+//!
+//! * `f3_hc16_ts` — the headline: Figure 3's 16-node hypercube partition
+//!   under time-sharing, full paper batch (the configuration with the most
+//!   traffic and the deepest event queue);
+//! * `f3_hc16_static` — same machine under static space-sharing;
+//! * `f3_hc16_ts_calendar` — the headline with the calendar event queue,
+//!   to keep the queue-backend decision honest;
+//! * `queue_hold_{heap,cal}_n{64,4096}` — bare event-queue hold model
+//!   (pop-then-push at a steady population), the classic queue benchmark.
+//!
+//! Results append to `BENCH_parsched.json` (see `parsched_bench::harness`):
+//! `baseline` medians are captured on the first run (or with
+//! `--set-baseline`) and kept thereafter, so later runs print speedups
+//! against them. Every f3 scenario's *simulated* mean response is pinned
+//! bit-exactly in the `golden` map: an optimization may only move
+//! wall-clock time, never simulated time.
+//!
+//! `--check` is the CI mode (`scripts/tier1.sh`): one untimed run of the
+//! f3 scenarios, verified bit-identical against the goldens; exits
+//! non-zero on any mismatch or if no goldens are recorded.
+
+use parsched_bench::harness::{bench, BenchOpts, Report, Sample};
+use parsched_core::prelude::*;
+use parsched_des::prelude::*;
+use parsched_machine::JobSpec;
+use parsched_topology::TopologyKind;
+use parsched_workload::prelude::*;
+
+fn f3_config(policy: PolicyKind, queue: QueueKind) -> (ExperimentConfig, Vec<JobSpec>) {
+    let cfg = ExperimentConfig {
+        queue,
+        ..ExperimentConfig::paper(16, TopologyKind::Hypercube { dim: 0 }, policy)
+    };
+    let batch = paper_batch(
+        App::MatMul,
+        Arch::Fixed,
+        16,
+        &BatchSizes::default(),
+        &CostModel::default(),
+    );
+    (cfg, batch)
+}
+
+/// One full F3 batch takes only a few milliseconds, too short to time
+/// reliably; every timed iteration repeats it this many times.
+const F3_REPS: u32 = 10;
+
+fn run_f3(policy: PolicyKind, queue: QueueKind) -> f64 {
+    let (cfg, batch) = f3_config(policy, queue);
+    let mut metric = 0.0;
+    for _ in 0..F3_REPS {
+        metric = std::hint::black_box(
+            run_experiment(&cfg, &batch)
+                .expect("f3 configuration simulates")
+                .mean_response,
+        );
+    }
+    metric
+}
+
+/// Classic hold-model queue benchmark: fill to `n`, then `ops` rounds of
+/// pop-one push-one with an exponential-ish increment, which keeps the
+/// population (and for the calendar queue, the bucket occupancy) steady.
+fn queue_hold<Q: EventQueue<u64>>(mut q: Q, n: u64, ops: u64) -> f64 {
+    let mut rng = DetRng::new(0xBE7C);
+    let mut seq = 0u64;
+    for _ in 0..n {
+        seq += 1;
+        q.push(Scheduled {
+            time: SimTime(rng.uniform_u64(0, 1_000_000)),
+            seq,
+            event: seq,
+        });
+    }
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        let head = q.pop().expect("population is steady");
+        acc = acc.wrapping_add(head.time.nanos());
+        seq += 1;
+        q.push(Scheduled {
+            time: SimTime(head.time.nanos() + rng.uniform_u64(1, 1_000_000)),
+            seq,
+            event: seq,
+        });
+    }
+    acc as f64 // fold into the metric slot so the work cannot be elided
+}
+
+struct Scenario {
+    name: &'static str,
+    /// f3 scenarios pin their simulated result in the golden map.
+    pinned: bool,
+    run: fn() -> Option<f64>,
+}
+
+const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "f3_hc16_ts",
+        pinned: true,
+        run: || Some(run_f3(PolicyKind::TimeSharing, QueueKind::default())),
+    },
+    Scenario {
+        name: "f3_hc16_static",
+        pinned: true,
+        run: || Some(run_f3(PolicyKind::Static, QueueKind::default())),
+    },
+    Scenario {
+        name: "f3_hc16_ts_calendar",
+        pinned: false,
+        run: || Some(run_f3(PolicyKind::TimeSharing, QueueKind::Calendar)),
+    },
+    Scenario {
+        name: "queue_hold_heap_n64",
+        pinned: false,
+        run: || {
+            queue_hold(BinaryHeapQueue::new(), 64, 2_000_000);
+            None
+        },
+    },
+    Scenario {
+        name: "queue_hold_cal_n64",
+        pinned: false,
+        run: || {
+            queue_hold(CalendarQueue::new(), 64, 2_000_000);
+            None
+        },
+    },
+    Scenario {
+        name: "queue_hold_heap_n4096",
+        pinned: false,
+        run: || {
+            queue_hold(BinaryHeapQueue::new(), 4096, 2_000_000);
+            None
+        },
+    },
+    Scenario {
+        name: "queue_hold_cal_n4096",
+        pinned: false,
+        run: || {
+            queue_hold(CalendarQueue::new(), 4096, 2_000_000);
+            None
+        },
+    },
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let set_baseline = args.iter().any(|a| a == "--set-baseline");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let out = std::path::PathBuf::from(
+        flag("--out").cloned().unwrap_or_else(|| "BENCH_parsched.json".into()),
+    );
+    let opts = BenchOpts {
+        warmup: flag("--warmup").and_then(|s| s.parse().ok()).unwrap_or(1),
+        iters: flag("--iters").and_then(|s| s.parse().ok()).unwrap_or(5),
+    };
+
+    let mut report = Report::load(&out).unwrap_or_default();
+
+    if check {
+        // CI mode: one untimed run of each pinned scenario, compared
+        // bit-exactly against the recorded goldens.
+        if report.golden.is_empty() {
+            eprintln!("perf --check: no goldens recorded in {}", out.display());
+            std::process::exit(2);
+        }
+        let mut failed = false;
+        for sc in SCENARIOS.iter().filter(|sc| sc.pinned) {
+            let got = (sc.run)().expect("pinned scenarios return a metric");
+            match report.golden.get(sc.name) {
+                Some(&bits) if bits == got.to_bits() => {
+                    println!("perf --check: {} = {got} (matches golden)", sc.name);
+                }
+                Some(&bits) => {
+                    eprintln!(
+                        "perf --check: {} DIVERGED: got {got} ({:#018x}), golden {} ({bits:#018x})",
+                        sc.name,
+                        got.to_bits(),
+                        f64::from_bits(bits),
+                    );
+                    failed = true;
+                }
+                None => {
+                    eprintln!("perf --check: {} has no recorded golden", sc.name);
+                    failed = true;
+                }
+            }
+        }
+        std::process::exit(if failed { 1 } else { 0 });
+    }
+
+    // --only a,b,c limits the run to the named scenarios (e.g. for
+    // profiling one of them); baselines and goldens of the rest persist.
+    let only = flag("--only");
+    if let Some(list) = only {
+        for n in list.split(',') {
+            if !SCENARIOS.iter().any(|sc| sc.name == n) {
+                eprintln!("perf: unknown scenario {n:?}; known scenarios:");
+                for sc in SCENARIOS {
+                    eprintln!("  {}", sc.name);
+                }
+                std::process::exit(2);
+            }
+        }
+    }
+    let picked: Vec<&Scenario> = SCENARIOS
+        .iter()
+        .filter(|sc| match only {
+            Some(list) => list.split(',').any(|n| n == sc.name),
+            None => true,
+        })
+        .collect();
+    println!(
+        "running {} scenarios ({} warmup + {} timed runs each)\n",
+        picked.len(),
+        opts.warmup,
+        opts.iters
+    );
+    let mut samples: Vec<Sample> = Vec::new();
+    for sc in picked {
+        let s = bench(&opts, sc.name, sc.run);
+        let vs = match report.baseline.get(sc.name) {
+            Some(&base) if base > 0 => {
+                let pct = 100.0 * (base as f64 - s.median_ns as f64) / base as f64;
+                format!("{pct:+.1}% vs baseline {:.3}s", base as f64 / 1e9)
+            }
+            _ => "no baseline".to_string(),
+        };
+        println!(
+            "{:<24} median {:>9.3}s  (min {:.3}s, max {:.3}s)  {vs}",
+            sc.name,
+            s.median_ns as f64 / 1e9,
+            s.min_ns as f64 / 1e9,
+            s.max_ns as f64 / 1e9,
+        );
+        if sc.pinned {
+            let got = s.metric.expect("pinned scenarios return a metric");
+            match report.golden.get(sc.name) {
+                Some(&bits) if bits != got.to_bits() => {
+                    eprintln!(
+                        "  WARNING: simulated result {got} diverges from golden {}",
+                        f64::from_bits(bits)
+                    );
+                }
+                Some(_) => {}
+                None => {
+                    report.golden.insert(sc.name.to_string(), got.to_bits());
+                }
+            }
+        }
+        if set_baseline || !report.baseline.contains_key(sc.name) {
+            report.baseline.insert(sc.name.to_string(), s.median_ns);
+        }
+        samples.push(s);
+    }
+    report.current = samples;
+    std::fs::write(&out, report.render()).expect("write benchmark report");
+    println!("\nreport written to {}", out.display());
+}

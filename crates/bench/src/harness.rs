@@ -1,0 +1,426 @@
+//! Zero-dependency wall-clock benchmark harness.
+//!
+//! Measures a closure with a monotonic clock ([`std::time::Instant`]),
+//! discards `warmup` runs, reports the median of `iters` timed runs (the
+//! median is robust to the occasional scheduling hiccup a mean would
+//! absorb), and serializes results to a small JSON report
+//! (`BENCH_parsched.json`) so runs can be compared across commits.
+//!
+//! The report carries three sections:
+//!
+//! * `baseline` — scenario name → median nanoseconds, captured once before
+//!   an optimization lands and kept for comparison;
+//! * `golden` — scenario name → the scenario's *simulated* result
+//!   (`f64::to_bits` as a hex string) pinning bit-identical model output:
+//!   an optimization must move wall-clock time, never simulated time;
+//! * `current` — the most recent run's samples.
+//!
+//! JSON is written and read by the tiny serializer/parser below; the
+//! parser handles the full JSON grammar minus `\u` escapes, which the
+//! writer never emits.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Iteration counts for one benchmark run.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchOpts {
+    /// Untimed runs before measurement (cache/allocator warmup).
+    pub warmup: u32,
+    /// Timed runs; the median is reported.
+    pub iters: u32,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts { warmup: 1, iters: 5 }
+    }
+}
+
+/// One benchmarked scenario's measurement.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Scenario name (stable across runs; keys the report maps).
+    pub name: String,
+    /// Untimed runs performed first.
+    pub warmup: u32,
+    /// Timed runs the statistics summarize.
+    pub iters: u32,
+    /// Median wall-clock nanoseconds per run.
+    pub median_ns: u64,
+    /// Fastest run.
+    pub min_ns: u64,
+    /// Slowest run.
+    pub max_ns: u64,
+    /// The scenario's simulated result (e.g. mean response time in
+    /// seconds), if it produces one; pinned via the report's `golden` map.
+    pub metric: Option<f64>,
+}
+
+/// Time `f` under `opts` and return the measurement. The closure returns
+/// the scenario's simulated metric (or `None` for pure micro-benchmarks);
+/// the returned value is routed through [`std::hint::black_box`] so the
+/// optimizer cannot elide the work.
+pub fn bench(opts: &BenchOpts, name: &str, mut f: impl FnMut() -> Option<f64>) -> Sample {
+    for _ in 0..opts.warmup {
+        std::hint::black_box(f());
+    }
+    let iters = opts.iters.max(1);
+    let mut times = Vec::with_capacity(iters as usize);
+    let mut metric = None;
+    for _ in 0..iters {
+        let start = Instant::now();
+        metric = std::hint::black_box(f());
+        times.push(start.elapsed().as_nanos() as u64);
+    }
+    times.sort_unstable();
+    let mid = times.len() / 2;
+    let median_ns = if times.len() % 2 == 1 {
+        times[mid]
+    } else {
+        (times[mid - 1] + times[mid]) / 2
+    };
+    Sample {
+        name: name.to_string(),
+        warmup: opts.warmup,
+        iters,
+        median_ns,
+        min_ns: times[0],
+        max_ns: *times.last().unwrap(),
+        metric,
+    }
+}
+
+/// The on-disk report (see the module docs for the section semantics).
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Pre-optimization medians: scenario name → nanoseconds.
+    pub baseline: BTreeMap<String, u64>,
+    /// Pinned simulated results: scenario name → `f64::to_bits` hex.
+    pub golden: BTreeMap<String, u64>,
+    /// Latest run.
+    pub current: Vec<Sample>,
+}
+
+impl Report {
+    /// Parse a report previously produced by [`Report::render`]. Returns
+    /// `None` when the file is missing or not a report.
+    pub fn load(path: &std::path::Path) -> Option<Report> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let v = parse_json(&text)?;
+        let obj = v.as_object()?;
+        let mut report = Report::default();
+        if let Some(b) = obj.get("baseline").and_then(Value::as_object) {
+            for (k, v) in b {
+                report.baseline.insert(k.clone(), v.as_f64()? as u64);
+            }
+        }
+        if let Some(g) = obj.get("golden").and_then(Value::as_object) {
+            for (k, v) in g {
+                // Hex entries carry the exact bits; their human-readable
+                // `<name>_value` companions are skipped here.
+                let Some(hex) = v.as_str().and_then(|s| s.strip_prefix("0x")) else {
+                    continue;
+                };
+                let bits = u64::from_str_radix(hex, 16).ok()?;
+                report.golden.insert(k.clone(), bits);
+            }
+        }
+        if let Some(cur) = obj.get("current").and_then(Value::as_array) {
+            for s in cur {
+                let s = s.as_object()?;
+                report.current.push(Sample {
+                    name: s.get("name")?.as_str()?.to_string(),
+                    warmup: s.get("warmup")?.as_f64()? as u32,
+                    iters: s.get("iters")?.as_f64()? as u32,
+                    median_ns: s.get("median_ns")?.as_f64()? as u64,
+                    min_ns: s.get("min_ns")?.as_f64()? as u64,
+                    max_ns: s.get("max_ns")?.as_f64()? as u64,
+                    metric: s.get("metric").and_then(Value::as_f64),
+                });
+            }
+        }
+        Some(report)
+    }
+
+    /// Serialize to the JSON layout [`Report::load`] reads back.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"parsched-bench/v1\",\n  \"baseline\": {");
+        for (i, (k, v)) in self.baseline.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{k}\": {v}");
+        }
+        out.push_str("\n  },\n  \"golden\": {");
+        for (i, (k, bits)) in self.golden.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{k}\": \"0x{bits:016x}\" ,\n    \"{k}_value\": \"{}\"",
+                f64::from_bits(*bits)
+            );
+        }
+        out.push_str("\n  },\n  \"current\": [");
+        for (i, s) in self.current.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"name\": \"{}\", \"warmup\": {}, \"iters\": {}, \
+                 \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}",
+                s.name, s.warmup, s.iters, s.median_ns, s.min_ns, s.max_ns
+            );
+            if let Some(m) = s.metric {
+                // `{:?}` prints the shortest digits that round-trip an f64.
+                let _ = write!(out, ", \"metric\": {m:?}");
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+// `golden` entries are written in pairs (`name` = exact bits, `name_value` =
+// human-readable); `load` keys off the hex entries, so strip the `_value`
+// companions when iterating — see `Report::load`.
+
+/// Minimal JSON value for the report's own schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (the report never needs > 53-bit integers).
+    Num(f64),
+    /// String (no `\u` escapes).
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object, insertion-agnostic.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+    fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document; `None` on any syntax error.
+pub fn parse_json(text: &str) -> Option<Value> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos == bytes.len() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Option<Value> {
+    skip_ws(b, pos);
+    match *b.get(*pos)? {
+        b'{' => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Some(Value::Obj(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Value::Str(s) => s,
+                    _ => return None,
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return None;
+                }
+                *pos += 1;
+                map.insert(key, parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b'}' => {
+                        *pos += 1;
+                        return Some(Value::Obj(map));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            let mut arr = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Some(Value::Arr(arr));
+            }
+            loop {
+                arr.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b']' => {
+                        *pos += 1;
+                        return Some(Value::Arr(arr));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'"' => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match *b.get(*pos)? {
+                    b'"' => {
+                        *pos += 1;
+                        return Some(Value::Str(s));
+                    }
+                    b'\\' => {
+                        *pos += 1;
+                        let c = match *b.get(*pos)? {
+                            b'"' => '"',
+                            b'\\' => '\\',
+                            b'/' => '/',
+                            b'n' => '\n',
+                            b't' => '\t',
+                            b'r' => '\r',
+                            _ => return None, // \u etc: never emitted
+                        };
+                        s.push(c);
+                        *pos += 1;
+                    }
+                    c => {
+                        s.push(c as char);
+                        *pos += 1;
+                    }
+                }
+            }
+        }
+        b't' => {
+            *pos = pos.checked_add(4)?;
+            (b.get(*pos - 4..*pos)? == b"true").then_some(Value::Bool(true))
+        }
+        b'f' => {
+            *pos = pos.checked_add(5)?;
+            (b.get(*pos - 5..*pos)? == b"false").then_some(Value::Bool(false))
+        }
+        b'n' => {
+            *pos = pos.checked_add(4)?;
+            (b.get(*pos - 4..*pos)? == b"null").then_some(Value::Null)
+        }
+        _ => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()?
+                .parse()
+                .ok()
+                .map(Value::Num)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even_runs() {
+        let opts = BenchOpts { warmup: 0, iters: 5 };
+        let s = bench(&opts, "noop", || Some(1.25));
+        assert_eq!(s.iters, 5);
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
+        assert_eq!(s.metric, Some(1.25));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut r = Report::default();
+        r.baseline.insert("f3".into(), 123_456_789);
+        r.golden.insert("f3".into(), 6.584f64.to_bits());
+        r.current.push(Sample {
+            name: "f3".into(),
+            warmup: 1,
+            iters: 5,
+            median_ns: 98_765_432,
+            min_ns: 90_000_000,
+            max_ns: 110_000_000,
+            metric: Some(6.584),
+        });
+        let text = r.render();
+        let back = Report::load_from_str(&text).expect("parses");
+        assert_eq!(back.baseline, r.baseline);
+        assert_eq!(back.golden, r.golden);
+        assert_eq!(back.current.len(), 1);
+        assert_eq!(back.current[0].median_ns, 98_765_432);
+        assert_eq!(back.current[0].metric, Some(6.584));
+    }
+
+    #[test]
+    fn parser_rejects_trailing_garbage() {
+        assert!(parse_json("{} extra").is_none());
+        assert!(parse_json("[1, 2").is_none());
+        assert!(parse_json("\"unterminated").is_none());
+    }
+
+    #[test]
+    fn parser_handles_nesting_and_escapes() {
+        let v = parse_json(r#"{"a": [1, -2.5e3, "x\n\"y"], "b": {"c": null, "d": true}}"#)
+            .expect("valid json");
+        let obj = v.as_object().unwrap();
+        let arr = obj.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[1].as_f64(), Some(-2500.0));
+        assert_eq!(arr[2].as_str(), Some("x\n\"y"));
+    }
+}
+
+#[cfg(test)]
+impl Report {
+    /// Test-only: parse from a string instead of a file.
+    fn load_from_str(text: &str) -> Option<Report> {
+        let dir = std::env::temp_dir().join("parsched-bench-test.json");
+        std::fs::write(&dir, text).ok()?;
+        Report::load(&dir)
+    }
+}

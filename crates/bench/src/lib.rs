@@ -1,6 +1,11 @@
 //! # parsched-bench
 //!
-//! Benchmarks and the `figures` binary. See `benches/` for the Criterion
-//! benchmarks (one per paper figure plus ablations and an engine
-//! microbenchmark) and `src/bin/figures.rs` for the harness that prints the
-//! paper's rows/series.
+//! The in-tree benchmark [`harness`] (zero-dependency wall-clock timing:
+//! monotonic clock, warmup, median-of-N, JSON report) plus two binaries:
+//! `src/bin/figures.rs` regenerates the paper's rows/series, and
+//! `src/bin/perf.rs` times the simulator's hot paths against the committed
+//! baseline in `BENCH_parsched.json`.
+
+#![warn(missing_docs)]
+
+pub mod harness;

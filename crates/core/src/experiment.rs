@@ -53,7 +53,7 @@ impl ExperimentConfig {
             discipline: Discipline::default(),
             mpl: None,
             machine: MachineConfig::default(),
-            queue: QueueKind::BinaryHeap,
+            queue: QueueKind::default(),
         }
     }
 

@@ -1,12 +1,19 @@
 //! Parallel experiment execution.
 //!
 //! Every run is an independent single-threaded simulation, so a figure's
-//! configuration grid parallelizes embarrassingly: fan the (config, batch)
-//! tasks over worker threads and collect results in input order.
+//! configuration grid parallelizes embarrassingly: workers pull (config,
+//! batch) tasks off a shared atomic cursor and post results back over an
+//! `std::sync::mpsc` channel, tagged with their input index so the caller
+//! reassembles them in input order. Determinism is structural: each task's
+//! outcome is a pure function of its own `ExperimentConfig` (which carries
+//! any seed) and batch, so neither the number of workers nor the order in
+//! which they steal tasks can perturb a result — `parallel == serial`,
+//! element for element.
 
 use crate::experiment::{run_experiment, ExperimentConfig, ExperimentResult, RunError};
-use crossbeam::channel;
 use parsched_machine::JobSpec;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Run every (config, batch) task and return results in input order.
 /// `parallel = false` runs inline (useful under benchmark harnesses that
@@ -21,28 +28,25 @@ pub fn run_parallel(
             .map(|(cfg, batch)| run_experiment(cfg, batch))
             .collect();
     }
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(tasks.len());
-    let (task_tx, task_rx) = channel::unbounded::<(usize, ExperimentConfig, Vec<JobSpec>)>();
-    let (res_tx, res_rx) = channel::unbounded::<(usize, Result<ExperimentResult, RunError>)>();
     let n = tasks.len();
-    for (i, (cfg, batch)) in tasks.into_iter().enumerate() {
-        task_tx.send((i, cfg, batch)).expect("queueing tasks");
-    }
-    drop(task_tx);
-
+    let workers = std::thread::available_parallelism()
+        .map(|w| w.get())
+        .unwrap_or(4)
+        .min(n);
+    let cursor = AtomicUsize::new(0);
+    let (res_tx, res_rx) = mpsc::channel::<(usize, Result<ExperimentResult, RunError>)>();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            let task_rx = task_rx.clone();
             let res_tx = res_tx.clone();
-            scope.spawn(move || {
-                while let Ok((i, cfg, batch)) = task_rx.recv() {
-                    let r = run_experiment(&cfg, &batch);
-                    if res_tx.send((i, r)).is_err() {
-                        return;
-                    }
+            let cursor = &cursor;
+            let tasks = &tasks;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some((cfg, batch)) = tasks.get(i) else {
+                    return;
+                };
+                if res_tx.send((i, run_experiment(cfg, batch))).is_err() {
+                    return;
                 }
             });
         }

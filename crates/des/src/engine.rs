@@ -71,6 +71,15 @@ pub enum QueueKind {
     Calendar,
 }
 
+impl Default for QueueKind {
+    /// The backend used when callers have no reason to choose: the binary
+    /// heap, which benchmarks faster on the paper's workloads (their
+    /// pending sets stay small; see EXPERIMENTS.md "Performance").
+    fn default() -> Self {
+        QueueKind::BinaryHeap
+    }
+}
+
 enum Backend<E> {
     Heap(BinaryHeapQueue<E>),
     Calendar(CalendarQueue<E>),
@@ -114,6 +123,10 @@ pub struct Engine<E> {
     now: SimTime,
     next_seq: u64,
     events_processed: u64,
+    /// Reused backing store for each event's [`Scheduler`] pending buffer,
+    /// so a run makes one allocation for the whole loop instead of one per
+    /// handled event.
+    scratch: Vec<Scheduled<E>>,
     /// Stop processing events scheduled after this instant.
     pub horizon: SimTime,
     /// Abort after this many events (guards against accidental infinite
@@ -133,6 +146,7 @@ impl<E> Engine<E> {
             now: SimTime::ZERO,
             next_seq: 0,
             events_processed: 0,
+            scratch: Vec::new(),
             horizon: SimTime::MAX,
             max_events: u64::MAX,
         }
@@ -186,14 +200,15 @@ impl<E> Engine<E> {
 
             let mut sched = Scheduler {
                 now: self.now,
-                pending: Vec::new(),
+                pending: std::mem::take(&mut self.scratch),
                 next_seq: self.next_seq,
             };
             model.handle(self.now, item.event, &mut sched);
             self.next_seq = sched.next_seq;
-            for p in sched.pending {
+            for p in sched.pending.drain(..) {
                 self.queue.push(p);
             }
+            self.scratch = sched.pending;
         }
     }
 

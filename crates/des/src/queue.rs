@@ -3,13 +3,14 @@
 //! The event queue is the hot data structure of a discrete-event simulator.
 //! Two backends are provided behind the [`EventQueue`] trait:
 //!
-//! * [`BinaryHeapQueue`] — a straightforward `O(log n)` binary heap; the
-//!   robust default.
+//! * [`BinaryHeapQueue`] — an `O(log n)` implicit heap; the robust (and
+//!   measured-fastest) default.
 //! * [`CalendarQueue`] — the classic Brown (1988) calendar queue with `O(1)`
 //!   amortized enqueue/dequeue under stationary event-time distributions;
 //!   included because large time-sharing experiments enqueue hundreds of
-//!   thousands of quantum-expiry events, and benchmarked against the heap in
-//!   `benches/engine.rs`.
+//!   thousands of quantum-expiry events. Benchmarked against the heap by
+//!   `cargo run --release -p parsched-bench --bin perf` (see the
+//!   `queue_hold_*` scenarios and EXPERIMENTS.md "Performance").
 //!
 //! Both backends break ties on event time by the insertion sequence number,
 //! so a simulation produces exactly the same event order regardless of the
@@ -17,7 +18,6 @@
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// An event of type `E` scheduled for a particular simulated instant.
 #[derive(Debug, Clone)]
@@ -69,11 +69,36 @@ pub trait EventQueue<E> {
     }
 }
 
-/// Binary-heap backed pending-event set.
+/// Heap-backed pending-event set.
+///
+/// Internally a 4-ary implicit min-heap over the packed `(time, seq)` key
+/// (one `u128` comparison instead of two chained `u64` compares): the
+/// shallower tree halves the number of levels a sift touches, which is
+/// where the time goes for the small-to-medium pending sets a machine
+/// simulation keeps. The name predates the arity change; the observable
+/// behaviour — pops ascending by `(time, seq)` — is that of any min-heap.
 #[derive(Debug)]
 pub struct BinaryHeapQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    /// `(packed key, payload)` in implicit 4-ary heap order.
+    heap: Vec<(u128, E)>,
 }
+
+/// Pack `(time, seq)` so one integer compare gives the event order.
+#[inline]
+fn pack(time: SimTime, seq: u64) -> u128 {
+    ((time.nanos() as u128) << 64) | seq as u128
+}
+
+#[inline]
+fn unpack<E>((key, event): (u128, E)) -> Scheduled<E> {
+    Scheduled {
+        time: SimTime((key >> 64) as u64),
+        seq: key as u64,
+        event,
+    }
+}
+
+const HEAP_ARITY: usize = 4;
 
 impl<E> Default for BinaryHeapQueue<E> {
     fn default() -> Self {
@@ -84,23 +109,71 @@ impl<E> Default for BinaryHeapQueue<E> {
 impl<E> BinaryHeapQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
-        BinaryHeapQueue {
-            heap: BinaryHeap::new(),
+        BinaryHeapQueue { heap: Vec::new() }
+    }
+
+    /// Restore the heap property upward from `pos` (a freshly pushed slot).
+    fn sift_up(&mut self, mut pos: usize) {
+        while pos > 0 {
+            let parent = (pos - 1) / HEAP_ARITY;
+            if self.heap[pos].0 >= self.heap[parent].0 {
+                break;
+            }
+            self.heap.swap(pos, parent);
+            pos = parent;
+        }
+    }
+
+    /// Restore the heap property downward from the root (after a pop moved
+    /// the last element there).
+    fn sift_down(&mut self) {
+        let len = self.heap.len();
+        let mut pos = 0;
+        loop {
+            let first = pos * HEAP_ARITY + 1;
+            if first >= len {
+                break;
+            }
+            let mut min = first;
+            let mut min_key = self.heap[first].0;
+            for c in (first + 1)..(first + HEAP_ARITY).min(len) {
+                let k = self.heap[c].0;
+                if k < min_key {
+                    min = c;
+                    min_key = k;
+                }
+            }
+            if min_key >= self.heap[pos].0 {
+                break;
+            }
+            self.heap.swap(pos, min);
+            pos = min;
         }
     }
 }
 
 impl<E> EventQueue<E> for BinaryHeapQueue<E> {
     fn push(&mut self, item: Scheduled<E>) {
-        self.heap.push(item);
+        self.heap.push((pack(item.time, item.seq), item.event));
+        self.sift_up(self.heap.len() - 1);
     }
 
     fn pop(&mut self) -> Option<Scheduled<E>> {
-        self.heap.pop()
+        let len = self.heap.len();
+        match len {
+            0 => None,
+            1 => self.heap.pop().map(unpack),
+            _ => {
+                self.heap.swap(0, len - 1);
+                let top = self.heap.pop().expect("len >= 2");
+                self.sift_down();
+                Some(unpack(top))
+            }
+        }
     }
 
     fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.time)
+        self.heap.first().map(|&(key, _)| SimTime((key >> 64) as u64))
     }
 
     fn len(&self) -> usize {

@@ -2,11 +2,15 @@
 //! the binary heap (the obviously-correct reference) under arbitrary
 //! operation sequences, including the simulation-realistic constraint that
 //! pushes never go behind the last popped time.
+//!
+//! Ported from proptest to seeded [`DetRng`] loops so the suite runs with
+//! no external dependencies; each iteration derives its own substream, so
+//! a failure report's iteration index is enough to replay it exactly.
 
 use parsched_des::prelude::*;
-use proptest::prelude::*;
+use parsched_des::rng::DetRng;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Cmd {
     /// Push an event `delta` beyond the current low-water mark.
     Push(u64),
@@ -14,27 +18,33 @@ enum Cmd {
     Pop,
 }
 
-fn arb_cmds() -> impl Strategy<Value = Vec<Cmd>> {
-    proptest::collection::vec(
-        prop_oneof![
-            3 => (0u64..5_000_000).prop_map(Cmd::Push),
-            2 => Just(Cmd::Pop),
-        ],
-        1..400,
-    )
+/// A random command sequence: pushes outnumber pops 3:2, like the original
+/// proptest weighting.
+fn random_cmds(rng: &mut DetRng) -> Vec<Cmd> {
+    let len = rng.uniform_u64(1, 400) as usize;
+    (0..len)
+        .map(|_| {
+            if rng.uniform_u64(0, 5) < 3 {
+                Cmd::Push(rng.uniform_u64(0, 5_000_000))
+            } else {
+                Cmd::Pop
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn calendar_matches_heap_exactly(cmds in arb_cmds()) {
+#[test]
+fn calendar_matches_heap_exactly() {
+    let root = DetRng::new(0xD1FF);
+    for case in 0..256u64 {
+        let mut rng = root.substream_idx("calendar-vs-heap", case);
+        let cmds = random_cmds(&mut rng);
         let mut heap: BinaryHeapQueue<u64> = BinaryHeapQueue::new();
         let mut cal: CalendarQueue<u64> = CalendarQueue::new();
         let mut seq = 0u64;
         let mut low_water = 0u64; // last popped time: pushes are >= this
-        for cmd in cmds {
-            match cmd {
+        for cmd in &cmds {
+            match *cmd {
                 Cmd::Push(delta) => {
                     let time = SimTime(low_water + delta);
                     seq += 1;
@@ -47,42 +57,44 @@ proptest! {
                     match (a, b) {
                         (None, None) => {}
                         (Some(x), Some(y)) => {
-                            prop_assert_eq!(x.time, y.time);
-                            prop_assert_eq!(x.seq, y.seq);
-                            prop_assert_eq!(x.event, y.event);
+                            assert_eq!(x.time, y.time, "case {case}");
+                            assert_eq!(x.seq, y.seq, "case {case}");
+                            assert_eq!(x.event, y.event, "case {case}");
                             low_water = x.time.nanos();
                         }
-                        (x, y) => prop_assert!(
-                            false,
-                            "backends disagree on emptiness: {x:?} vs {y:?}"
+                        (x, y) => panic!(
+                            "case {case}: backends disagree on emptiness: {x:?} vs {y:?}"
                         ),
                     }
                 }
             }
-            prop_assert_eq!(heap.len(), cal.len());
-            prop_assert_eq!(heap.peek_time(), cal.peek_time());
+            assert_eq!(heap.len(), cal.len(), "case {case}");
+            assert_eq!(heap.peek_time(), cal.peek_time(), "case {case}");
         }
         // Drain both completely; orders must match to the end.
         loop {
             match (heap.pop(), cal.pop()) {
                 (None, None) => break,
                 (Some(x), Some(y)) => {
-                    prop_assert_eq!((x.time, x.seq), (y.time, y.seq));
+                    assert_eq!((x.time, x.seq), (y.time, y.seq), "case {case}");
                 }
-                (x, y) => prop_assert!(
-                    false,
-                    "backends disagree while draining: {x:?} vs {y:?}"
+                (x, y) => panic!(
+                    "case {case}: backends disagree while draining: {x:?} vs {y:?}"
                 ),
             }
         }
     }
+}
 
-    /// The calendar queue also tolerates pushes *earlier* than the scan
-    /// position (legal for a bare queue even though the engine forbids it).
-    #[test]
-    fn calendar_handles_unconstrained_times(
-        times in proptest::collection::vec(0u64..1_000_000, 1..200),
-    ) {
+/// The calendar queue also tolerates pushes *earlier* than the scan
+/// position (legal for a bare queue even though the engine forbids it).
+#[test]
+fn calendar_handles_unconstrained_times() {
+    let root = DetRng::new(0xCA1);
+    for case in 0..256u64 {
+        let mut rng = root.substream_idx("unconstrained", case);
+        let len = rng.uniform_u64(1, 200) as usize;
+        let times: Vec<u64> = (0..len).map(|_| rng.uniform_u64(0, 1_000_000)).collect();
         let mut heap: BinaryHeapQueue<u64> = BinaryHeapQueue::new();
         let mut cal: CalendarQueue<u64> = CalendarQueue::new();
         // Interleave: push half, pop a few, push the rest (some earlier).
@@ -95,7 +107,7 @@ proptest! {
         for _ in 0..half / 3 {
             let a = heap.pop().map(|s| (s.time, s.seq));
             let b = cal.pop().map(|s| (s.time, s.seq));
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b, "case {case}");
         }
         for (i, &t) in times[half..].iter().enumerate() {
             let seq = (half + i) as u64;
@@ -106,7 +118,7 @@ proptest! {
         loop {
             let a = heap.pop().map(|s| (s.time, s.seq));
             let b = cal.pop().map(|s| (s.time, s.seq));
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b, "case {case}");
             if a.is_none() {
                 break;
             }

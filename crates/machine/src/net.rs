@@ -22,6 +22,12 @@ impl MsgId {
 }
 
 /// An in-flight (or delivered-but-unconsumed) message.
+///
+/// The route is *not* materialized: minimal routes are deterministic, so a
+/// message only carries its endpoints plus a handful of progress cursors,
+/// and every "next node" question is answered by the machine's next-hop
+/// table. Keeping the struct flat (no heap data) lets the message table
+/// recycle slots without allocator traffic.
 #[derive(Debug, Clone)]
 pub struct Message {
     /// Identifier.
@@ -36,15 +42,24 @@ pub struct Message {
     pub bytes: u64,
     /// Mailbox tag.
     pub tag: Tag,
-    /// Global node sequence `[src, ..., dst]` (length 1 for self-sends).
-    pub path: Vec<u16>,
-    /// Index into `path` of the node currently holding the (store-and-
-    /// forward) buffered copy.
-    pub at: usize,
-    /// Cut-through: number of path edges whose transfer has completed.
-    pub edges_done: usize,
-    /// Cut-through: number of path edges enqueued on their channel so far.
-    pub ct_edges_started: usize,
+    /// Global node the sender injected from.
+    pub src_node: u16,
+    /// Global node of the receiver.
+    pub dst_node: u16,
+    /// Route length in edges (0 for self-sends).
+    pub hops: u16,
+    /// Node holding the (store-and-forward) buffered copy.
+    pub at_node: u16,
+    /// Cut-through: head of the next edge to enqueue (the route walked
+    /// `edges_started` hops from `src_node`).
+    pub front_node: u16,
+    /// Cut-through: node the head has fully crossed to (the route walked
+    /// `edges_done` hops from `src_node`).
+    pub done_node: u16,
+    /// Cut-through: number of route edges whose transfer has completed.
+    pub edges_done: u16,
+    /// Cut-through: number of route edges enqueued on their channel so far.
+    pub edges_started: u16,
     /// When the sender injected it.
     pub injected_at: SimTime,
     /// Node currently charged for this message's buffer, if any.
@@ -52,27 +67,22 @@ pub struct Message {
 }
 
 impl Message {
-    /// Total hops (path edges).
+    /// Total hops (route edges).
+    #[inline]
     pub fn hops(&self) -> usize {
-        self.path.len() - 1
+        self.hops as usize
     }
 
     /// True when the buffered copy sits at the destination.
+    #[inline]
     pub fn at_destination(&self) -> bool {
-        self.at + 1 == self.path.len()
+        self.at_node == self.dst_node
     }
 
     /// The node the buffered copy currently sits on.
+    #[inline]
     pub fn current_node(&self) -> u16 {
-        self.path[self.at]
-    }
-
-    /// The next node along the path.
-    ///
-    /// # Panics
-    /// Panics when already at the destination.
-    pub fn next_node(&self) -> u16 {
-        self.path[self.at + 1]
+        self.at_node
     }
 }
 
@@ -114,7 +124,7 @@ impl ChannelState {
 mod tests {
     use super::*;
 
-    fn msg(path: Vec<u16>) -> Message {
+    fn msg(src: u16, dst: u16, hops: u16) -> Message {
         Message {
             id: MsgId(0),
             job: JobId(0),
@@ -122,27 +132,30 @@ mod tests {
             to: Rank(1),
             bytes: 100,
             tag: Tag(1),
-            path,
-            at: 0,
+            src_node: src,
+            dst_node: dst,
+            hops,
+            at_node: src,
+            front_node: src,
+            done_node: src,
             edges_done: 0,
-            ct_edges_started: 0,
+            edges_started: 0,
             injected_at: SimTime::ZERO,
             buffered_on: None,
         }
     }
 
     #[test]
-    fn path_geometry() {
-        let m = msg(vec![0, 1, 2, 3]);
+    fn route_geometry() {
+        let m = msg(0, 3, 3);
         assert_eq!(m.hops(), 3);
         assert_eq!(m.current_node(), 0);
-        assert_eq!(m.next_node(), 1);
         assert!(!m.at_destination());
     }
 
     #[test]
     fn self_send_is_at_destination() {
-        let m = msg(vec![5]);
+        let m = msg(5, 5, 0);
         assert_eq!(m.hops(), 0);
         assert!(m.at_destination());
         assert_eq!(m.current_node(), 5);
@@ -150,10 +163,10 @@ mod tests {
 
     #[test]
     fn advancing_reaches_destination() {
-        let mut m = msg(vec![0, 1, 2]);
-        m.at += 1;
+        let mut m = msg(0, 2, 2);
+        m.at_node = 1;
         assert!(!m.at_destination());
-        m.at += 1;
+        m.at_node = 2;
         assert!(m.at_destination());
         assert_eq!(m.current_node(), 2);
     }

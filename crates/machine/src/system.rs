@@ -65,6 +65,10 @@ pub enum Event {
         node: u16,
         /// The waiting message.
         msg: MsgId,
+        /// Slot generation at schedule time. Message slots are recycled,
+        /// so a timer can outlive its message; a stale generation means
+        /// the slot now holds a different message and the timer is void.
+        gen: u32,
     },
     /// A scheduling-policy timer. The machine ignores it; policy drivers
     /// (e.g. the gang scheduler) intercept it before forwarding events.
@@ -195,7 +199,15 @@ pub struct Machine {
     channels: Vec<ChannelState>,
     procs: Vec<Process>,
     jobs: Vec<JobRuntime>,
+    /// Message slab: slots of retired messages are recycled via
+    /// `free_msgs`, so the arena stays at the peak number of messages
+    /// simultaneously in flight instead of growing with every send.
     messages: Vec<Option<Message>>,
+    /// Free slot indices in `messages`, reused LIFO.
+    free_msgs: Vec<u32>,
+    /// Per-slot generation, bumped at each free; guards stale
+    /// [`Event::AllocEscape`] timers against slot reuse.
+    msg_gen: Vec<u32>,
     notes: Vec<Note>,
     /// Machine-wide counters.
     pub counters: Counters,
@@ -242,6 +254,8 @@ impl Machine {
             procs: Vec::new(),
             jobs: Vec::new(),
             messages: Vec::new(),
+            free_msgs: Vec::new(),
+            msg_gen: Vec::new(),
             notes: Vec::new(),
             counters: Counters::default(),
             trace: Trace::disabled(),
@@ -971,6 +985,40 @@ impl Machine {
     // Messaging
     // ------------------------------------------------------------------
 
+    /// Place a message in the slab, reusing a retired slot when one is
+    /// free. Returns the id (also written into the message).
+    fn alloc_msg(&mut self, mut m: Message) -> MsgId {
+        match self.free_msgs.pop() {
+            Some(i) => {
+                let id = MsgId(i);
+                m.id = id;
+                debug_assert!(self.messages[id.idx()].is_none(), "slot still live");
+                self.messages[id.idx()] = Some(m);
+                id
+            }
+            None => {
+                let id = MsgId(self.messages.len() as u32);
+                m.id = id;
+                self.messages.push(Some(m));
+                self.msg_gen.push(0);
+                id
+            }
+        }
+    }
+
+    /// Retire a message's slot for reuse and invalidate outstanding timers.
+    fn free_msg(&mut self, id: MsgId) {
+        self.msg_gen[id.idx()] = self.msg_gen[id.idx()].wrapping_add(1);
+        self.free_msgs.push(id.0);
+    }
+
+    /// Current size of the message slab (its high-water mark: slots are
+    /// recycled, so this is the peak number of messages simultaneously
+    /// retained, not the total ever sent).
+    pub fn message_arena_len(&self) -> usize {
+        self.messages.len()
+    }
+
     /// Create the message for the `Send` op at the process's `pc` and claim
     /// its source buffer. Returns `true` if injection proceeded; `false` if
     /// the process must block until the buffer is granted.
@@ -983,32 +1031,28 @@ impl Machine {
             (p.job, p.rank, p.node, to, bytes, tag)
         };
         let dst_node = self.jobs[job.idx()].placement[to.idx()];
-        let path = if dst_node == node {
-            vec![node]
-        } else {
-            let mut p = vec![node];
-            p.extend(
-                self.net
-                    .route(node, dst_node)
-                    .expect("job placement spans partitions"),
-            );
-            p
-        };
-        let id = MsgId(self.messages.len() as u32);
-        self.messages.push(Some(Message {
-            id,
+        let hops = self
+            .net
+            .hops(node, dst_node)
+            .expect("job placement spans partitions") as u16;
+        let id = self.alloc_msg(Message {
+            id: MsgId(0), // overwritten by alloc_msg
             job,
             from,
             to,
             bytes,
             tag,
-            path,
-            at: 0,
+            src_node: node,
+            dst_node,
+            hops,
+            at_node: node,
+            front_node: node,
+            done_node: node,
             edges_done: 0,
-            ct_edges_started: 0,
+            edges_started: 0,
             injected_at: now,
             buffered_on: None,
-        }));
+        });
         self.counters.messages_sent += 1;
         self.counters.bytes_sent += bytes;
         let buf = bytes + self.cfg.msg_header_bytes;
@@ -1040,10 +1084,10 @@ impl Machine {
 
     /// An asynchronously queued send finally got its source buffer.
     fn start_pending_send(&mut self, msg: MsgId, now: SimTime, sched: &mut Scheduler<Event>) {
-        let node = {
-            let m = self.messages[msg.idx()].as_ref().expect("pending send dead");
-            m.path[0]
-        };
+        let node = self.messages[msg.idx()]
+            .as_ref()
+            .expect("pending send dead")
+            .src_node;
         self.messages[msg.idx()]
             .as_mut()
             .expect("pending send dead")
@@ -1104,7 +1148,11 @@ impl Machine {
     fn saf_next_hop(&mut self, msg: MsgId, now: SimTime, sched: &mut Scheduler<Event>) {
         let (next, bytes) = {
             let m = self.messages[msg.idx()].as_ref().expect("dead message");
-            (m.next_node(), m.bytes)
+            let next = self
+                .net
+                .next_hop(m.at_node, m.dst_node)
+                .expect("saf_next_hop at destination");
+            (next, m.bytes)
         };
         let buf = bytes + self.cfg.msg_header_bytes;
         let granted = match self.cfg.flow {
@@ -1120,9 +1168,10 @@ impl Machine {
                     AllocResult::Granted
                 );
                 if !res && self.cfg.flow == FlowControl::Reserved {
+                    let gen = self.msg_gen[msg.idx()];
                     sched.schedule(
                         self.cfg.transit_escape_after,
-                        Event::AllocEscape { node: next, msg },
+                        Event::AllocEscape { node: next, msg, gen },
                     );
                 }
                 res
@@ -1136,7 +1185,10 @@ impl Machine {
     }
 
     /// A starved transit request escapes to the emergency pool.
-    fn on_alloc_escape(&mut self, node: u16, msg: MsgId, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn on_alloc_escape(&mut self, node: u16, msg: MsgId, gen: u32, now: SimTime, sched: &mut Scheduler<Event>) {
+        if self.msg_gen[msg.idx()] != gen {
+            return; // the slot was recycled; this timer's message is gone
+        }
         let Some(bytes) = self.nodes[node as usize].mmu.cancel_transit(msg) else {
             return; // already granted normally
         };
@@ -1151,28 +1203,30 @@ impl Machine {
     /// Put a message on the channel for its current SAF hop (or CT edge),
     /// starting the transfer if the channel is free.
     fn enqueue_channel(&mut self, msg: MsgId, now: SimTime, sched: &mut Scheduler<Event>) {
-        let chan = {
-            let m = self.messages[msg.idx()].as_ref().expect("dead message");
-            let (from, to) = match self.cfg.switching {
-                Switching::StoreAndForward => (m.current_node(), m.next_node()),
-                Switching::PacketizedSaf | Switching::CutThrough => {
-                    // Pipelined: edge index = edges started so far.
-                    let e = m.ct_edges_started;
-                    (m.path[e], m.path[e + 1])
-                }
-            };
-            self.net
-                .channel_id(from, to)
-                .unwrap_or_else(|| panic!("no channel {from}->{to}"))
-        };
-        if matches!(
+        let pipelined = matches!(
             self.cfg.switching,
             Switching::PacketizedSaf | Switching::CutThrough
-        ) {
-            self.messages[msg.idx()]
-                .as_mut()
-                .expect("dead message")
-                .ct_edges_started += 1;
+        );
+        let (chan, to) = {
+            let m = self.messages[msg.idx()].as_ref().expect("dead message");
+            // Pipelined: the next edge starts from wherever the previous
+            // started edge leads (`front_node`); SAF moves the single
+            // buffered copy from `at_node`.
+            let from = if pipelined { m.front_node } else { m.at_node };
+            let to = self
+                .net
+                .next_hop(from, m.dst_node)
+                .expect("enqueue_channel at destination");
+            let chan = self
+                .net
+                .channel_id(from, to)
+                .unwrap_or_else(|| panic!("no channel {from}->{to}"));
+            (chan, to)
+        };
+        if pipelined {
+            let m = self.messages[msg.idx()].as_mut().expect("dead message");
+            m.front_node = to;
+            m.edges_started += 1;
         }
         let ch = &mut self.channels[chan];
         if ch.busy_with.is_none() {
@@ -1199,10 +1253,10 @@ impl Machine {
         };
         if let Some(offset) = offset {
             let m = self.messages[msg.idx()].as_ref().expect("dead message");
-            if m.ct_edges_started < m.hops() {
+            if (m.edges_started as usize) < m.hops() {
                 sched.schedule(
                     offset,
-                    Event::HopStart { msg, edge: m.ct_edges_started },
+                    Event::HopStart { msg, edge: m.edges_started as usize },
                 );
             }
         }
@@ -1236,9 +1290,12 @@ impl Machine {
                 // it, and run the arrival handler on the new node.
                 let (prev, bytes) = {
                     let m = self.messages[msg.idx()].as_mut().expect("dead message");
-                    let prev = m.current_node();
-                    m.at += 1;
-                    m.buffered_on = Some(m.current_node());
+                    let prev = m.at_node;
+                    m.at_node = self
+                        .net
+                        .next_hop(prev, m.dst_node)
+                        .expect("transfer completed at destination");
+                    m.buffered_on = Some(m.at_node);
                     (prev, m.bytes)
                 };
                 self.release_memory(prev, bytes + self.cfg.msg_header_bytes, now, sched);
@@ -1258,10 +1315,17 @@ impl Machine {
             }
             Switching::PacketizedSaf | Switching::CutThrough => {
                 let packetized = self.cfg.switching == Switching::PacketizedSaf;
-                let (edges_done, hops, bytes, src) = {
+                // Pipelined edges serialize per channel, so they complete
+                // in path order: the head has now fully crossed to the node
+                // one hop past `done_node`.
+                let (edges_done, hops, bytes, src, via) = {
                     let m = self.messages[msg.idx()].as_mut().expect("dead message");
                     m.edges_done += 1;
-                    (m.edges_done, m.hops(), m.bytes, m.path[0])
+                    m.done_node = self
+                        .net
+                        .next_hop(m.done_node, m.dst_node)
+                        .expect("edge completed past destination");
+                    (m.edges_done as usize, m.hops(), m.bytes, m.src_node, m.done_node)
                 };
                 if edges_done == 1 {
                     // The message has fully left the source: free its buffer.
@@ -1272,7 +1336,7 @@ impl Machine {
                     // Head reached the destination; deliver there.
                     let dst = {
                         let m = self.messages[msg.idx()].as_mut().expect("dead message");
-                        m.at = m.path.len() - 1;
+                        m.at_node = m.dst_node;
                         m.current_node()
                     };
                     if packetized {
@@ -1299,10 +1363,6 @@ impl Machine {
                     // Intermediate node: every byte crossed its memory; the
                     // relay CPU cost preempts local compute but does not
                     // gate the (already pipelined) next edge.
-                    let via = {
-                        let m = self.messages[msg.idx()].as_ref().expect("dead message");
-                        m.path[edges_done]
-                    };
                     self.enqueue_high(
                         via,
                         HandlerTask {
@@ -1356,14 +1416,16 @@ impl Machine {
             }
     }
 
-    /// A receiver finished consuming a message: free its buffer and retire it.
+    /// A receiver finished consuming a message: free its buffer and retire
+    /// its slot for reuse.
     fn consume_message(&mut self, msg: MsgId, now: SimTime, sched: &mut Scheduler<Event>) {
         let m = self.messages[msg.idx()].take().expect("consuming dead message");
+        self.free_msg(msg);
         self.counters.messages_consumed += 1;
         if self.timeline.is_enabled() {
             self.timeline.record(Span {
                 kind: SpanKind::Message,
-                node: *m.path.last().expect("nonempty path"),
+                node: m.dst_node,
                 job: Some(m.job),
                 proc_: None,
                 rank: Some(m.to),
@@ -1422,7 +1484,9 @@ impl Model for Machine {
             Event::SliceEnd { node, seq } => self.on_slice_end(node, seq, now, sched),
             Event::TransferDone { chan } => self.on_transfer_done(chan, now, sched),
             Event::HopStart { msg, edge } => self.on_hop_start(msg, edge, now, sched),
-            Event::AllocEscape { node, msg } => self.on_alloc_escape(node, msg, now, sched),
+            Event::AllocEscape { node, msg, gen } => {
+                self.on_alloc_escape(node, msg, gen, now, sched)
+            }
             Event::PolicyTick { .. } => {} // policy drivers intercept these
         }
     }

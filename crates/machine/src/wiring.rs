@@ -99,6 +99,9 @@ impl SystemNet {
 
     /// The full global path from `src` to `dst` (exclusive of `src`).
     /// Returns `None` if the processors are in different partitions.
+    ///
+    /// Allocates; the per-message hot path walks [`SystemNet::next_hop`]
+    /// instead and never materializes the path.
     pub fn route(&self, src: u16, dst: u16) -> Option<Vec<u16>> {
         let p = self.partition_of(src);
         if p != self.partition_of(dst) {
@@ -109,9 +112,37 @@ impl SystemNet {
         Some(local.into_iter().map(|l| base + l.0).collect())
     }
 
-    /// Hop count from `src` to `dst` (0 for self; `None` across partitions).
+    /// The node after `src` on the minimal route to `dst`: one flat-table
+    /// lookup, no allocation. `None` when `src == dst` or the processors
+    /// are in different partitions.
+    #[inline]
+    pub fn next_hop(&self, src: u16, dst: u16) -> Option<u16> {
+        let p = self.partition_of(src);
+        if src == dst || p != self.partition_of(dst) {
+            return None;
+        }
+        let base = (p * self.partition_size) as u16;
+        self.routers[p]
+            .next_hop(NodeId(src - base), NodeId(dst - base))
+            .map(|l| base + l.0)
+    }
+
+    /// Hop count from `src` to `dst` (0 for self; `None` across
+    /// partitions). Walks the next-hop table; no allocation.
     pub fn hops(&self, src: u16, dst: u16) -> Option<usize> {
-        self.route(src, dst).map(|p| p.len())
+        if self.partition_of(src) != self.partition_of(dst) {
+            return None;
+        }
+        let mut cur = src;
+        let mut n = 0usize;
+        while cur != dst {
+            cur = self
+                .next_hop(cur, dst)
+                .expect("same partition always routes");
+            n += 1;
+            debug_assert!(n <= self.nodes, "routing loop {src} -> {dst}");
+        }
+        Some(n)
     }
 }
 

@@ -1,12 +1,18 @@
 //! Property-based tests: randomly generated (but always well-formed)
 //! workloads on random machines must satisfy the machine's conservation
 //! laws and determinism guarantees.
+//!
+//! Ported from proptest to seeded [`DetRng`] loops so the suite runs with
+//! no external dependencies; each case derives its own substream, so a
+//! failure report's case index is enough to replay it exactly.
 #![allow(clippy::field_reassign_with_default)]
 
 use parsched_des::prelude::*;
+use parsched_des::rng::DetRng;
 use parsched_machine::prelude::*;
 use parsched_topology::build;
-use proptest::prelude::*;
+
+const CASES: u64 = 64;
 
 /// A randomly shaped fork-join job: the coordinator scatters to every
 /// worker and gathers one reply from each; everyone computes. Always
@@ -20,21 +26,19 @@ struct ForkJoin {
     mem: u64,
 }
 
-fn arb_forkjoin() -> impl Strategy<Value = ForkJoin> {
-    (
-        1usize..=8,
-        0u64..40_000,
-        0u64..10_000,
-        0u64..20_000,
-        0u64..100_000,
-    )
-        .prop_map(|(width, scatter_bytes, gather_bytes, work_us, mem)| ForkJoin {
-            width,
-            scatter_bytes,
-            gather_bytes,
-            work_us,
-            mem,
-        })
+fn random_forkjoin(rng: &mut DetRng) -> ForkJoin {
+    ForkJoin {
+        width: rng.uniform_u64(1, 9) as usize,
+        scatter_bytes: rng.uniform_u64(0, 40_000),
+        gather_bytes: rng.uniform_u64(0, 10_000),
+        work_us: rng.uniform_u64(0, 20_000),
+        mem: rng.uniform_u64(0, 100_000),
+    }
+}
+
+fn random_forkjoins(rng: &mut DetRng, lo: u64, hi: u64) -> Vec<ForkJoin> {
+    let count = rng.uniform_u64(lo, hi);
+    (0..count).map(|_| random_forkjoin(rng)).collect()
 }
 
 fn build_job(idx: usize, fj: &ForkJoin) -> JobSpec {
@@ -96,13 +100,16 @@ enum Topo {
     Cube(u8),
 }
 
-fn arb_topo() -> impl Strategy<Value = Topo> {
-    prop_oneof![
-        (2usize..=8).prop_map(Topo::Linear),
-        (3usize..=8).prop_map(Topo::Ring),
-        ((2usize..=3), (2usize..=3)).prop_map(|(r, c)| Topo::Mesh(r, c)),
-        (1u8..=3).prop_map(Topo::Cube),
-    ]
+fn random_topo(rng: &mut DetRng) -> Topo {
+    match rng.uniform_u64(0, 4) {
+        0 => Topo::Linear(rng.uniform_u64(2, 9) as usize),
+        1 => Topo::Ring(rng.uniform_u64(3, 9) as usize),
+        2 => Topo::Mesh(
+            rng.uniform_u64(2, 4) as usize,
+            rng.uniform_u64(2, 4) as usize,
+        ),
+        _ => Topo::Cube(rng.uniform_u64(1, 4) as u8),
+    }
 }
 
 fn make_net(t: Topo) -> SystemNet {
@@ -145,44 +152,46 @@ fn run_jobs(
     (m, engine.now(), engine.events_processed())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Any balanced workload completes, consumes what it sends, and
-    /// returns all memory.
-    #[test]
-    fn conservation_laws_hold(
-        topo in arb_topo(),
-        jobs in proptest::collection::vec(arb_forkjoin(), 1..5),
-    ) {
+/// Any balanced workload completes, consumes what it sends, and
+/// returns all memory.
+#[test]
+fn conservation_laws_hold() {
+    let root = DetRng::new(0xC0);
+    for case in 0..CASES {
+        let mut rng = root.substream_idx("conservation", case);
+        let topo = random_topo(&mut rng);
+        let jobs = random_forkjoins(&mut rng, 1, 5);
         let (m, _, _) = run_jobs(
             MachineConfig::default(),
             make_net(topo),
             &jobs,
             QueueKind::BinaryHeap,
         );
-        prop_assert!(m.all_jobs_done());
-        prop_assert_eq!(m.counters.messages_sent, m.counters.messages_consumed);
-        let expected: u64 = jobs
-            .iter()
-            .map(|fj| 2 * (fj.width as u64 - 1))
-            .sum();
-        prop_assert_eq!(m.counters.messages_sent, expected);
+        assert!(m.all_jobs_done(), "case {case}");
+        assert_eq!(
+            m.counters.messages_sent, m.counters.messages_consumed,
+            "case {case}"
+        );
+        let expected: u64 = jobs.iter().map(|fj| 2 * (fj.width as u64 - 1)).sum();
+        assert_eq!(m.counters.messages_sent, expected, "case {case}");
         for n in 0..m.node_count() {
             let node = m.node(n as u16);
-            prop_assert_eq!(node.mmu.used(), 0);
-            prop_assert_eq!(node.mmu.queue_len(), 0);
-            prop_assert!(node.cpu.is_idle());
+            assert_eq!(node.mmu.used(), 0, "case {case} node {n}");
+            assert_eq!(node.mmu.queue_len(), 0, "case {case} node {n}");
+            assert!(node.cpu.is_idle(), "case {case} node {n}");
         }
     }
+}
 
-    /// Process CPU accounting: every process accrues exactly its compute
-    /// demand plus its messaging costs (nothing lost to preemption).
-    #[test]
-    fn cpu_time_accounts_for_all_work(
-        topo in arb_topo(),
-        fj in arb_forkjoin(),
-    ) {
+/// Process CPU accounting: every process accrues exactly its compute
+/// demand plus its messaging costs (nothing lost to preemption).
+#[test]
+fn cpu_time_accounts_for_all_work() {
+    let root = DetRng::new(0xC1);
+    for case in 0..CASES {
+        let mut rng = root.substream_idx("cpu-accounting", case);
+        let topo = random_topo(&mut rng);
+        let fj = random_forkjoin(&mut rng);
         let cfg = MachineConfig::default();
         let spec = build_job(0, &fj);
         let expected: Vec<SimDuration> = spec
@@ -200,7 +209,12 @@ proptest! {
                 t
             })
             .collect();
-        let (m, _, _) = run_jobs(cfg.clone(), make_net(topo), std::slice::from_ref(&fj), QueueKind::BinaryHeap);
+        let (m, _, _) = run_jobs(
+            cfg.clone(),
+            make_net(topo),
+            std::slice::from_ref(&fj),
+            QueueKind::BinaryHeap,
+        );
         for (proc_, exp) in m.processes().iter().zip(expected) {
             // recv costs add the per-byte cost of whatever messages the
             // process consumed; build the exact expectation.
@@ -208,71 +222,89 @@ proptest! {
                 0 => {
                     // coordinator consumed width-1 gathers
                     SimDuration::from_nanos(
-                        (fj.width as u64 - 1)
-                            * cfg.recv_cost(fj.gather_bytes).nanos(),
+                        (fj.width as u64 - 1) * cfg.recv_cost(fj.gather_bytes).nanos(),
                     )
                 }
                 _ => cfg.recv_cost(fj.scatter_bytes),
             };
             let want = if fj.width == 1 { exp } else { exp + recv_extra };
-            prop_assert_eq!(
-                proc_.cpu_time,
-                want,
-                "rank {} accrued {} expected {}",
-                proc_.rank.0,
-                proc_.cpu_time,
-                want
+            assert_eq!(
+                proc_.cpu_time, want,
+                "case {case}: rank {} accrued {} expected {}",
+                proc_.rank.0, proc_.cpu_time, want
             );
         }
     }
+}
 
-    /// The two engine backends replay identical histories for arbitrary
-    /// workloads.
-    #[test]
-    fn backends_agree_on_random_workloads(
-        topo in arb_topo(),
-        jobs in proptest::collection::vec(arb_forkjoin(), 1..4),
-    ) {
+/// The two engine backends replay identical histories for arbitrary
+/// workloads.
+#[test]
+fn backends_agree_on_random_workloads() {
+    let root = DetRng::new(0xC2);
+    for case in 0..CASES {
+        let mut rng = root.substream_idx("backends", case);
+        let topo = random_topo(&mut rng);
+        let jobs = random_forkjoins(&mut rng, 1, 4);
         let (ma, ta, ea) = run_jobs(
-            MachineConfig::default(), make_net(topo), &jobs, QueueKind::BinaryHeap);
+            MachineConfig::default(),
+            make_net(topo),
+            &jobs,
+            QueueKind::BinaryHeap,
+        );
         let (mb, tb, eb) = run_jobs(
-            MachineConfig::default(), make_net(topo), &jobs, QueueKind::Calendar);
-        prop_assert_eq!(ta, tb, "end times differ");
-        prop_assert_eq!(ea, eb, "event counts differ");
+            MachineConfig::default(),
+            make_net(topo),
+            &jobs,
+            QueueKind::Calendar,
+        );
+        assert_eq!(ta, tb, "case {case}: end times differ");
+        assert_eq!(ea, eb, "case {case}: event counts differ");
         let fa: Vec<SimTime> = ma.jobs().iter().map(|j| j.finished_at).collect();
         let fb: Vec<SimTime> = mb.jobs().iter().map(|j| j.finished_at).collect();
-        prop_assert_eq!(fa, fb, "completion times differ");
+        assert_eq!(fa, fb, "case {case}: completion times differ");
     }
+}
 
-    /// Response time is bounded below by the critical path: load plus the
-    /// coordinator's own compute and messaging costs.
-    #[test]
-    fn response_respects_critical_path(
-        topo in arb_topo(),
-        fj in arb_forkjoin(),
-    ) {
+/// Response time is bounded below by the critical path: load plus the
+/// coordinator's own compute and messaging costs.
+#[test]
+fn response_respects_critical_path() {
+    let root = DetRng::new(0xC3);
+    for case in 0..CASES {
+        let mut rng = root.substream_idx("critical-path", case);
+        let topo = random_topo(&mut rng);
+        let fj = random_forkjoin(&mut rng);
         let cfg = MachineConfig::default();
-        let (m, _, _) = run_jobs(cfg.clone(), make_net(topo), std::slice::from_ref(&fj), QueueKind::BinaryHeap);
+        let (m, _, _) = run_jobs(
+            cfg.clone(),
+            make_net(topo),
+            std::slice::from_ref(&fj),
+            QueueKind::BinaryHeap,
+        );
         let job = m.job(JobId(0));
         let lower = SimDuration::from_micros(fj.work_us); // one work phase
-        prop_assert!(
+        assert!(
             job.response_time() >= lower,
-            "response {} below compute lower bound {}",
+            "case {case}: response {} below compute lower bound {}",
             job.response_time(),
             lower
         );
         // And the load must have happened before anything ran.
-        prop_assert!(job.loaded_at >= job.submitted_at);
-        prop_assert!(job.finished_at >= job.loaded_at);
+        assert!(job.loaded_at >= job.submitted_at, "case {case}");
+        assert!(job.finished_at >= job.loaded_at, "case {case}");
     }
+}
 
-    /// Switching modes all complete arbitrary workloads with the same
-    /// message accounting.
-    #[test]
-    fn switching_modes_complete(
-        topo in arb_topo(),
-        jobs in proptest::collection::vec(arb_forkjoin(), 1..3),
-    ) {
+/// Switching modes all complete arbitrary workloads with the same
+/// message accounting.
+#[test]
+fn switching_modes_complete() {
+    let root = DetRng::new(0xC4);
+    for case in 0..CASES {
+        let mut rng = root.substream_idx("switching", case);
+        let topo = random_topo(&mut rng);
+        let jobs = random_forkjoins(&mut rng, 1, 3);
         let mut counts = Vec::new();
         for switching in [
             Switching::PacketizedSaf,
@@ -282,10 +314,10 @@ proptest! {
             let mut cfg = MachineConfig::default();
             cfg.switching = switching;
             let (m, _, _) = run_jobs(cfg, make_net(topo), &jobs, QueueKind::BinaryHeap);
-            prop_assert!(m.all_jobs_done(), "{switching:?} stalled");
+            assert!(m.all_jobs_done(), "case {case}: {switching:?} stalled");
             counts.push(m.counters.messages_consumed);
         }
-        prop_assert_eq!(counts[0], counts[1]);
-        prop_assert_eq!(counts[1], counts[2]);
+        assert_eq!(counts[0], counts[1], "case {case}");
+        assert_eq!(counts[1], counts[2], "case {case}");
     }
 }

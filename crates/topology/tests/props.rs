@@ -1,91 +1,122 @@
 //! Property-based tests for topology construction and routing invariants.
+//!
+//! Ported from proptest to seeded [`DetRng`] loops so the suite runs with
+//! no external dependencies; each case derives its own substream, so a
+//! failure report's case index is enough to replay it exactly.
 
+use parsched_des::rng::DetRng;
 use parsched_topology::{build, metrics, route::Router, types::NodeId, Topology, TopologyKind};
-use proptest::prelude::*;
 
-/// Strategy producing an arbitrary paper-relevant topology.
-fn arb_topology() -> impl Strategy<Value = Topology> {
-    prop_oneof![
-        (1usize..=24).prop_map(build::linear),
-        (1usize..=24).prop_map(build::ring),
-        ((1usize..=5), (1usize..=5)).prop_map(|(r, c)| build::mesh(r, c)),
-        (0u8..=4).prop_map(build::hypercube),
-        (1usize..=16).prop_map(build::star),
-        (1usize..=10).prop_map(build::complete),
-        ((1usize..=4), (1usize..=5)).prop_map(|(r, c)| build::torus(r, c)),
-        (1usize..=31).prop_map(build::binary_tree),
-    ]
+const CASES: u64 = 64;
+
+/// Draw an arbitrary paper-relevant topology, mirroring the original
+/// proptest strategy's shape families and size ranges.
+fn random_topology(rng: &mut DetRng) -> Topology {
+    match rng.uniform_u64(0, 8) {
+        0 => build::linear(rng.uniform_u64(1, 25) as usize),
+        1 => build::ring(rng.uniform_u64(1, 25) as usize),
+        2 => build::mesh(
+            rng.uniform_u64(1, 6) as usize,
+            rng.uniform_u64(1, 6) as usize,
+        ),
+        3 => build::hypercube(rng.uniform_u64(0, 5) as u8),
+        4 => build::star(rng.uniform_u64(1, 17) as usize),
+        5 => build::complete(rng.uniform_u64(1, 11) as usize),
+        6 => build::torus(
+            rng.uniform_u64(1, 5) as usize,
+            rng.uniform_u64(1, 6) as usize,
+        ),
+        _ => build::binary_tree(rng.uniform_u64(1, 32) as usize),
+    }
 }
 
-proptest! {
-    #[test]
-    fn topologies_are_connected_and_simple(topo in arb_topology()) {
-        prop_assert!(topo.is_connected());
+#[test]
+fn topologies_are_connected_and_simple() {
+    let root = DetRng::new(0x70);
+    for case in 0..CASES {
+        let mut rng = root.substream_idx("connected", case);
+        let topo = random_topology(&mut rng);
+        assert!(topo.is_connected(), "case {case}");
         // Adjacency symmetric and loop-free is enforced by the constructor;
         // re-check degree bookkeeping here.
         let total: usize = topo.nodes().map(|u| topo.degree(u)).sum();
-        prop_assert_eq!(total, topo.edge_count() * 2);
+        assert_eq!(total, topo.edge_count() * 2, "case {case}");
     }
+}
 
-    #[test]
-    fn preferred_router_is_minimal(topo in arb_topology()) {
+#[test]
+fn preferred_router_is_minimal() {
+    let root = DetRng::new(0x71);
+    for case in 0..CASES {
+        let mut rng = root.substream_idx("minimal", case);
+        let topo = random_topology(&mut rng);
         let router = Router::for_topology(&topo);
         for src in topo.nodes() {
             let dist = topo.bfs_distances(src);
             for dst in topo.nodes() {
                 let path = router.path(src, dst);
-                prop_assert_eq!(path.len() as u32, dist[dst.idx()]);
+                assert_eq!(path.len() as u32, dist[dst.idx()], "case {case}");
                 let mut prev = src;
                 for &hop in &path {
-                    prop_assert!(topo.adjacent(prev, hop));
+                    assert!(topo.adjacent(prev, hop), "case {case}");
                     prev = hop;
                 }
-                prop_assert!(path.last().copied().unwrap_or(src) == dst);
+                assert!(path.last().copied().unwrap_or(src) == dst, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn routing_is_loop_free(topo in arb_topology()) {
+#[test]
+fn routing_is_loop_free() {
+    let root = DetRng::new(0x72);
+    for case in 0..CASES {
+        let mut rng = root.substream_idx("loop-free", case);
+        let topo = random_topology(&mut rng);
         let router = Router::shortest_path(&topo);
         // Following next_hop must strictly decrease the BFS distance.
         for dst in topo.nodes() {
             let dist = topo.bfs_distances(dst);
             for src in topo.nodes() {
-                if src == dst { continue; }
+                if src == dst {
+                    continue;
+                }
                 let hop = router.next_hop(src, dst).unwrap();
-                prop_assert!(dist[hop.idx()] < dist[src.idx()]);
+                assert!(dist[hop.idx()] < dist[src.idx()], "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn diameter_bounds(topo in arb_topology()) {
+#[test]
+fn diameter_bounds() {
+    let root = DetRng::new(0x73);
+    for case in 0..CASES {
+        let mut rng = root.substream_idx("diameter", case);
+        let topo = random_topology(&mut rng);
         let m = metrics::metrics(&topo);
-        prop_assert!(m.avg_distance <= m.diameter as f64);
+        assert!(m.avg_distance <= m.diameter as f64, "case {case}");
         if topo.len() > 1 {
-            prop_assert!(m.diameter >= 1);
-            prop_assert!((m.diameter as usize) < topo.len());
+            assert!(m.diameter >= 1, "case {case}");
+            assert!((m.diameter as usize) < topo.len(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn partition_plan_tiles_the_machine(
-        psize in prop_oneof![Just(1usize), Just(2), Just(4), Just(8), Just(16)],
-    ) {
-        let plan = parsched_topology::PartitionPlan::equal(
-            16, psize, TopologyKind::Ring,
-        ).unwrap();
-        prop_assert_eq!(plan.count() * psize, 16);
+#[test]
+fn partition_plan_tiles_the_machine() {
+    for psize in [1usize, 2, 4, 8, 16] {
+        let plan = parsched_topology::PartitionPlan::equal(16, psize, TopologyKind::Ring).unwrap();
+        assert_eq!(plan.count() * psize, 16);
         let mut seen = [false; 16];
         for p in &plan.partitions {
             for l in 0..p.size() {
                 let g = p.to_global(NodeId(l as u16));
-                prop_assert!(!seen[g], "processor {} covered twice", g);
+                assert!(!seen[g], "processor {} covered twice", g);
                 seen[g] = true;
             }
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s));
     }
 }
 

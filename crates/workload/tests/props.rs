@@ -1,55 +1,67 @@
 //! Property tests: every generator emits balanced, well-formed jobs for
 //! arbitrary parameters, and the aggregate accounting identities hold.
+//!
+//! Ported from proptest to seeded [`DetRng`] loops so the suite runs with
+//! no external dependencies; each case derives its own substream, so a
+//! failure report's case index is enough to replay it exactly.
 
 use parsched_des::rng::DetRng;
 use parsched_des::SimDuration;
 use parsched_workload::pipeline::{pipeline_job, PipelineParams};
 use parsched_workload::prelude::*;
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn matmul_jobs_always_balanced(
-        n in 16usize..200,
-        t_pow in 0u32..5,
-    ) {
-        let t = 1usize << t_pow;
-        prop_assume!(n >= t);
+const CASES: u64 = 64;
+
+#[test]
+fn matmul_jobs_always_balanced() {
+    let root = DetRng::new(0xA0);
+    for case in 0..CASES {
+        let mut rng = root.substream_idx("matmul", case);
+        let t = 1usize << rng.uniform_u64(0, 5);
+        // Mirror the original prop_assume!(n >= t): draw n above t.
+        let n = rng.uniform_u64(t.max(16) as u64, 200) as usize;
         let cost = CostModel::default();
         let j = matmul_job("p", n, t, &cost);
-        prop_assert!(j.check_balanced().is_ok());
-        prop_assert_eq!(j.width(), t);
+        assert!(j.check_balanced().is_ok(), "case {case}");
+        assert_eq!(j.width(), t, "case {case}");
         // Splitting never changes total work.
-        prop_assert_eq!(j.total_compute(), cost.mm_full(n));
+        assert_eq!(j.total_compute(), cost.mm_full(n), "case {case}");
         // Ship bytes never exceed the resident footprint and always cover
         // at least the data.
-        prop_assert!(j.effective_ship_bytes() <= j.total_mem());
-        prop_assert!(j.effective_ship_bytes() >= cost.proc_overhead_mem);
+        assert!(j.effective_ship_bytes() <= j.total_mem(), "case {case}");
+        assert!(
+            j.effective_ship_bytes() >= cost.proc_overhead_mem,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn sort_jobs_always_balanced(
-        m in 64usize..20_000,
-        t_pow in 0u32..5,
-    ) {
-        let t = 1usize << t_pow;
-        prop_assume!(m >= t);
+#[test]
+fn sort_jobs_always_balanced() {
+    let root = DetRng::new(0xA1);
+    for case in 0..CASES {
+        let mut rng = root.substream_idx("sort", case);
+        let t = 1usize << rng.uniform_u64(0, 5);
+        let m = rng.uniform_u64(t.max(64) as u64, 20_000) as usize;
         let cost = CostModel::default();
         let j = sort_job("s", m, t, &cost);
-        prop_assert!(j.check_balanced().is_ok());
-        prop_assert_eq!(j.width(), t);
+        assert!(j.check_balanced().is_ok(), "case {case}");
+        assert_eq!(j.width(), t, "case {case}");
         // Every divide send has a matching merge return: sends come in
         // pairs across the tree (t - 1 divides, t - 1 merges).
         let sends: u64 = j.procs.iter().map(|p| p.send_count()).sum();
-        prop_assert_eq!(sends, 2 * (t as u64 - 1));
+        assert_eq!(sends, 2 * (t as u64 - 1), "case {case}");
     }
+}
 
-    #[test]
-    fn pipeline_jobs_always_balanced(
-        stages in 1usize..20,
-        waves in 1usize..20,
-        bytes in 0u64..100_000,
-    ) {
+#[test]
+fn pipeline_jobs_always_balanced() {
+    let root = DetRng::new(0xA2);
+    for case in 0..CASES {
+        let mut rng = root.substream_idx("pipeline", case);
+        let stages = rng.uniform_u64(1, 20) as usize;
+        let waves = rng.uniform_u64(1, 20) as usize;
+        let bytes = rng.uniform_u64(0, 100_000);
         let cost = CostModel::default();
         let params = PipelineParams {
             stages,
@@ -58,58 +70,63 @@ proptest! {
             stage_work: SimDuration::from_micros(500),
         };
         let j = pipeline_job("pl", &params, &cost);
-        prop_assert!(j.check_balanced().is_ok());
+        assert!(j.check_balanced().is_ok(), "case {case}");
         let sends: u64 = j.procs.iter().map(|p| p.send_count()).sum();
-        prop_assert_eq!(sends, (stages as u64 - 1) * waves as u64);
+        assert_eq!(sends, (stages as u64 - 1) * waves as u64, "case {case}");
     }
+}
 
-    #[test]
-    fn synthetic_jobs_split_demand_exactly(
-        width in 1usize..=16,
-        demand_ms in 1u64..5_000,
-    ) {
+#[test]
+fn synthetic_jobs_split_demand_exactly() {
+    let root = DetRng::new(0xA3);
+    for case in 0..CASES {
+        let mut rng = root.substream_idx("synthetic", case);
+        let width = rng.uniform_u64(1, 17) as usize;
+        let demand_ms = rng.uniform_u64(1, 5_000);
         let cost = CostModel::default();
-        let params = SyntheticParams { width, ..SyntheticParams::default() };
+        let params = SyntheticParams {
+            width,
+            ..SyntheticParams::default()
+        };
         let demand = SimDuration::from_millis(demand_ms);
         let j = synthetic_job("syn", demand, &params, &cost);
-        prop_assert!(j.check_balanced().is_ok());
+        assert!(j.check_balanced().is_ok(), "case {case}");
         // Integer division may shave < width nanoseconds.
         let total = j.total_compute();
-        prop_assert!(total <= demand);
-        prop_assert!(demand.nanos() - total.nanos() < width as u64);
+        assert!(total <= demand, "case {case}");
+        assert!(demand.nanos() - total.nanos() < width as u64, "case {case}");
     }
+}
 
-    #[test]
-    fn batches_respect_composition(
-        small in 0usize..=16,
-    ) {
+#[test]
+fn batches_respect_composition() {
+    for small in 0usize..=16 {
         let sizes = BatchSizes {
             small_count: small,
             ..BatchSizes::default()
         };
         let cost = CostModel::default();
         let batch = paper_batch(App::Sort, Arch::Fixed, 4, &sizes, &cost);
-        prop_assert_eq!(batch.len(), sizes.jobs);
+        assert_eq!(batch.len(), sizes.jobs, "small={small}");
         let smalls = batch.iter().filter(|j| j.name.contains("-S")).count();
-        prop_assert_eq!(smalls, small.min(sizes.jobs));
+        assert_eq!(smalls, small.min(sizes.jobs), "small={small}");
     }
+}
 
-    #[test]
-    fn arrivals_are_monotone_for_any_rate(
-        count in 1usize..200,
-        mean_us in 1u64..1_000_000,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn arrivals_are_monotone_for_any_rate() {
+    let root = DetRng::new(0xA4);
+    for case in 0..CASES {
+        let mut draw = root.substream_idx("arrivals", case);
+        let count = draw.uniform_u64(1, 200) as usize;
+        let mean_us = draw.uniform_u64(1, 1_000_000);
+        let seed = draw.uniform_u64(0, 1000);
         let mut rng = DetRng::new(seed);
-        let arr = poisson_arrivals(
-            count,
-            SimDuration::from_micros(mean_us),
-            &mut rng,
-        );
-        prop_assert_eq!(arr.len(), count);
+        let arr = poisson_arrivals(count, SimDuration::from_micros(mean_us), &mut rng);
+        assert_eq!(arr.len(), count, "case {case}");
         for w in arr.windows(2) {
-            prop_assert!(w[0] <= w[1]);
+            assert!(w[0] <= w[1], "case {case}");
         }
-        prop_assert!(arr[0].nanos() > 0);
+        assert!(arr[0].nanos() > 0, "case {case}");
     }
 }

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full workspace test suite, then the perf
+# binary's golden check (simulated results must match BENCH_parsched.json
+# bit-exactly). Everything runs offline; no network access required.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo run --release -p parsched-bench --bin perf -- --check
+echo "tier1: OK"
