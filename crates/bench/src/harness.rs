@@ -203,25 +203,29 @@ pub enum Value {
 }
 
 impl Value {
-    fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+    /// The object's map, when this value is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
         match self {
             Value::Obj(m) => Some(m),
             _ => None,
         }
     }
-    fn as_array(&self) -> Option<&Vec<Value>> {
+    /// The array's elements, when this value is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
         match self {
             Value::Arr(a) => Some(a),
             _ => None,
         }
     }
-    fn as_f64(&self) -> Option<f64> {
+    /// The number, when this value is a number.
+    pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Num(n) => Some(*n),
             _ => None,
         }
     }
-    fn as_str(&self) -> Option<&str> {
+    /// The string slice, when this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
             _ => None,
@@ -362,6 +366,16 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Option<Value> {
 }
 
 #[cfg(test)]
+impl Report {
+    /// Test-only: parse from a string instead of a file.
+    fn load_from_str(text: &str) -> Option<Report> {
+        let dir = std::env::temp_dir().join("parsched-bench-test.json");
+        std::fs::write(&dir, text).ok()?;
+        Report::load(&dir)
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
 
@@ -412,15 +426,5 @@ mod tests {
         let arr = obj.get("a").unwrap().as_array().unwrap();
         assert_eq!(arr[1].as_f64(), Some(-2500.0));
         assert_eq!(arr[2].as_str(), Some("x\n\"y"));
-    }
-}
-
-#[cfg(test)]
-impl Report {
-    /// Test-only: parse from a string instead of a file.
-    fn load_from_str(text: &str) -> Option<Report> {
-        let dir = std::env::temp_dir().join("parsched-bench-test.json");
-        std::fs::write(&dir, text).ok()?;
-        Report::load(&dir)
     }
 }

@@ -1,0 +1,101 @@
+//! Golden smoke test for the Chrome-trace exporter: a tiny 4-node run's
+//! timeline is stable across runs (byte-identical render) and is valid
+//! JSON with the structure Perfetto/`chrome://tracing` expect, verified
+//! with the harness's own JSON parser.
+
+use parsched_bench::harness::{parse_json, Value};
+use parsched_core::prelude::*;
+use parsched_obs::ChromeTrace;
+use parsched_topology::TopologyKind;
+use parsched_workload::prelude::*;
+
+/// A 4-node ring running a 3-job adaptive matmul batch: small enough to
+/// render in milliseconds, busy enough to exercise slices on every track
+/// kind (cpu quanta, handlers, link hops) plus scheduler instants.
+fn tiny_trace() -> (RunResult, String) {
+    let config = ExperimentConfig {
+        system_size: 4,
+        ..ExperimentConfig::paper(4, TopologyKind::Ring, PolicyKind::TimeSharing)
+    };
+    let batch = paper_batch(
+        App::MatMul,
+        Arch::Adaptive,
+        4,
+        &BatchSizes {
+            jobs: 3,
+            small_count: 2,
+            ..BatchSizes::default()
+        },
+        &CostModel::default(),
+    );
+    let (result, obs) = run_batch_observed(&config, batch).expect("tiny run simulates");
+    let trace = ChromeTrace::build(&obs.layout, &obs.events);
+    assert_eq!(trace.unmatched(), 0, "begin/end events must pair");
+    (result, trace.render())
+}
+
+#[test]
+fn trace_render_is_stable_and_parses() {
+    let (r1, t1) = tiny_trace();
+    let (r2, t2) = tiny_trace();
+    // Byte-identical across runs: the exporter is as deterministic as the
+    // simulation it observes.
+    assert_eq!(r1.summary.mean.to_bits(), r2.summary.mean.to_bits());
+    assert_eq!(t1, t2, "trace render differs between identical runs");
+
+    let v = parse_json(&t1).expect("trace is valid JSON");
+    let events = v
+        .as_object()
+        .and_then(|o| o.get("traceEvents"))
+        .and_then(Value::as_array)
+        .expect("top-level traceEvents array");
+    assert!(events.len() > 50, "only {} trace events", events.len());
+
+    let str_field = |e: &Value, k: &str| -> Option<String> {
+        e.as_object()?.get(k)?.as_str().map(str::to_string)
+    };
+    // Every event has a phase; every phase is one we emit.
+    for e in events {
+        let ph = str_field(e, "ph").expect("event has ph");
+        assert!(
+            matches!(ph.as_str(), "M" | "X" | "i" | "C"),
+            "unexpected phase {ph:?}"
+        );
+        if ph == "X" {
+            let dur = e.as_object().unwrap().get("dur").and_then(Value::as_f64);
+            assert!(dur.is_some(), "complete slice without dur: {e:?}");
+        }
+    }
+    // Process metadata names the scheduler and all 4 nodes.
+    let names: Vec<String> = events
+        .iter()
+        .filter(|e| str_field(e, "ph").as_deref() == Some("M"))
+        .filter_map(|e| {
+            e.as_object()?
+                .get("args")?
+                .as_object()?
+                .get("name")?
+                .as_str()
+                .map(str::to_string)
+        })
+        .collect();
+    for expected in ["scheduler", "node 0", "node 3", "cpu"] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "missing metadata name {expected:?} in {names:?}"
+        );
+    }
+    // A ring has links; at least one link track must be named.
+    assert!(
+        names.iter().any(|n| n.starts_with("link ")),
+        "no link thread names in {names:?}"
+    );
+    // Quantum slices carry the job name with the rank suffix.
+    assert!(
+        events.iter().any(|e| {
+            str_field(e, "ph").as_deref() == Some("X")
+                && str_field(e, "name").is_some_and(|n| n.contains(":r"))
+        }),
+        "no quantum slices found"
+    );
+}

@@ -184,6 +184,13 @@ impl Driver {
             Some(part) => {
                 self.assigned[part].push_back(idx);
                 let job = self.queue_on(idx, part);
+                self.machine.observe(
+                    now,
+                    parsched_obs::ObsEvent::PartitionAdmit {
+                        job: job.0,
+                        partition: part as u32,
+                    },
+                );
                 sched.schedule_now(Event::Admit { job });
             }
             None => self.pending.push_back(idx),
@@ -229,6 +236,15 @@ impl Driver {
             let id = self.entries[idx].job_id.expect("checked");
             self.machine.start_job(id, now, sched);
             self.running[part] += 1;
+            self.note_mpl(part, now);
+        }
+    }
+
+    /// Sample a partition's executing-job count (its effective MPL) into
+    /// the machine's metrics registry, when metrics are enabled.
+    fn note_mpl(&mut self, part: usize, now: SimTime) {
+        if let Some(m) = self.machine.metrics.as_deref_mut() {
+            m.set_partition_mpl(part, now, self.running[part] as f64);
         }
     }
 
@@ -259,6 +275,7 @@ impl Driver {
                 self.entries[idx].finished = Some(now);
                 let part = self.entries[idx].partition.expect("completed unplaced job");
                 self.running[part] -= 1;
+                self.note_mpl(part, now);
                 self.assigned[part].retain(|&i| i != idx);
                 if matches!(self.discipline, Discipline::Gang { .. }) {
                     let was_active = self.gang[part].rotation.front() == Some(&idx);
@@ -277,6 +294,13 @@ impl Driver {
                 if let Some(next) = self.pending.pop_front() {
                     self.assigned[part].push_back(next);
                     let job = self.queue_on(next, part);
+                    self.machine.observe(
+                        now,
+                        parsched_obs::ObsEvent::PartitionAdmit {
+                            job: job.0,
+                            partition: part as u32,
+                        },
+                    );
                     sched.schedule_now(Event::Admit { job });
                 }
                 self.start_ready(part, now, sched);
@@ -356,6 +380,15 @@ impl Driver {
                     node.mmu.capacity()
                 ));
             }
+        }
+        if let Some(ring) = self
+            .machine
+            .recorder
+            .as_deref()
+            .and_then(|r| r.as_any().downcast_ref::<parsched_obs::RingRecorder>())
+        {
+            out.push_str("last recorded events:\n");
+            out.push_str(&ring.dump());
         }
         out
     }
@@ -524,6 +557,17 @@ mod tests {
         // Nothing started: all unfinished; pending is empty until start().
         let diag = d.diagnose();
         assert!(diag.contains("3 unfinished of 3 jobs"), "{diag}");
+    }
+
+    #[test]
+    fn diagnose_dumps_installed_ring_recorder() {
+        let batch = vec![job("a", 1)];
+        let mut d = driver_for(PolicyKind::Static, (1, 1), batch);
+        d.machine.recorder = Some(Box::new(parsched_obs::RingRecorder::with_capacity(64)));
+        run(&mut d);
+        let diag = d.diagnose();
+        assert!(diag.contains("last recorded events:"), "{diag}");
+        assert!(diag.contains("JobFinished"), "{diag}");
     }
 
     #[test]

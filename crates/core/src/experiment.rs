@@ -10,7 +10,10 @@
 use crate::driver::Driver;
 use crate::policy::{Discipline, Placement, PolicyKind, QuantumRule};
 use parsched_des::{Engine, QueueKind, RunOutcome, SimDuration, SimTime, Summary};
-use parsched_machine::{Event, JobSpec, Machine, MachineConfig, MachineStats, SystemNet};
+use parsched_machine::{
+    Event, JobSpec, Machine, MachineConfig, MachineMetrics, MachineStats, SystemNet,
+};
+use parsched_obs::{CollectRecorder, TimedEvent, TraceLayout};
 use parsched_topology::{config_label, PartitionPlan, TopologyKind};
 use std::fmt;
 
@@ -153,9 +156,56 @@ pub fn run_batch_with_arrivals(
     batch: Vec<JobSpec>,
     arrivals: Vec<SimTime>,
 ) -> Result<RunResult, RunError> {
+    execute(config, batch, arrivals, false).map(|(r, _)| r)
+}
+
+/// Everything the observability layer captured during one run.
+///
+/// Produced by [`run_batch_observed`]; feed `events` + `layout` to
+/// [`parsched_obs::ChromeTrace::build`] and render `metrics.registry` with
+/// [`crate::report::metrics_table`].
+#[derive(Debug)]
+pub struct ObsArtifacts {
+    /// The typed event stream, in simulation order.
+    pub events: Vec<TimedEvent>,
+    /// Events discarded by the collector's capacity bound (0 normally).
+    pub dropped: u64,
+    /// The machine's time-weighted gauges, closed at the run's end time.
+    pub metrics: MachineMetrics,
+    /// Node/link/job naming for the Chrome-trace exporter.
+    pub layout: TraceLayout,
+}
+
+/// Like [`run_batch`], with full instrumentation: a typed event recorder
+/// and the machine metrics registry are installed for the run and returned
+/// alongside the (bit-identical) simulated result.
+///
+/// Instrumentation only observes — it never schedules events or touches
+/// the RNG — so the `RunResult` here is exactly what [`run_batch`] returns
+/// for the same inputs.
+pub fn run_batch_observed(
+    config: &ExperimentConfig,
+    batch: Vec<JobSpec>,
+) -> Result<(RunResult, ObsArtifacts), RunError> {
+    execute(config, batch, Vec::new(), true)
+        .map(|(r, obs)| (r, obs.expect("instrumented run returns artifacts")))
+}
+
+/// Shared run executor; `instrument` installs the event recorder + metrics
+/// registry and returns them as [`ObsArtifacts`].
+fn execute(
+    config: &ExperimentConfig,
+    batch: Vec<JobSpec>,
+    arrivals: Vec<SimTime>,
+    instrument: bool,
+) -> Result<(RunResult, Option<ObsArtifacts>), RunError> {
     let plan = config.plan();
     let net = SystemNet::from_plan(&plan);
-    let machine = Machine::new(config.machine.clone(), net);
+    let mut machine = Machine::new(config.machine.clone(), net);
+    if instrument {
+        machine.recorder = Some(Box::new(CollectRecorder::new()));
+        machine.metrics = Some(Box::new(MachineMetrics::new(machine.net(), machine.t0())));
+    }
     let mut driver = Driver::new(
         machine,
         plan,
@@ -185,13 +235,44 @@ pub fn run_batch_with_arrivals(
     let summary = Summary::of_durations(&response_times);
     let makespan = engine.now().since(SimTime::ZERO);
     let stats = MachineStats::capture(&driver.machine, engine.now());
-    Ok(RunResult {
-        response_times,
-        summary,
-        makespan,
-        stats,
-        events: engine.events_processed(),
-    })
+    let obs = if instrument {
+        let machine = &mut driver.machine;
+        let mut metrics = machine.metrics.take().expect("metrics installed above");
+        metrics.registry.finish(engine.now());
+        let mut recorder = machine.recorder.take().expect("recorder installed above");
+        let collector = recorder
+            .as_any_mut()
+            .downcast_mut::<CollectRecorder>()
+            .expect("installed a CollectRecorder above");
+        let layout = TraceLayout {
+            node_count: machine.net().nodes() as u16,
+            links: machine
+                .net()
+                .channels()
+                .iter()
+                .map(|c| (c.from, c.to))
+                .collect(),
+            job_names: machine.jobs().iter().map(|j| j.name.clone()).collect(),
+        };
+        Some(ObsArtifacts {
+            events: collector.take_events(),
+            dropped: collector.dropped(),
+            metrics: *metrics,
+            layout,
+        })
+    } else {
+        None
+    };
+    Ok((
+        RunResult {
+            response_times,
+            summary,
+            makespan,
+            stats,
+            events: engine.events_processed(),
+        },
+        obs,
+    ))
 }
 
 /// A replicated experiment's aggregate: mean of per-replication scores

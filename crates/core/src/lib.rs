@@ -35,9 +35,9 @@ pub mod runner;
 pub mod prelude {
     pub use crate::driver::Driver;
     pub use crate::experiment::{
-        order_batch, run_batch, run_batch_with_arrivals, run_experiment, run_replicated,
-        BatchOrder, ExperimentConfig, ExperimentResult, ReplicatedResult, RunError,
-        RunResult,
+        order_batch, run_batch, run_batch_observed, run_batch_with_arrivals, run_experiment,
+        run_replicated, BatchOrder, ExperimentConfig, ExperimentResult, ObsArtifacts,
+        ReplicatedResult, RunError, RunResult,
     };
     pub use crate::figures::{
         ablation_flow_control, ablation_gang, ablation_load, ablation_memory, ablation_mpl,
@@ -46,7 +46,7 @@ pub mod prelude {
         ablation_wormhole, fig3, fig4, fig5, fig6, figure, FigureOpts,
     };
     pub use crate::policy::{Discipline, Placement, PolicyKind, QuantumRule};
-    pub use crate::report::{FigureRow, FigureTable};
+    pub use crate::report::{metrics_table, FigureRow, FigureTable};
     pub use crate::runner::run_parallel;
 }
 

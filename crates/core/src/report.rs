@@ -140,6 +140,40 @@ impl FigureTable {
     }
 }
 
+/// Render a [`parsched_obs::MetricsRegistry`] as a [`FigureTable`]: one row
+/// per gauge (time-weighted mean, peak, last value) followed by one row per
+/// counter. The same table renders to text for the console and CSV for
+/// files, like every other report in this module.
+pub fn metrics_table(registry: &parsched_obs::MetricsRegistry, title: &str) -> FigureTable {
+    let mut rows = Vec::new();
+    for (name, id) in registry.gauges() {
+        rows.push(FigureRow {
+            label: name.to_string(),
+            static_mean: None,
+            ts_mean: None,
+            extra: vec![
+                "gauge".into(),
+                format!("{:.9}", registry.mean(id)),
+                format!("{}", registry.peak(id)),
+                format!("{}", registry.value(id)),
+            ],
+        });
+    }
+    for (name, value) in registry.counters() {
+        rows.push(FigureRow {
+            label: name.to_string(),
+            static_mean: None,
+            ts_mean: None,
+            extra: vec!["counter".into(), String::new(), String::new(), format!("{value}")],
+        });
+    }
+    FigureTable {
+        title: title.to_string(),
+        columns: vec!["kind".into(), "mean".into(), "peak".into(), "last".into()],
+        rows,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,5 +241,25 @@ mod tests {
         let t = sample();
         assert!(t.row("16L").is_some());
         assert!(t.row("8H").is_none());
+    }
+
+    #[test]
+    fn metrics_table_has_gauge_and_counter_rows() {
+        use parsched_des::SimTime;
+        let mut reg = parsched_obs::MetricsRegistry::new(SimTime::ZERO);
+        let g = reg.gauge("node0.cpu_busy", 0.0);
+        let c = reg.counter("msgs");
+        reg.set(g, SimTime::ZERO, 1.0);
+        reg.inc(c, 3);
+        reg.finish(SimTime(100));
+        let t = metrics_table(&reg, "demo metrics");
+        assert_eq!(t.columns, vec!["kind", "mean", "peak", "last"]);
+        let busy = t.row("node0.cpu_busy").expect("gauge row");
+        assert_eq!(busy.extra[0], "gauge");
+        assert_eq!(busy.extra[1], "1.000000000");
+        let msgs = t.row("msgs").expect("counter row");
+        assert_eq!(msgs.extra[0], "counter");
+        assert_eq!(msgs.extra[3], "3");
+        assert!(t.to_csv().contains("node0.cpu_busy,gauge,1.000000000,1,1"));
     }
 }

@@ -72,6 +72,22 @@ impl Trace {
         });
     }
 
+    /// Record an event, building the description lazily: `what` only runs
+    /// when the trace is enabled, so disabled runs never format or
+    /// allocate. Prefer this over [`Trace::push`] on hot paths.
+    #[inline]
+    pub fn push_with(
+        &mut self,
+        time: SimTime,
+        source: impl Into<String>,
+        what: impl FnOnce() -> String,
+    ) {
+        if self.cap == 0 {
+            return;
+        }
+        self.push(time, source, what());
+    }
+
     /// Records currently retained, oldest first.
     pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
         self.buf.iter()
@@ -117,6 +133,21 @@ mod tests {
         let whats: Vec<&str> = t.records().map(|r| r.what.as_str()).collect();
         assert_eq!(whats, vec!["ev2", "ev3", "ev4"]);
         assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn push_with_is_lazy_when_disabled() {
+        let mut t = Trace::disabled();
+        let mut ran = false;
+        t.push_with(SimTime(1), "x", || {
+            ran = true;
+            "never".into()
+        });
+        assert!(!ran, "closure must not run on a disabled trace");
+
+        let mut t = Trace::with_capacity(2);
+        t.push_with(SimTime(2), "x", || "formatted".into());
+        assert_eq!(t.records().next().unwrap().what, "formatted");
     }
 
     #[test]

@@ -123,6 +123,12 @@ impl Cpu {
     pub fn remove_low(&mut self, key: ProcKey) {
         self.low.retain(|&k| k != key);
     }
+
+    /// Depth of the low-priority (application) ready queue — the
+    /// "ready-queue length" signal the observability layer samples.
+    pub fn ready_depth(&self) -> usize {
+        self.low.len()
+    }
 }
 
 #[cfg(test)]

@@ -44,6 +44,7 @@
 
 pub mod config;
 pub mod cpu;
+pub mod instrument;
 pub mod memory;
 pub mod net;
 pub mod process;
@@ -56,6 +57,7 @@ pub mod wiring;
 /// The machine's commonly used names in one import.
 pub mod prelude {
     pub use crate::config::{FlowControl, MachineConfig, SendMode, Switching};
+    pub use crate::instrument::MachineMetrics;
     pub use crate::memory::AllocPolicy;
     pub use crate::process::{JobId, PState, ProcKey};
     pub use crate::program::{JobSpec, Op, ProcSpec, Rank, Tag};

@@ -106,6 +106,11 @@ pub struct ChannelState {
 }
 
 impl ChannelState {
+    /// Display label, e.g. `"3->7"` (used by observability exporters).
+    pub fn label(&self) -> String {
+        format!("{}->{}", self.from, self.to)
+    }
+
     /// An idle channel.
     pub fn new(from: u16, to: u16, t0: SimTime) -> ChannelState {
         ChannelState {

@@ -18,8 +18,10 @@ use crate::net::{ChannelState, Message, MsgId};
 use crate::process::{JobId, PState, Phase, ProcKey, Process};
 use crate::timeline::{Span, SpanKind, Timeline};
 use crate::program::{JobSpec, Op, Rank, Tag};
+use crate::instrument::MachineMetrics;
 use crate::wiring::SystemNet;
-use parsched_des::{Model, Scheduler, SimDuration, SimTime, Trace};
+use parsched_des::{Model, Scheduler, SimDuration, SimTime};
+use parsched_obs::{ObsEvent, QuantumEndReason, Recorder};
 use std::collections::VecDeque;
 
 /// Events of the machine model.
@@ -211,8 +213,14 @@ pub struct Machine {
     notes: Vec<Note>,
     /// Machine-wide counters.
     pub counters: Counters,
-    /// Optional bounded event trace (enable for debugging).
-    pub trace: Trace,
+    /// Typed event sink. `None` (the default) is the zero-cost disabled
+    /// state: hook sites pay one branch, no formatting, no allocation.
+    /// Install a [`parsched_obs::CollectRecorder`] for exporters or a
+    /// [`parsched_obs::RingRecorder`] for a bounded human-readable log.
+    pub recorder: Option<Box<dyn Recorder>>,
+    /// Time-weighted gauges (CPU busy/idle, ready depth, link occupancy,
+    /// partition MPL). `None` disables sampling entirely.
+    pub metrics: Option<Box<MachineMetrics>>,
     /// Execution spans (enable via `MachineConfig::record_timeline`).
     pub timeline: Timeline,
     /// When the host-link loader next becomes free (loads serialize).
@@ -258,10 +266,53 @@ impl Machine {
             msg_gen: Vec::new(),
             notes: Vec::new(),
             counters: Counters::default(),
-            trace: Trace::disabled(),
+            recorder: None,
+            metrics: None,
             timeline,
             loader_free_at: SimTime::ZERO,
             t0,
+        }
+    }
+
+    /// Emit a typed event (single branch when no recorder is installed).
+    #[inline]
+    fn obs(&mut self, now: SimTime, ev: ObsEvent) {
+        if let Some(r) = self.recorder.as_deref_mut() {
+            r.record(now, ev);
+        }
+    }
+
+    /// Emit a typed event from outside the machine (the policy driver uses
+    /// this for partition-admission events).
+    #[inline]
+    pub fn observe(&mut self, now: SimTime, ev: ObsEvent) {
+        self.obs(now, ev);
+    }
+
+    /// Sample a node's CPU busy signal into the metrics registry.
+    #[inline]
+    fn note_cpu_busy(&mut self, node: u16, now: SimTime, busy: f64) {
+        if let Some(m) = self.metrics.as_deref_mut() {
+            m.set_cpu_busy(node, now, busy);
+        }
+    }
+
+    /// Sample a node's ready-queue depth into the metrics registry.
+    #[inline]
+    fn note_ready_depth(&mut self, node: u16, now: SimTime) {
+        if self.metrics.is_some() {
+            let depth = self.nodes[node as usize].cpu.ready_depth();
+            if let Some(m) = self.metrics.as_deref_mut() {
+                m.set_ready_depth(node, now, depth);
+            }
+        }
+    }
+
+    /// Sample a link's occupancy signal into the metrics registry.
+    #[inline]
+    fn note_link_busy(&mut self, chan: u32, now: SimTime, busy: f64) {
+        if let Some(m) = self.metrics.as_deref_mut() {
+            m.set_link_busy(chan, now, busy);
         }
     }
 
@@ -433,6 +484,7 @@ impl Machine {
     // ------------------------------------------------------------------
 
     fn on_admit(&mut self, job: JobId, now: SimTime, sched: &mut Scheduler<Event>) {
+        self.obs(now, ObsEvent::JobArrived { job: job.0 });
         let ship = self.jobs[job.idx()].ship_bytes;
         let j = &mut self.jobs[job.idx()];
         assert_eq!(j.state, JobState::Queued, "job admitted twice");
@@ -522,6 +574,7 @@ impl Machine {
             }
         }
         self.notes.push(Note::JobLoaded(job));
+        self.obs(now, ObsEvent::JobLoaded { job: job.0 });
         for key in keys {
             self.make_runnable(key, now, sched);
         }
@@ -550,6 +603,7 @@ impl Machine {
                 }
             }
             self.notes.push(Note::JobCompleted(job));
+            self.obs(now, ObsEvent::JobFinished { job: job.0 });
         }
     }
 
@@ -586,6 +640,7 @@ impl Machine {
         }
         let node = p.node;
         self.nodes[node as usize].cpu.low.push_back(pk);
+        self.note_ready_depth(node, now);
         self.dispatch(node, now, sched);
     }
 
@@ -723,14 +778,15 @@ impl Machine {
 
     /// Requeue a process at its node's queue tail (unless parked). Callers
     /// dispatch afterwards.
-    fn requeue_ready(&mut self, pk: ProcKey) {
+    fn requeue_ready(&mut self, pk: ProcKey, now: SimTime) {
         let p = &mut self.procs[pk.idx()];
         p.state = PState::Ready;
         if p.parked {
             return;
         }
-        let node = p.node as usize;
-        self.nodes[node].cpu.low.push_back(pk);
+        let node = p.node;
+        self.nodes[node as usize].cpu.low.push_back(pk);
+        self.note_ready_depth(node, now);
     }
 
     /// Park or release a job's processes (gang scheduling support).
@@ -764,6 +820,7 @@ impl Machine {
                 match state {
                     PState::Ready => {
                         self.nodes[node as usize].cpu.remove_low(pk);
+                        self.note_ready_depth(node, now);
                     }
                     PState::Running => {
                         // Preempt in place: account progress, park.
@@ -785,9 +842,21 @@ impl Machine {
                                     let used = elapsed.min(p.remaining);
                                     p.remaining -= used;
                                     p.cpu_time += used;
-                                    if p.remaining.is_zero() {
+                                    let (job, rank) = (p.job.0, p.rank.0);
+                                    self.obs(
+                                        now,
+                                        ObsEvent::QuantumEnd {
+                                            node,
+                                            job,
+                                            rank,
+                                            reason: QuantumEndReason::Preempted,
+                                        },
+                                    );
+                                    if self.procs[pk.idx()].remaining.is_zero() {
                                         match self.complete_phase(pk, now, sched) {
-                                            PhaseLoad::NeedCpu => self.requeue_ready(pk),
+                                            PhaseLoad::NeedCpu => {
+                                                self.requeue_ready(pk, now)
+                                            }
                                             PhaseLoad::Blocked => {}
                                             PhaseLoad::Finished => {
                                                 self.finish_process(pk, now, sched)
@@ -805,6 +874,7 @@ impl Machine {
                 }
             } else if state == PState::Ready {
                 self.nodes[node as usize].cpu.low.push_back(pk);
+                self.note_ready_depth(node, now);
                 self.dispatch(node, now, sched);
             }
         }
@@ -832,16 +902,26 @@ impl Machine {
                 let used = elapsed.min(p.remaining);
                 p.remaining -= used;
                 p.cpu_time += used;
-                if p.remaining.is_zero() {
+                let (job, rank) = (p.job.0, p.rank.0);
+                self.obs(
+                    now,
+                    ObsEvent::QuantumEnd {
+                        node,
+                        job,
+                        rank,
+                        reason: QuantumEndReason::Preempted,
+                    },
+                );
+                if self.procs[pk.idx()].remaining.is_zero() {
                     // The phase actually completed at this very instant;
                     // treat it as a normal boundary.
                     match self.complete_phase(pk, now, sched) {
-                        PhaseLoad::NeedCpu => self.requeue_ready(pk),
+                        PhaseLoad::NeedCpu => self.requeue_ready(pk, now),
                         PhaseLoad::Blocked => {}
                         PhaseLoad::Finished => self.finish_process(pk, now, sched),
                     }
                 } else {
-                    self.requeue_ready(pk);
+                    self.requeue_ready(pk, now);
                 }
                 self.dispatch(node, now, sched);
             }
@@ -871,12 +951,19 @@ impl Machine {
             cpu.handler_runs += 1;
             cpu.busy.set(now, 1.0);
             sched.schedule_at(end, Event::SliceEnd { node, seq });
+            self.note_cpu_busy(node, now, 1.0);
+            let (HandlerAction::HopArrived(msg) | HandlerAction::PacketRelay(msg)) =
+                task.action;
+            self.obs(now, ObsEvent::HandlerStart { node, msg: msg.0 });
             return;
         }
         let Some(pk) = cpu.low.pop_front() else {
             cpu.busy.set(now, 0.0);
+            self.note_cpu_busy(node, now, 0.0);
             return;
         };
+        self.note_ready_depth(node, now);
+        let cpu = &mut self.nodes[node as usize].cpu;
         let seq = cpu.bump_seq();
         cpu.ctx_switches += 1;
         let p = &mut self.procs[pk.idx()];
@@ -885,6 +972,7 @@ impl Machine {
         let work_started = now + self.cfg.ctx_switch_low;
         let quantum_end = work_started + p.quantum;
         let end = quantum_end.min(work_started + p.remaining);
+        let (job, rank) = (p.job.0, p.rank.0);
         let cpu = &mut self.nodes[node as usize].cpu;
         cpu.running = Some(Running {
             kind: RunKind::Low(pk),
@@ -894,6 +982,8 @@ impl Machine {
         });
         cpu.busy.set(now, 1.0);
         sched.schedule_at(end, Event::SliceEnd { node, seq });
+        self.note_cpu_busy(node, now, 1.0);
+        self.obs(now, ObsEvent::QuantumStart { node, job, rank });
     }
 
     fn on_slice_end(&mut self, node: u16, seq: u64, now: SimTime, sched: &mut Scheduler<Event>) {
@@ -921,6 +1011,9 @@ impl Machine {
                         end: now,
                     });
                 }
+                let (HandlerAction::HopArrived(msg) | HandlerAction::PacketRelay(msg)) =
+                    task.action;
+                self.obs(now, ObsEvent::HandlerEnd { node, msg: msg.0 });
                 self.run_handler_action(task.action, node, now, sched);
                 self.dispatch(node, now, sched);
             }
@@ -931,6 +1024,8 @@ impl Machine {
                 let used = elapsed.min(p.remaining);
                 p.remaining -= used;
                 p.cpu_time += used;
+                let (job, rank) = (p.job.0, p.rank.0);
+                let quantum_end = |reason| ObsEvent::QuantumEnd { node, job, rank, reason };
                 if p.remaining.is_zero() {
                     // Advancing the program can have re-entrant side effects
                     // (self-send handlers, wakeups) that would otherwise
@@ -958,9 +1053,17 @@ impl Machine {
                                     seq,
                                 });
                                 sched.schedule_at(end, Event::SliceEnd { node, seq });
+                                // The slice continues (same process, same
+                                // quantum): no end event.
                                 return;
                             }
-                            self.requeue_ready(pk);
+                            let reason = if quantum_left {
+                                QuantumEndReason::Preempted
+                            } else {
+                                QuantumEndReason::Expired
+                            };
+                            self.obs(now, quantum_end(reason));
+                            self.requeue_ready(pk, now);
                             let cpu = &mut self.nodes[node as usize].cpu;
                             if quantum_left {
                                 cpu.preemptions += 1;
@@ -968,12 +1071,18 @@ impl Machine {
                                 cpu.quantum_expiries += 1;
                             }
                         }
-                        PhaseLoad::Blocked => {}
-                        PhaseLoad::Finished => self.finish_process(pk, now, sched),
+                        PhaseLoad::Blocked => {
+                            self.obs(now, quantum_end(QuantumEndReason::Blocked));
+                        }
+                        PhaseLoad::Finished => {
+                            self.obs(now, quantum_end(QuantumEndReason::Completed));
+                            self.finish_process(pk, now, sched)
+                        }
                     }
                 } else {
                     // Quantum expired mid-phase: round-robin requeue.
-                    self.requeue_ready(pk);
+                    self.obs(now, quantum_end(QuantumEndReason::Expired));
+                    self.requeue_ready(pk, now);
                     self.nodes[node as usize].cpu.quantum_expiries += 1;
                 }
                 self.dispatch(node, now, sched);
@@ -1055,6 +1164,16 @@ impl Machine {
         });
         self.counters.messages_sent += 1;
         self.counters.bytes_sent += bytes;
+        self.obs(
+            now,
+            ObsEvent::MsgSend {
+                msg: id.0,
+                job: job.0,
+                src: node,
+                dst: dst_node,
+                bytes,
+            },
+        );
         let buf = bytes + self.cfg.msg_header_bytes;
         let waiter = match self.cfg.send_mode {
             SendMode::Async => AllocWaiter::PendingSend(id),
@@ -1244,6 +1363,8 @@ impl Machine {
         ch.busy.set(now, 1.0);
         let dur = self.cfg.transfer_time(bytes);
         sched.schedule(dur, Event::TransferDone { chan: chan as u32 });
+        self.note_link_busy(chan as u32, now, 1.0);
+        self.obs(now, ObsEvent::HopStart { msg: msg.0, chan: chan as u32 });
         // Pipelining: the next edge starts one header/packet latency after
         // this one starts (if the message has further to go).
         let offset = match self.cfg.switching {
@@ -1271,6 +1392,8 @@ impl Machine {
             ch.transfers += 1;
             msg
         };
+        self.note_link_busy(chan as u32, now, 0.0);
+        self.obs(now, ObsEvent::HopEnd { msg: msg.0, chan: chan as u32 });
         {
             let bytes = self.messages[msg.idx()].as_ref().expect("dead message").bytes;
             self.channels[chan].bytes_carried += bytes;
@@ -1404,10 +1527,18 @@ impl Machine {
 
     /// Put a message in its destination mailbox and wake a blocked receiver.
     fn deliver(&mut self, msg: MsgId, now: SimTime, sched: &mut Scheduler<Event>) {
-        let (job, to, tag) = {
+        let (job, to, tag, dst) = {
             let m = self.messages[msg.idx()].as_ref().expect("dead message");
-            (m.job, m.to, m.tag)
+            (m.job, m.to, m.tag, m.dst_node)
         };
+        self.obs(
+            now,
+            ObsEvent::MsgDeliver {
+                msg: msg.0,
+                job: job.0,
+                node: dst,
+            },
+        );
         self.jobs[job.idx()].mailboxes[to.idx()].push_back(msg);
         let pk = self.jobs[job.idx()].proc_keys[to.idx()];
         if self.procs[pk.idx()].state == PState::BlockedRecv(tag)
@@ -1474,9 +1605,6 @@ impl Model for Machine {
     type Event = Event;
 
     fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<Event>) {
-        if self.trace.enabled() {
-            self.trace.push(now, "machine", format!("{event:?}"));
-        }
         match event {
             Event::Admit { job } => self.on_admit(job, now, sched),
             Event::LoadJob { job } => self.on_load_job(job, now, sched),

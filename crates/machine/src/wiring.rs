@@ -18,6 +18,13 @@ pub struct GlobalChannel {
     pub to: u16,
 }
 
+impl GlobalChannel {
+    /// Display label, e.g. `"3->7"` (used by observability exporters).
+    pub fn label(&self) -> String {
+        format!("{}->{}", self.from, self.to)
+    }
+}
+
 /// The machine-wide interconnect: partition topologies plus routing.
 #[derive(Debug, Clone)]
 pub struct SystemNet {
@@ -95,6 +102,16 @@ impl SystemNet {
     #[inline]
     pub fn partition_of(&self, node: u16) -> usize {
         node as usize / self.partition_size
+    }
+
+    /// Number of partitions in the plan.
+    pub fn partitions(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// Number of processors per partition.
+    pub fn partition_size(&self) -> usize {
+        self.partition_size
     }
 
     /// The full global path from `src` to `dst` (exclusive of `src`).
@@ -194,5 +211,8 @@ mod tests {
         assert_eq!(net.partition_of(3), 0);
         assert_eq!(net.partition_of(4), 1);
         assert_eq!(net.partition_of(15), 3);
+        assert_eq!(net.partitions(), 4);
+        assert_eq!(net.partition_size(), 4);
+        assert_eq!(net.channels()[0].label(), "0->1");
     }
 }

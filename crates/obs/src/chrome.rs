@@ -1,0 +1,391 @@
+//! Chrome-trace (catapult JSON) exporter.
+//!
+//! Maps the simulated machine onto the trace-viewer hierarchy:
+//!
+//! * **pid 0** — the "scheduler" process: job lifecycle and partition
+//!   admission instants, plus any caller-added counter tracks (MPL, queue
+//!   lengths).
+//! * **pid n+1** — node `n`. Its **tid 0** is the CPU (low-priority quanta
+//!   and high-priority handler slices interleave there — the model runs one
+//!   at a time, so slices never nest), and each outgoing link gets its own
+//!   tid carrying per-message transfer slices.
+//!
+//! Timestamps convert from integer nanoseconds to the format's microseconds
+//! with three decimals, so no precision is lost. The output opens directly
+//! in `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use crate::event::{ObsEvent, TimedEvent};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Static description of the machine needed to lay out the trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLayout {
+    /// Number of nodes (pids 1..=node_count).
+    pub node_count: u16,
+    /// Directed channels as `(from, to)`, indexed by channel id.
+    pub links: Vec<(u16, u16)>,
+    /// Display names per job id (falls back to `job{id}`).
+    pub job_names: Vec<String>,
+}
+
+impl TraceLayout {
+    fn job_name(&self, job: u32) -> String {
+        self.job_names
+            .get(job as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("job{job}"))
+    }
+
+    /// `(pid, tid)` of a channel: its `from` node's process, thread
+    /// 1 + position among that node's outgoing links.
+    fn link_track(&self, chan: u32) -> Option<(u32, u32)> {
+        let (from, _) = *self.links.get(chan as usize)?;
+        let tid = 1 + self
+            .links
+            .iter()
+            .take(chan as usize)
+            .filter(|(f, _)| *f == from)
+            .count() as u32;
+        Some((from as u32 + 1, tid))
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Nanoseconds to the trace format's microsecond field, exactly.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+const SCHED_PID: u32 = 0;
+
+/// Builder/serializer for one catapult JSON document.
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<String>,
+    /// (pid, tid) -> (start_ns, name, args) of the currently open slice.
+    open: HashMap<(u32, u32), (u64, String, String)>,
+    /// Start/End pairings that did not match up (bug canary, not fatal).
+    unmatched: u64,
+    last_ts: u64,
+}
+
+impl ChromeTrace {
+    /// Build a trace from the recorded event stream.
+    pub fn build(layout: &TraceLayout, events: &[TimedEvent]) -> ChromeTrace {
+        let mut t = ChromeTrace::default();
+        t.metadata(SCHED_PID, None, "scheduler");
+        for n in 0..layout.node_count {
+            let pid = n as u32 + 1;
+            t.metadata(pid, None, &format!("node {n}"));
+            t.metadata(pid, Some(0), "cpu");
+        }
+        for (chan, (from, to)) in layout.links.iter().enumerate() {
+            if let Some((pid, tid)) = layout.link_track(chan as u32) {
+                t.metadata(pid, Some(tid), &format!("link {from}->{to}"));
+            }
+        }
+        for &(now, ev) in events {
+            t.event(layout, now.nanos(), ev);
+        }
+        t.close_open_slices();
+        t
+    }
+
+    fn metadata(&mut self, pid: u32, tid: Option<u32>, name: &str) {
+        let name = json_escape(name);
+        let ev = match tid {
+            None => format!(
+                r#"{{"ph":"M","pid":{pid},"name":"process_name","args":{{"name":"{name}"}}}}"#
+            ),
+            Some(tid) => format!(
+                r#"{{"ph":"M","pid":{pid},"tid":{tid},"name":"thread_name","args":{{"name":"{name}"}}}}"#
+            ),
+        };
+        self.events.push(ev);
+    }
+
+    fn begin(&mut self, pid: u32, tid: u32, ts: u64, name: String, args: String) {
+        if self.open.insert((pid, tid), (ts, name, args)).is_some() {
+            self.unmatched += 1;
+        }
+    }
+
+    fn end(&mut self, pid: u32, tid: u32, ts: u64, extra_args: &str) {
+        let Some((start, name, mut args)) = self.open.remove(&(pid, tid)) else {
+            self.unmatched += 1;
+            return;
+        };
+        if !extra_args.is_empty() {
+            if !args.is_empty() {
+                args.push(',');
+            }
+            args.push_str(extra_args);
+        }
+        let (ts0, dur) = (us(start), us(ts - start));
+        let name = json_escape(&name);
+        self.events.push(format!(
+            r#"{{"ph":"X","pid":{pid},"tid":{tid},"ts":{ts0},"dur":{dur},"name":"{name}","args":{{{args}}}}}"#
+        ));
+    }
+
+    fn instant(&mut self, pid: u32, tid: u32, ts: u64, name: &str, args: &str) {
+        let (ts, name) = (us(ts), json_escape(name));
+        self.events.push(format!(
+            r#"{{"ph":"i","pid":{pid},"tid":{tid},"ts":{ts},"s":"t","name":"{name}","args":{{{args}}}}}"#
+        ));
+    }
+
+    /// Append a counter sample (e.g. partition MPL or ready-queue depth).
+    pub fn counter(&mut self, ts_ns: u64, pid: u32, name: &str, value: f64) {
+        let (ts, name) = (us(ts_ns), json_escape(name));
+        self.events.push(format!(
+            r#"{{"ph":"C","pid":{pid},"ts":{ts},"name":"{name}","args":{{"value":{value}}}}}"#
+        ));
+        self.last_ts = self.last_ts.max(ts_ns);
+    }
+
+    fn event(&mut self, layout: &TraceLayout, ts: u64, ev: ObsEvent) {
+        self.last_ts = self.last_ts.max(ts);
+        match ev {
+            ObsEvent::JobArrived { job } => {
+                let name = format!("arrive {}", layout.job_name(job));
+                self.instant(SCHED_PID, 0, ts, &name, &format!(r#""job":{job}"#));
+            }
+            ObsEvent::JobLoaded { job } => {
+                let name = format!("load {}", layout.job_name(job));
+                self.instant(SCHED_PID, 0, ts, &name, &format!(r#""job":{job}"#));
+            }
+            ObsEvent::JobFinished { job } => {
+                let name = format!("finish {}", layout.job_name(job));
+                self.instant(SCHED_PID, 0, ts, &name, &format!(r#""job":{job}"#));
+            }
+            ObsEvent::PartitionAdmit { job, partition } => {
+                let name = format!("admit {} -> P{partition}", layout.job_name(job));
+                self.instant(
+                    SCHED_PID,
+                    0,
+                    ts,
+                    &name,
+                    &format!(r#""job":{job},"partition":{partition}"#),
+                );
+            }
+            ObsEvent::QuantumStart { node, job, rank } => {
+                let name = format!("{}:r{rank}", layout.job_name(job));
+                let args = format!(r#""job":{job},"rank":{rank}"#);
+                self.begin(node as u32 + 1, 0, ts, name, args);
+            }
+            ObsEvent::QuantumEnd { node, reason, .. } => {
+                let extra = format!(r#""end":"{}""#, reason.label());
+                self.end(node as u32 + 1, 0, ts, &extra);
+            }
+            ObsEvent::HandlerStart { node, msg } => {
+                let name = format!("handler m{msg}");
+                self.begin(node as u32 + 1, 0, ts, name, format!(r#""msg":{msg}"#));
+            }
+            ObsEvent::HandlerEnd { node, .. } => {
+                self.end(node as u32 + 1, 0, ts, "");
+            }
+            ObsEvent::MsgSend {
+                msg,
+                job,
+                src,
+                dst,
+                bytes,
+            } => {
+                let name = format!("send m{msg} -> {dst}");
+                let args = format!(r#""msg":{msg},"job":{job},"bytes":{bytes}"#);
+                self.instant(src as u32 + 1, 0, ts, &name, &args);
+            }
+            ObsEvent::HopStart { msg, chan } => {
+                if let Some((pid, tid)) = layout.link_track(chan) {
+                    self.begin(pid, tid, ts, format!("m{msg}"), format!(r#""msg":{msg}"#));
+                }
+            }
+            ObsEvent::HopEnd { chan, .. } => {
+                if let Some((pid, tid)) = layout.link_track(chan) {
+                    self.end(pid, tid, ts, "");
+                }
+            }
+            ObsEvent::MsgDeliver { msg, job, node } => {
+                let name = format!("deliver m{msg}");
+                let args = format!(r#""msg":{msg},"job":{job}"#);
+                self.instant(node as u32 + 1, 0, ts, &name, &args);
+            }
+        }
+    }
+
+    /// Flush slices still open at the end of the stream (e.g. a process
+    /// caught mid-quantum when the run's last event fired) at the last
+    /// timestamp seen, so they remain visible in the viewer.
+    fn close_open_slices(&mut self) {
+        let keys: Vec<(u32, u32)> = self.open.keys().copied().collect();
+        let last = self.last_ts;
+        for (pid, tid) in keys {
+            self.end(pid, tid, last, r#""end":"run-end""#);
+        }
+    }
+
+    /// Start/End events that had no partner (0 in a healthy trace).
+    pub fn unmatched(&self) -> u64 {
+        self.unmatched
+    }
+
+    /// Number of trace events emitted so far (metadata included).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serialize to a catapult JSON document.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        for (i, ev) in self.events.iter().enumerate() {
+            out.push_str(ev);
+            if i + 1 < self.events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::QuantumEndReason;
+    use parsched_des::SimTime;
+
+    fn layout() -> TraceLayout {
+        TraceLayout {
+            node_count: 2,
+            links: vec![(0, 1), (1, 0)],
+            job_names: vec!["mm16".into()],
+        }
+    }
+
+    #[test]
+    fn link_tracks_group_by_from_node() {
+        let l = TraceLayout {
+            node_count: 3,
+            links: vec![(0, 1), (1, 2), (0, 2)],
+            job_names: vec![],
+        };
+        assert_eq!(l.link_track(0), Some((1, 1)));
+        assert_eq!(l.link_track(1), Some((2, 1)));
+        assert_eq!(l.link_track(2), Some((1, 2)));
+        assert_eq!(l.link_track(9), None);
+    }
+
+    #[test]
+    fn slices_pair_start_and_end() {
+        let evs = vec![
+            (SimTime(1_000), ObsEvent::QuantumStart { node: 0, job: 0, rank: 2 }),
+            (
+                SimTime(4_500),
+                ObsEvent::QuantumEnd {
+                    node: 0,
+                    job: 0,
+                    rank: 2,
+                    reason: QuantumEndReason::Expired,
+                },
+            ),
+        ];
+        let t = ChromeTrace::build(&layout(), &evs);
+        assert_eq!(t.unmatched(), 0);
+        let json = t.render();
+        assert!(json.contains(r#""ph":"X""#));
+        assert!(json.contains(r#""name":"mm16:r2""#));
+        assert!(json.contains(r#""ts":1.000"#));
+        assert!(json.contains(r#""dur":3.500"#));
+        assert!(json.contains(r#""end":"expired""#));
+    }
+
+    #[test]
+    fn unclosed_slice_is_flushed_at_last_ts() {
+        let evs = vec![
+            (SimTime(10), ObsEvent::QuantumStart { node: 1, job: 0, rank: 0 }),
+            (SimTime(500), ObsEvent::JobFinished { job: 0 }),
+        ];
+        let t = ChromeTrace::build(&layout(), &evs);
+        let json = t.render();
+        assert!(json.contains(r#""end":"run-end""#));
+        assert_eq!(t.unmatched(), 0);
+    }
+
+    #[test]
+    fn unmatched_end_is_counted_not_emitted() {
+        let evs = vec![(
+            SimTime(10),
+            ObsEvent::QuantumEnd {
+                node: 0,
+                job: 0,
+                rank: 0,
+                reason: QuantumEndReason::Blocked,
+            },
+        )];
+        let t = ChromeTrace::build(&layout(), &evs);
+        assert_eq!(t.unmatched(), 1);
+    }
+
+    #[test]
+    fn metadata_names_processes_and_links() {
+        let t = ChromeTrace::build(&layout(), &[]);
+        let json = t.render();
+        assert!(json.contains(r#""name":"process_name","args":{"name":"scheduler"}"#));
+        assert!(json.contains(r#"{"name":"node 0"}"#));
+        assert!(json.contains(r#"{"name":"link 0->1"}"#));
+        assert!(json.contains(r#"{"name":"link 1->0"}"#));
+    }
+
+    #[test]
+    fn counters_and_instants_render() {
+        let mut t = ChromeTrace::build(
+            &layout(),
+            &[(SimTime(2_000), ObsEvent::PartitionAdmit { job: 0, partition: 1 })],
+        );
+        t.counter(3_000, 0, "P1 mpl", 2.0);
+        let json = t.render();
+        assert!(json.contains(r#""ph":"i""#));
+        assert!(json.contains("admit mm16 -> P1"));
+        assert!(json.contains(r#""ph":"C""#));
+        assert!(json.contains(r#""value":2"#));
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn ns_to_us_is_exact() {
+        assert_eq!(us(0), "0.000");
+        assert_eq!(us(1), "0.001");
+        assert_eq!(us(1_234_567), "1234.567");
+    }
+}

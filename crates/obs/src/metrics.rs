@@ -1,0 +1,331 @@
+//! Time-weighted metrics registry.
+//!
+//! Gauges here are piecewise-constant signals over simulated time: every
+//! [`MetricsRegistry::set`] first integrates `value x elapsed` (in
+//! value-nanoseconds) since the previous update, then records the new
+//! value. Integrals of 0/1 signals (CPU busy, link busy) are therefore
+//! *exact* in an `f64` for any realistic run span (integer nanosecond sums
+//! stay below 2^53), which the machine's busy + idle == span conservation
+//! test relies on.
+//!
+//! A gauge can also keep a bounded change-point series `(t_ns, value)` for
+//! exporters (e.g. Chrome-trace counter tracks); the registry counts what
+//! it drops so a truncated series is never mistaken for a complete one.
+
+use parsched_des::SimTime;
+use std::fmt::Write as _;
+
+/// Handle to a gauge in a [`MetricsRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(u32);
+
+/// Handle to a counter in a [`MetricsRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(u32);
+
+#[derive(Debug, Clone)]
+struct Gauge {
+    name: String,
+    /// Nanosecond timestamp of the last update.
+    last_t: u64,
+    /// Current value.
+    value: f64,
+    /// Integral of value over time, in value-nanoseconds.
+    integral: f64,
+    peak: f64,
+    /// Change points `(t_ns, value)`, bounded by the registry's series cap.
+    series: Vec<(u64, f64)>,
+}
+
+/// A registry of time-weighted gauges and monotone counters.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    t0: u64,
+    gauges: Vec<Gauge>,
+    counters: Vec<(String, u64)>,
+    /// Max change points retained per gauge (0 disables series).
+    series_cap: usize,
+    series_dropped: u64,
+}
+
+impl MetricsRegistry {
+    /// An empty registry; gauges integrate from `t0`. Series recording is
+    /// off — see [`MetricsRegistry::with_series`].
+    pub fn new(t0: SimTime) -> MetricsRegistry {
+        MetricsRegistry {
+            t0: t0.nanos(),
+            gauges: Vec::new(),
+            counters: Vec::new(),
+            series_cap: 0,
+            series_dropped: 0,
+        }
+    }
+
+    /// Keep up to `cap` change points per gauge (for exporters).
+    pub fn with_series(mut self, cap: usize) -> MetricsRegistry {
+        self.series_cap = cap;
+        self
+    }
+
+    /// Register a gauge with an initial value.
+    pub fn gauge(&mut self, name: impl Into<String>, v0: f64) -> GaugeId {
+        let id = GaugeId(self.gauges.len() as u32);
+        let mut series = Vec::new();
+        if self.series_cap > 0 {
+            series.push((self.t0, v0));
+        }
+        self.gauges.push(Gauge {
+            name: name.into(),
+            last_t: self.t0,
+            value: v0,
+            integral: 0.0,
+            peak: v0,
+            series,
+        });
+        id
+    }
+
+    /// Register a counter (starts at zero).
+    pub fn counter(&mut self, name: impl Into<String>) -> CounterId {
+        let id = CounterId(self.counters.len() as u32);
+        self.counters.push((name.into(), 0));
+        id
+    }
+
+    /// Increment a counter.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId, by: u64) {
+        self.counters[id.0 as usize].1 += by;
+    }
+
+    /// Set a gauge's value at `now`, integrating the old value first.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if time runs backwards for this gauge.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, now: SimTime, value: f64) {
+        let g = &mut self.gauges[id.0 as usize];
+        let t = now.nanos();
+        debug_assert!(t >= g.last_t, "gauge '{}' updated in the past", g.name);
+        g.integral += g.value * (t - g.last_t) as f64;
+        g.last_t = t;
+        if value != g.value {
+            g.value = value;
+            if value > g.peak {
+                g.peak = value;
+            }
+            if self.series_cap > 0 {
+                if g.series.len() < self.series_cap {
+                    g.series.push((t, value));
+                } else {
+                    self.series_dropped += 1;
+                }
+            }
+        }
+    }
+
+    /// Add `delta` to a gauge (convenience over [`MetricsRegistry::set`]).
+    #[inline]
+    pub fn add(&mut self, id: GaugeId, now: SimTime, delta: f64) {
+        let v = self.gauges[id.0 as usize].value + delta;
+        self.set(id, now, v);
+    }
+
+    /// Close every gauge's integral at `end` (call once, after the run).
+    pub fn finish(&mut self, end: SimTime) {
+        let t = end.nanos();
+        for g in &mut self.gauges {
+            debug_assert!(t >= g.last_t, "gauge '{}' finished in the past", g.name);
+            g.integral += g.value * (t - g.last_t) as f64;
+            g.last_t = t;
+        }
+    }
+
+    /// A gauge's current value.
+    pub fn value(&self, id: GaugeId) -> f64 {
+        self.gauges[id.0 as usize].value
+    }
+
+    /// A gauge's peak value.
+    pub fn peak(&self, id: GaugeId) -> f64 {
+        self.gauges[id.0 as usize].peak
+    }
+
+    /// Integral of the gauge over time, in value-nanoseconds, up to its
+    /// last update (call [`MetricsRegistry::finish`] to close it).
+    pub fn integral_ns(&self, id: GaugeId) -> f64 {
+        self.gauges[id.0 as usize].integral
+    }
+
+    /// Time-weighted mean of the gauge over `[t0, last update]`.
+    pub fn mean(&self, id: GaugeId) -> f64 {
+        let g = &self.gauges[id.0 as usize];
+        let span = (g.last_t - self.t0) as f64;
+        if span == 0.0 {
+            g.value
+        } else {
+            g.integral / span
+        }
+    }
+
+    /// The gauge's change points `(t_ns, value)`, if series are enabled.
+    pub fn series(&self, id: GaugeId) -> &[(u64, f64)] {
+        &self.gauges[id.0 as usize].series
+    }
+
+    /// A gauge's registered name.
+    pub fn gauge_name(&self, id: GaugeId) -> &str {
+        &self.gauges[id.0 as usize].name
+    }
+
+    /// All gauges as `(name, id)`, in registration order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, GaugeId)> {
+        self.gauges
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (g.name.as_str(), GaugeId(i as u32)))
+    }
+
+    /// All counters as `(name, value)`, in registration order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Change points discarded across all gauges because of the series cap.
+    pub fn series_dropped(&self) -> u64 {
+        self.series_dropped
+    }
+
+    /// Render every metric as CSV: `metric,kind,mean,peak,last`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,kind,mean,peak,last\n");
+        for (name, id) in self.gauges() {
+            let _ = writeln!(
+                out,
+                "{name},gauge,{:.9},{},{}",
+                self.mean(id),
+                self.peak(id),
+                self.value(id)
+            );
+        }
+        for (name, v) in self.counters() {
+            let _ = writeln!(out, "{name},counter,,,{v}");
+        }
+        out
+    }
+
+    /// Render every metric as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let w = self
+            .gauges
+            .iter()
+            .map(|g| g.name.len())
+            .chain(self.counters.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(6)
+            .max("metric".len());
+        let _ = writeln!(out, "{:<w$}  {:>12}  {:>10}  {:>10}", "metric", "mean", "peak", "last");
+        for (name, id) in self.gauges() {
+            let _ = writeln!(
+                out,
+                "{name:<w$}  {:>12.6}  {:>10}  {:>10}",
+                self.mean(id),
+                self.peak(id),
+                self.value(id)
+            );
+        }
+        for (name, v) in self.counters() {
+            let _ = writeln!(out, "{name:<w$}  {:>12}  {:>10}  {v:>10}", "-", "-");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauge_integrates_piecewise_constant_signal() {
+        let mut r = MetricsRegistry::new(SimTime::ZERO);
+        let g = r.gauge("busy", 0.0);
+        r.set(g, SimTime(10), 1.0); // 0..10 at 0
+        r.set(g, SimTime(25), 0.0); // 10..25 at 1
+        r.finish(SimTime(100)); // 25..100 at 0
+        assert_eq!(r.integral_ns(g), 15.0);
+        assert_eq!(r.mean(g), 0.15);
+        assert_eq!(r.peak(g), 1.0);
+        assert_eq!(r.value(g), 0.0);
+    }
+
+    #[test]
+    fn zero_one_conservation_is_exact() {
+        // busy + idle integrals telescope exactly to the span.
+        let mut r = MetricsRegistry::new(SimTime::ZERO);
+        let busy = r.gauge("busy", 0.0);
+        let idle = r.gauge("idle", 1.0);
+        let mut t = 0u64;
+        for i in 0..1000u64 {
+            t += 1 + (i * 7919) % 1000; // irregular steps
+            let b = (i % 2) as f64;
+            r.set(busy, SimTime(t), b);
+            r.set(idle, SimTime(t), 1.0 - b);
+        }
+        r.finish(SimTime(t + 12345));
+        let span = (t + 12345) as f64;
+        assert_eq!(r.integral_ns(busy) + r.integral_ns(idle), span);
+    }
+
+    #[test]
+    fn series_records_change_points_and_caps() {
+        let mut r = MetricsRegistry::new(SimTime::ZERO).with_series(3);
+        let g = r.gauge("depth", 0.0);
+        r.set(g, SimTime(1), 1.0);
+        r.set(g, SimTime(2), 1.0); // no change -> no point
+        r.set(g, SimTime(3), 2.0);
+        r.set(g, SimTime(4), 3.0); // over cap -> dropped
+        assert_eq!(r.series(g), &[(0, 0.0), (1, 1.0), (3, 2.0)]);
+        assert_eq!(r.series_dropped(), 1);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = MetricsRegistry::new(SimTime::ZERO);
+        let c = r.counter("sends");
+        r.inc(c, 2);
+        r.inc(c, 3);
+        assert_eq!(r.counters().next(), Some(("sends", 5)));
+    }
+
+    #[test]
+    fn csv_and_text_render_every_metric() {
+        let mut r = MetricsRegistry::new(SimTime::ZERO);
+        let g = r.gauge("node0.cpu_busy", 1.0);
+        let c = r.counter("sends");
+        r.inc(c, 7);
+        r.set(g, SimTime(10), 0.0);
+        r.finish(SimTime(10));
+        let csv = r.to_csv();
+        assert!(csv.starts_with("metric,kind,mean,peak,last\n"));
+        assert!(csv.contains("node0.cpu_busy,gauge,"));
+        assert!(csv.contains("sends,counter,,,7"));
+        let txt = r.to_text();
+        assert!(txt.contains("node0.cpu_busy"));
+        assert!(txt.contains("sends"));
+    }
+
+    #[test]
+    fn add_moves_relative_to_current_value() {
+        let mut r = MetricsRegistry::new(SimTime::ZERO);
+        let g = r.gauge("mpl", 0.0);
+        r.add(g, SimTime(5), 1.0);
+        r.add(g, SimTime(9), 1.0);
+        r.add(g, SimTime(20), -2.0);
+        r.finish(SimTime(20));
+        // 0..5 at 0, 5..9 at 1, 9..20 at 2.
+        assert_eq!(r.integral_ns(g), 4.0 + 22.0);
+        assert_eq!(r.peak(g), 2.0);
+        assert_eq!(r.value(g), 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Bounded human-readable ring recorder.
+//!
+//! Adapts the DES layer's [`Trace`] ring buffer to the typed [`Recorder`]
+//! trait: each event is `Debug`-formatted into the ring, but — unlike the
+//! old string-based hot path — only when this recorder is actually
+//! installed, and the buffer stays bounded. The machine's deadlock watchdog
+//! uses this to print the last events before a stall.
+
+use crate::event::{ObsEvent, Recorder};
+use parsched_des::{SimTime, Trace};
+use std::any::Any;
+
+/// A [`Recorder`] backed by a bounded [`Trace`] ring buffer.
+#[derive(Debug, Default)]
+pub struct RingRecorder {
+    /// The underlying ring buffer (exposed for dumping).
+    pub trace: Trace,
+}
+
+impl RingRecorder {
+    /// A ring recorder keeping the most recent `cap` events.
+    pub fn with_capacity(cap: usize) -> RingRecorder {
+        RingRecorder {
+            trace: Trace::with_capacity(cap),
+        }
+    }
+
+    /// Render the retained events, one per line, oldest first.
+    pub fn dump(&self) -> String {
+        self.trace.dump()
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn record(&mut self, now: SimTime, ev: ObsEvent) {
+        self.trace.push_with(now, "machine", || format!("{ev:?}"));
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_recent_events_human_readable() {
+        let mut r = RingRecorder::with_capacity(2);
+        for job in 0..4u32 {
+            r.record(SimTime(job as u64), ObsEvent::JobArrived { job });
+        }
+        let dump = r.dump();
+        assert!(dump.contains("JobArrived { job: 3 }"));
+        assert!(!dump.contains("job: 0"));
+        assert!(dump.contains("2 earlier records dropped"));
+    }
+
+    #[test]
+    fn downcast_recovers_concrete_type() {
+        let mut boxed: Box<dyn Recorder> = Box::new(RingRecorder::with_capacity(8));
+        boxed.record(SimTime(1), ObsEvent::JobFinished { job: 9 });
+        let ring = boxed
+            .as_any_mut()
+            .downcast_mut::<RingRecorder>()
+            .expect("downcast");
+        assert!(ring.dump().contains("JobFinished"));
+    }
+}

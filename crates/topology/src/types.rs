@@ -37,6 +37,13 @@ pub struct Channel {
     pub to: NodeId,
 }
 
+impl Channel {
+    /// Display label, e.g. `"3->7"` (used by observability exporters).
+    pub fn label(&self) -> String {
+        format!("{}->{}", self.from, self.to)
+    }
+}
+
 /// The interconnection shapes studied in the paper (§3.1) plus two extras
 /// used by tests and ablations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -1,11 +1,22 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build, full workspace test suite, then the perf
-# binary's golden check (simulated results must match BENCH_parsched.json
-# bit-exactly). Everything runs offline; no network access required.
+# Tier-1 gate: release build, lint wall, full workspace test suite, the
+# perf binary's golden check (simulated results must match
+# BENCH_parsched.json bit-exactly), and a trace-export smoke run.
+# Everything runs offline; no network access required.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --workspace
+cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q --workspace
 cargo run --release -p parsched-bench --bin perf -- --check
+
+# Trace smoke: the observability pipeline end-to-end — instrumented 16H
+# run, Chrome-trace JSON + metrics CSV land in a scratch directory.
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+cargo run --release -p parsched-bench --bin trace -- 16H --out-dir "$trace_dir"
+test -s "$trace_dir/trace_16H_ts.json"
+test -s "$trace_dir/metrics_16H_ts.csv"
+
 echo "tier1: OK"

@@ -16,6 +16,8 @@
 //!   links, packetized store-and-forward, mailboxes, host-link loader);
 //! * [`workload`] — the paper's applications (matrix multiplication,
 //!   divide-and-conquer sort) plus synthetic fork-join jobs;
+//! * [`obs`] — observability: typed event telemetry, the time-weighted
+//!   metrics registry and the Chrome-trace exporter;
 //! * [`core`] — the scheduling policies (static space-sharing,
 //!   time-sharing/hybrid), the experiment harness and the paper figures.
 //!
@@ -44,6 +46,7 @@
 pub use parsched_core as core;
 pub use parsched_des as des;
 pub use parsched_machine as machine;
+pub use parsched_obs as obs;
 pub use parsched_topology as topology;
 pub use parsched_workload as workload;
 
@@ -52,6 +55,7 @@ pub mod prelude {
     pub use parsched_core::prelude::*;
     pub use parsched_des::prelude::*;
     pub use parsched_machine::prelude::*;
+    pub use parsched_obs::prelude::*;
     pub use parsched_topology::{
         build, config_label, metrics, paper_configs, NodeId, PartitionPlan, Router,
         Topology, TopologyKind,
