@@ -1,8 +1,8 @@
 //! Wall-clock benchmark of the simulator's hot paths.
 //!
 //! ```text
-//! perf [--check] [--iters N] [--warmup N] [--set-baseline] [--out PATH]
-//!      [--only NAME[,NAME...]]
+//! perf [--check] [--quick] [--iters N] [--warmup N] [--save-baseline]
+//!      [--out PATH] [--only NAME[,NAME...]]
 //! ```
 //!
 //! Scenarios:
@@ -11,21 +11,29 @@
 //!   under time-sharing, full paper batch (the configuration with the most
 //!   traffic and the deepest event queue);
 //! * `f3_hc16_static` — same machine under static space-sharing;
+//! * `f3_hc16_hybrid` — time-sharing capped at MPL 4 (the paper's hybrid
+//!   discipline), which drives the slice-timer cancel path hardest;
 //! * `f3_hc16_ts_calendar` — the headline with the calendar event queue,
 //!   to keep the queue-backend decision honest;
 //! * `queue_hold_{heap,cal}_n{64,4096}` — bare event-queue hold model
-//!   (pop-then-push at a steady population), the classic queue benchmark.
+//!   (pop-then-push at a steady population), the classic queue benchmark;
+//! * `queue_hold_wheel_n{64,4096}` — the same hold model against the
+//!   timing wheel, with a cancel+replace every fourth round to exercise
+//!   the handle path no comparison-based backend has.
 //!
 //! Results append to `BENCH_parsched.json` (see `parsched_bench::harness`):
-//! `baseline` medians are captured on the first run (or with
-//! `--set-baseline`) and kept thereafter, so later runs print speedups
-//! against them. Every f3 scenario's *simulated* mean response is pinned
-//! bit-exactly in the `golden` map: an optimization may only move
-//! wall-clock time, never simulated time.
+//! `baseline` medians are captured the first time a scenario appears and
+//! then *frozen* — later runs print speedups against them but refuse to
+//! touch them unless `--save-baseline` is passed. Every f3 scenario's
+//! *simulated* mean response is pinned bit-exactly in the `golden` map: an
+//! optimization may only move wall-clock time, never simulated time.
 //!
 //! `--check` is the CI mode (`scripts/tier1.sh`): one untimed run of the
 //! f3 scenarios, verified bit-identical against the goldens; exits
-//! non-zero on any mismatch or if no goldens are recorded.
+//! non-zero on any mismatch or if no goldens are recorded. `--quick`
+//! drops the batch repetition count to 1 — every repetition simulates the
+//! identical batch, so the golden comparison is unaffected and the gate
+//! runs in a couple of seconds.
 
 use parsched_bench::harness::{bench, BenchOpts, Report, Sample};
 use parsched_core::prelude::*;
@@ -33,10 +41,21 @@ use parsched_des::prelude::*;
 use parsched_machine::JobSpec;
 use parsched_topology::TopologyKind;
 use parsched_workload::prelude::*;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 
-fn f3_config(policy: PolicyKind, queue: QueueKind) -> (ExperimentConfig, Vec<JobSpec>) {
+/// `--quick`: time/check one repetition of the f3 batch instead of
+/// [`F3_REPS`] (bit-identical simulated results, ~10x less wall time).
+static QUICK: AtomicBool = AtomicBool::new(false);
+
+fn f3_config(
+    policy: PolicyKind,
+    queue: QueueKind,
+    mpl: Option<usize>,
+) -> (ExperimentConfig, Vec<JobSpec>) {
     let cfg = ExperimentConfig {
         queue,
+        mpl,
         ..ExperimentConfig::paper(16, TopologyKind::Hypercube { dim: 0 }, policy)
     };
     let batch = paper_batch(
@@ -54,9 +73,14 @@ fn f3_config(policy: PolicyKind, queue: QueueKind) -> (ExperimentConfig, Vec<Job
 const F3_REPS: u32 = 10;
 
 fn run_f3(policy: PolicyKind, queue: QueueKind) -> f64 {
-    let (cfg, batch) = f3_config(policy, queue);
+    run_f3_mpl(policy, queue, None)
+}
+
+fn run_f3_mpl(policy: PolicyKind, queue: QueueKind, mpl: Option<usize>) -> f64 {
+    let (cfg, batch) = f3_config(policy, queue, mpl);
+    let reps = if QUICK.load(Ordering::Relaxed) { 1 } else { F3_REPS };
     let mut metric = 0.0;
-    for _ in 0..F3_REPS {
+    for _ in 0..reps {
         metric = std::hint::black_box(
             run_experiment(&cfg, &batch)
                 .expect("f3 configuration simulates")
@@ -94,6 +118,46 @@ fn queue_hold<Q: EventQueue<u64>>(mut q: Q, n: u64, ops: u64) -> f64 {
     acc as f64 // fold into the metric slot so the work cannot be elided
 }
 
+/// Hold model against the [`TimerWheel`]: pop-one push-one at a steady
+/// population, plus a cancel-and-replace every fourth round against a ring
+/// of recently issued handles — the slice-timer churn pattern the machine
+/// layer produces (timers are usually cancelled soon after being set).
+/// Deltas spread over ~270 ms so the population spans many slots and both
+/// wheel levels, not one degenerate sorted run.
+fn queue_hold_wheel(n: u64, ops: u64) -> f64 {
+    let mut rng = DetRng::new(0xBE7C);
+    let mut w: TimerWheel<u64> = TimerWheel::new();
+    let mut recent: VecDeque<TimerHandle> = VecDeque::with_capacity(16);
+    let mut seq = 0u64;
+    for _ in 0..n {
+        seq += 1;
+        w.insert(SimTime(rng.uniform_u64(0, 1 << 28)), seq, seq);
+    }
+    let mut acc = 0u64;
+    for i in 0..ops {
+        let head = w.pop_min().expect("population is steady");
+        let now = head.time.nanos();
+        acc = acc.wrapping_add(now);
+        seq += 1;
+        let h = w.insert(SimTime(now + rng.uniform_u64(1, 1 << 28)), seq, seq);
+        if recent.len() == 16 {
+            recent.pop_front();
+        }
+        recent.push_back(h);
+        if i % 4 == 0 {
+            if let Some(h) = recent.pop_front() {
+                // The handle may have fired already; only a live cancel is
+                // replaced, keeping the population steady.
+                if w.cancel(h) {
+                    seq += 1;
+                    w.insert(SimTime(now + rng.uniform_u64(1, 1 << 28)), seq, seq);
+                }
+            }
+        }
+    }
+    acc as f64
+}
+
 struct Scenario {
     name: &'static str,
     /// f3 scenarios pin their simulated result in the golden map.
@@ -111,6 +175,11 @@ const SCENARIOS: &[Scenario] = &[
         name: "f3_hc16_static",
         pinned: true,
         run: || Some(run_f3(PolicyKind::Static, QueueKind::default())),
+    },
+    Scenario {
+        name: "f3_hc16_hybrid",
+        pinned: true,
+        run: || Some(run_f3_mpl(PolicyKind::TimeSharing, QueueKind::default(), Some(4))),
     },
     Scenario {
         name: "f3_hc16_ts_calendar",
@@ -149,12 +218,31 @@ const SCENARIOS: &[Scenario] = &[
             None
         },
     },
+    Scenario {
+        name: "queue_hold_wheel_n64",
+        pinned: false,
+        run: || {
+            queue_hold_wheel(64, 2_000_000);
+            None
+        },
+    },
+    Scenario {
+        name: "queue_hold_wheel_n4096",
+        pinned: false,
+        run: || {
+            queue_hold_wheel(4096, 2_000_000);
+            None
+        },
+    },
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check");
-    let set_baseline = args.iter().any(|a| a == "--set-baseline");
+    let save_baseline = args.iter().any(|a| a == "--save-baseline");
+    if args.iter().any(|a| a == "--quick") {
+        QUICK.store(true, Ordering::Relaxed);
+    }
     let flag = |name: &str| {
         args.iter()
             .position(|a| a == name)
@@ -261,7 +349,9 @@ fn main() {
                 }
             }
         }
-        if set_baseline || !report.baseline.contains_key(sc.name) {
+        // Baselines are frozen once captured: a plain timing run must
+        // never silently move the yardstick it is judged against.
+        if save_baseline || !report.baseline.contains_key(sc.name) {
             report.baseline.insert(sc.name.to_string(), s.median_ns);
         }
         samples.push(s);

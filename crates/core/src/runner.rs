@@ -12,7 +12,7 @@
 
 use crate::experiment::{run_experiment, ExperimentConfig, ExperimentResult, RunError};
 use parsched_machine::JobSpec;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 /// Run every (config, batch) task and return results in input order.
@@ -34,18 +34,29 @@ pub fn run_parallel(
         .unwrap_or(4)
         .min(n);
     let cursor = AtomicUsize::new(0);
+    // Raised by the first worker whose run fails; the others stop pulling
+    // tasks instead of burning CPU on results the caller will discard.
+    let cancelled = AtomicBool::new(false);
     let (res_tx, res_rx) = mpsc::channel::<(usize, Result<ExperimentResult, RunError>)>();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let res_tx = res_tx.clone();
             let cursor = &cursor;
+            let cancelled = &cancelled;
             let tasks = &tasks;
             scope.spawn(move || loop {
+                if cancelled.load(Ordering::Relaxed) {
+                    return;
+                }
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some((cfg, batch)) = tasks.get(i) else {
                     return;
                 };
-                if res_tx.send((i, run_experiment(cfg, batch))).is_err() {
+                let r = run_experiment(cfg, batch);
+                if r.is_err() {
+                    cancelled.store(true, Ordering::Relaxed);
+                }
+                if res_tx.send((i, r)).is_err() {
                     return;
                 }
             });
@@ -112,5 +123,21 @@ mod tests {
     #[test]
     fn empty_task_list() {
         assert!(run_parallel(Vec::new(), true).unwrap().is_empty());
+    }
+
+    #[test]
+    fn first_failure_propagates_and_cancels() {
+        // One task with an absurd event budget fails fast; its error must
+        // surface (and flip the cancel flag so the fleet stops early —
+        // best-effort, so only the error itself is asserted).
+        let mut tasks: Vec<_> = (1..=6).map(|i| task(i * 10)).collect();
+        let mut poisoned = task(10);
+        poisoned.0.machine.max_events = 1;
+        tasks.insert(1, poisoned);
+        let err = run_parallel(tasks, true).unwrap_err();
+        assert!(
+            format!("{err}").contains("BudgetExhausted"),
+            "unexpected error: {err}"
+        );
     }
 }

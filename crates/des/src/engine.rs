@@ -6,8 +6,10 @@
 //! [`Engine::run`]. The engine is deliberately dumb: it knows nothing about
 //! nodes, processes, or messages — only timestamps and opaque events.
 
-use crate::queue::{BinaryHeapQueue, CalendarQueue, EventQueue, Scheduled};
+use crate::queue::{AdaptiveQueue, BinaryHeapQueue, CalendarQueue, EventQueue, Scheduled};
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::{TimerHandle, TimerWheel};
+use std::collections::VecDeque;
 
 /// A simulation model: consumes events, may schedule more via the
 /// [`Scheduler`] handle passed to `handle`.
@@ -21,17 +23,20 @@ pub trait Model {
 
 /// Handle through which a model schedules future events during `handle`.
 ///
-/// New events are buffered and merged into the queue after the handler
-/// returns; this keeps the borrow story simple and has no observable effect
-/// on ordering (a handler runs at one instant; everything it schedules is at
-/// `now` or later).
-pub struct Scheduler<E> {
+/// New events go straight into the engine's pending-event tiers — the
+/// now-queue for the current instant, the backend queue for the future, the
+/// [`TimerWheel`] for cancellable timers — with no intermediate buffering.
+/// All three tiers order by the same `(time, seq)` key, so the pop order is
+/// identical to what a single buffered queue would give.
+pub struct Scheduler<'w, E> {
     now: SimTime,
-    pending: Vec<Scheduled<E>>,
     next_seq: u64,
+    wheel: &'w mut TimerWheel<E>,
+    queue: &'w mut Backend<E>,
+    now_queue: &'w mut VecDeque<Scheduled<E>>,
 }
 
-impl<E> Scheduler<E> {
+impl<E> Scheduler<'_, E> {
     /// The current simulated time.
     #[inline]
     pub fn now(&self) -> SimTime {
@@ -52,7 +57,13 @@ impl<E> Scheduler<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.pending.push(Scheduled { time, seq, event });
+        if time == self.now {
+            // Zero-delay bypass: stays out of the backend queue, FIFO
+            // (= seq) order preserved.
+            self.now_queue.push_back(Scheduled { time, seq, event });
+        } else {
+            self.queue.push(Scheduled { time, seq, event });
+        }
     }
 
     /// Schedule `event` to fire immediately (at the current instant, after
@@ -60,29 +71,74 @@ impl<E> Scheduler<E> {
     pub fn schedule_now(&mut self, event: E) {
         self.schedule_at(self.now, event);
     }
+
+    /// Schedule a *cancellable* event `delay` after the current instant.
+    ///
+    /// Functionally identical to [`schedule`](Self::schedule) — the event
+    /// fires in exactly the same global order — but it lives in the
+    /// engine's timing wheel, which supports `O(1)`
+    /// [cancellation](Self::cancel_timer). Use it for events that are
+    /// usually invalidated before they fire (quantum expiries, timeout
+    /// guards) so they leave the pending set instead of being popped and
+    /// discarded.
+    pub fn schedule_timer(&mut self, delay: SimDuration, event: E) -> TimerHandle {
+        self.schedule_timer_at(self.now + delay, event)
+    }
+
+    /// Schedule a cancellable event at an absolute instant
+    /// (must not be in the past).
+    pub fn schedule_timer_at(&mut self, time: SimTime, event: E) -> TimerHandle {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {time} < {now}",
+            now = self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.wheel.insert(time, seq, event)
+    }
+
+    /// Cancel a timer scheduled with [`schedule_timer`](Self::schedule_timer).
+    /// Returns `true` if the timer was still pending (and is now gone),
+    /// `false` if it already fired or was already cancelled.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
+        self.wheel.cancel(handle)
+    }
+
+    /// Number of pending (not yet fired or cancelled) timers — the timing
+    /// wheel's occupancy, exposed for observability gauges.
+    pub fn timer_count(&self) -> usize {
+        self.wheel.len()
+    }
 }
 
 /// Which pending-event set backend an [`Engine`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueueKind {
-    /// Binary heap (`O(log n)`, the default).
+    /// Binary heap (`O(log n)`; fastest for small pending sets).
     BinaryHeap,
     /// Calendar queue (`O(1)` amortized for stationary event populations).
     Calendar,
+    /// Heap that migrates to a calendar past the measured crossover and
+    /// back (the default; see the
+    /// [queue module docs](crate::queue#the-adaptive-heuristic)).
+    Adaptive,
 }
 
 impl Default for QueueKind {
-    /// The backend used when callers have no reason to choose: the binary
-    /// heap, which benchmarks faster on the paper's workloads (their
-    /// pending sets stay small; see EXPERIMENTS.md "Performance").
+    /// The backend used when callers have no reason to choose: the
+    /// adaptive queue, which is a heap while the pending set is small (the
+    /// paper's workloads) and a calendar once it is not, so the choice no
+    /// longer depends on the workload.
     fn default() -> Self {
-        QueueKind::BinaryHeap
+        QueueKind::Adaptive
     }
 }
 
 enum Backend<E> {
     Heap(BinaryHeapQueue<E>),
     Calendar(CalendarQueue<E>),
+    Adaptive(AdaptiveQueue<E>),
 }
 
 impl<E> Backend<E> {
@@ -90,18 +146,28 @@ impl<E> Backend<E> {
         match self {
             Backend::Heap(q) => q.push(item),
             Backend::Calendar(q) => q.push(item),
+            Backend::Adaptive(q) => q.push(item),
         }
     }
     fn pop(&mut self) -> Option<Scheduled<E>> {
         match self {
             Backend::Heap(q) => q.pop(),
             Backend::Calendar(q) => q.pop(),
+            Backend::Adaptive(q) => q.pop(),
+        }
+    }
+    fn peek_key(&mut self) -> Option<u128> {
+        match self {
+            Backend::Heap(q) => q.peek_key(),
+            Backend::Calendar(q) => q.peek_key(),
+            Backend::Adaptive(q) => q.peek_key(),
         }
     }
     fn len(&self) -> usize {
         match self {
             Backend::Heap(q) => q.len(),
             Backend::Calendar(q) => q.len(),
+            Backend::Adaptive(q) => q.len(),
         }
     }
 }
@@ -117,16 +183,29 @@ pub enum RunOutcome {
     BudgetExhausted,
 }
 
-/// The discrete-event engine: a clock plus a pending-event set.
+/// The discrete-event engine: a clock plus a three-tier pending-event set.
+///
+/// Pending events live in one of three places, all ordered by the same
+/// packed `(time, seq)` key so a merge-pop across them reproduces the exact
+/// global order a single queue would give:
+///
+/// * the **now-queue** — a FIFO ring holding events scheduled *for the
+///   current instant* (zero-delay handler chains); pushing and popping it
+///   never touches the comparison-based queue,
+/// * the **timing wheel** — cancellable timers from
+///   [`Scheduler::schedule_timer`],
+/// * the **backend queue** — everything else ([`QueueKind`]).
 pub struct Engine<E> {
     queue: Backend<E>,
+    wheel: TimerWheel<E>,
+    /// Events scheduled for the current instant, in FIFO (= seq) order.
+    /// Invariant: every entry's time equals the time of the most recently
+    /// popped event, so entries are totally ordered against the other two
+    /// tiers by `(time, seq)` like everything else.
+    now_queue: VecDeque<Scheduled<E>>,
     now: SimTime,
     next_seq: u64,
     events_processed: u64,
-    /// Reused backing store for each event's [`Scheduler`] pending buffer,
-    /// so a run makes one allocation for the whole loop instead of one per
-    /// handled event.
-    scratch: Vec<Scheduled<E>>,
     /// Stop processing events scheduled after this instant.
     pub horizon: SimTime,
     /// Abort after this many events (guards against accidental infinite
@@ -140,13 +219,15 @@ impl<E> Engine<E> {
         let queue = match kind {
             QueueKind::BinaryHeap => Backend::Heap(BinaryHeapQueue::new()),
             QueueKind::Calendar => Backend::Calendar(CalendarQueue::new()),
+            QueueKind::Adaptive => Backend::Adaptive(AdaptiveQueue::new()),
         };
         Engine {
             queue,
+            wheel: TimerWheel::new(),
+            now_queue: VecDeque::with_capacity(64),
             now: SimTime::ZERO,
             next_seq: 0,
             events_processed: 0,
-            scratch: Vec::new(),
             horizon: SimTime::MAX,
             max_events: u64::MAX,
         }
@@ -164,9 +245,9 @@ impl<E> Engine<E> {
         self.events_processed
     }
 
-    /// Number of pending events.
+    /// Number of pending events (including pending timers).
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.queue.len() + self.wheel.len() + self.now_queue.len()
     }
 
     /// Schedule an event before the run starts (or between runs).
@@ -180,35 +261,62 @@ impl<E> Engine<E> {
     /// Drive `model` until the queue drains, the horizon passes, or the
     /// event budget runs out.
     pub fn run<M: Model<Event = E>>(&mut self, model: &mut M) -> RunOutcome {
+        // Tags for the three pending-event tiers; `NONE` means all empty.
+        const NOW: u8 = 0;
+        const WHEEL: u8 = 1;
+        const QUEUE: u8 = 2;
+        const NONE: u8 = 3;
         loop {
             if self.events_processed >= self.max_events {
                 return RunOutcome::BudgetExhausted;
             }
-            let Some(item) = self.queue.pop() else {
+            // Merge-peek: the next event is the least (time, seq) across
+            // the now-queue front, the wheel minimum, and the queue head.
+            let mut key = u128::MAX;
+            let mut src = NONE;
+            if let Some(s) = self.now_queue.front() {
+                key = ((s.time.nanos() as u128) << 64) | s.seq as u128;
+                src = NOW;
+            }
+            if let Some(k) = self.wheel.peek_key() {
+                if k < key {
+                    key = k;
+                    src = WHEEL;
+                }
+            }
+            if let Some(k) = self.queue.peek_key() {
+                if k < key {
+                    key = k;
+                    src = QUEUE;
+                }
+            }
+            if src == NONE {
                 return RunOutcome::Drained;
-            };
-            if item.time > self.horizon {
-                // Put it back conceptually: we simply stop; the caller can
-                // inspect `pending()` to see there was more to do.
-                self.queue.push(item);
+            }
+            if SimTime((key >> 64) as u64) > self.horizon {
+                // Nothing was popped; the caller can inspect `pending()`
+                // to see there was more to do.
                 self.now = self.horizon;
                 return RunOutcome::HorizonReached;
             }
+            let item = match src {
+                NOW => self.now_queue.pop_front().expect("peeked the front"),
+                WHEEL => self.wheel.pop_min().expect("peeked the minimum"),
+                _ => self.queue.pop().expect("peeked the head"),
+            };
             debug_assert!(item.time >= self.now, "event queue returned the past");
             self.now = item.time;
             self.events_processed += 1;
 
             let mut sched = Scheduler {
                 now: self.now,
-                pending: std::mem::take(&mut self.scratch),
                 next_seq: self.next_seq,
+                wheel: &mut self.wheel,
+                queue: &mut self.queue,
+                now_queue: &mut self.now_queue,
             };
             model.handle(self.now, item.event, &mut sched);
             self.next_seq = sched.next_seq;
-            for p in sched.pending.drain(..) {
-                self.queue.push(p);
-            }
-            self.scratch = sched.pending;
         }
     }
 

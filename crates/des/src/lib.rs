@@ -3,10 +3,11 @@
 //! The deterministic discrete-event simulation kernel underneath the
 //! `parsched` reproduction of Chan, Dandamudi & Majumdar (IPPS 1997).
 //!
-//! The kernel is domain-agnostic: it provides simulated [time](time), two
-//! interchangeable [pending-event set](queue) implementations, the
-//! [event loop](engine), [output statistics](stats), a
-//! [deterministic RNG](rng) with labelled substreams, and a bounded
+//! The kernel is domain-agnostic: it provides simulated [time](time),
+//! interchangeable [pending-event set](queue) implementations (heap,
+//! calendar, and an adaptive hybrid), a [timing wheel](wheel) for
+//! cancellable timers, the [event loop](engine), [output statistics](stats),
+//! a [deterministic RNG](rng) with labelled substreams, and a bounded
 //! [trace](trace) buffer. Everything Transputer-specific lives in
 //! `parsched-machine` on top of this crate.
 //!
@@ -14,9 +15,9 @@
 //!
 //! Simulations built on this kernel are bit-for-bit reproducible: integer
 //! nanosecond timestamps, sequence-number tiebreaks for simultaneous events,
-//! and seeded RNG substreams. The two queue backends produce identical event
-//! orders (asserted by tests), so backend choice is purely a performance
-//! knob.
+//! and seeded RNG substreams. All queue backends — and the engine's
+//! now-queue/wheel/queue merge — produce identical event orders (asserted
+//! by tests), so backend choice is purely a performance knob.
 //!
 //! ## Example
 //!
@@ -51,11 +52,13 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
 /// The kernel's commonly used names in one import.
 pub mod prelude {
     pub use crate::engine::{Engine, Model, QueueKind, RunOutcome, Scheduler};
-    pub use crate::queue::{BinaryHeapQueue, CalendarQueue, EventQueue, Scheduled};
+    pub use crate::queue::{AdaptiveQueue, BinaryHeapQueue, CalendarQueue, EventQueue, Scheduled};
+    pub use crate::wheel::{TimerHandle, TimerWheel};
     pub use crate::rng::DetRng;
     pub use crate::stats::{percentile, Histogram, Summary, TimeWeighted, Welford};
     pub use crate::time::{SimDuration, SimTime};

@@ -1,20 +1,40 @@
 //! Pending-event set implementations.
 //!
 //! The event queue is the hot data structure of a discrete-event simulator.
-//! Two backends are provided behind the [`EventQueue`] trait:
+//! Three backends are provided behind the [`EventQueue`] trait:
 //!
-//! * [`BinaryHeapQueue`] — an `O(log n)` implicit heap; the robust (and
-//!   measured-fastest) default.
+//! * [`BinaryHeapQueue`] — an `O(log n)` implicit heap; the robust choice
+//!   for small pending sets.
 //! * [`CalendarQueue`] — the classic Brown (1988) calendar queue with `O(1)`
 //!   amortized enqueue/dequeue under stationary event-time distributions;
-//!   included because large time-sharing experiments enqueue hundreds of
-//!   thousands of quantum-expiry events. Benchmarked against the heap by
-//!   `cargo run --release -p parsched-bench --bin perf` (see the
+//!   wins once the pending set grows into the hundreds. Benchmarked against
+//!   the heap by `cargo run --release -p parsched-bench --bin perf` (see the
 //!   `queue_hold_*` scenarios and EXPERIMENTS.md "Performance").
+//! * [`AdaptiveQueue`] — the default: starts as a heap and migrates to a
+//!   calendar (and back) at the measured crossover, so callers no longer
+//!   pick a backend per workload.
 //!
-//! Both backends break ties on event time by the insertion sequence number,
+//! ## The adaptive heuristic
+//!
+//! `queue_hold_*` measurements put the heap/calendar crossover between a few
+//! hundred and ~1k pending events on this codebase's event mix. The
+//! [`AdaptiveQueue`] samples its population every [`ADAPT_CHECK_EVERY`]
+//! operations; [`ADAPT_STREAK`] consecutive samples above
+//! [`ADAPT_PROMOTE_LEN`] migrate heap → calendar, the same number below
+//! [`ADAPT_DEMOTE_LEN`] migrate back. The wide gap between the two
+//! thresholds is deliberate hysteresis: a population oscillating near the
+//! crossover must not thrash migrations (each migration drains and
+//! re-inserts every pending event). On promotion the calendar's bucket
+//! width is seeded from the drained events' observed time dispersion
+//! (3× the mean inter-event gap, Brown's rule); a zero-dispersion sample
+//! (all events simultaneous) vetoes promotion since day-indexing degenerates
+//! when every event hashes to one bucket.
+//!
+//! All backends break ties on event time by the insertion sequence number,
 //! so a simulation produces exactly the same event order regardless of the
-//! backend — a property the integration tests assert.
+//! backend — a property the integration tests assert. Migration preserves
+//! order for the same reason: events are drained in `(time, seq)` order and
+//! re-inserted into a structure that sorts by the same key.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -61,6 +81,10 @@ pub trait EventQueue<E> {
     fn pop(&mut self) -> Option<Scheduled<E>>;
     /// The timestamp of the earliest event without removing it.
     fn peek_time(&self) -> Option<SimTime>;
+    /// The packed `(time << 64) | seq` key of the earliest event without
+    /// removing it. Takes `&mut self` so backends may cache the located
+    /// minimum and reuse it in the following `pop`.
+    fn peek_key(&mut self) -> Option<u128>;
     /// Number of pending events.
     fn len(&self) -> usize;
     /// True if no events are pending.
@@ -176,6 +200,10 @@ impl<E> EventQueue<E> for BinaryHeapQueue<E> {
         self.heap.first().map(|&(key, _)| SimTime((key >> 64) as u64))
     }
 
+    fn peek_key(&mut self) -> Option<u128> {
+        self.heap.first().map(|&(key, _)| key)
+    }
+
     fn len(&self) -> usize {
         self.heap.len()
     }
@@ -202,10 +230,25 @@ pub struct CalendarQueue<E> {
     /// Population thresholds for resizing.
     grow_at: usize,
     shrink_at: usize,
+    /// `(packed key, bucket)` of the located minimum; the minimum is the
+    /// *last* element of that bucket. Invalidated by any pop or resize.
+    cached_head: Option<(u128, usize)>,
+    /// Buckets visited by `locate_min` since the last occupancy check.
+    scan_steps: u64,
+    /// Pops since the last occupancy check.
+    scan_pops: u64,
 }
 
 const CQ_INITIAL_BUCKETS: usize = 16;
 const CQ_INITIAL_WIDTH: u64 = 1_000; // 1 us
+/// Pops between under-occupancy checks.
+const CQ_SCAN_WINDOW: u64 = 256;
+/// Mean buckets-visited-per-pop above which the calendar re-derives its
+/// geometry. A well-tuned calendar finds the head in ~1 step; sustained
+/// long walks mean the bucket count or width no longer fits the population
+/// (e.g. after it shrank, or the event-time spread drifted), which the
+/// population-threshold resizes alone do not catch.
+const CQ_SCAN_RESIZE_THRESHOLD: u64 = 4;
 
 impl<E> Default for CalendarQueue<E> {
     fn default() -> Self {
@@ -231,6 +274,9 @@ impl<E> CalendarQueue<E> {
             current_year_start: 0,
             grow_at: n * 2,
             shrink_at: n / 2,
+            cached_head: None,
+            scan_steps: 0,
+            scan_pops: 0,
         }
     }
 
@@ -240,6 +286,9 @@ impl<E> CalendarQueue<E> {
     }
 
     fn resize(&mut self, new_buckets: usize) {
+        self.cached_head = None;
+        self.scan_steps = 0;
+        self.scan_pops = 0;
         let new_width = self.estimate_width();
         let mut all: Vec<Scheduled<E>> = Vec::with_capacity(self.len);
         for b in &mut self.buckets {
@@ -285,6 +334,7 @@ impl<E> CalendarQueue<E> {
     }
 
     fn insert_raw(&mut self, item: Scheduled<E>) {
+        let key = pack(item.time, item.seq);
         let idx = self.bucket_of(item.time);
         // Keep each bucket sorted descending so pop_min is a cheap pop().
         let bucket = &mut self.buckets[idx];
@@ -295,6 +345,74 @@ impl<E> CalendarQueue<E> {
             .unwrap_or_else(|p| p);
         bucket.insert(pos, item);
         self.len += 1;
+        // A new global minimum lands at the end of its own bucket, so the
+        // cached head can be updated in place; any other insert leaves the
+        // located minimum where it was.
+        if let Some((ck, _)) = self.cached_head {
+            if key < ck {
+                self.cached_head = Some((key, idx));
+            }
+        }
+    }
+
+    /// Find the bucket holding the earliest `(time, seq)` event (its last
+    /// element), advancing the year scan position like a dequeue would.
+    /// Caches the answer for the following `pop`. `None` iff empty.
+    fn locate_min(&mut self) -> Option<(u128, usize)> {
+        if self.len == 0 {
+            return None;
+        }
+        if let Some(found) = self.cached_head {
+            return Some(found);
+        }
+        let nbuckets = self.buckets.len();
+        loop {
+            // Scan one "year": every bucket once, honouring the day windows.
+            let mut year_min: Option<(SimTime, u64, usize)> = None;
+            for step in 0..nbuckets {
+                let idx = (self.current_bucket + step) & (nbuckets - 1);
+                let window_start =
+                    self.current_year_start + (step as u64) * self.bucket_width;
+                let window_end = window_start.saturating_add(self.bucket_width);
+                if let Some(last) = self.buckets[idx].last() {
+                    let t = last.time.nanos();
+                    if t >= window_start && t < window_end {
+                        // In its home-day window: guaranteed earliest overall.
+                        self.current_bucket = idx;
+                        self.current_year_start = window_start;
+                        self.scan_steps += step as u64 + 1;
+                        let found = (pack(last.time, last.seq), idx);
+                        self.cached_head = Some(found);
+                        return Some(found);
+                    }
+                    match year_min {
+                        Some((mt, ms, _)) if (last.time, last.seq) >= (mt, ms) => {}
+                        _ => year_min = Some((last.time, last.seq, idx)),
+                    }
+                }
+            }
+            self.scan_steps += nbuckets as u64;
+            match year_min {
+                // Nothing in its home window this year: jump straight to the
+                // year of the globally earliest event (direct search).
+                Some((t, s, idx)) => {
+                    self.set_scan_position(t);
+                    // Re-loop; the event is now inside its window. To avoid a
+                    // pathological infinite loop on width-overflow, return
+                    // directly if the window test would still fail.
+                    if self.bucket_of(t) == idx {
+                        continue;
+                    }
+                    let found = (pack(t, s), idx);
+                    self.cached_head = Some(found);
+                    return Some(found);
+                }
+                None => {
+                    debug_assert_eq!(self.len, 0, "len out of sync with buckets");
+                    return None;
+                }
+            }
+        }
     }
 }
 
@@ -322,53 +440,25 @@ impl<E> EventQueue<E> for CalendarQueue<E> {
                 self.resize(n);
             }
         }
-        let nbuckets = self.buckets.len();
-        loop {
-            // Scan one "year": every bucket once, honouring the day windows.
-            let mut year_min: Option<(SimTime, u64, usize)> = None;
-            for step in 0..nbuckets {
-                let idx = (self.current_bucket + step) & (nbuckets - 1);
-                let window_start =
-                    self.current_year_start + (step as u64) * self.bucket_width;
-                let window_end = window_start.saturating_add(self.bucket_width);
-                if let Some(last) = self.buckets[idx].last() {
-                    let t = last.time.nanos();
-                    if t >= window_start && t < window_end {
-                        // In its home-day window: guaranteed earliest overall.
-                        self.current_bucket = idx;
-                        self.current_year_start = window_start;
-                        let item = self.buckets[idx].pop().expect("non-empty");
-                        self.len -= 1;
-                        return Some(item);
-                    }
-                    match year_min {
-                        Some((mt, ms, _)) if (last.time, last.seq) >= (mt, ms) => {}
-                        _ => year_min = Some((last.time, last.seq, idx)),
-                    }
-                }
-            }
-            match year_min {
-                // Nothing in its home window this year: jump straight to the
-                // year of the globally earliest event (direct search).
-                Some((t, _, idx)) => {
-                    self.set_scan_position(t);
-                    // Re-loop; the event is now inside its window. To avoid a
-                    // pathological infinite loop on width-overflow, pop
-                    // directly if the window test would still fail.
-                    let last_t = self.buckets[idx].last().expect("non-empty").time;
-                    if last_t == t && self.bucket_of(t) == idx {
-                        continue;
-                    }
-                    let item = self.buckets[idx].pop().expect("non-empty");
-                    self.len -= 1;
-                    return Some(item);
-                }
-                None => {
-                    debug_assert_eq!(self.len, 0, "len out of sync with buckets");
-                    return None;
-                }
+        // Under-occupancy guard: if recent dequeues walked far through
+        // empty buckets, the geometry is stale — re-derive it from the
+        // current population regardless of the grow/shrink thresholds.
+        self.scan_pops += 1;
+        if self.scan_pops >= CQ_SCAN_WINDOW {
+            if self.scan_steps > CQ_SCAN_RESIZE_THRESHOLD * self.scan_pops
+                && self.len >= 2
+            {
+                self.resize(self.len);
+            } else {
+                self.scan_steps = 0;
+                self.scan_pops = 0;
             }
         }
+        let (_, idx) = self.locate_min()?;
+        let item = self.buckets[idx].pop().expect("located minimum is live");
+        self.len -= 1;
+        self.cached_head = None;
+        Some(item)
     }
 
     fn peek_time(&self) -> Option<SimTime> {
@@ -378,8 +468,167 @@ impl<E> EventQueue<E> for CalendarQueue<E> {
             .min()
     }
 
+    fn peek_key(&mut self) -> Option<u128> {
+        self.locate_min().map(|(key, _)| key)
+    }
+
     fn len(&self) -> usize {
         self.len
+    }
+}
+
+/// Operations between population checks of the [`AdaptiveQueue`].
+pub const ADAPT_CHECK_EVERY: u32 = 256;
+/// Consecutive agreeing checks required before a migration.
+pub const ADAPT_STREAK: u32 = 4;
+/// Population at or above which sustained checks promote heap → calendar.
+pub const ADAPT_PROMOTE_LEN: usize = 1024;
+/// Population at or below which sustained checks demote calendar → heap.
+pub const ADAPT_DEMOTE_LEN: usize = 256;
+
+#[derive(Debug)]
+enum AdaptiveInner<E> {
+    Heap(BinaryHeapQueue<E>),
+    Calendar(CalendarQueue<E>),
+}
+
+/// Self-tuning pending-event set: a heap that becomes a calendar queue
+/// when the population grows past the measured crossover, and reverts when
+/// it falls back. See the [module docs](self) for the heuristic and its
+/// rationale. Event order is identical to either fixed backend.
+#[derive(Debug)]
+pub struct AdaptiveQueue<E> {
+    inner: AdaptiveInner<E>,
+    ops_since_check: u32,
+    streak: u32,
+}
+
+impl<E> Default for AdaptiveQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> AdaptiveQueue<E> {
+    /// An empty queue (heap-backed until the population says otherwise).
+    pub fn new() -> Self {
+        AdaptiveQueue {
+            inner: AdaptiveInner::Heap(BinaryHeapQueue::new()),
+            ops_since_check: 0,
+            streak: 0,
+        }
+    }
+
+    /// True while the calendar backend is active (visible for tests and
+    /// benchmarks; callers never need to ask).
+    pub fn is_calendar(&self) -> bool {
+        matches!(self.inner, AdaptiveInner::Calendar(_))
+    }
+
+    #[inline]
+    fn tick(&mut self) {
+        self.ops_since_check += 1;
+        if self.ops_since_check >= ADAPT_CHECK_EVERY {
+            self.ops_since_check = 0;
+            self.check();
+        }
+    }
+
+    #[cold]
+    fn check(&mut self) {
+        let wants_migration = match &self.inner {
+            AdaptiveInner::Heap(q) => q.len() >= ADAPT_PROMOTE_LEN,
+            AdaptiveInner::Calendar(q) => q.len() <= ADAPT_DEMOTE_LEN,
+        };
+        if !wants_migration {
+            self.streak = 0;
+            return;
+        }
+        self.streak += 1;
+        if self.streak < ADAPT_STREAK {
+            return;
+        }
+        self.streak = 0;
+        match &mut self.inner {
+            AdaptiveInner::Heap(q) => {
+                let mut drained = Vec::with_capacity(q.len());
+                while let Some(item) = q.pop() {
+                    drained.push(item);
+                }
+                let (first, last) = match (drained.first(), drained.last()) {
+                    (Some(f), Some(l)) => (f.time.nanos(), l.time.nanos()),
+                    _ => return,
+                };
+                let span = last.saturating_sub(first);
+                if span == 0 {
+                    // Zero dispersion: every event would hash to one bucket
+                    // and the calendar degenerates to a sorted Vec. Refill
+                    // the heap (ascending inserts sift trivially) and stay.
+                    for item in drained {
+                        q.push(item);
+                    }
+                    return;
+                }
+                let gap = span / (drained.len() as u64 - 1).max(1);
+                let width = gap.saturating_mul(3).clamp(1, u64::MAX / 4);
+                let mut cal = CalendarQueue::with_geometry(drained.len(), width);
+                cal.set_scan_position(SimTime(first));
+                // Reverse order: each ascending-sorted item is its bucket's
+                // minimum so the descending bucket insert is an append.
+                for item in drained.into_iter().rev() {
+                    cal.insert_raw(item);
+                }
+                self.inner = AdaptiveInner::Calendar(cal);
+            }
+            AdaptiveInner::Calendar(q) => {
+                let mut heap = BinaryHeapQueue::new();
+                // Ascending drain: every push is a new maximum, no sifting.
+                while let Some(item) = q.pop() {
+                    heap.push(item);
+                }
+                self.inner = AdaptiveInner::Heap(heap);
+            }
+        }
+    }
+}
+
+impl<E> EventQueue<E> for AdaptiveQueue<E> {
+    fn push(&mut self, item: Scheduled<E>) {
+        match &mut self.inner {
+            AdaptiveInner::Heap(q) => q.push(item),
+            AdaptiveInner::Calendar(q) => q.push(item),
+        }
+        self.tick();
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        let item = match &mut self.inner {
+            AdaptiveInner::Heap(q) => q.pop(),
+            AdaptiveInner::Calendar(q) => q.pop(),
+        };
+        self.tick();
+        item
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        match &self.inner {
+            AdaptiveInner::Heap(q) => q.peek_time(),
+            AdaptiveInner::Calendar(q) => q.peek_time(),
+        }
+    }
+
+    fn peek_key(&mut self) -> Option<u128> {
+        match &mut self.inner {
+            AdaptiveInner::Heap(q) => q.peek_key(),
+            AdaptiveInner::Calendar(q) => q.peek_key(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match &self.inner {
+            AdaptiveInner::Heap(q) => q.len(),
+            AdaptiveInner::Calendar(q) => q.len(),
+        }
     }
 }
 

@@ -1,0 +1,531 @@
+//! Hierarchical timing wheel for cancellable timers.
+//!
+//! The machine layer schedules enormous numbers of *timers* — quantum
+//! expiries, message-timeout guards — that are usually either cancelled
+//! before they fire or fire within a few milliseconds of being set. A
+//! comparison-based pending-event set pays `O(log n)` per operation and has
+//! no remove-by-handle at all (the machine historically left stale timers in
+//! the queue and discarded them on pop). The [`TimerWheel`] gives both
+//! missing operations:
+//!
+//! * `O(1)` insert: the firing time indexes directly into a slot array.
+//! * `O(1)` cancel by [`TimerHandle`]. The handle carries the timer's
+//!   packed `(time, seq)` key — globally unique and never reused, because
+//!   the engine's sequence numbers only grow — so a stale handle simply
+//!   fails to find its key and is reported, never aliased onto a stranger.
+//!
+//! ## Geometry
+//!
+//! Three levels of 256 slots each. Level `l` slots are `2^(20 + 8l)` ns wide
+//! (1.05 ms, 268 ms, 68.7 s), so the wheel spans ~4.9 hours of simulated
+//! time before spilling into an unordered overflow list. The granule is
+//! matched to the machine layer's timer population: quantum expiries are
+//! 2–32 ms out, so they land within the first level's 256 slots with a few
+//! per slot, keeping both the append and the occupancy scan short. Slots are indexed
+//! by the absolute firing time's bit-field — no per-tick rotation or cascade
+//! pass exists.
+//!
+//! Correctness of `peek`/`pop` relies on one invariant: *all entries stored
+//! in a level share that level's epoch* (the firing-time bits above the
+//! level's slot field). Each level remembers the epoch of its current
+//! population; an insert that does not match an occupied level's epoch moves
+//! up to the next level (or overflow). Within a single epoch the slot index
+//! is monotone in firing time, so a level's earliest entry lives in its
+//! first occupied slot — found by scanning the occupancy bitmap from a
+//! monotone hint.
+//!
+//! Entries are `(key, event)` pairs stored *inline* in their slot, sorted
+//! ascending by key, so a level's minimum is the first pair of its first
+//! occupied slot and there is no side table to chase. Timer streams are
+//! near-monotone in firing time (a quantum expiry is set at `now + quantum`
+//! while `now` only grows), so the common insert is a plain append;
+//! out-of-order keys pay a binary search plus a small `memmove` within one
+//! slot (slots hold a handful of entries at the paper's scales). `pop`
+//! shifts the first pair out — a few dozen bytes — and `cancel`, the rare
+//! operation, recomputes its victim's slot from the time bits in the key
+//! and binary-searches that one slot.
+//!
+//! The wheel keeps each tier's minimum key in [`TimerWheel::mins`] — one
+//! `u128` per level plus one for the overflow list, `u128::MAX` meaning
+//! empty, all in a single cache line — so `peek_key` is three compares with
+//! no slot walking. The mins are maintained incrementally: an insert is one
+//! compare; a pop re-reads the first pair of the slot it just shifted
+//! (already hot) and only rescans the occupancy bitmap when the slot
+//! drained.
+//!
+//! The wheel orders by the same packed `(time, seq)` key as the
+//! [`queue`](crate::queue) backends, so the engine can merge-pop across
+//! wheel and queue and preserve the exact global event order.
+
+use crate::queue::Scheduled;
+use crate::time::SimTime;
+
+/// log2 of the finest slot width in nanoseconds (1.05 ms).
+const GRAN_BITS: u32 = 20;
+/// log2 of the slot count per level.
+const SLOT_BITS: u32 = 8;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of wheel levels; beyond them entries go to the overflow list.
+const LEVELS: usize = 3;
+/// `TimerHandle::level` value marking residence in the overflow list.
+const OVERFLOW_LEVEL: u8 = LEVELS as u8;
+/// `mins` sentinel for an empty tier. Unreachable by a real timer: it would
+/// need both `time == u64::MAX` and `seq == u64::MAX`.
+const EMPTY: u128 = u128::MAX;
+
+#[inline]
+fn pack(time: SimTime, seq: u64) -> u128 {
+    ((time.nanos() as u128) << 64) | seq as u128
+}
+
+#[inline]
+fn slot_shift(level: usize) -> u32 {
+    GRAN_BITS + SLOT_BITS * level as u32
+}
+
+#[inline]
+fn slot_of(t: u64, level: usize) -> usize {
+    ((t >> slot_shift(level)) & (SLOTS as u64 - 1)) as usize
+}
+
+#[inline]
+fn epoch_of(t: u64, level: usize) -> u64 {
+    t >> (GRAN_BITS + SLOT_BITS * (level as u32 + 1))
+}
+
+/// A claim ticket for a pending timer, returned by
+/// [`TimerWheel::insert`] (via `Scheduler::schedule_timer`).
+///
+/// Handles are `Copy` and cheap to store. The handle is the timer's packed
+/// `(time, seq)` key plus the level it was filed under; keys are never
+/// reused (sequence numbers only grow), so cancelling a timer that already
+/// fired or was already cancelled is detected by the key lookup failing —
+/// it never affects an unrelated timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerHandle {
+    key: u128,
+    level: u8,
+}
+
+#[derive(Debug)]
+struct Level<E> {
+    /// `(key, event)` pairs per slot, sorted ascending by key so the
+    /// slot's minimum is its first pair and near-monotone inserts append.
+    /// Fixed-size boxed array: the masked slot index provably fits, so
+    /// indexing compiles without a bounds check.
+    slots: Box<[Vec<(u128, E)>; SLOTS]>,
+    /// One bit per slot: set iff the slot vector is non-empty.
+    occ: [u64; SLOTS / 64],
+    /// Shared firing-time epoch of every entry in this level
+    /// (meaningful only while `len > 0`).
+    epoch: u64,
+    /// Entries currently stored in this level.
+    len: usize,
+    /// Lower bound on the first occupied slot (exact after every
+    /// [`first_occupied`](Self::first_occupied); only lowered by inserts,
+    /// reset when the level empties). Lets the occupancy scan skip the
+    /// permanently-drained low words as the population marches forward.
+    min_slot_hint: usize,
+}
+
+impl<E> Level<E> {
+    fn new() -> Self {
+        let slots: Vec<Vec<(u128, E)>> = (0..SLOTS).map(|_| Vec::new()).collect();
+        Level {
+            slots: match slots.into_boxed_slice().try_into() {
+                Ok(a) => a,
+                Err(_) => unreachable!("built with exactly SLOTS entries"),
+            },
+            occ: [0; SLOTS / 64],
+            epoch: 0,
+            len: 0,
+            min_slot_hint: 0,
+        }
+    }
+
+    /// Index of the first non-empty slot; `None` when the level is empty.
+    /// Starts at `min_slot_hint` (a proven lower bound) and tightens it.
+    #[inline]
+    fn first_occupied(&mut self) -> Option<usize> {
+        for w in (self.min_slot_hint >> 6)..self.occ.len() {
+            let word = self.occ[w];
+            if word != 0 {
+                let s = w * 64 + word.trailing_zeros() as usize;
+                self.min_slot_hint = s;
+                return Some(s);
+            }
+        }
+        None
+    }
+
+    /// The level's least key, recomputed from scratch: the first pair of
+    /// the first occupied slot ([`EMPTY`] when the level holds nothing).
+    #[inline]
+    fn recompute_min(&mut self) -> u128 {
+        if self.len == 0 {
+            return EMPTY;
+        }
+        let s = self.first_occupied().expect("len > 0");
+        self.slots[s & (SLOTS - 1)].first().expect("occupied slot").0
+    }
+}
+
+/// Hierarchical timing wheel; see the [module docs](self) for the design.
+#[derive(Debug)]
+pub struct TimerWheel<E> {
+    levels: [Level<E>; LEVELS],
+    /// Entries whose firing time is beyond every level's epoch (unordered).
+    overflow: Vec<(u128, E)>,
+    len: usize,
+    /// Minimum key per tier — `mins[l]` for level `l`, `mins[LEVELS]` for
+    /// the overflow list — with [`EMPTY`] meaning the tier holds nothing.
+    /// One cache line; the global minimum is the least of the four.
+    mins: [u128; LEVELS + 1],
+}
+
+impl<E> Default for TimerWheel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> TimerWheel<E> {
+    /// An empty wheel.
+    pub fn new() -> Self {
+        TimerWheel {
+            levels: [Level::new(), Level::new(), Level::new()],
+            overflow: Vec::new(),
+            len: 0,
+            mins: [EMPTY; LEVELS + 1],
+        }
+    }
+
+    /// Number of live timers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no timers are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a timer firing at `time` with tiebreak `seq`. `seq` values
+    /// must be unique across the wheel's lifetime (the engine's sequence
+    /// counter guarantees this); key uniqueness is what makes handles safe.
+    #[inline]
+    pub fn insert(&mut self, time: SimTime, seq: u64, event: E) -> TimerHandle {
+        let key = pack(time, seq);
+        let t = time.nanos();
+        let mut placed_level = OVERFLOW_LEVEL;
+        for (l, level) in self.levels.iter().enumerate() {
+            if level.len == 0 || level.epoch == epoch_of(t, l) {
+                placed_level = l as u8;
+                break;
+            }
+        }
+        if placed_level == OVERFLOW_LEVEL {
+            self.overflow.push((key, event));
+        } else {
+            let l = placed_level as usize;
+            let level = &mut self.levels[l];
+            let s = slot_of(t, l);
+            if level.len == 0 {
+                level.epoch = epoch_of(t, l);
+                level.min_slot_hint = s;
+            } else if s < level.min_slot_hint {
+                level.min_slot_hint = s;
+            }
+            let vec = &mut level.slots[s & (SLOTS - 1)];
+            // Ascending order; timer streams fire in near-monotone order,
+            // so appending is the overwhelmingly common case.
+            match vec.last() {
+                Some(&(k, _)) if k > key => {
+                    let at = vec.partition_point(|&(k, _)| k < key);
+                    vec.insert(at, (key, event));
+                }
+                _ => vec.push((key, event)),
+            }
+            level.occ[s >> 6] |= 1 << (s & 63);
+            level.len += 1;
+        }
+        self.len += 1;
+        let m = &mut self.mins[placed_level as usize];
+        if key < *m {
+            *m = key;
+        }
+        TimerHandle {
+            key,
+            level: placed_level,
+        }
+    }
+
+    /// Cancel a pending timer. Returns `true` if the timer was still live
+    /// (and is now removed), `false` if it already fired or was cancelled.
+    pub fn cancel(&mut self, handle: TimerHandle) -> bool {
+        let key = handle.key;
+        if handle.level == OVERFLOW_LEVEL {
+            let Some(at) = self.overflow.iter().position(|&(k, _)| k == key) else {
+                return false;
+            };
+            self.overflow.swap_remove(at);
+            if self.mins[LEVELS] == key {
+                self.mins[LEVELS] = self
+                    .overflow
+                    .iter()
+                    .map(|&(k, _)| k)
+                    .min()
+                    .unwrap_or(EMPTY);
+            }
+        } else {
+            let l = handle.level as usize;
+            let level = &mut self.levels[l];
+            let t = (key >> 64) as u64;
+            // A populated level whose epoch moved on cannot still hold the
+            // timer (the level emptied in between, firing it).
+            if level.len == 0 || level.epoch != epoch_of(t, l) {
+                return false;
+            }
+            let s = slot_of(t, l);
+            let vec = &mut level.slots[s & (SLOTS - 1)];
+            let Ok(at) = vec.binary_search_by(|&(k, _)| k.cmp(&key)) else {
+                return false;
+            };
+            vec.remove(at);
+            if vec.is_empty() {
+                level.occ[s >> 6] &= !(1 << (s & 63));
+            }
+            level.len -= 1;
+            if self.mins[l] == key {
+                self.mins[l] = match vec.first() {
+                    // The victim was its level's minimum, i.e. the first
+                    // pair of the first occupied slot; its successor in the
+                    // same slot (if any) is the new minimum.
+                    Some(&(k, _)) => k,
+                    None => level.recompute_min(),
+                };
+            }
+        }
+        self.len -= 1;
+        true
+    }
+
+    /// The packed `(time, seq)` key of the earliest pending timer.
+    #[inline]
+    pub fn peek_key(&self) -> Option<u128> {
+        let m = self.min_of_tiers();
+        if m == EMPTY {
+            None
+        } else {
+            Some(m)
+        }
+    }
+
+    /// Remove and return the earliest pending timer.
+    #[inline]
+    pub fn pop_min(&mut self) -> Option<Scheduled<E>> {
+        let key = self.min_of_tiers();
+        if key == EMPTY {
+            return None;
+        }
+        let tier = self
+            .mins
+            .iter()
+            .position(|&m| m == key)
+            .expect("minimum came from a tier");
+        // In-level minima are their slot's first pair (ascending order); a
+        // minimum can live in the overflow list only once the levels that
+        // outlasted it drained — that rare case pays a linear scan.
+        let event = if tier == LEVELS {
+            let at = self
+                .overflow
+                .iter()
+                .position(|&(k, _)| k == key)
+                .expect("cached overflow minimum is live");
+            let (_, event) = self.overflow.swap_remove(at);
+            self.mins[LEVELS] = self
+                .overflow
+                .iter()
+                .map(|&(k, _)| k)
+                .min()
+                .unwrap_or(EMPTY);
+            event
+        } else {
+            let level = &mut self.levels[tier];
+            let s = slot_of((key >> 64) as u64, tier);
+            let vec = &mut level.slots[s & (SLOTS - 1)];
+            debug_assert_eq!(vec.first().map(|&(k, _)| k), Some(key));
+            let (_, event) = vec.remove(0);
+            level.len -= 1;
+            self.mins[tier] = match vec.first() {
+                // The shifted vector is still hot; its new first pair is
+                // the level minimum unless the slot drained.
+                Some(&(k, _)) => k,
+                None => {
+                    level.occ[s >> 6] &= !(1 << (s & 63));
+                    level.recompute_min()
+                }
+            };
+            event
+        };
+        self.len -= 1;
+        Some(Scheduled {
+            time: SimTime((key >> 64) as u64),
+            seq: key as u64,
+            event,
+        })
+    }
+
+    /// Least key across the four tier minima ([`EMPTY`] iff no timers).
+    #[inline]
+    fn min_of_tiers(&self) -> u128 {
+        let m01 = self.mins[0].min(self.mins[1]);
+        let m23 = self.mins[2].min(self.mins[3]);
+        m01.min(m23)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut TimerWheel<u64>) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some(s) = w.pop_min() {
+            out.push((s.time.nanos(), s.seq));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut w = TimerWheel::new();
+        w.insert(SimTime(1_000_000), 2, 2);
+        w.insert(SimTime(50), 3, 3);
+        w.insert(SimTime(1_000_000), 1, 1);
+        w.insert(SimTime(50), 0, 0);
+        assert_eq!(
+            drain(&mut w),
+            vec![(50, 0), (50, 3), (1_000_000, 1), (1_000_000, 2)]
+        );
+    }
+
+    #[test]
+    fn spans_levels_and_overflow() {
+        let mut w = TimerWheel::new();
+        // One entry per level plus one past the wheel's span.
+        let times = [
+            1u64 << 17,       // level 0
+            1u64 << 25,       // level 1
+            1u64 << 33,       // level 2
+            1u64 << 45,       // overflow
+            (1u64 << 17) + 7, // level 0 again
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            w.insert(SimTime(t), i as u64, i as u64);
+        }
+        let mut sorted: Vec<u64> = times.to_vec();
+        sorted.sort_unstable();
+        let popped: Vec<u64> = drain(&mut w).into_iter().map(|(t, _)| t).collect();
+        assert_eq!(popped, sorted);
+    }
+
+    #[test]
+    fn cancel_removes_and_detects_staleness() {
+        let mut w = TimerWheel::new();
+        let h1 = w.insert(SimTime(100), 0, 0);
+        let h2 = w.insert(SimTime(200), 1, 1);
+        assert!(w.cancel(h1));
+        assert!(!w.cancel(h1), "double cancel must fail");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.pop_min().unwrap().seq, 1);
+        assert!(!w.cancel(h2), "cancel after fire must fail");
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn handle_reuse_does_not_alias() {
+        let mut w = TimerWheel::new();
+        let h1 = w.insert(SimTime(100), 0, 0);
+        assert!(w.cancel(h1));
+        // Same slot, different seq: the old handle must not cancel the
+        // new tenant.
+        let h2 = w.insert(SimTime(100), 1, 1);
+        assert!(!w.cancel(h1));
+        assert_eq!(w.len(), 1);
+        assert!(w.cancel(h2));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn cancel_min_then_peek_recovers() {
+        let mut w = TimerWheel::new();
+        let h = w.insert(SimTime(10), 0, 0);
+        w.insert(SimTime(20), 1, 1);
+        assert_eq!(w.peek_key().map(|k| (k >> 64) as u64), Some(10));
+        assert!(w.cancel(h));
+        assert_eq!(w.peek_key().map(|k| (k >> 64) as u64), Some(20));
+        assert_eq!(w.pop_min().unwrap().time, SimTime(20));
+    }
+
+    #[test]
+    fn mixed_epoch_inserts_stay_ordered() {
+        // Entries whose level-0 epochs differ must not alias into the same
+        // level-0 slot window; the epoch rule pushes them up a level.
+        let mut w = TimerWheel::new();
+        let a = 3u64 << 24; // epoch 3 at level 0
+        let b = (4u64 << 24) | 5; // epoch 4, would alias slot-wise
+        w.insert(SimTime(b), 0, 0);
+        w.insert(SimTime(a), 1, 1);
+        let popped: Vec<u64> = drain(&mut w).into_iter().map(|(t, _)| t).collect();
+        assert_eq!(popped, vec![a, b]);
+    }
+
+    #[test]
+    fn cancel_against_reused_level_epoch_fails_cleanly() {
+        // A timer fires, its level drains, the level is re-tenanted under a
+        // different epoch: the old handle must report dead, not remove a
+        // stranger filed in the same slot index.
+        let mut w = TimerWheel::new();
+        let t1 = 5u64 << 16; // level 0, slot 5, epoch 0
+        let h = w.insert(SimTime(t1), 0, 0);
+        assert_eq!(w.pop_min().unwrap().seq, 0);
+        let t2 = (1u64 << 24) | (5u64 << 16); // level 0, slot 5, epoch 1
+        w.insert(SimTime(t2), 1, 1);
+        assert!(!w.cancel(h), "stale handle must miss re-tenanted level");
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn dense_random_interleaving_matches_sorted_order() {
+        use crate::rng::DetRng;
+        let mut rng = DetRng::new(0x77EE);
+        let mut w = TimerWheel::new();
+        let mut live: Vec<(u64, u64, TimerHandle)> = Vec::new();
+        let mut seq = 0u64;
+        let mut expected: Vec<(u64, u64)> = Vec::new();
+        for _ in 0..10_000 {
+            match rng.uniform_u64(0, 3) {
+                0 | 1 => {
+                    let t = rng.uniform_u64(0, 1 << 30);
+                    let h = w.insert(SimTime(t), seq, seq);
+                    live.push((t, seq, h));
+                    seq += 1;
+                }
+                _ => {
+                    if !live.is_empty() {
+                        let i = rng.uniform_u64(0, live.len() as u64) as usize;
+                        let (_, _, h) = live.swap_remove(i);
+                        assert!(w.cancel(h));
+                    }
+                }
+            }
+        }
+        expected.extend(live.iter().map(|&(t, s, _)| (t, s)));
+        expected.sort_unstable();
+        assert_eq!(drain(&mut w), expected);
+    }
+}

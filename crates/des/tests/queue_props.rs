@@ -86,6 +86,84 @@ fn calendar_matches_heap_exactly() {
     }
 }
 
+/// Pop the next event that was never cancelled, discarding cancelled ones
+/// (the lazy-invalidation idiom comparison-based queues are stuck with).
+fn pop_live<Q: EventQueue<u64>>(
+    q: &mut Q,
+    cancelled: &std::collections::HashSet<u64>,
+) -> Option<(SimTime, u64)> {
+    loop {
+        let s = q.pop()?;
+        if !cancelled.contains(&s.seq) {
+            return Some((s.time, s.seq));
+        }
+    }
+}
+
+/// Random schedule/cancel/pop interleavings must produce the identical
+/// stream of live events from all three pending-set shapes: a binary heap
+/// and a calendar queue (both emulating cancellation lazily, by discarding
+/// popped corpses) and the timing wheel (cancelling eagerly by handle).
+#[test]
+fn cancel_interleavings_match_across_backends() {
+    let root = DetRng::new(0xCC3);
+    for case in 0..128u64 {
+        let mut rng = root.substream_idx("cancel-differential", case);
+        let len = rng.uniform_u64(1, 400) as usize;
+        let mut heap: BinaryHeapQueue<u64> = BinaryHeapQueue::new();
+        let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+        let mut wheel: TimerWheel<u64> = TimerWheel::new();
+        let mut cancelled = std::collections::HashSet::new();
+        // Timers still pending in the wheel, by (seq, handle).
+        let mut live: Vec<(u64, TimerHandle)> = Vec::new();
+        let mut seq = 0u64;
+        let mut low_water = 0u64;
+        for _ in 0..len {
+            match rng.uniform_u64(0, 5) {
+                0..=2 => {
+                    let time = SimTime(low_water + rng.uniform_u64(0, 100_000_000));
+                    seq += 1;
+                    heap.push(Scheduled { time, seq, event: seq });
+                    cal.push(Scheduled { time, seq, event: seq });
+                    let h = wheel.insert(time, seq, seq);
+                    live.push((seq, h));
+                }
+                3 => {
+                    if !live.is_empty() {
+                        let i = rng.uniform_u64(0, live.len() as u64) as usize;
+                        let (s, h) = live.swap_remove(i);
+                        assert!(wheel.cancel(h), "case {case}: live timer must cancel");
+                        cancelled.insert(s);
+                    }
+                }
+                _ => {
+                    let w = wheel.pop_min().map(|s| (s.time, s.seq));
+                    let a = pop_live(&mut heap, &cancelled);
+                    let b = pop_live(&mut cal, &cancelled);
+                    assert_eq!(w, a, "case {case}: wheel vs heap");
+                    assert_eq!(a, b, "case {case}: heap vs calendar");
+                    if let Some((t, s)) = w {
+                        low_water = t.nanos();
+                        live.retain(|&(ls, _)| ls != s);
+                    }
+                }
+            }
+            assert_eq!(wheel.len(), live.len(), "case {case}: wheel occupancy");
+        }
+        // Drain all three; the tails must agree exactly.
+        loop {
+            let w = wheel.pop_min().map(|s| (s.time, s.seq));
+            let a = pop_live(&mut heap, &cancelled);
+            let b = pop_live(&mut cal, &cancelled);
+            assert_eq!(w, a, "case {case}: drain wheel vs heap");
+            assert_eq!(a, b, "case {case}: drain heap vs calendar");
+            if w.is_none() {
+                break;
+            }
+        }
+    }
+}
+
 /// The calendar queue also tolerates pushes *earlier* than the scan
 /// position (legal for a bare queue even though the engine forbids it).
 #[test]

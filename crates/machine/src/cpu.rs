@@ -14,7 +14,7 @@
 
 use crate::net::MsgId;
 use crate::process::ProcKey;
-use parsched_des::{SimTime, TimeWeighted};
+use parsched_des::{SimTime, TimeWeighted, TimerHandle};
 use std::collections::VecDeque;
 
 /// What a high-priority handler does once its CPU cost has been paid.
@@ -76,6 +76,11 @@ pub struct Cpu {
     pub hold: bool,
     /// Monotone dispatch counter for lazy invalidation.
     pub seq: u64,
+    /// The pending `SliceEnd` timer for the running item, if any. Cancelled
+    /// eagerly on preemption so stale expiries leave the pending-event set
+    /// instead of firing and being discarded; the `seq` check stays as a
+    /// correctness backstop.
+    pub slice_timer: Option<TimerHandle>,
     /// Busy (1.0) / idle (0.0) signal for utilization statistics.
     pub busy: TimeWeighted,
     /// Low-priority dispatches performed.
@@ -93,11 +98,12 @@ impl Cpu {
     /// An idle CPU.
     pub fn new(t0: SimTime) -> Cpu {
         Cpu {
-            high: VecDeque::new(),
-            low: VecDeque::new(),
+            high: VecDeque::with_capacity(32),
+            low: VecDeque::with_capacity(32),
             running: None,
             hold: false,
             seq: 0,
+            slice_timer: None,
             busy: TimeWeighted::new(t0, 0.0),
             ctx_switches: 0,
             handler_runs: 0,

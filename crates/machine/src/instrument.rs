@@ -30,6 +30,7 @@ pub struct MachineMetrics {
     ready_depth: Vec<GaugeId>,
     link_busy: Vec<GaugeId>,
     partition_mpl: Vec<GaugeId>,
+    wheel_depth: GaugeId,
 }
 
 impl MachineMetrics {
@@ -54,6 +55,7 @@ impl MachineMetrics {
         let partition_mpl = (0..net.partitions())
             .map(|p| registry.gauge(format!("P{p}.mpl"), 0.0))
             .collect();
+        let wheel_depth = registry.gauge("engine.wheel_depth".to_string(), 0.0);
         MachineMetrics {
             registry,
             cpu_busy,
@@ -61,6 +63,7 @@ impl MachineMetrics {
             ready_depth,
             link_busy,
             partition_mpl,
+            wheel_depth,
         }
     }
 
@@ -83,6 +86,13 @@ impl MachineMetrics {
     #[inline]
     pub fn set_link_busy(&mut self, chan: u32, now: SimTime, busy: f64) {
         self.registry.set(self.link_busy[chan as usize], now, busy);
+    }
+
+    /// Record the engine timing wheel's occupancy (pending cancellable
+    /// timers), sampled at dispatch points.
+    #[inline]
+    pub fn set_wheel_depth(&mut self, now: SimTime, depth: usize) {
+        self.registry.set(self.wheel_depth, now, depth as f64);
     }
 
     /// Record a partition's multiprogramming level (jobs executing).
@@ -137,7 +147,8 @@ mod tests {
         assert!(names.contains(&"node2.ready_depth"));
         assert!(names.contains(&"link0->1.busy"));
         assert!(names.contains(&"P0.mpl"));
-        assert_eq!(names.len(), 4 * 3 + 8 + 1);
+        assert!(names.contains(&"engine.wheel_depth"));
+        assert_eq!(names.len(), 4 * 3 + 8 + 1 + 1);
     }
 
     #[test]

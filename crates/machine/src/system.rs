@@ -20,7 +20,7 @@ use crate::timeline::{Span, SpanKind, Timeline};
 use crate::program::{JobSpec, Op, Rank, Tag};
 use crate::instrument::MachineMetrics;
 use crate::wiring::SystemNet;
-use parsched_des::{Model, Scheduler, SimDuration, SimTime};
+use parsched_des::{Model, Scheduler, SimDuration, SimTime, TimerHandle};
 use parsched_obs::{ObsEvent, QuantumEndReason, Recorder};
 use std::collections::VecDeque;
 
@@ -210,6 +210,11 @@ pub struct Machine {
     /// Per-slot generation, bumped at each free; guards stale
     /// [`Event::AllocEscape`] timers against slot reuse.
     msg_gen: Vec<u32>,
+    /// Per-slot pending transit-escape timer, cancelled when the queued
+    /// transit reservation is granted normally (the common case). The
+    /// generation check in `on_alloc_escape` remains the correctness
+    /// backstop for any timer that outlives its message.
+    escape_timers: Vec<Option<TimerHandle>>,
     notes: Vec<Note>,
     /// Machine-wide counters.
     pub counters: Counters,
@@ -264,6 +269,7 @@ impl Machine {
             messages: Vec::new(),
             free_msgs: Vec::new(),
             msg_gen: Vec::new(),
+            escape_timers: Vec::new(),
             notes: Vec::new(),
             counters: Counters::default(),
             recorder: None,
@@ -313,6 +319,15 @@ impl Machine {
     fn note_link_busy(&mut self, chan: u32, now: SimTime, busy: f64) {
         if let Some(m) = self.metrics.as_deref_mut() {
             m.set_link_busy(chan, now, busy);
+        }
+    }
+
+    /// Sample the engine timing wheel's occupancy (pending cancellable
+    /// timers) into the metrics registry.
+    #[inline]
+    fn note_wheel_depth(&mut self, now: SimTime, sched: &Scheduler<Event>) {
+        if let Some(m) = self.metrics.as_deref_mut() {
+            m.set_wheel_depth(now, sched.timer_count());
         }
     }
 
@@ -831,6 +846,9 @@ impl Machine {
                                     cpu.preemptions += 1;
                                     cpu.running = None;
                                     cpu.bump_seq();
+                                    if let Some(h) = cpu.slice_timer.take() {
+                                        sched.cancel_timer(h);
+                                    }
                                     let elapsed =
                                         now.saturating_since(running.work_started);
                                     self.record_compute(
@@ -896,6 +914,9 @@ impl Machine {
                 cpu.preemptions += 1;
                 cpu.running = None;
                 cpu.bump_seq();
+                if let Some(h) = cpu.slice_timer.take() {
+                    sched.cancel_timer(h);
+                }
                 let elapsed = now.saturating_since(work_started);
                 self.record_compute(pk, work_started, now);
                 let p = &mut self.procs[pk.idx()];
@@ -950,7 +971,7 @@ impl Machine {
             });
             cpu.handler_runs += 1;
             cpu.busy.set(now, 1.0);
-            sched.schedule_at(end, Event::SliceEnd { node, seq });
+            cpu.slice_timer = Some(sched.schedule_timer_at(end, Event::SliceEnd { node, seq }));
             self.note_cpu_busy(node, now, 1.0);
             let (HandlerAction::HopArrived(msg) | HandlerAction::PacketRelay(msg)) =
                 task.action;
@@ -981,8 +1002,9 @@ impl Machine {
             seq,
         });
         cpu.busy.set(now, 1.0);
-        sched.schedule_at(end, Event::SliceEnd { node, seq });
+        cpu.slice_timer = Some(sched.schedule_timer_at(end, Event::SliceEnd { node, seq }));
         self.note_cpu_busy(node, now, 1.0);
+        self.note_wheel_depth(now, sched);
         self.obs(now, ObsEvent::QuantumStart { node, job, rank });
     }
 
@@ -995,6 +1017,7 @@ impl Machine {
             return; // stale
         }
         cpu.running = None;
+        cpu.slice_timer = None;
         match running.kind {
             RunKind::High(task) => {
                 if self.timeline.is_enabled() {
@@ -1052,7 +1075,7 @@ impl Machine {
                                     quantum_end: running.quantum_end,
                                     seq,
                                 });
-                                sched.schedule_at(end, Event::SliceEnd { node, seq });
+                                cpu.slice_timer = Some(sched.schedule_timer_at(end, Event::SliceEnd { node, seq }));
                                 // The slice continues (same process, same
                                 // quantum): no end event.
                                 return;
@@ -1110,6 +1133,7 @@ impl Machine {
                 m.id = id;
                 self.messages.push(Some(m));
                 self.msg_gen.push(0);
+                self.escape_timers.push(None);
                 id
             }
         }
@@ -1118,6 +1142,7 @@ impl Machine {
     /// Retire a message's slot for reuse and invalidate outstanding timers.
     fn free_msg(&mut self, id: MsgId) {
         self.msg_gen[id.idx()] = self.msg_gen[id.idx()].wrapping_add(1);
+        self.escape_timers[id.idx()] = None;
         self.free_msgs.push(id.0);
     }
 
@@ -1288,10 +1313,10 @@ impl Machine {
                 );
                 if !res && self.cfg.flow == FlowControl::Reserved {
                     let gen = self.msg_gen[msg.idx()];
-                    sched.schedule(
+                    self.escape_timers[msg.idx()] = Some(sched.schedule_timer(
                         self.cfg.transit_escape_after,
                         Event::AllocEscape { node: next, msg, gen },
-                    );
+                    ));
                 }
                 res
             }
@@ -1308,6 +1333,7 @@ impl Machine {
         if self.msg_gen[msg.idx()] != gen {
             return; // the slot was recycled; this timer's message is gone
         }
+        self.escape_timers[msg.idx()] = None;
         let Some(bytes) = self.nodes[node as usize].mmu.cancel_transit(msg) else {
             return; // already granted normally
         };
@@ -1581,7 +1607,12 @@ impl Machine {
             match req.waiter {
                 AllocWaiter::Sender(pk) => self.finish_blocked_injection(pk, now, sched),
                 AllocWaiter::PendingSend(msg) => self.start_pending_send(msg, now, sched),
-                AllocWaiter::Transit(msg) => self.enqueue_channel(msg, now, sched),
+                AllocWaiter::Transit(msg) => {
+                    if let Some(h) = self.escape_timers[msg.idx()].take() {
+                        sched.cancel_timer(h);
+                    }
+                    self.enqueue_channel(msg, now, sched);
+                }
                 AllocWaiter::JobLoad(job) => {
                     let j = &mut self.jobs[job.idx()];
                     j.pending_allocs -= 1;

@@ -9,7 +9,7 @@ cd "$(dirname "$0")/.."
 cargo build --release --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q --workspace
-cargo run --release -p parsched-bench --bin perf -- --check
+cargo run --release -p parsched-bench --bin perf -- --check --quick
 
 # Trace smoke: the observability pipeline end-to-end — instrumented 16H
 # run, Chrome-trace JSON + metrics CSV land in a scratch directory.
