@@ -12,7 +12,7 @@
 //!   equitably), RR-job quanta.
 
 use crate::policy::{Discipline, Placement, PolicyKind, QuantumRule};
-use parsched_des::{Model, Scheduler, SimDuration, SimTime};
+use parsched_des::{EventScheduler, Model, SimDuration, SimTime};
 
 /// `PolicyTick` token tag for job arrivals (low bits = batch index); tokens
 /// below this are gang-rotation ticks (partition indices).
@@ -160,7 +160,7 @@ impl Driver {
     /// arrives at t = 0 (the paper's setting); admission then spreads jobs
     /// equitably over the partitions (§5.1) because each arrival picks the
     /// least-loaded partition.
-    pub fn start(&mut self, engine: &mut parsched_des::Engine<Event>) {
+    pub fn start(&mut self, engine: &mut impl parsched_des::EventSeeder<Event>) {
         for idx in 0..self.entries.len() {
             let at = self.arrivals.get(idx).copied().unwrap_or(SimTime::ZERO);
             engine.seed(
@@ -174,7 +174,7 @@ impl Driver {
 
     /// Super scheduler: a job arrives. Assign it to the least-loaded
     /// partition with a free (execution or prefetch) slot, or queue it.
-    fn on_arrival(&mut self, idx: usize, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn on_arrival(&mut self, idx: usize, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         self.entries[idx].arrival = now;
         let cap = self.mpl.saturating_add(self.prefetch);
         let target = (0..self.plan.count())
@@ -222,7 +222,7 @@ impl Driver {
 
     /// Start the first Ready job assigned to `part` if an execution slot is
     /// free.
-    fn start_ready(&mut self, part: usize, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn start_ready(&mut self, part: usize, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         use parsched_machine::JobState;
         while self.running[part] < self.mpl {
             let next = self.assigned[part].iter().copied().find(|&i| {
@@ -248,7 +248,7 @@ impl Driver {
         }
     }
 
-    fn on_note(&mut self, note: Note, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn on_note(&mut self, note: Note, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         match note {
             Note::JobLoaded(id) => {
                 if let Discipline::Gang { slot } = self.discipline {
@@ -396,7 +396,7 @@ impl Driver {
 
 impl Driver {
     /// Rotate a partition's gang: park the running job, release the next.
-    fn on_policy_tick(&mut self, part: usize, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn on_policy_tick(&mut self, part: usize, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         let Discipline::Gang { slot } = self.discipline else {
             return;
         };
@@ -419,7 +419,7 @@ impl Driver {
 impl Model for Driver {
     type Event = Event;
 
-    fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<Event>) {
+    fn handle(&mut self, now: SimTime, event: Event, sched: &mut impl EventScheduler<Event>) {
         if let Event::PolicyTick { token } = event {
             if token >= ARRIVAL_TOKEN {
                 self.on_arrival((token - ARRIVAL_TOKEN) as usize, now, sched);

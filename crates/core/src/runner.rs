@@ -63,18 +63,23 @@ pub fn run_parallel(
         }
         drop(res_tx);
         let mut out: Vec<Option<ExperimentResult>> = (0..n).map(|_| None).collect();
-        let mut first_err: Option<RunError> = None;
+        // "First" by input index, not by channel arrival: when several
+        // workers fail near-simultaneously the winner of the send race is
+        // scheduler-dependent, and an error that moves between runs of the
+        // same grid is useless for triage. Keeping the lowest index makes
+        // the surfaced error the one the serial path would have hit.
+        let mut first_err: Option<(usize, RunError)> = None;
         for (i, r) in res_rx.iter() {
             match r {
                 Ok(res) => out[i] = Some(res),
                 Err(e) => {
-                    if first_err.is_none() {
-                        first_err = Some(e);
+                    if first_err.as_ref().is_none_or(|&(j, _)| i < j) {
+                        first_err = Some((i, e));
                     }
                 }
             }
         }
-        if let Some(e) = first_err {
+        if let Some((_, e)) = first_err {
             return Err(e);
         }
         Ok(out
@@ -139,5 +144,30 @@ mod tests {
             format!("{err}").contains("BudgetExhausted"),
             "unexpected error: {err}"
         );
+    }
+
+    /// A task's batch with `jobs` one-job clones, poisoned to fail fast.
+    fn poisoned(jobs: usize) -> (ExperimentConfig, Vec<JobSpec>) {
+        let (mut cfg, batch) = task(10);
+        cfg.machine.max_events = 1;
+        (cfg, vec![batch[0].clone(); jobs])
+    }
+
+    #[test]
+    fn earliest_failure_wins_regardless_of_completion_order() {
+        // Two failing tasks whose diagnoses differ by job count; whichever
+        // worker's error reaches the channel first, the surfaced error must
+        // be the lower-index one — the same one the serial path would hit.
+        // Repeated to give the send race room to go both ways.
+        for _ in 0..20 {
+            let mut tasks: Vec<_> = (1..=6).map(|i| task(i * 10)).collect();
+            tasks.insert(1, poisoned(2));
+            tasks.push(poisoned(3));
+            let err = run_parallel(tasks, true).unwrap_err();
+            assert!(
+                format!("{err}").contains("2 unfinished of 2 jobs"),
+                "error from the wrong task surfaced: {err}"
+            );
+        }
     }
 }

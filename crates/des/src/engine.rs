@@ -12,13 +12,93 @@ use crate::wheel::{TimerHandle, TimerWheel};
 use std::collections::VecDeque;
 
 /// A simulation model: consumes events, may schedule more via the
-/// [`Scheduler`] handle passed to `handle`.
+/// [`EventScheduler`] handle passed to `handle`.
+///
+/// `handle` is generic over the scheduler so a model written once runs
+/// unchanged under any engine that can provide the scheduling contract —
+/// the optimized three-tier [`Engine`] in this crate or the naive
+/// reference engine in `parsched-oracle`. Monomorphization keeps the hot
+/// path free of dynamic dispatch.
 pub trait Model {
     /// The event alphabet of this model.
     type Event;
 
     /// Process one event at simulated time `now`.
-    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+    fn handle(
+        &mut self,
+        now: SimTime,
+        event: Self::Event,
+        sched: &mut impl EventScheduler<Self::Event>,
+    );
+}
+
+/// The scheduling contract an engine offers a [`Model`] during `handle`.
+///
+/// Every engine must preserve the same semantics: events fire in strictly
+/// nondecreasing `(time, seq)` order, where `seq` is allocated in call
+/// order across *all* scheduling methods (including timers), and a
+/// cancelled timer never fires. Any two engines honoring this contract
+/// drive a deterministic model through the identical event history — the
+/// property the differential oracle tests assert.
+pub trait EventScheduler<E> {
+    /// The current simulated time.
+    fn now(&self) -> SimTime;
+
+    /// Schedule `event` at an absolute instant (must not be in the past).
+    fn schedule_at(&mut self, time: SimTime, event: E);
+
+    /// Schedule a cancellable event at an absolute instant
+    /// (must not be in the past).
+    fn schedule_timer_at(&mut self, time: SimTime, event: E) -> TimerHandle;
+
+    /// Cancel a timer scheduled with
+    /// [`schedule_timer`](Self::schedule_timer). Returns `true` if the
+    /// timer was still pending (and is now gone), `false` if it already
+    /// fired or was already cancelled.
+    fn cancel_timer(&mut self, handle: TimerHandle) -> bool;
+
+    /// Number of pending (not yet fired or cancelled) timers, exposed for
+    /// observability gauges.
+    fn timer_count(&self) -> usize;
+
+    /// Schedule `event` to fire `delay` after the current instant.
+    fn schedule(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now() + delay, event);
+    }
+
+    /// Schedule `event` to fire immediately (at the current instant, after
+    /// every event already pending for this instant).
+    fn schedule_now(&mut self, event: E) {
+        let now = self.now();
+        self.schedule_at(now, event);
+    }
+
+    /// Schedule a *cancellable* event `delay` after the current instant.
+    ///
+    /// Functionally identical to [`schedule`](Self::schedule) — the event
+    /// fires in exactly the same global order — but it supports `O(1)`
+    /// [cancellation](Self::cancel_timer). Use it for events that are
+    /// usually invalidated before they fire (quantum expiries, timeout
+    /// guards) so they leave the pending set instead of being popped and
+    /// discarded.
+    fn schedule_timer(&mut self, delay: SimDuration, event: E) -> TimerHandle {
+        let at = self.now() + delay;
+        self.schedule_timer_at(at, event)
+    }
+}
+
+/// An engine that accepts events seeded from outside a run (the driver's
+/// batch arrivals). Both the optimized [`Engine`] and the oracle's naive
+/// engine implement it, so setup code is engine-agnostic too.
+pub trait EventSeeder<E> {
+    /// Schedule an event before the run starts (or between runs).
+    fn seed(&mut self, time: SimTime, event: E);
+}
+
+impl<E> EventSeeder<E> for Engine<E> {
+    fn seed(&mut self, time: SimTime, event: E) {
+        Engine::seed(self, time, event);
+    }
 }
 
 /// Handle through which a model schedules future events during `handle`.
@@ -36,20 +116,13 @@ pub struct Scheduler<'w, E> {
     now_queue: &'w mut VecDeque<Scheduled<E>>,
 }
 
-impl<E> Scheduler<'_, E> {
-    /// The current simulated time.
+impl<E> EventScheduler<E> for Scheduler<'_, E> {
     #[inline]
-    pub fn now(&self) -> SimTime {
+    fn now(&self) -> SimTime {
         self.now
     }
 
-    /// Schedule `event` to fire `delay` after the current instant.
-    pub fn schedule(&mut self, delay: SimDuration, event: E) {
-        self.schedule_at(self.now + delay, event);
-    }
-
-    /// Schedule `event` at an absolute instant (must not be in the past).
-    pub fn schedule_at(&mut self, time: SimTime, event: E) {
+    fn schedule_at(&mut self, time: SimTime, event: E) {
         assert!(
             time >= self.now,
             "cannot schedule into the past: {time} < {now}",
@@ -66,28 +139,7 @@ impl<E> Scheduler<'_, E> {
         }
     }
 
-    /// Schedule `event` to fire immediately (at the current instant, after
-    /// every event already pending for this instant).
-    pub fn schedule_now(&mut self, event: E) {
-        self.schedule_at(self.now, event);
-    }
-
-    /// Schedule a *cancellable* event `delay` after the current instant.
-    ///
-    /// Functionally identical to [`schedule`](Self::schedule) — the event
-    /// fires in exactly the same global order — but it lives in the
-    /// engine's timing wheel, which supports `O(1)`
-    /// [cancellation](Self::cancel_timer). Use it for events that are
-    /// usually invalidated before they fire (quantum expiries, timeout
-    /// guards) so they leave the pending set instead of being popped and
-    /// discarded.
-    pub fn schedule_timer(&mut self, delay: SimDuration, event: E) -> TimerHandle {
-        self.schedule_timer_at(self.now + delay, event)
-    }
-
-    /// Schedule a cancellable event at an absolute instant
-    /// (must not be in the past).
-    pub fn schedule_timer_at(&mut self, time: SimTime, event: E) -> TimerHandle {
+    fn schedule_timer_at(&mut self, time: SimTime, event: E) -> TimerHandle {
         assert!(
             time >= self.now,
             "cannot schedule into the past: {time} < {now}",
@@ -98,16 +150,11 @@ impl<E> Scheduler<'_, E> {
         self.wheel.insert(time, seq, event)
     }
 
-    /// Cancel a timer scheduled with [`schedule_timer`](Self::schedule_timer).
-    /// Returns `true` if the timer was still pending (and is now gone),
-    /// `false` if it already fired or was already cancelled.
-    pub fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
+    fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
         self.wheel.cancel(handle)
     }
 
-    /// Number of pending (not yet fired or cancelled) timers — the timing
-    /// wheel's occupancy, exposed for observability gauges.
-    pub fn timer_count(&self) -> usize {
+    fn timer_count(&self) -> usize {
         self.wheel.len()
     }
 }
@@ -346,7 +393,7 @@ mod tests {
 
     impl Model for Countdown {
         type Event = u64;
-        fn handle(&mut self, now: SimTime, ev: u64, sched: &mut Scheduler<u64>) {
+        fn handle(&mut self, now: SimTime, ev: u64, sched: &mut impl EventScheduler<u64>) {
             self.fired.push((now.nanos(), ev));
             if ev > 0 {
                 sched.schedule(SimDuration::from_nanos(10), ev - 1);
@@ -384,7 +431,7 @@ mod tests {
         struct Forever;
         impl Model for Forever {
             type Event = ();
-            fn handle(&mut self, _: SimTime, _: (), sched: &mut Scheduler<()>) {
+            fn handle(&mut self, _: SimTime, _: (), sched: &mut impl EventScheduler<()>) {
                 sched.schedule(SimDuration::from_nanos(1), ());
             }
         }
@@ -400,7 +447,7 @@ mod tests {
         struct Recorder(Vec<u32>);
         impl Model for Recorder {
             type Event = u32;
-            fn handle(&mut self, _: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+            fn handle(&mut self, _: SimTime, ev: u32, sched: &mut impl EventScheduler<u32>) {
                 self.0.push(ev);
                 if ev == 0 {
                     // Three events at the same instant must pop FIFO.
@@ -459,7 +506,7 @@ mod tests {
         struct Bad;
         impl Model for Bad {
             type Event = ();
-            fn handle(&mut self, now: SimTime, _: (), sched: &mut Scheduler<()>) {
+            fn handle(&mut self, now: SimTime, _: (), sched: &mut impl EventScheduler<()>) {
                 sched.schedule_at(SimTime(now.nanos() - 1), ());
             }
         }

@@ -27,7 +27,12 @@
 //! struct Pinger { pongs: u32 }
 //! impl Model for Pinger {
 //!     type Event = &'static str;
-//!     fn handle(&mut self, _now: SimTime, ev: &'static str, s: &mut Scheduler<&'static str>) {
+//!     fn handle(
+//!         &mut self,
+//!         _now: SimTime,
+//!         ev: &'static str,
+//!         s: &mut impl EventScheduler<&'static str>,
+//!     ) {
 //!         match ev {
 //!             "ping" => s.schedule(SimDuration::from_micros(10), "pong"),
 //!             "pong" => self.pongs += 1,
@@ -56,7 +61,9 @@ pub mod wheel;
 
 /// The kernel's commonly used names in one import.
 pub mod prelude {
-    pub use crate::engine::{Engine, Model, QueueKind, RunOutcome, Scheduler};
+    pub use crate::engine::{
+        Engine, EventScheduler, EventSeeder, Model, QueueKind, RunOutcome, Scheduler,
+    };
     pub use crate::queue::{AdaptiveQueue, BinaryHeapQueue, CalendarQueue, EventQueue, Scheduled};
     pub use crate::wheel::{TimerHandle, TimerWheel};
     pub use crate::rng::DetRng;

@@ -108,6 +108,25 @@ pub struct TimerHandle {
     level: u8,
 }
 
+impl TimerHandle {
+    /// Build a handle for an engine that is *not* backed by a timing wheel
+    /// (the differential oracle's flat queue). The level is pinned to the
+    /// overflow list, the one tier [`TimerWheel::cancel`] resolves by a
+    /// plain key scan, so a foreign handle accidentally passed to a real
+    /// wheel degrades to a lookup miss instead of an out-of-bounds level.
+    pub fn external(key: u128) -> TimerHandle {
+        TimerHandle {
+            key,
+            level: OVERFLOW_LEVEL,
+        }
+    }
+
+    /// The packed `(time, seq)` key this handle refers to.
+    pub fn key(&self) -> u128 {
+        self.key
+    }
+}
+
 #[derive(Debug)]
 struct Level<E> {
     /// `(key, event)` pairs per slot, sorted ascending by key so the

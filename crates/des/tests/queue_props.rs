@@ -6,8 +6,15 @@
 //! Ported from proptest to seeded [`DetRng`] loops so the suite runs with
 //! no external dependencies; each iteration derives its own substream, so
 //! a failure report's iteration index is enough to replay it exactly.
+//!
+//! The adaptive backend gets its own section at the bottom: its
+//! heap↔calendar migrations are driven through phase-aligned operation
+//! windows so the hysteresis (sustained-streak requirement, dead band
+//! between the promote and demote thresholds) is pinned in both
+//! directions, with every pop mirrored against the reference heap.
 
 use parsched_des::prelude::*;
+use parsched_des::queue::{ADAPT_CHECK_EVERY, ADAPT_DEMOTE_LEN, ADAPT_PROMOTE_LEN, ADAPT_STREAK};
 use parsched_des::rng::DetRng;
 
 #[derive(Debug, Clone, Copy)]
@@ -202,4 +209,169 @@ fn calendar_handles_unconstrained_times() {
             }
         }
     }
+}
+
+/// The [`AdaptiveQueue`] under test, mirrored op-for-op against the
+/// reference heap. Times strictly increase, so calendar promotion always
+/// sees nonzero dispersion and every `(time, seq)` key is unique.
+struct Mirrored {
+    adaptive: AdaptiveQueue<u64>,
+    reference: BinaryHeapQueue<u64>,
+    seq: u64,
+    clock: u64,
+}
+
+impl Mirrored {
+    fn new() -> Self {
+        Mirrored {
+            adaptive: AdaptiveQueue::new(),
+            reference: BinaryHeapQueue::new(),
+            seq: 0,
+            clock: 0,
+        }
+    }
+
+    fn push(&mut self) {
+        self.clock += 7;
+        self.seq += 1;
+        let s = Scheduled {
+            time: SimTime(self.clock),
+            seq: self.seq,
+            event: self.seq,
+        };
+        self.adaptive.push(s.clone());
+        self.reference.push(s);
+    }
+
+    fn pop(&mut self) {
+        let a = self.adaptive.pop().map(|s| (s.time, s.seq, s.event));
+        let b = self.reference.pop().map(|s| (s.time, s.seq, s.event));
+        assert_eq!(a, b, "adaptive backend diverged from the reference heap");
+    }
+
+    /// One push + one pop: two operations, population unchanged.
+    fn pair(&mut self) {
+        self.push();
+        self.pop();
+    }
+
+    fn len(&self) -> usize {
+        assert_eq!(self.adaptive.len(), self.reference.len());
+        self.adaptive.len()
+    }
+}
+
+/// Promote on sustained high population, hold through the dead band, demote
+/// on sustained low population, refuse to re-promote from the dead band —
+/// the full hysteresis loop, with exactness checked on every pop.
+#[test]
+fn adaptive_migrates_both_directions_with_hysteresis() {
+    let window = ADAPT_CHECK_EVERY as usize;
+    let sustain = (ADAPT_STREAK as usize + 1) * window;
+
+    let mut m = Mirrored::new();
+    for _ in 0..ADAPT_PROMOTE_LEN + 476 {
+        m.push();
+    }
+    // Sustained high population promotes heap -> calendar.
+    for _ in 0..sustain / 2 {
+        m.pair();
+    }
+    assert!(m.adaptive.is_calendar(), "sustained high load must promote");
+
+    // Dead band (demote < len < promote): the calendar must persist.
+    while m.len() > (ADAPT_PROMOTE_LEN + ADAPT_DEMOTE_LEN) / 2 {
+        m.pop();
+    }
+    for _ in 0..sustain / 2 {
+        m.pair();
+    }
+    assert!(
+        m.adaptive.is_calendar(),
+        "population inside the dead band must not demote"
+    );
+
+    // Sustained low population demotes calendar -> heap.
+    while m.len() > ADAPT_DEMOTE_LEN - 56 {
+        m.pop();
+    }
+    for _ in 0..sustain / 2 {
+        m.pair();
+    }
+    assert!(!m.adaptive.is_calendar(), "sustained low load must demote");
+
+    // Dead band from the other side: the heap must persist.
+    while m.len() < (ADAPT_PROMOTE_LEN + ADAPT_DEMOTE_LEN) / 2 {
+        m.push();
+    }
+    for _ in 0..sustain / 2 {
+        m.pair();
+    }
+    assert!(
+        !m.adaptive.is_calendar(),
+        "population inside the dead band must not promote"
+    );
+
+    // Both backends drain to identical tails after two migrations.
+    while m.len() > 0 {
+        m.pop();
+    }
+    m.pop(); // both empty
+}
+
+/// A population that keeps dipping below the promote threshold right when
+/// the queue samples it never accumulates the required streak, no matter
+/// how much total time it spends above: migration needs *consecutive*
+/// agreeing checks. Phase-aligned: population checks fire on every
+/// `ADAPT_CHECK_EVERY`-th operation, and this test counts operations so
+/// each dip lands exactly on a check.
+#[test]
+fn adaptive_promotion_requires_consecutive_checks() {
+    let window = ADAPT_CHECK_EVERY as usize; // operations between checks
+    let mut m = Mirrored::new();
+
+    // Growth: checks during this see a sub-threshold population until the
+    // very last one, which starts the streak at 1 (len == ADAPT_PROMOTE_LEN
+    // exactly at the check). Requires window | ADAPT_PROMOTE_LEN.
+    assert_eq!(ADAPT_PROMOTE_LEN % window, 0);
+    for _ in 0..ADAPT_PROMOTE_LEN {
+        m.push();
+    }
+
+    for round in 0..2 {
+        // Two whole windows at the threshold: streak grows to 3.
+        for _ in 0..window {
+            m.pair();
+        }
+        assert!(!m.adaptive.is_calendar(), "round {round}: streak 2 too early");
+        // Third window ends with two pops, so the check that would have
+        // completed the streak samples len below threshold and resets it.
+        for _ in 0..(window - 2) / 2 {
+            m.pair();
+        }
+        m.pop();
+        m.pop();
+        assert!(
+            !m.adaptive.is_calendar(),
+            "round {round}: a dip at the sampling instant must reset the streak"
+        );
+        // Recovery window: restore the population; its check restarts the
+        // streak at 1, same state as after growth.
+        m.push();
+        m.push();
+        for _ in 0..(window - 2) / 2 {
+            m.pair();
+        }
+    }
+
+    // Control: the same population *without* dips promotes after
+    // ADAPT_STREAK consecutive checks (streak is at 1 from the recovery
+    // window's check).
+    for _ in 0..(ADAPT_STREAK as usize - 1) * window / 2 {
+        m.pair();
+    }
+    assert!(
+        m.adaptive.is_calendar(),
+        "uninterrupted streak must promote"
+    );
 }

@@ -62,7 +62,7 @@ pub mod prelude {
     pub use crate::process::{JobId, PState, ProcKey};
     pub use crate::program::{JobSpec, Op, ProcSpec, Rank, Tag};
     pub use crate::stats::{JobSummary, MachineStats};
-    pub use crate::system::{Event, JobState, Machine, Note};
+    pub use crate::system::{Counters, Event, JobState, Machine, Note};
     pub use crate::timeline::{Span, SpanKind, Timeline};
     pub use crate::wiring::SystemNet;
 }

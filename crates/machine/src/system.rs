@@ -20,7 +20,7 @@ use crate::timeline::{Span, SpanKind, Timeline};
 use crate::program::{JobSpec, Op, Rank, Tag};
 use crate::instrument::MachineMetrics;
 use crate::wiring::SystemNet;
-use parsched_des::{Model, Scheduler, SimDuration, SimTime, TimerHandle};
+use parsched_des::{EventScheduler, Model, SimDuration, SimTime, TimerHandle};
 use parsched_obs::{ObsEvent, QuantumEndReason, Recorder};
 use std::collections::VecDeque;
 
@@ -171,7 +171,7 @@ pub struct Node {
 }
 
 /// Machine-wide counters (see also per-node and per-channel state).
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Counters {
     /// Messages injected.
     pub messages_sent: u64,
@@ -325,7 +325,7 @@ impl Machine {
     /// Sample the engine timing wheel's occupancy (pending cancellable
     /// timers) into the metrics registry.
     #[inline]
-    fn note_wheel_depth(&mut self, now: SimTime, sched: &Scheduler<Event>) {
+    fn note_wheel_depth(&mut self, now: SimTime, sched: &impl EventScheduler<Event>) {
         if let Some(m) = self.metrics.as_deref_mut() {
             m.set_wheel_depth(now, sched.timer_count());
         }
@@ -485,7 +485,7 @@ impl Machine {
     ///
     /// # Panics
     /// Panics if the job is not `Ready`.
-    pub fn start_job(&mut self, job: JobId, now: SimTime, sched: &mut Scheduler<Event>) {
+    pub fn start_job(&mut self, job: JobId, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         assert_eq!(
             self.jobs[job.idx()].state,
             JobState::Ready,
@@ -498,7 +498,7 @@ impl Machine {
     // Job lifecycle
     // ------------------------------------------------------------------
 
-    fn on_admit(&mut self, job: JobId, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn on_admit(&mut self, job: JobId, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         self.obs(now, ObsEvent::JobArrived { job: job.0 });
         let ship = self.jobs[job.idx()].ship_bytes;
         let j = &mut self.jobs[job.idx()];
@@ -518,7 +518,7 @@ impl Machine {
         sched.schedule_at(self.loader_free_at, Event::LoadJob { job });
     }
 
-    fn on_load_job(&mut self, job: JobId, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn on_load_job(&mut self, job: JobId, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         // Request the job's resident memory on every node it touches. Any
         // allocation that cannot be satisfied queues on that node's MMU;
         // the job spawns when the last grant lands.
@@ -543,7 +543,7 @@ impl Machine {
     }
 
     /// The job's memory is fully resident: spawn or park it.
-    fn finish_load(&mut self, job: JobId, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn finish_load(&mut self, job: JobId, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         if self.jobs[job.idx()].auto_start {
             self.spawn_job(job, now, sched);
         } else {
@@ -552,7 +552,7 @@ impl Machine {
         }
     }
 
-    fn spawn_job(&mut self, job: JobId, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn spawn_job(&mut self, job: JobId, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         debug_assert!(
             matches!(
                 self.jobs[job.idx()].state,
@@ -595,7 +595,7 @@ impl Machine {
         }
     }
 
-    fn finish_process(&mut self, pk: ProcKey, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn finish_process(&mut self, pk: ProcKey, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         let p = &mut self.procs[pk.idx()];
         p.state = PState::Finished;
         p.finished_at = now;
@@ -630,7 +630,7 @@ impl Machine {
     /// ops). Returns `true` if the process needs the CPU, `false` if it
     /// blocked or finished (in which case its state has been updated and
     /// any finish bookkeeping done).
-    fn make_runnable(&mut self, pk: ProcKey, now: SimTime, sched: &mut Scheduler<Event>) -> bool {
+    fn make_runnable(&mut self, pk: ProcKey, now: SimTime, sched: &mut impl EventScheduler<Event>) -> bool {
         match self.load_phase(pk, now) {
             PhaseLoad::NeedCpu => {
                 self.enqueue_ready(pk, now, sched);
@@ -647,7 +647,7 @@ impl Machine {
     /// Mark a process Ready and put it on its node's low-priority queue —
     /// unless its job is parked (gang scheduling), in which case it stays
     /// Ready but off-queue until [`Machine::set_job_active`] releases it.
-    fn enqueue_ready(&mut self, pk: ProcKey, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn enqueue_ready(&mut self, pk: ProcKey, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         let p = &mut self.procs[pk.idx()];
         p.state = PState::Ready;
         if p.parked {
@@ -740,7 +740,7 @@ impl Machine {
     /// The loaded CPU phase just completed (remaining hit zero). Advance the
     /// program. Returns the next disposition (same meanings as
     /// [`Machine::load_phase`]).
-    fn complete_phase(&mut self, pk: ProcKey, now: SimTime, sched: &mut Scheduler<Event>) -> PhaseLoad {
+    fn complete_phase(&mut self, pk: ProcKey, now: SimTime, sched: &mut impl EventScheduler<Event>) -> PhaseLoad {
         let phase = self.procs[pk.idx()].phase;
         self.procs[pk.idx()].phase = Phase::Idle;
         match phase {
@@ -816,7 +816,7 @@ impl Machine {
         job: JobId,
         active: bool,
         now: SimTime,
-        sched: &mut Scheduler<Event>,
+        sched: &mut impl EventScheduler<Event>,
     ) {
         if self.jobs[job.idx()].state != JobState::Running {
             // Not spawned yet (or already done): just record the wish; the
@@ -903,7 +903,7 @@ impl Machine {
     // ------------------------------------------------------------------
 
     /// Enqueue high-priority work on a node, preempting low-priority work.
-    fn enqueue_high(&mut self, node: u16, task: HandlerTask, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn enqueue_high(&mut self, node: u16, task: HandlerTask, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         self.nodes[node as usize].cpu.high.push_back(task);
         match self.nodes[node as usize].cpu.running {
             None => self.dispatch(node, now, sched),
@@ -954,7 +954,7 @@ impl Machine {
     }
 
     /// Start the next item on an idle CPU.
-    fn dispatch(&mut self, node: u16, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn dispatch(&mut self, node: u16, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         let cpu = &mut self.nodes[node as usize].cpu;
         if cpu.running.is_some() || cpu.hold {
             return;
@@ -1008,7 +1008,7 @@ impl Machine {
         self.obs(now, ObsEvent::QuantumStart { node, job, rank });
     }
 
-    fn on_slice_end(&mut self, node: u16, seq: u64, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn on_slice_end(&mut self, node: u16, seq: u64, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         let cpu = &mut self.nodes[node as usize].cpu;
         let Some(running) = cpu.running else {
             return; // stale
@@ -1156,7 +1156,7 @@ impl Machine {
     /// Create the message for the `Send` op at the process's `pc` and claim
     /// its source buffer. Returns `true` if injection proceeded; `false` if
     /// the process must block until the buffer is granted.
-    fn begin_injection(&mut self, pk: ProcKey, now: SimTime, sched: &mut Scheduler<Event>) -> bool {
+    fn begin_injection(&mut self, pk: ProcKey, now: SimTime, sched: &mut impl EventScheduler<Event>) -> bool {
         let (job, from, node, to, bytes, tag) = {
             let p = &self.procs[pk.idx()];
             let Some(Op::Send { to, bytes, tag }) = p.current_op().cloned() else {
@@ -1227,7 +1227,7 @@ impl Machine {
     }
 
     /// An asynchronously queued send finally got its source buffer.
-    fn start_pending_send(&mut self, msg: MsgId, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn start_pending_send(&mut self, msg: MsgId, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         let node = self.messages[msg.idx()]
             .as_ref()
             .expect("pending send dead")
@@ -1241,7 +1241,7 @@ impl Machine {
 
     /// A blocked sender's buffer was granted: finish the injection and wake
     /// the process.
-    fn finish_blocked_injection(&mut self, pk: ProcKey, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn finish_blocked_injection(&mut self, pk: ProcKey, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         let msg = self.procs[pk.idx()]
             .pending_msg
             .take()
@@ -1257,7 +1257,7 @@ impl Machine {
     }
 
     /// Start moving a freshly buffered-at-source message.
-    fn route_message(&mut self, msg: MsgId, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn route_message(&mut self, msg: MsgId, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         let (is_self, node) = {
             let m = self.messages[msg.idx()].as_ref().expect("routing dead message");
             (m.at_destination(), m.current_node())
@@ -1289,7 +1289,7 @@ impl Machine {
 
     /// Store-and-forward: reserve a buffer at the next node, then queue on
     /// the connecting channel.
-    fn saf_next_hop(&mut self, msg: MsgId, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn saf_next_hop(&mut self, msg: MsgId, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         let (next, bytes) = {
             let m = self.messages[msg.idx()].as_ref().expect("dead message");
             let next = self
@@ -1329,7 +1329,7 @@ impl Machine {
     }
 
     /// A starved transit request escapes to the emergency pool.
-    fn on_alloc_escape(&mut self, node: u16, msg: MsgId, gen: u32, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn on_alloc_escape(&mut self, node: u16, msg: MsgId, gen: u32, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         if self.msg_gen[msg.idx()] != gen {
             return; // the slot was recycled; this timer's message is gone
         }
@@ -1347,7 +1347,7 @@ impl Machine {
 
     /// Put a message on the channel for its current SAF hop (or CT edge),
     /// starting the transfer if the channel is free.
-    fn enqueue_channel(&mut self, msg: MsgId, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn enqueue_channel(&mut self, msg: MsgId, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         let pipelined = matches!(
             self.cfg.switching,
             Switching::PacketizedSaf | Switching::CutThrough
@@ -1381,7 +1381,7 @@ impl Machine {
         }
     }
 
-    fn start_transfer(&mut self, chan: usize, msg: MsgId, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn start_transfer(&mut self, chan: usize, msg: MsgId, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         let bytes = self.messages[msg.idx()].as_ref().expect("dead message").bytes;
         let ch = &mut self.channels[chan];
         debug_assert!(ch.busy_with.is_none());
@@ -1409,7 +1409,7 @@ impl Machine {
         }
     }
 
-    fn on_transfer_done(&mut self, chan: u32, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn on_transfer_done(&mut self, chan: u32, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         let chan = chan as usize;
         let msg = {
             let ch = &mut self.channels[chan];
@@ -1526,12 +1526,12 @@ impl Machine {
         }
     }
 
-    fn on_hop_start(&mut self, msg: MsgId, _edge: usize, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn on_hop_start(&mut self, msg: MsgId, _edge: usize, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         // Cut-through pipelined edge start.
         self.enqueue_channel(msg, now, sched);
     }
 
-    fn run_handler_action(&mut self, action: HandlerAction, node: u16, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn run_handler_action(&mut self, action: HandlerAction, node: u16, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         match action {
             HandlerAction::PacketRelay(_) => {
                 // Pure CPU cost; the pipeline drives itself.
@@ -1552,7 +1552,7 @@ impl Machine {
     }
 
     /// Put a message in its destination mailbox and wake a blocked receiver.
-    fn deliver(&mut self, msg: MsgId, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn deliver(&mut self, msg: MsgId, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         let (job, to, tag, dst) = {
             let m = self.messages[msg.idx()].as_ref().expect("dead message");
             (m.job, m.to, m.tag, m.dst_node)
@@ -1575,7 +1575,7 @@ impl Machine {
 
     /// A receiver finished consuming a message: free its buffer and retire
     /// its slot for reuse.
-    fn consume_message(&mut self, msg: MsgId, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn consume_message(&mut self, msg: MsgId, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         let m = self.messages[msg.idx()].take().expect("consuming dead message");
         self.free_msg(msg);
         self.counters.messages_consumed += 1;
@@ -1600,7 +1600,7 @@ impl Machine {
     // ------------------------------------------------------------------
 
     /// Release memory on a node and grant whatever queued requests now fit.
-    fn release_memory(&mut self, node: u16, bytes: u64, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn release_memory(&mut self, node: u16, bytes: u64, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         self.nodes[node as usize].mmu.release(now, bytes);
         let granted = self.nodes[node as usize].mmu.pump(now);
         for req in granted {
@@ -1635,7 +1635,7 @@ enum PhaseLoad {
 impl Model for Machine {
     type Event = Event;
 
-    fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<Event>) {
+    fn handle(&mut self, now: SimTime, event: Event, sched: &mut impl EventScheduler<Event>) {
         match event {
             Event::Admit { job } => self.on_admit(job, now, sched),
             Event::LoadJob { job } => self.on_load_job(job, now, sched),
@@ -1741,7 +1741,7 @@ mod tests {
         }
         impl Model for Caller {
             type Event = Event;
-            fn handle(&mut self, now: SimTime, _: Event, sched: &mut Scheduler<Event>) {
+            fn handle(&mut self, now: SimTime, _: Event, sched: &mut impl EventScheduler<Event>) {
                 self.m.start_job(self.id, now, sched);
             }
         }
@@ -1801,7 +1801,7 @@ mod tests {
         }
         impl Model for ParkThenRelease {
             type Event = Event;
-            fn handle(&mut self, now: SimTime, ev: Event, sched: &mut Scheduler<Event>) {
+            fn handle(&mut self, now: SimTime, ev: Event, sched: &mut impl EventScheduler<Event>) {
                 if let Event::PolicyTick { token } = ev {
                     match token {
                         0 => self.m.set_job_active(self.id, false, now, sched),

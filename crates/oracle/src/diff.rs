@@ -1,0 +1,299 @@
+//! The differential harness: one scenario, two engines, zero tolerance.
+//!
+//! Both runs construct identical machines and drivers; the only difference
+//! is the engine driving them — the optimized three-tier
+//! [`parsched_des::Engine`] versus the naive [`OracleEngine`]. The
+//! [`TraceModel`] wrapper records every `(time, event)` the engine hands
+//! the model, so a comparison failure points at the *first* event where
+//! the histories fork, not just at diverged end-of-run statistics.
+//!
+//! On divergence, [`run_differential`] returns a [`Divergence`] whose
+//! `detail` embeds the scenario's replay line, and [`dump_repro`] writes
+//! the whole report under `target/repro/` for offline triage.
+
+use crate::engine::OracleEngine;
+use crate::scenario::Scenario;
+use parsched_core::{Driver, ExperimentConfig};
+use parsched_des::{
+    Engine, EventScheduler, EventSeeder, Model, QueueKind, RunOutcome, SimDuration, SimTime,
+};
+use parsched_machine::{Counters, Event, JobSpec, Machine, SystemNet};
+use std::path::PathBuf;
+
+/// A model wrapper that records every event the engine delivers, in
+/// order, alongside its firing time. Recording is pure observation: the
+/// wrapped model sees exactly the calls it would see bare.
+pub struct TraceModel<M: Model> {
+    /// The wrapped model.
+    pub inner: M,
+    /// Every `(time, event)` handled so far, in simulation order.
+    pub trace: Vec<(SimTime, M::Event)>,
+}
+
+impl<M: Model> TraceModel<M> {
+    /// Wrap `inner` with an empty trace.
+    pub fn new(inner: M) -> Self {
+        TraceModel {
+            inner,
+            trace: Vec::new(),
+        }
+    }
+}
+
+impl<M: Model> Model for TraceModel<M>
+where
+    M::Event: Clone,
+{
+    type Event = M::Event;
+
+    fn handle(
+        &mut self,
+        now: SimTime,
+        event: Self::Event,
+        sched: &mut impl EventScheduler<Self::Event>,
+    ) {
+        self.trace.push((now, event.clone()));
+        self.inner.handle(now, event, sched);
+    }
+}
+
+/// Everything one run produces that the other run must reproduce exactly.
+#[derive(Debug, Clone)]
+pub struct RunCapture {
+    /// The full event history.
+    pub trace: Vec<(SimTime, Event)>,
+    /// Per-job response times in submission order.
+    pub response_times: Vec<SimDuration>,
+    /// Batch completion time.
+    pub makespan: SimDuration,
+    /// Machine-wide counters at completion.
+    pub counters: Counters,
+    /// Engine events processed.
+    pub events: u64,
+}
+
+/// The engine surface the harness needs, implemented by both engines so
+/// one generic runner drives either.
+trait DiffEngine<E>: EventSeeder<E> {
+    fn set_max_events(&mut self, n: u64);
+    fn run_model<M: Model<Event = E>>(&mut self, model: &mut M) -> RunOutcome;
+    fn now(&self) -> SimTime;
+    fn events_processed(&self) -> u64;
+}
+
+impl<E> DiffEngine<E> for Engine<E> {
+    fn set_max_events(&mut self, n: u64) {
+        self.max_events = n;
+    }
+    fn run_model<M: Model<Event = E>>(&mut self, model: &mut M) -> RunOutcome {
+        self.run(model)
+    }
+    fn now(&self) -> SimTime {
+        Engine::now(self)
+    }
+    fn events_processed(&self) -> u64 {
+        Engine::events_processed(self)
+    }
+}
+
+impl<E> DiffEngine<E> for OracleEngine<E> {
+    fn set_max_events(&mut self, n: u64) {
+        self.max_events = n;
+    }
+    fn run_model<M: Model<Event = E>>(&mut self, model: &mut M) -> RunOutcome {
+        self.run(model)
+    }
+    fn now(&self) -> SimTime {
+        OracleEngine::now(self)
+    }
+    fn events_processed(&self) -> u64 {
+        OracleEngine::events_processed(self)
+    }
+}
+
+fn run_capture<Eng: DiffEngine<Event>>(
+    mut engine: Eng,
+    config: &ExperimentConfig,
+    batch: Vec<JobSpec>,
+    arrivals: &[SimTime],
+) -> Result<RunCapture, String> {
+    let plan = config.plan();
+    let net = SystemNet::from_plan(&plan);
+    let machine = Machine::new(config.machine.clone(), net);
+    let mut driver = Driver::new(
+        machine,
+        plan,
+        config.policy,
+        config.rule,
+        config.placement,
+        batch,
+    );
+    if let Some(mpl) = config.mpl {
+        driver = driver.with_mpl(mpl);
+    }
+    driver = driver.with_discipline(config.discipline);
+    if !arrivals.is_empty() {
+        driver = driver.with_arrivals(arrivals.to_vec());
+    }
+    engine.set_max_events(config.machine.max_events);
+    driver.start(&mut engine);
+    let mut model = TraceModel::new(driver);
+    let outcome = engine.run_model(&mut model);
+    let TraceModel { inner: driver, trace } = model;
+    if outcome != RunOutcome::Drained || !driver.all_done() {
+        return Err(format!(
+            "run failed ({outcome:?}):\n{}",
+            driver.diagnose()
+        ));
+    }
+    Ok(RunCapture {
+        trace,
+        response_times: driver.response_times(),
+        makespan: engine.now().since(SimTime::ZERO),
+        counters: driver.machine.counters.clone(),
+        events: engine.events_processed(),
+    })
+}
+
+/// Run `scenario` under the optimized engine with the scenario's backend.
+pub fn run_optimized(scenario: &Scenario) -> Result<RunCapture, String> {
+    let config = scenario.config();
+    run_capture(
+        Engine::new(config.queue),
+        &config,
+        scenario.batch(),
+        &scenario.arrivals,
+    )
+}
+
+/// Run `scenario` under the naive reference engine.
+pub fn run_oracle(scenario: &Scenario) -> Result<RunCapture, String> {
+    let mut config = scenario.config();
+    // The backend knob is meaningless to the oracle; normalize it so the
+    // capture metadata can't suggest otherwise.
+    config.queue = QueueKind::BinaryHeap;
+    run_capture(
+        OracleEngine::new(),
+        &config,
+        scenario.batch(),
+        &scenario.arrivals,
+    )
+}
+
+/// A confirmed difference between the two engines on one scenario.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// One-line classification (which comparison failed).
+    pub summary: String,
+    /// Full report: mismatch context plus the scenario replay line.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}\n{}", self.summary, self.detail)
+    }
+}
+
+fn diverge(scenario: &Scenario, summary: &str, context: String) -> Divergence {
+    Divergence {
+        summary: summary.to_string(),
+        detail: format!("{context}\n{}", scenario.describe()),
+    }
+}
+
+/// Compare two event histories; on mismatch, show a window around the
+/// first forked index.
+fn compare_traces(
+    scenario: &Scenario,
+    opt: &[(SimTime, Event)],
+    ora: &[(SimTime, Event)],
+) -> Result<(), Divergence> {
+    let n = opt.len().min(ora.len());
+    for i in 0..n {
+        if opt[i] != ora[i] {
+            let lo = i.saturating_sub(3);
+            let mut ctx = format!(
+                "event histories fork at index {i} (of {} opt / {} oracle):\n",
+                opt.len(),
+                ora.len()
+            );
+            for j in lo..(i + 4).min(n) {
+                let mark = if j == i { ">>" } else { "  " };
+                ctx.push_str(&format!(
+                    "{mark} [{j}] opt    {:?} @ {}\n{mark} [{j}] oracle {:?} @ {}\n",
+                    opt[j].1, opt[j].0, ora[j].1, ora[j].0
+                ));
+            }
+            return Err(diverge(scenario, "event-order divergence", ctx));
+        }
+    }
+    if opt.len() != ora.len() {
+        let ctx = format!(
+            "histories agree for {n} events but lengths differ: \
+             optimized {} vs oracle {}; first extra event: {:?}",
+            opt.len(),
+            ora.len(),
+            if opt.len() > n { &opt[n] } else { &ora[n] }
+        );
+        return Err(diverge(scenario, "event-count divergence", ctx));
+    }
+    Ok(())
+}
+
+/// Run one scenario through both engines and assert bit-identical
+/// behavior: event order, per-job response times, makespan, machine
+/// counters, and events-processed accounting. Returns the (shared)
+/// capture on success for further invariant checking.
+pub fn run_differential(scenario: &Scenario) -> Result<RunCapture, Divergence> {
+    let opt = run_optimized(scenario)
+        .map_err(|e| diverge(scenario, "optimized run failed", e))?;
+    let ora = run_oracle(scenario)
+        .map_err(|e| diverge(scenario, "oracle run failed", e))?;
+
+    compare_traces(scenario, &opt.trace, &ora.trace)?;
+    if opt.response_times != ora.response_times {
+        return Err(diverge(
+            scenario,
+            "response-time divergence",
+            format!(
+                "optimized {:?}\noracle    {:?}",
+                opt.response_times, ora.response_times
+            ),
+        ));
+    }
+    if opt.makespan != ora.makespan {
+        return Err(diverge(
+            scenario,
+            "makespan divergence",
+            format!("optimized {} vs oracle {}", opt.makespan, ora.makespan),
+        ));
+    }
+    if opt.counters != ora.counters {
+        return Err(diverge(
+            scenario,
+            "counter divergence",
+            format!("optimized {:?}\noracle    {:?}", opt.counters, ora.counters),
+        ));
+    }
+    if opt.events != ora.events {
+        return Err(diverge(
+            scenario,
+            "events-processed divergence",
+            format!("optimized {} vs oracle {}", opt.events, ora.events),
+        ));
+    }
+    Ok(opt)
+}
+
+/// Write a failing scenario's full report to
+/// `target/repro/oracle_case_<case>.txt` (workspace-relative) and return
+/// the path. Best-effort: IO failure returns the error instead of
+/// masking the divergence.
+pub fn dump_repro(scenario: &Scenario, divergence: &Divergence) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/repro"));
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("oracle_case_{}.txt", scenario.case));
+    std::fs::write(&path, format!("{divergence}\n"))?;
+    Ok(path)
+}

@@ -1,0 +1,342 @@
+//! The naive reference engine.
+//!
+//! [`OracleEngine`] is the simplest event loop that can honor the
+//! [`EventScheduler`] contract: one `std::collections::BinaryHeap` ordered
+//! by the packed `(time, seq)` key, nothing else. No now-queue bypass, no
+//! timing wheel, no calendar buckets, no adaptive migration — every
+//! optimization in `parsched-des` is deliberately absent, so any
+//! divergence between the two engines on the same model is a bug in one of
+//! them (and the smart money is on the optimized one).
+//!
+//! The only subtlety is cancellation. The optimized engine removes a
+//! cancelled timer from its wheel *eagerly*, so the timer never occupies
+//! the pending set nor counts toward `events_processed`. A bare heap
+//! cannot remove from the middle, so the oracle keeps a tombstone set of
+//! cancelled keys and discards matching corpses at peek time — before the
+//! horizon check and before anything is counted — which reproduces the
+//! eager semantics observably exactly: same event order, same
+//! `events_processed`, same `pending()` at every step.
+
+use parsched_des::{EventScheduler, EventSeeder, Model, RunOutcome, SimTime, TimerHandle};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// A pending event: the packed `(time, seq)` key plus the payload. Ordered
+/// by key alone (keys are unique — `seq` never repeats).
+struct Entry<E> {
+    key: u128,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+#[inline]
+fn pack(time: SimTime, seq: u64) -> u128 {
+    ((time.nanos() as u128) << 64) | seq as u128
+}
+
+/// The reference engine: a flat min-heap and a simulation clock.
+///
+/// API mirrors [`parsched_des::Engine`] (`seed` / `run` / `run_until` /
+/// `pending` / `events_processed` / public `horizon` and `max_events`), so
+/// harness code can drive either engine through the same motions.
+pub struct OracleEngine<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Keys of cancelled timers whose corpses are still in the heap.
+    cancelled: HashSet<u128>,
+    /// Keys of pending (live) timers, for `cancel`'s return value and
+    /// `timer_count`.
+    timers: HashSet<u128>,
+    now: SimTime,
+    next_seq: u64,
+    events_processed: u64,
+    /// Stop processing events scheduled after this instant.
+    pub horizon: SimTime,
+    /// Abort after this many events.
+    pub max_events: u64,
+}
+
+impl<E> Default for OracleEngine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> OracleEngine<E> {
+    /// A fresh engine at time zero.
+    pub fn new() -> Self {
+        OracleEngine {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            timers: HashSet::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            events_processed: 0,
+            horizon: SimTime::MAX,
+            max_events: u64::MAX,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far (cancelled timers never count, same
+    /// as the optimized engine's eager-cancel accounting).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of pending live events (tombstoned corpses excluded).
+    pub fn pending(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Discard cancelled corpses sitting at the heap head so the next peek
+    /// or pop sees a live event.
+    fn purge_cancelled_head(&mut self) {
+        while let Some(Reverse(head)) = self.heap.peek() {
+            if self.cancelled.remove(&head.key) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Drive `model` until the queue drains, the horizon passes, or the
+    /// event budget runs out. Semantics identical to
+    /// [`parsched_des::Engine::run`].
+    pub fn run<M: Model<Event = E>>(&mut self, model: &mut M) -> RunOutcome {
+        loop {
+            if self.events_processed >= self.max_events {
+                return RunOutcome::BudgetExhausted;
+            }
+            self.purge_cancelled_head();
+            let Some(Reverse(head)) = self.heap.peek() else {
+                return RunOutcome::Drained;
+            };
+            let time = SimTime((head.key >> 64) as u64);
+            if time > self.horizon {
+                self.now = self.horizon;
+                return RunOutcome::HorizonReached;
+            }
+            let Reverse(entry) = self.heap.pop().expect("peeked the head");
+            self.timers.remove(&entry.key);
+            debug_assert!(time >= self.now, "event queue returned the past");
+            self.now = time;
+            self.events_processed += 1;
+
+            let mut sched = OracleScheduler {
+                now: self.now,
+                next_seq: self.next_seq,
+                heap: &mut self.heap,
+                cancelled: &mut self.cancelled,
+                timers: &mut self.timers,
+            };
+            model.handle(self.now, entry.event, &mut sched);
+            self.next_seq = sched.next_seq;
+        }
+    }
+
+    /// Like [`run`](Self::run) but stops once simulated time would exceed
+    /// `deadline`.
+    pub fn run_until<M: Model<Event = E>>(
+        &mut self,
+        model: &mut M,
+        deadline: SimTime,
+    ) -> RunOutcome {
+        let saved = self.horizon;
+        self.horizon = deadline.min(saved);
+        let outcome = self.run(model);
+        self.horizon = saved;
+        outcome
+    }
+}
+
+impl<E> EventSeeder<E> for OracleEngine<E> {
+    fn seed(&mut self, time: SimTime, event: E) {
+        assert!(time >= self.now, "cannot seed into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry {
+            key: pack(time, seq),
+            event,
+        }));
+    }
+}
+
+/// The scheduling handle the oracle passes to `Model::handle`. Allocates
+/// sequence numbers exactly like the optimized engine's scheduler — one
+/// per call, across plain events and timers alike — so both engines hand
+/// identical `(time, seq)` keys to identical scheduling histories.
+struct OracleScheduler<'h, E> {
+    now: SimTime,
+    next_seq: u64,
+    heap: &'h mut BinaryHeap<Reverse<Entry<E>>>,
+    cancelled: &'h mut HashSet<u128>,
+    timers: &'h mut HashSet<u128>,
+}
+
+impl<E> EventScheduler<E> for OracleScheduler<'_, E> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn schedule_at(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {time} < {now}",
+            now = self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry {
+            key: pack(time, seq),
+            event,
+        }));
+    }
+
+    fn schedule_timer_at(&mut self, time: SimTime, event: E) -> TimerHandle {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {time} < {now}",
+            now = self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let key = pack(time, seq);
+        self.heap.push(Reverse(Entry { key, event }));
+        self.timers.insert(key);
+        TimerHandle::external(key)
+    }
+
+    fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
+        let key = handle.key();
+        if self.timers.remove(&key) {
+            self.cancelled.insert(key);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn timer_count(&self) -> usize {
+        self.timers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsched_des::SimDuration;
+
+    struct Countdown {
+        fired: Vec<(u64, u64)>,
+    }
+
+    impl Model for Countdown {
+        type Event = u64;
+        fn handle(&mut self, now: SimTime, ev: u64, sched: &mut impl EventScheduler<u64>) {
+            self.fired.push((now.nanos(), ev));
+            if ev > 0 {
+                sched.schedule(SimDuration::from_nanos(10), ev - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn countdown_matches_reference_semantics() {
+        let mut engine = OracleEngine::new();
+        engine.seed(SimTime(5), 3u64);
+        let mut model = Countdown { fired: Vec::new() };
+        assert_eq!(engine.run(&mut model), RunOutcome::Drained);
+        assert_eq!(model.fired, vec![(5, 3), (15, 2), (25, 1), (35, 0)]);
+        assert_eq!(engine.now(), SimTime(35));
+        assert_eq!(engine.events_processed(), 4);
+    }
+
+    #[test]
+    fn horizon_and_budget_mirror_the_optimized_engine() {
+        let mut engine = OracleEngine::new();
+        engine.horizon = SimTime(20);
+        engine.seed(SimTime(5), 3u64);
+        let mut model = Countdown { fired: Vec::new() };
+        assert_eq!(engine.run(&mut model), RunOutcome::HorizonReached);
+        assert_eq!(model.fired.len(), 2);
+        assert_eq!(engine.pending(), 1);
+        assert_eq!(engine.now(), SimTime(20));
+
+        let mut engine = OracleEngine::new();
+        engine.max_events = 2;
+        engine.seed(SimTime(5), 3u64);
+        let mut model = Countdown { fired: Vec::new() };
+        assert_eq!(engine.run(&mut model), RunOutcome::BudgetExhausted);
+        assert_eq!(engine.events_processed(), 2);
+    }
+
+    /// A model that schedules a timer and cancels it from a later event:
+    /// the cancelled timer must not fire, must not count, and must leave
+    /// the pending gauge.
+    struct CancelHalf {
+        handles: Vec<TimerHandle>,
+        fired: Vec<u64>,
+    }
+
+    impl Model for CancelHalf {
+        type Event = u64;
+        fn handle(&mut self, _now: SimTime, ev: u64, sched: &mut impl EventScheduler<u64>) {
+            match ev {
+                0 => {
+                    for i in 0..6u64 {
+                        let h = sched.schedule_timer(
+                            SimDuration::from_nanos(100 + i),
+                            10 + i,
+                        );
+                        self.handles.push(h);
+                    }
+                    sched.schedule(SimDuration::from_nanos(50), 1);
+                }
+                1 => {
+                    for h in self.handles.drain(..).step_by(2) {
+                        assert!(sched.cancel_timer(h), "live timer must cancel");
+                        assert!(!sched.cancel_timer(h), "double cancel must fail");
+                    }
+                    assert_eq!(sched.timer_count(), 3);
+                }
+                f => self.fired.push(f),
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_timers_never_fire_and_never_count() {
+        let mut engine = OracleEngine::new();
+        engine.seed(SimTime::ZERO, 0u64);
+        let mut model = CancelHalf {
+            handles: Vec::new(),
+            fired: Vec::new(),
+        };
+        assert_eq!(engine.run(&mut model), RunOutcome::Drained);
+        assert_eq!(model.fired, vec![11, 13, 15]);
+        // 0, 1, and the three surviving timers.
+        assert_eq!(engine.events_processed(), 5);
+        assert_eq!(engine.pending(), 0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Seeded random scenario generation.
+//!
+//! A [`Scenario`] is everything needed to reproduce one differential case:
+//! the experiment configuration (topology × partition size × policy ×
+//! machine variation) and the workload (application × software
+//! architecture × batch mix × arrival process). Scenarios derive from a
+//! `(seed, case)` pair through labelled [`DetRng`] substreams, so a
+//! failure report carrying those two numbers replays bit-exactly — see
+//! [`Scenario::describe`] for the replay instructions it prints.
+//!
+//! The four paper topologies, the three policy classes (static
+//! space-sharing, pure time-sharing of the whole machine, hybrid
+//! time-sharing over sub-partitions), both applications, and both software
+//! architectures are covered *by construction*: case `i` takes combination
+//! `i mod 48` of that cross product, and only the remaining knobs
+//! (partition size, batch mix, queue backend, switching, placement,
+//! discipline, ordering, arrivals) are randomized.
+
+use parsched_core::{Discipline, ExperimentConfig, Placement, PolicyKind};
+use parsched_des::rng::DetRng;
+use parsched_des::{QueueKind, SimDuration, SimTime};
+use parsched_machine::{JobSpec, Switching};
+use parsched_topology::TopologyKind;
+use parsched_workload::{paper_batch, App, Arch, BatchSizes, CostModel};
+
+/// The three scheduling strategies the paper compares (§4): its "static"
+/// and "time-sharing" policy kinds, with time-sharing split by whether it
+/// runs over the whole machine or over sub-partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyClass {
+    /// Static space-sharing: one job per partition, run to completion.
+    Static,
+    /// Pure time-sharing: one whole-machine partition, RR-job quanta.
+    PureTs,
+    /// Hybrid: time-sharing within partitions smaller than the machine.
+    Hybrid,
+}
+
+impl PolicyClass {
+    /// The driver-level policy this class maps to.
+    pub fn policy(self) -> PolicyKind {
+        match self {
+            PolicyClass::Static => PolicyKind::Static,
+            PolicyClass::PureTs | PolicyClass::Hybrid => PolicyKind::TimeSharing,
+        }
+    }
+}
+
+/// Batch submission orderings (mirrors `parsched_core::BatchOrder`, which
+/// the generator picks among uniformly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// As generated.
+    AsGiven,
+    /// Ascending demand.
+    SmallestFirst,
+    /// Descending demand.
+    LargestFirst,
+}
+
+/// One fully-specified differential case.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Case index under `seed` (selects the covered cross-product cell).
+    pub case: u64,
+    /// Root seed of the sweep this case belongs to.
+    pub seed: u64,
+    /// Partition interconnect.
+    pub topology: TopologyKind,
+    /// Processors per partition (the machine always has 16).
+    pub partition_size: usize,
+    /// Which of the paper's three strategies.
+    pub class: PolicyClass,
+    /// Application (matmul / sort).
+    pub app: App,
+    /// Software architecture (fixed 16 processes / adaptive).
+    pub arch: Arch,
+    /// Batch composition.
+    pub sizes: BatchSizes,
+    /// Submission ordering.
+    pub order: Order,
+    /// Backend of the *optimized* engine under test (the oracle always
+    /// uses its flat heap).
+    pub queue: QueueKind,
+    /// Message switching scheme.
+    pub switching: Switching,
+    /// Time-sharing coordination discipline.
+    pub discipline: Discipline,
+    /// Process-to-processor mapping.
+    pub placement: Placement,
+    /// Per-partition MPL override.
+    pub mpl: Option<usize>,
+    /// Per-job arrival instants (empty = closed batch at t = 0).
+    pub arrivals: Vec<SimTime>,
+}
+
+/// Partition sizes realizable for each paper topology on the 16-node
+/// machine (a 2-node ring or mesh degenerates, so those start at 4).
+fn valid_sizes(topo_idx: usize) -> &'static [usize] {
+    match topo_idx {
+        0 => &[1, 2, 4, 8, 16], // linear
+        _ => &[4, 8, 16],       // ring, mesh, hypercube
+    }
+}
+
+fn pick<T: Copy>(rng: &mut DetRng, xs: &[T]) -> T {
+    xs[rng.uniform_u64(0, xs.len() as u64) as usize]
+}
+
+impl Scenario {
+    /// Derive case `case` of the sweep rooted at `seed`.
+    pub fn generate(seed: u64, case: u64) -> Scenario {
+        let mut rng = DetRng::new(seed).substream_idx("oracle-scenario", case);
+
+        // Covered cross product: topology (4) x policy class (3) x
+        // application (2) x architecture (2) = 48 cells, visited round
+        // robin by case index so any sweep of >= 48 cases covers them all.
+        let cell = case % 48;
+        let topo_idx = (cell % 4) as usize;
+        let class = [PolicyClass::Static, PolicyClass::PureTs, PolicyClass::Hybrid]
+            [(cell / 4 % 3) as usize];
+        let app = [App::MatMul, App::Sort][(cell / 12 % 2) as usize];
+        let arch = [Arch::Fixed, Arch::Adaptive][(cell / 24) as usize];
+
+        let topology = [
+            TopologyKind::Linear,
+            TopologyKind::Ring,
+            TopologyKind::Mesh { rows: 0, cols: 0 },
+            TopologyKind::Hypercube { dim: 0 },
+        ][topo_idx];
+
+        let partition_size = match class {
+            PolicyClass::PureTs => 16,
+            PolicyClass::Static => pick(&mut rng, valid_sizes(topo_idx)),
+            PolicyClass::Hybrid => {
+                let sizes: Vec<usize> = valid_sizes(topo_idx)
+                    .iter()
+                    .copied()
+                    .filter(|&s| s < 16)
+                    .collect();
+                pick(&mut rng, &sizes)
+            }
+        };
+
+        // Batch mix: small enough that a sweep of hundreds of cases stays
+        // in test time, large enough to multiprogram every partition.
+        let jobs = rng.uniform_u64(3, 7) as usize;
+        let sizes = BatchSizes {
+            jobs,
+            small_count: rng.uniform_u64(0, jobs as u64 + 1) as usize,
+            // Matrices must split over up to 16 processes (n >= width).
+            mm_small: rng.uniform_u64(16, 29) as usize,
+            mm_large: rng.uniform_u64(32, 57) as usize,
+            sort_small: rng.uniform_u64(300, 1201) as usize,
+            sort_large: rng.uniform_u64(1500, 4001) as usize,
+        };
+
+        let order = pick(
+            &mut rng,
+            &[Order::AsGiven, Order::SmallestFirst, Order::LargestFirst],
+        );
+        let queue = pick(
+            &mut rng,
+            &[QueueKind::BinaryHeap, QueueKind::Calendar, QueueKind::Adaptive],
+        );
+        let switching = pick(
+            &mut rng,
+            &[
+                Switching::PacketizedSaf,
+                Switching::StoreAndForward,
+                Switching::CutThrough,
+            ],
+        );
+        let placement = pick(&mut rng, &[Placement::RoundRobin, Placement::Staggered]);
+
+        // Gang slots and MPL bounds only make sense under time-sharing.
+        let time_sharing = class != PolicyClass::Static;
+        let discipline = if time_sharing && rng.uniform_u64(0, 4) == 0 {
+            Discipline::Gang {
+                slot: SimDuration::from_millis(rng.uniform_u64(2, 9)),
+            }
+        } else {
+            Discipline::Uncoordinated
+        };
+        let mpl = if time_sharing && rng.uniform_u64(0, 3) == 0 {
+            Some(rng.uniform_u64(2, 4) as usize)
+        } else {
+            None
+        };
+
+        // One case in three runs open: staggered arrivals with exponential
+        // interarrival gaps (FCFS order = index order by construction).
+        let arrivals = if rng.uniform_u64(0, 3) == 0 {
+            let mut at = 0u64;
+            (0..jobs)
+                .map(|_| {
+                    at += rng.exponential(10_000_000.0) as u64; // ~10 ms mean
+                    SimTime(at)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        Scenario {
+            case,
+            seed,
+            topology,
+            partition_size,
+            class,
+            app,
+            arch,
+            sizes,
+            order,
+            queue,
+            switching,
+            discipline,
+            placement,
+            mpl,
+            arrivals,
+        }
+    }
+
+    /// The experiment configuration this scenario runs under.
+    pub fn config(&self) -> ExperimentConfig {
+        let mut config =
+            ExperimentConfig::paper(self.partition_size, self.topology, self.class.policy());
+        config.queue = self.queue;
+        config.machine.switching = self.switching;
+        config.discipline = self.discipline;
+        config.placement = self.placement;
+        config.mpl = self.mpl;
+        config
+    }
+
+    /// The (ordered) batch this scenario submits.
+    pub fn batch(&self) -> Vec<JobSpec> {
+        let batch = paper_batch(
+            self.app,
+            self.arch,
+            self.partition_size,
+            &self.sizes,
+            &CostModel::default(),
+        );
+        let order = match self.order {
+            Order::AsGiven => parsched_core::BatchOrder::AsGiven,
+            Order::SmallestFirst => parsched_core::BatchOrder::SmallestFirst,
+            Order::LargestFirst => parsched_core::BatchOrder::LargestFirst,
+        };
+        parsched_core::order_batch(batch, order)
+    }
+
+    /// A self-contained description: every knob plus how to replay this
+    /// exact case from its `(seed, case)` pair.
+    pub fn describe(&self) -> String {
+        format!(
+            "oracle scenario case={case} seed={seed:#x}\n\
+             topology={topology:?} partition_size={p} class={class:?}\n\
+             app={app:?} arch={arch:?} sizes={sizes:?}\n\
+             order={order:?} queue={queue:?} switching={switching:?}\n\
+             discipline={discipline:?} placement={placement:?} mpl={mpl:?}\n\
+             arrivals={arrivals:?}\n\
+             replay: ORACLE_SEED={seed:#x} ORACLE_ONLY_CASE={case} \
+             cargo test -p parsched-oracle --test differential -- --include-ignored --nocapture",
+            case = self.case,
+            seed = self.seed,
+            topology = self.topology,
+            p = self.partition_size,
+            class = self.class,
+            app = self.app,
+            arch = self.arch,
+            sizes = self.sizes,
+            order = self.order,
+            queue = self.queue,
+            switching = self.switching,
+            discipline = self.discipline,
+            placement = self.placement,
+            mpl = self.mpl,
+            arrivals = self.arrivals,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for case in 0..16 {
+            let a = Scenario::generate(0xABCD, case);
+            let b = Scenario::generate(0xABCD, case);
+            assert_eq!(a.describe(), b.describe());
+            assert_eq!(a.batch().len(), b.batch().len());
+        }
+    }
+
+    #[test]
+    fn any_48_consecutive_cases_cover_the_cross_product() {
+        use std::collections::HashSet;
+        let mut cells = HashSet::new();
+        for case in 0..48 {
+            let s = Scenario::generate(1, case);
+            cells.insert((
+                format!("{:?}", s.topology),
+                s.class.policy() == PolicyKind::Static,
+                s.class == PolicyClass::Hybrid,
+                format!("{:?}", s.app),
+                format!("{:?}", s.arch),
+            ));
+        }
+        assert_eq!(cells.len(), 48, "cross product not fully covered");
+    }
+
+    #[test]
+    fn partition_plans_are_always_realizable() {
+        for case in 0..96 {
+            let s = Scenario::generate(7, case);
+            // `plan` panics on unrealizable combinations.
+            let plan = s.config().plan();
+            assert_eq!(plan.system_size, 16);
+        }
+    }
+}

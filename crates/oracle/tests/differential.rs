@@ -1,0 +1,90 @@
+//! The differential sweep: randomized scenarios through both engines.
+//!
+//! * `differential_sweep_fast` — the deterministic tier-1 subset (96
+//!   cases, two full passes over the covered cross product). Runs on
+//!   every `cargo test`.
+//! * `differential_sweep_full` — the long randomized sweep, `#[ignore]`d
+//!   by default; `scripts/tier1.sh tier1-full` runs it with elevated case
+//!   counts. `ORACLE_CASES` sets the count, `ORACLE_SEED` the root seed,
+//!   `ORACLE_ONLY_CASE` replays a single case (all three read by both
+//!   sweeps, so a failure's printed replay line works verbatim).
+//!
+//! Every failing case panics with a self-contained replay description and
+//! dumps the full report under `target/repro/oracle_case_<n>.txt`.
+
+use parsched_oracle::{dump_repro, run_differential, Scenario};
+
+/// Root seed of the sweeps (override with `ORACLE_SEED`, hex or decimal).
+const DEFAULT_SEED: u64 = 0x0DD5_0F0A;
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let parsed = raw
+        .strip_prefix("0x")
+        .map(|h| u64::from_str_radix(h, 16))
+        .unwrap_or_else(|| raw.parse());
+    Some(parsed.unwrap_or_else(|e| panic!("bad {name}={raw}: {e}")))
+}
+
+fn sweep(default_cases: u64) {
+    let seed = env_u64("ORACLE_SEED").unwrap_or(DEFAULT_SEED);
+    let cases: Vec<u64> = match env_u64("ORACLE_ONLY_CASE") {
+        Some(case) => vec![case],
+        None => (0..env_u64("ORACLE_CASES").unwrap_or(default_cases)).collect(),
+    };
+    let mut divergences = 0u32;
+    for &case in &cases {
+        let scenario = Scenario::generate(seed, case);
+        if let Err(div) = run_differential(&scenario) {
+            divergences += 1;
+            match dump_repro(&scenario, &div) {
+                Ok(path) => eprintln!("{div}\nrepro dumped to {}", path.display()),
+                Err(io) => eprintln!("{div}\n(repro dump failed: {io})"),
+            }
+        }
+    }
+    assert_eq!(
+        divergences,
+        0,
+        "{divergences} of {} scenarios diverged from the oracle (see above)",
+        cases.len()
+    );
+}
+
+#[test]
+fn differential_sweep_fast() {
+    // Two passes over the 48-cell cross product; ~seconds in debug.
+    sweep(96);
+}
+
+#[test]
+#[ignore = "long sweep; run via scripts/tier1.sh tier1-full or ORACLE_CASES=N cargo test -- --include-ignored"]
+fn differential_sweep_full() {
+    sweep(240);
+}
+
+/// The invariant checkers hold on randomized scenarios too, not just the
+/// handpicked integration configurations: every closed-batch case in one
+/// cross-product pass runs instrumented and must satisfy conservation,
+/// causality, and FCFS admission.
+#[test]
+fn invariants_hold_on_random_scenarios() {
+    use parsched_core::run_batch_observed;
+    use parsched_oracle::invariants;
+    let seed = env_u64("ORACLE_SEED").unwrap_or(DEFAULT_SEED);
+    let mut checked = 0;
+    for case in 0..48 {
+        let scenario = Scenario::generate(seed, case);
+        if !scenario.arrivals.is_empty() {
+            // run_batch_observed models the paper's closed setting.
+            continue;
+        }
+        let (result, obs) = run_batch_observed(&scenario.config(), scenario.batch())
+            .unwrap_or_else(|e| panic!("{e}\n{}", scenario.describe()));
+        invariants::check_event_stream(&obs.events);
+        invariants::check_fcfs_admission(&obs.events);
+        invariants::check_cpu_conservation(&obs.metrics, obs.layout.node_count, result.makespan);
+        checked += 1;
+    }
+    assert!(checked >= 24, "too few closed-batch cases: {checked}");
+}

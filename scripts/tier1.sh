@@ -3,13 +3,30 @@
 # perf binary's golden check (simulated results must match
 # BENCH_parsched.json bit-exactly), and a trace-export smoke run.
 # Everything runs offline; no network access required.
+#
+#   scripts/tier1.sh             the standard gate
+#   scripts/tier1.sh tier1-full  also runs the long differential-oracle
+#                                sweep (hundreds of randomized scenarios
+#                                through both engines; see TESTING.md).
+#                                ORACLE_CASES / ORACLE_SEED override the
+#                                sweep size and root seed. A failing case
+#                                prints its replay line and dumps the full
+#                                report under target/repro/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+mode="${1:-tier1}"
 
 cargo build --release --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q --workspace
 cargo run --release -p parsched-bench --bin perf -- --check --quick
+
+if [ "$mode" = "tier1-full" ]; then
+    ORACLE_CASES="${ORACLE_CASES:-480}" \
+        cargo test --release -q -p parsched-oracle --test differential \
+        -- --include-ignored differential_sweep_full
+fi
 
 # Trace smoke: the observability pipeline end-to-end — instrumented 16H
 # run, Chrome-trace JSON + metrics CSV land in a scratch directory.

@@ -339,6 +339,56 @@ fn gang_completes_for_all_slot_lengths() {
     }
 }
 
+/// The oracle crate's invariant checkers hold across policies and
+/// topologies, with observability recording both OFF (machine-state
+/// checkers against a bare run) and ON (event-stream and gauge checkers
+/// against an instrumented run of the same configuration).
+#[test]
+fn invariants_hold_with_recording_off_and_on() {
+    use parsched_oracle::invariants;
+    let sizes = BatchSizes {
+        jobs: 8,
+        small_count: 6,
+        ..BatchSizes::default()
+    };
+    let cost = CostModel::default();
+    for (p, kind, policy) in [
+        (4, TopologyKind::Ring, PolicyKind::Static),
+        (8, MESH, PolicyKind::TimeSharing),
+        (16, TopologyKind::Hypercube { dim: 0 }, PolicyKind::TimeSharing),
+    ] {
+        let batch = paper_batch(App::MatMul, Arch::Adaptive, p, &sizes, &cost);
+
+        // Recording off: drive the machine directly, check its state.
+        let plan = PartitionPlan::equal(16, p, kind).unwrap();
+        let machine = parsched::machine::Machine::new(
+            parsched::machine::MachineConfig::default(),
+            parsched::machine::SystemNet::from_plan(&plan),
+        );
+        let mut driver = Driver::new(
+            machine,
+            plan,
+            policy,
+            QuantumRule::default(),
+            Placement::RoundRobin,
+            batch.clone(),
+        );
+        let mut engine: Engine<parsched::machine::Event> = Engine::new(QueueKind::default());
+        driver.start(&mut engine);
+        assert_eq!(engine.run(&mut driver), RunOutcome::Drained);
+        assert!(driver.all_done());
+        invariants::check_message_conservation(&driver.machine);
+        invariants::check_work_conservation(&driver.machine, engine.now().since(SimTime::ZERO));
+
+        // Recording on: the same configuration instrumented.
+        let cfg = ExperimentConfig::paper(p, kind, policy);
+        let (result, obs) = run_batch_observed(&cfg, batch).unwrap();
+        invariants::check_event_stream(&obs.events);
+        invariants::check_fcfs_admission(&obs.events);
+        invariants::check_cpu_conservation(&obs.metrics, obs.layout.node_count, result.makespan);
+    }
+}
+
 /// Gang scheduling composed with open arrivals: rotation must absorb jobs
 /// arriving mid-run and still complete everything.
 #[test]
