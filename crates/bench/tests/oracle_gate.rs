@@ -9,7 +9,7 @@
 
 use parsched_core::{Discipline, Placement};
 use parsched_des::QueueKind;
-use parsched_machine::Switching;
+use parsched_machine::{FaultPlan, Switching};
 use parsched_oracle::{run_differential, Order, PolicyClass, Scenario};
 use parsched_topology::TopologyKind;
 use parsched_workload::{App, Arch, BatchSizes};
@@ -34,6 +34,7 @@ fn f3_scenario(class: PolicyClass, queue: QueueKind, mpl: Option<usize>) -> Scen
         placement: Placement::RoundRobin,
         mpl,
         arrivals: Vec::new(),
+        faults: FaultPlan::default(),
     }
 }
 

@@ -24,11 +24,17 @@ use std::collections::VecDeque;
 /// One batch entry's lifecycle record.
 #[derive(Debug, Clone)]
 struct Entry {
-    spec: Option<JobSpec>,
+    /// The job blueprint; kept (not consumed) so a fault-killed job can be
+    /// requeued and rerun under a fresh machine job id.
+    spec: JobSpec,
     job_id: Option<JobId>,
     partition: Option<usize>,
     arrival: SimTime,
     finished: Option<SimTime>,
+    /// The current incarnation is executing (counted in `running`).
+    started: bool,
+    /// Times this entry's job was killed by a fault and requeued.
+    failures: u32,
 }
 
 /// Gang-scheduling rotation state for one partition.
@@ -69,7 +75,15 @@ pub struct Driver {
     running: Vec<usize>,
     /// batch index by machine JobId.
     by_job: Vec<usize>,
+    /// Adaptive re-fork hook: given a failed entry's batch index and the
+    /// survivor count of its new partition, produce the spec to rerun
+    /// (`None` = rerun the original spec unchanged, the fixed architecture).
+    respawner: Option<Respawner>,
 }
+
+/// Boxed [`Driver::with_respawner`] hook: `(batch index, survivor count)`
+/// to the replacement spec (`None` = rerun the original unchanged).
+type Respawner = Box<dyn Fn(usize, usize) -> Option<JobSpec>>;
 
 impl Driver {
     /// Build a driver for `batch` (in submission order) under the given
@@ -102,17 +116,20 @@ impl Driver {
             entries: batch
                 .into_iter()
                 .map(|spec| Entry {
-                    spec: Some(spec),
+                    spec,
                     job_id: None,
                     partition: None,
                     arrival: SimTime::ZERO,
                     finished: None,
+                    started: false,
+                    failures: 0,
                 })
                 .collect(),
             pending: VecDeque::new(),
             assigned: (0..count).map(|_| VecDeque::new()).collect(),
             running: vec![0; count],
             by_job: Vec::new(),
+            respawner: None,
         }
     }
 
@@ -135,6 +152,20 @@ impl Driver {
     /// the paper's uncoordinated local round-robin).
     pub fn with_discipline(mut self, discipline: Discipline) -> Driver {
         self.discipline = discipline;
+        self
+    }
+
+    /// Install an adaptive re-fork hook: when a fault-killed job is
+    /// requeued, the hook receives its batch index and the survivor count
+    /// of the partition it is being re-admitted to, and may return a
+    /// replacement spec (e.g. the same work re-forked over fewer
+    /// processes, the paper's adaptive architecture). Returning `None`
+    /// reruns the original spec unchanged (the fixed architecture).
+    pub fn with_respawner(
+        mut self,
+        f: impl Fn(usize, usize) -> Option<JobSpec> + 'static,
+    ) -> Driver {
+        self.respawner = Some(Box::new(f));
         self
     }
 
@@ -161,6 +192,9 @@ impl Driver {
     /// equitably over the partitions (§5.1) because each arrival picks the
     /// least-loaded partition.
     pub fn start(&mut self, engine: &mut impl parsched_des::EventSeeder<Event>) {
+        // Declared faults go in first: an empty plan seeds nothing, so
+        // fault-free runs allocate the exact same event sequence as before.
+        self.machine.seed_faults(engine);
         for idx in 0..self.entries.len() {
             let at = self.arrivals.get(idx).copied().unwrap_or(SimTime::ZERO);
             engine.seed(
@@ -173,45 +207,95 @@ impl Driver {
     }
 
     /// Super scheduler: a job arrives. Assign it to the least-loaded
-    /// partition with a free (execution or prefetch) slot, or queue it.
+    /// viable partition with a free (execution or prefetch) slot, or
+    /// queue it.
     fn on_arrival(&mut self, idx: usize, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         self.entries[idx].arrival = now;
+        self.admit_or_queue(idx, now, sched, false);
+    }
+
+    /// The surviving (alive) nodes of a partition, in index order. The
+    /// full contiguous range on a fault-free run.
+    fn alive_nodes(&self, part: usize) -> Vec<u16> {
+        let base = self.plan.partitions[part].base;
+        (base..base + self.plan.partition_size)
+            .map(|n| n as u16)
+            .filter(|&n| self.machine.node_alive(n))
+            .collect()
+    }
+
+    /// A partition can host jobs while at least one of its nodes is alive.
+    fn partition_alive(&self, part: usize) -> bool {
+        let base = self.plan.partitions[part].base;
+        (base..base + self.plan.partition_size).any(|n| self.machine.node_alive(n as u16))
+    }
+
+    /// Admit `idx` to the least-loaded partition that is alive and has a
+    /// free (execution or prefetch) slot; otherwise leave it on the FCFS
+    /// queue — at the front for a requeued failure (it keeps its turn), at
+    /// the back for a fresh arrival.
+    fn admit_or_queue(
+        &mut self,
+        idx: usize,
+        now: SimTime,
+        sched: &mut impl EventScheduler<Event>,
+        front: bool,
+    ) {
         let cap = self.mpl.saturating_add(self.prefetch);
         let target = (0..self.plan.count())
-            .filter(|&part| self.assigned[part].len() < cap)
+            .filter(|&part| self.assigned[part].len() < cap && self.partition_alive(part))
             .min_by_key(|&part| self.assigned[part].len());
         match target {
-            Some(part) => {
-                self.assigned[part].push_back(idx);
-                let job = self.queue_on(idx, part);
-                self.machine.observe(
-                    now,
-                    parsched_obs::ObsEvent::PartitionAdmit {
-                        job: job.0,
-                        partition: part as u32,
-                    },
-                );
-                sched.schedule_now(Event::Admit { job });
-            }
+            Some(part) => self.admit_to(part, idx, now, sched),
+            None if front => self.pending.push_front(idx),
             None => self.pending.push_back(idx),
         }
     }
 
+    /// Partition scheduler: place `idx` on `part` and schedule its
+    /// admission, emitting `PartitionAdmit` (plus `JobRequeued` for a
+    /// fault rerun).
+    fn admit_to(&mut self, part: usize, idx: usize, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+        self.assigned[part].push_back(idx);
+        let job = self.queue_on(idx, part);
+        self.machine.observe(
+            now,
+            parsched_obs::ObsEvent::PartitionAdmit {
+                job: job.0,
+                partition: part as u32,
+            },
+        );
+        if self.entries[idx].failures > 0 {
+            self.machine.counters.jobs_requeued += 1;
+            self.machine.observe(
+                now,
+                parsched_obs::ObsEvent::JobRequeued {
+                    job: job.0,
+                    partition: part as u32,
+                },
+            );
+        }
+        sched.schedule_now(Event::Admit { job });
+    }
+
     /// Register a batch entry with the machine on a partition; returns the
-    /// machine job id (the caller schedules the `Admit`).
+    /// machine job id (the caller schedules the `Admit`). A rerun after a
+    /// fault maps onto the partition's surviving nodes only, and may be
+    /// re-forked by the [`Driver::with_respawner`] hook.
     fn queue_on(&mut self, idx: usize, part: usize) -> JobId {
-        let spec = self.entries[idx]
-            .spec
-            .take()
-            .expect("batch entry admitted twice");
+        let alive = self.alive_nodes(part);
+        let respawned = if self.entries[idx].failures > 0 {
+            self.respawner.as_ref().and_then(|f| f(idx, alive.len()))
+        } else {
+            None
+        };
+        let spec = respawned.unwrap_or_else(|| self.entries[idx].spec.clone());
         let width = spec.width();
-        let psize = self.plan.partition_size;
-        let base = self.plan.partitions[part].base;
         let quantum = match self.policy {
             PolicyKind::Static => self.machine.cfg.default_quantum,
-            PolicyKind::TimeSharing => self.rule.quantum(psize, width),
+            PolicyKind::TimeSharing => self.rule.quantum(alive.len(), width),
         };
-        let placement = self.placement.assign(base, psize, width, idx);
+        let placement = self.placement.assign_nodes(&alive, width, idx);
         let job = self.machine.queue_job_with(spec, placement, quantum, false);
         debug_assert_eq!(self.by_job.len(), job.idx(), "job ids must be dense");
         self.by_job.push(idx);
@@ -235,6 +319,7 @@ impl Driver {
             };
             let id = self.entries[idx].job_id.expect("checked");
             self.machine.start_job(id, now, sched);
+            self.entries[idx].started = true;
             self.running[part] += 1;
             self.note_mpl(part, now);
         }
@@ -273,37 +358,74 @@ impl Driver {
             Note::JobCompleted(id) => {
                 let idx = self.by_job[id.idx()];
                 self.entries[idx].finished = Some(now);
+                self.entries[idx].started = false;
                 let part = self.entries[idx].partition.expect("completed unplaced job");
                 self.running[part] -= 1;
                 self.note_mpl(part, now);
                 self.assigned[part].retain(|&i| i != idx);
-                if matches!(self.discipline, Discipline::Gang { .. }) {
-                    let was_active = self.gang[part].rotation.front() == Some(&idx);
-                    self.gang[part].rotation.retain(|&i| i != idx);
-                    if was_active {
-                        if let Some(&next) = self.gang[part].rotation.front() {
-                            let next_id =
-                                self.entries[next].job_id.expect("rotation holds live jobs");
-                            self.machine.set_job_active(next_id, true, now, sched);
-                        }
-                    }
-                }
+                self.drop_from_gang(part, idx, now, sched);
                 // Partition scheduler: begin loading the next queued job
                 // into the freed assignment slot, and start any staged job
-                // that is already resident.
-                if let Some(next) = self.pending.pop_front() {
-                    self.assigned[part].push_back(next);
-                    let job = self.queue_on(next, part);
-                    self.machine.observe(
-                        now,
-                        parsched_obs::ObsEvent::PartitionAdmit {
-                            job: job.0,
-                            partition: part as u32,
-                        },
-                    );
-                    sched.schedule_now(Event::Admit { job });
+                // that is already resident. (The liveness check only bites
+                // after a fault; completion targets the freed partition
+                // directly, as always.)
+                if self.partition_alive(part) {
+                    if let Some(next) = self.pending.pop_front() {
+                        self.admit_to(part, next, now, sched);
+                    }
+                    self.start_ready(part, now, sched);
                 }
-                self.start_ready(part, now, sched);
+            }
+            Note::JobFailed(id) => {
+                let idx = self.by_job[id.idx()];
+                let part = self.entries[idx].partition.expect("failed unplaced job");
+                if self.entries[idx].started {
+                    self.entries[idx].started = false;
+                    self.running[part] -= 1;
+                    self.note_mpl(part, now);
+                }
+                self.entries[idx].failures += 1;
+                self.entries[idx].job_id = None;
+                self.entries[idx].partition = None;
+                self.assigned[part].retain(|&i| i != idx);
+                self.drop_from_gang(part, idx, now, sched);
+                // Requeue at the front of the FCFS queue (the job keeps
+                // its turn) and re-place immediately if any partition can
+                // take it — its own partition's survivors when that is the
+                // least-loaded viable choice.
+                self.admit_or_queue(idx, now, sched, true);
+                // The failure also freed a slot on its old partition;
+                // offer it to the queue and restart staged work there.
+                if self.partition_alive(part) {
+                    let cap = self.mpl.saturating_add(self.prefetch);
+                    if self.assigned[part].len() < cap {
+                        if let Some(next) = self.pending.pop_front() {
+                            self.admit_to(part, next, now, sched);
+                        }
+                    }
+                    self.start_ready(part, now, sched);
+                }
+            }
+        }
+    }
+
+    /// Remove a finished or failed job from a partition's gang rotation,
+    /// activating the next job if the departing one held the slot.
+    fn drop_from_gang(
+        &mut self,
+        part: usize,
+        idx: usize,
+        now: SimTime,
+        sched: &mut impl EventScheduler<Event>,
+    ) {
+        if matches!(self.discipline, Discipline::Gang { .. }) {
+            let was_active = self.gang[part].rotation.front() == Some(&idx);
+            self.gang[part].rotation.retain(|&i| i != idx);
+            if was_active {
+                if let Some(&next) = self.gang[part].rotation.front() {
+                    let next_id = self.entries[next].job_id.expect("rotation holds live jobs");
+                    self.machine.set_job_active(next_id, true, now, sched);
+                }
             }
         }
     }
@@ -370,6 +492,12 @@ impl Driver {
             "processes: ready={ready} running={running} blocked-recv={brecv} \
              blocked-alloc={balloc} finished={done}\n"
         ));
+        let dead: Vec<usize> = (0..self.machine.node_count())
+            .filter(|&n| !self.machine.node_alive(n as u16))
+            .collect();
+        if !dead.is_empty() {
+            out.push_str(&format!("dead nodes: {dead:?}\n"));
+        }
         for n in 0..self.machine.node_count() {
             let node = self.machine.node(n as u16);
             if node.mmu.queue_len() > 0 {
@@ -568,6 +696,93 @@ mod tests {
         let diag = d.diagnose();
         assert!(diag.contains("last recorded events:"), "{diag}");
         assert!(diag.contains("JobFinished"), "{diag}");
+    }
+
+    fn faulty_driver(
+        faults: parsched_machine::FaultPlan,
+        batch: Vec<JobSpec>,
+    ) -> Driver {
+        let plan = PartitionPlan::equal(2, 2, TopologyKind::Linear).unwrap();
+        let cfg = MachineConfig {
+            host_link_per_byte: SimDuration::ZERO,
+            job_load_latency: SimDuration::from_millis(1),
+            faults,
+            ..MachineConfig::default()
+        };
+        let machine = Machine::new(cfg, SystemNet::from_plan(&plan));
+        Driver::new(
+            machine,
+            plan,
+            PolicyKind::TimeSharing,
+            QuantumRule::default(),
+            Placement::RoundRobin,
+            batch,
+        )
+    }
+
+    fn wide_job(ms: u64, width: usize) -> JobSpec {
+        JobSpec {
+            name: "wide".into(),
+            ship_bytes: 0,
+            procs: (0..width)
+                .map(|_| ProcSpec {
+                    program: vec![Op::Compute(SimDuration::from_millis(ms))],
+                    mem_bytes: 1024,
+                })
+                .collect(),
+        }
+    }
+
+    fn crash(node: u16, ms: u64) -> parsched_machine::FaultPlan {
+        let mut faults = parsched_machine::FaultPlan::default();
+        faults.crashes.push(parsched_machine::NodeCrash {
+            node,
+            at: SimTime::ZERO + SimDuration::from_millis(ms),
+        });
+        faults
+    }
+
+    #[test]
+    fn crashed_job_requeues_on_survivors() {
+        // A 2-wide job on nodes [0,1]; node 1 dies mid-run. The rerun must
+        // map every rank onto the surviving node 0 and complete there.
+        let mut d = faulty_driver(crash(1, 5), vec![wide_job(20, 2)]);
+        run(&mut d);
+        assert_eq!(d.entries[0].failures, 1);
+        assert_eq!(d.machine.counters.jobs_failed, 1);
+        assert_eq!(d.machine.counters.jobs_requeued, 1);
+        let rerun = d.entries[0].job_id.expect("rerun placed");
+        assert_eq!(d.machine.job(rerun).placement, vec![0, 0]);
+        // Response time covers both incarnations, measured from the
+        // original arrival.
+        let rts = d.response_times();
+        assert!(rts[0] >= SimDuration::from_millis(25), "rerun too fast: {}", rts[0]);
+    }
+
+    #[test]
+    fn respawner_reforks_over_survivors() {
+        // Adaptive architecture: on requeue the job re-forks with one
+        // process per surviving node instead of its original two.
+        let mut d = faulty_driver(crash(1, 5), vec![wide_job(20, 2)])
+            .with_respawner(|_idx, alive| Some(wide_job(40, alive)));
+        run(&mut d);
+        assert_eq!(d.entries[0].failures, 1);
+        let rerun = d.entries[0].job_id.expect("rerun placed");
+        assert_eq!(d.machine.job(rerun).proc_keys.len(), 1);
+        assert_eq!(d.machine.job(rerun).placement, vec![0]);
+    }
+
+    #[test]
+    fn fault_recovery_replays_identically() {
+        let mk = || {
+            let mut d = faulty_driver(
+                crash(1, 5),
+                (0..3).map(|_| wide_job(10, 2)).collect(),
+            );
+            run(&mut d);
+            (d.response_times(), d.machine.counters.jobs_requeued)
+        };
+        assert_eq!(mk(), mk());
     }
 
     #[test]

@@ -14,7 +14,7 @@ use parsched_machine::{
     Event, JobSpec, Machine, MachineConfig, MachineMetrics, MachineStats, SystemNet,
 };
 use parsched_obs::{CollectRecorder, TimedEvent, TraceLayout};
-use parsched_topology::{config_label, PartitionPlan, TopologyKind};
+use parsched_topology::{config_label, PartitionPlan, PlanError, TopologyKind};
 use std::fmt;
 
 /// Everything needed to run one configuration.
@@ -65,16 +65,22 @@ impl ExperimentConfig {
         config_label(self.partition_size, self.topology)
     }
 
+    /// Build the partition plan, reporting an unrealizable combination as
+    /// a typed [`PlanError`] (the run entry points surface it as a
+    /// [`RunError`] instead of panicking).
+    pub fn try_plan(&self) -> Result<PartitionPlan, PlanError> {
+        PartitionPlan::try_equal(self.system_size, self.partition_size, self.topology)
+    }
+
     /// Build the partition plan (panics on unrealizable combinations; use
-    /// [`parsched_topology::PartitionPlan::equal`] to probe first).
+    /// [`ExperimentConfig::try_plan`] to probe first).
     pub fn plan(&self) -> PartitionPlan {
-        PartitionPlan::equal(self.system_size, self.partition_size, self.topology)
-            .unwrap_or_else(|| {
-                panic!(
-                    "unrealizable partitioning: {} processors into {}-{}",
-                    self.system_size, self.partition_size, self.topology
-                )
-            })
+        self.try_plan().unwrap_or_else(|e| {
+            panic!(
+                "unrealizable partitioning: {} processors into {}-{}: {e}",
+                self.system_size, self.partition_size, self.topology
+            )
+        })
     }
 }
 
@@ -89,18 +95,51 @@ pub enum BatchOrder {
     LargestFirst,
 }
 
-/// A failed run (the simulation stalled or overran its budget).
+/// A failed run.
 #[derive(Debug, Clone)]
 pub struct RunError {
-    /// What happened.
-    pub outcome: RunOutcome,
-    /// Diagnostic dump from the driver.
+    /// The engine outcome when the simulation itself stalled or overran
+    /// its budget; `None` when the run never produced one (rejected
+    /// configuration, panicking task, or a lost parallel task).
+    pub outcome: Option<RunOutcome>,
+    /// Diagnostic dump from the driver, or the rejection/panic message.
     pub diagnosis: String,
+}
+
+impl RunError {
+    /// A run that aborted before (or without) an engine outcome.
+    pub fn aborted(diagnosis: impl Into<String>) -> RunError {
+        RunError {
+            outcome: None,
+            diagnosis: diagnosis.into(),
+        }
+    }
+
+    /// Task `index` panicked; `payload` is what `catch_unwind` caught.
+    pub fn panicked(index: usize, payload: &(dyn std::any::Any + Send)) -> RunError {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        RunError::aborted(format!("task {index} panicked: {msg}"))
+    }
+
+    /// A parallel worker exited without reporting a result for task
+    /// `index` (should be unreachable; named so it is diagnosable if not).
+    pub fn lost(index: usize) -> RunError {
+        RunError::aborted(format!(
+            "task {index} lost: worker exited without reporting a result"
+        ))
+    }
 }
 
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "run failed ({:?}):\n{}", self.outcome, self.diagnosis)
+        match self.outcome {
+            Some(outcome) => write!(f, "run failed ({outcome:?}):\n{}", self.diagnosis),
+            None => write!(f, "run aborted:\n{}", self.diagnosis),
+        }
     }
 }
 
@@ -199,7 +238,12 @@ fn execute(
     arrivals: Vec<SimTime>,
     instrument: bool,
 ) -> Result<(RunResult, Option<ObsArtifacts>), RunError> {
-    let plan = config.plan();
+    let plan = config.try_plan().map_err(|e| {
+        RunError::aborted(format!(
+            "unrealizable configuration {}: {e}",
+            config.label()
+        ))
+    })?;
     let net = SystemNet::from_plan(&plan);
     let mut machine = Machine::new(config.machine.clone(), net);
     if instrument {
@@ -227,7 +271,7 @@ fn execute(
     let outcome = engine.run(&mut driver);
     if outcome != RunOutcome::Drained || !driver.all_done() {
         return Err(RunError {
-            outcome,
+            outcome: Some(outcome),
             diagnosis: driver.diagnose(),
         });
     }
@@ -510,6 +554,17 @@ mod tests {
         // Means grow with i (work scales), so the CI is non-degenerate.
         assert!(result.half_width > 0.0);
         assert!((result.confidence - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unrealizable_config_is_an_error_not_a_panic() {
+        let mut config = quick(16, PolicyKind::Static);
+        config.partition_size = 3;
+        let err = run_batch(&config, tiny_batch(1, 1)).unwrap_err();
+        assert!(err.outcome.is_none());
+        let msg = format!("{err}");
+        assert!(msg.contains("does not divide"), "unexpected error: {msg}");
+        assert!(msg.contains("run aborted"), "unexpected error: {msg}");
     }
 
     #[test]

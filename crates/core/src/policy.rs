@@ -134,6 +134,16 @@ impl Placement {
     /// `size` processors starting at global index `base`. `job_index` is
     /// the job's admission index (used by the staggered mappings).
     pub fn assign(self, base: usize, size: usize, width: usize, job_index: usize) -> Vec<u16> {
+        let nodes: Vec<u16> = (base..base + size).map(|n| n as u16).collect();
+        self.assign_nodes(&nodes, width, job_index)
+    }
+
+    /// Map every rank onto an explicit processor list (the surviving nodes
+    /// of a partition after faults). With the full contiguous list this is
+    /// exactly [`Placement::assign`]; with a shorter list the same mapping
+    /// formulas apply over the remaining processors in order.
+    pub fn assign_nodes(self, nodes: &[u16], width: usize, job_index: usize) -> Vec<u16> {
+        let size = nodes.len();
         assert!(size >= 1);
         (0..width)
             .map(|r| {
@@ -142,7 +152,7 @@ impl Placement {
                     Placement::RoundRobin => r % size,
                     Placement::Blocked => (r * size / width + job_index) % size,
                 };
-                (base + off) as u16
+                nodes[off]
             })
             .collect()
     }
@@ -216,5 +226,29 @@ mod tests {
     fn adaptive_one_to_one() {
         let p = Placement::RoundRobin.assign(4, 4, 4, 9);
         assert_eq!(p, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn assign_nodes_skips_dead_processors() {
+        // Partition [8..12) with node 9 dead: ranks wrap over the survivors.
+        let p = Placement::RoundRobin.assign_nodes(&[8, 10, 11], 6, 3);
+        assert_eq!(p, vec![8, 10, 11, 8, 10, 11]);
+        let s = Placement::Staggered.assign_nodes(&[8, 10, 11], 3, 1);
+        assert_eq!(s, vec![10, 11, 8]);
+    }
+
+    #[test]
+    fn assign_nodes_matches_assign_on_full_partition() {
+        let nodes: Vec<u16> = (8..12).collect();
+        for placement in [Placement::Staggered, Placement::RoundRobin, Placement::Blocked] {
+            for width in [1, 4, 6, 16] {
+                for j in 0..5 {
+                    assert_eq!(
+                        placement.assign(8, 4, width, j),
+                        placement.assign_nodes(&nodes, width, j),
+                    );
+                }
+            }
+        }
     }
 }

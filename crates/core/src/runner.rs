@@ -12,8 +12,21 @@
 
 use crate::experiment::{run_experiment, ExperimentConfig, ExperimentResult, RunError};
 use parsched_machine::JobSpec;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
+
+/// Run task `i`, converting a panic into a [`RunError`] naming the task
+/// so one poisoned configuration fails its grid cleanly instead of
+/// aborting the process (serial path) or killing a worker (parallel path).
+fn run_one(
+    i: usize,
+    cfg: &ExperimentConfig,
+    batch: &[JobSpec],
+) -> Result<ExperimentResult, RunError> {
+    catch_unwind(AssertUnwindSafe(|| run_experiment(cfg, batch)))
+        .unwrap_or_else(|payload| Err(RunError::panicked(i, payload.as_ref())))
+}
 
 /// Run every (config, batch) task and return results in input order.
 /// `parallel = false` runs inline (useful under benchmark harnesses that
@@ -25,7 +38,8 @@ pub fn run_parallel(
     if !parallel || tasks.len() <= 1 {
         return tasks
             .iter()
-            .map(|(cfg, batch)| run_experiment(cfg, batch))
+            .enumerate()
+            .map(|(i, (cfg, batch))| run_one(i, cfg, batch))
             .collect();
     }
     let n = tasks.len();
@@ -52,7 +66,7 @@ pub fn run_parallel(
                 let Some((cfg, batch)) = tasks.get(i) else {
                     return;
                 };
-                let r = run_experiment(cfg, batch);
+                let r = run_one(i, cfg, batch);
                 if r.is_err() {
                     cancelled.store(true, Ordering::Relaxed);
                 }
@@ -82,10 +96,13 @@ pub fn run_parallel(
         if let Some((_, e)) = first_err {
             return Err(e);
         }
-        Ok(out
-            .into_iter()
-            .map(|o| o.expect("worker dropped a task"))
-            .collect())
+        // Every slot must be filled: the cursor hands each index to exactly
+        // one worker and run_one turns even a panic into a posted error. A
+        // hole means a worker died anyway — report which task, don't abort.
+        out.into_iter()
+            .enumerate()
+            .map(|(i, o)| o.ok_or_else(|| RunError::lost(i)))
+            .collect()
     })
 }
 
@@ -144,6 +161,24 @@ mod tests {
             format!("{err}").contains("BudgetExhausted"),
             "unexpected error: {err}"
         );
+    }
+
+    #[test]
+    fn panicking_task_yields_error_naming_the_task() {
+        // A job demanding more memory than a node has trips the machine's
+        // internal "usable" invariant — a panic, not a RunError. The runner
+        // must catch it and name the offending task instead of aborting.
+        let mut tasks: Vec<_> = (1..=4).map(|i| task(i * 10)).collect();
+        let mut bomb = task(10);
+        bomb.1[0].procs[0].mem_bytes = u64::MAX;
+        tasks.insert(2, bomb);
+        for parallel in [false, true] {
+            let err = run_parallel(tasks.clone(), parallel).unwrap_err();
+            assert!(
+                format!("{err}").contains("task 2 panicked"),
+                "unexpected error: {err}"
+            );
+        }
     }
 
     /// A task's batch with `jobs` one-job clones, poisoned to fail fast.

@@ -154,6 +154,10 @@ pub struct MachineConfig {
     pub record_timeline: bool,
     /// Safety valve: abort a run after this many engine events.
     pub max_events: u64,
+    /// Declared fault schedule (crashes, link windows, drop probability,
+    /// mailbox capacity, retry policy). The default — an empty plan — makes
+    /// every fault-handling path unreachable; see [`crate::fault`].
+    pub faults: crate::fault::FaultPlan,
 }
 
 impl Default for MachineConfig {
@@ -186,6 +190,7 @@ impl Default for MachineConfig {
             host_link_per_byte: SimDuration::from_nanos(150),
             record_timeline: false,
             max_events: 500_000_000,
+            faults: crate::fault::FaultPlan::default(),
         }
     }
 }

@@ -31,6 +31,7 @@ pub struct MachineMetrics {
     link_busy: Vec<GaugeId>,
     partition_mpl: Vec<GaugeId>,
     wheel_depth: GaugeId,
+    alive_capacity: GaugeId,
 }
 
 impl MachineMetrics {
@@ -56,6 +57,7 @@ impl MachineMetrics {
             .map(|p| registry.gauge(format!("P{p}.mpl"), 0.0))
             .collect();
         let wheel_depth = registry.gauge("engine.wheel_depth".to_string(), 0.0);
+        let alive_capacity = registry.gauge("machine.alive_capacity".to_string(), 1.0);
         MachineMetrics {
             registry,
             cpu_busy,
@@ -64,6 +66,7 @@ impl MachineMetrics {
             link_busy,
             partition_mpl,
             wheel_depth,
+            alive_capacity,
         }
     }
 
@@ -99,6 +102,15 @@ impl MachineMetrics {
     #[inline]
     pub fn set_partition_mpl(&mut self, part: usize, now: SimTime, mpl: f64) {
         self.registry.set(self.partition_mpl[part], now, mpl);
+    }
+
+    /// Record the fraction of nodes whose CPUs are still alive (1.0 on a
+    /// fault-free run; steps down at each declared crash). The
+    /// time-weighted mean of this gauge is the run's degraded-capacity
+    /// share.
+    #[inline]
+    pub fn set_alive_capacity(&mut self, now: SimTime, frac: f64) {
+        self.registry.set(self.alive_capacity, now, frac);
     }
 
     /// Gauge handle for a node's busy signal.
@@ -148,7 +160,8 @@ mod tests {
         assert!(names.contains(&"link0->1.busy"));
         assert!(names.contains(&"P0.mpl"));
         assert!(names.contains(&"engine.wheel_depth"));
-        assert_eq!(names.len(), 4 * 3 + 8 + 1 + 1);
+        assert!(names.contains(&"machine.alive_capacity"));
+        assert_eq!(names.len(), 4 * 3 + 8 + 1 + 2);
     }
 
     #[test]

@@ -44,6 +44,7 @@
 
 pub mod config;
 pub mod cpu;
+pub mod fault;
 pub mod instrument;
 pub mod memory;
 pub mod net;
@@ -57,6 +58,7 @@ pub mod wiring;
 /// The machine's commonly used names in one import.
 pub mod prelude {
     pub use crate::config::{FlowControl, MachineConfig, SendMode, Switching};
+    pub use crate::fault::{FaultPlan, LinkWindow, NodeCrash, RetryPolicy};
     pub use crate::instrument::MachineMetrics;
     pub use crate::memory::AllocPolicy;
     pub use crate::process::{JobId, PState, ProcKey};

@@ -223,6 +223,23 @@ impl Mmu {
         Some(req.bytes)
     }
 
+    /// Remove every queued request whose waiter matches `pred`, returning
+    /// the removed requests (fault recovery: a killed job's pending
+    /// allocations must never be granted). Like [`Mmu::cancel_transit`],
+    /// no memory is freed — queued requests never held any.
+    pub fn cancel_where(&mut self, pred: impl Fn(AllocWaiter) -> bool) -> Vec<AllocReq> {
+        let mut removed = Vec::new();
+        self.queue.retain(|r| {
+            if pred(r.waiter) {
+                removed.push(*r);
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
     fn take(&mut self, now: SimTime, bytes: u64) {
         self.used += bytes;
         self.peak_used = self.peak_used.max(self.used);

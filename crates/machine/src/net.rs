@@ -64,6 +64,19 @@ pub struct Message {
     pub injected_at: SimTime,
     /// Node currently charged for this message's buffer, if any.
     pub buffered_on: Option<u16>,
+    /// Retransmissions performed so far (fault plan; 0 on a clean network).
+    pub attempts: u32,
+    /// A hop corrupted the payload; the delivery checksum will reject it.
+    pub corrupt: bool,
+    /// The delivery timeout fired while this attempt was still in flight.
+    pub timed_out: bool,
+    /// The message was terminally dropped (owner killed / budget spent);
+    /// in-flight references drain without acting on it.
+    pub cancelled: bool,
+    /// Outstanding engine references (scheduled transfers, hop events,
+    /// handler tasks) that will still observe this slot; a cancelled slot
+    /// is reclaimed only once this reaches zero.
+    pub live_refs: u16,
 }
 
 impl Message {
@@ -103,6 +116,9 @@ pub struct ChannelState {
     pub bytes_carried: u64,
     /// Transfers completed.
     pub transfers: u64,
+    /// Link is operational (fault plan may toggle this). A down link
+    /// finishes the transfer on the wire but starts no new one.
+    pub up: bool,
 }
 
 impl ChannelState {
@@ -121,6 +137,7 @@ impl ChannelState {
             busy: TimeWeighted::new(t0, 0.0),
             bytes_carried: 0,
             transfers: 0,
+            up: true,
         }
     }
 }
@@ -147,6 +164,11 @@ mod tests {
             edges_started: 0,
             injected_at: SimTime::ZERO,
             buffered_on: None,
+            attempts: 0,
+            corrupt: false,
+            timed_out: false,
+            cancelled: false,
+            live_refs: 0,
         }
     }
 

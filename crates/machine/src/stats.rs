@@ -31,13 +31,17 @@ pub struct JobSummary {
 }
 
 impl JobSummary {
-    /// Aggregate a completed job.
+    /// Aggregate a finished job (completed, or killed by a fault — a
+    /// failed attempt still consumed CPU and link time worth accounting).
     ///
     /// # Panics
-    /// Panics if the job has not completed.
+    /// Panics if the job is not in a terminal state.
     pub fn capture(machine: &Machine, id: JobId) -> JobSummary {
         let job = machine.job(id);
-        assert_eq!(job.state, JobState::Done, "job must be complete");
+        assert!(
+            matches!(job.state, JobState::Done | JobState::Failed),
+            "job must be complete"
+        );
         let cpu_time = job
             .proc_keys
             .iter()
@@ -112,6 +116,20 @@ pub struct MachineStats {
     pub transit_escapes: u64,
     /// Jobs completed.
     pub jobs_completed: u64,
+    /// Messages terminally dropped by declared faults (0 on clean runs).
+    pub messages_dropped: u64,
+    /// Retransmissions performed by the timeout-retry protocol.
+    pub retries: u64,
+    /// Delivery timeouts fired.
+    pub timeouts: u64,
+    /// Fail-stop node crashes executed.
+    pub node_crashes: u64,
+    /// Link-outage windows opened.
+    pub link_downs: u64,
+    /// Job incarnations killed by faults.
+    pub jobs_failed: u64,
+    /// Jobs re-admitted after a fault killed an earlier incarnation.
+    pub jobs_requeued: u64,
 }
 
 impl MachineStats {
@@ -120,13 +138,15 @@ impl MachineStats {
         "at_ns,mean_cpu,ctx_switches,handler_runs,quantum_expiries,preemptions,\
          mean_link,max_link,link_bytes,mean_mem,peak_mem,mmu_delayed,\
          mmu_wait_ns,msgs_sent,msgs_consumed,self_sends,hops,send_blocks,\
-         transit_escapes,jobs_done"
+         transit_escapes,jobs_done,msgs_dropped,retries,timeouts,\
+         node_crashes,link_downs,jobs_failed,jobs_requeued"
     }
 
     /// One CSV row of the snapshot's scalars.
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{:.6},{},{},{},{},{:.6},{:.6},{},{:.0},{},{},{},{},{},{},{},{},{},{}",
+            "{},{:.6},{},{},{},{},{:.6},{:.6},{},{:.0},{},{},{},{},{},{},{},{},{},{},\
+             {},{},{},{},{},{},{}",
             self.at.nanos(),
             self.mean_cpu_utilization,
             self.ctx_switches,
@@ -147,6 +167,13 @@ impl MachineStats {
             self.send_blocks,
             self.transit_escapes,
             self.jobs_completed,
+            self.messages_dropped,
+            self.retries,
+            self.timeouts,
+            self.node_crashes,
+            self.link_downs,
+            self.jobs_failed,
+            self.jobs_requeued,
         )
     }
 
@@ -210,6 +237,13 @@ impl MachineStats {
             send_blocks: machine.counters.send_blocks,
             transit_escapes: machine.counters.transit_escapes,
             jobs_completed: machine.counters.jobs_completed,
+            messages_dropped: machine.counters.messages_dropped,
+            retries: machine.counters.retries,
+            timeouts: machine.counters.timeouts,
+            node_crashes: machine.counters.node_crashes,
+            link_downs: machine.counters.link_downs,
+            jobs_failed: machine.counters.jobs_failed,
+            jobs_requeued: machine.counters.jobs_requeued,
         }
     }
 }

@@ -20,6 +20,7 @@ use crate::timeline::{Span, SpanKind, Timeline};
 use crate::program::{JobSpec, Op, Rank, Tag};
 use crate::instrument::MachineMetrics;
 use crate::wiring::SystemNet;
+use parsched_des::rng::DetRng;
 use parsched_des::{EventScheduler, Model, SimDuration, SimTime, TimerHandle};
 use parsched_obs::{ObsEvent, QuantumEndReason, Recorder};
 use std::collections::VecDeque;
@@ -78,6 +79,39 @@ pub enum Event {
         /// Opaque policy-defined token (e.g. a partition index).
         token: u64,
     },
+    /// A node fail-stops (declared in the fault plan): its resident jobs
+    /// are killed and reported via [`Note::JobFailed`]. The node's link
+    /// engines keep forwarding traffic (Transputer links ran independently
+    /// of the CPU), so no in-transit message is stranded.
+    NodeCrash {
+        /// Global node index.
+        node: u16,
+    },
+    /// A declared link-outage window opens.
+    LinkDown {
+        /// Channel table index.
+        chan: u32,
+    },
+    /// A declared link-outage window closes.
+    LinkUp {
+        /// Channel table index.
+        chan: u32,
+    },
+    /// A failed delivery attempt's backoff elapsed: retransmit from the
+    /// source.
+    MsgRetry {
+        /// Which message.
+        msg: MsgId,
+        /// Slot generation at schedule time (stale = slot recycled).
+        gen: u32,
+    },
+    /// A message's delivery timeout fired before the attempt completed.
+    MsgTimeout {
+        /// Which message.
+        msg: MsgId,
+        /// Slot generation at schedule time (stale = slot recycled).
+        gen: u32,
+    },
 }
 
 /// Notifications the machine emits for the scheduling policy.
@@ -90,6 +124,10 @@ pub enum Note {
     JobLoaded(JobId),
     /// All of the job's processes finished; memory has been freed.
     JobCompleted(JobId),
+    /// The job was killed by a fault (node crash or retry-budget
+    /// exhaustion); its memory has been freed and its messages accounted
+    /// as dropped. The scheduler may requeue the work under a fresh id.
+    JobFailed(JobId),
 }
 
 /// Lifecycle state of a job inside the machine.
@@ -105,6 +143,9 @@ pub enum JobState {
     Running,
     /// Complete.
     Done,
+    /// Killed by a fault; terminal like [`JobState::Done`] but without
+    /// producing results (the scheduler reruns the work as a new job).
+    Failed,
 }
 
 /// Per-job runtime bookkeeping.
@@ -190,6 +231,22 @@ pub struct Counters {
     pub transit_escapes: u64,
     /// Jobs completed.
     pub jobs_completed: u64,
+    /// Messages terminally dropped and accounted (owning job killed).
+    /// Conservation holds as `messages_sent == messages_consumed +
+    /// messages_dropped`; nothing is ever silently lost.
+    pub messages_dropped: u64,
+    /// Retransmission attempts scheduled after failed deliveries.
+    pub retries: u64,
+    /// Delivery timeouts fired.
+    pub timeouts: u64,
+    /// Node crashes executed from the fault plan.
+    pub node_crashes: u64,
+    /// Link-outage windows opened (per direction).
+    pub link_downs: u64,
+    /// Jobs killed by faults.
+    pub jobs_failed: u64,
+    /// Failed jobs requeued by the scheduler under a fresh job id.
+    pub jobs_requeued: u64,
 }
 
 /// The simulated multicomputer.
@@ -215,6 +272,20 @@ pub struct Machine {
     /// generation check in `on_alloc_escape` remains the correctness
     /// backstop for any timer that outlives its message.
     escape_timers: Vec<Option<TimerHandle>>,
+    /// Per-slot pending fault-protocol timer: either the delivery timeout
+    /// of the attempt in flight or the backoff timer of the next retry
+    /// (never both at once). Guarded by `msg_gen` like the escape timers;
+    /// `None` whenever the fault plan sets no `msg_timeout`.
+    fault_timers: Vec<Option<TimerHandle>>,
+    /// Per-node fail-stop flag (fault plan). A dead node's CPU schedules
+    /// no new job work, but its link engines keep forwarding traffic.
+    dead: Vec<bool>,
+    /// Deterministic per-hop drop lottery, drawn only while
+    /// `cfg.faults.drop_prob > 0` — an empty plan performs zero draws.
+    drop_rng: DetRng,
+    /// Cached `!cfg.faults.is_empty()`: gates every fault-path branch so a
+    /// clean run stays on the exact pre-fault code path.
+    faults_on: bool,
     notes: Vec<Note>,
     /// Machine-wide counters.
     pub counters: Counters,
@@ -259,6 +330,9 @@ impl Machine {
         } else {
             Timeline::disabled()
         };
+        let faults_on = !cfg.faults.is_empty();
+        let drop_rng = DetRng::new(cfg.faults.drop_seed);
+        let dead = vec![false; net.nodes()];
         Machine {
             cfg,
             net,
@@ -270,6 +344,10 @@ impl Machine {
             free_msgs: Vec::new(),
             msg_gen: Vec::new(),
             escape_timers: Vec::new(),
+            fault_timers: Vec::new(),
+            dead,
+            drop_rng,
+            faults_on,
             notes: Vec::new(),
             counters: Counters::default(),
             recorder: None,
@@ -331,6 +409,51 @@ impl Machine {
         }
     }
 
+    /// Sample the fraction of nodes still alive into the metrics registry.
+    #[inline]
+    fn note_alive_capacity(&mut self, now: SimTime) {
+        if self.metrics.is_some() {
+            let alive = self.dead.iter().filter(|&&d| !d).count() as f64;
+            let frac = alive / self.dead.len().max(1) as f64;
+            if let Some(m) = self.metrics.as_deref_mut() {
+                m.set_alive_capacity(now, frac);
+            }
+        }
+    }
+
+    /// Count an engine-held reference to a message slot (a wire occupancy,
+    /// a scheduled pipelined-edge start, or a queued arrival handler).
+    /// Pure bookkeeping on clean runs: a cancelled slot is reclaimed only
+    /// once every counted reference has drained, so no stale event can
+    /// observe a recycled slot. Packet-relay handler tasks are *not*
+    /// counted — they never act on the slot and may legitimately outlive
+    /// it even on clean runs.
+    #[inline]
+    fn ref_msg(&mut self, msg: MsgId) {
+        if let Some(m) = self.messages[msg.idx()].as_mut() {
+            m.live_refs += 1;
+        }
+    }
+
+    /// Drop one counted reference (see [`Machine::ref_msg`]).
+    #[inline]
+    fn unref_msg(&mut self, msg: MsgId) {
+        if let Some(m) = self.messages[msg.idx()].as_mut() {
+            m.live_refs = m.live_refs.saturating_sub(1);
+        }
+    }
+
+    /// Reclaim a cancelled message's slot once nothing references it.
+    fn maybe_reclaim(&mut self, msg: MsgId) {
+        let reclaim = self.messages[msg.idx()]
+            .as_ref()
+            .is_some_and(|m| m.cancelled && m.live_refs == 0);
+        if reclaim {
+            self.messages[msg.idx()] = None;
+            self.free_msg(msg);
+        }
+    }
+
     /// Record a compute span for `pk` (no-op when the timeline is off).
     fn record_compute(&mut self, pk: ProcKey, start: SimTime, end: SimTime) {
         if !self.timeline.is_enabled() || end <= start {
@@ -383,9 +506,13 @@ impl Machine {
         &self.procs
     }
 
-    /// True once every queued job has completed.
+    /// True once every queued job has reached a terminal state (completed,
+    /// or killed by a fault — a failed job makes no further progress; its
+    /// rerun is a separate job).
     pub fn all_jobs_done(&self) -> bool {
-        self.jobs.iter().all(|j| j.state == JobState::Done)
+        self.jobs
+            .iter()
+            .all(|j| matches!(j.state, JobState::Done | JobState::Failed))
     }
 
     /// Drain accumulated notifications (the policy driver calls this after
@@ -494,6 +621,37 @@ impl Machine {
         self.spawn_job(job, now, sched);
     }
 
+    /// Seed the fault plan's declared events (node crashes and link-outage
+    /// windows) with the engine. Call once before the run, alongside
+    /// arrival seeding. An empty plan seeds nothing, so fault-free runs
+    /// allocate identical event sequence numbers and stay bit-identical.
+    /// Crashes on out-of-range nodes and windows on non-adjacent node
+    /// pairs are ignored.
+    pub fn seed_faults(&mut self, seeder: &mut impl parsched_des::EventSeeder<Event>) {
+        let plan = self.cfg.faults.clone();
+        for c in &plan.crashes {
+            if (c.node as usize) < self.nodes.len() {
+                seeder.seed(c.at, Event::NodeCrash { node: c.node });
+            }
+        }
+        for w in &plan.links {
+            if w.up_at <= w.down_at {
+                continue;
+            }
+            for (a, b) in [(w.from, w.to), (w.to, w.from)] {
+                if let Some(chan) = self.net.channel_id(a, b) {
+                    seeder.seed(w.down_at, Event::LinkDown { chan: chan as u32 });
+                    seeder.seed(w.up_at, Event::LinkUp { chan: chan as u32 });
+                }
+            }
+        }
+    }
+
+    /// False once the node's CPU has fail-stopped (fault plan).
+    pub fn node_alive(&self, n: u16) -> bool {
+        !self.dead[n as usize]
+    }
+
     // ------------------------------------------------------------------
     // Job lifecycle
     // ------------------------------------------------------------------
@@ -544,6 +702,18 @@ impl Machine {
 
     /// The job's memory is fully resident: spawn or park it.
     fn finish_load(&mut self, job: JobId, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+        if self.faults_on
+            && self.jobs[job.idx()]
+                .placement
+                .iter()
+                .any(|&n| self.dead[n as usize])
+        {
+            // A node this job was placed on crashed while it was loading:
+            // the load is wasted and the job fails immediately (the
+            // scheduler requeues it onto survivors).
+            self.fail_job(job, now, sched);
+            return;
+        }
         if self.jobs[job.idx()].auto_start {
             self.spawn_job(job, now, sched);
         } else {
@@ -904,6 +1074,9 @@ impl Machine {
 
     /// Enqueue high-priority work on a node, preempting low-priority work.
     fn enqueue_high(&mut self, node: u16, task: HandlerTask, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+        if let HandlerAction::HopArrived(m) = task.action {
+            self.ref_msg(m);
+        }
         self.nodes[node as usize].cpu.high.push_back(task);
         match self.nodes[node as usize].cpu.running {
             None => self.dispatch(node, now, sched),
@@ -1037,6 +1210,20 @@ impl Machine {
                 let (HandlerAction::HopArrived(msg) | HandlerAction::PacketRelay(msg)) =
                     task.action;
                 self.obs(now, ObsEvent::HandlerEnd { node, msg: msg.0 });
+                if let HandlerAction::HopArrived(m) = task.action {
+                    self.unref_msg(m);
+                    // A killed job's handler still burned its CPU cost
+                    // (recovery is not free) but must not act on the slot.
+                    let cancelled = match self.messages[m.idx()].as_ref() {
+                        Some(mm) => mm.cancelled,
+                        None => true,
+                    };
+                    if cancelled {
+                        self.maybe_reclaim(m);
+                        self.dispatch(node, now, sched);
+                        return;
+                    }
+                }
                 self.run_handler_action(task.action, node, now, sched);
                 self.dispatch(node, now, sched);
             }
@@ -1134,6 +1321,7 @@ impl Machine {
                 self.messages.push(Some(m));
                 self.msg_gen.push(0);
                 self.escape_timers.push(None);
+                self.fault_timers.push(None);
                 id
             }
         }
@@ -1143,6 +1331,7 @@ impl Machine {
     fn free_msg(&mut self, id: MsgId) {
         self.msg_gen[id.idx()] = self.msg_gen[id.idx()].wrapping_add(1);
         self.escape_timers[id.idx()] = None;
+        self.fault_timers[id.idx()] = None;
         self.free_msgs.push(id.0);
     }
 
@@ -1186,6 +1375,11 @@ impl Machine {
             edges_started: 0,
             injected_at: now,
             buffered_on: None,
+            attempts: 0,
+            corrupt: false,
+            timed_out: false,
+            cancelled: false,
+            live_refs: 0,
         });
         self.counters.messages_sent += 1;
         self.counters.bytes_sent += bytes;
@@ -1256,8 +1450,26 @@ impl Machine {
         self.make_runnable(pk, now, sched);
     }
 
+    /// Arm (or re-arm) the delivery timeout for the attempt now starting.
+    /// No-op unless the fault plan sets `retry.msg_timeout`. The timeout
+    /// clock starts when an attempt leaves the source buffer, so a send
+    /// still queued in the source MMU is not yet covered (it is not in
+    /// flight; memory pressure is the senders' own back-pressure).
+    fn arm_timeout(&mut self, msg: MsgId, sched: &mut impl EventScheduler<Event>) {
+        let Some(t) = self.cfg.faults.retry.msg_timeout else {
+            return;
+        };
+        if let Some(h) = self.fault_timers[msg.idx()].take() {
+            sched.cancel_timer(h);
+        }
+        let gen = self.msg_gen[msg.idx()];
+        self.fault_timers[msg.idx()] =
+            Some(sched.schedule_timer(t, Event::MsgTimeout { msg, gen }));
+    }
+
     /// Start moving a freshly buffered-at-source message.
     fn route_message(&mut self, msg: MsgId, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+        self.arm_timeout(msg, sched);
         let (is_self, node) = {
             let m = self.messages[msg.idx()].as_ref().expect("routing dead message");
             (m.at_destination(), m.current_node())
@@ -1374,7 +1586,7 @@ impl Machine {
             m.edges_started += 1;
         }
         let ch = &mut self.channels[chan];
-        if ch.busy_with.is_none() {
+        if ch.busy_with.is_none() && ch.up {
             self.start_transfer(chan, msg, now, sched);
         } else {
             ch.queue.push_back(msg);
@@ -1383,6 +1595,7 @@ impl Machine {
 
     fn start_transfer(&mut self, chan: usize, msg: MsgId, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         let bytes = self.messages[msg.idx()].as_ref().expect("dead message").bytes;
+        self.ref_msg(msg); // the wire holds a reference until TransferDone
         let ch = &mut self.channels[chan];
         debug_assert!(ch.busy_with.is_none());
         ch.busy_with = Some(msg);
@@ -1399,12 +1612,13 @@ impl Machine {
             Switching::StoreAndForward => None,
         };
         if let Some(offset) = offset {
-            let m = self.messages[msg.idx()].as_ref().expect("dead message");
-            if (m.edges_started as usize) < m.hops() {
-                sched.schedule(
-                    offset,
-                    Event::HopStart { msg, edge: m.edges_started as usize },
-                );
+            let (started, hops) = {
+                let m = self.messages[msg.idx()].as_ref().expect("dead message");
+                (m.edges_started as usize, m.hops())
+            };
+            if started < hops {
+                self.ref_msg(msg); // the scheduled edge start references the slot
+                sched.schedule(offset, Event::HopStart { msg, edge: started });
             }
         }
     }
@@ -1420,17 +1634,48 @@ impl Machine {
         };
         self.note_link_busy(chan as u32, now, 0.0);
         self.obs(now, ObsEvent::HopEnd { msg: msg.0, chan: chan as u32 });
-        {
-            let bytes = self.messages[msg.idx()].as_ref().expect("dead message").bytes;
-            self.channels[chan].bytes_carried += bytes;
-        }
+        let (bytes, cancelled) = {
+            let m = self.messages[msg.idx()].as_ref().expect("dead message");
+            (m.bytes, m.cancelled)
+        };
+        self.channels[chan].bytes_carried += bytes;
         self.counters.hop_transfers += 1;
+        self.unref_msg(msg);
+
+        // Drop lottery: one draw per completed hop while the plan declares
+        // a drop probability. Corruption is detected by the delivery
+        // checksum at the destination, so the damaged message still
+        // traverses (and congests) the rest of its route.
+        if self.cfg.faults.drop_prob > 0.0 {
+            let corrupt = self.drop_rng.uniform01() < self.cfg.faults.drop_prob;
+            if corrupt && !cancelled {
+                if let Some(m) = self.messages[msg.idx()].as_mut() {
+                    m.corrupt = true;
+                }
+            }
+        }
 
         // Hand the channel to the next queued message *before* releasing any
         // memory: a release can grant a blocked transit message that would
-        // otherwise race this queue for the just-freed channel.
-        if let Some(next) = self.channels[chan].queue.pop_front() {
-            self.start_transfer(chan, next, now, sched);
+        // otherwise race this queue for the just-freed channel. A link that
+        // went down mid-transfer finishes the wire but starts nothing new.
+        if self.channels[chan].up {
+            if let Some(next) = self.channels[chan].queue.pop_front() {
+                self.start_transfer(chan, next, now, sched);
+            }
+        }
+
+        if cancelled {
+            // A killed job's transfer completed on the wire. Under
+            // store-and-forward the hop had already reserved its buffer on
+            // the receiving node (untracked by `buffered_on`): return it.
+            // All advancement and handler work is skipped.
+            if self.cfg.switching == Switching::StoreAndForward {
+                let to = self.channels[chan].to;
+                self.release_memory(to, bytes + self.cfg.msg_header_bytes, now, sched);
+            }
+            self.maybe_reclaim(msg);
+            return;
         }
 
         match self.cfg.switching {
@@ -1528,6 +1773,15 @@ impl Machine {
 
     fn on_hop_start(&mut self, msg: MsgId, _edge: usize, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         // Cut-through pipelined edge start.
+        self.unref_msg(msg);
+        let cancelled = match self.messages[msg.idx()].as_ref() {
+            Some(m) => m.cancelled,
+            None => true,
+        };
+        if cancelled {
+            self.maybe_reclaim(msg);
+            return;
+        }
         self.enqueue_channel(msg, now, sched);
     }
 
@@ -1553,10 +1807,34 @@ impl Machine {
 
     /// Put a message in its destination mailbox and wake a blocked receiver.
     fn deliver(&mut self, msg: MsgId, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+        // The attempt reached the destination: its delivery timeout (if
+        // armed) is settled either way.
+        if let Some(h) = self.fault_timers[msg.idx()].take() {
+            sched.cancel_timer(h);
+        }
         let (job, to, tag, dst) = {
             let m = self.messages[msg.idx()].as_ref().expect("dead message");
             (m.job, m.to, m.tag, m.dst_node)
         };
+        if self.faults_on {
+            // Delivery checksum + finite mailbox: a corrupted or stale
+            // attempt (or one arriving at a full mailbox) is rejected and
+            // retransmitted after backoff. No MsgDeliver is emitted for a
+            // rejected attempt.
+            let bad = {
+                let m = self.messages[msg.idx()].as_ref().expect("dead message");
+                m.corrupt || m.timed_out
+            };
+            let overflow = self
+                .cfg
+                .faults
+                .mailbox_capacity
+                .is_some_and(|cap| self.jobs[job.idx()].mailboxes[to.idx()].len() >= cap);
+            if bad || overflow {
+                self.retry_message(msg, now, sched);
+                return;
+            }
+        }
         self.obs(
             now,
             ObsEvent::MsgDeliver {
@@ -1593,6 +1871,347 @@ impl Machine {
         if let Some(node) = m.buffered_on {
             self.release_memory(node, m.bytes + self.cfg.msg_header_bytes, now, sched);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Faults (every path below is unreachable under an empty FaultPlan)
+    // ------------------------------------------------------------------
+
+    /// A delivery attempt failed (corruption, timeout or mailbox
+    /// overflow): release the buffered copy, reset the route cursors and
+    /// schedule a retransmission from the source after exponential
+    /// backoff — or kill the owning job once the retry budget is spent.
+    /// The caller has already taken the slot's fault timer.
+    fn retry_message(&mut self, msg: MsgId, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+        let (job, attempts) = {
+            let m = self.messages[msg.idx()].as_ref().expect("retrying dead message");
+            (m.job, m.attempts + 1)
+        };
+        if attempts > self.cfg.faults.retry.max_retries {
+            // Budget exhausted: the job cannot make progress without this
+            // message. Fail-stop it; the sweep accounts the message as
+            // dropped, so conservation still balances.
+            self.kill_job(job, now, sched);
+            return;
+        }
+        self.counters.retries += 1;
+        let (released, bytes) = {
+            let m = self.messages[msg.idx()].as_mut().expect("retrying dead message");
+            m.attempts = attempts;
+            m.corrupt = false;
+            m.timed_out = false;
+            m.at_node = m.src_node;
+            m.front_node = m.src_node;
+            m.done_node = m.src_node;
+            m.edges_done = 0;
+            m.edges_started = 0;
+            (m.buffered_on.take(), m.bytes)
+        };
+        if let Some(node) = released {
+            self.release_memory(node, bytes + self.cfg.msg_header_bytes, now, sched);
+        }
+        self.obs(now, ObsEvent::MsgRetry { msg: msg.0, attempt: attempts });
+        let gen = self.msg_gen[msg.idx()];
+        let backoff = self.cfg.faults.retry.backoff(attempts);
+        self.fault_timers[msg.idx()] =
+            Some(sched.schedule_timer(backoff, Event::MsgRetry { msg, gen }));
+    }
+
+    /// Backoff elapsed: retransmit from the source's retained copy. The
+    /// buffer is granted from the system pool and no software send cost is
+    /// re-charged — the link engine retransmits the copy the sender's
+    /// original `Send` already paid for.
+    fn on_msg_retry(&mut self, msg: MsgId, gen: u32, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+        if self.msg_gen[msg.idx()] != gen {
+            return; // the slot was recycled; this timer's message is gone
+        }
+        self.fault_timers[msg.idx()] = None;
+        let src = match self.messages[msg.idx()].as_ref() {
+            Some(m) if !m.cancelled => m.src_node,
+            _ => return, // killed between backoff and retransmission
+        };
+        let bytes = self.messages[msg.idx()].as_ref().expect("checked").bytes;
+        self.nodes[src as usize]
+            .mmu
+            .force_alloc(now, bytes + self.cfg.msg_header_bytes);
+        self.messages[msg.idx()].as_mut().expect("checked").buffered_on = Some(src);
+        self.route_message(msg, now, sched);
+    }
+
+    /// The delivery timeout fired while the attempt was still outstanding.
+    fn on_msg_timeout(&mut self, msg: MsgId, gen: u32, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+        if self.msg_gen[msg.idx()] != gen {
+            return; // stale timer on a recycled slot
+        }
+        self.fault_timers[msg.idx()] = None;
+        let (quiescent, marked) = match self.messages[msg.idx()].as_ref() {
+            Some(m) if !m.cancelled => (m.live_refs == 0, m.timed_out),
+            _ => return,
+        };
+        self.counters.timeouts += 1;
+        self.obs(now, ObsEvent::MsgTimeout { msg: msg.0 });
+        if quiescent {
+            // Not on any wire and no pending hop event or handler: the
+            // attempt can only be parked in one channel queue (behind a
+            // busy or downed link) or in an MMU transit queue. A queued
+            // edge is yanked and retransmitted now; a queued transit
+            // reservation is left to its own escape-timer machinery.
+            if let Some((chan, pos)) = self.find_queued_edge(msg) {
+                self.channels[chan].queue.remove(pos);
+                if self.cfg.switching == Switching::StoreAndForward {
+                    // The yanked hop had already reserved its buffer on
+                    // the receiving node: give it back.
+                    let to = self.channels[chan].to;
+                    let bytes =
+                        self.messages[msg.idx()].as_ref().expect("checked").bytes;
+                    self.release_memory(
+                        to,
+                        bytes + self.cfg.msg_header_bytes,
+                        now,
+                        sched,
+                    );
+                }
+                self.retry_message(msg, now, sched);
+                return;
+            }
+        }
+        // Still moving (or stuck awaiting a transit buffer): mark the
+        // attempt stale — the delivery checksum rejects marked copies on
+        // arrival — and re-arm once so an attempt that goes quiescent
+        // later is still rescued. A marked attempt is not re-marked, which
+        // bounds timeout traffic for runs that legitimately stall (e.g.
+        // `ReservedStrict` deadlocks must still drain).
+        if !marked {
+            self.messages[msg.idx()].as_mut().expect("checked").timed_out = true;
+            self.arm_timeout(msg, sched);
+        }
+    }
+
+    /// Locate the (single) channel queue entry of a quiescent message.
+    /// At most one edge of a message is ever queued: the next pipelined
+    /// edge is only scheduled when the previous one starts its transfer.
+    fn find_queued_edge(&self, msg: MsgId) -> Option<(usize, usize)> {
+        for (ci, ch) in self.channels.iter().enumerate() {
+            if let Some(pos) = ch.queue.iter().position(|&m| m == msg) {
+                return Some((ci, pos));
+            }
+        }
+        None
+    }
+
+    /// A declared link-outage window opens: in-flight transfers finish on
+    /// the wire (outages quantize to transfer boundaries), but the channel
+    /// starts nothing new until the window closes.
+    fn on_link_down(&mut self, chan: u32, now: SimTime) {
+        let ch = &mut self.channels[chan as usize];
+        if !ch.up {
+            return;
+        }
+        ch.up = false;
+        self.counters.link_downs += 1;
+        self.obs(now, ObsEvent::LinkDown { chan });
+    }
+
+    /// A declared link-outage window closes: resume the channel's queue.
+    fn on_link_up(&mut self, chan: u32, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+        let ci = chan as usize;
+        if self.channels[ci].up {
+            return;
+        }
+        self.channels[ci].up = true;
+        self.obs(now, ObsEvent::LinkUp { chan });
+        if self.channels[ci].busy_with.is_none() {
+            if let Some(next) = self.channels[ci].queue.pop_front() {
+                self.start_transfer(ci, next, now, sched);
+            }
+        }
+    }
+
+    /// A declared node crash: fail-stop the node's CPU. Jobs with a
+    /// process placed on it are killed (running) or failed (resident but
+    /// not started); the node's link engines keep forwarding other jobs'
+    /// traffic. Messages never cross jobs, so no surviving job ever
+    /// addresses the dead CPU.
+    fn on_node_crash(&mut self, node: u16, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+        if self.dead[node as usize] {
+            return;
+        }
+        self.dead[node as usize] = true;
+        self.counters.node_crashes += 1;
+        self.obs(now, ObsEvent::NodeCrashed { node });
+        self.note_alive_capacity(now);
+        let victims: Vec<(JobId, JobState)> = self
+            .jobs
+            .iter()
+            .filter(|j| {
+                matches!(j.state, JobState::Ready | JobState::Running)
+                    && j.placement.contains(&node)
+            })
+            .map(|j| (j.id, j.state))
+            .collect();
+        for (job, state) in victims {
+            if state == JobState::Running {
+                self.kill_job(job, now, sched);
+            } else {
+                self.fail_job(job, now, sched);
+            }
+        }
+    }
+
+    /// Fail-stop a running job: preempt and retire its processes, purge
+    /// its queued work from every CPU/MMU/channel queue, cancel and
+    /// account every message it owns as dropped, then mark it failed.
+    fn kill_job(&mut self, job: JobId, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+        if self.jobs[job.idx()].state != JobState::Running {
+            return; // a second fault raced the first kill
+        }
+        let keys = self.jobs[job.idx()].proc_keys.clone();
+        let mut redispatch: Vec<u16> = Vec::new();
+        for pk in keys {
+            let (state, node) = {
+                let p = &self.procs[pk.idx()];
+                (p.state, p.node)
+            };
+            match state {
+                PState::Running => {
+                    // Preempt in place (mirrors set_job_active's parking):
+                    // account the partial slice, then retire the process.
+                    let cpu = &mut self.nodes[node as usize].cpu;
+                    if let Some(running) = cpu.running {
+                        if let RunKind::Low(rpk) = running.kind {
+                            if rpk == pk {
+                                cpu.preemptions += 1;
+                                cpu.running = None;
+                                cpu.bump_seq();
+                                if let Some(h) = cpu.slice_timer.take() {
+                                    sched.cancel_timer(h);
+                                }
+                                let elapsed =
+                                    now.saturating_since(running.work_started);
+                                self.record_compute(pk, running.work_started, now);
+                                let p = &mut self.procs[pk.idx()];
+                                let used = elapsed.min(p.remaining);
+                                p.remaining -= used;
+                                p.cpu_time += used;
+                                let (j, rank) = (p.job.0, p.rank.0);
+                                self.obs(
+                                    now,
+                                    ObsEvent::QuantumEnd {
+                                        node,
+                                        job: j,
+                                        rank,
+                                        reason: QuantumEndReason::Preempted,
+                                    },
+                                );
+                                redispatch.push(node);
+                            }
+                        }
+                    }
+                }
+                PState::Ready if !self.procs[pk.idx()].parked => {
+                    self.nodes[node as usize].cpu.remove_low(pk);
+                    self.note_ready_depth(node, now);
+                }
+                PState::BlockedAlloc => {
+                    // Cancel the blocked sender's queued buffer request;
+                    // its staged message is swept below.
+                    self.nodes[node as usize]
+                        .mmu
+                        .cancel_where(|w| w == AllocWaiter::Sender(pk));
+                    self.procs[pk.idx()].pending_msg = None;
+                }
+                _ => {}
+            }
+            let p = &mut self.procs[pk.idx()];
+            p.state = PState::Finished;
+            p.finished_at = now;
+        }
+        // Sweep the job's messages in two passes. Pass 1 cancels every
+        // owned message and detaches it from queues and timers *before*
+        // any memory is released, so the MMU pump can never re-grant the
+        // dying job's own queued requests.
+        let owned: Vec<MsgId> = self
+            .messages
+            .iter()
+            .filter_map(|slot| slot.as_ref())
+            .filter(|m| m.job == job && !m.cancelled)
+            .map(|m| m.id)
+            .collect();
+        let mut releases: Vec<(u16, u64)> = Vec::new();
+        for &msg in &owned {
+            let bytes = self.messages[msg.idx()].as_ref().expect("owned").bytes;
+            for ci in 0..self.channels.len() {
+                let before = self.channels[ci].queue.len();
+                self.channels[ci].queue.retain(|&m| m != msg);
+                if self.channels[ci].queue.len() != before
+                    && self.cfg.switching == Switching::StoreAndForward
+                {
+                    // A queued SAF hop already holds its reservation on
+                    // the receiving node.
+                    releases.push((self.channels[ci].to, bytes + self.cfg.msg_header_bytes));
+                }
+            }
+            for n in 0..self.nodes.len() {
+                self.nodes[n].mmu.cancel_where(|w| {
+                    matches!(
+                        w,
+                        AllocWaiter::Transit(m) | AllocWaiter::PendingSend(m) if m == msg
+                    )
+                });
+            }
+            if let Some(h) = self.escape_timers[msg.idx()].take() {
+                sched.cancel_timer(h);
+            }
+            if let Some(h) = self.fault_timers[msg.idx()].take() {
+                sched.cancel_timer(h);
+            }
+            let (at, buffered) = {
+                let m = self.messages[msg.idx()].as_mut().expect("owned");
+                m.cancelled = true;
+                (m.at_node, m.buffered_on.take())
+            };
+            if let Some(node) = buffered {
+                releases.push((node, bytes + self.cfg.msg_header_bytes));
+            }
+            self.counters.messages_dropped += 1;
+            self.obs(now, ObsEvent::MsgDropped { msg: msg.0, job: job.0, node: at });
+        }
+        for mb in self.jobs[job.idx()].mailboxes.iter_mut() {
+            mb.clear();
+        }
+        // Pass 2: give the buffers back (the pump only grants surviving
+        // jobs now) and reclaim whatever nothing references any more;
+        // slots with in-flight wire or handler references drain later.
+        for (node, bytes) in releases {
+            self.release_memory(node, bytes, now, sched);
+        }
+        for &msg in &owned {
+            self.maybe_reclaim(msg);
+        }
+        for node in redispatch {
+            self.dispatch(node, now, sched);
+        }
+        self.fail_job(job, now, sched);
+    }
+
+    /// Mark a job failed, release its resident memory and notify the
+    /// scheduler (which may requeue the work under a fresh id).
+    fn fail_job(&mut self, job: JobId, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+        debug_assert!(
+            !matches!(self.jobs[job.idx()].state, JobState::Done | JobState::Failed),
+            "failing a terminal job"
+        );
+        self.jobs[job.idx()].state = JobState::Failed;
+        self.jobs[job.idx()].finished_at = now;
+        self.counters.jobs_failed += 1;
+        let mem = self.jobs[job.idx()].mem_per_node.clone();
+        for (node, bytes) in mem {
+            if bytes > 0 {
+                self.release_memory(node, bytes, now, sched);
+            }
+        }
+        self.notes.push(Note::JobFailed(job));
+        self.obs(now, ObsEvent::JobFailed { job: job.0 });
     }
 
     // ------------------------------------------------------------------
@@ -1647,6 +2266,11 @@ impl Model for Machine {
                 self.on_alloc_escape(node, msg, gen, now, sched)
             }
             Event::PolicyTick { .. } => {} // policy drivers intercept these
+            Event::NodeCrash { node } => self.on_node_crash(node, now, sched),
+            Event::LinkDown { chan } => self.on_link_down(chan, now),
+            Event::LinkUp { chan } => self.on_link_up(chan, now, sched),
+            Event::MsgRetry { msg, gen } => self.on_msg_retry(msg, gen, now, sched),
+            Event::MsgTimeout { msg, gen } => self.on_msg_timeout(msg, gen, now, sched),
         }
     }
 }
@@ -1860,5 +2484,200 @@ mod tests {
         assert_eq!(m.counters.hop_transfers, 1);
         assert_eq!(m.counters.self_sends, 0);
         assert_eq!(m.counters.jobs_completed, 1);
+        // No fault plan: the fault machinery must not register anything.
+        assert_eq!(m.counters.messages_dropped, 0);
+        assert_eq!(m.counters.retries, 0);
+        assert_eq!(m.counters.timeouts, 0);
+        assert_eq!(m.counters.node_crashes, 0);
+        assert_eq!(m.counters.link_downs, 0);
+        assert_eq!(m.counters.jobs_failed, 0);
+    }
+
+    // --- fault injection ---
+
+    use crate::fault::{FaultPlan, LinkWindow, NodeCrash};
+
+    fn faulty_machine(faults: FaultPlan) -> Machine {
+        let cfg = MachineConfig {
+            job_load_latency: SimDuration::ZERO,
+            host_link_per_byte: SimDuration::ZERO,
+            faults,
+            ..MachineConfig::default()
+        };
+        Machine::new(cfg, SystemNet::single(&build::linear(2)))
+    }
+
+    fn pair_spec(sender: Vec<Op>, receiver: Vec<Op>) -> JobSpec {
+        JobSpec {
+            name: "pair".into(),
+            ship_bytes: 0,
+            procs: vec![
+                ProcSpec { program: sender, mem_bytes: 0 },
+                ProcSpec { program: receiver, mem_bytes: 0 },
+            ],
+        }
+    }
+
+    fn run_faulty(m: &mut Machine, id: JobId) {
+        let mut engine: Engine<Event> = Engine::new(QueueKind::BinaryHeap);
+        m.seed_faults(&mut engine);
+        engine.seed(SimTime::ZERO, Event::Admit { job: id });
+        assert_eq!(engine.run(m), RunOutcome::Drained);
+    }
+
+    #[test]
+    fn node_crash_kills_job_and_accounts_messages() {
+        let mut faults = FaultPlan::default();
+        faults.crashes.push(NodeCrash {
+            node: 1,
+            at: SimTime::ZERO + SimDuration::from_millis(100),
+        });
+        let mut m = faulty_machine(faults);
+        // Rank 1 consumes one of two messages, then computes far past the
+        // crash instant; the second message dies unconsumed in its mailbox.
+        let spec = pair_spec(
+            vec![
+                Op::Send { to: Rank(1), bytes: 500, tag: Tag(1) },
+                Op::Send { to: Rank(1), bytes: 500, tag: Tag(2) },
+            ],
+            vec![Op::Recv { tag: Tag(1) }, Op::Compute(SimDuration::from_secs(1))],
+        );
+        let id = m.queue_job(spec, vec![0, 1], SimDuration::from_millis(2));
+        run_faulty(&mut m, id);
+        assert_eq!(m.job(id).state, JobState::Failed);
+        assert!(!m.node_alive(1));
+        assert!(m.node_alive(0));
+        assert_eq!(m.counters.node_crashes, 1);
+        assert_eq!(m.counters.jobs_failed, 1);
+        assert_eq!(m.counters.messages_sent, 2);
+        // Dropped-and-accounted: nothing silently lost.
+        assert_eq!(
+            m.counters.messages_sent,
+            m.counters.messages_consumed + m.counters.messages_dropped
+        );
+        assert!(m.counters.messages_dropped >= 1);
+        let notes = m.drain_notes();
+        assert!(
+            notes.iter().any(|n| matches!(n, Note::JobFailed(j) if *j == id)),
+            "driver must be told: {notes:?}"
+        );
+    }
+
+    #[test]
+    fn mailbox_overflow_retries_until_healed() {
+        let mut faults = FaultPlan {
+            mailbox_capacity: Some(1),
+            ..FaultPlan::default()
+        };
+        faults.retry.max_retries = 10;
+        let mut m = faulty_machine(faults);
+        // Two sends race into a one-slot mailbox while the receiver is
+        // busy; the rejected delivery must back off and eventually land.
+        let spec = pair_spec(
+            vec![
+                Op::Send { to: Rank(1), bytes: 500, tag: Tag(1) },
+                Op::Send { to: Rank(1), bytes: 500, tag: Tag(2) },
+            ],
+            vec![
+                Op::Compute(SimDuration::from_millis(5)),
+                Op::Recv { tag: Tag(1) },
+                Op::Recv { tag: Tag(2) },
+            ],
+        );
+        let id = m.queue_job(spec, vec![0, 1], SimDuration::from_millis(2));
+        run_faulty(&mut m, id);
+        assert_eq!(m.job(id).state, JobState::Done);
+        assert!(m.counters.retries >= 1, "no retry recorded");
+        assert_eq!(m.counters.messages_sent, 2);
+        assert_eq!(m.counters.messages_consumed, 2);
+        assert_eq!(m.counters.messages_dropped, 0);
+    }
+
+    #[test]
+    fn link_window_delays_delivery_until_repair() {
+        let mut faults = FaultPlan::default();
+        let up_at = SimTime::ZERO + SimDuration::from_millis(20);
+        faults.links.push(LinkWindow {
+            from: 0,
+            to: 1,
+            down_at: SimTime::ZERO,
+            up_at,
+        });
+        let mut m = faulty_machine(faults);
+        let spec = pair_spec(
+            vec![Op::Send { to: Rank(1), bytes: 500, tag: Tag(1) }],
+            vec![Op::Recv { tag: Tag(1) }],
+        );
+        let id = m.queue_job(spec, vec![0, 1], SimDuration::from_millis(2));
+        run_faulty(&mut m, id);
+        assert_eq!(m.job(id).state, JobState::Done);
+        // Both directions of the pair go down and come back.
+        assert_eq!(m.counters.link_downs, 2);
+        assert!(
+            m.job(id).finished_at >= up_at,
+            "delivery crossed a down link: finished {} < repair {}",
+            m.job(id).finished_at,
+            up_at
+        );
+        assert_eq!(m.counters.messages_consumed, 1);
+    }
+
+    #[test]
+    fn certain_corruption_exhausts_retry_budget() {
+        let faults = FaultPlan {
+            drop_prob: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut m = faulty_machine(faults);
+        let spec = pair_spec(
+            vec![Op::Send { to: Rank(1), bytes: 500, tag: Tag(1) }],
+            vec![Op::Recv { tag: Tag(1) }],
+        );
+        let id = m.queue_job(spec, vec![0, 1], SimDuration::from_millis(2));
+        run_faulty(&mut m, id);
+        assert_eq!(m.job(id).state, JobState::Failed);
+        assert_eq!(m.counters.retries, m.cfg.faults.retry.max_retries as u64);
+        assert_eq!(m.counters.jobs_failed, 1);
+        assert_eq!(m.counters.messages_sent, 1);
+        assert_eq!(m.counters.messages_consumed, 0);
+        assert_eq!(m.counters.messages_dropped, 1);
+    }
+
+    #[test]
+    fn crash_replay_is_deterministic() {
+        fn run_once() -> Vec<parsched_obs::TimedEvent> {
+            let mut faults = FaultPlan::default();
+            faults.crashes.push(NodeCrash {
+                node: 1,
+                at: SimTime::ZERO + SimDuration::from_millis(3),
+            });
+            faults.drop_prob = 0.05;
+            faults.drop_seed = 7;
+            faults.retry.max_retries = 10;
+            let mut m = faulty_machine(faults);
+            m.recorder = Some(Box::new(parsched_obs::CollectRecorder::new()));
+            let spec = pair_spec(
+                vec![
+                    Op::Send { to: Rank(1), bytes: 2_000, tag: Tag(1) },
+                    Op::Compute(SimDuration::from_millis(10)),
+                ],
+                vec![Op::Recv { tag: Tag(1) }, Op::Compute(SimDuration::from_millis(10))],
+            );
+            let id = m.queue_job(spec, vec![0, 1], SimDuration::from_millis(2));
+            run_faulty(&mut m, id);
+            m.recorder
+                .as_deref_mut()
+                .and_then(|r| r.as_any_mut().downcast_mut::<parsched_obs::CollectRecorder>())
+                .expect("collector installed")
+                .take_events()
+        }
+        let a = run_once();
+        let b = run_once();
+        assert!(!a.is_empty());
+        assert!(
+            a.iter().any(|(_, ev)| matches!(ev, parsched_obs::ObsEvent::NodeCrashed { .. })),
+            "crash not recorded"
+        );
+        assert_eq!(a, b, "fault replay diverged");
     }
 }

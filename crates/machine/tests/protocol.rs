@@ -797,7 +797,7 @@ fn machine_stats_csv_row_matches_header() {
     let header_cols = MachineStats::csv_header().split(',').count();
     let row_cols = stats.to_csv_row().split(',').count();
     assert_eq!(header_cols, row_cols);
-    assert_eq!(header_cols, 20);
+    assert_eq!(header_cols, 27);
 }
 
 #[test]

@@ -230,6 +230,48 @@ impl ChromeTrace {
                 let args = format!(r#""msg":{msg},"job":{job}"#);
                 self.instant(node as u32 + 1, 0, ts, &name, &args);
             }
+            ObsEvent::NodeCrashed { node } => {
+                let name = format!("CRASH node {node}");
+                self.instant(node as u32 + 1, 0, ts, &name, &format!(r#""node":{node}"#));
+            }
+            ObsEvent::LinkDown { chan } => {
+                if let Some((pid, tid)) = layout.link_track(chan) {
+                    self.instant(pid, tid, ts, "link down", &format!(r#""chan":{chan}"#));
+                }
+            }
+            ObsEvent::LinkUp { chan } => {
+                if let Some((pid, tid)) = layout.link_track(chan) {
+                    self.instant(pid, tid, ts, "link up", &format!(r#""chan":{chan}"#));
+                }
+            }
+            ObsEvent::MsgDropped { msg, job, node } => {
+                let name = format!("drop m{msg}");
+                let args = format!(r#""msg":{msg},"job":{job}"#);
+                self.instant(node as u32 + 1, 0, ts, &name, &args);
+            }
+            ObsEvent::MsgRetry { msg, attempt } => {
+                let name = format!("retry m{msg} #{attempt}");
+                let args = format!(r#""msg":{msg},"attempt":{attempt}"#);
+                self.instant(SCHED_PID, 0, ts, &name, &args);
+            }
+            ObsEvent::MsgTimeout { msg } => {
+                let name = format!("timeout m{msg}");
+                self.instant(SCHED_PID, 0, ts, &name, &format!(r#""msg":{msg}"#));
+            }
+            ObsEvent::JobFailed { job } => {
+                let name = format!("FAIL {}", layout.job_name(job));
+                self.instant(SCHED_PID, 0, ts, &name, &format!(r#""job":{job}"#));
+            }
+            ObsEvent::JobRequeued { job, partition } => {
+                let name = format!("requeue {} -> P{partition}", layout.job_name(job));
+                self.instant(
+                    SCHED_PID,
+                    0,
+                    ts,
+                    &name,
+                    &format!(r#""job":{job},"partition":{partition}"#),
+                );
+            }
         }
     }
 

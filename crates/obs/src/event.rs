@@ -135,6 +135,58 @@ pub enum ObsEvent {
         /// Destination node.
         node: u16,
     },
+    /// A node's CPU fail-stopped (declared in the fault plan).
+    NodeCrashed {
+        /// Global node index.
+        node: u16,
+    },
+    /// A link went down (declared outage window opened).
+    LinkDown {
+        /// Channel table index.
+        chan: u32,
+    },
+    /// A link came back up.
+    LinkUp {
+        /// Channel table index.
+        chan: u32,
+    },
+    /// A message was terminally dropped and accounted (its job was killed
+    /// or its retry budget exhausted); it will never deliver.
+    MsgDropped {
+        /// Message id.
+        msg: u32,
+        /// Owning job.
+        job: u32,
+        /// Node the message last occupied.
+        node: u16,
+    },
+    /// A failed delivery attempt (corruption, timeout, or mailbox
+    /// overflow) scheduled a retransmission.
+    MsgRetry {
+        /// Message id.
+        msg: u32,
+        /// Retransmission number (1-based).
+        attempt: u32,
+    },
+    /// A message's delivery timeout fired before it was delivered.
+    MsgTimeout {
+        /// Message id.
+        msg: u32,
+    },
+    /// A job was killed by a fault (node crash or retry-budget
+    /// exhaustion); the driver may requeue it.
+    JobFailed {
+        /// Job id.
+        job: u32,
+    },
+    /// The partition scheduler requeued a failed job's work under a fresh
+    /// job id.
+    JobRequeued {
+        /// The *new* job id the rerun executes under.
+        job: u32,
+        /// Partition the rerun was admitted to.
+        partition: u32,
+    },
 }
 
 /// A timestamped event.

@@ -19,7 +19,7 @@
 use parsched_core::{Discipline, ExperimentConfig, Placement, PolicyKind};
 use parsched_des::rng::DetRng;
 use parsched_des::{QueueKind, SimDuration, SimTime};
-use parsched_machine::{JobSpec, Switching};
+use parsched_machine::{FaultPlan, JobSpec, LinkWindow, NodeCrash, RetryPolicy, Switching};
 use parsched_topology::TopologyKind;
 use parsched_workload::{paper_batch, App, Arch, BatchSizes, CostModel};
 
@@ -92,6 +92,8 @@ pub struct Scenario {
     pub mpl: Option<usize>,
     /// Per-job arrival instants (empty = closed batch at t = 0).
     pub arrivals: Vec<SimTime>,
+    /// Declared fault schedule (empty for roughly two cases in three).
+    pub faults: FaultPlan,
 }
 
 /// Partition sizes realizable for each paper topology on the 16-node
@@ -202,6 +204,64 @@ impl Scenario {
             Vec::new()
         };
 
+        // Fault plan (~one case in three): crash recovery, link outages and
+        // corrupt-retry must be bit-identical across engines too. Drawn
+        // *after* every other knob so fault-free scenarios keep the exact
+        // draws (and thus behavior) of a sweep without fault coverage.
+        let faults = if rng.uniform_u64(0, 3) == 0 {
+            let mut plan = FaultPlan {
+                // Generous budget: with drop_prob <= 8% the chance of a
+                // message exhausting 16 retries is ~1e-18, so randomized
+                // sweeps never fail a job permanently by bad luck.
+                retry: RetryPolicy {
+                    max_retries: 16,
+                    ..RetryPolicy::default()
+                },
+                ..FaultPlan::default()
+            };
+            // One fail-stop crash, only when the partition keeps survivors
+            // for the requeued job to land on.
+            if partition_size >= 2 && rng.uniform_u64(0, 2) == 0 {
+                plan.crashes.push(NodeCrash {
+                    node: rng.uniform_u64(0, 16) as u16,
+                    at: SimTime(rng.uniform_u64(1, 61) * 1_000_000), // 1..60 ms
+                });
+            }
+            // Flaky links on (2k, 2k+1) pairs — adjacent in every paper
+            // topology when both ends share a partition; pairs that are
+            // not wired are ignored by the machine, so every draw is safe.
+            for _ in 0..rng.uniform_u64(0, 3) {
+                let pair = rng.uniform_u64(0, 8) as u16;
+                let down = rng.uniform_u64(0, 21) * 1_000_000;
+                let dur = rng.uniform_u64(1, 11) * 1_000_000;
+                plan.links.push(LinkWindow {
+                    from: 2 * pair,
+                    to: 2 * pair + 1,
+                    down_at: SimTime(down),
+                    up_at: SimTime(down + dur),
+                });
+            }
+            // Mild per-hop corruption through a dedicated seeded stream.
+            if rng.uniform_u64(0, 2) == 0 {
+                plan.drop_prob = rng.uniform_u64(1, 9) as f64 / 100.0;
+                plan.drop_seed = rng.uniform_u64(0, u64::MAX);
+            }
+            // Occasionally arm the delivery timeout. The value must clear
+            // the *congested* delivery tail, not just the longest outage: a
+            // timeout below it marks attempts stale faster than they can
+            // complete, and the owning job requeues and fails forever (a
+            // 250 ms draw livelocked 16-node linear SAF matmul cases). At
+            // 10 s it never fires here — the sweep's coverage is the
+            // per-attempt arm/cancel timer churn staying bit-identical
+            // across engines; unit tests cover the firing paths.
+            if rng.uniform_u64(0, 3) == 0 {
+                plan.retry.msg_timeout = Some(SimDuration::from_millis(10_000));
+            }
+            plan
+        } else {
+            FaultPlan::default()
+        };
+
         Scenario {
             case,
             seed,
@@ -218,6 +278,7 @@ impl Scenario {
             placement,
             mpl,
             arrivals,
+            faults,
         }
     }
 
@@ -230,6 +291,7 @@ impl Scenario {
         config.discipline = self.discipline;
         config.placement = self.placement;
         config.mpl = self.mpl;
+        config.machine.faults = self.faults.clone();
         config
     }
 
@@ -260,6 +322,7 @@ impl Scenario {
              order={order:?} queue={queue:?} switching={switching:?}\n\
              discipline={discipline:?} placement={placement:?} mpl={mpl:?}\n\
              arrivals={arrivals:?}\n\
+             faults={faults:?}\n\
              replay: ORACLE_SEED={seed:#x} ORACLE_ONLY_CASE={case} \
              cargo test -p parsched-oracle --test differential -- --include-ignored --nocapture",
             case = self.case,
@@ -277,6 +340,7 @@ impl Scenario {
             placement = self.placement,
             mpl = self.mpl,
             arrivals = self.arrivals,
+            faults = self.faults,
         )
     }
 }
@@ -320,5 +384,30 @@ mod tests {
             let plan = s.config().plan();
             assert_eq!(plan.system_size, 16);
         }
+    }
+
+    #[test]
+    fn fault_plans_are_drawn_and_well_formed() {
+        let mut faulty = 0;
+        for case in 0..96 {
+            let s = Scenario::generate(7, case);
+            assert_eq!(s.config().machine.faults.is_empty(), s.faults.is_empty());
+            if s.faults.is_empty() {
+                continue;
+            }
+            faulty += 1;
+            for c in &s.faults.crashes {
+                assert!(s.partition_size >= 2, "crash without survivors");
+                assert!(c.node < 16);
+            }
+            assert!(s.faults.crashes.len() <= 1);
+            for l in &s.faults.links {
+                assert!(l.up_at > l.down_at, "degenerate outage window");
+            }
+            assert!(s.faults.drop_prob <= 0.08);
+            assert!(s.describe().contains("faults=FaultPlan"));
+        }
+        // ~1 in 3 of 96 cases; generous slack for the plan-empty corner.
+        assert!((14..=50).contains(&faulty), "faulty cases: {faulty}");
     }
 }

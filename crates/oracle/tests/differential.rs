@@ -29,7 +29,12 @@ fn env_u64(name: &str) -> Option<u64> {
 fn sweep(default_cases: u64) {
     let seed = env_u64("ORACLE_SEED").unwrap_or(DEFAULT_SEED);
     let cases: Vec<u64> = match env_u64("ORACLE_ONLY_CASE") {
-        Some(case) => vec![case],
+        Some(case) => {
+            // Print the knobs before running: a replayed case that hangs or
+            // crashes should still have identified itself.
+            eprintln!("{}", Scenario::generate(seed, case).describe());
+            vec![case]
+        }
         None => (0..env_u64("ORACLE_CASES").unwrap_or(default_cases)).collect(),
     };
     let mut divergences = 0u32;

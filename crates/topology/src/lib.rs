@@ -29,6 +29,6 @@ pub use build::{
     star, torus, torus_for,
 };
 pub use metrics::{bisection_width, diameter, distance, metrics, TopologyMetrics};
-pub use partition::{config_label, paper_configs, Partition, PartitionPlan};
+pub use partition::{config_label, paper_configs, Partition, PartitionPlan, PlanError};
 pub use route::Router;
 pub use types::{Channel, NodeId, Topology, TopologyKind};

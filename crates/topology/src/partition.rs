@@ -53,6 +53,59 @@ impl Partition {
     }
 }
 
+/// Why an equal partitioning could not be built. Carries enough context
+/// for the message alone to identify the bad input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanError {
+    /// A size was zero.
+    ZeroSize {
+        /// Requested machine size.
+        system_size: usize,
+        /// Requested partition size.
+        partition_size: usize,
+    },
+    /// `partition_size` does not divide `system_size`.
+    NotDivisible {
+        /// Requested machine size.
+        system_size: usize,
+        /// Requested partition size.
+        partition_size: usize,
+    },
+    /// The topology cannot be realized over `partition_size` nodes (a
+    /// hypercube needs a power of two).
+    Unrealizable {
+        /// Requested partition size.
+        partition_size: usize,
+        /// Requested partition topology.
+        kind: TopologyKind,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            PlanError::ZeroSize { system_size, partition_size } => write!(
+                f,
+                "cannot partition a {system_size}-processor machine into \
+                 partitions of {partition_size}: sizes must be at least 1"
+            ),
+            PlanError::NotDivisible { system_size, partition_size } => write!(
+                f,
+                "partition size {partition_size} does not divide the \
+                 {system_size}-processor machine evenly; pick a divisor of \
+                 {system_size}"
+            ),
+            PlanError::Unrealizable { partition_size, kind } => write!(
+                f,
+                "a {kind} topology cannot be wired over {partition_size} \
+                 nodes (hypercubes need a power-of-two partition size)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 /// An equal partitioning of a `system_size`-processor machine.
 ///
 /// ```
@@ -80,29 +133,40 @@ impl PartitionPlan {
     ///
     /// Returns `None` when the combination is unrealizable: `partition_size`
     /// must divide `system_size`, and a hypercube partition needs a
-    /// power-of-two size.
+    /// power-of-two size. [`PartitionPlan::try_equal`] says *why*.
     pub fn equal(
         system_size: usize,
         partition_size: usize,
         kind: TopologyKind,
     ) -> Option<PartitionPlan> {
-        if partition_size == 0
-            || system_size == 0
-            || !system_size.is_multiple_of(partition_size)
-        {
-            return None;
+        PartitionPlan::try_equal(system_size, partition_size, kind).ok()
+    }
+
+    /// Like [`PartitionPlan::equal`], but a rejected combination reports
+    /// the reason as a typed [`PlanError`] instead of a bare `None`.
+    pub fn try_equal(
+        system_size: usize,
+        partition_size: usize,
+        kind: TopologyKind,
+    ) -> Result<PartitionPlan, PlanError> {
+        if partition_size == 0 || system_size == 0 {
+            return Err(PlanError::ZeroSize { system_size, partition_size });
+        }
+        if !system_size.is_multiple_of(partition_size) {
+            return Err(PlanError::NotDivisible { system_size, partition_size });
         }
         let count = system_size / partition_size;
         let mut partitions = Vec::with_capacity(count);
         for id in 0..count {
-            let topology = build::by_kind(kind, partition_size)?;
+            let topology = build::by_kind(kind, partition_size)
+                .ok_or(PlanError::Unrealizable { partition_size, kind })?;
             partitions.push(Partition {
                 id,
                 base: id * partition_size,
                 topology,
             });
         }
-        Some(PartitionPlan {
+        Ok(PartitionPlan {
             system_size,
             partition_size,
             partitions,
@@ -199,6 +263,28 @@ mod tests {
             PartitionPlan::equal(12, 6, TopologyKind::Hypercube { dim: 0 }).is_none(),
             "6-node hypercube must be rejected"
         );
+    }
+
+    #[test]
+    fn try_equal_names_the_reason() {
+        let err = PartitionPlan::try_equal(16, 3, TopologyKind::Linear).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::NotDivisible { system_size: 16, partition_size: 3 }
+        );
+        assert!(err.to_string().contains("does not divide"), "{err}");
+        assert!(err.to_string().contains("divisor of 16"), "{err}");
+
+        let err = PartitionPlan::try_equal(16, 0, TopologyKind::Linear).unwrap_err();
+        assert!(matches!(err, PlanError::ZeroSize { .. }));
+        assert!(err.to_string().contains("at least 1"), "{err}");
+
+        let err = PartitionPlan::try_equal(12, 6, TopologyKind::Hypercube { dim: 0 })
+            .unwrap_err();
+        assert!(matches!(err, PlanError::Unrealizable { partition_size: 6, .. }));
+        assert!(err.to_string().contains("power-of-two"), "{err}");
+
+        assert!(PartitionPlan::try_equal(16, 4, TopologyKind::Ring).is_ok());
     }
 
     #[test]

@@ -1,17 +1,22 @@
 #!/usr/bin/env bash
 # Tier-1 gate: release build, lint wall, full workspace test suite, the
 # perf binary's golden check (simulated results must match
-# BENCH_parsched.json bit-exactly), and a trace-export smoke run.
+# BENCH_parsched.json bit-exactly — fault plans default to empty, so this
+# also pins that the fault layer costs nothing when unused), a
+# fault-injection smoke gate (one crash and one flaky-link scenario per
+# policy class, run twice with the oracle's invariant checkers on and
+# bit-identical replay asserted), and a trace-export smoke run.
 # Everything runs offline; no network access required.
 #
 #   scripts/tier1.sh             the standard gate
 #   scripts/tier1.sh tier1-full  also runs the long differential-oracle
-#                                sweep (hundreds of randomized scenarios
-#                                through both engines; see TESTING.md).
-#                                ORACLE_CASES / ORACLE_SEED override the
-#                                sweep size and root seed. A failing case
-#                                prints its replay line and dumps the full
-#                                report under target/repro/.
+#                                sweep (hundreds of randomized scenarios —
+#                                roughly a third draw non-empty fault
+#                                plans — through both engines; see
+#                                TESTING.md). ORACLE_CASES / ORACLE_SEED
+#                                override the sweep size and root seed. A
+#                                failing case prints its replay line and
+#                                dumps the full report under target/repro/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,6 +26,7 @@ cargo build --release --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q --workspace
 cargo run --release -p parsched-bench --bin perf -- --check --quick
+cargo run --release -p parsched-bench --bin faults -- --smoke
 
 if [ "$mode" = "tier1-full" ]; then
     ORACLE_CASES="${ORACLE_CASES:-480}" \
