@@ -19,7 +19,12 @@
 //!   (pop-then-push at a steady population), the classic queue benchmark;
 //! * `queue_hold_wheel_n{64,4096}` — the same hold model against the
 //!   timing wheel, with a cancel+replace every fourth round to exercise
-//!   the handle path no comparison-based backend has.
+//!   the handle path no comparison-based backend has;
+//! * `shard_scale_{seq,s2,s4}` — the conservative-parallel runner on a
+//!   64-node machine of four 16-node hypercube partitions (the 16-node
+//!   paper machine is a single partition and cannot shard): the same
+//!   workload at 1, 2 and 4 shards. All three pin the *same* simulated
+//!   mean response — sharding may only move wall-clock time.
 //!
 //! Results append to `BENCH_parsched.json` (see `parsched_bench::harness`):
 //! `baseline` medians are captured the first time a scenario appears and
@@ -85,6 +90,43 @@ fn run_f3_mpl(policy: PolicyKind, queue: QueueKind, mpl: Option<usize>) -> f64 {
             run_experiment(&cfg, &batch)
                 .expect("f3 configuration simulates")
                 .mean_response,
+        );
+    }
+    metric
+}
+
+/// The shard-scale machine: 64 nodes in four 16-node hypercube partitions
+/// under uncoordinated time-sharing, with the f3 workload family sized to
+/// multiprogram every partition. Eligible for the conservative-parallel
+/// runner, which must reproduce the sequential observables bit for bit.
+fn shard_scale_config() -> (ExperimentConfig, Vec<JobSpec>) {
+    let cfg = ExperimentConfig {
+        system_size: 64,
+        ..ExperimentConfig::paper(
+            16,
+            TopologyKind::Hypercube { dim: 0 },
+            PolicyKind::TimeSharing,
+        )
+    };
+    let batch = paper_batch(
+        App::MatMul,
+        Arch::Fixed,
+        16,
+        &BatchSizes::default(),
+        &CostModel::default(),
+    );
+    (cfg, batch)
+}
+
+fn run_shard_scale(shards: usize) -> f64 {
+    let (cfg, batch) = shard_scale_config();
+    let reps = if QUICK.load(Ordering::Relaxed) { 1 } else { F3_REPS };
+    let mut metric = 0.0;
+    for _ in 0..reps {
+        metric = std::hint::black_box(
+            run_batch_sharded(&cfg, batch.clone(), shards)
+                .expect("shard-scale configuration simulates")
+                .mean_response(),
         );
     }
     metric
@@ -233,6 +275,21 @@ const SCENARIOS: &[Scenario] = &[
             queue_hold_wheel(4096, 2_000_000);
             None
         },
+    },
+    Scenario {
+        name: "shard_scale_seq",
+        pinned: true,
+        run: || Some(run_shard_scale(1)),
+    },
+    Scenario {
+        name: "shard_scale_s2",
+        pinned: true,
+        run: || Some(run_shard_scale(2)),
+    },
+    Scenario {
+        name: "shard_scale_s4",
+        pinned: true,
+        run: || Some(run_shard_scale(4)),
     },
 ];
 

@@ -1,0 +1,138 @@
+//! Sharded-execution smoke and scaling demonstration.
+//!
+//! ```text
+//! shards [--smoke] [--shards K]
+//! ```
+//!
+//! `--smoke` is the tier-1 gate: one eligible configuration (four 16-node
+//! hypercube partitions under uncoordinated time-sharing) runs
+//! sequentially and at 2 shards, and the observables — per-job response
+//! times, makespan, machine counters, events processed — must agree bit
+//! for bit; the 2-shard run then repeats and must fingerprint
+//! identically (no thread-interleaving nondeterminism). An ineligible
+//! configuration (static policy) must fall back to the sequential path
+//! and still match.
+//!
+//! Full mode sweeps shard counts 1, 2, 4 and prints each run's wall
+//! clock, speedup over sequential, and the (identical) simulated mean —
+//! the source of the scaling table in `EXPERIMENTS.md`.
+
+use parsched_core::prelude::*;
+use parsched_core::sharded::run_batch_sharded;
+use parsched_machine::JobSpec;
+use parsched_topology::TopologyKind;
+use parsched_workload::prelude::*;
+use std::time::Instant;
+
+/// The shard-scale machine from `perf`: 64 nodes in four 16-node
+/// hypercube partitions, the f3 workload family.
+fn config() -> (ExperimentConfig, Vec<JobSpec>) {
+    let cfg = ExperimentConfig {
+        system_size: 64,
+        ..ExperimentConfig::paper(
+            16,
+            TopologyKind::Hypercube { dim: 0 },
+            PolicyKind::TimeSharing,
+        )
+    };
+    let batch = paper_batch(
+        App::MatMul,
+        Arch::Fixed,
+        16,
+        &BatchSizes::default(),
+        &CostModel::default(),
+    );
+    (cfg, batch)
+}
+
+fn assert_matches(seq: &ShardedRunResult, par: &ShardedRunResult, what: &str) {
+    assert_eq!(
+        par.response_times, seq.response_times,
+        "{what}: response times diverged"
+    );
+    assert_eq!(par.makespan, seq.makespan, "{what}: makespan diverged");
+    assert_eq!(par.counters, seq.counters, "{what}: counters diverged");
+    assert_eq!(par.events, seq.events, "{what}: events diverged");
+    assert_eq!(
+        par.fingerprint(),
+        seq.fingerprint(),
+        "{what}: fingerprint diverged"
+    );
+}
+
+fn smoke() {
+    let (cfg, batch) = config();
+    let seq = run_batch_sharded(&cfg, batch.clone(), 1).expect("sequential run completes");
+    assert_eq!(seq.shards, 1);
+
+    let par = run_batch_sharded(&cfg, batch.clone(), 2).expect("2-shard run completes");
+    assert_eq!(par.shards, 2, "eligible configuration must shard");
+    assert_eq!(par.fallback, None);
+    assert_matches(&seq, &par, "2-shard vs sequential");
+
+    let again = run_batch_sharded(&cfg, batch.clone(), 2).expect("2-shard rerun completes");
+    assert_eq!(
+        again.fingerprint(),
+        par.fingerprint(),
+        "2-shard rerun: interleaving nondeterminism"
+    );
+
+    // An ineligible configuration must fall back, say why, and match.
+    let mut static_cfg = cfg.clone();
+    static_cfg.policy = PolicyKind::Static;
+    let sseq = run_batch_sharded(&static_cfg, batch.clone(), 1).expect("static run completes");
+    let sfall = run_batch_sharded(&static_cfg, batch, 4).expect("static fallback completes");
+    assert_eq!(sfall.shards, 1, "static policy must fall back");
+    assert!(sfall.fallback.is_some(), "fallback reason must be recorded");
+    assert_matches(&sseq, &sfall, "static fallback vs sequential");
+
+    println!(
+        "shards --smoke: OK (2-shard bit-identical, deterministic rerun, \
+         static fallback: {:?})",
+        sfall.fallback.unwrap()
+    );
+}
+
+fn sweep(counts: &[usize]) {
+    let (cfg, batch) = config();
+    let mut base_ns = 0u128;
+    let mut reference: Option<ShardedRunResult> = None;
+    println!("{:<8} {:>10} {:>8} {:>14} {:>8}", "shards", "wall", "speedup", "mean resp (s)", "used");
+    for &k in counts {
+        let t0 = Instant::now();
+        let r = run_batch_sharded(&cfg, batch.clone(), k).expect("shard-scale run completes");
+        let ns = t0.elapsed().as_nanos();
+        if k == 1 {
+            base_ns = ns;
+        }
+        if let Some(seq) = &reference {
+            assert_matches(seq, &r, "sweep");
+        } else {
+            reference = Some(r.clone());
+        }
+        println!(
+            "{k:<8} {:>9.3}s {:>7.2}x {:>14.6} {:>8}",
+            ns as f64 / 1e9,
+            base_ns as f64 / ns as f64,
+            r.mean_response(),
+            r.shards,
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    let shards = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok());
+    match shards {
+        Some(k) => sweep(&[1, k]),
+        None => sweep(&[1, 2, 4]),
+    }
+}

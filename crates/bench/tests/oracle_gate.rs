@@ -35,6 +35,7 @@ fn f3_scenario(class: PolicyClass, queue: QueueKind, mpl: Option<usize>) -> Scen
         mpl,
         arrivals: Vec::new(),
         faults: FaultPlan::default(),
+        shards: 1,
     }
 }
 

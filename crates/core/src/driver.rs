@@ -33,8 +33,11 @@ struct Entry {
     finished: Option<SimTime>,
     /// The current incarnation is executing (counted in `running`).
     started: bool,
-    /// Times this entry's job was killed by a fault and requeued.
+    /// Times this entry's job was killed by a fault.
     failures: u32,
+    /// Terminally given up on after exhausting the requeue budget
+    /// (`finished` records the abandonment instant).
+    abandoned: bool,
 }
 
 /// Gang-scheduling rotation state for one partition.
@@ -75,6 +78,18 @@ pub struct Driver {
     running: Vec<usize>,
     /// batch index by machine JobId.
     by_job: Vec<usize>,
+    /// Fault-requeue budget per entry: a job killed more than this many
+    /// times is abandoned (terminal drop-and-account) instead of requeued
+    /// — any finite per-message timeout below the congested delivery tail
+    /// would otherwise requeue the same doomed job forever.
+    max_requeues: u32,
+    /// Override of the *global* batch index per entry, used by placement
+    /// staggering. A sharded run hands each shard a sub-batch but must
+    /// keep the placements the sequential run would compute.
+    job_indices: Option<Vec<usize>>,
+    /// Per-entry host-link loader floors (see `Machine::set_load_floor`);
+    /// the sharded runner precomputes the global loader serialization.
+    load_floors: Option<Vec<SimTime>>,
     /// Adaptive re-fork hook: given a failed entry's batch index and the
     /// survivor count of its new partition, produce the spec to rerun
     /// (`None` = rerun the original spec unchanged, the fixed architecture).
@@ -83,7 +98,7 @@ pub struct Driver {
 
 /// Boxed [`Driver::with_respawner`] hook: `(batch index, survivor count)`
 /// to the replacement spec (`None` = rerun the original unchanged).
-type Respawner = Box<dyn Fn(usize, usize) -> Option<JobSpec>>;
+type Respawner = Box<dyn Fn(usize, usize) -> Option<JobSpec> + Send>;
 
 impl Driver {
     /// Build a driver for `batch` (in submission order) under the given
@@ -123,12 +138,16 @@ impl Driver {
                     finished: None,
                     started: false,
                     failures: 0,
+                    abandoned: false,
                 })
                 .collect(),
             pending: VecDeque::new(),
             assigned: (0..count).map(|_| VecDeque::new()).collect(),
             running: vec![0; count],
             by_job: Vec::new(),
+            max_requeues: 16,
+            job_indices: None,
+            load_floors: None,
             respawner: None,
         }
     }
@@ -155,6 +174,42 @@ impl Driver {
         self
     }
 
+    /// Override the fault-requeue budget (default 16): a job killed more
+    /// than this many times is abandoned — its messages stay terminally
+    /// dropped and accounted, `Counters::jobs_abandoned` increments, and
+    /// its response time is measured to the abandonment instant. A budget
+    /// of 0 disables requeueing entirely.
+    pub fn with_max_requeues(mut self, budget: u32) -> Driver {
+        self.max_requeues = budget;
+        self
+    }
+
+    /// Override the global batch index used for placement staggering, one
+    /// per entry. A sharded run builds each shard's driver over a
+    /// sub-batch; placements (and the paper's staggered/blocked layouts in
+    /// particular) must still be computed from the *global* submission
+    /// index to match the sequential run bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics if the length does not match the batch.
+    pub fn with_job_indices(mut self, indices: Vec<usize>) -> Driver {
+        assert_eq!(indices.len(), self.entries.len(), "one index per job");
+        self.job_indices = Some(indices);
+        self
+    }
+
+    /// Set per-entry host-link loader floors (the job's loader start in
+    /// the global admission order), one per entry. See
+    /// `Machine::set_load_floor`.
+    ///
+    /// # Panics
+    /// Panics if the length does not match the batch.
+    pub fn with_load_floors(mut self, floors: Vec<SimTime>) -> Driver {
+        assert_eq!(floors.len(), self.entries.len(), "one floor per job");
+        self.load_floors = Some(floors);
+        self
+    }
+
     /// Install an adaptive re-fork hook: when a fault-killed job is
     /// requeued, the hook receives its batch index and the survivor count
     /// of the partition it is being re-admitted to, and may return a
@@ -163,7 +218,7 @@ impl Driver {
     /// reruns the original spec unchanged (the fixed architecture).
     pub fn with_respawner(
         mut self,
-        f: impl Fn(usize, usize) -> Option<JobSpec> + 'static,
+        f: impl Fn(usize, usize) -> Option<JobSpec> + Send + 'static,
     ) -> Driver {
         self.respawner = Some(Box::new(f));
         self
@@ -295,8 +350,12 @@ impl Driver {
             PolicyKind::Static => self.machine.cfg.default_quantum,
             PolicyKind::TimeSharing => self.rule.quantum(alive.len(), width),
         };
-        let placement = self.placement.assign_nodes(&alive, width, idx);
+        let global_idx = self.job_indices.as_ref().map_or(idx, |v| v[idx]);
+        let placement = self.placement.assign_nodes(&alive, width, global_idx);
         let job = self.machine.queue_job_with(spec, placement, quantum, false);
+        if let Some(floors) = &self.load_floors {
+            self.machine.set_load_floor(job, floors[idx]);
+        }
         debug_assert_eq!(self.by_job.len(), job.idx(), "job ids must be dense");
         self.by_job.push(idx);
         self.entries[idx].job_id = Some(job);
@@ -389,11 +448,22 @@ impl Driver {
                 self.entries[idx].partition = None;
                 self.assigned[part].retain(|&i| i != idx);
                 self.drop_from_gang(part, idx, now, sched);
-                // Requeue at the front of the FCFS queue (the job keeps
-                // its turn) and re-place immediately if any partition can
-                // take it — its own partition's survivors when that is the
-                // least-loaded viable choice.
-                self.admit_or_queue(idx, now, sched, true);
+                if self.entries[idx].failures > self.max_requeues {
+                    // Budget exhausted: abandon terminally. The machine
+                    // already dropped and accounted the dead incarnation's
+                    // messages (conservation stays green); recording a
+                    // finish time keeps the batch able to complete.
+                    self.entries[idx].abandoned = true;
+                    self.entries[idx].finished = Some(now);
+                    self.machine.counters.jobs_abandoned += 1;
+                } else {
+                    // Requeue at the front of the FCFS queue (the job
+                    // keeps its turn) and re-place immediately if any
+                    // partition can take it — its own partition's
+                    // survivors when that is the least-loaded viable
+                    // choice.
+                    self.admit_or_queue(idx, now, sched, true);
+                }
                 // The failure also freed a slot on its old partition;
                 // offer it to the queue and restart staged work there.
                 if self.partition_alive(part) {
@@ -430,9 +500,15 @@ impl Driver {
         }
     }
 
-    /// True once every batch entry has completed.
+    /// True once every batch entry has completed (or been abandoned).
     pub fn all_done(&self) -> bool {
         self.entries.iter().all(|e| e.finished.is_some())
+    }
+
+    /// Batch entries terminally abandoned after exhausting the requeue
+    /// budget ([`Driver::with_max_requeues`]).
+    pub fn abandoned_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.abandoned).count()
     }
 
     /// Per-job response times in batch order, measured from each job's own
@@ -783,6 +859,60 @@ mod tests {
             (d.response_times(), d.machine.counters.jobs_requeued)
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn too_low_msg_timeout_abandons_instead_of_livelocking() {
+        // A finite msg_timeout far below the ~6 ms delivery tail times out
+        // every attempt of every incarnation: the job is killed, requeued,
+        // and killed again identically. Before the requeue budget this
+        // looped forever; now the budget abandons the entry terminally,
+        // the run drains, and message conservation still holds.
+        use parsched_machine::{Rank, RetryPolicy, Tag};
+        let faults = parsched_machine::FaultPlan {
+            retry: RetryPolicy {
+                max_retries: 1,
+                base_backoff: SimDuration::from_micros(10),
+                backoff_cap: SimDuration::from_micros(10),
+                msg_timeout: Some(SimDuration::from_micros(100)),
+            },
+            ..Default::default()
+        };
+        let chatty = JobSpec {
+            name: "chatty".into(),
+            ship_bytes: 0,
+            procs: vec![
+                ProcSpec {
+                    program: vec![Op::Send { to: Rank(1), bytes: 10_000, tag: Tag(7) }],
+                    mem_bytes: 1024,
+                },
+                ProcSpec {
+                    program: vec![Op::Recv { tag: Tag(7) }],
+                    mem_bytes: 1024,
+                },
+            ],
+        };
+        let mut d = faulty_driver(faults, vec![chatty]).with_max_requeues(3);
+        run(&mut d);
+        assert_eq!(d.abandoned_count(), 1);
+        assert_eq!(d.machine.counters.jobs_abandoned, 1);
+        assert_eq!(d.entries[0].failures, 4, "budget 3 = four incarnations");
+        assert!(d.entries[0].abandoned);
+        let c = &d.machine.counters;
+        assert_eq!(c.messages_sent, c.messages_consumed + c.messages_dropped);
+        assert!(c.messages_dropped > 0, "doomed sends must be accounted");
+        let rts = d.response_times();
+        assert_eq!(rts.len(), 1, "abandoned entries still report");
+    }
+
+    #[test]
+    fn requeue_budget_zero_abandons_on_first_failure() {
+        let mut d = faulty_driver(crash(1, 5), vec![wide_job(20, 2)]).with_max_requeues(0);
+        run(&mut d);
+        assert_eq!(d.entries[0].failures, 1);
+        assert!(d.entries[0].abandoned);
+        assert_eq!(d.machine.counters.jobs_requeued, 0);
+        assert_eq!(d.machine.counters.jobs_abandoned, 1);
     }
 
     #[test]

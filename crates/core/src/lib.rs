@@ -12,7 +12,9 @@
 //!   the mean-response-time metric;
 //! * [`figures`] — one function per paper figure and ablation;
 //! * [`report`] — the row/series output the paper's figures plot;
-//! * [`runner`] — parallel execution of configuration grids.
+//! * [`runner`] — parallel execution of configuration grids;
+//! * [`sharded`] — conservative-parallel execution of a single run,
+//!   partitioned into topology-region shards with bit-identical results.
 //!
 //! ```no_run
 //! use parsched_core::prelude::*;
@@ -30,6 +32,7 @@ pub mod figures;
 pub mod policy;
 pub mod report;
 pub mod runner;
+pub mod sharded;
 
 /// The core crate's commonly used names in one import.
 pub mod prelude {
@@ -48,6 +51,9 @@ pub mod prelude {
     pub use crate::policy::{Discipline, Placement, PolicyKind, QuantumRule};
     pub use crate::report::{metrics_table, FigureRow, FigureTable};
     pub use crate::runner::run_parallel;
+    pub use crate::sharded::{
+        default_shards, run_batch_sharded, shard_eligibility, ShardedRunResult,
+    };
 }
 
 pub use prelude::*;

@@ -1,0 +1,474 @@
+//! Sharded conservative-parallel run execution.
+//!
+//! The paper's machine wires each partition as its own closed interconnect
+//! (the C004 crossbar links partitions only through the host), so under
+//! uncoordinated time-sharing of a closed batch the partitions evolve
+//! independently once admission is settled. [`run_batch_sharded`] exploits
+//! that: it cuts the partition plan into `K` contiguous shards
+//! ([`ShardPlan`]), gives each shard its own [`Machine`] + [`Driver`] on
+//! its own thread, and drives them with the conservative windowed engine
+//! ([`ShardedEngine`]). Admission and host-link load serialization — the
+//! only *global* couplings under the eligible policies — are precomputed:
+//!
+//! * **admission** — with the whole batch arriving at t = 0 under an
+//!   unbounded MPL, the super scheduler's least-loaded rule degenerates to
+//!   round-robin, so job `i` lands on partition `i mod P` and each shard
+//!   receives exactly the sub-batch of its partitions, with
+//!   [`Driver::with_job_indices`] preserving the global placement indices;
+//! * **loading** — jobs ship through the single host link in admission
+//!   order; [`Driver::with_load_floors`] pins each job's loader start to
+//!   the instant the sequential run would grant it.
+//!
+//! Everything else is shard-local, so a `K`-shard run reproduces the
+//! sequential run's observables — per-job response times, makespan,
+//! machine counters, events processed — *bit for bit*; the differential
+//! oracle sweeps assert exactly that. Configurations outside the eligible
+//! set (static policy, gang scheduling, MPL overrides, fault plans, open
+//! arrivals, single-partition machines) fall back to the sequential path
+//! with the reason recorded in [`ShardedRunResult::fallback`].
+
+use crate::driver::Driver;
+use crate::experiment::{ExperimentConfig, RunError};
+use crate::policy::{Discipline, PolicyKind};
+use parsched_des::{
+    Engine, Lookahead, RunOutcome, ShardedEngine, SimDuration, SimTime, Solo, Summary,
+};
+use parsched_machine::{Counters, Event, JobSpec, Machine, MachineConfig, SystemNet};
+use parsched_topology::{PartitionPlan, ShardPlan};
+
+/// Output of one (possibly sharded) run: the observables a sequential run
+/// of the same configuration and batch produces bit-identically.
+#[derive(Debug, Clone)]
+pub struct ShardedRunResult {
+    /// Per-job response times in global submission order.
+    pub response_times: Vec<SimDuration>,
+    /// Summary of the response times (seconds).
+    pub summary: Summary,
+    /// Completion time of the whole batch (the latest shard clock).
+    pub makespan: SimDuration,
+    /// Machine-wide counters summed across shards.
+    pub counters: Counters,
+    /// Engine events processed, summed across shards.
+    pub events: u64,
+    /// Shards actually used (1 = the sequential path ran).
+    pub shards: usize,
+    /// Why the run fell back to the sequential path, when it did.
+    pub fallback: Option<&'static str>,
+}
+
+fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl ShardedRunResult {
+    /// Mean response time in seconds — the paper's performance metric.
+    pub fn mean_response(&self) -> f64 {
+        self.summary.mean
+    }
+
+    /// FNV-1a digest of the run's observables (response times, makespan,
+    /// counters, events). Two runs of the same scenario — sequential or
+    /// sharded, any shard count, any thread interleaving — must digest
+    /// identically; the determinism property tests compare these.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for d in &self.response_times {
+            h = fnv(h, &d.nanos().to_le_bytes());
+        }
+        h = fnv(h, &self.makespan.nanos().to_le_bytes());
+        h = fnv(h, format!("{:?}", self.counters).as_bytes());
+        h = fnv(h, &self.events.to_le_bytes());
+        h
+    }
+}
+
+/// Can `config` run sharded at all? `Err` names the global coupling that
+/// forces the sequential path:
+///
+/// * the static policy holds a *global* FCFS queue whose admissions depend
+///   on cross-partition completion order;
+/// * gang scheduling and finite MPLs couple partitions the same way;
+/// * fault requeues re-place jobs across partition boundaries;
+/// * a single partition cannot be cut (shards respect partition
+///   granularity — one partition shares one interconnect and one queue).
+///
+/// Open arrivals are rejected at the entry point ([`run_batch_sharded`]
+/// takes a closed batch); an arrival-time admission also depends on the
+/// global load picture.
+pub fn shard_eligibility(config: &ExperimentConfig) -> Result<(), &'static str> {
+    if config.policy != PolicyKind::TimeSharing {
+        return Err("static policy: the global FCFS queue couples partitions");
+    }
+    if !matches!(config.discipline, Discipline::Uncoordinated) {
+        return Err("gang scheduling: rotation ticks couple partitions");
+    }
+    if config.mpl.is_some() {
+        return Err("finite MPL: admission depends on cross-partition completions");
+    }
+    if !config.machine.faults.is_empty() {
+        return Err("fault plan: requeues re-place jobs across partitions");
+    }
+    match config.try_plan() {
+        Err(_) => Err("unrealizable partition plan"),
+        Ok(plan) if plan.count() < 2 => {
+            Err("single partition: shards cannot cut below partition granularity")
+        }
+        Ok(_) => Ok(()),
+    }
+}
+
+/// A sensible shard count for `config` on this host: one shard per
+/// partition, capped by available parallelism and 8 (barrier costs grow
+/// with width faster than these closed batches can amortize).
+pub fn default_shards(config: &ExperimentConfig) -> usize {
+    let parts = config.system_size / config.partition_size.max(1);
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    parts.min(cpus).clamp(1, 8)
+}
+
+/// Classify the lookahead the shard cut admits. No cross-shard channel
+/// (the paper's wiring: partitions are closed) means the shards are
+/// independent; otherwise the cheapest cross-shard interaction is one
+/// store-and-forward hop, bounded below by the link startup time.
+fn classify_lookahead(
+    net: &SystemNet,
+    partition_size: usize,
+    shard_plan: &ShardPlan,
+    cfg: &MachineConfig,
+) -> Result<Lookahead, &'static str> {
+    let crossing = net.channels().iter().any(|c| {
+        let a = shard_plan.shard_of(c.from as usize / partition_size);
+        let b = shard_plan.shard_of(c.to as usize / partition_size);
+        a != b
+    });
+    if !crossing {
+        return Ok(Lookahead::Independent);
+    }
+    if cfg.link_startup.nanos() == 0 {
+        return Err("zero-latency cross-shard links admit no lookahead window");
+    }
+    Ok(Lookahead::Finite(cfg.link_startup))
+}
+
+/// The sequential path, producing the same observable set as the sharded
+/// one (mirrors `experiment::execute` without instrumentation, keeping
+/// the machine counters accessible).
+fn run_sequential(
+    config: &ExperimentConfig,
+    batch: Vec<JobSpec>,
+    fallback: Option<&'static str>,
+) -> Result<ShardedRunResult, RunError> {
+    let plan = config.try_plan().map_err(|e| {
+        RunError::aborted(format!("unrealizable configuration {}: {e}", config.label()))
+    })?;
+    let machine = Machine::new(config.machine.clone(), SystemNet::from_plan(&plan));
+    let mut driver = Driver::new(
+        machine,
+        plan,
+        config.policy,
+        config.rule,
+        config.placement,
+        batch,
+    );
+    if let Some(mpl) = config.mpl {
+        driver = driver.with_mpl(mpl);
+    }
+    driver = driver.with_discipline(config.discipline);
+    let mut engine: Engine<Event> = Engine::new(config.queue);
+    engine.max_events = config.machine.max_events;
+    driver.start(&mut engine);
+    let outcome = engine.run(&mut driver);
+    if outcome != RunOutcome::Drained || !driver.all_done() {
+        return Err(RunError {
+            outcome: Some(outcome),
+            diagnosis: driver.diagnose(),
+        });
+    }
+    let response_times = driver.response_times();
+    let summary = Summary::of_durations(&response_times);
+    Ok(ShardedRunResult {
+        response_times,
+        summary,
+        makespan: engine.now().since(SimTime::ZERO),
+        counters: driver.machine.counters.clone(),
+        events: engine.events_processed(),
+        shards: 1,
+        fallback,
+    })
+}
+
+/// Execute one closed-batch run of `config`, sharded over up to `shards`
+/// threads when the configuration is eligible ([`shard_eligibility`]);
+/// otherwise run sequentially and record why. The observables are
+/// bit-identical either way.
+pub fn run_batch_sharded(
+    config: &ExperimentConfig,
+    batch: Vec<JobSpec>,
+    shards: usize,
+) -> Result<ShardedRunResult, RunError> {
+    if shards <= 1 {
+        return run_sequential(config, batch, None);
+    }
+    if let Err(reason) = shard_eligibility(config) {
+        return run_sequential(config, batch, Some(reason));
+    }
+    let plan = config.plan();
+    let p = plan.count();
+    let shard_plan = ShardPlan::contiguous(p, shards);
+    let k = shard_plan.shards;
+    debug_assert!(k >= 2, "eligibility guarantees at least two partitions");
+    let lookahead = match classify_lookahead(
+        &SystemNet::from_plan(&plan),
+        plan.partition_size,
+        &shard_plan,
+        &config.machine,
+    ) {
+        Ok(l) => l,
+        Err(reason) => return run_sequential(config, batch, Some(reason)),
+    };
+
+    // Host-link serialization: job i's load starts once loads 0..i are
+    // done (all arrive at t = 0 and admission is immediate, so the
+    // sequential loader grants in submission order).
+    let mut floors = Vec::with_capacity(batch.len());
+    let mut at = 0u64;
+    for spec in &batch {
+        floors.push(SimTime(at));
+        at += config.machine.load_duration(spec.effective_ship_bytes()).nanos();
+    }
+
+    // Round-robin admission: job i lands on partition i mod P, hence on
+    // the shard owning that partition.
+    let mut members_of: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for i in 0..batch.len() {
+        members_of[shard_plan.shard_of(i % p)].push(i);
+    }
+
+    let mut drivers = Vec::with_capacity(k);
+    for (s, members) in members_of.iter().enumerate() {
+        let sub_plan = PartitionPlan {
+            system_size: plan.system_size,
+            partition_size: plan.partition_size,
+            partitions: shard_plan
+                .partitions_of(s)
+                .iter()
+                .map(|&q| plan.partitions[q].clone())
+                .collect(),
+        };
+        // Each shard simulates the full node/link array (its partitions
+        // never talk to the others', so the rest sits idle); the driver
+        // only schedules onto the shard's own partitions.
+        let machine = Machine::new(config.machine.clone(), SystemNet::from_plan(&plan));
+        let driver = Driver::new(
+            machine,
+            sub_plan,
+            config.policy,
+            config.rule,
+            config.placement,
+            members.iter().map(|&i| batch[i].clone()).collect(),
+        )
+        .with_discipline(config.discipline)
+        .with_job_indices(members.clone())
+        .with_load_floors(members.iter().map(|&i| floors[i]).collect());
+        drivers.push(driver);
+    }
+
+    let mut sharded: ShardedEngine<Event> = ShardedEngine::new(k, config.queue, lookahead);
+    for (s, driver) in drivers.iter_mut().enumerate() {
+        let engine = sharded.shard_mut(s);
+        engine.max_events = config.machine.max_events;
+        driver.start(engine);
+    }
+    let mut models: Vec<Solo<Driver>> = drivers.into_iter().map(Solo).collect();
+    let outcome = sharded.run(&mut models);
+    if outcome != RunOutcome::Drained || models.iter().any(|m| !m.0.all_done()) {
+        let mut diagnosis = String::new();
+        for (s, m) in models.iter().enumerate() {
+            if !m.0.all_done() {
+                diagnosis.push_str(&format!("shard {s}:\n{}\n", m.0.diagnose()));
+            }
+        }
+        return Err(RunError {
+            outcome: Some(outcome),
+            diagnosis,
+        });
+    }
+
+    let mut response_times = vec![SimDuration::ZERO; batch.len()];
+    let mut counters = Counters::default();
+    for (s, m) in models.iter().enumerate() {
+        let local = m.0.response_times();
+        for (j, &i) in members_of[s].iter().enumerate() {
+            response_times[i] = local[j];
+        }
+        counters.absorb(&m.0.machine.counters);
+    }
+    let summary = Summary::of_durations(&response_times);
+    Ok(ShardedRunResult {
+        response_times,
+        summary,
+        makespan: sharded.now().since(SimTime::ZERO),
+        counters,
+        events: sharded.events_processed(),
+        shards: k,
+        fallback: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsched_machine::{FaultPlan, NodeCrash, Op, ProcSpec, Rank, Tag};
+    use parsched_topology::TopologyKind;
+
+    /// 16 nodes in 4-node hypercube partitions under uncoordinated
+    /// time-sharing: the eligible sharding shape.
+    fn eligible_config() -> ExperimentConfig {
+        ExperimentConfig::paper(
+            4,
+            TopologyKind::Hypercube { dim: 0 },
+            PolicyKind::TimeSharing,
+        )
+    }
+
+    /// Jobs of two chatty processes: compute, exchange a message pair,
+    /// compute again. Exercises the in-partition network and the host-link
+    /// loader (distinct footprints => distinct load durations).
+    fn chatty_batch(count: usize) -> Vec<JobSpec> {
+        (0..count)
+            .map(|i| {
+                let ms = 2 + i as u64;
+                JobSpec {
+                    name: format!("chat{i}"),
+                    ship_bytes: 0,
+                    procs: vec![
+                        ProcSpec {
+                            program: vec![
+                                Op::Compute(SimDuration::from_millis(ms)),
+                                Op::Send {
+                                    to: Rank(1),
+                                    bytes: 5_000 + 1_000 * i as u64,
+                                    tag: Tag(1),
+                                },
+                                Op::Recv { tag: Tag(2) },
+                                Op::Compute(SimDuration::from_millis(1)),
+                            ],
+                            mem_bytes: 50_000 + 10_000 * i as u64,
+                        },
+                        ProcSpec {
+                            program: vec![
+                                Op::Recv { tag: Tag(1) },
+                                Op::Send {
+                                    to: Rank(0),
+                                    bytes: 3_000,
+                                    tag: Tag(2),
+                                },
+                                Op::Compute(SimDuration::from_millis(ms / 2 + 1)),
+                            ],
+                            mem_bytes: 40_000,
+                        },
+                    ],
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn eligibility_gate_names_each_coupling() {
+        assert!(shard_eligibility(&eligible_config()).is_ok());
+
+        let mut c = eligible_config();
+        c.policy = PolicyKind::Static;
+        assert!(shard_eligibility(&c).unwrap_err().contains("static"));
+
+        let mut c = eligible_config();
+        c.discipline = Discipline::Gang {
+            slot: SimDuration::from_millis(4),
+        };
+        assert!(shard_eligibility(&c).unwrap_err().contains("gang"));
+
+        let mut c = eligible_config();
+        c.mpl = Some(2);
+        assert!(shard_eligibility(&c).unwrap_err().contains("MPL"));
+
+        let mut c = eligible_config();
+        c.machine.faults = FaultPlan {
+            crashes: vec![NodeCrash {
+                node: 1,
+                at: SimTime(5),
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(shard_eligibility(&c).unwrap_err().contains("fault"));
+
+        let c = ExperimentConfig::paper(16, TopologyKind::Linear, PolicyKind::TimeSharing);
+        assert!(shard_eligibility(&c).unwrap_err().contains("single partition"));
+    }
+
+    #[test]
+    fn sharded_observables_match_sequential_bit_for_bit() {
+        let config = eligible_config();
+        let batch = chatty_batch(9);
+        let seq = run_batch_sharded(&config, batch.clone(), 1).unwrap();
+        assert_eq!(seq.shards, 1);
+        assert_eq!(seq.fallback, None);
+        for k in [2, 3, 4, 8] {
+            let par = run_batch_sharded(&config, batch.clone(), k).unwrap();
+            assert_eq!(par.shards, k.min(4), "4 partitions clamp the cut");
+            assert_eq!(par.fallback, None);
+            assert_eq!(par.response_times, seq.response_times, "k={k}");
+            assert_eq!(par.makespan, seq.makespan, "k={k}");
+            assert_eq!(par.counters, seq.counters, "k={k}");
+            assert_eq!(par.events, seq.events, "k={k}");
+            assert_eq!(par.fingerprint(), seq.fingerprint(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn sharded_matches_run_batch_front_door() {
+        let config = eligible_config();
+        let batch = chatty_batch(6);
+        let front = crate::experiment::run_batch(&config, batch.clone()).unwrap();
+        let par = run_batch_sharded(&config, batch, 4).unwrap();
+        assert_eq!(par.response_times, front.response_times);
+        assert_eq!(par.makespan, front.makespan);
+        assert_eq!(par.events, front.events);
+    }
+
+    #[test]
+    fn ineligible_config_falls_back_with_reason() {
+        let mut config = eligible_config();
+        config.policy = PolicyKind::Static;
+        let batch = chatty_batch(4);
+        let r = run_batch_sharded(&config, batch.clone(), 4).unwrap();
+        assert_eq!(r.shards, 1);
+        assert!(r.fallback.unwrap().contains("static"));
+        let seq = run_batch_sharded(&config, batch, 1).unwrap();
+        assert_eq!(r.response_times, seq.response_times);
+    }
+
+    #[test]
+    fn repeated_sharded_runs_are_interleaving_deterministic() {
+        let config = eligible_config();
+        let batch = chatty_batch(7);
+        let first = run_batch_sharded(&config, batch.clone(), 4).unwrap();
+        for _ in 0..3 {
+            let again = run_batch_sharded(&config, batch.clone(), 4).unwrap();
+            assert_eq!(again.fingerprint(), first.fingerprint());
+            assert_eq!(again.response_times, first.response_times);
+        }
+    }
+
+    #[test]
+    fn default_shards_respects_partitions_and_caps() {
+        let c = eligible_config(); // 4 partitions
+        assert!(default_shards(&c) >= 1);
+        assert!(default_shards(&c) <= 4);
+        let c = ExperimentConfig::paper(1, TopologyKind::Linear, PolicyKind::TimeSharing);
+        assert!(default_shards(&c) <= 8, "16 partitions cap at 8");
+    }
+}

@@ -367,6 +367,30 @@ impl<E> Engine<E> {
         }
     }
 
+    /// Timestamp of the earliest pending event across all three tiers, or
+    /// `None` when the pending set is empty.
+    ///
+    /// `&mut` because peeking the backend queue may rebalance a calendar
+    /// bucket; the pending set itself is not modified. The sharded engine
+    /// uses this to compute the global window floor.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        let mut key = u128::MAX;
+        if let Some(s) = self.now_queue.front() {
+            key = ((s.time.nanos() as u128) << 64) | s.seq as u128;
+        }
+        if let Some(k) = self.wheel.peek_key() {
+            key = key.min(k);
+        }
+        if let Some(k) = self.queue.peek_key() {
+            key = key.min(k);
+        }
+        if key == u128::MAX {
+            None
+        } else {
+            Some(SimTime((key >> 64) as u64))
+        }
+    }
+
     /// Like [`Engine::run`] but stops once simulated time would exceed
     /// `deadline` (a convenience for watchdog-style callers).
     pub fn run_until<M: Model<Event = E>>(

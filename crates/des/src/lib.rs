@@ -6,7 +6,9 @@
 //! The kernel is domain-agnostic: it provides simulated [time](time),
 //! interchangeable [pending-event set](queue) implementations (heap,
 //! calendar, and an adaptive hybrid), a [timing wheel](wheel) for
-//! cancellable timers, the [event loop](engine), [output statistics](stats),
+//! cancellable timers, the [event loop](engine), a conservative
+//! [sharded parallel engine](shard) with barrier lookahead windows,
+//! [output statistics](stats),
 //! a [deterministic RNG](rng) with labelled substreams, and a bounded
 //! [trace](trace) buffer. Everything Transputer-specific lives in
 //! `parsched-machine` on top of this crate.
@@ -54,6 +56,7 @@
 pub mod engine;
 pub mod queue;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -65,6 +68,7 @@ pub mod prelude {
         Engine, EventScheduler, EventSeeder, Model, QueueKind, RunOutcome, Scheduler,
     };
     pub use crate::queue::{AdaptiveQueue, BinaryHeapQueue, CalendarQueue, EventQueue, Scheduled};
+    pub use crate::shard::{Lookahead, ShardCtx, ShardModel, ShardedEngine, Solo};
     pub use crate::wheel::{TimerHandle, TimerWheel};
     pub use crate::rng::DetRng;
     pub use crate::stats::{percentile, Histogram, Summary, TimeWeighted, Welford};

@@ -30,28 +30,30 @@
 //! level's slot field). Each level remembers the epoch of its current
 //! population; an insert that does not match an occupied level's epoch moves
 //! up to the next level (or overflow). Within a single epoch the slot index
-//! is monotone in firing time, so a level's earliest entry lives in its
+//! is monotone in firing time, so a level's earliest entries live in its
 //! first occupied slot — found by scanning the occupancy bitmap from a
 //! monotone hint.
 //!
-//! Entries are `(key, event)` pairs stored *inline* in their slot, sorted
-//! ascending by key, so a level's minimum is the first pair of its first
-//! occupied slot and there is no side table to chase. Timer streams are
-//! near-monotone in firing time (a quantum expiry is set at `now + quantum`
-//! while `now` only grows), so the common insert is a plain append;
-//! out-of-order keys pay a binary search plus a small `memmove` within one
-//! slot (slots hold a handful of entries at the paper's scales). `pop`
-//! shifts the first pair out — a few dozen bytes — and `cancel`, the rare
-//! operation, recomputes its victim's slot from the time bits in the key
-//! and binary-searches that one slot.
+//! Entries are `(key, event)` pairs stored *unsorted* in their slot, so an
+//! insert is a plain `push` no matter how out-of-order the key is — keeping
+//! a slot sorted costs an `O(slot)` `memmove` per insert, which collapses
+//! once thousands of timers share a level (the `queue_hold_wheel_n4096`
+//! cliff). Order is established lazily, per slot, exactly once: when a
+//! level's minimum is popped, the slot holding it is *drained* — its entries
+//! are sorted ascending in one pass and moved to the level's drain buffer,
+//! from which subsequent pops of the same slot are `O(1)` front-pops (the
+//! batch-pop of same-slot events). Inserts that land in the slot currently
+//! draining binary-insert into the buffer; an insert into an *earlier* slot
+//! (rare: keys usually march forward with `now`) simply flushes the buffer
+//! back before the earlier slot drains in its turn.
 //!
 //! The wheel keeps each tier's minimum key in [`TimerWheel::mins`] — one
 //! `u128` per level plus one for the overflow list, `u128::MAX` meaning
 //! empty, all in a single cache line — so `peek_key` is three compares with
-//! no slot walking. The mins are maintained incrementally: an insert is one
-//! compare; a pop re-reads the first pair of the slot it just shifted
-//! (already hot) and only rescans the occupancy bitmap when the slot
-//! drained.
+//! no slot walking. Per level the minimum is the lesser of the drain
+//! buffer's front and the cached minimum over the unsorted slots; both are
+//! maintained incrementally, and only a pop or cancel that consumes the
+//! cached slot minimum rescans (one slot, the first occupied one).
 //!
 //! The wheel orders by the same packed `(time, seq)` key as the
 //! [`queue`](crate::queue) backends, so the engine can merge-pop across
@@ -59,6 +61,7 @@
 
 use crate::queue::Scheduled;
 use crate::time::SimTime;
+use std::collections::VecDeque;
 
 /// log2 of the finest slot width in nanoseconds (1.05 ms).
 const GRAN_BITS: u32 = 20;
@@ -129,23 +132,33 @@ impl TimerHandle {
 
 #[derive(Debug)]
 struct Level<E> {
-    /// `(key, event)` pairs per slot, sorted ascending by key so the
-    /// slot's minimum is its first pair and near-monotone inserts append.
-    /// Fixed-size boxed array: the masked slot index provably fits, so
-    /// indexing compiles without a bounds check.
+    /// `(key, event)` pairs per slot, *unsorted* (order is established on
+    /// drain). Fixed-size boxed array: the masked slot index provably
+    /// fits, so indexing compiles without a bounds check.
     slots: Box<[Vec<(u128, E)>; SLOTS]>,
     /// One bit per slot: set iff the slot vector is non-empty.
     occ: [u64; SLOTS / 64],
     /// Shared firing-time epoch of every entry in this level
     /// (meaningful only while `len > 0`).
     epoch: u64,
-    /// Entries currently stored in this level.
+    /// Entries currently stored in this level (slots plus drain buffer).
     len: usize,
-    /// Lower bound on the first occupied slot (exact after every
+    /// Lower bound on the first occupied slot (tightened by
     /// [`first_occupied`](Self::first_occupied); only lowered by inserts,
     /// reset when the level empties). Lets the occupancy scan skip the
     /// permanently-drained low words as the population marches forward.
     min_slot_hint: usize,
+    /// The slot currently being drained, sorted ascending by key; pops are
+    /// front-pops, same-slot inserts binary-insert. Invariant: while
+    /// non-empty, `slots[drain_slot]` is empty (its tenants moved here).
+    drain: VecDeque<(u128, E)>,
+    /// Which slot `drain` came from (meaningful while `drain` is
+    /// non-empty).
+    drain_slot: usize,
+    /// Cached minimum key over the *unsorted slots only* ([`EMPTY`] when
+    /// every entry sits in the drain buffer). The level minimum is
+    /// `min(slot_min, drain.front())`.
+    slot_min: u128,
 }
 
 impl<E> Level<E> {
@@ -160,11 +173,15 @@ impl<E> Level<E> {
             epoch: 0,
             len: 0,
             min_slot_hint: 0,
+            drain: VecDeque::new(),
+            drain_slot: 0,
+            slot_min: EMPTY,
         }
     }
 
-    /// Index of the first non-empty slot; `None` when the level is empty.
-    /// Starts at `min_slot_hint` (a proven lower bound) and tightens it.
+    /// Index of the first non-empty slot; `None` when no slot holds
+    /// anything (entries may still sit in the drain buffer). Starts at
+    /// `min_slot_hint` (a proven lower bound) and tightens it.
     #[inline]
     fn first_occupied(&mut self) -> Option<usize> {
         for w in (self.min_slot_hint >> 6)..self.occ.len() {
@@ -178,15 +195,30 @@ impl<E> Level<E> {
         None
     }
 
-    /// The level's least key, recomputed from scratch: the first pair of
-    /// the first occupied slot ([`EMPTY`] when the level holds nothing).
+    /// Recompute `slot_min` from scratch: the least key in the first
+    /// occupied slot (one full scan of that slot — it is unsorted), or
+    /// [`EMPTY`] when every slot is empty. Within one epoch the slot index
+    /// is monotone in firing time, so no later slot can undercut it.
     #[inline]
-    fn recompute_min(&mut self) -> u128 {
-        if self.len == 0 {
-            return EMPTY;
+    fn recompute_slot_min(&mut self) -> u128 {
+        match self.first_occupied() {
+            None => EMPTY,
+            Some(s) => self.slots[s & (SLOTS - 1)]
+                .iter()
+                .map(|&(k, _)| k)
+                .min()
+                .expect("occupied slot"),
         }
-        let s = self.first_occupied().expect("len > 0");
-        self.slots[s & (SLOTS - 1)].first().expect("occupied slot").0
+    }
+
+    /// The level's least key: the cheaper of the drain front and the
+    /// cached slot minimum.
+    #[inline]
+    fn min_key(&self) -> u128 {
+        match self.drain.front() {
+            Some(&(k, _)) => k.min(self.slot_min),
+            None => self.slot_min,
+        }
     }
 }
 
@@ -255,20 +287,27 @@ impl<E> TimerWheel<E> {
             if level.len == 0 {
                 level.epoch = epoch_of(t, l);
                 level.min_slot_hint = s;
-            } else if s < level.min_slot_hint {
-                level.min_slot_hint = s;
+                level.slot_min = EMPTY;
+                debug_assert!(level.drain.is_empty());
             }
-            let vec = &mut level.slots[s & (SLOTS - 1)];
-            // Ascending order; timer streams fire in near-monotone order,
-            // so appending is the overwhelmingly common case.
-            match vec.last() {
-                Some(&(k, _)) if k > key => {
-                    let at = vec.partition_point(|&(k, _)| k < key);
-                    vec.insert(at, (key, event));
+            if !level.drain.is_empty() && s == level.drain_slot {
+                // The slot is mid-drain: keep the buffer sorted so pops
+                // stay front-pops.
+                let at = level
+                    .drain
+                    .binary_search_by(|&(k, _)| k.cmp(&key))
+                    .unwrap_err();
+                level.drain.insert(at, (key, event));
+            } else {
+                if s < level.min_slot_hint {
+                    level.min_slot_hint = s;
                 }
-                _ => vec.push((key, event)),
+                level.slots[s & (SLOTS - 1)].push((key, event));
+                level.occ[s >> 6] |= 1 << (s & 63);
+                if key < level.slot_min {
+                    level.slot_min = key;
+                }
             }
-            level.occ[s >> 6] |= 1 << (s & 63);
             level.len += 1;
         }
         self.len += 1;
@@ -309,23 +348,32 @@ impl<E> TimerWheel<E> {
                 return false;
             }
             let s = slot_of(t, l);
-            let vec = &mut level.slots[s & (SLOTS - 1)];
-            let Ok(at) = vec.binary_search_by(|&(k, _)| k.cmp(&key)) else {
-                return false;
-            };
-            vec.remove(at);
-            if vec.is_empty() {
-                level.occ[s >> 6] &= !(1 << (s & 63));
+            if !level.drain.is_empty() && s == level.drain_slot {
+                // The victim's slot is mid-drain; the buffer is sorted.
+                let Ok(at) = level.drain.binary_search_by(|&(k, _)| k.cmp(&key)) else {
+                    return false;
+                };
+                level.drain.remove(at);
+            } else {
+                // Unsorted slot: linear scan, from the tail — timers are
+                // typically cancelled soon after being set, so the victim
+                // sits near the end of its slot's push order even when the
+                // slot has grown large.
+                let vec = &mut level.slots[s & (SLOTS - 1)];
+                let Some(at) = vec.iter().rposition(|&(k, _)| k == key) else {
+                    return false;
+                };
+                vec.swap_remove(at);
+                if vec.is_empty() {
+                    level.occ[s >> 6] &= !(1 << (s & 63));
+                }
+                if level.slot_min == key {
+                    level.slot_min = level.recompute_slot_min();
+                }
             }
             level.len -= 1;
             if self.mins[l] == key {
-                self.mins[l] = match vec.first() {
-                    // The victim was its level's minimum, i.e. the first
-                    // pair of the first occupied slot; its successor in the
-                    // same slot (if any) is the new minimum.
-                    Some(&(k, _)) => k,
-                    None => level.recompute_min(),
-                };
+                self.mins[l] = level.min_key();
             }
         }
         self.len -= 1;
@@ -355,8 +403,7 @@ impl<E> TimerWheel<E> {
             .iter()
             .position(|&m| m == key)
             .expect("minimum came from a tier");
-        // In-level minima are their slot's first pair (ascending order); a
-        // minimum can live in the overflow list only once the levels that
+        // A minimum can live in the overflow list only once the levels that
         // outlasted it drained — that rare case pays a linear scan.
         let event = if tier == LEVELS {
             let at = self
@@ -374,20 +421,39 @@ impl<E> TimerWheel<E> {
             event
         } else {
             let level = &mut self.levels[tier];
-            let s = slot_of((key >> 64) as u64, tier);
-            let vec = &mut level.slots[s & (SLOTS - 1)];
-            debug_assert_eq!(vec.first().map(|&(k, _)| k), Some(key));
-            let (_, event) = vec.remove(0);
-            level.len -= 1;
-            self.mins[tier] = match vec.first() {
-                // The shifted vector is still hot; its new first pair is
-                // the level minimum unless the slot drained.
-                Some(&(k, _)) => k,
-                None => {
+            let event = match level.drain.front() {
+                // Batch-pop: the slot was sorted when draining began, so
+                // the minimum is a front-pop.
+                Some(&(k, _)) if k == key => level.drain.pop_front().expect("peeked front").1,
+                _ => {
+                    // The minimum sits in an unsorted slot: drain that
+                    // slot — sort it once, pop from the front thereafter.
+                    debug_assert_eq!(key, level.slot_min);
+                    if let Some(&(front, _)) = level.drain.front() {
+                        // Rare: an insert landed in an earlier slot after
+                        // draining began; flush the remainder back.
+                        let ds = level.drain_slot;
+                        level.slots[ds & (SLOTS - 1)].extend(level.drain.drain(..));
+                        level.occ[ds >> 6] |= 1 << (ds & 63);
+                        if ds < level.min_slot_hint {
+                            level.min_slot_hint = ds;
+                        }
+                        level.slot_min = level.slot_min.min(front);
+                    }
+                    let s = slot_of((key >> 64) as u64, tier);
+                    let mut vec = std::mem::take(&mut level.slots[s & (SLOTS - 1)]);
+                    vec.sort_unstable_by_key(|&(k, _)| k);
                     level.occ[s >> 6] &= !(1 << (s & 63));
-                    level.recompute_min()
+                    level.drain = VecDeque::from(vec);
+                    level.drain_slot = s;
+                    level.slot_min = level.recompute_slot_min();
+                    let (k, event) = level.drain.pop_front().expect("slot held the minimum");
+                    debug_assert_eq!(k, key);
+                    event
                 }
             };
+            level.len -= 1;
+            self.mins[tier] = level.min_key();
             event
         };
         self.len -= 1;
@@ -519,6 +585,45 @@ mod tests {
     }
 
     #[test]
+    fn inserts_into_the_draining_slot_stay_ordered() {
+        // Begin draining a dense slot, then keep inserting into it: the
+        // late arrivals must merge into the sorted buffer, not jump the
+        // queue or fall behind.
+        let mut w = TimerWheel::new();
+        let base = 5u64 << GRAN_BITS; // level 0, slot 5
+        for i in 0..8u64 {
+            w.insert(SimTime(base + i), i, i);
+        }
+        assert_eq!(w.pop_min().unwrap().seq, 0);
+        assert_eq!(w.pop_min().unwrap().seq, 1); // slot now mid-drain
+        w.insert(SimTime(base + 3), 100, 100); // ties time 3, higher seq
+        w.insert(SimTime(base + 900), 101, 101); // same slot, latest time
+        let rest: Vec<(u64, u64)> = drain(&mut w).into_iter().map(|(t, s)| (t - base, s)).collect();
+        assert_eq!(
+            rest,
+            vec![(2, 2), (3, 3), (3, 100), (4, 4), (5, 5), (6, 6), (7, 7), (900, 101)]
+        );
+    }
+
+    #[test]
+    fn earlier_slot_insert_flushes_the_drain_back() {
+        // After a slot starts draining, an insert into an *earlier* slot
+        // undercuts the buffer; the next pop must serve the earlier slot
+        // and re-file the buffered remainder without losing anything.
+        let mut w = TimerWheel::new();
+        let late = 5u64 << GRAN_BITS; // level 0, slot 5
+        for i in 0..4u64 {
+            w.insert(SimTime(late + i), i, i);
+        }
+        assert_eq!(w.pop_min().unwrap().seq, 0); // slot 5 mid-drain
+        let early = (3u64 << GRAN_BITS) + 1; // level 0, slot 3
+        w.insert(SimTime(early), 50, 50);
+        assert_eq!(w.len(), 4);
+        let order: Vec<u64> = drain(&mut w).into_iter().map(|(_, s)| s).collect();
+        assert_eq!(order, vec![50, 1, 2, 3]);
+    }
+
+    #[test]
     fn dense_random_interleaving_matches_sorted_order() {
         use crate::rng::DetRng;
         let mut rng = DetRng::new(0x77EE);
@@ -546,5 +651,56 @@ mod tests {
         expected.extend(live.iter().map(|&(t, s, _)| (t, s)));
         expected.sort_unstable();
         assert_eq!(drain(&mut w), expected);
+    }
+
+    #[test]
+    fn random_insert_pop_cancel_storm_matches_reference() {
+        // Heavier mixed workload than the dense test: pops interleave with
+        // inserts and cancels, exercising drain/flush-back continuously
+        // against a sorted-Vec reference.
+        use crate::rng::DetRng;
+        let mut rng = DetRng::new(0xBEEF_CAFE);
+        let mut w = TimerWheel::new();
+        let mut reference: Vec<(u128, u64)> = Vec::new(); // (key, seq)
+        let mut handles: Vec<TimerHandle> = Vec::new();
+        let mut seq = 0u64;
+        for _ in 0..20_000 {
+            match rng.uniform_u64(0, 10) {
+                0..=4 => {
+                    let t = rng.uniform_u64(0, 1 << 32);
+                    let h = w.insert(SimTime(t), seq, seq);
+                    reference.push((pack(SimTime(t), seq), seq));
+                    handles.push(h);
+                    seq += 1;
+                }
+                5..=7 => {
+                    let popped = w.pop_min();
+                    if reference.is_empty() {
+                        assert!(popped.is_none());
+                    } else {
+                        let at = reference
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, &(k, _))| k)
+                            .map(|(i, _)| i)
+                            .unwrap();
+                        let (_, want_seq) = reference.swap_remove(at);
+                        assert_eq!(popped.unwrap().seq, want_seq);
+                    }
+                }
+                _ => {
+                    if !handles.is_empty() {
+                        let i = rng.uniform_u64(0, handles.len() as u64) as usize;
+                        let h = handles.swap_remove(i);
+                        let live = reference.iter().position(|&(k, _)| k == h.key());
+                        assert_eq!(w.cancel(h), live.is_some());
+                        if let Some(at) = live {
+                            reference.swap_remove(at);
+                        }
+                    }
+                }
+            }
+            assert_eq!(w.len(), reference.len());
+        }
     }
 }

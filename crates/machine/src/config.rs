@@ -201,6 +201,15 @@ impl MachineConfig {
         self.link_startup + SimDuration::from_nanos(self.link_per_byte.nanos() * bytes)
     }
 
+    /// Host-link occupancy of loading one job that ships `ship_bytes`
+    /// (fixed latency plus serialization). Loads are globally serialized
+    /// in admission order; the sharded runner precomputes each job's
+    /// loader start from these durations.
+    pub fn load_duration(&self, ship_bytes: u64) -> SimDuration {
+        self.job_load_latency
+            + SimDuration::from_nanos(self.host_link_per_byte.nanos() * ship_bytes)
+    }
+
     /// Pipeline offset between consecutive hops under packetized
     /// store-and-forward: the time for one packet to cross a link.
     pub fn packet_latency(&self) -> SimDuration {

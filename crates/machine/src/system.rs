@@ -187,6 +187,11 @@ pub struct JobRuntime {
     /// Parked by the policy (gang scheduling): processes exist but are
     /// withheld from the ready queues.
     pub parked: bool,
+    /// Earliest instant the host-link loader may start shipping this job
+    /// (zero = no constraint). The sharded runner sets it to the job's
+    /// loader start in the *global* admission order, so per-shard machines
+    /// reproduce the sequential loader serialization exactly.
+    pub load_floor: SimTime,
     /// Blueprint, held until spawn.
     spec: Option<JobSpec>,
 }
@@ -247,6 +252,50 @@ pub struct Counters {
     pub jobs_failed: u64,
     /// Failed jobs requeued by the scheduler under a fresh job id.
     pub jobs_requeued: u64,
+    /// Failed jobs the scheduler gave up on after exhausting its requeue
+    /// budget (terminal: counted once, never requeued again).
+    pub jobs_abandoned: u64,
+}
+
+impl Counters {
+    /// Fold another machine's counters into this one (the sharded runner
+    /// sums per-shard counters into the machine-wide totals).
+    pub fn absorb(&mut self, other: &Counters) {
+        let Counters {
+            messages_sent,
+            messages_consumed,
+            bytes_sent,
+            hop_transfers,
+            self_sends,
+            send_blocks,
+            transit_escapes,
+            jobs_completed,
+            messages_dropped,
+            retries,
+            timeouts,
+            node_crashes,
+            link_downs,
+            jobs_failed,
+            jobs_requeued,
+            jobs_abandoned,
+        } = other;
+        self.messages_sent += messages_sent;
+        self.messages_consumed += messages_consumed;
+        self.bytes_sent += bytes_sent;
+        self.hop_transfers += hop_transfers;
+        self.self_sends += self_sends;
+        self.send_blocks += send_blocks;
+        self.transit_escapes += transit_escapes;
+        self.jobs_completed += jobs_completed;
+        self.messages_dropped += messages_dropped;
+        self.retries += retries;
+        self.timeouts += timeouts;
+        self.node_crashes += node_crashes;
+        self.link_downs += link_downs;
+        self.jobs_failed += jobs_failed;
+        self.jobs_requeued += jobs_requeued;
+        self.jobs_abandoned += jobs_abandoned;
+    }
 }
 
 /// The simulated multicomputer.
@@ -603,9 +652,19 @@ impl Machine {
             ship_bytes: spec.effective_ship_bytes(),
             auto_start,
             parked: false,
+            load_floor: SimTime::ZERO,
             spec: Some(spec),
         });
         id
+    }
+
+    /// Constrain a queued job's host-link load to start no earlier than
+    /// `floor` (see [`JobRuntime::load_floor`]). Must be called before the
+    /// job is admitted.
+    pub fn set_load_floor(&mut self, job: JobId, floor: SimTime) {
+        let j = &mut self.jobs[job.idx()];
+        assert_eq!(j.state, JobState::Queued, "load floor after admission");
+        j.load_floor = floor;
     }
 
     /// Start a [`JobState::Ready`] job's processes.
@@ -664,14 +723,16 @@ impl Machine {
         j.state = JobState::Loading;
         j.submitted_at = now;
         // Ship the job's code + data through the single host link: loads
-        // are globally serialized (FIFO in admission order).
-        let duration = self.cfg.job_load_latency
-            + SimDuration::from_nanos(self.cfg.host_link_per_byte.nanos() * ship);
+        // are globally serialized (FIFO in admission order). The floor
+        // models loader occupancy this machine instance cannot see (jobs
+        // admitted on other shards of a sharded run).
+        let duration = self.cfg.load_duration(ship);
         let start = if self.loader_free_at > now {
             self.loader_free_at
         } else {
             now
-        };
+        }
+        .max(j.load_floor);
         self.loader_free_at = start + duration;
         sched.schedule_at(self.loader_free_at, Event::LoadJob { job });
     }

@@ -196,8 +196,9 @@ pub type TimedEvent = (SimTime, ObsEvent);
 ///
 /// The machine stores an `Option<Box<dyn Recorder>>`; `None` is the
 /// zero-cost disabled state. Implementations must not mutate anything the
-/// simulation reads — recording is observation only.
-pub trait Recorder {
+/// simulation reads — recording is observation only. Recorders are `Send`
+/// so an instrumented machine can run inside a simulation shard's thread.
+pub trait Recorder: Send {
     /// Record one event at simulated time `now`.
     fn record(&mut self, now: SimTime, ev: ObsEvent);
 

@@ -13,7 +13,7 @@
 
 use crate::engine::OracleEngine;
 use crate::scenario::Scenario;
-use parsched_core::{Driver, ExperimentConfig};
+use parsched_core::{run_batch_sharded, Driver, ExperimentConfig};
 use parsched_des::{
     Engine, EventScheduler, EventSeeder, Model, QueueKind, RunOutcome, SimDuration, SimTime,
 };
@@ -241,10 +241,76 @@ fn compare_traces(
     Ok(())
 }
 
+/// Re-run a `shards > 1` scenario through the conservative-parallel
+/// runner — twice, so a thread-interleaving nondeterminism shows up as a
+/// fingerprint mismatch between the two passes — and demand the
+/// observables match the sequential capture bit for bit. Ineligible
+/// configurations exercise the runner's sequential fallback, which must
+/// match just the same.
+fn compare_sharded(scenario: &Scenario, capture: &RunCapture) -> Result<(), Divergence> {
+    if scenario.shards <= 1 {
+        return Ok(());
+    }
+    let config = scenario.config();
+    let first = run_batch_sharded(&config, scenario.batch(), scenario.shards)
+        .map_err(|e| diverge(scenario, "sharded run failed", e.to_string()))?;
+    let second = run_batch_sharded(&config, scenario.batch(), scenario.shards)
+        .map_err(|e| diverge(scenario, "sharded rerun failed", e.to_string()))?;
+    if first.fingerprint() != second.fingerprint() {
+        return Err(diverge(
+            scenario,
+            "sharded interleaving nondeterminism",
+            format!(
+                "two identical {}-shard runs fingerprint {:#018x} vs {:#018x}",
+                first.shards,
+                first.fingerprint(),
+                second.fingerprint()
+            ),
+        ));
+    }
+    if first.response_times != capture.response_times {
+        return Err(diverge(
+            scenario,
+            "sharded response-time divergence",
+            format!(
+                "sharded    {:?}\nsequential {:?}\n(shards used: {}, fallback: {:?})",
+                first.response_times, capture.response_times, first.shards, first.fallback
+            ),
+        ));
+    }
+    if first.makespan != capture.makespan {
+        return Err(diverge(
+            scenario,
+            "sharded makespan divergence",
+            format!("sharded {} vs sequential {}", first.makespan, capture.makespan),
+        ));
+    }
+    if first.counters != capture.counters {
+        return Err(diverge(
+            scenario,
+            "sharded counter divergence",
+            format!(
+                "sharded    {:?}\nsequential {:?}",
+                first.counters, capture.counters
+            ),
+        ));
+    }
+    if first.events != capture.events {
+        return Err(diverge(
+            scenario,
+            "sharded events-processed divergence",
+            format!("sharded {} vs sequential {}", first.events, capture.events),
+        ));
+    }
+    Ok(())
+}
+
 /// Run one scenario through both engines and assert bit-identical
 /// behavior: event order, per-job response times, makespan, machine
-/// counters, and events-processed accounting. Returns the (shared)
-/// capture on success for further invariant checking.
+/// counters, and events-processed accounting. Scenarios drawn with
+/// `shards > 1` additionally run through the conservative-parallel
+/// runner (twice) and must reproduce the same observables. Returns the
+/// (shared) capture on success for further invariant checking.
 pub fn run_differential(scenario: &Scenario) -> Result<RunCapture, Divergence> {
     let opt = run_optimized(scenario)
         .map_err(|e| diverge(scenario, "optimized run failed", e))?;
@@ -283,6 +349,7 @@ pub fn run_differential(scenario: &Scenario) -> Result<RunCapture, Divergence> {
             format!("optimized {} vs oracle {}", opt.events, ora.events),
         ));
     }
+    compare_sharded(scenario, &opt)?;
     Ok(opt)
 }
 

@@ -94,6 +94,11 @@ pub struct Scenario {
     pub arrivals: Vec<SimTime>,
     /// Declared fault schedule (empty for roughly two cases in three).
     pub faults: FaultPlan,
+    /// Shard count for the conservative-parallel runner (1 = sequential;
+    /// drawn > 1 for roughly one closed-batch case in three). The
+    /// differential harness re-runs such cases sharded and demands
+    /// bit-identical observables.
+    pub shards: usize,
 }
 
 /// Partition sizes realizable for each paper topology on the 16-node
@@ -262,6 +267,17 @@ impl Scenario {
             FaultPlan::default()
         };
 
+        // Sharded execution (~one closed-batch case in three): the
+        // conservative-parallel runner must reproduce the sequential
+        // observables bit-for-bit at any shard count — including via its
+        // sequential fallback when the configuration is ineligible. Drawn
+        // after every other knob so earlier draws stay stable.
+        let shards = if arrivals.is_empty() && rng.uniform_u64(0, 3) == 0 {
+            pick(&mut rng, &[2usize, 4, 8])
+        } else {
+            1
+        };
+
         Scenario {
             case,
             seed,
@@ -279,6 +295,7 @@ impl Scenario {
             mpl,
             arrivals,
             faults,
+            shards,
         }
     }
 
@@ -320,7 +337,8 @@ impl Scenario {
              topology={topology:?} partition_size={p} class={class:?}\n\
              app={app:?} arch={arch:?} sizes={sizes:?}\n\
              order={order:?} queue={queue:?} switching={switching:?}\n\
-             discipline={discipline:?} placement={placement:?} mpl={mpl:?}\n\
+             discipline={discipline:?} placement={placement:?} mpl={mpl:?} \
+             shards={shards}\n\
              arrivals={arrivals:?}\n\
              faults={faults:?}\n\
              replay: ORACLE_SEED={seed:#x} ORACLE_ONLY_CASE={case} \
@@ -339,6 +357,7 @@ impl Scenario {
             discipline = self.discipline,
             placement = self.placement,
             mpl = self.mpl,
+            shards = self.shards,
             arrivals = self.arrivals,
             faults = self.faults,
         )
@@ -384,6 +403,22 @@ mod tests {
             let plan = s.config().plan();
             assert_eq!(plan.system_size, 16);
         }
+    }
+
+    #[test]
+    fn shard_draws_cover_closed_batches() {
+        let mut sharded = 0;
+        for case in 0..96 {
+            let s = Scenario::generate(7, case);
+            if s.shards > 1 {
+                assert!(s.arrivals.is_empty(), "sharded draw on an open case");
+                assert!([2, 4, 8].contains(&s.shards), "bad count {}", s.shards);
+                assert!(s.describe().contains("shards="));
+                sharded += 1;
+            }
+        }
+        // ~2/9 of 96 cases (closed × drawn); generous slack.
+        assert!((10..=45).contains(&sharded), "sharded cases: {sharded}");
     }
 
     #[test]

@@ -72,6 +72,57 @@ fn differential_sweep_full() {
 /// handpicked integration configurations: every closed-batch case in one
 /// cross-product pass runs instrumented and must satisfy conservation,
 /// causality, and FCFS admission.
+/// Shard-count invariance: an eligible scenario produces bit-identical
+/// observables at every shard count K ∈ {1, 2, 4, 8}, and every sharded
+/// run is deterministic across thread interleavings (each K runs twice
+/// and the fingerprints must agree).
+#[test]
+fn sharded_runs_are_bit_identical_across_shard_counts() {
+    use parsched_core::{run_batch_sharded, shard_eligibility};
+    let seed = env_u64("ORACLE_SEED").unwrap_or(DEFAULT_SEED);
+    let mut checked = 0;
+    for case in 0..96 {
+        let scenario = Scenario::generate(seed, case);
+        let config = scenario.config();
+        if !scenario.arrivals.is_empty() || shard_eligibility(&config).is_err() {
+            continue;
+        }
+        let batch = scenario.batch();
+        let seq = run_batch_sharded(&config, batch.clone(), 1)
+            .unwrap_or_else(|e| panic!("{e}\n{}", scenario.describe()));
+        for k in [2usize, 4, 8] {
+            let mut fingerprints = Vec::new();
+            for pass in 0..2 {
+                let par = run_batch_sharded(&config, batch.clone(), k)
+                    .unwrap_or_else(|e| panic!("{e}\n{}", scenario.describe()));
+                assert!(par.shards > 1, "eligible case must actually shard");
+                assert_eq!(
+                    par.response_times,
+                    seq.response_times,
+                    "K={k} pass={pass}\n{}",
+                    scenario.describe()
+                );
+                assert_eq!(par.makespan, seq.makespan, "K={k}");
+                assert_eq!(par.counters, seq.counters, "K={k}");
+                assert_eq!(par.events, seq.events, "K={k}");
+                fingerprints.push(par.fingerprint());
+            }
+            assert_eq!(
+                fingerprints[0],
+                fingerprints[1],
+                "interleaving nondeterminism at K={k}\n{}",
+                scenario.describe()
+            );
+            assert_eq!(fingerprints[0], seq.fingerprint(), "K={k}");
+        }
+        checked += 1;
+        if checked >= 6 {
+            break; // bounded test time; the sweep covers the rest
+        }
+    }
+    assert!(checked >= 3, "too few eligible scenarios: {checked}");
+}
+
 #[test]
 fn invariants_hold_on_random_scenarios() {
     use parsched_core::run_batch_observed;

@@ -22,6 +22,7 @@ pub mod build;
 pub mod metrics;
 pub mod partition;
 pub mod route;
+pub mod shard;
 pub mod types;
 
 pub use build::{
@@ -31,4 +32,5 @@ pub use build::{
 pub use metrics::{bisection_width, diameter, distance, metrics, TopologyMetrics};
 pub use partition::{config_label, paper_configs, Partition, PartitionPlan, PlanError};
 pub use route::Router;
+pub use shard::ShardPlan;
 pub use types::{Channel, NodeId, Topology, TopologyKind};

@@ -5,7 +5,12 @@
 # also pins that the fault layer costs nothing when unused), a
 # fault-injection smoke gate (one crash and one flaky-link scenario per
 # policy class, run twice with the oracle's invariant checkers on and
-# bit-identical replay asserted), and a trace-export smoke run.
+# bit-identical replay asserted), a sharded-execution smoke gate (a
+# 2-shard run must be bit-identical to sequential, rerun
+# deterministically, and ineligible configs must fall back with a
+# reason), and a trace-export smoke run. The perf golden check also pins
+# the shard_scale_* cells, so sharded simulated results are gated there
+# too.
 # Everything runs offline; no network access required.
 #
 #   scripts/tier1.sh             the standard gate
@@ -27,6 +32,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q --workspace
 cargo run --release -p parsched-bench --bin perf -- --check --quick
 cargo run --release -p parsched-bench --bin faults -- --smoke
+cargo run --release -p parsched-bench --bin shards -- --smoke
 
 if [ "$mode" = "tier1-full" ]; then
     ORACLE_CASES="${ORACLE_CASES:-480}" \
