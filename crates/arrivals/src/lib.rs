@@ -1,0 +1,499 @@
+//! # parsched-arrivals
+//!
+//! Open-system workload generation for the scheduling testbed: *when* jobs
+//! arrive ([`ArrivalProcess`]) and *how much* service they demand
+//! ([`ServiceDemand`]).
+//!
+//! Everything here draws from the in-tree deterministic RNG
+//! ([`parsched_des::rng::DetRng`]), so a `(seed, configuration)` pair always
+//! reproduces the identical arrival stream and demand sequence — the same
+//! bit-identical-replay contract the rest of the workspace keeps. The
+//! samplers are pure generators: they know nothing about the machine or the
+//! driver. `parsched-core`'s `run_open_system` turns their output into
+//! scheduled arrival events against the live `Driver`.
+//!
+//! ## Offered load
+//!
+//! The conventional open-system knob is the offered load
+//! `ρ = λ · E[S] / P` — arrival rate times mean sequential demand over the
+//! processor count. [`mean_interarrival_for_load`] inverts it: given a
+//! demand sampler's mean and a target ρ, it returns the mean interarrival
+//! time an arrival process must use. ρ → 1 drives the system to saturation.
+
+#![warn(missing_docs)]
+
+use parsched_des::rng::DetRng;
+use parsched_des::{SimDuration, SimTime};
+
+/// A stream of job arrival instants.
+///
+/// Implementations must yield *nondecreasing* instants (asserted by the
+/// property tests for every implementation in this crate): each call
+/// returns the next arrival, or `None` once the stream is exhausted (only
+/// the trace-driven process is finite).
+pub trait ArrivalProcess {
+    /// The next arrival instant, nondecreasing across calls; `None` when
+    /// the stream has ended.
+    fn next_arrival(&mut self) -> Option<SimTime>;
+
+    /// Draw up to `count` arrivals into a vector (shorter if the stream
+    /// ends first).
+    fn take_arrivals(&mut self, count: usize) -> Vec<SimTime> {
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            match self.next_arrival() {
+                Some(t) => out.push(t),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+/// Seeded Poisson arrivals: i.i.d. exponential interarrival gaps.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    rng: DetRng,
+    mean_interarrival: SimDuration,
+    next: SimTime,
+}
+
+impl PoissonArrivals {
+    /// A Poisson stream with the given mean interarrival time, drawing
+    /// from `rng` (pass a dedicated substream so other draws cannot
+    /// perturb the arrivals).
+    pub fn new(mean_interarrival: SimDuration, rng: DetRng) -> Self {
+        assert!(
+            mean_interarrival > SimDuration::ZERO,
+            "mean interarrival must be positive"
+        );
+        PoissonArrivals {
+            rng,
+            mean_interarrival,
+            next: SimTime::ZERO,
+        }
+    }
+}
+
+impl ArrivalProcess for PoissonArrivals {
+    fn next_arrival(&mut self) -> Option<SimTime> {
+        let gap = self.rng.exponential(self.mean_interarrival.as_secs_f64());
+        self.next += SimDuration::from_secs_f64(gap);
+        Some(self.next)
+    }
+}
+
+/// Deterministic-rate arrivals: one job every `period`, exactly.
+#[derive(Debug, Clone)]
+pub struct DeterministicArrivals {
+    period: SimDuration,
+    next: SimTime,
+}
+
+impl DeterministicArrivals {
+    /// An arrival every `period`, the first at `period` (not t = 0, so an
+    /// open run never races the warm-up boundary).
+    pub fn new(period: SimDuration) -> Self {
+        assert!(period > SimDuration::ZERO, "period must be positive");
+        DeterministicArrivals {
+            period,
+            next: SimTime::ZERO,
+        }
+    }
+}
+
+impl ArrivalProcess for DeterministicArrivals {
+    fn next_arrival(&mut self) -> Option<SimTime> {
+        self.next += self.period;
+        Some(self.next)
+    }
+}
+
+/// Trace-driven arrivals: replay a recorded instant sequence.
+#[derive(Debug, Clone)]
+pub struct TraceArrivals {
+    times: Vec<SimTime>,
+    at: usize,
+}
+
+impl TraceArrivals {
+    /// Replay `times` in order.
+    ///
+    /// # Panics
+    /// Panics if the trace is not nondecreasing — a decreasing trace would
+    /// silently violate the [`ArrivalProcess`] contract.
+    pub fn new(times: Vec<SimTime>) -> Self {
+        for w in times.windows(2) {
+            assert!(w[0] <= w[1], "trace arrivals must be nondecreasing");
+        }
+        TraceArrivals { times, at: 0 }
+    }
+}
+
+impl ArrivalProcess for TraceArrivals {
+    fn next_arrival(&mut self) -> Option<SimTime> {
+        let t = self.times.get(self.at).copied();
+        if t.is_some() {
+            self.at += 1;
+        }
+        t
+    }
+}
+
+/// A per-job sequential service-demand sampler.
+pub trait ServiceDemand {
+    /// Draw the next job's total sequential demand.
+    fn sample(&mut self) -> SimDuration;
+
+    /// The distribution's mean (analytic, not empirical) — used to derive
+    /// arrival rates for a target offered load.
+    fn mean(&self) -> SimDuration;
+}
+
+/// Exponential service demand (CV 1, the queueing-theory baseline).
+#[derive(Debug, Clone)]
+pub struct ExponentialDemand {
+    rng: DetRng,
+    mean: SimDuration,
+}
+
+impl ExponentialDemand {
+    /// Exponential demand with the given mean.
+    pub fn new(mean: SimDuration, rng: DetRng) -> Self {
+        assert!(mean > SimDuration::ZERO, "mean demand must be positive");
+        ExponentialDemand { rng, mean }
+    }
+}
+
+impl ServiceDemand for ExponentialDemand {
+    fn sample(&mut self) -> SimDuration {
+        SimDuration::from_secs_f64(self.rng.exponential(self.mean.as_secs_f64()))
+    }
+
+    fn mean(&self) -> SimDuration {
+        self.mean
+    }
+}
+
+/// Bounded Pareto service demand: the heavy-tailed workhorse of the
+/// open-system literature (Harchol-Balter's task-assignment studies),
+/// truncated to `[lo, hi]` so every draw is finite and the mean exists for
+/// any shape `alpha`.
+///
+/// Sampled by inverting the CDF
+/// `F(x) = (1 − (L/x)^α) / (1 − (L/H)^α)` on a `uniform01` draw — one
+/// uniform per sample, no rejection, so the stream position is a pure
+/// function of the sample count (replay-friendly).
+#[derive(Debug, Clone)]
+pub struct BoundedParetoDemand {
+    rng: DetRng,
+    alpha: f64,
+    lo: SimDuration,
+    hi: SimDuration,
+    mean: SimDuration,
+}
+
+impl BoundedParetoDemand {
+    /// Bounded Pareto with shape `alpha` on `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < lo < hi` and `alpha > 0`.
+    pub fn new(alpha: f64, lo: SimDuration, hi: SimDuration, rng: DetRng) -> Self {
+        assert!(alpha > 0.0, "bounded Pareto: alpha must be positive");
+        assert!(
+            lo > SimDuration::ZERO && lo < hi,
+            "bounded Pareto: need 0 < lo < hi"
+        );
+        let l = lo.as_secs_f64();
+        let h = hi.as_secs_f64();
+        // Analytic mean of the truncated distribution; the alpha == 1 case
+        // is the usual logarithmic limit.
+        let mean = if (alpha - 1.0).abs() < 1e-9 {
+            (l * h / (h - l)) * (h / l).ln()
+        } else {
+            let la = l.powf(alpha);
+            (la / (1.0 - (l / h).powf(alpha)))
+                * (alpha / (alpha - 1.0))
+                * (l.powf(1.0 - alpha) - h.powf(1.0 - alpha))
+        };
+        BoundedParetoDemand {
+            rng,
+            alpha,
+            lo,
+            hi,
+            mean: SimDuration::from_secs_f64(mean),
+        }
+    }
+
+    /// The configured lower bound.
+    pub fn lo(&self) -> SimDuration {
+        self.lo
+    }
+
+    /// The configured upper bound.
+    pub fn hi(&self) -> SimDuration {
+        self.hi
+    }
+}
+
+impl ServiceDemand for BoundedParetoDemand {
+    fn sample(&mut self) -> SimDuration {
+        let u = self.rng.uniform01();
+        let l = self.lo.as_secs_f64();
+        let h = self.hi.as_secs_f64();
+        let ratio = (l / h).powf(self.alpha);
+        // Inverse CDF; u in [0,1) keeps the denominator positive.
+        let x = l / (1.0 - u * (1.0 - ratio)).powf(1.0 / self.alpha);
+        SimDuration::from_secs_f64(x.clamp(l, h))
+    }
+
+    fn mean(&self) -> SimDuration {
+        self.mean
+    }
+}
+
+/// Two-stage balanced hyperexponential demand (CV ≥ 1): the paper's own
+/// §5.2 high-variance ablation as an open-system generator.
+#[derive(Debug, Clone)]
+pub struct HyperexponentialDemand {
+    rng: DetRng,
+    mean: SimDuration,
+    cv: f64,
+}
+
+impl HyperexponentialDemand {
+    /// Hyperexponential demand with the given mean and coefficient of
+    /// variation (`cv >= 1`).
+    pub fn new(mean: SimDuration, cv: f64, rng: DetRng) -> Self {
+        assert!(mean > SimDuration::ZERO, "mean demand must be positive");
+        assert!(cv >= 1.0, "hyperexponential: cv must be >= 1");
+        HyperexponentialDemand { rng, mean, cv }
+    }
+}
+
+impl ServiceDemand for HyperexponentialDemand {
+    fn sample(&mut self) -> SimDuration {
+        SimDuration::from_secs_f64(
+            self.rng.hyperexponential(self.mean.as_secs_f64(), self.cv),
+        )
+    }
+
+    fn mean(&self) -> SimDuration {
+        self.mean
+    }
+}
+
+/// The mean interarrival time that produces offered load `rho` on
+/// `processors` processors for jobs of mean sequential demand `mean_demand`:
+/// `E[A] = E[S] / (ρ · P)`.
+///
+/// ```
+/// use parsched_arrivals::mean_interarrival_for_load;
+/// use parsched_des::SimDuration;
+///
+/// // 16 processors, 2 s mean demand, ρ = 0.5 → one arrival every 250 ms.
+/// let a = mean_interarrival_for_load(0.5, SimDuration::from_secs(2), 16);
+/// assert_eq!(a, SimDuration::from_millis(250));
+/// ```
+pub fn mean_interarrival_for_load(
+    rho: f64,
+    mean_demand: SimDuration,
+    processors: usize,
+) -> SimDuration {
+    assert!(rho > 0.0, "offered load must be positive");
+    assert!(processors > 0, "need at least one processor");
+    SimDuration::from_secs_f64(mean_demand.as_secs_f64() / (rho * processors as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsched_des::Welford;
+
+    fn rng(label: &str) -> DetRng {
+        DetRng::new(0xA221).substream(label)
+    }
+
+    /// Every arrival process yields nondecreasing instants, from the first
+    /// draw on.
+    #[test]
+    fn arrival_streams_are_monotone() {
+        let mut streams: Vec<(&str, Box<dyn ArrivalProcess>)> = vec![
+            (
+                "poisson",
+                Box::new(PoissonArrivals::new(SimDuration::from_millis(10), rng("p"))),
+            ),
+            (
+                "deterministic",
+                Box::new(DeterministicArrivals::new(SimDuration::from_millis(7))),
+            ),
+            (
+                "trace",
+                Box::new(TraceArrivals::new(
+                    (0..500).map(|i| SimTime(i * 100 + i * 31 % 50)).collect(),
+                )),
+            ),
+        ];
+        for (name, s) in &mut streams {
+            let arr = s.take_arrivals(400);
+            assert!(!arr.is_empty(), "{name} produced nothing");
+            for w in arr.windows(2) {
+                assert!(w[0] <= w[1], "{name} went backwards: {:?} -> {:?}", w[0], w[1]);
+            }
+        }
+    }
+
+    /// Same seed → bit-identical stream, for arrivals and demands alike.
+    #[test]
+    fn seeded_streams_replay_identically() {
+        let mk_arr = || PoissonArrivals::new(SimDuration::from_millis(5), rng("det"));
+        assert_eq!(mk_arr().take_arrivals(200), mk_arr().take_arrivals(200));
+
+        let mk_exp = || ExponentialDemand::new(SimDuration::from_secs(1), rng("e"));
+        let mk_par = || {
+            BoundedParetoDemand::new(
+                1.5,
+                SimDuration::from_millis(10),
+                SimDuration::from_secs(100),
+                rng("bp"),
+            )
+        };
+        let mk_hyp = || HyperexponentialDemand::new(SimDuration::from_secs(1), 3.0, rng("h"));
+        let draw = |mut s: Box<dyn ServiceDemand>| -> Vec<SimDuration> {
+            (0..200).map(|_| s.sample()).collect()
+        };
+        assert_eq!(draw(Box::new(mk_exp())), draw(Box::new(mk_exp())));
+        assert_eq!(draw(Box::new(mk_par())), draw(Box::new(mk_par())));
+        assert_eq!(draw(Box::new(mk_hyp())), draw(Box::new(mk_hyp())));
+    }
+
+    /// Every bounded-Pareto draw respects the configured bounds.
+    #[test]
+    fn bounded_pareto_respects_bounds() {
+        let lo = SimDuration::from_millis(2);
+        let hi = SimDuration::from_secs(50);
+        let mut s = BoundedParetoDemand::new(1.1, lo, hi, rng("bounds"));
+        for _ in 0..20_000 {
+            let x = s.sample();
+            assert!(x >= lo && x <= hi, "out of bounds: {x}");
+        }
+    }
+
+    /// Empirical means track the analytic means the samplers advertise.
+    #[test]
+    fn empirical_means_match_configured_means() {
+        let cases: Vec<(&str, Box<dyn ServiceDemand>, f64)> = vec![
+            (
+                "exponential",
+                Box::new(ExponentialDemand::new(SimDuration::from_secs(2), rng("me"))),
+                0.05,
+            ),
+            (
+                "hyperexponential",
+                Box::new(HyperexponentialDemand::new(
+                    SimDuration::from_secs(2),
+                    2.0,
+                    rng("mh"),
+                )),
+                0.10,
+            ),
+            (
+                // Shape > 2 keeps the sample variance small enough for a
+                // tight empirical check; heavier tails are exercised by the
+                // bounds test above.
+                "bounded-pareto",
+                Box::new(BoundedParetoDemand::new(
+                    2.5,
+                    SimDuration::from_millis(500),
+                    SimDuration::from_secs(200),
+                    rng("mp"),
+                )),
+                0.10,
+            ),
+        ];
+        for (name, mut s, tol) in cases {
+            let mean = s.mean().as_secs_f64();
+            let mut w = Welford::new();
+            for _ in 0..100_000 {
+                w.record(s.sample().as_secs_f64());
+            }
+            let rel = (w.mean() - mean).abs() / mean;
+            assert!(
+                rel < tol,
+                "{name}: empirical mean {} vs analytic {mean} (rel {rel})",
+                w.mean()
+            );
+        }
+    }
+
+    /// The Poisson process hits its configured rate.
+    #[test]
+    fn poisson_rate_is_calibrated() {
+        let mut p = PoissonArrivals::new(SimDuration::from_millis(100), rng("rate"));
+        let arr = p.take_arrivals(20_000);
+        let span = arr.last().unwrap().as_secs_f64();
+        let mean_gap = span / arr.len() as f64;
+        assert!(
+            (mean_gap - 0.1).abs() < 0.005,
+            "mean interarrival {mean_gap}"
+        );
+    }
+
+    #[test]
+    fn trace_exhausts_cleanly() {
+        let mut t = TraceArrivals::new(vec![SimTime(1), SimTime(5)]);
+        assert_eq!(t.next_arrival(), Some(SimTime(1)));
+        assert_eq!(t.next_arrival(), Some(SimTime(5)));
+        assert_eq!(t.next_arrival(), None);
+        assert_eq!(t.next_arrival(), None, "stays exhausted");
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn decreasing_trace_is_rejected() {
+        let _ = TraceArrivals::new(vec![SimTime(5), SimTime(1)]);
+    }
+
+    #[test]
+    fn deterministic_arrivals_are_periodic() {
+        let mut d = DeterministicArrivals::new(SimDuration::from_millis(3));
+        let arr = d.take_arrivals(4);
+        assert_eq!(
+            arr,
+            vec![
+                SimTime::ZERO + SimDuration::from_millis(3),
+                SimTime::ZERO + SimDuration::from_millis(6),
+                SimTime::ZERO + SimDuration::from_millis(9),
+                SimTime::ZERO + SimDuration::from_millis(12),
+            ]
+        );
+    }
+
+    #[test]
+    fn load_inversion_matches_definition() {
+        // ρ = E[S] / (E[A] · P) must recover the requested load.
+        for &rho in &[0.1, 0.5, 0.9, 1.2] {
+            let s = SimDuration::from_secs(2);
+            let a = mean_interarrival_for_load(rho, s, 16);
+            let back = s.as_secs_f64() / (a.as_secs_f64() * 16.0);
+            // Interarrivals round to integer nanoseconds, so recover the
+            // load to ~1e-6, not exactly.
+            assert!((back - rho).abs() < 1e-6, "rho {rho} -> {back}");
+        }
+    }
+
+    /// The bounded-Pareto analytic mean is consistent across the
+    /// alpha == 1 special case boundary.
+    #[test]
+    fn bounded_pareto_mean_continuous_at_alpha_one() {
+        let lo = SimDuration::from_millis(10);
+        let hi = SimDuration::from_secs(10);
+        let at = |alpha: f64| BoundedParetoDemand::new(alpha, lo, hi, rng("c")).mean().as_secs_f64();
+        let near = at(1.0 + 1e-7);
+        let exact = at(1.0);
+        assert!(
+            (near - exact).abs() / exact < 1e-3,
+            "mean discontinuous at alpha=1: {near} vs {exact}"
+        );
+    }
+}

@@ -1,7 +1,7 @@
 //! Sharded-execution smoke and scaling demonstration.
 //!
 //! ```text
-//! shards [--smoke] [--shards K]
+//! shards [--smoke] [--shards K] [--csv] [--out DIR]
 //! ```
 //!
 //! `--smoke` is the tier-1 gate: one eligible configuration (four 16-node
@@ -14,8 +14,12 @@
 //! and still match.
 //!
 //! Full mode sweeps shard counts 1, 2, 4 and prints each run's wall
-//! clock, speedup over sequential, and the (identical) simulated mean —
-//! the source of the scaling table in `EXPERIMENTS.md`.
+//! clock, speedup over sequential, the (identical) simulated mean, and —
+//! when a run fell back to the sequential path — the recorded reason.
+//! The same table renders to CSV (`--csv`, or `--out DIR` for
+//! `shards.csv`), so fallback reasons land in the metrics CSV next to
+//! the numbers they explain. This is the source of the scaling table in
+//! `EXPERIMENTS.md`.
 
 use parsched_core::prelude::*;
 use parsched_core::sharded::run_batch_sharded;
@@ -93,11 +97,15 @@ fn smoke() {
     );
 }
 
-fn sweep(counts: &[usize]) {
+/// One sweep over shard counts as a [`FigureTable`]: the text rendering
+/// goes to the console, the CSV rendering to files. The `fallback` column
+/// records why a run used the sequential path (`-` when it sharded), so
+/// the reason travels with the numbers instead of vanishing into stderr.
+fn sweep(counts: &[usize]) -> FigureTable {
     let (cfg, batch) = config();
     let mut base_ns = 0u128;
     let mut reference: Option<ShardedRunResult> = None;
-    println!("{:<8} {:>10} {:>8} {:>14} {:>8}", "shards", "wall", "speedup", "mean resp (s)", "used");
+    let mut rows = Vec::new();
     for &k in counts {
         let t0 = Instant::now();
         let r = run_batch_sharded(&cfg, batch.clone(), k).expect("shard-scale run completes");
@@ -110,13 +118,29 @@ fn sweep(counts: &[usize]) {
         } else {
             reference = Some(r.clone());
         }
-        println!(
-            "{k:<8} {:>9.3}s {:>7.2}x {:>14.6} {:>8}",
-            ns as f64 / 1e9,
-            base_ns as f64 / ns as f64,
-            r.mean_response(),
-            r.shards,
-        );
+        rows.push(FigureRow {
+            label: format!("{k}"),
+            static_mean: None,
+            ts_mean: None,
+            extra: vec![
+                format!("{:.3}", ns as f64 / 1e9),
+                format!("{:.2}", base_ns as f64 / ns as f64),
+                format!("{:.6}", r.mean_response()),
+                format!("{}", r.shards),
+                r.fallback.unwrap_or("-").to_string(),
+            ],
+        });
+    }
+    FigureTable {
+        title: "Sharded scaling: 64-node machine, four 16-node hypercube partitions".into(),
+        columns: vec![
+            "wall (s)".into(),
+            "speedup".into(),
+            "mean resp (s)".into(),
+            "used".into(),
+            "fallback".into(),
+        ],
+        rows,
     }
 }
 
@@ -131,8 +155,24 @@ fn main() {
         .position(|a| a == "--shards")
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok());
-    match shards {
+    let table = match shards {
         Some(k) => sweep(&[1, k]),
         None => sweep(&[1, 2, 4]),
+    };
+    if args.iter().any(|a| a == "--csv") {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_text());
+    }
+    if let Some(dir) = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+    {
+        std::fs::create_dir_all(dir).expect("create out dir");
+        let base = std::path::Path::new(dir).join("shards");
+        std::fs::write(base.with_extension("csv"), table.to_csv()).expect("write csv");
+        std::fs::write(base.with_extension("md"), table.to_markdown()).expect("write md");
+        eprintln!("wrote {}.csv and .md", base.display());
     }
 }

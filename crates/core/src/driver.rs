@@ -94,11 +94,31 @@ pub struct Driver {
     /// survivor count of its new partition, produce the spec to rerun
     /// (`None` = rerun the original spec unchanged, the fixed architecture).
     respawner: Option<Respawner>,
+    /// Jobs currently in the system (arrived, not yet departed): the
+    /// open-system population behind the `machine.in_system` gauge and the
+    /// `JobSubmitted`/`JobDeparted` events.
+    in_system: u32,
 }
 
 /// Boxed [`Driver::with_respawner`] hook: `(batch index, survivor count)`
 /// to the replacement spec (`None` = rerun the original unchanged).
 type Respawner = Box<dyn Fn(usize, usize) -> Option<JobSpec> + Send>;
+
+/// One batch entry's lifecycle as seen from outside the driver
+/// ([`Driver::entry_records`]): when it arrived, when (if) it departed, and
+/// whether the departure was a terminal abandonment rather than a
+/// completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryRecord {
+    /// The entry's arrival instant at the super scheduler.
+    pub arrival: SimTime,
+    /// Completion (or abandonment) instant; `None` if still in the system
+    /// when the run stopped.
+    pub finished: Option<SimTime>,
+    /// The entry was terminally abandoned after exhausting its requeue
+    /// budget.
+    pub abandoned: bool,
+}
 
 impl Driver {
     /// Build a driver for `batch` (in submission order) under the given
@@ -149,6 +169,7 @@ impl Driver {
             job_indices: None,
             load_floors: None,
             respawner: None,
+            in_system: 0,
         }
     }
 
@@ -266,7 +287,34 @@ impl Driver {
     /// queue it.
     fn on_arrival(&mut self, idx: usize, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         self.entries[idx].arrival = now;
+        self.in_system += 1;
+        self.machine.observe(
+            now,
+            parsched_obs::ObsEvent::JobSubmitted {
+                index: idx as u32,
+                in_system: self.in_system,
+            },
+        );
+        if let Some(m) = self.machine.metrics.as_deref_mut() {
+            m.set_in_system(now, self.in_system);
+        }
         self.admit_or_queue(idx, now, sched, false);
+    }
+
+    /// A batch entry left the system (completed or terminally abandoned):
+    /// step the population gauge down and record the departure.
+    fn on_departure(&mut self, idx: usize, now: SimTime) {
+        self.in_system -= 1;
+        self.machine.observe(
+            now,
+            parsched_obs::ObsEvent::JobDeparted {
+                index: idx as u32,
+                in_system: self.in_system,
+            },
+        );
+        if let Some(m) = self.machine.metrics.as_deref_mut() {
+            m.set_in_system(now, self.in_system);
+        }
     }
 
     /// The surviving (alive) nodes of a partition, in index order. The
@@ -331,6 +379,40 @@ impl Driver {
             );
         }
         sched.schedule_now(Event::Admit { job });
+        self.retune_quantum(part);
+    }
+
+    /// Recompute the dynamic quantum for every job resident on `part`
+    /// (no-op under any other discipline): the mean per-process *remaining*
+    /// demand across the partition's jobs, floored at the discipline's
+    /// `base`. Called at every membership change (admission, completion,
+    /// failure), so a lone job runs essentially preemption-free while a
+    /// crowded partition reverts toward short, fair slices. Changing a
+    /// process's quantum never reschedules a slice already under way — the
+    /// new value takes effect at its next dispatch — so this is pure state
+    /// and replays bit-identically on any engine.
+    fn retune_quantum(&mut self, part: usize) {
+        let Discipline::DynamicQuantum { base } = self.discipline else {
+            return;
+        };
+        let members: Vec<JobId> = self.assigned[part]
+            .iter()
+            .filter_map(|&i| self.entries[i].job_id)
+            .collect();
+        if members.is_empty() {
+            return;
+        }
+        let mut total: u128 = 0;
+        for &id in &members {
+            let rem = self.machine.job_remaining(id);
+            let width = self.machine.job(id).proc_keys.len().max(1) as u64;
+            total += (rem.nanos() / width) as u128;
+        }
+        let mean = (total / members.len() as u128) as u64;
+        let q = SimDuration::from_nanos(mean.max(base.nanos()));
+        for id in members {
+            self.machine.set_job_quantum(id, q);
+        }
     }
 
     /// Register a batch entry with the machine on a partition; returns the
@@ -346,9 +428,12 @@ impl Driver {
         };
         let spec = respawned.unwrap_or_else(|| self.entries[idx].spec.clone());
         let width = spec.width();
-        let quantum = match self.policy {
-            PolicyKind::Static => self.machine.cfg.default_quantum,
-            PolicyKind::TimeSharing => self.rule.quantum(alive.len(), width),
+        let quantum = match (self.policy, self.discipline) {
+            (PolicyKind::Static, _) => self.machine.cfg.default_quantum,
+            // Dynamic quantum: start at the floor; the retune that follows
+            // this admission (same event) sets the real value.
+            (PolicyKind::TimeSharing, Discipline::DynamicQuantum { base }) => base,
+            (PolicyKind::TimeSharing, _) => self.rule.quantum(alive.len(), width),
         };
         let global_idx = self.job_indices.as_ref().map_or(idx, |v| v[idx]);
         let placement = self.placement.assign_nodes(&alive, width, global_idx);
@@ -423,6 +508,8 @@ impl Driver {
                 self.note_mpl(part, now);
                 self.assigned[part].retain(|&i| i != idx);
                 self.drop_from_gang(part, idx, now, sched);
+                self.on_departure(idx, now);
+                self.retune_quantum(part);
                 // Partition scheduler: begin loading the next queued job
                 // into the freed assignment slot, and start any staged job
                 // that is already resident. (The liveness check only bites
@@ -448,6 +535,7 @@ impl Driver {
                 self.entries[idx].partition = None;
                 self.assigned[part].retain(|&i| i != idx);
                 self.drop_from_gang(part, idx, now, sched);
+                self.retune_quantum(part);
                 if self.entries[idx].failures > self.max_requeues {
                     // Budget exhausted: abandon terminally. The machine
                     // already dropped and accounted the dead incarnation's
@@ -456,6 +544,7 @@ impl Driver {
                     self.entries[idx].abandoned = true;
                     self.entries[idx].finished = Some(now);
                     self.machine.counters.jobs_abandoned += 1;
+                    self.on_departure(idx, now);
                 } else {
                     // Requeue at the front of the FCFS queue (the job
                     // keeps its turn) and re-place immediately if any
@@ -509,6 +598,21 @@ impl Driver {
     /// budget ([`Driver::with_max_requeues`]).
     pub fn abandoned_count(&self) -> usize {
         self.entries.iter().filter(|e| e.abandoned).count()
+    }
+
+    /// Per-entry lifecycle records in batch order. Unlike
+    /// [`Driver::response_times`] this never panics: a horizon-stopped open
+    /// run reports unfinished entries with `finished: None` and the caller
+    /// decides what to do with the partial sample.
+    pub fn entry_records(&self) -> Vec<EntryRecord> {
+        self.entries
+            .iter()
+            .map(|e| EntryRecord {
+                arrival: e.arrival,
+                finished: e.finished,
+                abandoned: e.abandoned,
+            })
+            .collect()
     }
 
     /// Per-job response times in batch order, measured from each job's own

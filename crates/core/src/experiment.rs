@@ -575,6 +575,55 @@ mod tests {
     }
 
     #[test]
+    fn dynamic_quantum_lone_job_runs_preemption_free() {
+        // With only one resident job the dynamic quantum equals the job's
+        // whole remaining demand: it should never timeslice.
+        let mut config = quick(1, PolicyKind::TimeSharing);
+        config.discipline = Discipline::DynamicQuantum {
+            base: SimDuration::from_millis(2),
+        };
+        let r = run_batch(&config, tiny_batch(1, 100)).unwrap();
+        assert!(
+            r.stats.quantum_expiries <= 1,
+            "lone job timesliced {} times",
+            r.stats.quantum_expiries
+        );
+    }
+
+    #[test]
+    fn dynamic_quantum_cuts_context_switches() {
+        // Same batch, same machine: the dynamic discipline must complete
+        // everything with far fewer quantum expiries than the fixed 2 ms
+        // RR-job rule (that is its whole point).
+        let batch = tiny_batch(4, 50);
+        let fixed = run_batch(&quick(1, PolicyKind::TimeSharing), batch.clone()).unwrap();
+        let mut config = quick(1, PolicyKind::TimeSharing);
+        config.discipline = Discipline::DynamicQuantum {
+            base: SimDuration::from_millis(2),
+        };
+        let dynq = run_batch(&config, batch).unwrap();
+        assert_eq!(dynq.response_times.len(), 4);
+        assert!(
+            dynq.stats.quantum_expiries * 4 < fixed.stats.quantum_expiries,
+            "dynamic {} !<< fixed {}",
+            dynq.stats.quantum_expiries,
+            fixed.stats.quantum_expiries
+        );
+    }
+
+    #[test]
+    fn dynamic_quantum_replays_identically() {
+        let mut config = quick(2, PolicyKind::TimeSharing);
+        config.discipline = Discipline::DynamicQuantum {
+            base: SimDuration::from_millis(2),
+        };
+        let a = run_batch(&config, tiny_batch(6, 10)).unwrap();
+        let b = run_batch(&config, tiny_batch(6, 10)).unwrap();
+        assert_eq!(a.response_times, b.response_times);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
     fn mpl_override_bounds_admission() {
         // MPL 2 on one partition of one node: jobs 3 and 4 must wait.
         let mut config = quick(1, PolicyKind::TimeSharing);

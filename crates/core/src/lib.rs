@@ -11,6 +11,8 @@
 //! * [`experiment`] — run configuration, best/worst static orderings, and
 //!   the mean-response-time metric;
 //! * [`figures`] — one function per paper figure and ablation;
+//! * [`open`] — the open-system front door: arrival streams, heavy-tailed
+//!   demand, warm-up-truncated response/slowdown curves over a ρ grid;
 //! * [`report`] — the row/series output the paper's figures plot;
 //! * [`runner`] — parallel execution of configuration grids;
 //! * [`sharded`] — conservative-parallel execution of a single run,
@@ -29,6 +31,7 @@
 pub mod driver;
 pub mod experiment;
 pub mod figures;
+pub mod open;
 pub mod policy;
 pub mod report;
 pub mod runner;
@@ -36,7 +39,7 @@ pub mod sharded;
 
 /// The core crate's commonly used names in one import.
 pub mod prelude {
-    pub use crate::driver::Driver;
+    pub use crate::driver::{Driver, EntryRecord};
     pub use crate::experiment::{
         order_batch, run_batch, run_batch_observed, run_batch_with_arrivals, run_experiment,
         run_replicated, BatchOrder, ExperimentConfig, ExperimentResult, ObsArtifacts,
@@ -47,6 +50,10 @@ pub mod prelude {
         ablation_overheads, ablation_partition_tuning, ablation_pipeline, ablation_quantum,
         ablation_topology, ablation_variance,
         ablation_wormhole, fig3, fig4, fig5, fig6, figure, FigureOpts,
+    };
+    pub use crate::open::{
+        run_open_stream, run_open_system, sweep_load, DemandSpec, LoadPoint, LoadSweep,
+        OpenConfig, OpenJobRecord, OpenRunResult, StopRule, TailStats,
     };
     pub use crate::policy::{Discipline, Placement, PolicyKind, QuantumRule};
     pub use crate::report::{metrics_table, FigureRow, FigureTable};

@@ -106,6 +106,22 @@ pub enum Discipline {
         /// the partition rotates to the next job).
         slot: SimDuration,
     },
+    /// The first dynamic-quantum family member (MDTQRR-style): nodes still
+    /// round-robin their local ready queues independently, but the quantum
+    /// is *recomputed from the partition's current job population* instead
+    /// of fixed at admission. Whenever a partition's membership changes
+    /// (admission, completion, failure) the driver sets every resident
+    /// job's quantum to the mean per-process *remaining* demand across the
+    /// partition's jobs, floored at `base`. A lone job therefore runs
+    /// essentially preemption-free; a short job mixed with long ones
+    /// finishes within a couple of rounds (the SJF-approximating behaviour
+    /// the dynamic-quantum RR literature aims for), with far fewer context
+    /// switches than a fixed small quantum.
+    DynamicQuantum {
+        /// Quantum floor (also the initial quantum at admission, until the
+        /// first recompute — which happens in the same event).
+        base: SimDuration,
+    },
 }
 
 /// How a job's processes are laid out over its partition's processors.

@@ -8,7 +8,8 @@
 
 use crate::queue::{AdaptiveQueue, BinaryHeapQueue, CalendarQueue, EventQueue, Scheduled};
 use crate::time::{SimDuration, SimTime};
-use crate::wheel::{TimerHandle, TimerWheel};
+use crate::timers::AdaptiveTimers;
+use crate::wheel::TimerHandle;
 use std::collections::VecDeque;
 
 /// A simulation model: consumes events, may schedule more via the
@@ -105,13 +106,13 @@ impl<E> EventSeeder<E> for Engine<E> {
 ///
 /// New events go straight into the engine's pending-event tiers — the
 /// now-queue for the current instant, the backend queue for the future, the
-/// [`TimerWheel`] for cancellable timers — with no intermediate buffering.
-/// All three tiers order by the same `(time, seq)` key, so the pop order is
-/// identical to what a single buffered queue would give.
+/// [`AdaptiveTimers`] store for cancellable timers — with no intermediate
+/// buffering. All three tiers order by the same `(time, seq)` key, so the
+/// pop order is identical to what a single buffered queue would give.
 pub struct Scheduler<'w, E> {
     now: SimTime,
     next_seq: u64,
-    wheel: &'w mut TimerWheel<E>,
+    timers: &'w mut AdaptiveTimers<E>,
     queue: &'w mut Backend<E>,
     now_queue: &'w mut VecDeque<Scheduled<E>>,
 }
@@ -147,15 +148,15 @@ impl<E> EventScheduler<E> for Scheduler<'_, E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.wheel.insert(time, seq, event)
+        self.timers.insert(time, seq, event)
     }
 
     fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
-        self.wheel.cancel(handle)
+        self.timers.cancel(handle)
     }
 
     fn timer_count(&self) -> usize {
-        self.wheel.len()
+        self.timers.len()
     }
 }
 
@@ -239,12 +240,13 @@ pub enum RunOutcome {
 /// * the **now-queue** — a FIFO ring holding events scheduled *for the
 ///   current instant* (zero-delay handler chains); pushing and popping it
 ///   never touches the comparison-based queue,
-/// * the **timing wheel** — cancellable timers from
-///   [`Scheduler::schedule_timer`],
+/// * the **timer store** — cancellable timers from
+///   [`Scheduler::schedule_timer`], kept on a timing wheel with an
+///   adaptive heap fallback ([`AdaptiveTimers`]),
 /// * the **backend queue** — everything else ([`QueueKind`]).
 pub struct Engine<E> {
     queue: Backend<E>,
-    wheel: TimerWheel<E>,
+    timers: AdaptiveTimers<E>,
     /// Events scheduled for the current instant, in FIFO (= seq) order.
     /// Invariant: every entry's time equals the time of the most recently
     /// popped event, so entries are totally ordered against the other two
@@ -270,7 +272,7 @@ impl<E> Engine<E> {
         };
         Engine {
             queue,
-            wheel: TimerWheel::new(),
+            timers: AdaptiveTimers::new(),
             now_queue: VecDeque::with_capacity(64),
             now: SimTime::ZERO,
             next_seq: 0,
@@ -294,7 +296,7 @@ impl<E> Engine<E> {
 
     /// Number of pending events (including pending timers).
     pub fn pending(&self) -> usize {
-        self.queue.len() + self.wheel.len() + self.now_queue.len()
+        self.queue.len() + self.timers.len() + self.now_queue.len()
     }
 
     /// Schedule an event before the run starts (or between runs).
@@ -318,14 +320,14 @@ impl<E> Engine<E> {
                 return RunOutcome::BudgetExhausted;
             }
             // Merge-peek: the next event is the least (time, seq) across
-            // the now-queue front, the wheel minimum, and the queue head.
+            // the now-queue front, the timer minimum, and the queue head.
             let mut key = u128::MAX;
             let mut src = NONE;
             if let Some(s) = self.now_queue.front() {
                 key = ((s.time.nanos() as u128) << 64) | s.seq as u128;
                 src = NOW;
             }
-            if let Some(k) = self.wheel.peek_key() {
+            if let Some(k) = self.timers.peek_key() {
                 if k < key {
                     key = k;
                     src = WHEEL;
@@ -348,7 +350,7 @@ impl<E> Engine<E> {
             }
             let item = match src {
                 NOW => self.now_queue.pop_front().expect("peeked the front"),
-                WHEEL => self.wheel.pop_min().expect("peeked the minimum"),
+                WHEEL => self.timers.pop_min().expect("peeked the minimum"),
                 _ => self.queue.pop().expect("peeked the head"),
             };
             debug_assert!(item.time >= self.now, "event queue returned the past");
@@ -358,7 +360,7 @@ impl<E> Engine<E> {
             let mut sched = Scheduler {
                 now: self.now,
                 next_seq: self.next_seq,
-                wheel: &mut self.wheel,
+                timers: &mut self.timers,
                 queue: &mut self.queue,
                 now_queue: &mut self.now_queue,
             };
@@ -378,7 +380,7 @@ impl<E> Engine<E> {
         if let Some(s) = self.now_queue.front() {
             key = ((s.time.nanos() as u128) << 64) | s.seq as u128;
         }
-        if let Some(k) = self.wheel.peek_key() {
+        if let Some(k) = self.timers.peek_key() {
             key = key.min(k);
         }
         if let Some(k) = self.queue.peek_key() {

@@ -5,8 +5,9 @@
 //!
 //! The kernel is domain-agnostic: it provides simulated [time](time),
 //! interchangeable [pending-event set](queue) implementations (heap,
-//! calendar, and an adaptive hybrid), a [timing wheel](wheel) for
-//! cancellable timers, the [event loop](engine), a conservative
+//! calendar, and an adaptive hybrid), a [timing wheel](wheel) with an
+//! [adaptive heap fallback](timers) for cancellable timers, the
+//! [event loop](engine), a conservative
 //! [sharded parallel engine](shard) with barrier lookahead windows,
 //! [output statistics](stats),
 //! a [deterministic RNG](rng) with labelled substreams, and a bounded
@@ -59,6 +60,7 @@ pub mod rng;
 pub mod shard;
 pub mod stats;
 pub mod time;
+pub mod timers;
 pub mod trace;
 pub mod wheel;
 
@@ -69,6 +71,7 @@ pub mod prelude {
     };
     pub use crate::queue::{AdaptiveQueue, BinaryHeapQueue, CalendarQueue, EventQueue, Scheduled};
     pub use crate::shard::{Lookahead, ShardCtx, ShardModel, ShardedEngine, Solo};
+    pub use crate::timers::AdaptiveTimers;
     pub use crate::wheel::{TimerHandle, TimerWheel};
     pub use crate::rng::DetRng;
     pub use crate::stats::{percentile, Histogram, Summary, TimeWeighted, Welford};

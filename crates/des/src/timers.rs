@@ -1,0 +1,365 @@
+//! Adaptive timer store: the timing wheel with a heap fallback, migrated
+//! by the same wide-hysteresis rule as the heap↔calendar event queue.
+//!
+//! The [`TimerWheel`](crate::wheel::TimerWheel) is the right structure for
+//! the machine's timer population — short-horizon, cancellation-heavy —
+//! but it has a pathological regime: timers firing beyond its ~4.9 hour
+//! span land in an unordered *overflow list* where every insert, cancel
+//! and pop is a linear scan. A model that parks many far-future timers
+//! (long message-timeout guards under congestion, sparse health checks)
+//! quietly degrades the whole engine to `O(n)` per operation.
+//!
+//! [`AdaptiveTimers`] watches for that regime exactly the way
+//! [`AdaptiveQueue`](crate::queue::AdaptiveQueue) watches its backend: a
+//! cheap counter-driven check every [`ADAPT_CHECK_EVERY`] operations, a
+//! [`ADAPT_STREAK`]-long confirmation streak before any migration, and
+//! promote/demote thresholds ([`ADAPT_PROMOTE_LEN`] /
+//! [`ADAPT_DEMOTE_LEN`]) spread wide apart so a population oscillating
+//! near one threshold cannot thrash migrations. While the overflow list
+//! stays over the promote threshold, the whole population migrates to a
+//! 4-ary min-heap with lazy deletion (cancel marks the key dead; corpses
+//! are skipped on pop); once the population shrinks below the demote
+//! threshold — small enough that re-filing it is cheap and the wheel's
+//! `O(1)` ops win again — it migrates back.
+//!
+//! Both modes order by the identical packed `(time, seq)` key, and a
+//! migration moves every live timer with its key intact, so the pop
+//! sequence observed by the engine is bit-identical whether or not any
+//! migration ever happens — the property the determinism tests pin.
+//! Handles survive migrations: cancellation always resolves by key
+//! ([`TimerWheel::cancel_by_key`] on the wheel, the live-set on the heap),
+//! never by the handle's recorded level.
+
+use crate::queue::{
+    BinaryHeapQueue, EventQueue, Scheduled, ADAPT_CHECK_EVERY, ADAPT_DEMOTE_LEN,
+    ADAPT_PROMOTE_LEN, ADAPT_STREAK,
+};
+use crate::time::SimTime;
+use crate::wheel::{TimerHandle, TimerWheel};
+use std::collections::HashSet;
+
+#[inline]
+fn pack(time: SimTime, seq: u64) -> u128 {
+    ((time.nanos() as u128) << 64) | seq as u128
+}
+
+enum Mode<E> {
+    /// The default: `O(1)` insert and cancel while the population fits the
+    /// wheel's span. Boxed — the wheel's slot array dwarfs the heap
+    /// variant, and the store lives behind one more pointer either way.
+    Wheel(Box<TimerWheel<E>>),
+    /// Overflow-pathology fallback: min-heap plus the set of live keys.
+    /// Cancel removes from `live` only; heap entries whose key is no
+    /// longer live are corpses, skipped (and discarded) by peek/pop.
+    Heap {
+        heap: BinaryHeapQueue<E>,
+        live: HashSet<u128>,
+    },
+}
+
+/// Adaptive cancellable-timer store; see the [module docs](self).
+pub struct AdaptiveTimers<E> {
+    mode: Mode<E>,
+    /// Operations since the last occupancy check.
+    ops: u32,
+    /// Consecutive checks that voted to migrate.
+    streak: u32,
+}
+
+impl<E> Default for AdaptiveTimers<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> AdaptiveTimers<E> {
+    /// An empty store, starting on the wheel.
+    pub fn new() -> Self {
+        AdaptiveTimers {
+            mode: Mode::Wheel(Box::default()),
+            ops: 0,
+            streak: 0,
+        }
+    }
+
+    /// Number of live (pending, uncancelled) timers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match &self.mode {
+            Mode::Wheel(w) => w.len(),
+            Mode::Heap { live, .. } => live.len(),
+        }
+    }
+
+    /// True when no timers are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Currently on the heap fallback rather than the wheel (exposed for
+    /// tests and diagnostics).
+    pub fn on_fallback(&self) -> bool {
+        matches!(self.mode, Mode::Heap { .. })
+    }
+
+    /// Insert a timer firing at `time` with tiebreak `seq` (unique across
+    /// the store's lifetime — the engine's sequence counter guarantees
+    /// it). The handle stays valid across migrations.
+    #[inline]
+    pub fn insert(&mut self, time: SimTime, seq: u64, event: E) -> TimerHandle {
+        self.tick();
+        match &mut self.mode {
+            Mode::Wheel(w) => w.insert(time, seq, event),
+            Mode::Heap { heap, live } => {
+                let key = pack(time, seq);
+                heap.push(Scheduled { time, seq, event });
+                live.insert(key);
+                TimerHandle::external(key)
+            }
+        }
+    }
+
+    /// Cancel a pending timer, resolving by key regardless of which mode
+    /// issued the handle. Returns `true` if the timer was still live.
+    #[inline]
+    pub fn cancel(&mut self, handle: TimerHandle) -> bool {
+        self.tick();
+        match &mut self.mode {
+            Mode::Wheel(w) => w.cancel_by_key(handle.key()),
+            Mode::Heap { live, .. } => live.remove(&handle.key()),
+        }
+    }
+
+    /// The packed key of the earliest live timer. `&mut` because heap mode
+    /// discards corpses it skips over.
+    #[inline]
+    pub fn peek_key(&mut self) -> Option<u128> {
+        match &mut self.mode {
+            Mode::Wheel(w) => w.peek_key(),
+            Mode::Heap { heap, live } => loop {
+                let key = heap.peek_key()?;
+                if live.contains(&key) {
+                    return Some(key);
+                }
+                heap.pop();
+            },
+        }
+    }
+
+    /// Remove and return the earliest live timer.
+    #[inline]
+    pub fn pop_min(&mut self) -> Option<Scheduled<E>> {
+        self.tick();
+        match &mut self.mode {
+            Mode::Wheel(w) => w.pop_min(),
+            Mode::Heap { heap, live } => loop {
+                let s = heap.pop()?;
+                if live.remove(&pack(s.time, s.seq)) {
+                    return Some(s);
+                }
+            },
+        }
+    }
+
+    /// Count one operation; every [`ADAPT_CHECK_EVERY`] of them, run the
+    /// (cold) occupancy check.
+    #[inline]
+    fn tick(&mut self) {
+        self.ops += 1;
+        if self.ops >= ADAPT_CHECK_EVERY {
+            self.ops = 0;
+            self.check();
+        }
+    }
+
+    /// The migration vote: promote to the heap while the wheel's overflow
+    /// list is pathologically large, demote back once the whole population
+    /// is small. Same streak confirmation and wide promote/demote gap as
+    /// the adaptive event queue.
+    #[cold]
+    fn check(&mut self) {
+        let vote = match &self.mode {
+            Mode::Wheel(w) => w.overflow_len() > ADAPT_PROMOTE_LEN,
+            Mode::Heap { live, .. } => live.len() < ADAPT_DEMOTE_LEN,
+        };
+        if vote {
+            self.streak += 1;
+            if self.streak >= ADAPT_STREAK {
+                self.streak = 0;
+                self.migrate();
+            }
+        } else {
+            self.streak = 0;
+        }
+    }
+
+    /// Move every live timer to the other backend, keys intact.
+    fn migrate(&mut self) {
+        match &mut self.mode {
+            Mode::Wheel(w) => {
+                let mut heap = BinaryHeapQueue::new();
+                let mut live = HashSet::with_capacity(w.len());
+                while let Some(s) = w.pop_min() {
+                    live.insert(pack(s.time, s.seq));
+                    heap.push(s);
+                }
+                self.mode = Mode::Heap { heap, live };
+            }
+            Mode::Heap { heap, live } => {
+                let mut w: Box<TimerWheel<E>> = Box::default();
+                while let Some(s) = heap.pop() {
+                    if live.remove(&pack(s.time, s.seq)) {
+                        w.insert(s.time, s.seq, s.event);
+                    }
+                }
+                self.mode = Mode::Wheel(w);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Force one full check cycle's worth of no-op votes by cancelling a
+    /// dead handle repeatedly (each cancel ticks the op counter).
+    fn churn(t: &mut AdaptiveTimers<u64>, ops: u32) {
+        let dead = TimerHandle::external(u128::MAX);
+        for _ in 0..ops {
+            t.cancel(dead);
+        }
+    }
+
+    /// Far-future firing times with pairwise-distinct epochs at every
+    /// level: the first three tenant the levels, the rest overflow.
+    fn overflow_time(i: u64) -> SimTime {
+        SimTime((i + 1) << 45)
+    }
+
+    #[test]
+    fn promotes_off_the_wheel_when_overflow_grows() {
+        let mut t = AdaptiveTimers::new();
+        for i in 0..(ADAPT_PROMOTE_LEN as u64 + 8) {
+            t.insert(overflow_time(i), i, i);
+        }
+        assert!(!t.on_fallback(), "not confirmed by a streak yet");
+        churn(&mut t, ADAPT_CHECK_EVERY * ADAPT_STREAK);
+        assert!(t.on_fallback(), "sustained overflow must migrate");
+        assert_eq!(t.len(), ADAPT_PROMOTE_LEN + 8);
+    }
+
+    #[test]
+    fn demotes_back_once_the_population_shrinks() {
+        let mut t = AdaptiveTimers::new();
+        let count = ADAPT_PROMOTE_LEN as u64 + 8;
+        for i in 0..count {
+            t.insert(overflow_time(i), i, i);
+        }
+        churn(&mut t, ADAPT_CHECK_EVERY * ADAPT_STREAK);
+        assert!(t.on_fallback());
+        // Drain below the demote threshold, then give the check streak
+        // time to confirm.
+        while t.len() >= ADAPT_DEMOTE_LEN {
+            t.pop_min().expect("still populated");
+        }
+        churn(&mut t, ADAPT_CHECK_EVERY * ADAPT_STREAK);
+        assert!(!t.on_fallback(), "small population must return to the wheel");
+    }
+
+    #[test]
+    fn handles_survive_migrations_in_both_directions() {
+        let mut t = AdaptiveTimers::new();
+        // Issued on the wheel...
+        let wheel_era: Vec<TimerHandle> = (0..(ADAPT_PROMOTE_LEN as u64 + 8))
+            .map(|i| t.insert(overflow_time(i), i, i))
+            .collect();
+        churn(&mut t, ADAPT_CHECK_EVERY * ADAPT_STREAK);
+        assert!(t.on_fallback());
+        // ...cancelled on the heap.
+        assert!(t.cancel(wheel_era[5]));
+        assert!(!t.cancel(wheel_era[5]), "double cancel must fail");
+        // Issued on the heap...
+        let heap_era = t.insert(SimTime(123), 1 << 20, 99);
+        // ...cancelled after demoting back to the wheel.
+        while t.len() >= ADAPT_DEMOTE_LEN {
+            t.pop_min().expect("still populated");
+        }
+        churn(&mut t, ADAPT_CHECK_EVERY * ADAPT_STREAK);
+        assert!(!t.on_fallback());
+        if !t.is_empty() {
+            // The heap-era timer may already have been popped by the
+            // drain; only assert when it is still pending.
+            let _ = t.cancel(heap_era);
+        }
+    }
+
+    #[test]
+    fn pop_order_is_identical_with_and_without_migration() {
+        // Drive two stores through the same inserts/cancels; churn one of
+        // them across both migrations. The surviving pop sequences must
+        // match exactly.
+        let build = |migrate: bool| {
+            let mut t = AdaptiveTimers::new();
+            let mut handles = Vec::new();
+            for i in 0..(ADAPT_PROMOTE_LEN as u64 + 64) {
+                handles.push(t.insert(overflow_time(i), i, i));
+            }
+            if migrate {
+                churn(&mut t, ADAPT_CHECK_EVERY * ADAPT_STREAK);
+                assert!(t.on_fallback());
+            }
+            // Cancel every third timer after the (possible) migration.
+            for h in handles.iter().step_by(3) {
+                assert!(t.cancel(*h));
+            }
+            let mut order = Vec::new();
+            while let Some(s) = t.pop_min() {
+                order.push((s.time, s.seq));
+            }
+            order
+        };
+        assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn near_horizon_population_stays_on_the_wheel() {
+        let mut t = AdaptiveTimers::new();
+        for i in 0..4096u64 {
+            t.insert(SimTime(i * 1000), i, i);
+        }
+        churn(&mut t, ADAPT_CHECK_EVERY * ADAPT_STREAK * 2);
+        assert!(
+            !t.on_fallback(),
+            "a large but in-span population is the wheel's home turf"
+        );
+    }
+
+    #[test]
+    fn corpses_do_not_resurrect_after_demotion() {
+        // Cancel on the heap, demote, then drain: the cancelled key must
+        // not come back.
+        let mut t = AdaptiveTimers::new();
+        let count = ADAPT_PROMOTE_LEN as u64 + 8;
+        let handles: Vec<TimerHandle> =
+            (0..count).map(|i| t.insert(overflow_time(i), i, i)).collect();
+        churn(&mut t, ADAPT_CHECK_EVERY * ADAPT_STREAK);
+        assert!(t.on_fallback());
+        let victim = handles[count as usize - 1];
+        assert!(t.cancel(victim));
+        while t.len() >= ADAPT_DEMOTE_LEN {
+            t.pop_min().expect("populated");
+        }
+        churn(&mut t, ADAPT_CHECK_EVERY * ADAPT_STREAK);
+        assert!(!t.on_fallback());
+        let mut seqs: Vec<u64> = Vec::new();
+        while let Some(s) = t.pop_min() {
+            seqs.push(s.seq);
+        }
+        assert!(
+            !seqs.contains(&(count - 1)),
+            "cancelled timer resurrected: {seqs:?}"
+        );
+    }
+}

@@ -321,6 +321,35 @@ impl<E> TimerWheel<E> {
         }
     }
 
+    /// Entries sitting in the unordered overflow list (firing beyond every
+    /// level's span). Every operation on them is a linear scan, so a large
+    /// overflow population is the wheel's pathological regime — the
+    /// adaptive timer layer watches this to decide when to migrate off the
+    /// wheel.
+    #[inline]
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
+    /// Cancel by packed `(time, seq)` key alone, probing every tier. The
+    /// adaptive timer layer hands out handles that may predate a
+    /// wheel↔heap migration, so the level recorded in a handle can be
+    /// stale; this resolves the key wherever it currently lives. At most
+    /// one probe per level (each rejected in `O(1)` by the epoch check
+    /// unless the key's slot really must be scanned) plus the overflow
+    /// scan.
+    pub fn cancel_by_key(&mut self, key: u128) -> bool {
+        for l in 0..LEVELS as u8 {
+            if self.cancel(TimerHandle { key, level: l }) {
+                return true;
+            }
+        }
+        self.cancel(TimerHandle {
+            key,
+            level: OVERFLOW_LEVEL,
+        })
+    }
+
     /// Cancel a pending timer. Returns `true` if the timer was still live
     /// (and is now removed), `false` if it already fired or was cancelled.
     pub fn cancel(&mut self, handle: TimerHandle) -> bool {

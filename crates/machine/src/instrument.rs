@@ -32,6 +32,7 @@ pub struct MachineMetrics {
     partition_mpl: Vec<GaugeId>,
     wheel_depth: GaugeId,
     alive_capacity: GaugeId,
+    in_system: GaugeId,
 }
 
 impl MachineMetrics {
@@ -58,6 +59,7 @@ impl MachineMetrics {
             .collect();
         let wheel_depth = registry.gauge("engine.wheel_depth".to_string(), 0.0);
         let alive_capacity = registry.gauge("machine.alive_capacity".to_string(), 1.0);
+        let in_system = registry.gauge("machine.in_system".to_string(), 0.0);
         MachineMetrics {
             registry,
             cpu_busy,
@@ -67,6 +69,7 @@ impl MachineMetrics {
             partition_mpl,
             wheel_depth,
             alive_capacity,
+            in_system,
         }
     }
 
@@ -111,6 +114,20 @@ impl MachineMetrics {
     #[inline]
     pub fn set_alive_capacity(&mut self, now: SimTime, frac: f64) {
         self.registry.set(self.alive_capacity, now, frac);
+    }
+
+    /// Record the open-system population (jobs arrived but not yet
+    /// departed). Stays 0 on closed-batch runs, where everything is in the
+    /// system from t = 0; the time-weighted mean of this gauge on an open
+    /// run is Little's-law `N`.
+    #[inline]
+    pub fn set_in_system(&mut self, now: SimTime, jobs: u32) {
+        self.registry.set(self.in_system, now, jobs as f64);
+    }
+
+    /// Gauge handle for the open-system population.
+    pub fn in_system_id(&self) -> GaugeId {
+        self.in_system
     }
 
     /// Gauge handle for a node's busy signal.
@@ -161,7 +178,8 @@ mod tests {
         assert!(names.contains(&"P0.mpl"));
         assert!(names.contains(&"engine.wheel_depth"));
         assert!(names.contains(&"machine.alive_capacity"));
-        assert_eq!(names.len(), 4 * 3 + 8 + 1 + 2);
+        assert!(names.contains(&"machine.in_system"));
+        assert_eq!(names.len(), 4 * 3 + 8 + 1 + 3);
     }
 
     #[test]

@@ -550,6 +550,34 @@ impl Machine {
         &self.jobs
     }
 
+    /// Estimated remaining sequential compute demand of a job: its spec's
+    /// total demand minus the CPU time its processes have accrued so far
+    /// (the whole demand while the job is still loading). Saturates at
+    /// zero — accrued CPU time includes messaging overheads, which are not
+    /// part of the spec's compute demand.
+    pub fn job_remaining(&self, id: JobId) -> SimDuration {
+        let job = &self.jobs[id.idx()];
+        let accrued = job
+            .proc_keys
+            .iter()
+            .map(|pk| self.procs[pk.idx()].cpu_time)
+            .fold(SimDuration::ZERO, |a, b| a + b);
+        job.total_compute.saturating_sub(accrued)
+    }
+
+    /// Retarget the round-robin quantum of a job and all its live
+    /// processes (dynamic-quantum disciplines recompute quanta as the
+    /// partition's population changes). Takes effect at each process's
+    /// *next dispatch*: a currently-running slice keeps the expiry it was
+    /// dispatched with, exactly like a real kernel re-tuning its timeslice.
+    pub fn set_job_quantum(&mut self, id: JobId, quantum: SimDuration) {
+        self.jobs[id.idx()].quantum = quantum;
+        let keys = self.jobs[id.idx()].proc_keys.clone();
+        for pk in keys {
+            self.procs[pk.idx()].quantum = quantum;
+        }
+    }
+
     /// Process table (read-only).
     pub fn processes(&self) -> &[Process] {
         &self.procs

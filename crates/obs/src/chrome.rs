@@ -272,6 +272,16 @@ impl ChromeTrace {
                     &format!(r#""job":{job},"partition":{partition}"#),
                 );
             }
+            ObsEvent::JobSubmitted { index, in_system } => {
+                let name = format!("submit #{index}");
+                self.instant(SCHED_PID, 0, ts, &name, &format!(r#""index":{index}"#));
+                self.counter(ts, SCHED_PID, "in-system jobs", in_system as f64);
+            }
+            ObsEvent::JobDeparted { index, in_system } => {
+                let name = format!("depart #{index}");
+                self.instant(SCHED_PID, 0, ts, &name, &format!(r#""index":{index}"#));
+                self.counter(ts, SCHED_PID, "in-system jobs", in_system as f64);
+            }
         }
     }
 

@@ -187,6 +187,23 @@ pub enum ObsEvent {
         /// Partition the rerun was admitted to.
         partition: u32,
     },
+    /// A job entered the open system (its arrival event fired at the super
+    /// scheduler — before any admission decision, unlike
+    /// [`ObsEvent::JobArrived`], which marks machine admission).
+    JobSubmitted {
+        /// Batch/submission index of the job.
+        index: u32,
+        /// Jobs in the system (arrived, not yet departed) including this
+        /// one.
+        in_system: u32,
+    },
+    /// A job left the open system (completed or terminally abandoned).
+    JobDeparted {
+        /// Batch/submission index of the job.
+        index: u32,
+        /// Jobs remaining in the system after this departure.
+        in_system: u32,
+    },
 }
 
 /// A timestamped event.

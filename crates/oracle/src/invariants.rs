@@ -178,7 +178,9 @@ pub fn check_event_stream(events: &[TimedEvent]) {
             | ObsEvent::MsgRetry { .. }
             | ObsEvent::MsgTimeout { .. }
             | ObsEvent::JobFailed { .. }
-            | ObsEvent::JobRequeued { .. } => {}
+            | ObsEvent::JobRequeued { .. }
+            | ObsEvent::JobSubmitted { .. }
+            | ObsEvent::JobDeparted { .. } => {}
         }
     }
     assert!(

@@ -16,6 +16,9 @@
 //! (partition size, batch mix, queue backend, switching, placement,
 //! discipline, ordering, arrivals) are randomized.
 
+use parsched_arrivals::{
+    ArrivalProcess, BoundedParetoDemand, DeterministicArrivals, PoissonArrivals, ServiceDemand,
+};
 use parsched_core::{Discipline, ExperimentConfig, Placement, PolicyKind};
 use parsched_des::rng::DetRng;
 use parsched_des::{QueueKind, SimDuration, SimTime};
@@ -195,16 +198,41 @@ impl Scenario {
             None
         };
 
-        // One case in three runs open: staggered arrivals with exponential
-        // interarrival gaps (FCFS order = index order by construction).
+        // One case in three runs open. Arrival instants come from the
+        // arrivals crate's samplers on a dedicated substream: Poisson,
+        // deterministic-rate, or bursty bounded-Pareto gaps. The main
+        // stream draws only the gate, the process kind, and one shape
+        // parameter — all inside the gate — so closed-batch cases keep
+        // the exact draw sequence of earlier sweeps, and open cases
+        // consume a fixed number of main-stream draws regardless of
+        // batch size. FCFS order = index order by construction (every
+        // process yields nondecreasing instants).
         let arrivals = if rng.uniform_u64(0, 3) == 0 {
-            let mut at = 0u64;
-            (0..jobs)
-                .map(|_| {
-                    at += rng.exponential(10_000_000.0) as u64; // ~10 ms mean
-                    SimTime(at)
-                })
-                .collect()
+            let kind = rng.uniform_u64(0, 3);
+            let period_ms = rng.uniform_u64(4, 17); // ignored unless kind 1
+            let arng = DetRng::new(seed).substream_idx("oracle-arrivals", case);
+            match kind {
+                0 => PoissonArrivals::new(SimDuration::from_millis(10), arng)
+                    .take_arrivals(jobs),
+                1 => DeterministicArrivals::new(SimDuration::from_millis(period_ms))
+                    .take_arrivals(jobs),
+                _ => {
+                    // Bursty stream: heavy-tailed interarrival gaps.
+                    let mut gaps = BoundedParetoDemand::new(
+                        1.5,
+                        SimDuration::from_millis(1),
+                        SimDuration::from_millis(80),
+                        arng,
+                    );
+                    let mut at = SimTime::ZERO;
+                    (0..jobs)
+                        .map(|_| {
+                            at += gaps.sample();
+                            at
+                        })
+                        .collect()
+                }
+            }
         } else {
             Vec::new()
         };
@@ -276,6 +304,24 @@ impl Scenario {
             pick(&mut rng, &[2usize, 4, 8])
         } else {
             1
+        };
+
+        // Dynamic-quantum discipline (~one uncoordinated time-sharing
+        // case in four): the per-partition quantum retunes to the mean
+        // remaining demand at every membership change. Drawn after every
+        // other knob so earlier draws stay stable; a sharded draw stays
+        // valid — the runner's eligibility gate rejects the discipline
+        // and its sequential fallback must match bit for bit like any
+        // other ineligible case.
+        let discipline = if time_sharing
+            && matches!(discipline, Discipline::Uncoordinated)
+            && rng.uniform_u64(0, 4) == 0
+        {
+            Discipline::DynamicQuantum {
+                base: SimDuration::from_millis(rng.uniform_u64(1, 5)),
+            }
+        } else {
+            discipline
         };
 
         Scenario {
@@ -419,6 +465,55 @@ mod tests {
         }
         // ~2/9 of 96 cases (closed × drawn); generous slack.
         assert!((10..=45).contains(&sharded), "sharded cases: {sharded}");
+    }
+
+    #[test]
+    fn open_cases_draw_sampler_arrival_streams() {
+        let mut open = 0;
+        let mut deterministic = 0;
+        for case in 0..192 {
+            let s = Scenario::generate(7, case);
+            if s.arrivals.is_empty() {
+                continue;
+            }
+            open += 1;
+            assert_eq!(s.arrivals.len(), s.sizes.jobs);
+            assert!(s.arrivals[0] > SimTime::ZERO, "arrival races t = 0");
+            assert!(
+                s.arrivals.windows(2).all(|w| w[0] <= w[1]),
+                "arrivals not FCFS-ordered: {:?}",
+                s.arrivals
+            );
+            let gaps: Vec<u64> = s
+                .arrivals
+                .windows(2)
+                .map(|w| w[1].nanos() - w[0].nanos())
+                .collect();
+            if gaps.len() > 1 && gaps.windows(2).all(|g| g[0] == g[1]) {
+                deterministic += 1;
+            }
+        }
+        // ~1 in 3 of 192 cases; generous slack.
+        assert!((40..=90).contains(&open), "open cases: {open}");
+        // All three process kinds must appear; the deterministic one is
+        // the only one detectable from the instants alone.
+        assert!(deterministic >= 1, "no deterministic-rate stream drawn");
+        assert!(open > deterministic, "no randomized stream drawn");
+    }
+
+    #[test]
+    fn dynamic_quantum_cases_are_drawn_under_time_sharing_only() {
+        let mut dynq = 0;
+        for case in 0..96 {
+            let s = Scenario::generate(7, case);
+            if let Discipline::DynamicQuantum { base } = s.discipline {
+                assert!(s.class != PolicyClass::Static, "dynq on static policy");
+                assert!(base > SimDuration::ZERO);
+                dynq += 1;
+            }
+        }
+        // 2/3 time-sharing x ~3/4 uncoordinated x 1/4 flip ≈ 12 of 96.
+        assert!((4..=28).contains(&dynq), "dynamic-quantum cases: {dynq}");
     }
 
     #[test]

@@ -8,9 +8,11 @@
 # bit-identical replay asserted), a sharded-execution smoke gate (a
 # 2-shard run must be bit-identical to sequential, rerun
 # deterministically, and ineligible configs must fall back with a
-# reason), and a trace-export smoke run. The perf golden check also pins
-# the shard_scale_* cells, so sharded simulated results are gated there
-# too.
+# reason), an open-system smoke gate (Poisson and heavy-tailed arrival
+# cells per policy class replay bit-identically and the mean-response
+# curve is monotone in offered load), and a trace-export smoke run. The
+# perf golden check also pins the shard_scale_* cells, so sharded
+# simulated results are gated there too.
 # Everything runs offline; no network access required.
 #
 #   scripts/tier1.sh             the standard gate
@@ -33,6 +35,7 @@ cargo test -q --workspace
 cargo run --release -p parsched-bench --bin perf -- --check --quick
 cargo run --release -p parsched-bench --bin faults -- --smoke
 cargo run --release -p parsched-bench --bin shards -- --smoke
+cargo run --release -p parsched-bench --bin arrivals -- --smoke
 
 if [ "$mode" = "tier1-full" ]; then
     ORACLE_CASES="${ORACLE_CASES:-480}" \
