@@ -24,7 +24,15 @@
 //!   64-node machine of four 16-node hypercube partitions (the 16-node
 //!   paper machine is a single partition and cannot shard): the same
 //!   workload at 1, 2 and 4 shards. All three pin the *same* simulated
-//!   mean response — sharding may only move wall-clock time.
+//!   mean response — sharding may only move wall-clock time;
+//! * `t1k_{static,hybrid,faulted}_{seq,s2,s4}` — the coordinated sharding
+//!   classes at scale: a 1024-node torus of sixteen 64-node partitions
+//!   under static space-sharing, the hybrid MPL-2 discipline, and
+//!   time-sharing with a two-crash fault plan (see
+//!   `parsched_bench::scale`). Within each cell the three shard counts
+//!   pin the *same* golden; `--check` also verifies that cross-scenario
+//!   equality, so a shard-count-dependent divergence cannot hide behind
+//!   three individually-updated goldens.
 //!
 //! Results append to `BENCH_parsched.json` (see `parsched_bench::harness`):
 //! `baseline` medians are captured the first time a scenario appears and
@@ -40,7 +48,8 @@
 //! identical batch, so the golden comparison is unaffected and the gate
 //! runs in a couple of seconds.
 
-use parsched_bench::harness::{bench, BenchOpts, Report, Sample};
+use parsched_bench::harness::{bench, host_parallelism, BenchOpts, Report, Sample};
+use parsched_bench::scale::{torus1k, Cell1k};
 use parsched_core::prelude::*;
 use parsched_des::prelude::*;
 use parsched_machine::JobSpec;
@@ -132,6 +141,20 @@ fn run_shard_scale(shards: usize) -> f64 {
     metric
 }
 
+/// One 1024-node cell at a given shard count. The run must actually use
+/// the requested shards — a silent fallback would time the sequential
+/// path while claiming to bench the parallel one.
+fn run_t1k(cell: Cell1k, shards: usize) -> f64 {
+    let (cfg, batch) = torus1k(cell);
+    let r = run_batch_sharded(&cfg, batch, shards).expect("t1k cell simulates");
+    assert_eq!(
+        r.fallback, None,
+        "t1k_{} at {shards} shards fell back to sequential",
+        cell.label()
+    );
+    std::hint::black_box(r.mean_response())
+}
+
 /// Classic hold-model queue benchmark: fill to `n`, then `ops` rounds of
 /// pop-one push-one with an exponential-ish increment, which keeps the
 /// population (and for the calendar queue, the bucket occupancy) steady.
@@ -204,33 +227,49 @@ struct Scenario {
     name: &'static str,
     /// f3 scenarios pin their simulated result in the golden map.
     pinned: bool,
+    /// Worker threads the scenario runs with (recorded per sample).
+    threads: u32,
     run: fn() -> Option<f64>,
 }
+
+/// Scenario families whose goldens must be bit-equal: the same simulated
+/// cell at different shard counts.
+const SHARD_FAMILIES: &[&[&str]] = &[
+    &["shard_scale_seq", "shard_scale_s2", "shard_scale_s4"],
+    &["t1k_static_seq", "t1k_static_s2", "t1k_static_s4"],
+    &["t1k_hybrid_seq", "t1k_hybrid_s2", "t1k_hybrid_s4"],
+    &["t1k_faulted_seq", "t1k_faulted_s2", "t1k_faulted_s4"],
+];
 
 const SCENARIOS: &[Scenario] = &[
     Scenario {
         name: "f3_hc16_ts",
         pinned: true,
+        threads: 1,
         run: || Some(run_f3(PolicyKind::TimeSharing, QueueKind::default())),
     },
     Scenario {
         name: "f3_hc16_static",
         pinned: true,
+        threads: 1,
         run: || Some(run_f3(PolicyKind::Static, QueueKind::default())),
     },
     Scenario {
         name: "f3_hc16_hybrid",
         pinned: true,
+        threads: 1,
         run: || Some(run_f3_mpl(PolicyKind::TimeSharing, QueueKind::default(), Some(4))),
     },
     Scenario {
         name: "f3_hc16_ts_calendar",
         pinned: false,
+        threads: 1,
         run: || Some(run_f3(PolicyKind::TimeSharing, QueueKind::Calendar)),
     },
     Scenario {
         name: "queue_hold_heap_n64",
         pinned: false,
+        threads: 1,
         run: || {
             queue_hold(BinaryHeapQueue::new(), 64, 2_000_000);
             None
@@ -239,6 +278,7 @@ const SCENARIOS: &[Scenario] = &[
     Scenario {
         name: "queue_hold_cal_n64",
         pinned: false,
+        threads: 1,
         run: || {
             queue_hold(CalendarQueue::new(), 64, 2_000_000);
             None
@@ -247,6 +287,7 @@ const SCENARIOS: &[Scenario] = &[
     Scenario {
         name: "queue_hold_heap_n4096",
         pinned: false,
+        threads: 1,
         run: || {
             queue_hold(BinaryHeapQueue::new(), 4096, 2_000_000);
             None
@@ -255,6 +296,7 @@ const SCENARIOS: &[Scenario] = &[
     Scenario {
         name: "queue_hold_cal_n4096",
         pinned: false,
+        threads: 1,
         run: || {
             queue_hold(CalendarQueue::new(), 4096, 2_000_000);
             None
@@ -263,6 +305,7 @@ const SCENARIOS: &[Scenario] = &[
     Scenario {
         name: "queue_hold_wheel_n64",
         pinned: false,
+        threads: 1,
         run: || {
             queue_hold_wheel(64, 2_000_000);
             None
@@ -271,6 +314,7 @@ const SCENARIOS: &[Scenario] = &[
     Scenario {
         name: "queue_hold_wheel_n4096",
         pinned: false,
+        threads: 1,
         run: || {
             queue_hold_wheel(4096, 2_000_000);
             None
@@ -279,17 +323,74 @@ const SCENARIOS: &[Scenario] = &[
     Scenario {
         name: "shard_scale_seq",
         pinned: true,
+        threads: 1,
         run: || Some(run_shard_scale(1)),
     },
     Scenario {
         name: "shard_scale_s2",
         pinned: true,
+        threads: 2,
         run: || Some(run_shard_scale(2)),
     },
     Scenario {
         name: "shard_scale_s4",
         pinned: true,
+        threads: 4,
         run: || Some(run_shard_scale(4)),
+    },
+    Scenario {
+        name: "t1k_static_seq",
+        pinned: true,
+        threads: 1,
+        run: || Some(run_t1k(Cell1k::Static, 1)),
+    },
+    Scenario {
+        name: "t1k_static_s2",
+        pinned: true,
+        threads: 2,
+        run: || Some(run_t1k(Cell1k::Static, 2)),
+    },
+    Scenario {
+        name: "t1k_static_s4",
+        pinned: true,
+        threads: 4,
+        run: || Some(run_t1k(Cell1k::Static, 4)),
+    },
+    Scenario {
+        name: "t1k_hybrid_seq",
+        pinned: true,
+        threads: 1,
+        run: || Some(run_t1k(Cell1k::Hybrid, 1)),
+    },
+    Scenario {
+        name: "t1k_hybrid_s2",
+        pinned: true,
+        threads: 2,
+        run: || Some(run_t1k(Cell1k::Hybrid, 2)),
+    },
+    Scenario {
+        name: "t1k_hybrid_s4",
+        pinned: true,
+        threads: 4,
+        run: || Some(run_t1k(Cell1k::Hybrid, 4)),
+    },
+    Scenario {
+        name: "t1k_faulted_seq",
+        pinned: true,
+        threads: 1,
+        run: || Some(run_t1k(Cell1k::FaultedTs, 1)),
+    },
+    Scenario {
+        name: "t1k_faulted_s2",
+        pinned: true,
+        threads: 2,
+        run: || Some(run_t1k(Cell1k::FaultedTs, 2)),
+    },
+    Scenario {
+        name: "t1k_faulted_s4",
+        pinned: true,
+        threads: 4,
+        run: || Some(run_t1k(Cell1k::FaultedTs, 4)),
     },
 ];
 
@@ -344,6 +445,26 @@ fn main() {
                 }
             }
         }
+        // Shard-count independence: every member of a family pins the
+        // same simulated result, bit for bit.
+        for family in SHARD_FAMILIES {
+            let bits: Vec<Option<&u64>> =
+                family.iter().map(|n| report.golden.get(*n)).collect();
+            if bits.iter().any(Option::is_none) {
+                eprintln!("perf --check: family {family:?} has unrecorded goldens");
+                failed = true;
+                continue;
+            }
+            if bits.windows(2).any(|w| w[0] != w[1]) {
+                eprintln!(
+                    "perf --check: shard-count DEPENDENCE in {family:?}: goldens {:?}",
+                    bits.iter().map(|b| format!("{:#018x}", *b.unwrap())).collect::<Vec<_>>()
+                );
+                failed = true;
+            } else {
+                println!("perf --check: {family:?} goldens agree (shard-count independent)");
+            }
+        }
         std::process::exit(if failed { 1 } else { 0 });
     }
 
@@ -376,7 +497,8 @@ fn main() {
     );
     let mut samples: Vec<Sample> = Vec::new();
     for sc in picked {
-        let s = bench(&opts, sc.name, sc.run);
+        let mut s = bench(&opts, sc.name, sc.run);
+        s.threads = sc.threads;
         let vs = match report.baseline.get(sc.name) {
             Some(&base) if base > 0 => {
                 let pct = 100.0 * (base as f64 - s.median_ns as f64) / base as f64;
@@ -414,6 +536,7 @@ fn main() {
         samples.push(s);
     }
     report.current = samples;
+    report.host_parallelism = Some(host_parallelism());
     std::fs::write(&out, report.render()).expect("write benchmark report");
     println!("\nreport written to {}", out.display());
 }

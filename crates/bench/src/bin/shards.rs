@@ -4,33 +4,45 @@
 //! shards [--smoke] [--shards K] [--csv] [--out DIR]
 //! ```
 //!
-//! `--smoke` is the tier-1 gate: one eligible configuration (four 16-node
-//! hypercube partitions under uncoordinated time-sharing) runs
+//! `--smoke` is the tier-1 gate. One free-mode configuration (four
+//! 16-node hypercube partitions under uncoordinated time-sharing) runs
 //! sequentially and at 2 shards, and the observables — per-job response
 //! times, makespan, machine counters, events processed — must agree bit
-//! for bit; the 2-shard run then repeats and must fingerprint
-//! identically (no thread-interleaving nondeterminism). An ineligible
-//! configuration (static policy) must fall back to the sequential path
-//! and still match.
+//! for bit; the 2-shard run then repeats and must fingerprint identically
+//! (no thread-interleaving nondeterminism). Then one K = 2 case per
+//! *coordinated* eligibility class runs on the 1024-node torus cells:
+//! static space-sharing, the hybrid MPL-2 discipline, an MPL-capped
+//! static run, and time-sharing under a crash + flaky-link fault plan —
+//! each bit-identical to its sequential run, none falling back. A tiny
+//! 4096-node torus case covers free mode at the largest machine size, and
+//! a gang-scheduled configuration must still fall back with a recorded
+//! reason.
 //!
 //! Full mode sweeps shard counts 1, 2, 4 and prints each run's wall
 //! clock, speedup over sequential, the (identical) simulated mean, and —
 //! when a run fell back to the sequential path — the recorded reason.
-//! The same table renders to CSV (`--csv`, or `--out DIR` for
-//! `shards.csv`), so fallback reasons land in the metrics CSV next to
-//! the numbers they explain. This is the source of the scaling table in
-//! `EXPERIMENTS.md`.
+//! A second table breaks each parallel run down per shard (event-loop
+//! work vs. barrier wait vs. cross-shard merge, from
+//! `ShardedRunResult::timings`); the same wall-clock numbers feed
+//! `ObsEvent::ShardPhase` events into a `MetricsRegistry` gauge so the
+//! breakdown lands in the metrics CSV next to the simulated gauges.
+//! Both tables render to CSV (`--csv`, or `--out DIR` for `shards.csv`,
+//! `shard_phases.csv` and `shard_phase_gauges.csv`). This is the source
+//! of the scaling tables in `EXPERIMENTS.md`.
 
+use parsched_bench::scale::{torus1k, torus4k, Cell1k};
 use parsched_core::prelude::*;
 use parsched_core::sharded::run_batch_sharded;
-use parsched_machine::JobSpec;
+use parsched_des::{SimDuration, SimTime};
+use parsched_machine::{FaultPlan, JobSpec, LinkWindow};
+use parsched_obs::{MetricsRegistry, ObsEvent, Recorder};
 use parsched_topology::TopologyKind;
-use parsched_workload::prelude::*;
 use std::time::Instant;
 
 /// The shard-scale machine from `perf`: 64 nodes in four 16-node
 /// hypercube partitions, the f3 workload family.
 fn config() -> (ExperimentConfig, Vec<JobSpec>) {
+    use parsched_workload::prelude::*;
     let cfg = ExperimentConfig {
         system_size: 64,
         ..ExperimentConfig::paper(
@@ -64,6 +76,19 @@ fn assert_matches(seq: &ShardedRunResult, par: &ShardedRunResult, what: &str) {
     );
 }
 
+/// Run `cfg` sequentially and at 2 shards; the parallel run must really
+/// shard (no fallback) and match bit for bit.
+fn assert_shards_bit_identically(cfg: &ExperimentConfig, batch: &[JobSpec], what: &str) {
+    let seq = run_batch_sharded(cfg, batch.to_vec(), 1)
+        .unwrap_or_else(|e| panic!("{what}: sequential run failed: {e}"));
+    let par = run_batch_sharded(cfg, batch.to_vec(), 2)
+        .unwrap_or_else(|e| panic!("{what}: 2-shard run failed: {e}"));
+    assert_eq!(par.fallback, None, "{what}: must not fall back");
+    assert_eq!(par.shards, 2, "{what}: must use 2 shards");
+    assert_matches(&seq, &par, what);
+    println!("shards --smoke: {what}: OK (K=2 bit-identical)");
+}
+
 fn smoke() {
     let (cfg, batch) = config();
     let seq = run_batch_sharded(&cfg, batch.clone(), 1).expect("sequential run completes");
@@ -80,32 +105,98 @@ fn smoke() {
         par.fingerprint(),
         "2-shard rerun: interleaving nondeterminism"
     );
+    println!("shards --smoke: free mode: OK (K=2 bit-identical, deterministic rerun)");
+
+    // The widened gate: one K = 2 case per coordinated eligibility class,
+    // on the 1024-node cells the perf goldens pin.
+    let (s_cfg, s_batch) = torus1k(Cell1k::Static);
+    assert_shards_bit_identically(&s_cfg, &s_batch, "static policy");
+
+    let (h_cfg, h_batch) = torus1k(Cell1k::Hybrid);
+    assert_shards_bit_identically(&h_cfg, &h_batch, "hybrid (MPL-2 time-sharing)");
+
+    let (mut m_cfg, m_batch) = torus1k(Cell1k::Static);
+    m_cfg.mpl = Some(2);
+    assert_shards_bit_identically(&m_cfg, &m_batch, "MPL-capped static");
+
+    let (mut f_cfg, f_batch) = torus1k(Cell1k::FaultedTs);
+    // Crashes and a flaky link window in one plan: requeues cross shards
+    // while per-channel drop streams stay shard-local.
+    f_cfg.machine.faults = FaultPlan {
+        links: vec![LinkWindow {
+            from: 0,
+            to: 1,
+            down_at: SimTime(60_000_000),
+            up_at: SimTime(90_000_000),
+        }],
+        drop_prob: 0.02,
+        drop_seed: 11,
+        ..f_cfg.machine.faults
+    };
+    assert_shards_bit_identically(&f_cfg, &f_batch, "crash + flaky-link fault plan");
+
+    let (t4_cfg, t4_batch) = torus4k();
+    assert_shards_bit_identically(&t4_cfg, &t4_batch, "4096-node torus (free mode)");
 
     // An ineligible configuration must fall back, say why, and match.
-    let mut static_cfg = cfg.clone();
-    static_cfg.policy = PolicyKind::Static;
-    let sseq = run_batch_sharded(&static_cfg, batch.clone(), 1).expect("static run completes");
-    let sfall = run_batch_sharded(&static_cfg, batch, 4).expect("static fallback completes");
-    assert_eq!(sfall.shards, 1, "static policy must fall back");
-    assert!(sfall.fallback.is_some(), "fallback reason must be recorded");
-    assert_matches(&sseq, &sfall, "static fallback vs sequential");
+    let (mut g_cfg, g_batch) = config();
+    g_cfg.discipline = Discipline::Gang {
+        slot: SimDuration::from_millis(4),
+    };
+    let gseq = run_batch_sharded(&g_cfg, g_batch.clone(), 1).expect("gang run completes");
+    let gfall = run_batch_sharded(&g_cfg, g_batch, 4).expect("gang fallback completes");
+    assert_eq!(gfall.shards, 1, "gang scheduling must fall back");
+    assert!(gfall.fallback.is_some(), "fallback reason must be recorded");
+    assert_matches(&gseq, &gfall, "gang fallback vs sequential");
 
     println!(
-        "shards --smoke: OK (2-shard bit-identical, deterministic rerun, \
-         static fallback: {:?})",
-        sfall.fallback.unwrap()
+        "shards --smoke: OK (free + coordinated classes bit-identical, \
+         gang fallback: {:?})",
+        gfall.fallback.unwrap()
     );
 }
 
-/// One sweep over shard counts as a [`FigureTable`]: the text rendering
-/// goes to the console, the CSV rendering to files. The `fallback` column
+/// Fold one parallel run's per-shard phase times into a
+/// [`MetricsRegistry`] via [`ObsEvent::ShardPhase`] events — the same
+/// recorder pipeline the machine's own gauges use, so the breakdown can
+/// travel with simulated metrics instead of living in a bespoke format.
+/// Events are stamped at the run's makespan: the timing exists only once
+/// the run is over.
+fn phase_gauge_csv(r: &ShardedRunResult) -> String {
+    let end = SimTime::ZERO + r.makespan;
+    let mut rec = parsched_obs::CollectRecorder::new();
+    for (s, t) in r.timings.iter().enumerate() {
+        for (phase, ns) in [(0u8, t.work_ns), (1, t.barrier_ns), (2, t.merge_ns)] {
+            rec.record(end, ObsEvent::ShardPhase { shard: s as u16, phase, ns });
+        }
+    }
+    let mut reg = MetricsRegistry::new(SimTime::ZERO);
+    for &(at, ev) in rec.events() {
+        if let ObsEvent::ShardPhase { shard, phase, ns } = ev {
+            let name = match phase {
+                0 => format!("shard{shard}.work_ms"),
+                1 => format!("shard{shard}.barrier_ms"),
+                _ => format!("shard{shard}.merge_ms"),
+            };
+            let g = reg.gauge(name, 0.0);
+            reg.set(g, at, ns as f64 / 1e6);
+        }
+    }
+    reg.finish(end);
+    reg.to_csv()
+}
+
+/// One sweep over shard counts as two [`FigureTable`]s: the scaling
+/// summary and the per-shard phase breakdown. The `fallback` column
 /// records why a run used the sequential path (`-` when it sharded), so
 /// the reason travels with the numbers instead of vanishing into stderr.
-fn sweep(counts: &[usize]) -> FigureTable {
+fn sweep(counts: &[usize]) -> (FigureTable, FigureTable, String) {
     let (cfg, batch) = config();
     let mut base_ns = 0u128;
     let mut reference: Option<ShardedRunResult> = None;
     let mut rows = Vec::new();
+    let mut phase_rows = Vec::new();
+    let mut gauge_csv = String::new();
     for &k in counts {
         let t0 = Instant::now();
         let r = run_batch_sharded(&cfg, batch.clone(), k).expect("shard-scale run completes");
@@ -117,6 +208,21 @@ fn sweep(counts: &[usize]) -> FigureTable {
             assert_matches(seq, &r, "sweep");
         } else {
             reference = Some(r.clone());
+        }
+        for (s, t) in r.timings.iter().enumerate() {
+            phase_rows.push(FigureRow {
+                label: format!("{k}/{s}"),
+                static_mean: None,
+                ts_mean: None,
+                extra: vec![
+                    format!("{:.3}", t.work_ns as f64 / 1e9),
+                    format!("{:.3}", t.barrier_ns as f64 / 1e9),
+                    format!("{:.3}", t.merge_ns as f64 / 1e9),
+                ],
+            });
+        }
+        if r.shards > 1 {
+            gauge_csv = phase_gauge_csv(&r);
         }
         rows.push(FigureRow {
             label: format!("{k}"),
@@ -131,7 +237,7 @@ fn sweep(counts: &[usize]) -> FigureTable {
             ],
         });
     }
-    FigureTable {
+    let table = FigureTable {
         title: "Sharded scaling: 64-node machine, four 16-node hypercube partitions".into(),
         columns: vec![
             "wall (s)".into(),
@@ -141,7 +247,13 @@ fn sweep(counts: &[usize]) -> FigureTable {
             "fallback".into(),
         ],
         rows,
-    }
+    };
+    let phases = FigureTable {
+        title: "Per-shard wall-clock phases (rows are shards/run)".into(),
+        columns: vec!["work (s)".into(), "barrier (s)".into(), "merge (s)".into()],
+        rows: phase_rows,
+    };
+    (table, phases, gauge_csv)
 }
 
 fn main() {
@@ -155,14 +267,16 @@ fn main() {
         .position(|a| a == "--shards")
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok());
-    let table = match shards {
+    let (table, phases, gauge_csv) = match shards {
         Some(k) => sweep(&[1, k]),
         None => sweep(&[1, 2, 4]),
     };
     if args.iter().any(|a| a == "--csv") {
         print!("{}", table.to_csv());
+        print!("{}", phases.to_csv());
     } else {
         print!("{}", table.to_text());
+        print!("{}", phases.to_text());
     }
     if let Some(dir) = args
         .iter()
@@ -173,6 +287,15 @@ fn main() {
         let base = std::path::Path::new(dir).join("shards");
         std::fs::write(base.with_extension("csv"), table.to_csv()).expect("write csv");
         std::fs::write(base.with_extension("md"), table.to_markdown()).expect("write md");
-        eprintln!("wrote {}.csv and .md", base.display());
+        let pbase = std::path::Path::new(dir).join("shard_phases");
+        std::fs::write(pbase.with_extension("csv"), phases.to_csv()).expect("write phases csv");
+        let gbase = std::path::Path::new(dir).join("shard_phase_gauges");
+        std::fs::write(gbase.with_extension("csv"), gauge_csv).expect("write gauge csv");
+        eprintln!(
+            "wrote {}.csv/.md, {}.csv and {}.csv",
+            base.display(),
+            pbase.display(),
+            gbase.display()
+        );
     }
 }

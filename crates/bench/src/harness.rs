@@ -38,6 +38,13 @@ impl Default for BenchOpts {
     }
 }
 
+/// Logical CPUs visible to this process, for the report header: a shard
+/// scenario's speedup is only meaningful relative to the cores the host
+/// could actually give it.
+pub fn host_parallelism() -> u64 {
+    std::thread::available_parallelism().map_or(1, |n| n.get() as u64)
+}
+
 /// One benchmarked scenario's measurement.
 #[derive(Debug, Clone)]
 pub struct Sample {
@@ -47,6 +54,9 @@ pub struct Sample {
     pub warmup: u32,
     /// Timed runs the statistics summarize.
     pub iters: u32,
+    /// Worker threads the scenario runs with (1 = sequential; shard
+    /// scenarios report their shard count).
+    pub threads: u32,
     /// Median wall-clock nanoseconds per run.
     pub median_ns: u64,
     /// Fastest run.
@@ -85,6 +95,7 @@ pub fn bench(opts: &BenchOpts, name: &str, mut f: impl FnMut() -> Option<f64>) -
         name: name.to_string(),
         warmup: opts.warmup,
         iters,
+        threads: 1,
         median_ns,
         min_ns: times[0],
         max_ns: *times.last().unwrap(),
@@ -95,6 +106,10 @@ pub fn bench(opts: &BenchOpts, name: &str, mut f: impl FnMut() -> Option<f64>) -
 /// The on-disk report (see the module docs for the section semantics).
 #[derive(Debug, Clone, Default)]
 pub struct Report {
+    /// Logical CPUs on the host that wrote the report
+    /// ([`host_parallelism`]); `None` in reports from before the field
+    /// existed.
+    pub host_parallelism: Option<u64>,
     /// Pre-optimization medians: scenario name → nanoseconds.
     pub baseline: BTreeMap<String, u64>,
     /// Pinned simulated results: scenario name → `f64::to_bits` hex.
@@ -110,7 +125,13 @@ impl Report {
         let text = std::fs::read_to_string(path).ok()?;
         let v = parse_json(&text)?;
         let obj = v.as_object()?;
-        let mut report = Report::default();
+        let mut report = Report {
+            host_parallelism: obj
+                .get("host_parallelism")
+                .and_then(Value::as_f64)
+                .map(|v| v as u64),
+            ..Report::default()
+        };
         if let Some(b) = obj.get("baseline").and_then(Value::as_object) {
             for (k, v) in b {
                 report.baseline.insert(k.clone(), v.as_f64()? as u64);
@@ -134,6 +155,8 @@ impl Report {
                     name: s.get("name")?.as_str()?.to_string(),
                     warmup: s.get("warmup")?.as_f64()? as u32,
                     iters: s.get("iters")?.as_f64()? as u32,
+                    // Absent in reports from before the field existed.
+                    threads: s.get("threads").and_then(Value::as_f64).map_or(1, |v| v as u32),
                     median_ns: s.get("median_ns")?.as_f64()? as u64,
                     min_ns: s.get("min_ns")?.as_f64()? as u64,
                     max_ns: s.get("max_ns")?.as_f64()? as u64,
@@ -147,7 +170,11 @@ impl Report {
     /// Serialize to the JSON layout [`Report::load`] reads back.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str("{\n  \"schema\": \"parsched-bench/v1\",\n  \"baseline\": {");
+        out.push_str("{\n  \"schema\": \"parsched-bench/v1\",");
+        if let Some(hp) = self.host_parallelism {
+            let _ = write!(out, "\n  \"host_parallelism\": {hp},");
+        }
+        out.push_str("\n  \"baseline\": {");
         for (i, (k, v)) in self.baseline.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
             let _ = write!(out, "{sep}\n    \"{k}\": {v}");
@@ -157,7 +184,7 @@ impl Report {
             let sep = if i == 0 { "" } else { "," };
             let _ = write!(
                 out,
-                "{sep}\n    \"{k}\": \"0x{bits:016x}\" ,\n    \"{k}_value\": \"{}\"",
+                "{sep}\n    \"{k}\": \"0x{bits:016x}\",\n    \"{k}_value\": \"{}\"",
                 f64::from_bits(*bits)
             );
         }
@@ -167,8 +194,8 @@ impl Report {
             let _ = write!(
                 out,
                 "{sep}\n    {{\"name\": \"{}\", \"warmup\": {}, \"iters\": {}, \
-                 \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}",
-                s.name, s.warmup, s.iters, s.median_ns, s.min_ns, s.max_ns
+                 \"threads\": {}, \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}",
+                s.name, s.warmup, s.iters, s.threads, s.median_ns, s.min_ns, s.max_ns
             );
             if let Some(m) = s.metric {
                 // `{:?}` prints the shortest digits that round-trip an f64.
@@ -367,11 +394,20 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Option<Value> {
 
 #[cfg(test)]
 impl Report {
-    /// Test-only: parse from a string instead of a file.
+    /// Test-only: parse from a string instead of a file. Each call uses
+    /// its own file so parallel tests never race on the path.
     fn load_from_str(text: &str) -> Option<Report> {
-        let dir = std::env::temp_dir().join("parsched-bench-test.json");
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "parsched-bench-test-{}-{}.json",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         std::fs::write(&dir, text).ok()?;
-        Report::load(&dir)
+        let r = Report::load(&dir);
+        let _ = std::fs::remove_file(&dir);
+        r
     }
 }
 
@@ -390,13 +426,17 @@ mod tests {
 
     #[test]
     fn report_round_trips_through_json() {
-        let mut r = Report::default();
+        let mut r = Report {
+            host_parallelism: Some(8),
+            ..Report::default()
+        };
         r.baseline.insert("f3".into(), 123_456_789);
         r.golden.insert("f3".into(), 6.584f64.to_bits());
         r.current.push(Sample {
             name: "f3".into(),
             warmup: 1,
             iters: 5,
+            threads: 4,
             median_ns: 98_765_432,
             min_ns: 90_000_000,
             max_ns: 110_000_000,
@@ -404,11 +444,41 @@ mod tests {
         });
         let text = r.render();
         let back = Report::load_from_str(&text).expect("parses");
+        assert_eq!(back.host_parallelism, Some(8));
         assert_eq!(back.baseline, r.baseline);
         assert_eq!(back.golden, r.golden);
         assert_eq!(back.current.len(), 1);
+        assert_eq!(back.current[0].threads, 4);
         assert_eq!(back.current[0].median_ns, 98_765_432);
         assert_eq!(back.current[0].metric, Some(6.584));
+    }
+
+    #[test]
+    fn golden_hex_entries_have_no_stray_space() {
+        let mut r = Report::default();
+        r.golden.insert("cell".into(), 1.5f64.to_bits());
+        let text = r.render();
+        assert!(
+            !text.contains("\" ,"),
+            "golden hex entries must not carry a space before the comma"
+        );
+        assert!(text.contains("\"0x3ff8000000000000\","), "{text}");
+    }
+
+    #[test]
+    fn reports_without_new_fields_still_load() {
+        // A pre-upgrade report: no host_parallelism, no threads.
+        let text = r#"{
+  "schema": "parsched-bench/v1",
+  "baseline": { "f3": 100 },
+  "golden": { "f3": "0x3ff8000000000000" },
+  "current": [
+    {"name": "f3", "warmup": 1, "iters": 5, "median_ns": 90, "min_ns": 80, "max_ns": 95}
+  ]
+}"#;
+        let back = Report::load_from_str(text).expect("parses");
+        assert_eq!(back.host_parallelism, None);
+        assert_eq!(back.current[0].threads, 1);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Large-machine cells shared by the `perf` and `shards` binaries.
+//!
+//! A 1024-node torus (32 x 32, sixteen 64-node partitions) exercises the
+//! coordinated sharding classes at a scale where shard parallelism has
+//! real work to split: one cell per widened eligibility class — static
+//! space-sharing, the hybrid discipline (time-sharing under an MPL cap),
+//! and time-sharing under a two-crash fault plan. A 4096-node torus
+//! (64 x 64) provides a smoke-size free-mode case.
+//!
+//! The batch is a synthetic compute-bound fan-out/fan-in job family
+//! rather than the paper's matmul: a 64-wide matmul's replicated B matrix
+//! makes the batch host-link-bound at this scale (every load ships ~9 MB
+//! through the single host link), which serializes the machine behind the
+//! loader and erases the scheduling-policy differences the cells exist to
+//! pin. The wide jobs ship 600 kB and compute for seconds, so partitions
+//! multiprogram and the three cells pin three *different* goldens.
+
+use parsched_core::prelude::*;
+use parsched_des::{SimDuration, SimTime};
+use parsched_machine::{JobSpec, NodeCrash, Op, ProcSpec, Rank, Tag};
+use parsched_topology::TopologyKind;
+
+/// The three pinned 1024-node cells, one per coordinated sharding class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cell1k {
+    /// Static space-sharing (global FCFS queue, MPL 1).
+    Static,
+    /// Hybrid: time-sharing capped at MPL 2.
+    Hybrid,
+    /// Uncapped time-sharing under a two-crash fault plan (requeues).
+    FaultedTs,
+}
+
+impl Cell1k {
+    /// Scenario-name fragment (`t1k_<label>_<shards>`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Cell1k::Static => "static",
+            Cell1k::Hybrid => "hybrid",
+            Cell1k::FaultedTs => "faulted",
+        }
+    }
+
+    /// All cells, in report order.
+    pub fn all() -> [Cell1k; 3] {
+        [Cell1k::Static, Cell1k::Hybrid, Cell1k::FaultedTs]
+    }
+}
+
+/// One job of the wide fan-out/fan-in family: rank 0 scatters 4 kB to
+/// every worker, all ranks compute (per-job and per-rank varied, so no
+/// two partitions idle in lockstep), workers reply 2 kB. Explicit
+/// `ship_bytes` keeps the host-link load chain (~140 ms per job) well
+/// under the compute (1.5–4 s), so multiprogramming — and therefore the
+/// scheduling policy — matters.
+pub fn wide_job(i: usize, width: usize) -> JobSpec {
+    let ms = 1_500 + (i % 7) as u64 * 400;
+    let mut coord = Vec::new();
+    for w in 1..width {
+        coord.push(Op::Send { to: Rank(w as u32), bytes: 4_096, tag: Tag(1) });
+    }
+    coord.push(Op::Compute(SimDuration::from_millis(ms)));
+    coord.push(Op::RecvAny { count: (width - 1) as u32, tag: Tag(2) });
+    let mut procs = vec![ProcSpec { program: coord, mem_bytes: 96_000 }];
+    for w in 1..width {
+        procs.push(ProcSpec {
+            program: vec![
+                Op::Recv { tag: Tag(1) },
+                Op::Compute(SimDuration::from_millis(ms / 2 + (w % 5) as u64 * 9)),
+                Op::Send { to: Rank(0), bytes: 2_048, tag: Tag(2) },
+            ],
+            mem_bytes: 64_000,
+        });
+    }
+    JobSpec { name: format!("wide-{i}"), ship_bytes: 600_000, procs }
+}
+
+/// A 1024-node cell: 32 x 32 torus, sixteen 64-node partitions, 32 wide
+/// jobs (every partition multiprogrammed at depth 2).
+pub fn torus1k(cell: Cell1k) -> (ExperimentConfig, Vec<JobSpec>) {
+    let (policy, mpl) = match cell {
+        Cell1k::Static => (PolicyKind::Static, None),
+        Cell1k::Hybrid => (PolicyKind::TimeSharing, Some(2)),
+        Cell1k::FaultedTs => (PolicyKind::TimeSharing, None),
+    };
+    let mut cfg = ExperimentConfig {
+        system_size: 1024,
+        mpl,
+        ..ExperimentConfig::paper(64, TopologyKind::Torus { rows: 32, cols: 32 }, policy)
+    };
+    if cell == Cell1k::FaultedTs {
+        // Both crashes land mid-compute (first jobs load by ~0.2 s and
+        // run for seconds): each kills a running job on a different
+        // shard-side of the 2/4-way cuts, so requeues cross shards.
+        cfg.machine.faults.crashes = vec![
+            NodeCrash { node: 70, at: SimTime(900_000_000) },
+            NodeCrash { node: 900, at: SimTime(2_600_000_000) },
+        ];
+    }
+    let batch = (0..32).map(|i| wide_job(i, 64)).collect();
+    (cfg, batch)
+}
+
+/// The 4096-node smoke case: 64 x 64 torus, sixty-four 64-node
+/// partitions, 8 wide jobs under free-mode time-sharing.
+pub fn torus4k() -> (ExperimentConfig, Vec<JobSpec>) {
+    let cfg = ExperimentConfig {
+        system_size: 4096,
+        ..ExperimentConfig::paper(
+            64,
+            TopologyKind::Torus { rows: 64, cols: 64 },
+            PolicyKind::TimeSharing,
+        )
+    };
+    let batch = (0..8).map(|i| wide_job(i, 64)).collect();
+    (cfg, batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wide_jobs_are_balanced_and_light_to_ship() {
+        for i in 0..4 {
+            let j = wide_job(i, 64);
+            j.check_balanced().expect("message pattern balances");
+            assert_eq!(j.width(), 64);
+            assert_eq!(j.effective_ship_bytes(), 600_000);
+        }
+    }
+
+    #[test]
+    fn cells_are_coordinated_eligible() {
+        for cell in Cell1k::all() {
+            let (cfg, _) = torus1k(cell);
+            assert_eq!(
+                shard_eligibility(&cfg),
+                Ok(ShardMode::Coordinated),
+                "{cell:?}"
+            );
+        }
+        let (cfg, _) = torus4k();
+        assert_eq!(shard_eligibility(&cfg), Ok(ShardMode::Free));
+    }
+}

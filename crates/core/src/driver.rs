@@ -20,6 +20,8 @@ const ARRIVAL_TOKEN: u64 = 1 << 32;
 use parsched_machine::{Event, JobId, JobSpec, Machine, Note};
 use parsched_topology::PartitionPlan;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// One batch entry's lifecycle record.
 #[derive(Debug, Clone)]
@@ -38,6 +40,13 @@ struct Entry {
     /// Terminally given up on after exhausting the requeue budget
     /// (`finished` records the abandonment instant).
     abandoned: bool,
+    /// Coordinated sharded runs: the entry sits in the *global* FCFS queue
+    /// (held by the coordinator, not this driver's `pending`); its arrival
+    /// only registers it, and a [`CoordGrant::Admit`] places it later.
+    deferred: bool,
+    /// Coordinated sharded runs: a grant re-placed this entry on another
+    /// shard; the new owner reports its completion.
+    released: bool,
 }
 
 /// Gang-scheduling rotation state for one partition.
@@ -47,6 +56,105 @@ struct GangState {
     rotation: VecDeque<usize>,
     /// A rotation tick is scheduled.
     tick_live: bool,
+}
+
+/// A super-scheduler decision a shard cannot take locally, surfaced to the
+/// coordinated sharded runner's leader (see `core::sharded`). The shard
+/// records the request, pauses its engine at the triggering instant, and
+/// stays paused until the leader answers with [`CoordGrant`]s.
+///
+/// All partition indices here are **global** (the sequential plan's), not
+/// the shard's local sub-plan indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoordRequest {
+    /// A completion freed a slot on `part` while the global FCFS queue was
+    /// non-empty: pop the queue head and admit it here (the sequential
+    /// super scheduler admits the popped job to the completing partition).
+    Pop {
+        /// The completion instant.
+        time: SimTime,
+        /// Global partition index of the completing partition.
+        part: usize,
+    },
+    /// A fault killed `global_idx` on `from_part` (`failures` counts the
+    /// kill just taken): re-place it on the globally least-loaded alive
+    /// partition, exactly as the sequential requeue path would.
+    Requeue {
+        /// The kill instant.
+        time: SimTime,
+        /// Global batch index of the killed job.
+        global_idx: usize,
+        /// Global partition index the job died on.
+        from_part: usize,
+        /// Failure count including the kill just taken.
+        failures: u32,
+    },
+}
+
+impl CoordRequest {
+    /// The simulated instant the request was raised at.
+    pub fn time(&self) -> SimTime {
+        match *self {
+            CoordRequest::Pop { time, .. } | CoordRequest::Requeue { time, .. } => time,
+        }
+    }
+
+    /// The global partition the request concerns — the cross-shard
+    /// tie-break key (partitions are disjoint across shards, so
+    /// `(time, part)` totally orders same-instant requests).
+    pub fn part(&self) -> usize {
+        match *self {
+            CoordRequest::Pop { part, .. } => part,
+            CoordRequest::Requeue { from_part, .. } => from_part,
+        }
+    }
+}
+
+/// The leader's answer to [`CoordRequest`]s, applied by the destination
+/// shard before it resumes. Partition indices are global.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoordGrant {
+    /// Admit global job `global_idx` on global partition `part` at `time`,
+    /// with the loader floor the global admission chain dictates.
+    /// `failures` carries the entry's failure count across a shard
+    /// migration (nonzero exactly for fault requeues).
+    Admit {
+        /// The admission instant (the granted request's time).
+        time: SimTime,
+        /// Global batch index of the job to admit.
+        global_idx: usize,
+        /// Global partition index to admit onto (must be local here).
+        part: usize,
+        /// Host-link loader floor for the (re)load.
+        floor: SimTime,
+        /// Failure count to carry onto the (possibly migrated) entry.
+        failures: u32,
+    },
+    /// Forget the local incarnation of `global_idx`: the leader re-placed
+    /// it on another shard, whose driver now owns (and reports) it.
+    Release {
+        /// Global batch index of the job to forget.
+        global_idx: usize,
+    },
+}
+
+/// Per-driver state of the coordinated sharded protocol
+/// ([`Driver::with_coordination`]).
+struct CoordClient {
+    /// Live broadcast: the global FCFS queue is non-empty. Completions
+    /// raise [`CoordRequest::Pop`] only while set, mirroring the
+    /// sequential "pop on completion" exactly (the leader clears it the
+    /// instant the queue drains, before any shard resumes).
+    queue_active: Arc<AtomicBool>,
+    /// The full global batch, for re-materializing a job spec when a grant
+    /// migrates an entry onto this shard.
+    specs: Arc<Vec<JobSpec>>,
+    /// Global partition id of each local partition, ascending.
+    partition_ids: Vec<usize>,
+    /// Global batch index → local entry index (None = not resident here).
+    local_of: Vec<Option<usize>>,
+    /// Requests raised since the last [`Driver::take_requests`].
+    requests: Vec<CoordRequest>,
 }
 
 /// The super + partition scheduler driving one machine through one batch.
@@ -98,6 +206,9 @@ pub struct Driver {
     /// open-system population behind the `machine.in_system` gauge and the
     /// `JobSubmitted`/`JobDeparted` events.
     in_system: u32,
+    /// Coordinated sharded protocol client (`None` = sequential or
+    /// free-running sharded execution; global decisions stay local).
+    coord: Option<CoordClient>,
 }
 
 /// Boxed [`Driver::with_respawner`] hook: `(batch index, survivor count)`
@@ -159,6 +270,8 @@ impl Driver {
                     started: false,
                     failures: 0,
                     abandoned: false,
+                    deferred: false,
+                    released: false,
                 })
                 .collect(),
             pending: VecDeque::new(),
@@ -170,6 +283,7 @@ impl Driver {
             load_floors: None,
             respawner: None,
             in_system: 0,
+            coord: None,
         }
     }
 
@@ -257,6 +371,139 @@ impl Driver {
         self
     }
 
+    /// Enroll this driver in the coordinated sharded protocol (see
+    /// `core::sharded`): global super-scheduler decisions — FCFS-queue pops
+    /// and fault requeues — are raised as [`CoordRequest`]s (pausing the
+    /// engine) instead of being taken locally, and the leader's
+    /// [`CoordGrant`]s apply them.
+    ///
+    /// `partition_ids` maps each local partition to its global id;
+    /// `deferred` marks the local entries the coordinator holds in the
+    /// global queue (their arrival only registers them). Requires
+    /// [`Driver::with_job_indices`] first.
+    pub fn with_coordination(
+        mut self,
+        queue_active: Arc<AtomicBool>,
+        specs: Arc<Vec<JobSpec>>,
+        partition_ids: Vec<usize>,
+        deferred: Vec<bool>,
+    ) -> Driver {
+        assert_eq!(partition_ids.len(), self.plan.count(), "one global id per partition");
+        assert_eq!(deferred.len(), self.entries.len(), "one deferral flag per entry");
+        let indices = self
+            .job_indices
+            .as_ref()
+            .expect("with_job_indices must precede with_coordination");
+        let mut local_of = vec![None; specs.len()];
+        for (li, &g) in indices.iter().enumerate() {
+            local_of[g] = Some(li);
+        }
+        for (e, d) in self.entries.iter_mut().zip(deferred) {
+            e.deferred = d;
+        }
+        self.coord = Some(CoordClient {
+            queue_active,
+            specs,
+            partition_ids,
+            local_of,
+            requests: Vec::new(),
+        });
+        self
+    }
+
+    /// Drain the [`CoordRequest`]s raised since the last call (empty when
+    /// the driver is not coordinated or ran without pausing).
+    pub fn take_requests(&mut self) -> Vec<CoordRequest> {
+        self.coord
+            .as_mut()
+            .map_or_else(Vec::new, |c| std::mem::take(&mut c.requests))
+    }
+
+    /// Snapshot `(global partition id, assigned-job count, alive)` per
+    /// local partition — the leader's view for global requeue targeting.
+    pub fn partition_loads(&self) -> Vec<(usize, usize, bool)> {
+        (0..self.plan.count())
+            .map(|p| {
+                let gid = self.coord.as_ref().map_or(p, |c| c.partition_ids[p]);
+                (gid, self.assigned[p].len(), self.partition_alive(p))
+            })
+            .collect()
+    }
+
+    /// Apply the leader's grants, seeding each admission into the shard's
+    /// engine at the grant instant. Must run before the engine resumes.
+    pub fn apply_grants(
+        &mut self,
+        grants: &[CoordGrant],
+        seeder: &mut impl parsched_des::EventSeeder<Event>,
+    ) {
+        for &g in grants {
+            match g {
+                CoordGrant::Release { global_idx } => {
+                    let c = self.coord.as_mut().expect("grants require coordination");
+                    let li = c.local_of[global_idx]
+                        .take()
+                        .expect("release of an entry this shard does not hold");
+                    self.entries[li].released = true;
+                    // The entry's departure now happens on its new owner;
+                    // hand the population count over silently (the
+                    // observable submit/depart events are not duplicated).
+                    self.in_system -= 1;
+                }
+                CoordGrant::Admit { time, global_idx, part, floor, failures } => {
+                    let c = self.coord.as_ref().expect("grants require coordination");
+                    let local_part = c
+                        .partition_ids
+                        .iter()
+                        .position(|&gp| gp == part)
+                        .expect("admit grant for a partition this shard does not own");
+                    let li = match c.local_of[global_idx] {
+                        Some(li) => li,
+                        None => {
+                            // Migration: materialize the entry here from the
+                            // shared batch. Closed-batch arrival (t = 0) and
+                            // the failure count carry over; the original
+                            // owner gets a matching `Release`.
+                            let c = self.coord.as_mut().expect("checked");
+                            let li = self.entries.len();
+                            self.entries.push(Entry {
+                                spec: c.specs[global_idx].clone(),
+                                job_id: None,
+                                partition: None,
+                                arrival: SimTime::ZERO,
+                                finished: None,
+                                started: false,
+                                failures,
+                                abandoned: false,
+                                deferred: false,
+                                released: false,
+                            });
+                            c.local_of[global_idx] = Some(li);
+                            self.job_indices
+                                .as_mut()
+                                .expect("coordinated runs carry job indices")
+                                .push(global_idx);
+                            self.load_floors
+                                .as_mut()
+                                .expect("coordinated runs carry load floors")
+                                .push(SimTime::ZERO);
+                            self.in_system += 1;
+                            li
+                        }
+                    };
+                    debug_assert_eq!(self.entries[li].failures, failures);
+                    self.entries[li].deferred = false;
+                    self.load_floors
+                        .as_mut()
+                        .expect("coordinated runs carry load floors")[li] = floor;
+                    let job = self.admit_body(local_part, li, time);
+                    seeder.seed(time, Event::Admit { job });
+                    self.retune_quantum(local_part);
+                }
+            }
+        }
+    }
+
     /// The policy this driver runs.
     pub fn policy(&self) -> PolicyKind {
         self.policy
@@ -297,6 +544,11 @@ impl Driver {
         );
         if let Some(m) = self.machine.metrics.as_deref_mut() {
             m.set_in_system(now, self.in_system);
+        }
+        if self.entries[idx].deferred {
+            // Coordinated sharded run: the coordinator holds this entry in
+            // the global FCFS queue; a grant admits it later.
+            return;
         }
         self.admit_or_queue(idx, now, sched, false);
     }
@@ -350,8 +602,20 @@ impl Driver {
             .min_by_key(|&part| self.assigned[part].len());
         match target {
             Some(part) => self.admit_to(part, idx, now, sched),
-            None if front => self.pending.push_front(idx),
-            None => self.pending.push_back(idx),
+            None => {
+                // Coordinated shards prefill every local arrival into a
+                // free slot; anything else sits deferred in the global
+                // queue, so the local queue must stay empty.
+                debug_assert!(
+                    self.coord.is_none(),
+                    "coordinated arrival missed its prefilled slot"
+                );
+                if front {
+                    self.pending.push_front(idx);
+                } else {
+                    self.pending.push_back(idx);
+                }
+            }
         }
     }
 
@@ -359,6 +623,15 @@ impl Driver {
     /// admission, emitting `PartitionAdmit` (plus `JobRequeued` for a
     /// fault rerun).
     fn admit_to(&mut self, part: usize, idx: usize, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+        let job = self.admit_body(part, idx, now);
+        sched.schedule_now(Event::Admit { job });
+        self.retune_quantum(part);
+    }
+
+    /// The state mutations of an admission (shared by [`Self::admit_to`]
+    /// and the coordinated grant path, which seeds the `Admit` event into
+    /// the paused engine instead of scheduling it from inside a handler).
+    fn admit_body(&mut self, part: usize, idx: usize, now: SimTime) -> JobId {
         self.assigned[part].push_back(idx);
         let job = self.queue_on(idx, part);
         self.machine.observe(
@@ -378,8 +651,7 @@ impl Driver {
                 },
             );
         }
-        sched.schedule_now(Event::Admit { job });
-        self.retune_quantum(part);
+        job
     }
 
     /// Recompute the dynamic quantum for every job resident on `part`
@@ -514,9 +786,19 @@ impl Driver {
                 // into the freed assignment slot, and start any staged job
                 // that is already resident. (The liveness check only bites
                 // after a fault; completion targets the freed partition
-                // directly, as always.)
+                // directly, as always.) Under coordination the FCFS queue
+                // lives with the leader: raise a pop request and pause —
+                // the grant seeds the admission at this same instant, and
+                // starting resident work first is safe because the popped
+                // job cannot be Ready yet (it has not even loaded).
                 if self.partition_alive(part) {
-                    if let Some(next) = self.pending.pop_front() {
+                    if let Some(c) = &mut self.coord {
+                        if c.queue_active.load(Ordering::Relaxed) {
+                            let gp = c.partition_ids[part];
+                            c.requests.push(CoordRequest::Pop { time: now, part: gp });
+                            sched.request_pause();
+                        }
+                    } else if let Some(next) = self.pending.pop_front() {
                         self.admit_to(part, next, now, sched);
                     }
                     self.start_ready(part, now, sched);
@@ -545,6 +827,23 @@ impl Driver {
                     self.entries[idx].finished = Some(now);
                     self.machine.counters.jobs_abandoned += 1;
                     self.on_departure(idx, now);
+                } else if self.coord.is_some() {
+                    // Coordinated sharded run: the re-placement target is a
+                    // global least-loaded choice only the leader can make.
+                    // Raise the request and pause at this instant.
+                    let g = self
+                        .job_indices
+                        .as_ref()
+                        .expect("coordinated runs carry job indices")[idx];
+                    let failures = self.entries[idx].failures;
+                    let c = self.coord.as_mut().expect("checked");
+                    c.requests.push(CoordRequest::Requeue {
+                        time: now,
+                        global_idx: g,
+                        from_part: c.partition_ids[part],
+                        failures,
+                    });
+                    sched.request_pause();
                 } else {
                     // Requeue at the front of the FCFS queue (the job
                     // keeps its turn) and re-place immediately if any
@@ -555,9 +854,12 @@ impl Driver {
                 }
                 // The failure also freed a slot on its old partition;
                 // offer it to the queue and restart staged work there.
+                // (Coordinated shards never hold a local queue — the
+                // eligible faulty class runs an unbounded MPL, so the
+                // global queue is empty too and there is nothing to pop.)
                 if self.partition_alive(part) {
                     let cap = self.mpl.saturating_add(self.prefetch);
-                    if self.assigned[part].len() < cap {
+                    if self.assigned[part].len() < cap && self.coord.is_none() {
                         if let Some(next) = self.pending.pop_front() {
                             self.admit_to(part, next, now, sched);
                         }
@@ -589,9 +891,32 @@ impl Driver {
         }
     }
 
-    /// True once every batch entry has completed (or been abandoned).
+    /// True once every batch entry has completed (or been abandoned), not
+    /// counting entries a coordination grant re-placed on another shard.
     pub fn all_done(&self) -> bool {
-        self.entries.iter().all(|e| e.finished.is_some())
+        self.entries
+            .iter()
+            .all(|e| e.finished.is_some() || e.released)
+    }
+
+    /// `(global batch index, response time)` for every entry this shard
+    /// owns at the end of a run — coordinated runs migrate entries between
+    /// shards, and the owner at completion reports. Sequential drivers
+    /// (no [`Driver::with_job_indices`]) report local indices.
+    ///
+    /// # Panics
+    /// Panics if an owned entry has not finished.
+    pub fn owned_responses(&self) -> Vec<(usize, SimDuration)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !e.released)
+            .map(|(i, e)| {
+                let g = self.job_indices.as_ref().map_or(i, |v| v[i]);
+                let done = e.finished.expect("owned_responses before completion");
+                (g, done.since(e.arrival))
+            })
+            .collect()
     }
 
     /// Batch entries terminally abandoned after exhausting the requeue

@@ -1,40 +1,57 @@
 //! Sharded conservative-parallel run execution.
 //!
 //! The paper's machine wires each partition as its own closed interconnect
-//! (the C004 crossbar links partitions only through the host), so under
-//! uncoordinated time-sharing of a closed batch the partitions evolve
-//! independently once admission is settled. [`run_batch_sharded`] exploits
-//! that: it cuts the partition plan into `K` contiguous shards
-//! ([`ShardPlan`]), gives each shard its own [`Machine`] + [`Driver`] on
-//! its own thread, and drives them with the conservative windowed engine
-//! ([`ShardedEngine`]). Admission and host-link load serialization — the
-//! only *global* couplings under the eligible policies — are precomputed:
+//! (the C004 crossbar links partitions only through the host), so the
+//! partitions evolve independently once the *global* super-scheduler
+//! decisions — admission order, host-link load serialization, queue pops,
+//! fault requeues — are accounted for. [`run_batch_sharded`] cuts the
+//! partition plan into `K` contiguous shards ([`ShardPlan`]), gives each
+//! shard its own [`Machine`] + [`Driver`] on its own thread, and picks one
+//! of two execution modes ([`shard_eligibility`]):
 //!
-//! * **admission** — with the whole batch arriving at t = 0 under an
-//!   unbounded MPL, the super scheduler's least-loaded rule degenerates to
-//!   round-robin, so job `i` lands on partition `i mod P` and each shard
-//!   receives exactly the sub-batch of its partitions, with
-//!   [`Driver::with_job_indices`] preserving the global placement indices;
-//! * **loading** — jobs ship through the single host link in admission
-//!   order; [`Driver::with_load_floors`] pins each job's loader start to
-//!   the instant the sequential run would grant it.
+//! * **free** ([`ShardMode::Free`]) — uncoordinated time-sharing of a
+//!   closed batch under an unbounded MPL with no faults. Every global
+//!   coupling is precomputable: admission degenerates to round-robin
+//!   (job `i` lands on partition `i mod P`, kept exact by
+//!   [`Driver::with_job_indices`]) and the host-link serialization is a
+//!   prefix sum ([`Driver::with_load_floors`]). Shards run under the
+//!   conservative windowed engine ([`ShardedEngine`]) with no runtime
+//!   coordination at all.
+//! * **coordinated** ([`ShardMode::Coordinated`]) — static and hybrid
+//!   (finite-MPL) policies, whose global FCFS queue pops on completions,
+//!   and fault plans, whose requeues re-place jobs across partitions.
+//!   The queue/requeue decisions cannot be precomputed, but they are rare
+//!   and *pausable*: a shard that hits one pauses its engine at the exact
+//!   instant ([`parsched_des::engine::EventScheduler::request_pause`]),
+//!   raises a [`CoordRequest`], and a leader serves requests across shards
+//!   in the sequential order — global `(time, partition)` — handing back
+//!   [`CoordGrant`]s that seed the admission into the paused engine.
+//!   Fault plans are split along shard boundaries
+//!   ([`parsched_machine::FaultPlan::slice_for_nodes`]) so each declared
+//!   fault is seeded exactly once, by its owner.
 //!
-//! Everything else is shard-local, so a `K`-shard run reproduces the
-//! sequential run's observables — per-job response times, makespan,
-//! machine counters, events processed — *bit for bit*; the differential
-//! oracle sweeps assert exactly that. Configurations outside the eligible
-//! set (static policy, gang scheduling, MPL overrides, fault plans, open
-//! arrivals, single-partition machines) fall back to the sequential path
-//! with the reason recorded in [`ShardedRunResult::fallback`].
+//! Both modes reproduce the sequential run's observables — per-job
+//! response times, makespan, machine counters, events processed — *bit
+//! for bit*; the differential oracle sweeps assert exactly that. The few
+//! configurations whose global order is not locally derivable (gang
+//! rotation ticks, fault plans under a bounded MPL, same-instant
+//! cross-shard queue pops) fall back deterministically to the sequential
+//! path with the reason recorded in [`ShardedRunResult::fallback`].
 
-use crate::driver::Driver;
+use crate::driver::{CoordGrant, CoordRequest, Driver};
 use crate::experiment::{ExperimentConfig, RunError};
 use crate::policy::{Discipline, PolicyKind};
 use parsched_des::{
-    Engine, Lookahead, RunOutcome, ShardedEngine, SimDuration, SimTime, Solo, Summary,
+    Engine, Lookahead, RunOutcome, ShardTiming, ShardedEngine, SimDuration, SimTime, Solo,
+    Summary,
 };
 use parsched_machine::{Counters, Event, JobSpec, Machine, MachineConfig, SystemNet};
 use parsched_topology::{PartitionPlan, ShardPlan};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard};
+use std::time::Instant;
 
 /// Output of one (possibly sharded) run: the observables a sequential run
 /// of the same configuration and batch produces bit-identically.
@@ -54,6 +71,11 @@ pub struct ShardedRunResult {
     pub shards: usize,
     /// Why the run fell back to the sequential path, when it did.
     pub fallback: Option<&'static str>,
+    /// Wall-clock phase breakdown per shard (simulation work vs. barrier
+    /// waits vs. cross-shard merge/coordination). Empty on the sequential
+    /// path. Host timing, not simulation state: excluded from
+    /// [`ShardedRunResult::fingerprint`].
+    pub timings: Vec<ShardTiming>,
 }
 
 fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
@@ -86,38 +108,66 @@ impl ShardedRunResult {
     }
 }
 
-/// Can `config` run sharded at all? `Err` names the global coupling that
-/// forces the sequential path:
+/// How an eligible configuration executes when sharded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardMode {
+    /// No runtime coordination: every global coupling is precomputed
+    /// (uncoordinated time-sharing, unbounded MPL, fault-free).
+    Free,
+    /// Barrier-round coordination: shards pause at global scheduler
+    /// decisions (FCFS-queue pops, fault requeues) and a leader serves
+    /// them in the sequential order.
+    Coordinated,
+}
+
+/// Can `config` run sharded, and in which mode? `Err` names the global
+/// coupling that forces the sequential path:
 ///
-/// * the static policy holds a *global* FCFS queue whose admissions depend
-///   on cross-partition completion order;
-/// * gang scheduling and finite MPLs couple partitions the same way;
-/// * fault requeues re-place jobs across partition boundaries;
+/// * gang scheduling's rotation ticks synchronize a partition's jobs on a
+///   schedule the pause protocol cannot reproduce;
+/// * a fault plan under a bounded MPL interleaves requeues with queue pops
+///   in an order that is not locally derivable;
+/// * a crash at t = 0 would have to precede the arrival admissions it must
+///   follow;
+/// * coordinated grants seed admissions into a paused engine, which is
+///   only safe when the job's load lands strictly later
+///   (`job_load_latency > 0`);
 /// * a single partition cannot be cut (shards respect partition
 ///   granularity — one partition shares one interconnect and one queue).
 ///
 /// Open arrivals are rejected at the entry point ([`run_batch_sharded`]
 /// takes a closed batch); an arrival-time admission also depends on the
 /// global load picture.
-pub fn shard_eligibility(config: &ExperimentConfig) -> Result<(), &'static str> {
-    if config.policy != PolicyKind::TimeSharing {
-        return Err("static policy: the global FCFS queue couples partitions");
-    }
-    if !matches!(config.discipline, Discipline::Uncoordinated) {
+pub fn shard_eligibility(config: &ExperimentConfig) -> Result<ShardMode, &'static str> {
+    if matches!(config.discipline, Discipline::Gang { .. }) {
         return Err("gang scheduling: rotation ticks couple partitions");
     }
-    if config.mpl.is_some() {
-        return Err("finite MPL: admission depends on cross-partition completions");
+    let faults = &config.machine.faults;
+    let queued = config.policy == PolicyKind::Static || config.mpl.is_some();
+    if !faults.is_empty() {
+        if queued {
+            return Err(
+                "fault plan under a bounded MPL: requeues and queue pops interleave globally",
+            );
+        }
+        if faults.crashes.iter().any(|c| c.at == SimTime::ZERO) {
+            return Err("a crash at t = 0 would precede the arrivals it must follow");
+        }
     }
-    if !config.machine.faults.is_empty() {
-        return Err("fault plan: requeues re-place jobs across partitions");
+    let coordinated = queued || !faults.is_empty();
+    if coordinated && config.machine.job_load_latency == SimDuration::ZERO {
+        return Err("zero-latency job loads: a granted admission would race same-instant starts");
     }
     match config.try_plan() {
         Err(_) => Err("unrealizable partition plan"),
         Ok(plan) if plan.count() < 2 => {
             Err("single partition: shards cannot cut below partition granularity")
         }
-        Ok(_) => Ok(()),
+        Ok(_) => Ok(if coordinated {
+            ShardMode::Coordinated
+        } else {
+            ShardMode::Free
+        }),
     }
 }
 
@@ -198,6 +248,7 @@ fn run_sequential(
         events: engine.events_processed(),
         shards: 1,
         fallback,
+        timings: Vec::new(),
     })
 }
 
@@ -213,14 +264,32 @@ pub fn run_batch_sharded(
     if shards <= 1 {
         return run_sequential(config, batch, None);
     }
-    if let Err(reason) = shard_eligibility(config) {
-        return run_sequential(config, batch, Some(reason));
-    }
+    let mode = match shard_eligibility(config) {
+        Ok(mode) => mode,
+        Err(reason) => return run_sequential(config, batch, Some(reason)),
+    };
     let plan = config.plan();
+    let shard_plan = ShardPlan::contiguous(plan.count(), shards);
+    debug_assert!(
+        shard_plan.shards >= 2,
+        "eligibility guarantees at least two partitions"
+    );
+    match mode {
+        ShardMode::Free => run_free(config, batch, plan, shard_plan),
+        ShardMode::Coordinated => run_coordinated(config, batch, plan, shard_plan),
+    }
+}
+
+/// The free mode: precomputed admission + load floors, no runtime
+/// coordination, conservative windowed engine.
+fn run_free(
+    config: &ExperimentConfig,
+    batch: Vec<JobSpec>,
+    plan: PartitionPlan,
+    shard_plan: ShardPlan,
+) -> Result<ShardedRunResult, RunError> {
     let p = plan.count();
-    let shard_plan = ShardPlan::contiguous(p, shards);
     let k = shard_plan.shards;
-    debug_assert!(k >= 2, "eligibility guarantees at least two partitions");
     let lookahead = match classify_lookahead(
         &SystemNet::from_plan(&plan),
         plan.partition_size,
@@ -316,17 +385,555 @@ pub fn run_batch_sharded(
         events: sharded.events_processed(),
         shards: k,
         fallback: None,
+        timings: sharded.timings().to_vec(),
+    })
+}
+
+/// What one shard publishes to the leader at the end of each round.
+#[derive(Debug, Clone, Default)]
+struct Report {
+    /// The shard's engine clock after its run slice.
+    now: SimTime,
+    /// Pending-event set is empty.
+    drained: bool,
+    /// Every owned entry finished (or was released to another shard).
+    done: bool,
+    /// The shard's engine hit its event budget.
+    budget_hit: bool,
+    /// `(global partition id, assigned-job count, alive)` per partition.
+    loads: Vec<(usize, usize, bool)>,
+}
+
+/// Leader-owned coordination state, shared under one mutex.
+struct Ctrl {
+    /// Current run horizon: the next wakeup instant (shards pause there so
+    /// requeue grants always target clocks at the same instant), `MAX`
+    /// once exhausted — and from the start, for fault-free queued runs.
+    horizon: SimTime,
+    /// Per-shard requests raised and not yet served. All requests of one
+    /// shard share one instant (the shard pauses at its first decision).
+    outstanding: Vec<Vec<CoordRequest>>,
+    /// The global FCFS queue: batch indices not admitted at t = 0.
+    pending: VecDeque<usize>,
+    /// End of the host-link load chain granted so far (nanoseconds) — the
+    /// sequential machine's `loader_free_at`, mirrored.
+    loader_clock: u64,
+    /// Sorted, deduplicated declared crash instants.
+    crash_times: Vec<SimTime>,
+    /// Future wakeup instants the horizon walks through: declared crashes
+    /// plus crash-exposed load completions (a job shipped onto a partition
+    /// whose node dies mid-load fails at the *completion* instant, not the
+    /// crash instant — `finish_load` checks the dead flags then).
+    wakeups: std::collections::BTreeSet<SimTime>,
+    /// Crash-exposed load-completion instants ever scheduled (kept after
+    /// the horizon passes them): a cross-shard tie at one of these is not
+    /// orderable by the crash sort, even when it collides with a declared
+    /// crash instant.
+    exposed: std::collections::BTreeSet<SimTime>,
+    /// Earliest declared crash instant per global partition (`MAX` where
+    /// none): a load completing at or after this on that partition fails
+    /// there and then.
+    min_crash: Vec<SimTime>,
+    /// Leader decided the run is over (all done or aborting).
+    finished: bool,
+    /// Deterministic bail-out to the sequential path, with the reason.
+    abort: Option<&'static str>,
+    /// Consecutive rounds without requests served, a horizon advance, or
+    /// termination — a protocol-bug backstop.
+    stall: u32,
+}
+
+/// Lock, riding through poisoning: a panicked peer already routed its
+/// payload through the panic box, and the leader aborts the run.
+fn lk<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One leader pass between the barriers: ingest reports, serve the
+/// globally-first batch of requests, advance the crash horizon, decide
+/// termination.
+#[allow(clippy::too_many_arguments)]
+fn leader_round(
+    ctrl: &Mutex<Ctrl>,
+    reports: &[Mutex<Report>],
+    grants: &[Mutex<Vec<CoordGrant>>],
+    queue_active: &AtomicBool,
+    specs: &[JobSpec],
+    config: &ExperimentConfig,
+    shard_plan: &ShardPlan,
+    partitions: usize,
+) {
+    let mut c = lk(ctrl);
+    if c.abort.is_some() {
+        c.finished = true;
+        return;
+    }
+    let reps: Vec<Report> = reports.iter().map(|m| lk(m).clone()).collect();
+    if reps.iter().any(|r| r.budget_hit) {
+        c.abort = Some("a shard exhausted its event budget");
+        c.finished = true;
+        return;
+    }
+    let k = reps.len();
+    let mut progressed = false;
+
+    // Serve the globally-first shard batch: the shard whose first
+    // outstanding request has the least (time, partition) key. Contiguous
+    // shard cuts make partition order and shard order agree, so serving
+    // one whole same-instant batch per round reproduces the sequential
+    // global order.
+    let s_star = (0..k)
+        .filter(|&s| !c.outstanding[s].is_empty())
+        .min_by_key(|&s| {
+            let r = &c.outstanding[s][0];
+            (r.time(), r.part())
+        });
+    if let Some(s) = s_star {
+        let t_star = c.outstanding[s][0].time();
+        // A same-instant decision on another shard is only orderable when
+        // both are crash-driven requeues: `seed_faults` sorts crashes by
+        // (time, node), so the sequential order is partition order, which
+        // the (time, part) key serves exactly. Anything else (a queue-pop
+        // tie, or a dynamic-time failure coinciding) has a sequential
+        // order determined by event seq history no shard can see.
+        let tied = (0..k)
+            .any(|o| o != s && c.outstanding[o].first().is_some_and(|r| r.time() == t_star));
+        if tied {
+            let crash_instant =
+                c.crash_times.binary_search(&t_star).is_ok() && !c.exposed.contains(&t_star);
+            let all_requeues = (0..k).all(|o| {
+                c.outstanding[o]
+                    .iter()
+                    .all(|r| r.time() != t_star || matches!(r, CoordRequest::Requeue { .. }))
+            });
+            if !(crash_instant && all_requeues) {
+                c.abort =
+                    Some("same-instant cross-shard scheduler decisions have no derivable order");
+                c.finished = true;
+                return;
+            }
+        }
+        let batch = std::mem::take(&mut c.outstanding[s]);
+        debug_assert!(batch.iter().all(|r| r.time() == t_star));
+        // Global load lens for requeue targeting: every shard's published
+        // per-partition view, plus the grants issued within this batch.
+        let mut view = vec![(0usize, false); partitions];
+        for r in &reps {
+            for &(gid, len, alive) in &r.loads {
+                view[gid] = (len, alive);
+            }
+        }
+        for req in batch {
+            match req {
+                CoordRequest::Pop { time, part } => {
+                    let Some(g) = c.pending.pop_front() else {
+                        // The queue drained since the shard paused: the
+                        // sequential completion would find it empty too.
+                        continue;
+                    };
+                    let floor = SimTime(time.nanos().max(c.loader_clock));
+                    c.loader_clock = floor.nanos()
+                        + config
+                            .machine
+                            .load_duration(specs[g].effective_ship_bytes())
+                            .nanos();
+                    lk(&grants[s]).push(CoordGrant::Admit {
+                        time,
+                        global_idx: g,
+                        part,
+                        floor,
+                        failures: 0,
+                    });
+                    view[part].0 += 1;
+                    // Deferred entries are registered on shard 0; an
+                    // admission elsewhere migrates them.
+                    if s != 0 {
+                        lk(&grants[0]).push(CoordGrant::Release { global_idx: g });
+                    }
+                    if c.pending.is_empty() {
+                        // No shard may raise (or hold) a pop once the
+                        // queue is dry: clear stale ones as no-ops before
+                        // anyone resumes.
+                        queue_active.store(false, Ordering::Relaxed);
+                        for o in 0..k {
+                            c.outstanding[o].retain(|r| !matches!(r, CoordRequest::Pop { .. }));
+                        }
+                    }
+                }
+                CoordRequest::Requeue {
+                    time,
+                    global_idx,
+                    from_part: _,
+                    failures,
+                } => {
+                    // The grant seeds an admission at `time` and reads the
+                    // load lens as of `time`: both are invalid once any
+                    // other shard's clock passed it (dynamic-time failures
+                    // between crash horizons land here — deterministically,
+                    // so the sequential rerun is bit-faithful).
+                    if (0..k).any(|o| o != s && reps[o].now > time) {
+                        c.abort = Some("a requeue instant already passed on another shard");
+                        c.finished = true;
+                        return;
+                    }
+                    // Sequential re-placement: least-loaded alive
+                    // partition, ties to the lowest index.
+                    let target = (0..partitions)
+                        .filter(|&q| view[q].1)
+                        .min_by_key(|&q| view[q].0);
+                    let Some(q) = target else {
+                        c.abort = Some("no alive partition can take a requeued job");
+                        c.finished = true;
+                        return;
+                    };
+                    view[q].0 += 1;
+                    let floor = SimTime(time.nanos().max(c.loader_clock));
+                    c.loader_clock = floor.nanos()
+                        + config
+                            .machine
+                            .load_duration(specs[global_idx].effective_ship_bytes())
+                            .nanos();
+                    // A grant onto a partition with a pending crash fails
+                    // again at load completion — an instant no declared
+                    // horizon covers. Schedule it as a wakeup so every
+                    // shard pauses there; if a shard's clock already
+                    // passed it, the requeue it will raise is unservable.
+                    let completion = SimTime(c.loader_clock);
+                    if c.min_crash[q] <= completion {
+                        if reps.iter().any(|r| r.now > completion) {
+                            c.abort = Some(
+                                "a crash-exposed load grant lands in another shard's past",
+                            );
+                            c.finished = true;
+                            return;
+                        }
+                        c.exposed.insert(completion);
+                        c.wakeups.insert(completion);
+                        if completion < c.horizon {
+                            c.horizon = completion;
+                        }
+                    }
+                    let owner = shard_plan.shard_of(q);
+                    lk(&grants[owner]).push(CoordGrant::Admit {
+                        time,
+                        global_idx,
+                        part: q,
+                        floor,
+                        failures,
+                    });
+                    if owner != s {
+                        lk(&grants[s]).push(CoordGrant::Release { global_idx });
+                    }
+                }
+            }
+        }
+        progressed = true;
+    } else {
+        // Nothing outstanding: every shard ran to the horizon (or
+        // drained). Advance past the current wakeup instant, or finish.
+        while c.wakeups.first().is_some_and(|&t| t <= c.horizon) {
+            c.wakeups.pop_first();
+        }
+        let next = c.wakeups.first().copied().unwrap_or(SimTime::MAX);
+        if next != c.horizon {
+            c.horizon = next;
+            progressed = true;
+        }
+        if reps.iter().all(|r| r.done && r.drained) {
+            c.finished = true;
+            return;
+        }
+    }
+
+    if progressed {
+        c.stall = 0;
+    } else {
+        c.stall += 1;
+        if c.stall >= 3 {
+            c.abort = Some("coordination made no progress");
+            c.finished = true;
+        }
+    }
+}
+
+/// The coordinated mode: shards pause at global scheduler decisions and a
+/// barrier-round leader serves them in the sequential global order.
+fn run_coordinated(
+    config: &ExperimentConfig,
+    batch: Vec<JobSpec>,
+    plan: PartitionPlan,
+    shard_plan: ShardPlan,
+) -> Result<ShardedRunResult, RunError> {
+    let p = plan.count();
+    let k = shard_plan.shards;
+    let n = batch.len();
+
+    // The sequential t = 0 admission fills every partition up to its
+    // execution + prefetch capacity round-robin (job i → partition
+    // i mod P) and queues the rest FCFS. The prefilled prefix is
+    // precomputable exactly like the free mode; the leftovers defer to
+    // the leader's queue.
+    let mpl = config.mpl.unwrap_or(match config.policy {
+        PolicyKind::Static => 1,
+        PolicyKind::TimeSharing => usize::MAX,
+    });
+    // Driver's default prefetch depth is 1 (double buffering).
+    let cap = mpl.saturating_add(1);
+    let prefill = n.min(p.saturating_mul(cap));
+
+    // Earliest declared crash per partition: a load completing at or after
+    // it on that partition is wasted — the job fails at the completion
+    // instant, which must therefore be a coordination wakeup.
+    let mut min_crash = vec![SimTime::MAX; p];
+    for cr in &config.machine.faults.crashes {
+        for (q, part) in plan.partitions.iter().enumerate() {
+            if part.contains(cr.node as usize) {
+                min_crash[q] = min_crash[q].min(cr.at);
+            }
+        }
+    }
+
+    // Host-link serialization of the prefilled loads; the leader's clock
+    // picks up where the prefix chain ends and floors every granted
+    // admission after it.
+    let mut floors = Vec::with_capacity(prefill);
+    let mut exposed = std::collections::BTreeSet::new();
+    let mut at = 0u64;
+    for (i, spec) in batch[..prefill].iter().enumerate() {
+        floors.push(SimTime(at));
+        at += config.machine.load_duration(spec.effective_ship_bytes()).nanos();
+        if min_crash[i % p] <= SimTime(at) {
+            exposed.insert(SimTime(at));
+        }
+    }
+
+    // Prefilled jobs live with the shard owning their partition; deferred
+    // jobs register their arrival on shard 0 and migrate on admission.
+    let mut members_of: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for i in 0..prefill {
+        members_of[shard_plan.shard_of(i % p)].push(i);
+    }
+    members_of[0].extend(prefill..n);
+
+    let specs: Arc<Vec<JobSpec>> = Arc::new(batch.clone());
+    let queue_active = Arc::new(AtomicBool::new(prefill < n));
+
+    let mut drivers = Vec::with_capacity(k);
+    let mut engines: Vec<Engine<Event>> = Vec::with_capacity(k);
+    for (s, members) in members_of.iter().enumerate() {
+        let sub_plan = PartitionPlan {
+            system_size: plan.system_size,
+            partition_size: plan.partition_size,
+            partitions: shard_plan
+                .partitions_of(s)
+                .iter()
+                .map(|&q| plan.partitions[q].clone())
+                .collect(),
+        };
+        // Full node/link array per shard (idle outside its partitions),
+        // but only the shard-owned slice of the fault plan: each declared
+        // crash and link window is seeded exactly once, by its owner.
+        let mut mc = config.machine.clone();
+        mc.faults = config
+            .machine
+            .faults
+            .slice_for_nodes(|node| shard_plan.owns_node(s, node, plan.partition_size));
+        let machine = Machine::new(mc, SystemNet::from_plan(&plan));
+        let mut driver = Driver::new(
+            machine,
+            sub_plan,
+            config.policy,
+            config.rule,
+            config.placement,
+            members.iter().map(|&i| batch[i].clone()).collect(),
+        );
+        if let Some(m) = config.mpl {
+            driver = driver.with_mpl(m);
+        }
+        let deferred: Vec<bool> = members.iter().map(|&i| i >= prefill).collect();
+        let driver = driver
+            .with_discipline(config.discipline)
+            .with_job_indices(members.clone())
+            .with_load_floors(
+                members
+                    .iter()
+                    .map(|&i| floors.get(i).copied().unwrap_or(SimTime::ZERO))
+                    .collect(),
+            )
+            .with_coordination(
+                queue_active.clone(),
+                specs.clone(),
+                shard_plan.partitions_of(s),
+                deferred,
+            );
+        drivers.push(driver);
+        let mut engine: Engine<Event> = Engine::new(config.queue);
+        engine.max_events = config.machine.max_events;
+        engines.push(engine);
+    }
+    for (driver, engine) in drivers.iter_mut().zip(engines.iter_mut()) {
+        driver.start(engine);
+    }
+
+    let mut crash_times: Vec<SimTime> =
+        config.machine.faults.crashes.iter().map(|c| c.at).collect();
+    crash_times.sort_unstable();
+    crash_times.dedup();
+    let wakeups: std::collections::BTreeSet<SimTime> =
+        crash_times.iter().copied().chain(exposed.iter().copied()).collect();
+    let ctrl = Mutex::new(Ctrl {
+        horizon: wakeups.first().copied().unwrap_or(SimTime::MAX),
+        outstanding: vec![Vec::new(); k],
+        pending: (prefill..n).collect(),
+        loader_clock: at,
+        crash_times,
+        wakeups,
+        exposed,
+        min_crash,
+        finished: false,
+        abort: None,
+        stall: 0,
+    });
+    let reports: Vec<Mutex<Report>> = (0..k).map(|_| Mutex::new(Report::default())).collect();
+    let grants: Vec<Mutex<Vec<CoordGrant>>> = (0..k).map(|_| Mutex::new(Vec::new())).collect();
+    let barrier = Barrier::new(k);
+    let panic_box: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+    let shard_results: Vec<(Driver, Engine<Event>, ShardTiming)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = drivers
+            .into_iter()
+            .zip(engines)
+            .enumerate()
+            .map(|(s, (mut driver, mut engine))| {
+                let (ctrl, reports, grants, barrier, panic_box) =
+                    (&ctrl, &reports, &grants, &barrier, &panic_box);
+                let (queue_active, specs, shard_plan) = (&queue_active, &specs, &shard_plan);
+                scope.spawn(move || {
+                    let mut timing = ShardTiming::default();
+                    loop {
+                        let t_work = Instant::now();
+                        let round = catch_unwind(AssertUnwindSafe(|| {
+                            let (my_grants, may_run, horizon) = {
+                                let c = lk(ctrl);
+                                (
+                                    std::mem::take(&mut *lk(&grants[s])),
+                                    c.outstanding[s].is_empty(),
+                                    c.horizon,
+                                )
+                            };
+                            driver.apply_grants(&my_grants, &mut engine);
+                            let outcome = if may_run {
+                                Some(engine.run_until(&mut driver, horizon))
+                            } else {
+                                None
+                            };
+                            let requests = driver.take_requests();
+                            if !requests.is_empty() {
+                                lk(ctrl).outstanding[s].extend(requests);
+                            }
+                            *lk(&reports[s]) = Report {
+                                now: engine.now(),
+                                drained: engine.pending() == 0,
+                                done: driver.all_done(),
+                                budget_hit: outcome == Some(RunOutcome::BudgetExhausted),
+                                loads: driver.partition_loads(),
+                            };
+                        }));
+                        if let Err(payload) = round {
+                            lk(panic_box).get_or_insert(payload);
+                            let mut c = lk(ctrl);
+                            c.abort.get_or_insert("a shard thread panicked");
+                            c.finished = true;
+                        }
+                        timing.work_ns += t_work.elapsed().as_nanos() as u64;
+                        let t_bar = Instant::now();
+                        barrier.wait();
+                        timing.barrier_ns += t_bar.elapsed().as_nanos() as u64;
+                        if s == 0 {
+                            let t_merge = Instant::now();
+                            let led = catch_unwind(AssertUnwindSafe(|| {
+                                leader_round(
+                                    ctrl,
+                                    reports,
+                                    grants,
+                                    queue_active,
+                                    specs,
+                                    config,
+                                    shard_plan,
+                                    p,
+                                );
+                            }));
+                            if let Err(payload) = led {
+                                lk(panic_box).get_or_insert(payload);
+                                let mut c = lk(ctrl);
+                                c.abort.get_or_insert("the coordination leader panicked");
+                                c.finished = true;
+                            }
+                            timing.merge_ns += t_merge.elapsed().as_nanos() as u64;
+                        }
+                        let t_bar = Instant::now();
+                        barrier.wait();
+                        timing.barrier_ns += t_bar.elapsed().as_nanos() as u64;
+                        if lk(ctrl).finished {
+                            break;
+                        }
+                    }
+                    (driver, engine, timing)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard panics are routed through the panic box"))
+            .collect()
+    });
+
+    if let Some(payload) = lk(&panic_box).take() {
+        resume_unwind(payload);
+    }
+    if let Some(reason) = lk(&ctrl).abort {
+        return run_sequential(config, batch, Some(reason));
+    }
+
+    let mut response_times = vec![SimDuration::ZERO; n];
+    let mut seen = vec![false; n];
+    let mut counters = Counters::default();
+    let mut events = 0u64;
+    let mut makespan = SimTime::ZERO;
+    let mut timings = Vec::with_capacity(k);
+    for (driver, engine, timing) in shard_results {
+        for (g, d) in driver.owned_responses() {
+            debug_assert!(!seen[g], "two shards report the same job");
+            seen[g] = true;
+            response_times[g] = d;
+        }
+        counters.absorb(&driver.machine.counters);
+        events += engine.events_processed();
+        makespan = makespan.max(engine.now());
+        timings.push(timing);
+    }
+    debug_assert!(seen.iter().all(|&done| done), "every job reported exactly once");
+    let summary = Summary::of_durations(&response_times);
+    Ok(ShardedRunResult {
+        response_times,
+        summary,
+        makespan: makespan.since(SimTime::ZERO),
+        counters,
+        events,
+        shards: k,
+        fallback: None,
+        timings,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parsched_machine::{FaultPlan, NodeCrash, Op, ProcSpec, Rank, Tag};
+    use parsched_machine::{FaultPlan, LinkWindow, NodeCrash, Op, ProcSpec, Rank, Tag};
     use parsched_topology::TopologyKind;
 
     /// 16 nodes in 4-node hypercube partitions under uncoordinated
-    /// time-sharing: the eligible sharding shape.
+    /// time-sharing: the free sharding shape.
     fn eligible_config() -> ExperimentConfig {
         ExperimentConfig::paper(
             4,
@@ -377,23 +984,43 @@ mod tests {
             .collect()
     }
 
+    /// Assert `config` over `batch` is bit-identical between the
+    /// sequential path and every shard count in `ks`, and return the
+    /// sequential result for further checks.
+    fn assert_bit_identical(
+        config: &ExperimentConfig,
+        batch: &[JobSpec],
+        ks: &[usize],
+    ) -> ShardedRunResult {
+        let seq = run_batch_sharded(config, batch.to_vec(), 1).unwrap();
+        assert_eq!(seq.shards, 1);
+        let parts = config.system_size / config.partition_size;
+        for &k in ks {
+            let par = run_batch_sharded(config, batch.to_vec(), k).unwrap();
+            assert_eq!(par.fallback, None, "k={k}");
+            assert_eq!(par.shards, k.min(parts), "k={k}");
+            assert_eq!(par.response_times, seq.response_times, "k={k}");
+            assert_eq!(par.makespan, seq.makespan, "k={k}");
+            assert_eq!(par.counters, seq.counters, "k={k}");
+            assert_eq!(par.events, seq.events, "k={k}");
+            assert_eq!(par.fingerprint(), seq.fingerprint(), "k={k}");
+            assert_eq!(par.timings.len(), par.shards, "k={k}");
+        }
+        seq
+    }
+
     #[test]
     fn eligibility_gate_names_each_coupling() {
-        assert!(shard_eligibility(&eligible_config()).is_ok());
+        assert_eq!(shard_eligibility(&eligible_config()), Ok(ShardMode::Free));
 
+        // The widened gate: queued policies and fault plans coordinate.
         let mut c = eligible_config();
         c.policy = PolicyKind::Static;
-        assert!(shard_eligibility(&c).unwrap_err().contains("static"));
-
-        let mut c = eligible_config();
-        c.discipline = Discipline::Gang {
-            slot: SimDuration::from_millis(4),
-        };
-        assert!(shard_eligibility(&c).unwrap_err().contains("gang"));
+        assert_eq!(shard_eligibility(&c), Ok(ShardMode::Coordinated));
 
         let mut c = eligible_config();
         c.mpl = Some(2);
-        assert!(shard_eligibility(&c).unwrap_err().contains("MPL"));
+        assert_eq!(shard_eligibility(&c), Ok(ShardMode::Coordinated));
 
         let mut c = eligible_config();
         c.machine.faults = FaultPlan {
@@ -403,7 +1030,42 @@ mod tests {
             }],
             ..FaultPlan::default()
         };
-        assert!(shard_eligibility(&c).unwrap_err().contains("fault"));
+        assert_eq!(shard_eligibility(&c), Ok(ShardMode::Coordinated));
+
+        // Still sequential, each with its reason on record.
+        let mut c = eligible_config();
+        c.discipline = Discipline::Gang {
+            slot: SimDuration::from_millis(4),
+        };
+        assert!(shard_eligibility(&c).unwrap_err().contains("gang"));
+
+        let mut c = eligible_config();
+        c.policy = PolicyKind::Static;
+        c.machine.faults = FaultPlan {
+            crashes: vec![NodeCrash {
+                node: 1,
+                at: SimTime(5),
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(shard_eligibility(&c).unwrap_err().contains("fault plan"));
+
+        let mut c = eligible_config();
+        c.machine.faults = FaultPlan {
+            crashes: vec![NodeCrash {
+                node: 1,
+                at: SimTime::ZERO,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(shard_eligibility(&c).unwrap_err().contains("t = 0"));
+
+        let mut c = eligible_config();
+        c.policy = PolicyKind::Static;
+        c.machine.job_load_latency = SimDuration::ZERO;
+        assert!(shard_eligibility(&c)
+            .unwrap_err()
+            .contains("zero-latency job loads"));
 
         let c = ExperimentConfig::paper(16, TopologyKind::Linear, PolicyKind::TimeSharing);
         assert!(shard_eligibility(&c).unwrap_err().contains("single partition"));
@@ -411,21 +1073,73 @@ mod tests {
 
     #[test]
     fn sharded_observables_match_sequential_bit_for_bit() {
-        let config = eligible_config();
-        let batch = chatty_batch(9);
-        let seq = run_batch_sharded(&config, batch.clone(), 1).unwrap();
-        assert_eq!(seq.shards, 1);
-        assert_eq!(seq.fallback, None);
-        for k in [2, 3, 4, 8] {
-            let par = run_batch_sharded(&config, batch.clone(), k).unwrap();
-            assert_eq!(par.shards, k.min(4), "4 partitions clamp the cut");
-            assert_eq!(par.fallback, None);
-            assert_eq!(par.response_times, seq.response_times, "k={k}");
-            assert_eq!(par.makespan, seq.makespan, "k={k}");
-            assert_eq!(par.counters, seq.counters, "k={k}");
-            assert_eq!(par.events, seq.events, "k={k}");
-            assert_eq!(par.fingerprint(), seq.fingerprint(), "k={k}");
-        }
+        assert_bit_identical(&eligible_config(), &chatty_batch(9), &[2, 3, 4, 8]);
+    }
+
+    #[test]
+    fn static_policy_shards_bit_identically() {
+        // 4 partitions, cap 2 (MPL 1 + prefetch 1): 8 prefilled, 4 queued
+        // — every pop round-trips through the leader.
+        let mut config = eligible_config();
+        config.policy = PolicyKind::Static;
+        let seq = assert_bit_identical(&config, &chatty_batch(12), &[2, 4, 8]);
+        assert!(seq.makespan > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn mpl_capped_time_sharing_shards_bit_identically() {
+        // Hybrid shape: time-sharing under a finite MPL. Cap 3 per
+        // partition => 12 prefilled, 2 queued.
+        let mut config = eligible_config();
+        config.mpl = Some(2);
+        assert_bit_identical(&config, &chatty_batch(14), &[2, 4, 8]);
+    }
+
+    #[test]
+    fn crash_fault_plan_shards_bit_identically() {
+        // Crashes land mid-run on two different shards' partitions; the
+        // killed jobs requeue through the leader onto the globally
+        // least-loaded partition.
+        let mut config = eligible_config();
+        config.machine.faults = FaultPlan {
+            crashes: vec![
+                NodeCrash {
+                    node: 1,
+                    at: SimTime(120_000_000),
+                },
+                NodeCrash {
+                    node: 13,
+                    at: SimTime(200_000_000),
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        let seq = assert_bit_identical(&config, &chatty_batch(9), &[2, 3, 4]);
+        assert!(
+            seq.counters.jobs_requeued > 0,
+            "the crashes must actually kill and requeue work"
+        );
+    }
+
+    #[test]
+    fn flaky_link_fault_plan_shards_bit_identically() {
+        // A link outage window plus probabilistic corruption: retries and
+        // retransmissions stay shard-local (per-channel drop streams), so
+        // the run coordinates only if a job actually dies.
+        let mut config = eligible_config();
+        config.machine.faults = FaultPlan {
+            links: vec![LinkWindow {
+                from: 0,
+                to: 1,
+                down_at: SimTime(60_000_000),
+                up_at: SimTime(90_000_000),
+            }],
+            drop_prob: 0.05,
+            drop_seed: 11,
+            ..FaultPlan::default()
+        };
+        let seq = assert_bit_identical(&config, &chatty_batch(8), &[2, 4]);
+        assert_eq!(seq.counters.jobs_requeued, 0, "nobody should die here");
     }
 
     #[test]
@@ -442,11 +1156,13 @@ mod tests {
     #[test]
     fn ineligible_config_falls_back_with_reason() {
         let mut config = eligible_config();
-        config.policy = PolicyKind::Static;
+        config.discipline = Discipline::Gang {
+            slot: SimDuration::from_millis(4),
+        };
         let batch = chatty_batch(4);
         let r = run_batch_sharded(&config, batch.clone(), 4).unwrap();
         assert_eq!(r.shards, 1);
-        assert!(r.fallback.unwrap().contains("static"));
+        assert!(r.fallback.unwrap().contains("gang"));
         let seq = run_batch_sharded(&config, batch, 1).unwrap();
         assert_eq!(r.response_times, seq.response_times);
     }
@@ -460,6 +1176,14 @@ mod tests {
             let again = run_batch_sharded(&config, batch.clone(), 4).unwrap();
             assert_eq!(again.fingerprint(), first.fingerprint());
             assert_eq!(again.response_times, first.response_times);
+        }
+        // The coordinated path must be just as interleaving-proof.
+        let mut config = eligible_config();
+        config.policy = PolicyKind::Static;
+        let first = run_batch_sharded(&config, batch.clone(), 4).unwrap();
+        for _ in 0..3 {
+            let again = run_batch_sharded(&config, batch.clone(), 4).unwrap();
+            assert_eq!(again.fingerprint(), first.fingerprint());
         }
     }
 

@@ -86,6 +86,14 @@ pub trait EventScheduler<E> {
         let at = self.now() + delay;
         self.schedule_timer_at(at, event)
     }
+
+    /// Ask the engine to stop after the current event's handler returns
+    /// ([`RunOutcome::Paused`]). A model uses this when it cannot proceed
+    /// without information the engine does not have — the coordinated
+    /// sharded runner's global-queue admissions — and the caller resolves
+    /// the dependency before resuming. Engines without pause support (the
+    /// oracle's reference engine) ignore the request.
+    fn request_pause(&mut self) {}
 }
 
 /// An engine that accepts events seeded from outside a run (the driver's
@@ -115,6 +123,7 @@ pub struct Scheduler<'w, E> {
     timers: &'w mut AdaptiveTimers<E>,
     queue: &'w mut Backend<E>,
     now_queue: &'w mut VecDeque<Scheduled<E>>,
+    pause: bool,
 }
 
 impl<E> EventScheduler<E> for Scheduler<'_, E> {
@@ -157,6 +166,10 @@ impl<E> EventScheduler<E> for Scheduler<'_, E> {
 
     fn timer_count(&self) -> usize {
         self.timers.len()
+    }
+
+    fn request_pause(&mut self) {
+        self.pause = true;
     }
 }
 
@@ -229,6 +242,10 @@ pub enum RunOutcome {
     HorizonReached,
     /// The event budget was exhausted (runaway-simulation guard).
     BudgetExhausted,
+    /// The model asked to stop after the current event
+    /// ([`EventScheduler::request_pause`]); the clock sits at that event's
+    /// instant and the run can be resumed by calling `run` again.
+    Paused,
 }
 
 /// The discrete-event engine: a clock plus a three-tier pending-event set.
@@ -363,9 +380,13 @@ impl<E> Engine<E> {
                 timers: &mut self.timers,
                 queue: &mut self.queue,
                 now_queue: &mut self.now_queue,
+                pause: false,
             };
             model.handle(self.now, item.event, &mut sched);
             self.next_seq = sched.next_seq;
+            if sched.pause {
+                return RunOutcome::Paused;
+            }
         }
     }
 

@@ -70,7 +70,7 @@ pub mod prelude {
         Engine, EventScheduler, EventSeeder, Model, QueueKind, RunOutcome, Scheduler,
     };
     pub use crate::queue::{AdaptiveQueue, BinaryHeapQueue, CalendarQueue, EventQueue, Scheduled};
-    pub use crate::shard::{Lookahead, ShardCtx, ShardModel, ShardedEngine, Solo};
+    pub use crate::shard::{Lookahead, ShardCtx, ShardModel, ShardTiming, ShardedEngine, Solo};
     pub use crate::timers::AdaptiveTimers;
     pub use crate::wheel::{TimerHandle, TimerWheel};
     pub use crate::rng::DetRng;

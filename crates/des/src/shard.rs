@@ -174,6 +174,9 @@ impl<E, S: EventScheduler<E>> EventScheduler<E> for ShardCtx<'_, E, S> {
     fn timer_count(&self) -> usize {
         self.sched.timer_count()
     }
+    fn request_pause(&mut self) {
+        self.sched.request_pause();
+    }
 }
 
 /// Bridges a [`ShardModel`] to the plain [`Model`] interface
@@ -206,6 +209,21 @@ impl<M: ShardModel> Model for WindowShim<'_, M> {
     }
 }
 
+/// Wall-clock breakdown of one shard thread's run, for diagnosing where a
+/// sharded run spends its time: simulating (`work_ns`), blocked on the
+/// window barriers (`barrier_ns`), or routing/merging cross-shard mail
+/// (`merge_ns`). Wall-clock only — it never feeds a simulated result or a
+/// fingerprint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardTiming {
+    /// Time spent inside `Engine::run_until` (event processing).
+    pub work_ns: u64,
+    /// Time spent waiting at the three window barriers.
+    pub barrier_ns: u64,
+    /// Time spent routing the outbox and sorting/seeding inbound mail.
+    pub merge_ns: u64,
+}
+
 /// `K` independent engines plus the window/barrier/mailbox machinery.
 ///
 /// Seed each shard through [`shard_mut`](Self::shard_mut) (an [`Engine`]
@@ -215,6 +233,7 @@ impl<M: ShardModel> Model for WindowShim<'_, M> {
 pub struct ShardedEngine<E> {
     cells: Vec<Engine<E>>,
     lookahead: Lookahead,
+    timings: Vec<ShardTiming>,
 }
 
 impl<E> ShardedEngine<E> {
@@ -233,7 +252,8 @@ impl<E> ShardedEngine<E> {
         if let Lookahead::Finite(l) = lookahead {
             assert!(l.nanos() > 0, "a zero lookahead admits no safe window");
         }
-        ShardedEngine { cells: engines, lookahead }
+        let timings = vec![ShardTiming::default(); engines.len()];
+        ShardedEngine { cells: engines, lookahead, timings }
     }
 
     /// Number of shards.
@@ -261,6 +281,12 @@ impl<E> ShardedEngine<E> {
         self.cells.iter().map(|e| e.events_processed()).sum()
     }
 
+    /// Per-shard wall-clock breakdown of the most recent [`run`](Self::run)
+    /// (work vs. barrier-wait vs. mail merge). All zeros before a run.
+    pub fn timings(&self) -> &[ShardTiming] {
+        &self.timings
+    }
+
     /// Drive one model per shard until every shard drains (or a budget
     /// runs out). Blocks until all shard threads join.
     ///
@@ -283,13 +309,18 @@ impl<E> ShardedEngine<E> {
         let budget_hit = AtomicBool::new(false);
         let inboxes: Vec<Mutex<Vec<InMail<E>>>> = (0..k).map(|_| Mutex::new(Vec::new())).collect();
         let panic_box: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+        let timing_out: Vec<Mutex<ShardTiming>> =
+            (0..k).map(|_| Mutex::new(ShardTiming::default())).collect();
 
         std::thread::scope(|scope| {
             for (i, (engine, model)) in self.cells.iter_mut().zip(models.iter_mut()).enumerate() {
-                let (barrier, floors, window, done, budget_hit, inboxes, panic_box) =
-                    (&barrier, &floors, &window, &done, &budget_hit, &inboxes, &panic_box);
+                let (barrier, floors, window, done, budget_hit, inboxes, panic_box, timing_out) = (
+                    &barrier, &floors, &window, &done, &budget_hit, &inboxes, &panic_box,
+                    &timing_out,
+                );
                 scope.spawn(move || {
                     let mut outbox: Vec<OutMail<E>> = Vec::new();
+                    let mut timing = ShardTiming::default();
                     // Set when this shard's model panicked: keep joining the
                     // barriers (so the others aren't deadlocked) but stop
                     // touching the poisoned engine/model.
@@ -301,7 +332,9 @@ impl<E> ShardedEngine<E> {
                             engine.next_event_time().map_or(u64::MAX, |t| t.nanos())
                         };
                         floors[i].store(floor, Ordering::Relaxed);
+                        let wait = std::time::Instant::now();
                         barrier.wait();
+                        timing.barrier_ns += wait.elapsed().as_nanos() as u64;
                         if i == 0 {
                             let t_min = floors
                                 .iter()
@@ -326,7 +359,9 @@ impl<E> ShardedEngine<E> {
                                 window.store(end, Ordering::Relaxed);
                             }
                         }
+                        let wait = std::time::Instant::now();
                         barrier.wait();
+                        timing.barrier_ns += wait.elapsed().as_nanos() as u64;
                         if done.load(Ordering::Relaxed) {
                             break;
                         }
@@ -339,9 +374,11 @@ impl<E> ShardedEngine<E> {
                                 shards: k,
                                 lookahead,
                             };
+                            let work = std::time::Instant::now();
                             let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
                                 engine.run_until(&mut shim, end)
                             }));
+                            timing.work_ns += work.elapsed().as_nanos() as u64;
                             match run {
                                 Ok(RunOutcome::BudgetExhausted) => {
                                     budget_hit.store(true, Ordering::Relaxed);
@@ -357,6 +394,7 @@ impl<E> ShardedEngine<E> {
                                 }
                             }
                         }
+                        let route = std::time::Instant::now();
                         for (idx, m) in outbox.drain(..).enumerate() {
                             inboxes[m.dst].lock().expect("inbox").push(InMail {
                                 time: m.time,
@@ -365,7 +403,11 @@ impl<E> ShardedEngine<E> {
                                 event: m.event,
                             });
                         }
+                        timing.merge_ns += route.elapsed().as_nanos() as u64;
+                        let wait = std::time::Instant::now();
                         barrier.wait();
+                        timing.barrier_ns += wait.elapsed().as_nanos() as u64;
+                        let merge = std::time::Instant::now();
                         let mut mail = std::mem::take(&mut *inboxes[i].lock().expect("inbox"));
                         if !poisoned {
                             // (time, src, idx) is a total order independent
@@ -376,11 +418,17 @@ impl<E> ShardedEngine<E> {
                                 engine.seed(m.time, m.event);
                             }
                         }
+                        timing.merge_ns += merge.elapsed().as_nanos() as u64;
                     }
+                    *timing_out[i].lock().expect("timing slot") = timing;
                 });
             }
         });
 
+        self.timings = timing_out
+            .into_iter()
+            .map(|m| m.into_inner().expect("timing slot"))
+            .collect();
         if let Some(payload) = panic_box.into_inner().expect("panic box") {
             std::panic::resume_unwind(payload);
         }

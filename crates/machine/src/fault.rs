@@ -125,6 +125,30 @@ impl FaultPlan {
             && self.mailbox_capacity.is_none()
             && self.retry.msg_timeout.is_none()
     }
+
+    /// The slice of this plan a shard owning the given nodes should seed.
+    ///
+    /// Declared events are kept only where the shard can observe them:
+    /// crashes on owned nodes, link windows with **both** endpoints owned.
+    /// A window straddling the ownership boundary is dropped — safe because
+    /// shard ownership follows partition boundaries and partitions share no
+    /// channels, so such a window names a non-adjacent pair the machine
+    /// would ignore anyway. The scalar knobs (drop probability/seed,
+    /// mailbox capacity, retry policy) apply machine-wide and are copied
+    /// verbatim: the per-channel drop streams make the slice draw exactly
+    /// the sequential numbers on the channels it owns.
+    pub fn slice_for_nodes(&self, owns: impl Fn(u16) -> bool) -> FaultPlan {
+        FaultPlan {
+            crashes: self.crashes.iter().copied().filter(|c| owns(c.node)).collect(),
+            links: self
+                .links
+                .iter()
+                .copied()
+                .filter(|w| owns(w.from) && owns(w.to))
+                .collect(),
+            ..self.clone()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +182,37 @@ mod tests {
             ..FaultPlan::default()
         };
         assert!(!timeout.is_empty());
+    }
+
+    #[test]
+    fn slicing_keeps_owned_events_and_scalar_knobs() {
+        let plan = FaultPlan {
+            crashes: vec![
+                NodeCrash { node: 1, at: SimTime(10) },
+                NodeCrash { node: 5, at: SimTime(20) },
+            ],
+            links: vec![
+                LinkWindow { from: 0, to: 1, down_at: SimTime(1), up_at: SimTime(2) },
+                LinkWindow { from: 3, to: 4, down_at: SimTime(1), up_at: SimTime(2) },
+                LinkWindow { from: 4, to: 5, down_at: SimTime(1), up_at: SimTime(2) },
+            ],
+            drop_prob: 0.25,
+            drop_seed: 7,
+            mailbox_capacity: Some(3),
+            retry: RetryPolicy::default(),
+        };
+        let lo = plan.slice_for_nodes(|n| n < 4);
+        assert_eq!(lo.crashes, vec![NodeCrash { node: 1, at: SimTime(10) }]);
+        assert_eq!(
+            lo.links,
+            vec![LinkWindow { from: 0, to: 1, down_at: SimTime(1), up_at: SimTime(2) }]
+        );
+        assert_eq!(lo.drop_prob, 0.25);
+        assert_eq!(lo.drop_seed, 7);
+        assert_eq!(lo.mailbox_capacity, Some(3));
+        let hi = plan.slice_for_nodes(|n| n >= 4);
+        assert_eq!(hi.crashes, vec![NodeCrash { node: 5, at: SimTime(20) }]);
+        assert_eq!(hi.links.len(), 1); // only the 4–5 window is fully owned
     }
 
     #[test]

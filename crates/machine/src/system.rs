@@ -329,9 +329,14 @@ pub struct Machine {
     /// Per-node fail-stop flag (fault plan). A dead node's CPU schedules
     /// no new job work, but its link engines keep forwarding traffic.
     dead: Vec<bool>,
-    /// Deterministic per-hop drop lottery, drawn only while
-    /// `cfg.faults.drop_prob > 0` — an empty plan performs zero draws.
-    drop_rng: DetRng,
+    /// Deterministic per-hop drop lottery: one independent substream per
+    /// channel (`drop_seed` → `substream_idx("drop", chan)`), so the draw
+    /// sequence a channel sees depends only on its own completed hops —
+    /// never on traffic elsewhere. That makes the lottery identical whether
+    /// the machine simulates the whole system or one shard of it. Built
+    /// (and drawn) only while `cfg.faults.drop_prob > 0`; an empty plan
+    /// allocates nothing and performs zero draws.
+    drop_rngs: Vec<DetRng>,
     /// Cached `!cfg.faults.is_empty()`: gates every fault-path branch so a
     /// clean run stays on the exact pre-fault code path.
     faults_on: bool,
@@ -380,7 +385,14 @@ impl Machine {
             Timeline::disabled()
         };
         let faults_on = !cfg.faults.is_empty();
-        let drop_rng = DetRng::new(cfg.faults.drop_seed);
+        let drop_rngs = if cfg.faults.drop_prob > 0.0 {
+            let root = DetRng::new(cfg.faults.drop_seed);
+            (0..net.channels().len())
+                .map(|c| root.substream_idx("drop", c as u64))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let dead = vec![false; net.nodes()];
         Machine {
             cfg,
@@ -395,7 +407,7 @@ impl Machine {
             escape_timers: Vec::new(),
             fault_timers: Vec::new(),
             dead,
-            drop_rng,
+            drop_rngs,
             faults_on,
             notes: Vec::new(),
             counters: Counters::default(),
@@ -716,7 +728,13 @@ impl Machine {
     /// pairs are ignored.
     pub fn seed_faults(&mut self, seeder: &mut impl parsched_des::EventSeeder<Event>) {
         let plan = self.cfg.faults.clone();
-        for c in &plan.crashes {
+        // Canonical same-instant order: crashes fire in (time, node) order
+        // regardless of declaration order, so a sharded run — whose
+        // coordinator serves same-instant crash fallout in partition
+        // order — agrees with the sequential engine on ties.
+        let mut crashes = plan.crashes.clone();
+        crashes.sort_by_key(|c| (c.at, c.node));
+        for c in &crashes {
             if (c.node as usize) < self.nodes.len() {
                 seeder.seed(c.at, Event::NodeCrash { node: c.node });
             }
@@ -1736,7 +1754,7 @@ impl Machine {
         // checksum at the destination, so the damaged message still
         // traverses (and congests) the rest of its route.
         if self.cfg.faults.drop_prob > 0.0 {
-            let corrupt = self.drop_rng.uniform01() < self.cfg.faults.drop_prob;
+            let corrupt = self.drop_rngs[chan].uniform01() < self.cfg.faults.drop_prob;
             if corrupt && !cancelled {
                 if let Some(m) = self.messages[msg.idx()].as_mut() {
                     m.corrupt = true;

@@ -282,6 +282,15 @@ impl ChromeTrace {
                 self.instant(SCHED_PID, 0, ts, &name, &format!(r#""index":{index}"#));
                 self.counter(ts, SCHED_PID, "in-system jobs", in_system as f64);
             }
+            ObsEvent::ShardPhase { shard, phase, ns } => {
+                let name = match phase {
+                    0 => "shard work (ms)",
+                    1 => "shard barrier wait (ms)",
+                    _ => "shard merge (ms)",
+                };
+                let series = format!("{name} [shard {shard}]");
+                self.counter(ts, SCHED_PID, &series, ns as f64 / 1e6);
+            }
         }
     }
 

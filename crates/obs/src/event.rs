@@ -204,6 +204,18 @@ pub enum ObsEvent {
         /// Jobs remaining in the system after this departure.
         in_system: u32,
     },
+    /// Wall-clock time one shard thread of a parallel run spent in one
+    /// phase (emitted once per shard and phase after the run, not during
+    /// it — simulated `now` carries the run's makespan).
+    ShardPhase {
+        /// Shard index within the run.
+        shard: u16,
+        /// Phase discriminant: 0 = event-loop work, 1 = barrier wait,
+        /// 2 = cross-shard merge (coordination leadership).
+        phase: u8,
+        /// Wall-clock nanoseconds accumulated in the phase.
+        ns: u64,
+    },
 }
 
 /// A timestamped event.

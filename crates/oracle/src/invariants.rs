@@ -180,7 +180,8 @@ pub fn check_event_stream(events: &[TimedEvent]) {
             | ObsEvent::JobFailed { .. }
             | ObsEvent::JobRequeued { .. }
             | ObsEvent::JobSubmitted { .. }
-            | ObsEvent::JobDeparted { .. } => {}
+            | ObsEvent::JobDeparted { .. }
+            | ObsEvent::ShardPhase { .. } => {}
         }
     }
     assert!(

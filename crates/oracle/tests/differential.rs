@@ -123,6 +123,98 @@ fn sharded_runs_are_bit_identical_across_shard_counts() {
     assert!(checked >= 3, "too few eligible scenarios: {checked}");
 }
 
+/// Targeted coverage for the widened shard-eligibility gate: every
+/// coordinated class — static space-sharing, the hybrid discipline
+/// (time-sharing under an MPL cap), an MPL-capped static run, and
+/// time-sharing under crash and flaky-link fault plans — must match the
+/// oracle AND be bit-identical to its sequential run at K ∈ {2, 4, 8}.
+/// Hand-built scenarios, not sweep draws, so the coverage holds on every
+/// `cargo test` regardless of the dice: a 16-node linear machine in eight
+/// 2-node partitions, so even K = 8 cuts along real partition boundaries.
+#[test]
+fn coordinated_classes_shard_bit_identically() {
+    use parsched_core::{shard_eligibility, Discipline, Placement, ShardMode};
+    use parsched_des::{QueueKind, SimTime};
+    use parsched_machine::{FaultPlan, LinkWindow, NodeCrash, Switching};
+    use parsched_oracle::{Order, PolicyClass};
+    use parsched_topology::TopologyKind;
+    use parsched_workload::{App, Arch, BatchSizes};
+
+    let crash_plan = FaultPlan {
+        crashes: vec![NodeCrash {
+            node: 3,
+            at: SimTime(30_000_000), // 30 ms: mid-batch, kills a running job
+        }],
+        ..FaultPlan::default()
+    };
+    let flaky_plan = FaultPlan {
+        links: vec![LinkWindow {
+            from: 0,
+            to: 1,
+            down_at: SimTime(5_000_000),
+            up_at: SimTime(12_000_000),
+        }],
+        drop_prob: 0.03,
+        drop_seed: 7,
+        ..FaultPlan::default()
+    };
+    let classes: [(&str, PolicyClass, Option<usize>, FaultPlan); 5] = [
+        ("static", PolicyClass::Static, None, FaultPlan::default()),
+        ("hybrid (MPL-2 time-sharing)", PolicyClass::Hybrid, Some(2), FaultPlan::default()),
+        ("MPL-capped static", PolicyClass::Static, Some(2), FaultPlan::default()),
+        ("crash fault plan", PolicyClass::Hybrid, None, crash_plan),
+        ("flaky-link fault plan", PolicyClass::Hybrid, None, flaky_plan),
+    ];
+    for (what, class, mpl, faults) in classes {
+        for shards in [2usize, 4, 8] {
+            let scenario = Scenario {
+                case: 9000 + shards as u64, // marks hand-built cases in reports
+                seed: 0,
+                topology: TopologyKind::Linear,
+                partition_size: 2,
+                class,
+                app: App::MatMul,
+                arch: Arch::Fixed,
+                sizes: BatchSizes {
+                    jobs: 6,
+                    small_count: 3,
+                    mm_small: 20,
+                    mm_large: 40,
+                    sort_small: 600,
+                    sort_large: 2000,
+                },
+                order: Order::AsGiven,
+                queue: QueueKind::Adaptive,
+                switching: Switching::PacketizedSaf,
+                discipline: Discipline::Uncoordinated,
+                placement: Placement::RoundRobin,
+                mpl,
+                arrivals: Vec::new(),
+                faults: faults.clone(),
+                shards,
+            };
+            assert_eq!(
+                shard_eligibility(&scenario.config()),
+                Ok(ShardMode::Coordinated),
+                "{what}: must be coordinated-eligible"
+            );
+            if let Err(div) = run_differential(&scenario) {
+                panic!("{what} at K={shards}: {div}");
+            }
+            // run_differential proves bit-identity even through a runtime
+            // fallback; additionally demand these classes really shard.
+            let par = parsched_core::run_batch_sharded(
+                &scenario.config(),
+                scenario.batch(),
+                shards,
+            )
+            .unwrap_or_else(|e| panic!("{what} at K={shards}: {e}"));
+            assert_eq!(par.fallback, None, "{what} at K={shards} fell back");
+            assert_eq!(par.shards, shards, "{what} at K={shards}");
+        }
+    }
+}
+
 #[test]
 fn invariants_hold_on_random_scenarios() {
     use parsched_core::run_batch_observed;

@@ -67,6 +67,18 @@ impl ShardPlan {
             .filter(|&p| self.of_partition[p] == s)
             .collect()
     }
+
+    /// Whether shard `s` owns the node at `node`, under an equal-split plan
+    /// where partition `p` covers nodes `[p*partition_size, (p+1)*partition_size)`.
+    ///
+    /// This is the ownership test the fault-plan slicer uses: a declared
+    /// fault is shipped with exactly the shard that owns the node(s) it
+    /// names. Nodes past the last partition belong to no shard.
+    pub fn owns_node(&self, s: usize, node: u16, partition_size: usize) -> bool {
+        assert!(partition_size > 0, "partition size must be nonzero");
+        let p = node as usize / partition_size;
+        p < self.of_partition.len() && self.of_partition[p] == s
+    }
 }
 
 #[cfg(test)]
@@ -101,6 +113,20 @@ mod tests {
         let plan = ShardPlan::contiguous(5, 1);
         assert_eq!(plan.of_partition, vec![0; 5]);
         assert_eq!(plan.partitions_of(0), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn node_ownership_follows_partition_boundaries() {
+        // 4 partitions of 4 nodes on 2 shards: shard 0 owns nodes 0..8.
+        let plan = ShardPlan::contiguous(4, 2);
+        assert!(plan.owns_node(0, 0, 4));
+        assert!(plan.owns_node(0, 7, 4));
+        assert!(!plan.owns_node(0, 8, 4));
+        assert!(plan.owns_node(1, 8, 4));
+        assert!(plan.owns_node(1, 15, 4));
+        // A node past the covered range belongs to no shard.
+        assert!(!plan.owns_node(0, 16, 4));
+        assert!(!plan.owns_node(1, 16, 4));
     }
 
     #[test]

@@ -5,14 +5,17 @@
 # also pins that the fault layer costs nothing when unused), a
 # fault-injection smoke gate (one crash and one flaky-link scenario per
 # policy class, run twice with the oracle's invariant checkers on and
-# bit-identical replay asserted), a sharded-execution smoke gate (a
-# 2-shard run must be bit-identical to sequential, rerun
-# deterministically, and ineligible configs must fall back with a
+# bit-identical replay asserted), a sharded-execution smoke gate (one
+# K = 2 run per eligibility class — free-mode time-sharing, static,
+# hybrid MPL-2, MPL-capped static, crash + flaky-link fault plan, and a
+# 4096-node torus — each bit-identical to sequential and rerun
+# deterministically, with ineligible configs falling back with a
 # reason), an open-system smoke gate (Poisson and heavy-tailed arrival
 # cells per policy class replay bit-identically and the mean-response
 # curve is monotone in offered load), and a trace-export smoke run. The
-# perf golden check also pins the shard_scale_* cells, so sharded
-# simulated results are gated there too.
+# perf golden check also pins the shard_scale_* and 1024-node t1k_*
+# cells and asserts each t1k family's sequential/2-shard/4-shard goldens
+# are bit-equal, so sharded simulated results are gated there too.
 # Everything runs offline; no network access required.
 #
 #   scripts/tier1.sh             the standard gate
