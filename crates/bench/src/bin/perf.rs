@@ -32,7 +32,13 @@
 //!   `parsched_bench::scale`). Within each cell the three shard counts
 //!   pin the *same* golden; `--check` also verifies that cross-scenario
 //!   equality, so a shard-count-dependent divergence cannot hide behind
-//!   three individually-updated goldens.
+//!   three individually-updated goldens;
+//! * `t4k_{torus,fattree,dragonfly}_{worm,saf}_{seq,s2,s4}` — the
+//!   wormhole-vs-store-and-forward headline at ~4096 nodes (the paper's
+//!   §5.2 conjecture at scale; see `parsched_bench::scale::t4k`): one
+//!   topology family per policy class, each switching mode pinned as its
+//!   own golden and each (cell, switching) family asserted shard-count
+//!   independent at K ∈ {1, 2, 4}.
 //!
 //! Results append to `BENCH_parsched.json` (see `parsched_bench::harness`):
 //! `baseline` medians are captured the first time a scenario appears and
@@ -49,7 +55,8 @@
 //! runs in a couple of seconds.
 
 use parsched_bench::harness::{bench, host_parallelism, BenchOpts, Report, Sample};
-use parsched_bench::scale::{torus1k, Cell1k};
+use parsched_bench::scale::{t4k, torus1k, Cell1k, Cell4k};
+use parsched_machine::Switching;
 use parsched_core::prelude::*;
 use parsched_des::prelude::*;
 use parsched_machine::JobSpec;
@@ -155,6 +162,21 @@ fn run_t1k(cell: Cell1k, shards: usize) -> f64 {
     std::hint::black_box(r.mean_response())
 }
 
+/// One t4k interconnect cell (see `parsched_bench::scale::t4k`): a
+/// ~4096-node torus / fat-tree / dragonfly machine under wormhole or
+/// store-and-forward switching. Like the t1k cells, a silent sequential
+/// fallback would invalidate the timing, so it is rejected.
+fn run_t4k(cell: Cell4k, switching: Switching, shards: usize) -> f64 {
+    let (cfg, batch) = t4k(cell, switching);
+    let r = run_batch_sharded(&cfg, batch, shards).expect("t4k cell simulates");
+    assert_eq!(
+        r.fallback, None,
+        "t4k_{} at {shards} shards fell back to sequential",
+        cell.label()
+    );
+    std::hint::black_box(r.mean_response())
+}
+
 /// Classic hold-model queue benchmark: fill to `n`, then `ops` rounds of
 /// pop-one push-one with an exponential-ish increment, which keeps the
 /// population (and for the calendar queue, the bucket occupancy) steady.
@@ -239,6 +261,12 @@ const SHARD_FAMILIES: &[&[&str]] = &[
     &["t1k_static_seq", "t1k_static_s2", "t1k_static_s4"],
     &["t1k_hybrid_seq", "t1k_hybrid_s2", "t1k_hybrid_s4"],
     &["t1k_faulted_seq", "t1k_faulted_s2", "t1k_faulted_s4"],
+    &["t4k_torus_worm_seq", "t4k_torus_worm_s2", "t4k_torus_worm_s4"],
+    &["t4k_torus_saf_seq", "t4k_torus_saf_s2", "t4k_torus_saf_s4"],
+    &["t4k_fattree_worm_seq", "t4k_fattree_worm_s2", "t4k_fattree_worm_s4"],
+    &["t4k_fattree_saf_seq", "t4k_fattree_saf_s2", "t4k_fattree_saf_s4"],
+    &["t4k_dragonfly_worm_seq", "t4k_dragonfly_worm_s2", "t4k_dragonfly_worm_s4"],
+    &["t4k_dragonfly_saf_seq", "t4k_dragonfly_saf_s2", "t4k_dragonfly_saf_s4"],
 ];
 
 const SCENARIOS: &[Scenario] = &[
@@ -391,6 +419,114 @@ const SCENARIOS: &[Scenario] = &[
         pinned: true,
         threads: 4,
         run: || Some(run_t1k(Cell1k::FaultedTs, 4)),
+    },
+    Scenario {
+        name: "t4k_torus_worm_seq",
+        pinned: true,
+        threads: 1,
+        run: || Some(run_t4k(Cell4k::Torus, Switching::Wormhole, 1)),
+    },
+    Scenario {
+        name: "t4k_torus_worm_s2",
+        pinned: true,
+        threads: 2,
+        run: || Some(run_t4k(Cell4k::Torus, Switching::Wormhole, 2)),
+    },
+    Scenario {
+        name: "t4k_torus_worm_s4",
+        pinned: true,
+        threads: 4,
+        run: || Some(run_t4k(Cell4k::Torus, Switching::Wormhole, 4)),
+    },
+    Scenario {
+        name: "t4k_torus_saf_seq",
+        pinned: true,
+        threads: 1,
+        run: || Some(run_t4k(Cell4k::Torus, Switching::StoreAndForward, 1)),
+    },
+    Scenario {
+        name: "t4k_torus_saf_s2",
+        pinned: true,
+        threads: 2,
+        run: || Some(run_t4k(Cell4k::Torus, Switching::StoreAndForward, 2)),
+    },
+    Scenario {
+        name: "t4k_torus_saf_s4",
+        pinned: true,
+        threads: 4,
+        run: || Some(run_t4k(Cell4k::Torus, Switching::StoreAndForward, 4)),
+    },
+    Scenario {
+        name: "t4k_fattree_worm_seq",
+        pinned: true,
+        threads: 1,
+        run: || Some(run_t4k(Cell4k::FatTree, Switching::Wormhole, 1)),
+    },
+    Scenario {
+        name: "t4k_fattree_worm_s2",
+        pinned: true,
+        threads: 2,
+        run: || Some(run_t4k(Cell4k::FatTree, Switching::Wormhole, 2)),
+    },
+    Scenario {
+        name: "t4k_fattree_worm_s4",
+        pinned: true,
+        threads: 4,
+        run: || Some(run_t4k(Cell4k::FatTree, Switching::Wormhole, 4)),
+    },
+    Scenario {
+        name: "t4k_fattree_saf_seq",
+        pinned: true,
+        threads: 1,
+        run: || Some(run_t4k(Cell4k::FatTree, Switching::StoreAndForward, 1)),
+    },
+    Scenario {
+        name: "t4k_fattree_saf_s2",
+        pinned: true,
+        threads: 2,
+        run: || Some(run_t4k(Cell4k::FatTree, Switching::StoreAndForward, 2)),
+    },
+    Scenario {
+        name: "t4k_fattree_saf_s4",
+        pinned: true,
+        threads: 4,
+        run: || Some(run_t4k(Cell4k::FatTree, Switching::StoreAndForward, 4)),
+    },
+    Scenario {
+        name: "t4k_dragonfly_worm_seq",
+        pinned: true,
+        threads: 1,
+        run: || Some(run_t4k(Cell4k::Dragonfly, Switching::Wormhole, 1)),
+    },
+    Scenario {
+        name: "t4k_dragonfly_worm_s2",
+        pinned: true,
+        threads: 2,
+        run: || Some(run_t4k(Cell4k::Dragonfly, Switching::Wormhole, 2)),
+    },
+    Scenario {
+        name: "t4k_dragonfly_worm_s4",
+        pinned: true,
+        threads: 4,
+        run: || Some(run_t4k(Cell4k::Dragonfly, Switching::Wormhole, 4)),
+    },
+    Scenario {
+        name: "t4k_dragonfly_saf_seq",
+        pinned: true,
+        threads: 1,
+        run: || Some(run_t4k(Cell4k::Dragonfly, Switching::StoreAndForward, 1)),
+    },
+    Scenario {
+        name: "t4k_dragonfly_saf_s2",
+        pinned: true,
+        threads: 2,
+        run: || Some(run_t4k(Cell4k::Dragonfly, Switching::StoreAndForward, 2)),
+    },
+    Scenario {
+        name: "t4k_dragonfly_saf_s4",
+        pinned: true,
+        threads: 4,
+        run: || Some(run_t4k(Cell4k::Dragonfly, Switching::StoreAndForward, 4)),
     },
 ];
 

@@ -14,9 +14,10 @@
 //! static space-sharing, the hybrid MPL-2 discipline, an MPL-capped
 //! static run, and time-sharing under a crash + flaky-link fault plan —
 //! each bit-identical to its sequential run, none falling back. A tiny
-//! 4096-node torus case covers free mode at the largest machine size, and
-//! a gang-scheduled configuration must still fall back with a recorded
-//! reason.
+//! 4096-node torus case covers free mode at the largest machine size, a
+//! wormhole gate runs one K = 2 flit-switched case per topology family
+//! (torus, fat-tree, dragonfly — the t4k cells), and a gang-scheduled
+//! configuration must still fall back with a recorded reason.
 //!
 //! Full mode sweeps shard counts 1, 2, 4 and prints each run's wall
 //! clock, speedup over sequential, the (identical) simulated mean, and —
@@ -30,11 +31,11 @@
 //! `shard_phases.csv` and `shard_phase_gauges.csv`). This is the source
 //! of the scaling tables in `EXPERIMENTS.md`.
 
-use parsched_bench::scale::{torus1k, torus4k, Cell1k};
+use parsched_bench::scale::{t4k, torus1k, torus4k, Cell1k, Cell4k};
 use parsched_core::prelude::*;
 use parsched_core::sharded::run_batch_sharded;
 use parsched_des::{SimDuration, SimTime};
-use parsched_machine::{FaultPlan, JobSpec, LinkWindow};
+use parsched_machine::{FaultPlan, JobSpec, LinkWindow, Switching};
 use parsched_obs::{MetricsRegistry, ObsEvent, Recorder};
 use parsched_topology::TopologyKind;
 use std::time::Instant;
@@ -137,6 +138,16 @@ fn smoke() {
 
     let (t4_cfg, t4_batch) = torus4k();
     assert_shards_bit_identically(&t4_cfg, &t4_batch, "4096-node torus (free mode)");
+
+    // Wormhole smoke gate: one K = 2 case per topology family under
+    // flit-level switching — the t4k cells whose goldens `perf --check`
+    // pins. Flit ticks, VC grants and credit stalls must replay
+    // bit-identically across the shard cut.
+    for cell in Cell4k::all() {
+        let (w_cfg, w_batch) = t4k(cell, Switching::Wormhole);
+        let what = format!("wormhole {} (t4k)", cell.label());
+        assert_shards_bit_identically(&w_cfg, &w_batch, &what);
+    }
 
     // An ineligible configuration must fall back, say why, and match.
     let (mut g_cfg, g_batch) = config();

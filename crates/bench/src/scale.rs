@@ -17,7 +17,7 @@
 
 use parsched_core::prelude::*;
 use parsched_des::{SimDuration, SimTime};
-use parsched_machine::{JobSpec, NodeCrash, Op, ProcSpec, Rank, Tag};
+use parsched_machine::{JobSpec, NodeCrash, Op, ProcSpec, Rank, Tag, Switching};
 use parsched_topology::TopologyKind;
 
 /// The three pinned 1024-node cells, one per coordinated sharding class.
@@ -101,6 +101,110 @@ pub fn torus1k(cell: Cell1k) -> (ExperimentConfig, Vec<JobSpec>) {
     (cfg, batch)
 }
 
+/// The t4k interconnect cells (the §5.2 conjecture at scale): one
+/// topology family per policy class, each runnable under wormhole and
+/// store-and-forward switching. Sizes are the closest partition-tileable
+/// machines to 4096 nodes each family admits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cell4k {
+    /// 4096 nodes as 64 8x8-torus partitions under static space-sharing
+    /// (coordinated sharding).
+    Torus,
+    /// 4160 nodes as 20 `fat_tree(8)` partitions (208 vertices each)
+    /// under the hybrid MPL-2 discipline (coordinated sharding).
+    FatTree,
+    /// 4160 nodes as 52 `dragonfly(4, 3, 1)` partitions (80 vertices
+    /// each) under uncapped time-sharing (free-mode sharding).
+    Dragonfly,
+}
+
+impl Cell4k {
+    /// Scenario-name fragment (`t4k_<label>_<switching>_<shards>`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Cell4k::Torus => "torus",
+            Cell4k::FatTree => "fattree",
+            Cell4k::Dragonfly => "dragonfly",
+        }
+    }
+
+    /// All cells, in report order.
+    pub fn all() -> [Cell4k; 3] {
+        [Cell4k::Torus, Cell4k::FatTree, Cell4k::Dragonfly]
+    }
+}
+
+/// One job of the t4k relay family. The 1k cells' `wide_job` is
+/// compute-dominated, so the scheduling policy is what its goldens pin;
+/// here the response is *latency*-dominated instead: a 64 kB baton is
+/// relayed through every rank in far-stride order (strides coprime to
+/// the width, so each job traces a different multi-hop tour of its
+/// partition), and each relay waits for the previous one. Per-hop
+/// store-and-forward latency is therefore additive along the whole tour,
+/// while a wormhole pipeline pays one serialization plus a flit-time per
+/// link — the §5.2 contrast the t4k goldens exist to pin. Injection
+/// bandwidth (which switching cannot move) stays out of the critical
+/// path because only one baton per job is ever in flight.
+pub fn t4k_job(i: usize, width: usize) -> JobSpec {
+    let stride = 21 + 2 * (i % 5); // odd: coprime to the power-of-two width
+    let ms = 3 + (i % 4) as u64;
+    let mut procs: Vec<ProcSpec> = (0..width)
+        .map(|_| ProcSpec { program: Vec::new(), mem_bytes: 160_000 })
+        .collect();
+    let mut r = 0usize;
+    for leg in 0..width {
+        let next = (r + stride) % width;
+        let tag = if next == 0 { Tag(2) } else { Tag(1) };
+        if leg > 0 {
+            procs[r].program.push(Op::Recv { tag: Tag(1) });
+        }
+        procs[r].program.push(Op::Compute(SimDuration::from_millis(ms)));
+        procs[r].program.push(Op::Send { to: Rank(next as u32), bytes: 65_536, tag });
+        r = next;
+    }
+    assert_eq!(r, 0, "stride must return the baton to rank 0");
+    procs[0].program.push(Op::Recv { tag: Tag(2) });
+    JobSpec { name: format!("t4k-{i}"), ship_bytes: 200_000, procs }
+}
+
+/// One t4k cell under the given switching mode: the wormhole-vs-SAF
+/// headline experiment. Each cell pins a golden per (switching, shard
+/// count) and the shard counts within a (cell, switching) pair must agree
+/// bit for bit.
+pub fn t4k(cell: Cell4k, switching: Switching) -> (ExperimentConfig, Vec<JobSpec>) {
+    let (kind, partition, parts, policy, mpl) = match cell {
+        Cell4k::Torus => (
+            TopologyKind::Torus { rows: 8, cols: 8 },
+            64,
+            64,
+            PolicyKind::Static,
+            None,
+        ),
+        Cell4k::FatTree => (
+            TopologyKind::FatTree { k: 8 },
+            208,
+            20,
+            PolicyKind::TimeSharing,
+            Some(2),
+        ),
+        Cell4k::Dragonfly => (
+            TopologyKind::Dragonfly { a: 4, p: 3, h: 1 },
+            80,
+            52,
+            PolicyKind::TimeSharing,
+            None,
+        ),
+    };
+    let mut cfg = ExperimentConfig {
+        system_size: partition * parts,
+        mpl,
+        ..ExperimentConfig::paper(partition, kind, policy)
+    };
+    cfg.machine.switching = switching;
+    let batch = (0..8).map(|i| t4k_job(i, 64)).collect();
+    (cfg, batch)
+}
+
 /// The 4096-node smoke case: 64 x 64 torus, sixty-four 64-node
 /// partitions, 8 wide jobs under free-mode time-sharing.
 pub fn torus4k() -> (ExperimentConfig, Vec<JobSpec>) {
@@ -142,5 +246,29 @@ mod tests {
         }
         let (cfg, _) = torus4k();
         assert_eq!(shard_eligibility(&cfg), Ok(ShardMode::Free));
+    }
+
+    #[test]
+    fn t4k_cells_are_shard_eligible_under_both_switchings() {
+        for cell in Cell4k::all() {
+            for switching in [Switching::Wormhole, Switching::StoreAndForward] {
+                let (cfg, batch) = t4k(cell, switching);
+                let expected = match cell {
+                    Cell4k::Dragonfly => ShardMode::Free,
+                    _ => ShardMode::Coordinated,
+                };
+                assert_eq!(
+                    shard_eligibility(&cfg),
+                    Ok(expected),
+                    "{cell:?}/{switching:?}"
+                );
+                assert_eq!(cfg.machine.switching, switching);
+                assert!(cfg.system_size >= 4096, "{cell:?} is not t4k-scale");
+                assert!(batch.iter().all(|j| j.width() == 64));
+                for j in &batch {
+                    j.check_balanced().expect("t4k message pattern balances");
+                }
+            }
+        }
     }
 }

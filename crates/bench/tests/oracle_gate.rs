@@ -22,6 +22,7 @@ fn f3_scenario(class: PolicyClass, queue: QueueKind, mpl: Option<usize>) -> Scen
         case: 0,
         seed: 0,
         topology: TopologyKind::Hypercube { dim: 0 },
+        system_size: 16,
         partition_size: 16,
         class,
         app: App::MatMul,

@@ -28,11 +28,28 @@ pub enum Switching {
     /// forwarding, and pays a software router-handler cost on that node's
     /// CPU. Ablation: the most literal reading of §3.2.
     StoreAndForward,
-    /// Virtual cut-through approximation of the wormhole routing the paper
-    /// conjectures about in §5.2: hops pipeline (a hop starts a header
-    /// latency after the previous one), intermediate nodes buffer nothing
-    /// and spend no CPU; only the destination pays a handler cost.
+    /// Virtual cut-through as a *latency* approximation: hops pipeline (a
+    /// hop starts a header latency after the previous one), intermediate
+    /// nodes buffer nothing and spend no CPU; only the destination pays a
+    /// handler cost. Unlike [`Switching::Wormhole`] it models no link
+    /// arbitration — channels are never held, worms never block each other,
+    /// and contention is invisible. Use `Wormhole` when the §5.2 question
+    /// (does a modern interconnect erase topology sensitivity?) is the
+    /// point of the experiment; keep `CutThrough` for cheap ablations.
     CutThrough,
+    /// Flit-level wormhole routing, the interconnect the paper conjectures
+    /// about in §5.2, modelled for real: messages move as a train of
+    /// `flit_bytes` flits behind a header that allocates one virtual
+    /// channel per link as it advances; flits pipeline behind it under
+    /// credit-based flow control (`vc_credits` flit buffers per VC), and a
+    /// blocked header stalls the whole worm *in place*, holding its VCs —
+    /// link contention, VC occupancy and credit stalls are all simulated.
+    /// Dateline/phase escape classes from `parsched_topology::flow` keep
+    /// the channel-dependency graph acyclic (deadlock-free by
+    /// construction; tested). Intermediate nodes buffer nothing and spend
+    /// no CPU — router logic is hardware, not software — so only the
+    /// destination pays a handler cost, like `CutThrough`.
+    Wormhole,
 }
 
 /// How store-and-forward transit buffers interact with node memory.
@@ -136,6 +153,16 @@ pub struct MachineConfig {
     pub link_per_byte: SimDuration,
     /// Header latency per hop in cut-through mode.
     pub cut_through_header: SimDuration,
+    /// Flit size for [`Switching::Wormhole`] (payload bytes per flit; one
+    /// extra header flit is prepended to every worm).
+    pub flit_bytes: u64,
+    /// Virtual channels per escape class per link direction under
+    /// [`Switching::Wormhole`]. Escape-class counts come from the
+    /// topology (`parsched_topology::flow::vc_class_count`).
+    pub vcs_per_class: u8,
+    /// Flit buffers per virtual channel (the credit loop depth) under
+    /// [`Switching::Wormhole`].
+    pub vc_credits: u8,
     /// Packet size for [`Switching::PacketizedSaf`].
     pub packet_bytes: u64,
     /// Per-message buffer bookkeeping overhead added to every allocation.
@@ -184,6 +211,9 @@ impl Default for MachineConfig {
             link_startup: SimDuration::from_micros(20),
             link_per_byte: SimDuration::from_nanos(588),
             cut_through_header: SimDuration::from_micros(5),
+            flit_bytes: 64,
+            vcs_per_class: 1,
+            vc_credits: 4,
             packet_bytes: 4096,
             msg_header_bytes: 64,
             job_load_latency: SimDuration::from_millis(50),
@@ -224,6 +254,18 @@ impl MachineConfig {
     /// CPU time a receiver spends consuming a `bytes`-byte message.
     pub fn recv_cost(&self, bytes: u64) -> SimDuration {
         self.recv_overhead + SimDuration::from_nanos(self.recv_per_byte.nanos() * bytes)
+    }
+
+    /// Serialization time of one flit across one link under wormhole
+    /// switching (no per-flit startup; the header flit paid `link_startup`
+    /// conceptually folds into `flit_bytes` of header).
+    pub fn flit_time(&self) -> SimDuration {
+        SimDuration::from_nanos(self.link_per_byte.nanos() * self.flit_bytes.max(1))
+    }
+
+    /// Flits in a `bytes`-byte worm: payload flits plus one header flit.
+    pub fn worm_flits(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.flit_bytes.max(1)) + 1
     }
 
     /// High-priority CPU time to handle a `bytes`-byte message arrival.

@@ -33,6 +33,8 @@ pub struct MachineMetrics {
     wheel_depth: GaugeId,
     alive_capacity: GaugeId,
     in_system: GaugeId,
+    vc_occupancy: GaugeId,
+    credit_stalls: GaugeId,
 }
 
 impl MachineMetrics {
@@ -60,6 +62,8 @@ impl MachineMetrics {
         let wheel_depth = registry.gauge("engine.wheel_depth".to_string(), 0.0);
         let alive_capacity = registry.gauge("machine.alive_capacity".to_string(), 1.0);
         let in_system = registry.gauge("machine.in_system".to_string(), 0.0);
+        let vc_occupancy = registry.gauge("machine.vc_occupancy".to_string(), 0.0);
+        let credit_stalls = registry.gauge("machine.credit_stalls".to_string(), 0.0);
         MachineMetrics {
             registry,
             cpu_busy,
@@ -70,6 +74,8 @@ impl MachineMetrics {
             wheel_depth,
             alive_capacity,
             in_system,
+            vc_occupancy,
+            credit_stalls,
         }
     }
 
@@ -123,6 +129,32 @@ impl MachineMetrics {
     #[inline]
     pub fn set_in_system(&mut self, now: SimTime, jobs: u32) {
         self.registry.set(self.in_system, now, jobs as f64);
+    }
+
+    /// Record the machine-wide count of held virtual channels (wormhole
+    /// switching only; stays 0 otherwise). The time-weighted mean is the
+    /// run's average VC occupancy.
+    #[inline]
+    pub fn set_vc_occupancy(&mut self, now: SimTime, held: usize) {
+        self.registry.set(self.vc_occupancy, now, held as f64);
+    }
+
+    /// Record the cumulative credit-stall count (worms parked purely on an
+    /// exhausted credit window; wormhole switching only). Monotone
+    /// step-counter series, not a 0/1 signal.
+    #[inline]
+    pub fn set_credit_stalls(&mut self, now: SimTime, stalls: u64) {
+        self.registry.set(self.credit_stalls, now, stalls as f64);
+    }
+
+    /// Gauge handle for the VC-occupancy signal.
+    pub fn vc_occupancy_id(&self) -> GaugeId {
+        self.vc_occupancy
+    }
+
+    /// Gauge handle for the credit-stall counter.
+    pub fn credit_stalls_id(&self) -> GaugeId {
+        self.credit_stalls
     }
 
     /// Gauge handle for the open-system population.
@@ -179,7 +211,9 @@ mod tests {
         assert!(names.contains(&"engine.wheel_depth"));
         assert!(names.contains(&"machine.alive_capacity"));
         assert!(names.contains(&"machine.in_system"));
-        assert_eq!(names.len(), 4 * 3 + 8 + 1 + 3);
+        assert!(names.contains(&"machine.vc_occupancy"));
+        assert!(names.contains(&"machine.credit_stalls"));
+        assert_eq!(names.len(), 4 * 3 + 8 + 1 + 5);
     }
 
     #[test]

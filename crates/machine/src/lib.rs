@@ -54,6 +54,7 @@ pub mod stats;
 pub mod system;
 pub mod timeline;
 pub mod wiring;
+pub mod wormhole;
 
 /// The machine's commonly used names in one import.
 pub mod prelude {

@@ -20,9 +20,11 @@ use crate::timeline::{Span, SpanKind, Timeline};
 use crate::program::{JobSpec, Op, Rank, Tag};
 use crate::instrument::MachineMetrics;
 use crate::wiring::SystemNet;
+use crate::wormhole::{Worm, WormLink, WormholeState};
 use parsched_des::rng::DetRng;
 use parsched_des::{EventScheduler, Model, SimDuration, SimTime, TimerHandle};
 use parsched_obs::{ObsEvent, QuantumEndReason, Recorder};
+use parsched_topology::{vc_classes, NodeId};
 use std::collections::VecDeque;
 
 /// Events of the machine model.
@@ -52,6 +54,12 @@ pub enum Event {
     },
     /// The transfer occupying channel `chan` finished.
     TransferDone {
+        /// Channel table index.
+        chan: u32,
+    },
+    /// Wormhole: one flit time elapsed on a ticking channel — arbitrate
+    /// the link among its virtual channels and move one flit.
+    FlitTick {
         /// Channel table index.
         chan: u32,
     },
@@ -255,6 +263,27 @@ pub struct Counters {
     /// Failed jobs the scheduler gave up on after exhausting its requeue
     /// budget (terminal: counted once, never requeued again).
     pub jobs_abandoned: u64,
+    /// Wormhole: flits entering the network (counted per attempt at worm
+    /// creation; a retried message injects its flits again).
+    pub flits_injected: u64,
+    /// Wormhole: flits ejected into destination memory. Conservation:
+    /// `flits_injected == flits_ejected + flits_dropped` at quiesce.
+    pub flits_ejected: u64,
+    /// Wormhole: flits lost when a fault drained an in-flight worm
+    /// (including source flits the drained attempt never transmitted).
+    pub flits_dropped: u64,
+    /// Wormhole: flit credits consumed (one per flit-link transmission).
+    pub credits_issued: u64,
+    /// Wormhole: flit credits returned (buffer drained downstream, flit
+    /// ejected, or worm drained by a fault). Conservation:
+    /// `credits_issued == credits_returned` at quiesce.
+    pub credits_returned: u64,
+    /// Wormhole: virtual-channel grants (fresh allocations and handoffs
+    /// to queued waiters).
+    pub vc_allocs: u64,
+    /// Wormhole: link arbitrations that found every resident worm blocked
+    /// on the credit window (head-of-line back-pressure, not VC scarcity).
+    pub credit_stalls: u64,
 }
 
 impl Counters {
@@ -278,6 +307,13 @@ impl Counters {
             jobs_failed,
             jobs_requeued,
             jobs_abandoned,
+            flits_injected,
+            flits_ejected,
+            flits_dropped,
+            credits_issued,
+            credits_returned,
+            vc_allocs,
+            credit_stalls,
         } = other;
         self.messages_sent += messages_sent;
         self.messages_consumed += messages_consumed;
@@ -295,6 +331,13 @@ impl Counters {
         self.jobs_failed += jobs_failed;
         self.jobs_requeued += jobs_requeued;
         self.jobs_abandoned += jobs_abandoned;
+        self.flits_injected += flits_injected;
+        self.flits_ejected += flits_ejected;
+        self.flits_dropped += flits_dropped;
+        self.credits_issued += credits_issued;
+        self.credits_returned += credits_returned;
+        self.vc_allocs += vc_allocs;
+        self.credit_stalls += credit_stalls;
     }
 }
 
@@ -340,6 +383,10 @@ pub struct Machine {
     /// Cached `!cfg.faults.is_empty()`: gates every fault-path branch so a
     /// clean run stays on the exact pre-fault code path.
     faults_on: bool,
+    /// Wormhole switching state (`Some` iff `cfg.switching` is
+    /// [`Switching::Wormhole`]): per-link virtual-channel tables and the
+    /// in-flight worm table.
+    wormhole: Option<WormholeState>,
     notes: Vec<Note>,
     /// Machine-wide counters.
     pub counters: Counters,
@@ -394,6 +441,8 @@ impl Machine {
             Vec::new()
         };
         let dead = vec![false; net.nodes()];
+        let wormhole =
+            (cfg.switching == Switching::Wormhole).then(|| WormholeState::new(&cfg, &net));
         Machine {
             cfg,
             net,
@@ -409,6 +458,7 @@ impl Machine {
             dead,
             drop_rngs,
             faults_on,
+            wormhole,
             notes: Vec::new(),
             counters: Counters::default(),
             recorder: None,
@@ -1603,6 +1653,7 @@ impl Machine {
             Switching::PacketizedSaf | Switching::CutThrough => {
                 self.enqueue_channel(msg, now, sched)
             }
+            Switching::Wormhole => self.start_worm(msg, now, sched),
         }
     }
 
@@ -1716,7 +1767,9 @@ impl Machine {
         let offset = match self.cfg.switching {
             Switching::CutThrough => Some(self.cfg.cut_through_header),
             Switching::PacketizedSaf => Some(self.cfg.packet_latency()),
-            Switching::StoreAndForward => None,
+            // Wormhole traffic never reaches `start_transfer` (flit ticks
+            // drive it), so only the non-pipelined arm below is live.
+            Switching::StoreAndForward | Switching::Wormhole => None,
         };
         if let Some(offset) = offset {
             let (started, hops) = {
@@ -1875,6 +1928,9 @@ impl Machine {
                     );
                 }
             }
+            Switching::Wormhole => {
+                unreachable!("wormhole moves flits via FlitTick, never TransferDone")
+            }
         }
     }
 
@@ -1890,6 +1946,439 @@ impl Machine {
             return;
         }
         self.enqueue_channel(msg, now, sched);
+    }
+
+    // ------------------------------------------------------------------
+    // Wormhole switching (`Switching::Wormhole` only)
+    //
+    // A message travels as a worm of `cfg.worm_flits(bytes)` flits that
+    // holds a virtual channel on every link between head and tail. Each
+    // channel with a movable flit runs a `FlitTick` chain: one tick per
+    // `cfg.flit_time()`, each tick arbitrating the physical link round-
+    // robin among its VCs and moving exactly one flit under credit-based
+    // flow control. Deadlock freedom rests on the escape-class assignment
+    // from `parsched_topology::flow` (dateline / phase rules), whose
+    // channel-dependency graph is acyclic for every shipped topology.
+    // ------------------------------------------------------------------
+
+    /// Wormhole state (tests and exporters; `None` unless
+    /// `cfg.switching == Switching::Wormhole`).
+    pub fn wormhole(&self) -> Option<&WormholeState> {
+        self.wormhole.as_ref()
+    }
+
+    /// Sample the machine-wide count of held VCs into the metrics registry.
+    #[inline]
+    fn note_vc_occupancy(&mut self, now: SimTime) {
+        if self.metrics.is_some() {
+            let occ = self.wormhole.as_ref().map_or(0, |wh| wh.occupied_vcs());
+            if let Some(m) = self.metrics.as_deref_mut() {
+                m.set_vc_occupancy(now, occ);
+            }
+        }
+    }
+
+    /// Sample the cumulative credit-stall count into the metrics registry.
+    #[inline]
+    fn note_credit_stalls(&mut self, now: SimTime) {
+        if self.metrics.is_some() {
+            let stalls = self.counters.credit_stalls;
+            if let Some(m) = self.metrics.as_deref_mut() {
+                m.set_credit_stalls(now, stalls);
+            }
+        }
+    }
+
+    /// Route index of the link of `msg`'s worm that runs over channel
+    /// `chan` (routes never revisit a node, so the link is unique).
+    fn worm_link_on(&self, msg: MsgId, chan: usize) -> usize {
+        let wh = self.wormhole.as_ref().expect("wormhole state");
+        let w = wh.worm(msg).expect("message has no worm");
+        w.links
+            .iter()
+            .position(|l| l.chan == chan as u32)
+            .expect("worm does not cross this channel")
+    }
+
+    /// Build the worm for a freshly buffered-at-source message and request
+    /// a virtual channel for its first link.
+    fn start_worm(&mut self, msg: MsgId, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+        let (src, dst, bytes) = {
+            let m = self.messages[msg.idx()].as_ref().expect("dead message");
+            (m.src_node, m.dst_node, m.bytes)
+        };
+        let (p, base, local) = self
+            .net
+            .local_route(src, dst)
+            .expect("job placement spans partitions");
+        let kind = self.net.partition_kind(p);
+        let classes = vc_classes(kind, self.net.partition_size(), NodeId(src - base), &local);
+        let mut links = Vec::with_capacity(local.len());
+        let mut prev = src;
+        for (i, hop) in local.iter().enumerate() {
+            let to = base + hop.0;
+            let chan = self
+                .net
+                .channel_id(prev, to)
+                .unwrap_or_else(|| panic!("no channel {prev}->{to}"));
+            links.push(WormLink { chan: chan as u32, class: classes[i], vc: None, sent: 0 });
+            prev = to;
+        }
+        let total_flits = self.cfg.worm_flits(bytes);
+        self.counters.flits_injected += total_flits;
+        self.ref_msg(msg); // the worm holds a reference until teardown/drain
+        self.wormhole
+            .as_mut()
+            .expect("wormhole state")
+            .insert(msg, Worm { total_flits, links });
+        self.request_vc(msg, 0, now, sched);
+    }
+
+    /// Ask for a VC of the link's escape class: granted immediately when
+    /// the link is up and the class band has a free VC, otherwise the worm
+    /// queues in the class's FIFO (head-of-line blocking, the wormhole
+    /// hazard the escape classes keep acyclic).
+    fn request_vc(&mut self, msg: MsgId, link: usize, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+        let (chan, class) = {
+            let wh = self.wormhole.as_ref().expect("wormhole state");
+            let l = &wh.worm(msg).expect("worm gone").links[link];
+            (l.chan as usize, l.class)
+        };
+        let up = self.channels[chan].up;
+        let granted = {
+            let wh = self.wormhole.as_mut().expect("wormhole state");
+            if up {
+                wh.chans[chan].alloc_vc(class, msg)
+            } else {
+                None // a downed link grants nothing until its window closes
+            }
+        };
+        match granted {
+            Some(vc) => {
+                let wh = self.wormhole.as_mut().expect("wormhole state");
+                wh.worm_mut(msg).expect("worm gone").links[link].vc = Some(vc);
+                self.counters.vc_allocs += 1;
+                self.obs(now, ObsEvent::WormVcAlloc { msg: msg.0, chan: chan as u32, vc });
+                self.note_vc_occupancy(now);
+                self.ensure_flit_ticking(chan, now, sched);
+            }
+            None => {
+                let wh = self.wormhole.as_mut().expect("wormhole state");
+                wh.chans[chan].waiting[class as usize].push_back(msg);
+                self.obs(now, ObsEvent::WormStall { msg: msg.0, chan: chan as u32 });
+            }
+        }
+    }
+
+    /// Whether any VC of `chan` holds a worm that can move a flit now.
+    fn chan_can_transmit(&self, chan: usize) -> bool {
+        let wh = self.wormhole.as_ref().expect("wormhole state");
+        wh.chans[chan].holders().any(|msg| {
+            let w = wh.worm(msg).expect("holder has worm");
+            wh.can_transmit(w, self.worm_link_on(msg, chan))
+        })
+    }
+
+    /// Start a `FlitTick` chain for the channel unless one is already live
+    /// (or the link is down, or nothing can move). The per-channel chain
+    /// is what serializes the physical link: one flit per flit time, no
+    /// matter how many VCs are resident.
+    fn ensure_flit_ticking(&mut self, chan: usize, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+        if !self.channels[chan].up
+            || self.wormhole.as_ref().expect("wormhole state").chans[chan].ticking
+            || !self.chan_can_transmit(chan)
+        {
+            return;
+        }
+        let wh = self.wormhole.as_mut().expect("wormhole state");
+        wh.chans[chan].ticking = true;
+        let dt = wh.flit_time;
+        self.channels[chan].busy.set(now, 1.0);
+        self.note_link_busy(chan as u32, now, 1.0);
+        sched.schedule(dt, Event::FlitTick { chan: chan as u32 });
+    }
+
+    /// Park a channel's tick chain (nothing movable); whatever unblocks it
+    /// — a credit return, a VC grant, a link-up — re-arms it.
+    fn stop_flit_ticking(&mut self, chan: usize, now: SimTime) {
+        self.wormhole.as_mut().expect("wormhole state").chans[chan].ticking = false;
+        self.channels[chan].busy.set(now, 0.0);
+        self.note_link_busy(chan as u32, now, 0.0);
+    }
+
+    /// One flit time elapsed on a ticking channel: pick the next resident
+    /// worm round-robin, move one of its flits, and keep ticking while any
+    /// flit remains movable.
+    fn on_flit_tick(&mut self, chan: u32, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+        let ci = chan as usize;
+        let picked = {
+            let wh = self.wormhole.as_ref().expect("wormhole state");
+            let vch = &wh.chans[ci];
+            debug_assert!(vch.ticking, "FlitTick on a parked channel");
+            let nvc = vch.vcs.len();
+            let mut picked = None;
+            if self.channels[ci].up {
+                for off in 0..nvc {
+                    let vc = (vch.rr as usize + off) % nvc;
+                    let Some(msg) = vch.vcs[vc] else { continue };
+                    let w = wh.worm(msg).expect("holder has worm");
+                    let link = self.worm_link_on(msg, ci);
+                    if wh.can_transmit(w, link) {
+                        picked = Some((vc, msg, link));
+                        break;
+                    }
+                }
+            }
+            picked
+        };
+        let Some((vc, msg, link)) = picked else {
+            // Nothing movable. Residents blocked purely on the credit
+            // window are genuine back-pressure stalls; account them once
+            // per parking, not per tick.
+            let stalled: Vec<MsgId> = {
+                let wh = self.wormhole.as_ref().expect("wormhole state");
+                wh.chans[ci]
+                    .holders()
+                    .filter(|&m| {
+                        let w = wh.worm(m).expect("holder has worm");
+                        wh.credit_blocked(w, self.worm_link_on(m, ci))
+                    })
+                    .collect()
+            };
+            for m in stalled {
+                self.counters.credit_stalls += 1;
+                self.obs(now, ObsEvent::WormStall { msg: m.0, chan });
+            }
+            self.note_credit_stalls(now);
+            self.stop_flit_ticking(ci, now);
+            return;
+        };
+        {
+            let wh = self.wormhole.as_mut().expect("wormhole state");
+            let nvc = wh.chans[ci].vcs.len();
+            wh.chans[ci].rr = ((vc + 1) % nvc) as u8;
+        }
+        self.transmit_flit(msg, link, now, sched);
+        if self.chan_can_transmit(ci) {
+            let dt = self.wormhole.as_ref().expect("wormhole state").flit_time;
+            sched.schedule(dt, Event::FlitTick { chan });
+        } else {
+            self.stop_flit_ticking(ci, now);
+        }
+    }
+
+    /// Move one flit of `msg` across route link `link`, with credit
+    /// accounting, head/tail protocol steps, and neighbour wake-ups.
+    fn transmit_flit(&mut self, msg: MsgId, link: usize, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+        let (chan, sent, total, len, prev_chan, next_chan) = {
+            let wh = self.wormhole.as_mut().expect("wormhole state");
+            let w = wh.worm_mut(msg).expect("worm gone");
+            w.links[link].sent += 1;
+            (
+                w.links[link].chan,
+                w.links[link].sent,
+                w.total_flits,
+                w.links.len(),
+                link.checked_sub(1).map(|i| w.links[i].chan),
+                w.links.get(link + 1).map(|l| l.chan),
+            )
+        };
+        self.counters.credits_issued += 1;
+        if link > 0 {
+            // The flit left the previous link's VC buffer: credit back.
+            self.counters.credits_returned += 1;
+        }
+        if link + 1 == len {
+            // Ejection into destination memory drains the last buffer
+            // immediately (node memory is not credit-limited).
+            self.counters.credits_returned += 1;
+            self.counters.flits_ejected += 1;
+        }
+        if sent == 1 {
+            self.on_worm_head(msg, link, chan, now, sched);
+        }
+        if sent == total {
+            self.on_worm_tail(msg, link, chan, now, sched);
+        }
+        // A flit arrival can unblock the next link; a credit return can
+        // unblock the previous one.
+        if let Some(pc) = prev_chan {
+            self.ensure_flit_ticking(pc as usize, now, sched);
+        }
+        if let Some(nc) = next_chan {
+            self.ensure_flit_ticking(nc as usize, now, sched);
+        }
+    }
+
+    /// The worm's head crossed a link for the first time: advance the head
+    /// cursors and request a VC for the next link.
+    fn on_worm_head(&mut self, msg: MsgId, link: usize, chan: u32, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+        self.obs(now, ObsEvent::HopStart { msg: msg.0, chan });
+        let to = self.channels[chan as usize].to;
+        {
+            let m = self.messages[msg.idx()].as_mut().expect("dead message");
+            m.front_node = to;
+            m.edges_started += 1;
+        }
+        let more = {
+            let wh = self.wormhole.as_ref().expect("wormhole state");
+            link + 1 < wh.worm(msg).expect("worm gone").links.len()
+        };
+        if more {
+            self.request_vc(msg, link + 1, now, sched);
+        }
+    }
+
+    /// The worm's tail crossed a link: the hop is complete — account it,
+    /// free what the tail no longer occupies, and deliver at the end.
+    fn on_worm_tail(&mut self, msg: MsgId, link: usize, chan: u32, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+        let ci = chan as usize;
+        self.obs(now, ObsEvent::HopEnd { msg: msg.0, chan });
+        let bytes = self.messages[msg.idx()].as_ref().expect("dead message").bytes;
+        self.channels[ci].transfers += 1;
+        self.channels[ci].bytes_carried += bytes;
+        self.counters.hop_transfers += 1;
+        // Per-hop drop lottery, as under the other switching modes: the
+        // per-channel substream draws once per completed hop.
+        if self.cfg.faults.drop_prob > 0.0 {
+            let corrupt = self.drop_rngs[ci].uniform01() < self.cfg.faults.drop_prob;
+            if corrupt {
+                if let Some(m) = self.messages[msg.idx()].as_mut() {
+                    m.corrupt = true;
+                }
+            }
+        }
+        let to = self.channels[ci].to;
+        let (done, hops) = {
+            let m = self.messages[msg.idx()].as_mut().expect("dead message");
+            m.edges_done += 1;
+            m.done_node = to;
+            (m.edges_done as usize, m.hops())
+        };
+        if link == 0 {
+            // The tail left the source: the sender's buffered copy is gone.
+            let released = self.messages[msg.idx()].as_mut().expect("dead").buffered_on.take();
+            if let Some(node) = released {
+                self.release_memory(node, bytes + self.cfg.msg_header_bytes, now, sched);
+            }
+        }
+        if link > 0 {
+            // The previous link's VC buffer has fully drained.
+            self.release_worm_vc(msg, link - 1, now, sched);
+        }
+        if done == hops {
+            self.release_worm_vc(msg, link, now, sched);
+            self.finish_worm(msg, now, sched);
+        }
+    }
+
+    /// Release the VC a worm holds on route link `link`, handing it to the
+    /// head of the class's waiter FIFO (links in an outage window hand
+    /// over nothing; `on_link_up` pumps their FIFOs instead).
+    fn release_worm_vc(&mut self, msg: MsgId, link: usize, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+        let (chan, vc) = {
+            let wh = self.wormhole.as_mut().expect("wormhole state");
+            let l = &mut wh.worm_mut(msg).expect("worm gone").links[link];
+            (l.chan as usize, l.vc.take().expect("releasing unheld VC"))
+        };
+        let up = self.channels[chan].up;
+        let granted = self
+            .wormhole
+            .as_mut()
+            .expect("wormhole state")
+            .chans[chan]
+            .release_vc(vc, up);
+        if let Some(next) = granted {
+            let next_link = self.worm_link_on(next, chan);
+            let wh = self.wormhole.as_mut().expect("wormhole state");
+            wh.worm_mut(next).expect("waiter has worm").links[next_link].vc = Some(vc);
+            self.counters.vc_allocs += 1;
+            self.obs(now, ObsEvent::WormVcAlloc { msg: next.0, chan: chan as u32, vc });
+        }
+        self.note_vc_occupancy(now);
+        self.ensure_flit_ticking(chan, now, sched);
+    }
+
+    /// The whole worm reached the destination: retire it, buffer the
+    /// message at the destination (system-pool overdraft, as under
+    /// `PacketizedSaf`) and run the delivery handler.
+    fn finish_worm(&mut self, msg: MsgId, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+        let worm = self
+            .wormhole
+            .as_mut()
+            .expect("wormhole state")
+            .remove(msg)
+            .expect("finishing a missing worm");
+        debug_assert!(worm.links.iter().all(|l| l.vc.is_none()), "VC leak");
+        debug_assert_eq!(worm.ejected(), worm.total_flits, "flits unaccounted");
+        self.unref_msg(msg);
+        let (dst, bytes) = {
+            let m = self.messages[msg.idx()].as_mut().expect("dead message");
+            m.at_node = m.dst_node;
+            (m.dst_node, m.bytes)
+        };
+        self.nodes[dst as usize]
+            .mmu
+            .force_alloc(now, bytes + self.cfg.msg_header_bytes);
+        self.messages[msg.idx()].as_mut().expect("dead").buffered_on = Some(dst);
+        self.enqueue_high(
+            dst,
+            HandlerTask {
+                cost: self.cfg.handler_cost(bytes),
+                action: HandlerAction::HopArrived(msg),
+            },
+            now,
+            sched,
+        );
+    }
+
+    /// Tear an in-flight worm out of the network deterministically (link
+    /// outage or job kill): released VCs pass to waiters, buffered flits
+    /// return their credits, untransmitted and in-network flits are
+    /// accounted dropped. Returns `false` when the message has no worm.
+    /// The caller decides what happens to the message itself (retry
+    /// protocol for outages; the kill sweep for dead jobs).
+    fn drain_worm(&mut self, msg: MsgId, now: SimTime, sched: &mut impl EventScheduler<Event>) -> bool {
+        if self.wormhole.as_ref().and_then(|wh| wh.worm(msg)).is_none() {
+            return false;
+        }
+        // Yank an outstanding VC request from its waiter FIFO.
+        {
+            let wh = self.wormhole.as_mut().expect("wormhole state");
+            if let Some(k) = wh.worm(msg).expect("checked").pending_vc_request() {
+                let (chan, class) = {
+                    let l = &wh.worm(msg).expect("checked").links[k];
+                    (l.chan as usize, l.class as usize)
+                };
+                wh.chans[chan].waiting[class].retain(|&m| m != msg);
+            }
+        }
+        // Hand every held VC over (front to back keeps grants ordered).
+        let held: Vec<usize> = {
+            let wh = self.wormhole.as_ref().expect("wormhole state");
+            wh.worm(msg)
+                .expect("checked")
+                .links
+                .iter()
+                .enumerate()
+                .filter_map(|(i, l)| l.vc.is_some().then_some(i))
+                .collect()
+        };
+        for i in held {
+            self.release_worm_vc(msg, i, now, sched);
+        }
+        let worm = self
+            .wormhole
+            .as_mut()
+            .expect("wormhole state")
+            .remove(msg)
+            .expect("checked");
+        self.counters.credits_returned += worm.buffered();
+        self.counters.flits_dropped += worm.total_flits - worm.ejected();
+        let chan = worm.links[worm.head_link()].chan;
+        self.obs(now, ObsEvent::WormDrained { msg: msg.0, chan });
+        self.unref_msg(msg);
+        true
     }
 
     fn run_handler_action(&mut self, action: HandlerAction, node: u16, now: SimTime, sched: &mut impl EventScheduler<Event>) {
@@ -2108,8 +2597,11 @@ impl Machine {
 
     /// A declared link-outage window opens: in-flight transfers finish on
     /// the wire (outages quantize to transfer boundaries), but the channel
-    /// starts nothing new until the window closes.
-    fn on_link_down(&mut self, chan: u32, now: SimTime) {
+    /// starts nothing new until the window closes. Under wormhole
+    /// switching the quantization doesn't apply — worms resident on the
+    /// link are drained deterministically (ascending message id) and their
+    /// messages re-enter via the retry protocol.
+    fn on_link_down(&mut self, chan: u32, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         let ch = &mut self.channels[chan as usize];
         if !ch.up {
             return;
@@ -2117,6 +2609,27 @@ impl Machine {
         ch.up = false;
         self.counters.link_downs += 1;
         self.obs(now, ObsEvent::LinkDown { chan });
+        if self.wormhole.is_some() {
+            let mut holders: Vec<MsgId> = self
+                .wormhole
+                .as_ref()
+                .expect("wormhole state")
+                .chans[chan as usize]
+                .holders()
+                .collect();
+            holders.sort();
+            holders.dedup();
+            for msg in holders {
+                if self.drain_worm(msg, now, sched) {
+                    // The drain supersedes any pending delivery timeout:
+                    // the retry protocol re-arms its own timer.
+                    if let Some(h) = self.fault_timers[msg.idx()].take() {
+                        sched.cancel_timer(h);
+                    }
+                    self.retry_message(msg, now, sched);
+                }
+            }
+        }
     }
 
     /// A declared link-outage window closes: resume the channel's queue.
@@ -2131,6 +2644,41 @@ impl Machine {
             if let Some(next) = self.channels[ci].queue.pop_front() {
                 self.start_transfer(ci, next, now, sched);
             }
+        }
+        if self.wormhole.is_some() {
+            // Grant VCs to worms that queued against the downed link (its
+            // VCs are all free: resident worms were drained at link-down
+            // and allocation is gated on `up`).
+            let mut grants: Vec<(MsgId, u8)> = Vec::new();
+            {
+                let wh = self.wormhole.as_mut().expect("wormhole state");
+                let vch = &mut wh.chans[ci];
+                for class in 0..vch.waiting.len() {
+                    while let Some(&msg) = vch.waiting[class].front() {
+                        match vch.alloc_vc(class as u8, msg) {
+                            Some(vc) => {
+                                vch.waiting[class].pop_front();
+                                grants.push((msg, vc));
+                            }
+                            None => break,
+                        }
+                    }
+                }
+            }
+            for (msg, vc) in grants {
+                let link = self.worm_link_on(msg, ci);
+                self.wormhole
+                    .as_mut()
+                    .expect("wormhole state")
+                    .worm_mut(msg)
+                    .expect("waiter has worm")
+                    .links[link]
+                    .vc = Some(vc);
+                self.counters.vc_allocs += 1;
+                self.obs(now, ObsEvent::WormVcAlloc { msg: msg.0, chan, vc });
+            }
+            self.note_vc_occupancy(now);
+            self.ensure_flit_ticking(ci, now, sched);
         }
     }
 
@@ -2246,6 +2794,9 @@ impl Machine {
             .collect();
         let mut releases: Vec<(u16, u64)> = Vec::new();
         for &msg in &owned {
+            // A dying job's in-flight worm is torn out of the network
+            // first (no retry — the sweep below accounts the drop).
+            self.drain_worm(msg, now, sched);
             let bytes = self.messages[msg.idx()].as_ref().expect("owned").bytes;
             for ci in 0..self.channels.len() {
                 let before = self.channels[ci].queue.len();
@@ -2368,13 +2919,14 @@ impl Model for Machine {
             Event::Dispatch { node } => self.dispatch(node, now, sched),
             Event::SliceEnd { node, seq } => self.on_slice_end(node, seq, now, sched),
             Event::TransferDone { chan } => self.on_transfer_done(chan, now, sched),
+            Event::FlitTick { chan } => self.on_flit_tick(chan, now, sched),
             Event::HopStart { msg, edge } => self.on_hop_start(msg, edge, now, sched),
             Event::AllocEscape { node, msg, gen } => {
                 self.on_alloc_escape(node, msg, gen, now, sched)
             }
             Event::PolicyTick { .. } => {} // policy drivers intercept these
             Event::NodeCrash { node } => self.on_node_crash(node, now, sched),
-            Event::LinkDown { chan } => self.on_link_down(chan, now),
+            Event::LinkDown { chan } => self.on_link_down(chan, now, sched),
             Event::LinkUp { chan } => self.on_link_up(chan, now, sched),
             Event::MsgRetry { msg, gen } => self.on_msg_retry(msg, gen, now, sched),
             Event::MsgTimeout { msg, gen } => self.on_msg_timeout(msg, gen, now, sched),

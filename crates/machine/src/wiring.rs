@@ -7,7 +7,7 @@
 //! indices; there are no channels between partitions, and jobs never span
 //! one, so a route either stays inside a partition or does not exist.
 
-use parsched_topology::{Channel, NodeId, PartitionPlan, Router, Topology};
+use parsched_topology::{Channel, NodeId, PartitionPlan, Router, Topology, TopologyKind};
 
 /// A directed global channel between adjacent processors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -32,6 +32,9 @@ pub struct SystemNet {
     partition_size: usize,
     /// Per-partition minimal routers (index = partition id).
     routers: Vec<Router>,
+    /// Per-partition topology kinds (the wormhole layer derives its
+    /// virtual-channel escape classes from the shape).
+    kinds: Vec<TopologyKind>,
     /// All directed channels, in deterministic order.
     channels: Vec<GlobalChannel>,
     /// `channel_index[from * nodes + to]` -> index into `channels`
@@ -46,8 +49,10 @@ impl SystemNet {
         let mut channels = Vec::new();
         let mut channel_index = vec![u32::MAX; nodes * nodes];
         let mut routers = Vec::with_capacity(plan.count());
+        let mut kinds = Vec::with_capacity(plan.count());
         for part in &plan.partitions {
             routers.push(Router::for_topology(&part.topology));
+            kinds.push(part.topology.kind());
             for Channel { from, to } in part.topology.channels() {
                 let g = GlobalChannel {
                     from: (part.base + from.idx()) as u16,
@@ -62,6 +67,7 @@ impl SystemNet {
             nodes,
             partition_size: plan.partition_size,
             routers,
+            kinds,
             channels,
             channel_index,
         }
@@ -112,6 +118,24 @@ impl SystemNet {
     /// Number of processors per partition.
     pub fn partition_size(&self) -> usize {
         self.partition_size
+    }
+
+    /// Topology kind of a partition (all partitions of a plan share one).
+    pub fn partition_kind(&self, p: usize) -> TopologyKind {
+        self.kinds[p]
+    }
+
+    /// The full local-index path from `src` to `dst` within `src`'s
+    /// partition, plus the partition id and its base offset — the wormhole
+    /// layer derives virtual-channel classes from local coordinates.
+    pub fn local_route(&self, src: u16, dst: u16) -> Option<(usize, u16, Vec<NodeId>)> {
+        let p = self.partition_of(src);
+        if p != self.partition_of(dst) {
+            return None;
+        }
+        let base = (p * self.partition_size) as u16;
+        let local = self.routers[p].path(NodeId(src - base), NodeId(dst - base));
+        Some((p, base, local))
     }
 
     /// The full global path from `src` to `dst` (exclusive of `src`).

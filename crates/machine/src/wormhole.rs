@@ -1,0 +1,354 @@
+//! Wormhole-switching state: virtual channels, credits and worms.
+//!
+//! Under [`crate::config::Switching::Wormhole`] a message travels as a
+//! *worm* of flits that snakes across its whole route at once, holding a
+//! virtual channel (VC) on every link between its head and tail. This
+//! module owns the bookkeeping: per-link VC tables with per-class waiter
+//! FIFOs, and per-worm link cursors tracking how many flits have crossed
+//! each route edge. The *protocol* — flit ticks, credit accounting,
+//! delivery, fault drains — lives in [`crate::system`], which drives these
+//! structures; everything here is pure state manipulation, so it can be
+//! unit-tested without an engine.
+//!
+//! Deadlock freedom comes from the topology layer: each link exposes
+//! `vc_class_count(kind)` escape classes, every hop of a route is assigned
+//! a class by `vc_classes` (dateline / phase rules), and the channel
+//! dependency graph over `(link, class)` pairs is acyclic (asserted by
+//! `parsched_topology::flow`'s test suite). A worm only ever waits for a
+//! VC of its hop's class, so the wait graph is a subgraph of that CDG.
+
+use crate::config::MachineConfig;
+use crate::net::MsgId;
+use crate::wiring::SystemNet;
+use parsched_des::SimDuration;
+use parsched_topology::vc_class_count;
+use std::collections::VecDeque;
+
+/// One route edge of a worm: which link, which escape class, the VC held
+/// (once granted) and how many flits have crossed.
+#[derive(Debug, Clone)]
+pub struct WormLink {
+    /// Channel table index of this route edge.
+    pub chan: u32,
+    /// Virtual-channel escape class `vc_classes` assigned to this hop.
+    pub class: u8,
+    /// VC index held on the channel (`None` until granted).
+    pub vc: Option<u8>,
+    /// Flits that have fully crossed this link so far.
+    pub sent: u64,
+}
+
+/// An in-flight worm: the message's route as link cursors.
+///
+/// Flit conservation per worm: the head advances a link only after the
+/// flit arrived on the previous one (`sent` is non-increasing along the
+/// route), and the buffer occupancy of link `i` is `sent[i] - sent[i+1]`,
+/// bounded by the credit window.
+#[derive(Debug, Clone)]
+pub struct Worm {
+    /// Flits in the worm (payload + header flit).
+    pub total_flits: u64,
+    /// Route edges in path order.
+    pub links: Vec<WormLink>,
+}
+
+impl Worm {
+    /// Index of the first link whose VC request is outstanding (issued but
+    /// not granted — the worm sits in that channel's waiter FIFO), if any.
+    /// A VC for link `k > 0` is requested exactly when the head crosses
+    /// link `k - 1`, so the pending request is the first unheld link after
+    /// the held window — or link 0 for a worm that never started.
+    pub fn pending_vc_request(&self) -> Option<usize> {
+        match self.links.iter().rposition(|l| l.vc.is_some()) {
+            None => Some(0),
+            Some(m) => {
+                let k = m + 1;
+                (k < self.links.len() && self.links[m].sent > 0).then_some(k)
+            }
+        }
+    }
+
+    /// Index of the link the head most recently occupied (for drain
+    /// reporting): the last link any flit has crossed, or the first link
+    /// for a worm that never transmitted.
+    pub fn head_link(&self) -> usize {
+        self.links.iter().rposition(|l| l.sent > 0).unwrap_or(0)
+    }
+
+    /// Flits that reached the destination (crossed the last link).
+    pub fn ejected(&self) -> u64 {
+        self.links.last().map_or(0, |l| l.sent)
+    }
+
+    /// Flits currently buffered inside the network (between links), i.e.
+    /// credits issued but not yet returned. The last link's buffer is
+    /// always empty: ejection into node memory returns its credit at
+    /// transmit time.
+    pub fn buffered(&self) -> u64 {
+        self.links
+            .windows(2)
+            .map(|w| w[0].sent - w[1].sent)
+            .sum()
+    }
+}
+
+/// One physical link's virtual-channel table.
+#[derive(Debug)]
+pub struct VcChannel {
+    /// VCs per escape class on this link.
+    pub per_class: u8,
+    /// Worm holding each VC (`classes * per_class` slots; class `c` owns
+    /// the band `c * per_class ..`).
+    pub vcs: Vec<Option<MsgId>>,
+    /// Per-class FIFO of worms waiting for a VC of that class.
+    pub waiting: Vec<VecDeque<MsgId>>,
+    /// Round-robin cursor for flit arbitration across VCs.
+    pub rr: u8,
+    /// A `FlitTick` chain is live for this channel.
+    pub ticking: bool,
+}
+
+impl VcChannel {
+    fn new(classes: u8, per_class: u8) -> VcChannel {
+        VcChannel {
+            per_class,
+            vcs: vec![None; classes as usize * per_class as usize],
+            waiting: (0..classes).map(|_| VecDeque::new()).collect(),
+            rr: 0,
+            ticking: false,
+        }
+    }
+
+    /// Grant the first free VC of `class` to `msg`, or `None` if the band
+    /// is fully occupied.
+    pub fn alloc_vc(&mut self, class: u8, msg: MsgId) -> Option<u8> {
+        let base = class as usize * self.per_class as usize;
+        for vc in base..base + self.per_class as usize {
+            if self.vcs[vc].is_none() {
+                self.vcs[vc] = Some(msg);
+                return Some(vc as u8);
+            }
+        }
+        None
+    }
+
+    /// Class of a VC index.
+    pub fn class_of(&self, vc: u8) -> u8 {
+        vc / self.per_class
+    }
+
+    /// Clear a VC and hand it to the head of its class's waiter FIFO, if
+    /// any. Returns the new holder so the caller can resume it.
+    pub fn release_vc(&mut self, vc: u8, serve_waiters: bool) -> Option<MsgId> {
+        let slot = vc as usize;
+        debug_assert!(self.vcs[slot].is_some(), "releasing a free VC");
+        self.vcs[slot] = None;
+        if !serve_waiters {
+            return None;
+        }
+        let class = self.class_of(vc) as usize;
+        let next = self.waiting[class].pop_front()?;
+        self.vcs[slot] = Some(next);
+        Some(next)
+    }
+
+    /// Worms currently holding a VC on this link, in VC order.
+    pub fn holders(&self) -> impl Iterator<Item = MsgId> + '_ {
+        self.vcs.iter().filter_map(|v| *v)
+    }
+
+    /// VCs currently held.
+    pub fn occupied(&self) -> usize {
+        self.vcs.iter().filter(|v| v.is_some()).count()
+    }
+}
+
+/// Machine-wide wormhole state: one VC table per channel plus the worm
+/// table (indexed like the message slab).
+#[derive(Debug)]
+pub struct WormholeState {
+    /// Time for one flit to cross one link.
+    pub flit_time: SimDuration,
+    /// Flit credits per VC buffer (downstream slots per link).
+    pub credits: u64,
+    /// Per-channel VC tables (parallel to the machine's channel table).
+    pub chans: Vec<VcChannel>,
+    /// Per-message worm slots (grown on demand, like the message slab).
+    pub worms: Vec<Option<Worm>>,
+}
+
+impl WormholeState {
+    /// Build the VC tables for every channel of `net`: each link carries
+    /// the escape classes its partition's topology shape requires.
+    pub fn new(cfg: &MachineConfig, net: &SystemNet) -> WormholeState {
+        let per_class = cfg.vcs_per_class.max(1);
+        let chans = net
+            .channels()
+            .iter()
+            .map(|c| {
+                let kind = net.partition_kind(net.partition_of(c.from));
+                VcChannel::new(vc_class_count(kind), per_class)
+            })
+            .collect();
+        WormholeState {
+            flit_time: cfg.flit_time(),
+            credits: u64::from(cfg.vc_credits.max(1)),
+            chans,
+            worms: Vec::new(),
+        }
+    }
+
+    /// The worm of a message, if one is in flight.
+    pub fn worm(&self, msg: MsgId) -> Option<&Worm> {
+        self.worms.get(msg.idx()).and_then(|w| w.as_ref())
+    }
+
+    /// Mutable access to a message's worm.
+    pub fn worm_mut(&mut self, msg: MsgId) -> Option<&mut Worm> {
+        self.worms.get_mut(msg.idx()).and_then(|w| w.as_mut())
+    }
+
+    /// Install a worm for `msg` (slot grown on demand).
+    pub fn insert(&mut self, msg: MsgId, worm: Worm) {
+        if self.worms.len() <= msg.idx() {
+            self.worms.resize_with(msg.idx() + 1, || None);
+        }
+        debug_assert!(self.worms[msg.idx()].is_none(), "worm slot still live");
+        self.worms[msg.idx()] = Some(worm);
+    }
+
+    /// Remove and return a message's worm.
+    pub fn remove(&mut self, msg: MsgId) -> Option<Worm> {
+        self.worms.get_mut(msg.idx()).and_then(|w| w.take())
+    }
+
+    /// Whether link `i` of `worm` can move a flit right now: it holds a
+    /// VC, has flits left, the flit has arrived over the previous link,
+    /// and the downstream VC buffer has a credit. (Link liveness is the
+    /// caller's check — the VC table does not track outages.)
+    pub fn can_transmit(&self, worm: &Worm, i: usize) -> bool {
+        let l = &worm.links[i];
+        l.vc.is_some()
+            && l.sent < worm.total_flits
+            && (i == 0 || worm.links[i - 1].sent > l.sent)
+            && (i + 1 == worm.links.len() || l.sent - worm.links[i + 1].sent < self.credits)
+    }
+
+    /// Like [`WormholeState::can_transmit`] but true only when the credit
+    /// window is the *sole* blocker (for stall accounting).
+    pub fn credit_blocked(&self, worm: &Worm, i: usize) -> bool {
+        let l = &worm.links[i];
+        l.vc.is_some()
+            && l.sent < worm.total_flits
+            && (i == 0 || worm.links[i - 1].sent > l.sent)
+            && i + 1 < worm.links.len()
+            && l.sent - worm.links[i + 1].sent >= self.credits
+    }
+
+    /// Total VCs currently held across all channels (occupancy gauge).
+    pub fn occupied_vcs(&self) -> usize {
+        self.chans.iter().map(|c| c.occupied()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn worm3() -> Worm {
+        Worm {
+            total_flits: 5,
+            links: [(0u32, 0u8), (1, 0), (2, 1)]
+                .iter()
+                .map(|&(chan, class)| WormLink { chan, class, vc: None, sent: 0 })
+                .collect(),
+        }
+    }
+
+    fn state(credits: u64) -> WormholeState {
+        WormholeState {
+            flit_time: SimDuration::from_nanos(10),
+            credits,
+            chans: (0..3).map(|_| VcChannel::new(2, 1)).collect(),
+            worms: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn head_waits_for_upstream_flits() {
+        let st = state(4);
+        let mut w = worm3();
+        w.links[0].vc = Some(0);
+        w.links[1].vc = Some(0);
+        assert!(st.can_transmit(&w, 0), "source flits are always available");
+        assert!(!st.can_transmit(&w, 1), "no flit has arrived yet");
+        w.links[0].sent = 1;
+        assert!(st.can_transmit(&w, 1));
+    }
+
+    #[test]
+    fn credit_window_throttles_upstream() {
+        let st = state(2);
+        let mut w = worm3();
+        w.links[0].vc = Some(0);
+        w.links[0].sent = 2; // two flits buffered downstream of link 0
+        assert!(!st.can_transmit(&w, 0), "credit window full");
+        assert!(st.credit_blocked(&w, 0));
+        w.links[1].vc = Some(0);
+        w.links[1].sent = 1; // one drained onward: a credit came back
+        assert!(st.can_transmit(&w, 0));
+        assert!(!st.credit_blocked(&w, 0));
+    }
+
+    #[test]
+    fn last_link_never_credit_blocks() {
+        let st = state(1);
+        let mut w = worm3();
+        w.links[2].vc = Some(2);
+        w.links[0].sent = 5;
+        w.links[1].sent = 5;
+        w.links[2].sent = 4;
+        assert!(st.can_transmit(&w, 2), "ejection returns credits instantly");
+    }
+
+    #[test]
+    fn vc_bands_are_per_class() {
+        let mut ch = VcChannel::new(2, 2);
+        assert_eq!(ch.alloc_vc(0, MsgId(1)), Some(0));
+        assert_eq!(ch.alloc_vc(0, MsgId(2)), Some(1));
+        assert_eq!(ch.alloc_vc(0, MsgId(3)), None, "class 0 band full");
+        assert_eq!(ch.alloc_vc(1, MsgId(4)), Some(2), "class 1 band free");
+        assert_eq!(ch.class_of(2), 1);
+        assert_eq!(ch.occupied(), 3);
+    }
+
+    #[test]
+    fn release_serves_same_class_fifo() {
+        let mut ch = VcChannel::new(2, 1);
+        assert_eq!(ch.alloc_vc(0, MsgId(1)), Some(0));
+        ch.waiting[0].push_back(MsgId(7));
+        ch.waiting[0].push_back(MsgId(8));
+        assert_eq!(ch.release_vc(0, true), Some(MsgId(7)));
+        assert_eq!(ch.vcs[0], Some(MsgId(7)));
+        assert_eq!(ch.release_vc(0, false), None, "down link grants nobody");
+        assert_eq!(ch.vcs[0], None);
+        assert_eq!(ch.waiting[0].front(), Some(&MsgId(8)));
+    }
+
+    #[test]
+    fn pending_request_tracks_the_head() {
+        let mut w = worm3();
+        assert_eq!(w.pending_vc_request(), Some(0), "fresh worm awaits link 0");
+        w.links[0].vc = Some(0);
+        assert_eq!(w.pending_vc_request(), None, "head not across yet");
+        w.links[0].sent = 1;
+        assert_eq!(w.pending_vc_request(), Some(1));
+        w.links[1].vc = Some(0);
+        w.links[1].sent = 1;
+        w.links[2].vc = Some(2);
+        assert_eq!(w.pending_vc_request(), None, "whole route held");
+        assert_eq!(w.head_link(), 1);
+        assert_eq!(w.buffered(), 1);
+        assert_eq!(w.ejected(), 0);
+    }
+}

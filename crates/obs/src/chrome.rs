@@ -225,6 +225,24 @@ impl ChromeTrace {
                     self.end(pid, tid, ts, "");
                 }
             }
+            ObsEvent::WormVcAlloc { msg, chan, vc } => {
+                if let Some((pid, tid)) = layout.link_track(chan) {
+                    let name = format!("vc{vc} <- m{msg}");
+                    self.instant(pid, tid, ts, &name, &format!(r#""msg":{msg},"vc":{vc}"#));
+                }
+            }
+            ObsEvent::WormStall { msg, chan } => {
+                if let Some((pid, tid)) = layout.link_track(chan) {
+                    let name = format!("stall m{msg}");
+                    self.instant(pid, tid, ts, &name, &format!(r#""msg":{msg}"#));
+                }
+            }
+            ObsEvent::WormDrained { msg, chan } => {
+                if let Some((pid, tid)) = layout.link_track(chan) {
+                    let name = format!("drain m{msg}");
+                    self.instant(pid, tid, ts, &name, &format!(r#""msg":{msg}"#));
+                }
+            }
             ObsEvent::MsgDeliver { msg, job, node } => {
                 let name = format!("deliver m{msg}");
                 let args = format!(r#""msg":{msg},"job":{job}"#);

@@ -204,6 +204,32 @@ pub enum ObsEvent {
         /// Jobs remaining in the system after this departure.
         in_system: u32,
     },
+    /// A worm's head acquired a virtual channel on a link (wormhole
+    /// switching only).
+    WormVcAlloc {
+        /// Message id.
+        msg: u32,
+        /// Channel table index.
+        chan: u32,
+        /// Virtual-channel index within the channel.
+        vc: u8,
+    },
+    /// A worm stalled: no free virtual channel (or no credit) on the link
+    /// its head needs.
+    WormStall {
+        /// Message id.
+        msg: u32,
+        /// Channel table index.
+        chan: u32,
+    },
+    /// A link outage (or job kill) drained an in-flight worm; its flits
+    /// are accounted as dropped and the message retries or dies.
+    WormDrained {
+        /// Message id.
+        msg: u32,
+        /// Channel table index.
+        chan: u32,
+    },
     /// Wall-clock time one shard thread of a parallel run spent in one
     /// phase (emitted once per shard and phase after the run, not during
     /// it — simulated `now` carries the run's makespan).

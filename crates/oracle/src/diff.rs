@@ -349,6 +349,9 @@ pub fn run_differential(scenario: &Scenario) -> Result<RunCapture, Divergence> {
             format!("optimized {} vs oracle {}", opt.events, ora.events),
         ));
     }
+    // Conservation is an absolute law, not a relative one: both engines
+    // agreeing on leaked flits would pass every comparison above.
+    crate::invariants::check_flit_conservation(&opt.counters);
     compare_sharded(scenario, &opt)?;
     Ok(opt)
 }

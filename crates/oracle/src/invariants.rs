@@ -14,7 +14,7 @@
 //!   `MachineMetrics` captured — recording *on*.
 
 use parsched_des::SimDuration;
-use parsched_machine::{JobState, JobSummary, Machine, MachineMetrics};
+use parsched_machine::{Counters, JobState, JobSummary, Machine, MachineMetrics};
 use parsched_obs::{ObsEvent, TimedEvent};
 use std::collections::HashMap;
 
@@ -32,6 +32,31 @@ pub fn check_message_conservation(machine: &Machine) {
         c.messages_sent,
         c.messages_consumed,
         c.messages_dropped
+    );
+}
+
+/// Flit and credit conservation under wormhole switching, from the
+/// counters alone (recording off). Every flit a worm injected was either
+/// ejected at a destination or accounted dropped by a drain (link outage
+/// or job kill), and every credit a link transmit consumed was returned
+/// by the downstream buffer drain — nothing leaks, nothing is minted.
+/// Trivially true (all zeros) under the other switching modes, so it is
+/// safe to call unconditionally after any drained run.
+pub fn check_flit_conservation(counters: &Counters) {
+    assert_eq!(
+        counters.flits_injected,
+        counters.flits_ejected + counters.flits_dropped,
+        "flit conservation violated: {} injected != {} ejected + {} dropped",
+        counters.flits_injected,
+        counters.flits_ejected,
+        counters.flits_dropped
+    );
+    assert_eq!(
+        counters.credits_issued,
+        counters.credits_returned,
+        "credit conservation violated: {} issued != {} returned at quiesce",
+        counters.credits_issued,
+        counters.credits_returned
     );
 }
 
@@ -129,6 +154,17 @@ pub fn check_event_stream(events: &[TimedEvent]) {
                 assert!(
                     in_flight.contains_key(&msg) || dropped.contains(&msg),
                     "event {i}: hop of msg {msg} which is not in flight"
+                );
+            }
+            // Wormhole protocol events name in-flight worms (a drain fires
+            // before the retry/drop that disposes of the message, so its
+            // message is still in flight at that point).
+            ObsEvent::WormVcAlloc { msg, .. }
+            | ObsEvent::WormStall { msg, .. }
+            | ObsEvent::WormDrained { msg, .. } => {
+                assert!(
+                    in_flight.contains_key(&msg) || dropped.contains(&msg),
+                    "event {i}: worm event for msg {msg} which is not in flight"
                 );
             }
             ObsEvent::MsgDropped { msg, .. } => {

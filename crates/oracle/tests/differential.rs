@@ -171,6 +171,7 @@ fn coordinated_classes_shard_bit_identically() {
                 case: 9000 + shards as u64, // marks hand-built cases in reports
                 seed: 0,
                 topology: TopologyKind::Linear,
+                system_size: 16,
                 partition_size: 2,
                 class,
                 app: App::MatMul,

@@ -182,6 +182,265 @@ pub fn complete(n: usize) -> Topology {
     Topology::from_adjacency(TopologyKind::Complete, adj)
 }
 
+/// Nodes in a three-level `k`-ary fat-tree: `k³/4` hosts + `k²/2` edge +
+/// `k²/2` aggregation + `k²/4` core switches.
+pub fn fat_tree_size(k: usize) -> usize {
+    k * k * k / 4 + k * k + k * k / 4
+}
+
+/// Three-level k-ary fat-tree (`k` even, >= 2), every vertex a processor:
+/// hosts first (`k³/4`), then per-pod edge switches (`k²/2`), per-pod
+/// aggregation switches (`k²/2`), and core switches (`k²/4`) last. Pod `p`
+/// holds edge/agg switches `p·k/2 .. (p+1)·k/2`; aggregation switch `j` of
+/// every pod uplinks to core group `j` (cores `j·k/2 .. (j+1)·k/2`).
+pub fn fat_tree(k: usize) -> Topology {
+    assert!(k >= 2 && k.is_multiple_of(2), "fat_tree: k must be even and >= 2");
+    let half = k / 2;
+    let hosts = k * k * k / 4;
+    let edges = k * k / 2;
+    let aggs = k * k / 2;
+    let n = fat_tree_size(k);
+    let edge0 = hosts;
+    let agg0 = hosts + edges;
+    let core0 = hosts + edges + aggs;
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::with_capacity(k); n];
+    let connect = |a: usize, b: usize, adj: &mut Vec<Vec<NodeId>>| {
+        adj[a].push(NodeId(b as u16));
+        adj[b].push(NodeId(a as u16));
+    };
+    for hst in 0..hosts {
+        // Pods hold k²/4 hosts, k/2 per edge switch.
+        let pod = hst / (half * half);
+        let j = (hst % (half * half)) / half;
+        connect(hst, edge0 + pod * half + j, &mut adj);
+    }
+    for pod in 0..k {
+        for je in 0..half {
+            for ja in 0..half {
+                connect(edge0 + pod * half + je, agg0 + pod * half + ja, &mut adj);
+            }
+        }
+        for ja in 0..half {
+            // Agg switch ja talks to every core in group ja.
+            for m in 0..half {
+                connect(agg0 + pod * half + ja, core0 + ja * half + m, &mut adj);
+            }
+        }
+    }
+    Topology::from_adjacency(TopologyKind::FatTree { k: k as u16 }, adj)
+}
+
+/// The fat-tree whose vertex count is exactly `n`, if one exists.
+pub fn fat_tree_for(n: usize) -> Option<Topology> {
+    let mut k = 2;
+    while fat_tree_size(k) <= n {
+        if fat_tree_size(k) == n {
+            return Some(fat_tree(k));
+        }
+        k += 2;
+    }
+    None
+}
+
+/// Nodes in a `dragonfly(a, p, h)`: `a·h + 1` groups of `a` routers with
+/// `p` terminals each.
+pub fn dragonfly_size(a: usize, p: usize, h: usize) -> usize {
+    (a * h + 1) * a * (1 + p)
+}
+
+/// Dragonfly with `a` routers per group (complete intra-group graph), `p`
+/// terminals per router, and `h` global links per router; `a·h + 1` groups
+/// with exactly one global link between every group pair (the canonical
+/// consecutive arrangement: group `i`'s global port `q` reaches group
+/// `(i + q + 1) mod g`). Group `i` occupies the index block
+/// `i·a·(1+p) ..`; within it router `r` sits at `r·(1+p)` followed by its
+/// `p` terminals. Routers and terminals are all processors.
+pub fn dragonfly(a: usize, p: usize, h: usize) -> Topology {
+    assert!(a >= 1 && p >= 1 && h >= 1, "dragonfly: need a, p, h >= 1");
+    let groups = a * h + 1;
+    let block = a * (1 + p);
+    let n = dragonfly_size(a, p, h);
+    let router = |g: usize, r: usize| g * block + r * (1 + p);
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let connect = |x: usize, y: usize, adj: &mut Vec<Vec<NodeId>>| {
+        if !adj[x].contains(&NodeId(y as u16)) {
+            adj[x].push(NodeId(y as u16));
+            adj[y].push(NodeId(x as u16));
+        }
+    };
+    for g in 0..groups {
+        for r in 0..a {
+            let rt = router(g, r);
+            for t in 1..=p {
+                connect(rt, rt + t, &mut adj);
+            }
+            for r2 in (r + 1)..a {
+                connect(rt, router(g, r2), &mut adj);
+            }
+            // Global ports q = r·h .. (r+1)·h of this group.
+            for port in 0..h {
+                let q = r * h + port;
+                let peer_group = (g + q + 1) % groups;
+                let q2 = groups - 2 - q;
+                connect(rt, router(peer_group, q2 / h), &mut adj);
+            }
+        }
+    }
+    Topology::from_adjacency(
+        TopologyKind::Dragonfly {
+            a: a as u16,
+            p: p as u16,
+            h: h as u16,
+        },
+        adj,
+    )
+}
+
+/// Index geometry of [`fat_tree`]'s vertex layout, shared by the up/down
+/// router and the virtual-channel class assignment.
+#[derive(Debug, Clone, Copy)]
+pub struct FatTreeGeom {
+    /// Switch radix.
+    pub k: usize,
+    /// `k / 2` (hosts per edge switch, switches per pod level, ...).
+    pub half: usize,
+    /// First edge-switch index (== host count).
+    pub edge0: usize,
+    /// First aggregation-switch index.
+    pub agg0: usize,
+    /// First core-switch index.
+    pub core0: usize,
+}
+
+impl FatTreeGeom {
+    /// Geometry of the `k`-ary fat-tree.
+    pub fn new(k: usize) -> FatTreeGeom {
+        let hosts = k * k * k / 4;
+        FatTreeGeom {
+            k,
+            half: k / 2,
+            edge0: hosts,
+            agg0: hosts + k * k / 2,
+            core0: hosts + k * k,
+        }
+    }
+
+    /// 0 = host, 1 = edge, 2 = aggregation, 3 = core.
+    pub fn level(&self, v: usize) -> u8 {
+        if v < self.edge0 {
+            0
+        } else if v < self.agg0 {
+            1
+        } else if v < self.core0 {
+            2
+        } else {
+            3
+        }
+    }
+
+    /// Pod of a host/edge/aggregation vertex.
+    ///
+    /// # Panics
+    /// Panics for core switches (they belong to every pod).
+    pub fn pod(&self, v: usize) -> usize {
+        match self.level(v) {
+            0 => v / (self.half * self.half),
+            1 => (v - self.edge0) / self.half,
+            2 => (v - self.agg0) / self.half,
+            _ => panic!("core switch {v} belongs to no pod"),
+        }
+    }
+
+    /// Within-pod switch index: a host's edge switch, an edge/agg switch's
+    /// own index, or a core switch's group (== the agg index it serves).
+    pub fn index(&self, v: usize) -> usize {
+        match self.level(v) {
+            0 => (v % (self.half * self.half)) / self.half,
+            1 => (v - self.edge0) % self.half,
+            2 => (v - self.agg0) % self.half,
+            _ => (v - self.core0) / self.half,
+        }
+    }
+
+    /// Edge switch `j` of `pod`.
+    pub fn edge(&self, pod: usize, j: usize) -> usize {
+        self.edge0 + pod * self.half + j
+    }
+
+    /// Aggregation switch `j` of `pod`.
+    pub fn agg(&self, pod: usize, j: usize) -> usize {
+        self.agg0 + pod * self.half + j
+    }
+
+    /// Core switch `m` of `group`.
+    pub fn core(&self, group: usize, m: usize) -> usize {
+        self.core0 + group * self.half + m
+    }
+}
+
+/// Index geometry of [`dragonfly`]'s vertex layout, shared by the minimal
+/// and Valiant routers and the virtual-channel class assignment.
+#[derive(Debug, Clone, Copy)]
+pub struct DragonflyGeom {
+    /// Groups (`a·h + 1`).
+    pub groups: usize,
+    /// Vertices per group (`a·(1+p)`).
+    pub block: usize,
+    /// Vertices per router slot (`1 + p`).
+    pub slot: usize,
+    /// Global links per router.
+    pub h: usize,
+}
+
+impl DragonflyGeom {
+    /// Geometry of `dragonfly(a, p, h)`.
+    pub fn new(a: usize, p: usize, h: usize) -> DragonflyGeom {
+        DragonflyGeom {
+            groups: a * h + 1,
+            block: a * (1 + p),
+            slot: 1 + p,
+            h,
+        }
+    }
+
+    /// Group of a vertex.
+    pub fn group(&self, v: usize) -> usize {
+        v / self.block
+    }
+
+    /// The router a vertex belongs to (itself when it is one).
+    pub fn router_of(&self, v: usize) -> usize {
+        let within = v % self.block;
+        self.group(v) * self.block + (within / self.slot) * self.slot
+    }
+
+    /// True for router vertices (as opposed to terminals).
+    pub fn is_router(&self, v: usize) -> bool {
+        (v % self.block).is_multiple_of(self.slot)
+    }
+
+    /// The gateway router in group `from` that owns the (unique) global
+    /// link toward group `to`.
+    pub fn gateway(&self, from: usize, to: usize) -> usize {
+        debug_assert_ne!(from, to);
+        let q = (to + self.groups - from - 1) % self.groups;
+        from * self.block + (q / self.h) * self.slot
+    }
+}
+
+/// The balanced (`a = 2h`, `p = h`) dragonfly whose vertex count is
+/// exactly `n`, if one exists.
+pub fn dragonfly_for(n: usize) -> Option<Topology> {
+    let mut h = 1;
+    while dragonfly_size(2 * h, h, h) <= n {
+        if dragonfly_size(2 * h, h, h) == n {
+            return Some(dragonfly(2 * h, h, h));
+        }
+        h += 1;
+    }
+    None
+}
+
 /// The hardwired base configuration of the paper's machine: four pipelines
 /// ("naps") of four processors, chained nap-to-nap so the base machine is
 /// connected (one inter-nap link between consecutive naps). The C004
@@ -227,6 +486,15 @@ pub fn by_kind(kind: TopologyKind, n: usize) -> Option<Topology> {
         TopologyKind::Tree => Some(binary_tree(n)),
         TopologyKind::Star => Some(star(n)),
         TopologyKind::Complete => Some(complete(n)),
+        TopologyKind::FatTree { k: 0 } => fat_tree_for(n),
+        TopologyKind::FatTree { k } => {
+            (fat_tree_size(k as usize) == n).then(|| fat_tree(k as usize))
+        }
+        TopologyKind::Dragonfly { a: 0, p: 0, h: 0 } => dragonfly_for(n),
+        TopologyKind::Dragonfly { a, p, h } => {
+            (dragonfly_size(a as usize, p as usize, h as usize) == n)
+                .then(|| dragonfly(a as usize, p as usize, h as usize))
+        }
     }
 }
 
@@ -370,6 +638,67 @@ mod tests {
         assert!(t.is_connected());
         // Root to a deep leaf: down the left spine.
         assert_eq!(t.bfs_distances(NodeId(0))[7], 3);
+    }
+
+    #[test]
+    fn fat_tree_shape() {
+        // k = 4: 16 hosts, 8 edge, 8 agg, 4 core = 36 vertices, degree k.
+        let t = fat_tree(4);
+        assert_eq!(t.len(), 36);
+        assert_eq!(fat_tree_size(4), 36);
+        assert!(t.is_connected());
+        assert_eq!(t.degree(NodeId(0)), 1, "hosts hang off one edge switch");
+        for sw in 16..36 {
+            assert_eq!(t.degree(NodeId(sw)), 4, "switch radix is k");
+        }
+        // Edge count: k²/4 host links per pod × k pods + (k/2)² edge-agg
+        // per pod × k + (k/2)² agg-core per group × k/2 groups... = 16+16+16.
+        assert_eq!(t.edge_count(), 48);
+        assert_eq!(fat_tree_size(2), 7);
+        assert_eq!(fat_tree_size(8), 208);
+        assert_eq!(fat_tree_for(36).unwrap().kind(), TopologyKind::FatTree { k: 4 });
+        assert!(fat_tree_for(37).is_none());
+    }
+
+    #[test]
+    fn dragonfly_shape() {
+        // a=3, p=3, h=1: 4 groups of 3 routers + 9 terminals = 48 vertices.
+        let t = dragonfly(3, 3, 1);
+        assert_eq!(t.len(), 48);
+        assert_eq!(dragonfly_size(3, 3, 1), 48);
+        assert!(t.is_connected());
+        // Router 0 of group 0: 3 terminals + 2 intra-group + 1 global.
+        assert_eq!(t.degree(NodeId(0)), 6);
+        assert_eq!(t.degree(NodeId(1)), 1, "terminals hang off their router");
+        // One global link between every group pair: C(4,2) = 6 globals.
+        let intra = 4 * (3 + 9); // per group: C(3,2) router pairs + 9 terminal links
+        assert_eq!(t.edge_count(), intra + 6);
+        assert_eq!(
+            dragonfly_for(108).unwrap().kind(),
+            TopologyKind::Dragonfly { a: 4, p: 2, h: 2 }
+        );
+        assert!(dragonfly_for(100).is_none());
+    }
+
+    #[test]
+    fn by_kind_modern_topologies() {
+        assert_eq!(by_kind(TopologyKind::FatTree { k: 0 }, 36).unwrap().len(), 36);
+        assert!(by_kind(TopologyKind::FatTree { k: 0 }, 35).is_none());
+        assert_eq!(by_kind(TopologyKind::FatTree { k: 4 }, 36).unwrap().len(), 36);
+        assert!(by_kind(TopologyKind::FatTree { k: 4 }, 16).is_none());
+        assert_eq!(
+            by_kind(TopologyKind::Dragonfly { a: 1, p: 7, h: 1 }, 16)
+                .unwrap()
+                .len(),
+            16
+        );
+        assert!(by_kind(TopologyKind::Dragonfly { a: 1, p: 7, h: 1 }, 12).is_none());
+        assert_eq!(
+            by_kind(TopologyKind::Dragonfly { a: 0, p: 0, h: 0 }, 12)
+                .unwrap()
+                .kind(),
+            TopologyKind::Dragonfly { a: 2, p: 1, h: 1 }
+        );
     }
 
     #[test]

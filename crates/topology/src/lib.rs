@@ -2,11 +2,14 @@
 //!
 //! Interconnection networks for the simulated Transputer multicomputer:
 //! the four topologies the paper configures (linear array, ring, 2-D mesh,
-//! hypercube) plus test/ablation extras, deterministic minimal
-//! [routing](route) (BFS, dimension-order, e-cube),
-//! [graph metrics](metrics) (diameter, average distance, bisection width),
-//! and the [partitioning](partition) of the 16-processor system into equal
-//! sub-machines used by the space-sharing and hybrid policies.
+//! hypercube) plus test/ablation extras and two modern shapes (k-ary
+//! [fat-trees](build::fat_tree) and [dragonflies](build::dragonfly)),
+//! deterministic [routing](route) (BFS, dimension-order, e-cube,
+//! up*/down*, dragonfly minimal/Valiant),
+//! [virtual-channel classes and deadlock analysis](flow) for the wormhole
+//! interconnect, [graph metrics](metrics) (diameter, average distance,
+//! bisection width), and the [partitioning](partition) of the system into
+//! equal sub-machines used by the space-sharing and hybrid policies.
 //!
 //! ```
 //! use parsched_topology::{build, route::Router, types::NodeId};
@@ -19,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod build;
+pub mod flow;
 pub mod metrics;
 pub mod partition;
 pub mod route;
@@ -26,9 +30,11 @@ pub mod shard;
 pub mod types;
 
 pub use build::{
-    binary_tree, by_kind, complete, hypercube, linear, mesh, mesh_for, nap_backbone, ring,
-    star, torus, torus_for,
+    binary_tree, by_kind, complete, dragonfly, dragonfly_for, dragonfly_size, fat_tree,
+    fat_tree_for, fat_tree_size, hypercube, linear, mesh, mesh_for, nap_backbone, ring,
+    star, torus, torus_for, DragonflyGeom, FatTreeGeom,
 };
+pub use flow::{channel_dependency_cycle, vc_class_count, vc_classes};
 pub use metrics::{bisection_width, diameter, distance, metrics, TopologyMetrics};
 pub use partition::{config_label, paper_configs, Partition, PartitionPlan, PlanError};
 pub use route::Router;

@@ -14,10 +14,98 @@
 //! For linear arrays and rings, shortest-path BFS already yields the natural
 //! route (rings break distance ties toward the lower-index neighbor).
 
+use crate::build::{DragonflyGeom, FatTreeGeom};
 use crate::types::{NodeId, Topology, TopologyKind};
 
 /// Sentinel marking "no route" / "self" entries in the next-hop table.
 const NO_HOP: u16 = u16::MAX;
+
+/// One up*/down* step from `cur` toward `dst` (`cur != dst`). Applied
+/// hop-by-hop, so the table walk is self-consistent by construction.
+fn fat_tree_hop(g: &FatTreeGeom, cur: usize, dst: usize) -> usize {
+    // Deterministic steering index for uphill fan-out choices.
+    let steer = dst % g.half;
+    match g.level(cur) {
+        // A host's only link is its edge switch.
+        0 => g.edge(g.pod(cur), g.index(cur)),
+        1 => {
+            let p = g.pod(cur);
+            match g.level(dst) {
+                // My own host: deliver. Anything else below goes up first.
+                0 if g.pod(dst) == p && g.index(dst) == g.index(cur) => dst,
+                // An agg in my pod is directly above me.
+                2 if g.pod(dst) == p => dst,
+                // Core group and foreign-pod aggs pick the agg index that
+                // reaches the destination's column directly.
+                3 => g.agg(p, g.index(dst)),
+                2 => g.agg(p, g.index(dst)),
+                _ => g.agg(p, steer),
+            }
+        }
+        2 => {
+            let p = g.pod(cur);
+            let j = g.index(cur);
+            match g.level(dst) {
+                // Down-cone: descend, steered by the destination.
+                1 if g.pod(dst) == p => dst,
+                0 if g.pod(dst) == p => g.edge(p, g.index(dst)),
+                // My core group: directly above.
+                3 if g.index(dst) == j => dst,
+                // Sibling agg in my pod: one down step, then back up.
+                2 if g.pod(dst) == p => g.edge(p, steer),
+                // Same column in another pod: reachable through my cores.
+                2 if g.index(dst) == j => g.core(j, steer),
+                // Different column: turn through an edge switch, which
+                // climbs to the right column.
+                2 => g.edge(p, steer),
+                3 => g.edge(p, steer),
+                // Host or edge in a foreign pod: climb into my core group.
+                _ => g.core(j, steer),
+            }
+        }
+        _ => {
+            let grp = g.index(cur);
+            match g.level(dst) {
+                // Another core: descend into a deterministic pod, whose
+                // agg either sees the core directly (same group) or turns.
+                3 => g.agg(dst % g.k, grp),
+                2 if g.index(dst) == grp => dst,
+                _ => g.agg(g.pod(dst), grp),
+            }
+        }
+    }
+}
+
+/// One minimal (or Valiant) dragonfly step from `cur` toward `dst`
+/// (`cur != dst`). The Valiant detour group is a deterministic function of
+/// the destination alone, so the hop rule stays consistent table-wide.
+fn dragonfly_hop(g: &DragonflyGeom, cur: usize, dst: usize, valiant: bool) -> usize {
+    // Terminals climb to their router.
+    if !g.is_router(cur) {
+        return g.router_of(cur);
+    }
+    let (gc, gd) = (g.group(cur), g.group(dst));
+    if gc == gd {
+        let rd = g.router_of(dst);
+        // My terminal, or a sibling router / its terminal's router — the
+        // intra-group graph is complete, so one hop reaches any router.
+        return if rd == cur { dst } else { rd };
+    }
+    let target = if valiant {
+        // Detour group: never the destination's group; routers already in
+        // the detour (or destination) group head straight for `gd`.
+        let via = (gd + 1 + dst % (g.groups - 1)) % g.groups;
+        if gc == via { gd } else { via }
+    } else {
+        gd
+    };
+    let gw = g.gateway(gc, target);
+    if cur == gw {
+        g.gateway(target, gc)
+    } else {
+        gw
+    }
+}
 
 /// A complete next-hop table for one topology.
 #[derive(Debug, Clone)]
@@ -156,13 +244,82 @@ impl Router {
         Router { n, table }
     }
 
+    /// Up*/down* routing for a fat-tree: climb toward the core exactly as
+    /// far as needed, then descend. Every path makes at most one down→up
+    /// turn (sibling switches route through a lower level), so two virtual
+    /// channel classes suffice for deadlock freedom (see `flow`). Uphill
+    /// choices are steered by a deterministic function of the destination,
+    /// spreading load without randomness.
+    ///
+    /// # Panics
+    /// Panics if `topo` is not a fat-tree.
+    pub fn fat_tree_updown(topo: &Topology) -> Router {
+        let TopologyKind::FatTree { k } = topo.kind() else {
+            panic!("fat_tree_updown: not a fat-tree: {}", topo.kind());
+        };
+        let g = FatTreeGeom::new(k as usize);
+        let n = topo.len();
+        assert_eq!(n, crate::build::fat_tree_size(k as usize));
+        let mut table = vec![NO_HOP; n * n];
+        for src in 0..n {
+            for dst in 0..n {
+                if src != dst {
+                    table[src * n + dst] = fat_tree_hop(&g, src, dst) as u16;
+                }
+            }
+        }
+        Router { n, table }
+    }
+
+    /// Minimal routing for a dragonfly: local hop to the gateway router,
+    /// one global hop, local hop to the destination router (skipping local
+    /// hops when the current router already is the gateway).
+    ///
+    /// # Panics
+    /// Panics if `topo` is not a dragonfly.
+    pub fn dragonfly_minimal(topo: &Topology) -> Router {
+        Router::dragonfly_table(topo, false)
+    }
+
+    /// Valiant routing for a dragonfly: traffic to a remote group detours
+    /// through a deterministic intermediate group chosen from the
+    /// destination address, bounding per-link load under adversarial
+    /// patterns at the cost of up to two global hops.
+    ///
+    /// # Panics
+    /// Panics if `topo` is not a dragonfly.
+    pub fn dragonfly_valiant(topo: &Topology) -> Router {
+        Router::dragonfly_table(topo, true)
+    }
+
+    fn dragonfly_table(topo: &Topology, valiant: bool) -> Router {
+        let TopologyKind::Dragonfly { a, p, h } = topo.kind() else {
+            panic!("dragonfly router: not a dragonfly: {}", topo.kind());
+        };
+        let g = DragonflyGeom::new(a as usize, p as usize, h as usize);
+        let n = topo.len();
+        assert_eq!(n, crate::build::dragonfly_size(a as usize, p as usize, h as usize));
+        let mut table = vec![NO_HOP; n * n];
+        for src in 0..n {
+            for dst in 0..n {
+                if src != dst {
+                    table[src * n + dst] = dragonfly_hop(&g, src, dst, valiant) as u16;
+                }
+            }
+        }
+        Router { n, table }
+    }
+
     /// The preferred router for a topology: dimension-order for meshes and
-    /// tori, e-cube for hypercubes, BFS otherwise.
+    /// tori, e-cube for hypercubes, up*/down* for fat-trees, minimal for
+    /// dragonflies, BFS otherwise.
     pub fn for_topology(topo: &Topology) -> Router {
         match topo.kind() {
             TopologyKind::Mesh { .. } => Router::dimension_order(topo),
             TopologyKind::Torus { .. } => Router::dimension_order_torus(topo),
             TopologyKind::Hypercube { .. } => Router::ecube(topo),
+            TopologyKind::FatTree { .. } => Router::fat_tree_updown(topo),
+            TopologyKind::Dragonfly { .. } => Router::dragonfly_minimal(topo),
             _ => Router::shortest_path(topo),
         }
     }
@@ -334,6 +491,146 @@ mod tests {
     #[should_panic(expected = "not a hypercube")]
     fn ecube_rejects_non_hypercube() {
         let _ = Router::ecube(&build::mesh(2, 2));
+    }
+
+    /// Path validity without a minimality claim: up*/down* and Valiant
+    /// routes legitimately exceed BFS distance. Samples node pairs on large
+    /// topologies to keep debug-build runtime bounded.
+    fn check_routes(topo: &Topology, r: &Router) {
+        let n = topo.len();
+        assert_eq!(r.len(), n);
+        let stride = (n / 48).max(1);
+        let mut sample: Vec<NodeId> = (0..n).step_by(stride).map(|i| NodeId(i as u16)).collect();
+        sample.push(NodeId((n - 1) as u16));
+        for &src in &sample {
+            for &dst in &sample {
+                let path = r.path(src, dst); // panics on loops and missing routes
+                if src == dst {
+                    assert!(path.is_empty());
+                    continue;
+                }
+                assert_eq!(*path.last().unwrap(), dst, "path must end at {dst}");
+                let mut prev = src;
+                for &hop in &path {
+                    assert!(
+                        topo.adjacent(prev, hop),
+                        "phantom edge {prev}->{hop} on {}",
+                        topo.kind()
+                    );
+                    prev = hop;
+                }
+                assert_eq!(path.len(), r.hops(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn for_topology_routes_every_builder_sampled_2_to_4096() {
+        let topos = [
+            build::linear(2),
+            build::linear(96),
+            build::ring(3),
+            build::ring(257),
+            build::mesh(2, 2),
+            build::mesh(17, 23),
+            build::torus(3, 3),
+            build::torus(64, 64),
+            build::hypercube(1),
+            build::hypercube(12),
+            build::binary_tree(511),
+            build::star(129),
+            build::complete(65),
+            build::nap_backbone(),
+            build::fat_tree(2),
+            build::fat_tree(4),
+            build::fat_tree(8),
+            build::fat_tree(16),
+            build::dragonfly(1, 1, 1),
+            build::dragonfly(3, 3, 1),
+            build::dragonfly(4, 2, 2),
+            build::dragonfly(10, 5, 5),
+        ];
+        for topo in &topos {
+            check_routes(topo, &Router::for_topology(topo));
+        }
+    }
+
+    #[test]
+    fn fat_tree_updown_turns_at_most_once() {
+        let topo = build::fat_tree(4);
+        let g = FatTreeGeom::new(4);
+        let r = Router::fat_tree_updown(&topo);
+        for src in topo.nodes() {
+            for dst in topo.nodes() {
+                if src == dst {
+                    continue;
+                }
+                let path = r.path(src, dst);
+                // Count down->up direction reversals along the path.
+                let mut turns = 0;
+                let mut prev = src;
+                let mut going_down = false;
+                for &hop in &path {
+                    let up = g.level(hop.idx()) > g.level(prev.idx());
+                    if up && going_down {
+                        turns += 1;
+                    }
+                    going_down = !up;
+                    prev = hop;
+                }
+                assert!(turns <= 1, "{src}->{dst} turned {turns} times: {path:?}");
+            }
+        }
+        // Host-to-host across pods is the canonical 6-hop route.
+        assert_eq!(r.hops(NodeId(0), NodeId(15)), 6);
+        // Hosts under one edge switch share it as their only meeting point.
+        assert_eq!(r.hops(NodeId(0), NodeId(1)), 2);
+    }
+
+    #[test]
+    fn dragonfly_minimal_and_valiant_global_hop_budget() {
+        let topo = build::dragonfly(3, 3, 1);
+        let g = DragonflyGeom::new(3, 3, 1);
+        let minimal = Router::dragonfly_minimal(&topo);
+        let valiant = Router::dragonfly_valiant(&topo);
+        for src in topo.nodes() {
+            for dst in topo.nodes() {
+                if src == dst {
+                    continue;
+                }
+                for (r, max_globals, max_hops) in
+                    [(&minimal, 1, 5), (&valiant, 2, 8)]
+                {
+                    let path = r.path(src, dst);
+                    let mut globals = 0;
+                    let mut prev = src;
+                    for &hop in &path {
+                        if g.group(prev.idx()) != g.group(hop.idx()) {
+                            globals += 1;
+                        }
+                        prev = hop;
+                    }
+                    assert!(
+                        globals <= max_globals && path.len() <= max_hops,
+                        "{src}->{dst}: {globals} globals over {} hops",
+                        path.len()
+                    );
+                }
+            }
+        }
+        check_routes(&topo, &valiant);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a fat-tree")]
+    fn fat_tree_router_rejects_other_shapes() {
+        let _ = Router::fat_tree_updown(&build::mesh(2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a dragonfly")]
+    fn dragonfly_router_rejects_other_shapes() {
+        let _ = Router::dragonfly_minimal(&build::ring(4));
     }
 
     #[test]

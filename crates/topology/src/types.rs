@@ -78,6 +78,29 @@ pub enum TopologyKind {
     Star,
     /// All pairs adjacent (an idealized crossbar; used in ablations).
     Complete,
+    /// Three-level k-ary fat-tree (k even): `k³/4` hosts, `k²/2` edge
+    /// switches, `k²/2` aggregation switches, `k²/4` core switches, all
+    /// modelled as processors (switches double as compute nodes, as
+    /// Transputers did). `k = 0` asks [`crate::build::by_kind`] to derive
+    /// `k` from the requested node count.
+    FatTree {
+        /// Switch radix (even, ≥ 2).
+        k: u16,
+    },
+    /// Dragonfly: `a·h + 1` groups of `a` routers (complete graph within a
+    /// group), `p` terminals per router, `h` global links per router, one
+    /// global link between every group pair. Routers and terminals are
+    /// both processors. All-zero parameters ask
+    /// [`crate::build::by_kind`] to derive a balanced `(2h, h, h)`
+    /// configuration from the requested node count.
+    Dragonfly {
+        /// Routers per group.
+        a: u16,
+        /// Terminals per router.
+        p: u16,
+        /// Global links per router.
+        h: u16,
+    },
 }
 
 impl TopologyKind {
@@ -93,6 +116,8 @@ impl TopologyKind {
             TopologyKind::Tree => "t",
             TopologyKind::Star => "s",
             TopologyKind::Complete => "c",
+            TopologyKind::FatTree { .. } => "F",
+            TopologyKind::Dragonfly { .. } => "D",
         }
     }
 }
@@ -108,6 +133,8 @@ impl fmt::Display for TopologyKind {
             TopologyKind::Tree => write!(f, "tree"),
             TopologyKind::Star => write!(f, "star"),
             TopologyKind::Complete => write!(f, "complete"),
+            TopologyKind::FatTree { k } => write!(f, "fattree{k}"),
+            TopologyKind::Dragonfly { a, p, h } => write!(f, "dragonfly{a}x{p}x{h}"),
         }
     }
 }

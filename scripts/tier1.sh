@@ -10,12 +10,16 @@
 # hybrid MPL-2, MPL-capped static, crash + flaky-link fault plan, and a
 # 4096-node torus — each bit-identical to sequential and rerun
 # deterministically, with ineligible configs falling back with a
-# reason), an open-system smoke gate (Poisson and heavy-tailed arrival
-# cells per policy class replay bit-identically and the mean-response
-# curve is monotone in offered load), and a trace-export smoke run. The
-# perf golden check also pins the shard_scale_* and 1024-node t1k_*
-# cells and asserts each t1k family's sequential/2-shard/4-shard goldens
-# are bit-equal, so sharded simulated results are gated there too.
+# reason), a wormhole smoke gate (one bit-identical K = 2 flit-switched
+# case per topology family — torus, fat-tree, dragonfly — inside
+# `shards --smoke`), an open-system smoke gate (Poisson and heavy-tailed
+# arrival cells per policy class replay bit-identically and the
+# mean-response curve is monotone in offered load), and a trace-export
+# smoke run. The perf golden check also pins the shard_scale_* cells,
+# the 1024-node t1k_* cells, and the ~4096-node t4k_* wormhole-vs-
+# store-and-forward cells, asserting each family's sequential/2-shard/
+# 4-shard goldens are bit-equal, so sharded simulated results are gated
+# there too.
 # Everything runs offline; no network access required.
 #
 #   scripts/tier1.sh             the standard gate
