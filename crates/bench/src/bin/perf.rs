@@ -1,8 +1,8 @@
 //! Wall-clock benchmark of the simulator's hot paths.
 //!
 //! ```text
-//! perf [--check] [--quick] [--iters N] [--warmup N] [--save-baseline]
-//!      [--out PATH] [--only NAME[,NAME...]]
+//! perf [--check] [--quick] [--heavy] [--iters N] [--warmup N]
+//!      [--save-baseline] [--out PATH] [--only NAME[,NAME...]]
 //! ```
 //!
 //! Scenarios:
@@ -38,7 +38,15 @@
 //!   §5.2 conjecture at scale; see `parsched_bench::scale::t4k`): one
 //!   topology family per policy class, each switching mode pinned as its
 //!   own golden and each (cell, switching) family asserted shard-count
-//!   independent at K ∈ {1, 2, 4}.
+//!   independent at K ∈ {1, 2, 4};
+//! * `t{16k,64k}_{torus,fattree,dragonfly}_{worm,saf}_{seq,s2,s4}` — the
+//!   t4k cells scaled into the index space the widened `u32` `NodeId`
+//!   opened (16 384–16 640 and 65 728–65 920 processors; every t64k size
+//!   deliberately crosses the old 65 536 ceiling). These are **heavy**
+//!   scenarios: plain runs and `--check` skip them unless `--heavy` is
+//!   passed (or `--only` names one explicitly), so the tier-1 gate stays
+//!   fast while the goldens and their shard families remain pinned for
+//!   the full run.
 //!
 //! Results append to `BENCH_parsched.json` (see `parsched_bench::harness`):
 //! `baseline` medians are captured the first time a scenario appears and
@@ -55,7 +63,7 @@
 //! runs in a couple of seconds.
 
 use parsched_bench::harness::{bench, host_parallelism, BenchOpts, Report, Sample};
-use parsched_bench::scale::{t4k, torus1k, Cell1k, Cell4k};
+use parsched_bench::scale::{t4k, torus1k, tscale, Cell1k, Cell4k, ScalePoint};
 use parsched_machine::Switching;
 use parsched_core::prelude::*;
 use parsched_des::prelude::*;
@@ -177,6 +185,21 @@ fn run_t4k(cell: Cell4k, switching: Switching, shards: usize) -> f64 {
     std::hint::black_box(r.mean_response())
 }
 
+/// One t16k/t64k cell (see `parsched_bench::scale::tscale`): the t4k
+/// experiment scaled past the old `u16` node-index ceiling. Same
+/// no-silent-fallback contract.
+fn run_tscale(cell: Cell4k, point: ScalePoint, switching: Switching, shards: usize) -> f64 {
+    let (cfg, batch) = tscale(cell, point, switching);
+    let r = run_batch_sharded(&cfg, batch, shards).expect("tscale cell simulates");
+    assert_eq!(
+        r.fallback, None,
+        "{}_{} at {shards} shards fell back to sequential",
+        point.label(),
+        cell.label()
+    );
+    std::hint::black_box(r.mean_response())
+}
+
 /// Classic hold-model queue benchmark: fill to `n`, then `ops` rounds of
 /// pop-one push-one with an exponential-ish increment, which keeps the
 /// population (and for the calendar queue, the bucket occupancy) steady.
@@ -246,293 +269,174 @@ fn queue_hold_wheel(n: u64, ops: u64) -> f64 {
 }
 
 struct Scenario {
-    name: &'static str,
+    name: String,
     /// f3 scenarios pin their simulated result in the golden map.
     pinned: bool,
+    /// t16k/t64k cells: skipped by plain runs and `--check` unless
+    /// `--heavy` is passed or `--only` names them explicitly.
+    heavy: bool,
     /// Worker threads the scenario runs with (recorded per sample).
     threads: u32,
-    run: fn() -> Option<f64>,
+    /// Simulated machine size, recorded in the report's `nodes` field
+    /// (`None` for the queue micro-benchmarks).
+    nodes: Option<u64>,
+    run: Box<dyn Fn() -> Option<f64>>,
 }
 
-/// Scenario families whose goldens must be bit-equal: the same simulated
-/// cell at different shard counts.
-const SHARD_FAMILIES: &[&[&str]] = &[
-    &["shard_scale_seq", "shard_scale_s2", "shard_scale_s4"],
-    &["t1k_static_seq", "t1k_static_s2", "t1k_static_s4"],
-    &["t1k_hybrid_seq", "t1k_hybrid_s2", "t1k_hybrid_s4"],
-    &["t1k_faulted_seq", "t1k_faulted_s2", "t1k_faulted_s4"],
-    &["t4k_torus_worm_seq", "t4k_torus_worm_s2", "t4k_torus_worm_s4"],
-    &["t4k_torus_saf_seq", "t4k_torus_saf_s2", "t4k_torus_saf_s4"],
-    &["t4k_fattree_worm_seq", "t4k_fattree_worm_s2", "t4k_fattree_worm_s4"],
-    &["t4k_fattree_saf_seq", "t4k_fattree_saf_s2", "t4k_fattree_saf_s4"],
-    &["t4k_dragonfly_worm_seq", "t4k_dragonfly_worm_s2", "t4k_dragonfly_worm_s4"],
-    &["t4k_dragonfly_saf_seq", "t4k_dragonfly_saf_s2", "t4k_dragonfly_saf_s4"],
+/// The shard counts every sharded family is pinned at, with their
+/// scenario-name suffixes.
+const SHARD_COUNTS: [(usize, &str); 3] = [(1, "seq"), (2, "s2"), (4, "s4")];
+
+/// The two switching modes of the t4k/t16k/t64k cells, with their
+/// scenario-name fragments.
+const SWITCHINGS: [(Switching, &str); 2] = [
+    (Switching::Wormhole, "worm"),
+    (Switching::StoreAndForward, "saf"),
 ];
 
-const SCENARIOS: &[Scenario] = &[
-    Scenario {
-        name: "f3_hc16_ts",
-        pinned: true,
-        threads: 1,
-        run: || Some(run_f3(PolicyKind::TimeSharing, QueueKind::default())),
-    },
-    Scenario {
-        name: "f3_hc16_static",
-        pinned: true,
-        threads: 1,
-        run: || Some(run_f3(PolicyKind::Static, QueueKind::default())),
-    },
-    Scenario {
-        name: "f3_hc16_hybrid",
-        pinned: true,
-        threads: 1,
-        run: || Some(run_f3_mpl(PolicyKind::TimeSharing, QueueKind::default(), Some(4))),
-    },
-    Scenario {
-        name: "f3_hc16_ts_calendar",
-        pinned: false,
-        threads: 1,
-        run: || Some(run_f3(PolicyKind::TimeSharing, QueueKind::Calendar)),
-    },
-    Scenario {
-        name: "queue_hold_heap_n64",
-        pinned: false,
-        threads: 1,
-        run: || {
+/// Scenario families whose goldens must be bit-equal: the same simulated
+/// cell at different shard counts. The flag marks heavy (t16k/t64k)
+/// families, checked only under `--heavy`.
+fn shard_families() -> Vec<(bool, Vec<String>)> {
+    let family = |heavy: bool, stem: String| {
+        (heavy, SHARD_COUNTS.iter().map(|(_, sfx)| format!("{stem}_{sfx}")).collect())
+    };
+    let mut fams = vec![family(false, "shard_scale".into())];
+    for cell in Cell1k::all() {
+        fams.push(family(false, format!("t1k_{}", cell.label())));
+    }
+    for cell in Cell4k::all() {
+        for (_, sw) in SWITCHINGS {
+            fams.push(family(false, format!("t4k_{}_{sw}", cell.label())));
+        }
+    }
+    for point in ScalePoint::all() {
+        for cell in Cell4k::all() {
+            for (_, sw) in SWITCHINGS {
+                fams.push(family(true, format!("{}_{}_{sw}", point.label(), cell.label())));
+            }
+        }
+    }
+    fams
+}
+
+/// Build the full scenario list: the light tier first (always run), then
+/// the heavy t16k/t64k cells (gated behind `--heavy`).
+fn scenarios() -> Vec<Scenario> {
+    fn light(
+        name: &str,
+        pinned: bool,
+        nodes: Option<u64>,
+        run: impl Fn() -> Option<f64> + 'static,
+    ) -> Scenario {
+        Scenario {
+            name: name.to_string(),
+            pinned,
+            heavy: false,
+            threads: 1,
+            nodes,
+            run: Box::new(run),
+        }
+    }
+    let mut v = vec![
+        light("f3_hc16_ts", true, Some(16), || {
+            Some(run_f3(PolicyKind::TimeSharing, QueueKind::default()))
+        }),
+        light("f3_hc16_static", true, Some(16), || {
+            Some(run_f3(PolicyKind::Static, QueueKind::default()))
+        }),
+        light("f3_hc16_hybrid", true, Some(16), || {
+            Some(run_f3_mpl(PolicyKind::TimeSharing, QueueKind::default(), Some(4)))
+        }),
+        light("f3_hc16_ts_calendar", false, Some(16), || {
+            Some(run_f3(PolicyKind::TimeSharing, QueueKind::Calendar))
+        }),
+        light("queue_hold_heap_n64", false, None, || {
             queue_hold(BinaryHeapQueue::new(), 64, 2_000_000);
             None
-        },
-    },
-    Scenario {
-        name: "queue_hold_cal_n64",
-        pinned: false,
-        threads: 1,
-        run: || {
+        }),
+        light("queue_hold_cal_n64", false, None, || {
             queue_hold(CalendarQueue::new(), 64, 2_000_000);
             None
-        },
-    },
-    Scenario {
-        name: "queue_hold_heap_n4096",
-        pinned: false,
-        threads: 1,
-        run: || {
+        }),
+        light("queue_hold_heap_n4096", false, None, || {
             queue_hold(BinaryHeapQueue::new(), 4096, 2_000_000);
             None
-        },
-    },
-    Scenario {
-        name: "queue_hold_cal_n4096",
-        pinned: false,
-        threads: 1,
-        run: || {
+        }),
+        light("queue_hold_cal_n4096", false, None, || {
             queue_hold(CalendarQueue::new(), 4096, 2_000_000);
             None
-        },
-    },
-    Scenario {
-        name: "queue_hold_wheel_n64",
-        pinned: false,
-        threads: 1,
-        run: || {
+        }),
+        light("queue_hold_wheel_n64", false, None, || {
             queue_hold_wheel(64, 2_000_000);
             None
-        },
-    },
-    Scenario {
-        name: "queue_hold_wheel_n4096",
-        pinned: false,
-        threads: 1,
-        run: || {
+        }),
+        light("queue_hold_wheel_n4096", false, None, || {
             queue_hold_wheel(4096, 2_000_000);
             None
-        },
-    },
-    Scenario {
-        name: "shard_scale_seq",
-        pinned: true,
-        threads: 1,
-        run: || Some(run_shard_scale(1)),
-    },
-    Scenario {
-        name: "shard_scale_s2",
-        pinned: true,
-        threads: 2,
-        run: || Some(run_shard_scale(2)),
-    },
-    Scenario {
-        name: "shard_scale_s4",
-        pinned: true,
-        threads: 4,
-        run: || Some(run_shard_scale(4)),
-    },
-    Scenario {
-        name: "t1k_static_seq",
-        pinned: true,
-        threads: 1,
-        run: || Some(run_t1k(Cell1k::Static, 1)),
-    },
-    Scenario {
-        name: "t1k_static_s2",
-        pinned: true,
-        threads: 2,
-        run: || Some(run_t1k(Cell1k::Static, 2)),
-    },
-    Scenario {
-        name: "t1k_static_s4",
-        pinned: true,
-        threads: 4,
-        run: || Some(run_t1k(Cell1k::Static, 4)),
-    },
-    Scenario {
-        name: "t1k_hybrid_seq",
-        pinned: true,
-        threads: 1,
-        run: || Some(run_t1k(Cell1k::Hybrid, 1)),
-    },
-    Scenario {
-        name: "t1k_hybrid_s2",
-        pinned: true,
-        threads: 2,
-        run: || Some(run_t1k(Cell1k::Hybrid, 2)),
-    },
-    Scenario {
-        name: "t1k_hybrid_s4",
-        pinned: true,
-        threads: 4,
-        run: || Some(run_t1k(Cell1k::Hybrid, 4)),
-    },
-    Scenario {
-        name: "t1k_faulted_seq",
-        pinned: true,
-        threads: 1,
-        run: || Some(run_t1k(Cell1k::FaultedTs, 1)),
-    },
-    Scenario {
-        name: "t1k_faulted_s2",
-        pinned: true,
-        threads: 2,
-        run: || Some(run_t1k(Cell1k::FaultedTs, 2)),
-    },
-    Scenario {
-        name: "t1k_faulted_s4",
-        pinned: true,
-        threads: 4,
-        run: || Some(run_t1k(Cell1k::FaultedTs, 4)),
-    },
-    Scenario {
-        name: "t4k_torus_worm_seq",
-        pinned: true,
-        threads: 1,
-        run: || Some(run_t4k(Cell4k::Torus, Switching::Wormhole, 1)),
-    },
-    Scenario {
-        name: "t4k_torus_worm_s2",
-        pinned: true,
-        threads: 2,
-        run: || Some(run_t4k(Cell4k::Torus, Switching::Wormhole, 2)),
-    },
-    Scenario {
-        name: "t4k_torus_worm_s4",
-        pinned: true,
-        threads: 4,
-        run: || Some(run_t4k(Cell4k::Torus, Switching::Wormhole, 4)),
-    },
-    Scenario {
-        name: "t4k_torus_saf_seq",
-        pinned: true,
-        threads: 1,
-        run: || Some(run_t4k(Cell4k::Torus, Switching::StoreAndForward, 1)),
-    },
-    Scenario {
-        name: "t4k_torus_saf_s2",
-        pinned: true,
-        threads: 2,
-        run: || Some(run_t4k(Cell4k::Torus, Switching::StoreAndForward, 2)),
-    },
-    Scenario {
-        name: "t4k_torus_saf_s4",
-        pinned: true,
-        threads: 4,
-        run: || Some(run_t4k(Cell4k::Torus, Switching::StoreAndForward, 4)),
-    },
-    Scenario {
-        name: "t4k_fattree_worm_seq",
-        pinned: true,
-        threads: 1,
-        run: || Some(run_t4k(Cell4k::FatTree, Switching::Wormhole, 1)),
-    },
-    Scenario {
-        name: "t4k_fattree_worm_s2",
-        pinned: true,
-        threads: 2,
-        run: || Some(run_t4k(Cell4k::FatTree, Switching::Wormhole, 2)),
-    },
-    Scenario {
-        name: "t4k_fattree_worm_s4",
-        pinned: true,
-        threads: 4,
-        run: || Some(run_t4k(Cell4k::FatTree, Switching::Wormhole, 4)),
-    },
-    Scenario {
-        name: "t4k_fattree_saf_seq",
-        pinned: true,
-        threads: 1,
-        run: || Some(run_t4k(Cell4k::FatTree, Switching::StoreAndForward, 1)),
-    },
-    Scenario {
-        name: "t4k_fattree_saf_s2",
-        pinned: true,
-        threads: 2,
-        run: || Some(run_t4k(Cell4k::FatTree, Switching::StoreAndForward, 2)),
-    },
-    Scenario {
-        name: "t4k_fattree_saf_s4",
-        pinned: true,
-        threads: 4,
-        run: || Some(run_t4k(Cell4k::FatTree, Switching::StoreAndForward, 4)),
-    },
-    Scenario {
-        name: "t4k_dragonfly_worm_seq",
-        pinned: true,
-        threads: 1,
-        run: || Some(run_t4k(Cell4k::Dragonfly, Switching::Wormhole, 1)),
-    },
-    Scenario {
-        name: "t4k_dragonfly_worm_s2",
-        pinned: true,
-        threads: 2,
-        run: || Some(run_t4k(Cell4k::Dragonfly, Switching::Wormhole, 2)),
-    },
-    Scenario {
-        name: "t4k_dragonfly_worm_s4",
-        pinned: true,
-        threads: 4,
-        run: || Some(run_t4k(Cell4k::Dragonfly, Switching::Wormhole, 4)),
-    },
-    Scenario {
-        name: "t4k_dragonfly_saf_seq",
-        pinned: true,
-        threads: 1,
-        run: || Some(run_t4k(Cell4k::Dragonfly, Switching::StoreAndForward, 1)),
-    },
-    Scenario {
-        name: "t4k_dragonfly_saf_s2",
-        pinned: true,
-        threads: 2,
-        run: || Some(run_t4k(Cell4k::Dragonfly, Switching::StoreAndForward, 2)),
-    },
-    Scenario {
-        name: "t4k_dragonfly_saf_s4",
-        pinned: true,
-        threads: 4,
-        run: || Some(run_t4k(Cell4k::Dragonfly, Switching::StoreAndForward, 4)),
-    },
-];
+        }),
+    ];
+    for (shards, sfx) in SHARD_COUNTS {
+        v.push(Scenario {
+            name: format!("shard_scale_{sfx}"),
+            pinned: true,
+            heavy: false,
+            threads: shards as u32,
+            nodes: Some(64),
+            run: Box::new(move || Some(run_shard_scale(shards))),
+        });
+    }
+    for cell in Cell1k::all() {
+        for (shards, sfx) in SHARD_COUNTS {
+            v.push(Scenario {
+                name: format!("t1k_{}_{sfx}", cell.label()),
+                pinned: true,
+                heavy: false,
+                threads: shards as u32,
+                nodes: Some(1024),
+                run: Box::new(move || Some(run_t1k(cell, shards))),
+            });
+        }
+    }
+    for cell in Cell4k::all() {
+        for (switching, sw) in SWITCHINGS {
+            for (shards, sfx) in SHARD_COUNTS {
+                let nodes = t4k(cell, switching).0.system_size as u64;
+                v.push(Scenario {
+                    name: format!("t4k_{}_{sw}_{sfx}", cell.label()),
+                    pinned: true,
+                    heavy: false,
+                    threads: shards as u32,
+                    nodes: Some(nodes),
+                    run: Box::new(move || Some(run_t4k(cell, switching, shards))),
+                });
+            }
+        }
+    }
+    for point in ScalePoint::all() {
+        for cell in Cell4k::all() {
+            for (switching, sw) in SWITCHINGS {
+                for (shards, sfx) in SHARD_COUNTS {
+                    let nodes = tscale(cell, point, switching).0.system_size as u64;
+                    v.push(Scenario {
+                        name: format!("{}_{}_{sw}_{sfx}", point.label(), cell.label()),
+                        pinned: true,
+                        heavy: true,
+                        threads: shards as u32,
+                        nodes: Some(nodes),
+                        run: Box::new(move || Some(run_tscale(cell, point, switching, shards))),
+                    });
+                }
+            }
+        }
+    }
+    v
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check");
+    let heavy = args.iter().any(|a| a == "--heavy");
     let save_baseline = args.iter().any(|a| a == "--save-baseline");
     if args.iter().any(|a| a == "--quick") {
         QUICK.store(true, Ordering::Relaxed);
@@ -551,18 +455,20 @@ fn main() {
     };
 
     let mut report = Report::load(&out).unwrap_or_default();
+    let scenarios = scenarios();
 
     if check {
         // CI mode: one untimed run of each pinned scenario, compared
-        // bit-exactly against the recorded goldens.
+        // bit-exactly against the recorded goldens. Heavy (t16k/t64k)
+        // cells only join the gate under --heavy.
         if report.golden.is_empty() {
             eprintln!("perf --check: no goldens recorded in {}", out.display());
             std::process::exit(2);
         }
         let mut failed = false;
-        for sc in SCENARIOS.iter().filter(|sc| sc.pinned) {
+        for sc in scenarios.iter().filter(|sc| sc.pinned && (heavy || !sc.heavy)) {
             let got = (sc.run)().expect("pinned scenarios return a metric");
-            match report.golden.get(sc.name) {
+            match report.golden.get(&sc.name) {
                 Some(&bits) if bits == got.to_bits() => {
                     println!("perf --check: {} = {got} (matches golden)", sc.name);
                 }
@@ -583,9 +489,9 @@ fn main() {
         }
         // Shard-count independence: every member of a family pins the
         // same simulated result, bit for bit.
-        for family in SHARD_FAMILIES {
+        for (_, family) in shard_families().iter().filter(|(h, _)| heavy || !h) {
             let bits: Vec<Option<&u64>> =
-                family.iter().map(|n| report.golden.get(*n)).collect();
+                family.iter().map(|n| report.golden.get(n)).collect();
             if bits.iter().any(Option::is_none) {
                 eprintln!("perf --check: family {family:?} has unrecorded goldens");
                 failed = true;
@@ -606,23 +512,24 @@ fn main() {
 
     // --only a,b,c limits the run to the named scenarios (e.g. for
     // profiling one of them); baselines and goldens of the rest persist.
+    // An explicit --only name overrides the heavy gate for that scenario.
     let only = flag("--only");
     if let Some(list) = only {
         for n in list.split(',') {
-            if !SCENARIOS.iter().any(|sc| sc.name == n) {
+            if !scenarios.iter().any(|sc| sc.name == n) {
                 eprintln!("perf: unknown scenario {n:?}; known scenarios:");
-                for sc in SCENARIOS {
+                for sc in &scenarios {
                     eprintln!("  {}", sc.name);
                 }
                 std::process::exit(2);
             }
         }
     }
-    let picked: Vec<&Scenario> = SCENARIOS
+    let picked: Vec<&Scenario> = scenarios
         .iter()
         .filter(|sc| match only {
             Some(list) => list.split(',').any(|n| n == sc.name),
-            None => true,
+            None => heavy || !sc.heavy,
         })
         .collect();
     println!(
@@ -633,9 +540,10 @@ fn main() {
     );
     let mut samples: Vec<Sample> = Vec::new();
     for sc in picked {
-        let mut s = bench(&opts, sc.name, sc.run);
+        let mut s = bench(&opts, &sc.name, &sc.run);
         s.threads = sc.threads;
-        let vs = match report.baseline.get(sc.name) {
+        s.nodes = sc.nodes;
+        let vs = match report.baseline.get(&sc.name) {
             Some(&base) if base > 0 => {
                 let pct = 100.0 * (base as f64 - s.median_ns as f64) / base as f64;
                 format!("{pct:+.1}% vs baseline {:.3}s", base as f64 / 1e9)
@@ -651,7 +559,7 @@ fn main() {
         );
         if sc.pinned {
             let got = s.metric.expect("pinned scenarios return a metric");
-            match report.golden.get(sc.name) {
+            match report.golden.get(&sc.name) {
                 Some(&bits) if bits != got.to_bits() => {
                     eprintln!(
                         "  WARNING: simulated result {got} diverges from golden {}",
@@ -660,14 +568,14 @@ fn main() {
                 }
                 Some(_) => {}
                 None => {
-                    report.golden.insert(sc.name.to_string(), got.to_bits());
+                    report.golden.insert(sc.name.clone(), got.to_bits());
                 }
             }
         }
         // Baselines are frozen once captured: a plain timing run must
         // never silently move the yardstick it is judged against.
-        if save_baseline || !report.baseline.contains_key(sc.name) {
-            report.baseline.insert(sc.name.to_string(), s.median_ns);
+        if save_baseline || !report.baseline.contains_key(&sc.name) {
+            report.baseline.insert(sc.name.clone(), s.median_ns);
         }
         samples.push(s);
     }

@@ -115,7 +115,7 @@ fn main() {
     for node in 0..obs.layout.node_count {
         let id = obs.metrics.ready_depth_id(node);
         for &(t, v) in reg.series(id) {
-            trace.counter(t, node as u32 + 1, "ready_depth", v);
+            trace.counter(t, node + 1, "ready_depth", v);
         }
     }
 

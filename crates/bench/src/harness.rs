@@ -66,6 +66,10 @@ pub struct Sample {
     /// The scenario's simulated result (e.g. mean response time in
     /// seconds), if it produces one; pinned via the report's `golden` map.
     pub metric: Option<f64>,
+    /// Simulated machine size (processors) the scenario models, when it
+    /// models one (`None` for micro-benchmarks); `None` in reports from
+    /// before the field existed.
+    pub nodes: Option<u64>,
 }
 
 /// Time `f` under `opts` and return the measurement. The closure returns
@@ -100,6 +104,7 @@ pub fn bench(opts: &BenchOpts, name: &str, mut f: impl FnMut() -> Option<f64>) -
         min_ns: times[0],
         max_ns: *times.last().unwrap(),
         metric,
+        nodes: None,
     }
 }
 
@@ -161,6 +166,8 @@ impl Report {
                     min_ns: s.get("min_ns")?.as_f64()? as u64,
                     max_ns: s.get("max_ns")?.as_f64()? as u64,
                     metric: s.get("metric").and_then(Value::as_f64),
+                    // Absent in reports from before the field existed.
+                    nodes: s.get("nodes").and_then(Value::as_f64).map(|v| v as u64),
                 });
             }
         }
@@ -200,6 +207,9 @@ impl Report {
             if let Some(m) = s.metric {
                 // `{:?}` prints the shortest digits that round-trip an f64.
                 let _ = write!(out, ", \"metric\": {m:?}");
+            }
+            if let Some(n) = s.nodes {
+                let _ = write!(out, ", \"nodes\": {n}");
             }
             out.push('}');
         }
@@ -441,6 +451,7 @@ mod tests {
             min_ns: 90_000_000,
             max_ns: 110_000_000,
             metric: Some(6.584),
+            nodes: Some(16),
         });
         let text = r.render();
         let back = Report::load_from_str(&text).expect("parses");
@@ -451,6 +462,7 @@ mod tests {
         assert_eq!(back.current[0].threads, 4);
         assert_eq!(back.current[0].median_ns, 98_765_432);
         assert_eq!(back.current[0].metric, Some(6.584));
+        assert_eq!(back.current[0].nodes, Some(16));
     }
 
     #[test]
@@ -467,7 +479,7 @@ mod tests {
 
     #[test]
     fn reports_without_new_fields_still_load() {
-        // A pre-upgrade report: no host_parallelism, no threads.
+        // A pre-upgrade report: no host_parallelism, no threads, no nodes.
         let text = r#"{
   "schema": "parsched-bench/v1",
   "baseline": { "f3": 100 },
@@ -479,6 +491,7 @@ mod tests {
         let back = Report::load_from_str(text).expect("parses");
         assert_eq!(back.host_parallelism, None);
         assert_eq!(back.current[0].threads, 1);
+        assert_eq!(back.current[0].nodes, None);
     }
 
     #[test]

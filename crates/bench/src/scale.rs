@@ -205,6 +205,66 @@ pub fn t4k(cell: Cell4k, switching: Switching) -> (ExperimentConfig, Vec<JobSpec
     (cfg, batch)
 }
 
+/// The two machine sizes of the t16k/t64k cells: the scale band the
+/// widened `u32` node index space opened up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalePoint {
+    /// ~16k processors (16 384 / 16 640 / 16 640 by family).
+    T16k,
+    /// ~64k processors. Every family's size deliberately *crosses* the
+    /// old 65 536-node ceiling (65 792 / 65 728 / 65 920), so the cells
+    /// construct and simulate machines whose node indices do not fit the
+    /// pre-widening `u16` — the exact space the silent-truncation bug
+    /// corrupted.
+    T64k,
+}
+
+impl ScalePoint {
+    /// Scenario-name prefix (`t16k_...` / `t64k_...`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ScalePoint::T16k => "t16k",
+            ScalePoint::T64k => "t64k",
+        }
+    }
+
+    /// Both sizes, in report order.
+    pub fn all() -> [ScalePoint; 2] {
+        [ScalePoint::T16k, ScalePoint::T64k]
+    }
+}
+
+/// Partition count for one (family, size) cell. Partition shapes are the
+/// t4k ones (8x8 torus / `fat_tree(8)` / `dragonfly(4,3,1)`); the counts
+/// are the smallest multiples-of-four that reach the size band (divisible
+/// by four so shard counts 2 and 4 cut along whole partitions).
+pub fn tscale_parts(cell: Cell4k, point: ScalePoint) -> usize {
+    match (cell, point) {
+        (Cell4k::Torus, ScalePoint::T16k) => 256,      // 16 384
+        (Cell4k::Torus, ScalePoint::T64k) => 1028,     // 65 792
+        (Cell4k::FatTree, ScalePoint::T16k) => 80,     // 16 640
+        (Cell4k::FatTree, ScalePoint::T64k) => 316,    // 65 728
+        (Cell4k::Dragonfly, ScalePoint::T16k) => 208,  // 16 640
+        (Cell4k::Dragonfly, ScalePoint::T64k) => 824,  // 65 920
+    }
+}
+
+/// One t16k/t64k cell: the t4k experiment's (family, policy, switching)
+/// structure scaled to 16k or 64k processors. The batch stays the 8-job
+/// relay family — the cells pin *simulator* behavior (construction,
+/// routing, wormhole flow control, shard merge) at machine sizes past the
+/// old `u16` ceiling, not machine-saturating load; the ranking experiment
+/// (`scale --ranking`) is what loads every partition.
+pub fn tscale(cell: Cell4k, point: ScalePoint, switching: Switching) -> (ExperimentConfig, Vec<JobSpec>) {
+    let (base_cfg, batch) = t4k(cell, switching);
+    let partition = base_cfg.partition_size;
+    let cfg = ExperimentConfig {
+        system_size: partition * tscale_parts(cell, point),
+        ..base_cfg
+    };
+    (cfg, batch)
+}
+
 /// The 4096-node smoke case: 64 x 64 torus, sixty-four 64-node
 /// partitions, 8 wide jobs under free-mode time-sharing.
 pub fn torus4k() -> (ExperimentConfig, Vec<JobSpec>) {
@@ -246,6 +306,37 @@ mod tests {
         }
         let (cfg, _) = torus4k();
         assert_eq!(shard_eligibility(&cfg), Ok(ShardMode::Free));
+    }
+
+    #[test]
+    fn tscale_cells_tile_and_cross_the_old_ceiling() {
+        for cell in Cell4k::all() {
+            for point in ScalePoint::all() {
+                let (cfg, batch) = tscale(cell, point, Switching::Wormhole);
+                assert_eq!(
+                    cfg.system_size,
+                    cfg.partition_size * tscale_parts(cell, point),
+                    "{cell:?}/{point:?} does not tile"
+                );
+                assert_eq!(tscale_parts(cell, point) % 4, 0, "{cell:?}/{point:?}");
+                match point {
+                    ScalePoint::T16k => {
+                        assert!((16_384..=16_640).contains(&cfg.system_size), "{cell:?}")
+                    }
+                    // The t64k sizes must cross the old u16 index ceiling,
+                    // or the cells would never touch the widened space.
+                    ScalePoint::T64k => {
+                        assert!(cfg.system_size > 65_536, "{cell:?} stays under 65 536")
+                    }
+                }
+                let expected = match cell {
+                    Cell4k::Dragonfly => ShardMode::Free,
+                    _ => ShardMode::Coordinated,
+                };
+                assert_eq!(shard_eligibility(&cfg), Ok(expected), "{cell:?}/{point:?}");
+                assert!(batch.iter().all(|j| j.width() == 64));
+            }
+        }
     }
 
     #[test]

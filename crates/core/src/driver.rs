@@ -571,10 +571,10 @@ impl Driver {
 
     /// The surviving (alive) nodes of a partition, in index order. The
     /// full contiguous range on a fault-free run.
-    fn alive_nodes(&self, part: usize) -> Vec<u16> {
+    fn alive_nodes(&self, part: usize) -> Vec<u32> {
         let base = self.plan.partitions[part].base;
         (base..base + self.plan.partition_size)
-            .map(|n| n as u16)
+            .map(|n| n as u32)
             .filter(|&n| self.machine.node_alive(n))
             .collect()
     }
@@ -582,7 +582,7 @@ impl Driver {
     /// A partition can host jobs while at least one of its nodes is alive.
     fn partition_alive(&self, part: usize) -> bool {
         let base = self.plan.partitions[part].base;
-        (base..base + self.plan.partition_size).any(|n| self.machine.node_alive(n as u16))
+        (base..base + self.plan.partition_size).any(|n| self.machine.node_alive(n as u32))
     }
 
     /// Admit `idx` to the least-loaded partition that is alive and has a
@@ -998,13 +998,13 @@ impl Driver {
              blocked-alloc={balloc} finished={done}\n"
         ));
         let dead: Vec<usize> = (0..self.machine.node_count())
-            .filter(|&n| !self.machine.node_alive(n as u16))
+            .filter(|&n| !self.machine.node_alive(n as u32))
             .collect();
         if !dead.is_empty() {
             out.push_str(&format!("dead nodes: {dead:?}\n"));
         }
         for n in 0..self.machine.node_count() {
-            let node = self.machine.node(n as u16);
+            let node = self.machine.node(n as u32);
             if node.mmu.queue_len() > 0 {
                 out.push_str(&format!(
                     "node {n}: mmu queue {} (used {}/{})\n",
@@ -1238,7 +1238,7 @@ mod tests {
         }
     }
 
-    fn crash(node: u16, ms: u64) -> parsched_machine::FaultPlan {
+    fn crash(node: u32, ms: u64) -> parsched_machine::FaultPlan {
         let mut faults = parsched_machine::FaultPlan::default();
         faults.crashes.push(parsched_machine::NodeCrash {
             node,

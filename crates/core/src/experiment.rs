@@ -289,7 +289,7 @@ fn execute(
             .downcast_mut::<CollectRecorder>()
             .expect("installed a CollectRecorder above");
         let layout = TraceLayout {
-            node_count: machine.net().nodes() as u16,
+            node_count: u32::try_from(machine.net().nodes()).expect("node count exceeds u32"),
             links: machine
                 .net()
                 .channels()

@@ -149,8 +149,8 @@ impl Placement {
     /// Map every rank of a `width`-process job onto a partition of
     /// `size` processors starting at global index `base`. `job_index` is
     /// the job's admission index (used by the staggered mappings).
-    pub fn assign(self, base: usize, size: usize, width: usize, job_index: usize) -> Vec<u16> {
-        let nodes: Vec<u16> = (base..base + size).map(|n| n as u16).collect();
+    pub fn assign(self, base: usize, size: usize, width: usize, job_index: usize) -> Vec<u32> {
+        let nodes: Vec<u32> = (base..base + size).map(|n| n as u32).collect();
         self.assign_nodes(&nodes, width, job_index)
     }
 
@@ -158,7 +158,7 @@ impl Placement {
     /// of a partition after faults). With the full contiguous list this is
     /// exactly [`Placement::assign`]; with a shorter list the same mapping
     /// formulas apply over the remaining processors in order.
-    pub fn assign_nodes(self, nodes: &[u16], width: usize, job_index: usize) -> Vec<u16> {
+    pub fn assign_nodes(self, nodes: &[u32], width: usize, job_index: usize) -> Vec<u32> {
         let size = nodes.len();
         assert!(size >= 1);
         (0..width)
@@ -255,7 +255,7 @@ mod tests {
 
     #[test]
     fn assign_nodes_matches_assign_on_full_partition() {
-        let nodes: Vec<u16> = (8..12).collect();
+        let nodes: Vec<u32> = (8..12).collect();
         for placement in [Placement::Staggered, Placement::RoundRobin, Placement::Blocked] {
             for width in [1, 4, 6, 16] {
                 for j in 0..5 {

@@ -32,7 +32,7 @@ use parsched_des::{SimDuration, SimTime};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NodeCrash {
     /// Global processor index.
-    pub node: u16,
+    pub node: u32,
     /// When the node stops.
     pub at: SimTime,
 }
@@ -45,9 +45,9 @@ pub struct NodeCrash {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LinkWindow {
     /// One endpoint.
-    pub from: u16,
+    pub from: u32,
     /// The other endpoint.
-    pub to: u16,
+    pub to: u32,
     /// When the link goes down.
     pub down_at: SimTime,
     /// When it comes back up (must be finite and after `down_at`).
@@ -137,7 +137,7 @@ impl FaultPlan {
     /// mailbox capacity, retry policy) apply machine-wide and are copied
     /// verbatim: the per-channel drop streams make the slice draw exactly
     /// the sequential numbers on the channels it owns.
-    pub fn slice_for_nodes(&self, owns: impl Fn(u16) -> bool) -> FaultPlan {
+    pub fn slice_for_nodes(&self, owns: impl Fn(u32) -> bool) -> FaultPlan {
         FaultPlan {
             crashes: self.crashes.iter().copied().filter(|c| owns(c.node)).collect(),
             links: self

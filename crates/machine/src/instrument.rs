@@ -82,14 +82,14 @@ impl MachineMetrics {
     /// Record a node's CPU busy signal (0.0 or 1.0); idle is kept as the
     /// exact complement.
     #[inline]
-    pub fn set_cpu_busy(&mut self, node: u16, now: SimTime, busy: f64) {
+    pub fn set_cpu_busy(&mut self, node: u32, now: SimTime, busy: f64) {
         self.registry.set(self.cpu_busy[node as usize], now, busy);
         self.registry.set(self.cpu_idle[node as usize], now, 1.0 - busy);
     }
 
     /// Record a node's low-priority ready-queue depth.
     #[inline]
-    pub fn set_ready_depth(&mut self, node: u16, now: SimTime, depth: usize) {
+    pub fn set_ready_depth(&mut self, node: u32, now: SimTime, depth: usize) {
         self.registry
             .set(self.ready_depth[node as usize], now, depth as f64);
     }
@@ -163,17 +163,17 @@ impl MachineMetrics {
     }
 
     /// Gauge handle for a node's busy signal.
-    pub fn cpu_busy_id(&self, node: u16) -> GaugeId {
+    pub fn cpu_busy_id(&self, node: u32) -> GaugeId {
         self.cpu_busy[node as usize]
     }
 
     /// Gauge handle for a node's idle signal.
-    pub fn cpu_idle_id(&self, node: u16) -> GaugeId {
+    pub fn cpu_idle_id(&self, node: u32) -> GaugeId {
         self.cpu_idle[node as usize]
     }
 
     /// Gauge handle for a node's ready-queue depth.
-    pub fn ready_depth_id(&self, node: u16) -> GaugeId {
+    pub fn ready_depth_id(&self, node: u32) -> GaugeId {
         self.ready_depth[node as usize]
     }
 
@@ -200,7 +200,7 @@ mod tests {
 
     #[test]
     fn registers_gauges_for_every_resource() {
-        let net = SystemNet::single(&build::ring(4));
+        let net = SystemNet::single(&build::ring(4).unwrap());
         let m = MachineMetrics::new(&net, SimTime::ZERO);
         let names: Vec<&str> = m.registry.gauges().map(|(n, _)| n).collect();
         assert!(names.contains(&"node0.cpu_busy"));
@@ -218,7 +218,7 @@ mod tests {
 
     #[test]
     fn busy_idle_complement_is_exact() {
-        let net = SystemNet::single(&build::linear(1));
+        let net = SystemNet::single(&build::linear(1).unwrap());
         let mut m = MachineMetrics::new(&net, SimTime::ZERO);
         m.set_cpu_busy(0, SimTime(7), 1.0);
         m.set_cpu_busy(0, SimTime(19), 0.0);

@@ -20,7 +20,7 @@
 //!
 //! let mut machine = Machine::new(
 //!     MachineConfig::default(),
-//!     SystemNet::single(&build::ring(4)),
+//!     SystemNet::single(&build::ring(4).unwrap()),
 //! );
 //! let job = machine.queue_job(
 //!     JobSpec {

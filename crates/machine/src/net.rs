@@ -43,27 +43,27 @@ pub struct Message {
     /// Mailbox tag.
     pub tag: Tag,
     /// Global node the sender injected from.
-    pub src_node: u16,
+    pub src_node: u32,
     /// Global node of the receiver.
-    pub dst_node: u16,
+    pub dst_node: u32,
     /// Route length in edges (0 for self-sends).
-    pub hops: u16,
+    pub hops: u32,
     /// Node holding the (store-and-forward) buffered copy.
-    pub at_node: u16,
+    pub at_node: u32,
     /// Cut-through: head of the next edge to enqueue (the route walked
     /// `edges_started` hops from `src_node`).
-    pub front_node: u16,
+    pub front_node: u32,
     /// Cut-through: node the head has fully crossed to (the route walked
     /// `edges_done` hops from `src_node`).
-    pub done_node: u16,
+    pub done_node: u32,
     /// Cut-through: number of route edges whose transfer has completed.
-    pub edges_done: u16,
+    pub edges_done: u32,
     /// Cut-through: number of route edges enqueued on their channel so far.
-    pub edges_started: u16,
+    pub edges_started: u32,
     /// When the sender injected it.
     pub injected_at: SimTime,
     /// Node currently charged for this message's buffer, if any.
-    pub buffered_on: Option<u16>,
+    pub buffered_on: Option<u32>,
     /// Retransmissions performed so far (fault plan; 0 on a clean network).
     pub attempts: u32,
     /// A hop corrupted the payload; the delivery checksum will reject it.
@@ -94,7 +94,7 @@ impl Message {
 
     /// The node the buffered copy currently sits on.
     #[inline]
-    pub fn current_node(&self) -> u16 {
+    pub fn current_node(&self) -> u32 {
         self.at_node
     }
 }
@@ -103,9 +103,9 @@ impl Message {
 #[derive(Debug)]
 pub struct ChannelState {
     /// Sending endpoint (global).
-    pub from: u16,
+    pub from: u32,
     /// Receiving endpoint (global).
-    pub to: u16,
+    pub to: u32,
     /// Message currently occupying the channel.
     pub busy_with: Option<MsgId>,
     /// FIFO of messages waiting for the channel.
@@ -128,7 +128,7 @@ impl ChannelState {
     }
 
     /// An idle channel.
-    pub fn new(from: u16, to: u16, t0: SimTime) -> ChannelState {
+    pub fn new(from: u32, to: u32, t0: SimTime) -> ChannelState {
         ChannelState {
             from,
             to,
@@ -146,7 +146,7 @@ impl ChannelState {
 mod tests {
     use super::*;
 
-    fn msg(src: u16, dst: u16, hops: u16) -> Message {
+    fn msg(src: u32, dst: u32, hops: u32) -> Message {
         Message {
             id: MsgId(0),
             job: JobId(0),

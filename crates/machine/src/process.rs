@@ -66,7 +66,7 @@ pub struct Process {
     pub rank: Rank,
     /// Global processor this process is pinned to (the paper's system has
     /// no migration).
-    pub node: u16,
+    pub node: u32,
     /// The straight-line program.
     pub program: Vec<Op>,
     /// Index of the op currently being executed / examined.
@@ -103,7 +103,7 @@ impl Process {
         key: ProcKey,
         job: JobId,
         rank: Rank,
-        node: u16,
+        node: u32,
         program: Vec<Op>,
         quantum: SimDuration,
         now: SimTime,

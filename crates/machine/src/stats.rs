@@ -190,7 +190,7 @@ impl MachineStats {
         let mut delayed = 0;
         let mut wait = SimDuration::ZERO;
         for i in 0..n {
-            let node = machine.node(i as u16);
+            let node = machine.node(u32::try_from(i).expect("node index exceeds u32"));
             cpu_utilization.push(node.cpu.busy.mean(at));
             ctx_switches += node.cpu.ctx_switches;
             handler_runs += node.cpu.handler_runs;

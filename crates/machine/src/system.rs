@@ -43,12 +43,12 @@ pub enum Event {
     /// Poke a node's CPU to dispatch if idle.
     Dispatch {
         /// Global node index.
-        node: u16,
+        node: u32,
     },
     /// The running item on `node` reached its scheduled boundary.
     SliceEnd {
         /// Global node index.
-        node: u16,
+        node: u32,
         /// Dispatch sequence (stale events are ignored).
         seq: u64,
     },
@@ -73,7 +73,7 @@ pub enum Event {
     /// A starved transit buffer request escapes to the emergency pool.
     AllocEscape {
         /// Node whose MMU queue holds the request.
-        node: u16,
+        node: u32,
         /// The waiting message.
         msg: MsgId,
         /// Slot generation at schedule time. Message slots are recycled,
@@ -93,7 +93,7 @@ pub enum Event {
     /// of the CPU), so no in-transit message is stranded.
     NodeCrash {
         /// Global node index.
-        node: u16,
+        node: u32,
     },
     /// A declared link-outage window opens.
     LinkDown {
@@ -164,11 +164,11 @@ pub struct JobRuntime {
     /// Name from the [`JobSpec`].
     pub name: String,
     /// rank -> global node.
-    pub placement: Vec<u16>,
+    pub placement: Vec<u32>,
     /// rank -> process key (filled at spawn).
     pub proc_keys: Vec<ProcKey>,
     /// Memory charged per node, for release at completion.
-    pub mem_per_node: Vec<(u16, u64)>,
+    pub mem_per_node: Vec<(u32, u64)>,
     /// Outstanding job-load allocations.
     pub pending_allocs: u32,
     /// Processes not yet finished.
@@ -486,7 +486,7 @@ impl Machine {
 
     /// Sample a node's CPU busy signal into the metrics registry.
     #[inline]
-    fn note_cpu_busy(&mut self, node: u16, now: SimTime, busy: f64) {
+    fn note_cpu_busy(&mut self, node: u32, now: SimTime, busy: f64) {
         if let Some(m) = self.metrics.as_deref_mut() {
             m.set_cpu_busy(node, now, busy);
         }
@@ -494,7 +494,7 @@ impl Machine {
 
     /// Sample a node's ready-queue depth into the metrics registry.
     #[inline]
-    fn note_ready_depth(&mut self, node: u16, now: SimTime) {
+    fn note_ready_depth(&mut self, node: u32, now: SimTime) {
         if self.metrics.is_some() {
             let depth = self.nodes[node as usize].cpu.ready_depth();
             if let Some(m) = self.metrics.as_deref_mut() {
@@ -593,7 +593,7 @@ impl Machine {
     }
 
     /// Per-node state (read-only).
-    pub fn node(&self, n: u16) -> &Node {
+    pub fn node(&self, n: u32) -> &Node {
         &self.nodes[n as usize]
     }
 
@@ -670,7 +670,7 @@ impl Machine {
     pub fn queue_job(
         &mut self,
         spec: JobSpec,
-        placement: Vec<u16>,
+        placement: Vec<u32>,
         quantum: SimDuration,
     ) -> JobId {
         self.queue_job_with(spec, placement, quantum, true)
@@ -682,7 +682,7 @@ impl Machine {
     pub fn queue_job_with(
         &mut self,
         spec: JobSpec,
-        placement: Vec<u16>,
+        placement: Vec<u32>,
         quantum: SimDuration,
         auto_start: bool,
     ) -> JobId {
@@ -705,7 +705,7 @@ impl Machine {
         let id = JobId(self.jobs.len() as u32);
         let width = spec.width();
         // Sum the per-node memory demand once.
-        let mut per_node: Vec<(u16, u64)> = Vec::new();
+        let mut per_node: Vec<(u32, u64)> = Vec::new();
         for (rank, p) in spec.procs.iter().enumerate() {
             let node = placement[rank];
             match per_node.iter_mut().find(|(n, _)| *n == node) {
@@ -803,7 +803,7 @@ impl Machine {
     }
 
     /// False once the node's CPU has fail-stopped (fault plan).
-    pub fn node_alive(&self, n: u16) -> bool {
+    pub fn node_alive(&self, n: u32) -> bool {
         !self.dead[n as usize]
     }
 
@@ -1230,7 +1230,7 @@ impl Machine {
     // ------------------------------------------------------------------
 
     /// Enqueue high-priority work on a node, preempting low-priority work.
-    fn enqueue_high(&mut self, node: u16, task: HandlerTask, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+    fn enqueue_high(&mut self, node: u32, task: HandlerTask, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         if let HandlerAction::HopArrived(m) = task.action {
             self.ref_msg(m);
         }
@@ -1284,7 +1284,7 @@ impl Machine {
     }
 
     /// Start the next item on an idle CPU.
-    fn dispatch(&mut self, node: u16, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+    fn dispatch(&mut self, node: u32, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         let cpu = &mut self.nodes[node as usize].cpu;
         if cpu.running.is_some() || cpu.hold {
             return;
@@ -1338,7 +1338,7 @@ impl Machine {
         self.obs(now, ObsEvent::QuantumStart { node, job, rank });
     }
 
-    fn on_slice_end(&mut self, node: u16, seq: u64, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+    fn on_slice_end(&mut self, node: u32, seq: u64, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         let cpu = &mut self.nodes[node as usize].cpu;
         let Some(running) = cpu.running else {
             return; // stale
@@ -1511,10 +1511,12 @@ impl Machine {
             (p.job, p.rank, p.node, to, bytes, tag)
         };
         let dst_node = self.jobs[job.idx()].placement[to.idx()];
-        let hops = self
-            .net
-            .hops(node, dst_node)
-            .expect("job placement spans partitions") as u16;
+        let hops = u32::try_from(
+            self.net
+                .hops(node, dst_node)
+                .expect("job placement spans partitions"),
+        )
+        .expect("hop count exceeds u32");
         let id = self.alloc_msg(Message {
             id: MsgId(0), // overwritten by alloc_msg
             job,
@@ -1547,7 +1549,7 @@ impl Machine {
                 job: job.0,
                 src: node,
                 dst: dst_node,
-                bytes,
+                bytes: u32::try_from(bytes).unwrap_or(u32::MAX),
             },
         );
         let buf = bytes + self.cfg.msg_header_bytes;
@@ -1699,7 +1701,7 @@ impl Machine {
     }
 
     /// A starved transit request escapes to the emergency pool.
-    fn on_alloc_escape(&mut self, node: u16, msg: MsgId, gen: u32, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+    fn on_alloc_escape(&mut self, node: u32, msg: MsgId, gen: u32, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         if self.msg_gen[msg.idx()] != gen {
             return; // the slot was recycled; this timer's message is gone
         }
@@ -2056,6 +2058,7 @@ impl Machine {
         match granted {
             Some(vc) => {
                 let wh = self.wormhole.as_mut().expect("wormhole state");
+                wh.held += 1;
                 wh.worm_mut(msg).expect("worm gone").links[link].vc = Some(vc);
                 self.counters.vc_allocs += 1;
                 self.obs(now, ObsEvent::WormVcAlloc { msg: msg.0, chan: chan as u32, vc });
@@ -2282,12 +2285,16 @@ impl Machine {
             (l.chan as usize, l.vc.take().expect("releasing unheld VC"))
         };
         let up = self.channels[chan].up;
-        let granted = self
-            .wormhole
-            .as_mut()
-            .expect("wormhole state")
-            .chans[chan]
-            .release_vc(vc, up);
+        let granted = {
+            let wh = self.wormhole.as_mut().expect("wormhole state");
+            let granted = wh.chans[chan].release_vc(vc, up);
+            if granted.is_none() {
+                // A served waiter keeps the slot held; only a true free
+                // drops the occupancy count.
+                wh.held -= 1;
+            }
+            granted
+        };
         if let Some(next) = granted {
             let next_link = self.worm_link_on(next, chan);
             let wh = self.wormhole.as_mut().expect("wormhole state");
@@ -2381,7 +2388,7 @@ impl Machine {
         true
     }
 
-    fn run_handler_action(&mut self, action: HandlerAction, node: u16, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+    fn run_handler_action(&mut self, action: HandlerAction, node: u32, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         match action {
             HandlerAction::PacketRelay(_) => {
                 // Pure CPU cost; the pipeline drives itself.
@@ -2665,6 +2672,7 @@ impl Machine {
                     }
                 }
             }
+            self.wormhole.as_mut().expect("wormhole state").held += grants.len();
             for (msg, vc) in grants {
                 let link = self.worm_link_on(msg, ci);
                 self.wormhole
@@ -2687,7 +2695,7 @@ impl Machine {
     /// not started); the node's link engines keep forwarding other jobs'
     /// traffic. Messages never cross jobs, so no surviving job ever
     /// addresses the dead CPU.
-    fn on_node_crash(&mut self, node: u16, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+    fn on_node_crash(&mut self, node: u32, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         if self.dead[node as usize] {
             return;
         }
@@ -2721,7 +2729,7 @@ impl Machine {
             return; // a second fault raced the first kill
         }
         let keys = self.jobs[job.idx()].proc_keys.clone();
-        let mut redispatch: Vec<u16> = Vec::new();
+        let mut redispatch: Vec<u32> = Vec::new();
         for pk in keys {
             let (state, node) = {
                 let p = &self.procs[pk.idx()];
@@ -2792,7 +2800,7 @@ impl Machine {
             .filter(|m| m.job == job && !m.cancelled)
             .map(|m| m.id)
             .collect();
-        let mut releases: Vec<(u16, u64)> = Vec::new();
+        let mut releases: Vec<(u32, u64)> = Vec::new();
         for &msg in &owned {
             // A dying job's in-flight worm is torn out of the network
             // first (no retry — the sweep below accounts the drop).
@@ -2877,7 +2885,7 @@ impl Machine {
     // ------------------------------------------------------------------
 
     /// Release memory on a node and grant whatever queued requests now fit.
-    fn release_memory(&mut self, node: u16, bytes: u64, now: SimTime, sched: &mut impl EventScheduler<Event>) {
+    fn release_memory(&mut self, node: u32, bytes: u64, now: SimTime, sched: &mut impl EventScheduler<Event>) {
         self.nodes[node as usize].mmu.release(now, bytes);
         let granted = self.nodes[node as usize].mmu.pump(now);
         for req in granted {
@@ -2949,7 +2957,7 @@ mod tests {
     use parsched_topology::{build, PartitionPlan, TopologyKind};
 
     fn single_node_machine() -> Machine {
-        Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(1)))
+        Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(1).unwrap()))
     }
 
     fn compute_spec(name: &str, ms: u64, mem: u64) -> JobSpec {
@@ -3041,7 +3049,7 @@ mod tests {
             host_link_per_byte: SimDuration::from_micros(1), // 1 ms per KB
             ..MachineConfig::default()
         };
-        let mut m = Machine::new(cfg, SystemNet::single(&build::linear(2)));
+        let mut m = Machine::new(cfg, SystemNet::single(&build::linear(2).unwrap()));
         let a = m.queue_job(compute_spec("a", 1, 10_000), vec![0], SimDuration::from_millis(2));
         let b = m.queue_job(compute_spec("b", 1, 10_000), vec![1], SimDuration::from_millis(2));
         let mut engine: Engine<Event> = Engine::new(QueueKind::BinaryHeap);
@@ -3062,7 +3070,7 @@ mod tests {
             host_link_per_byte: SimDuration::from_micros(1),
             ..MachineConfig::default()
         };
-        let mut m = Machine::new(cfg, SystemNet::single(&build::linear(1)));
+        let mut m = Machine::new(cfg, SystemNet::single(&build::linear(1).unwrap()));
         let mut spec = compute_spec("light", 1, 100_000);
         spec.ship_bytes = 1_000; // resident 100 KB but only 1 KB shipped
         let id = m.queue_job(spec, vec![0], SimDuration::from_millis(2));
@@ -3119,7 +3127,7 @@ mod tests {
 
     #[test]
     fn counters_track_a_simple_exchange() {
-        let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(2)));
+        let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(2).unwrap()));
         let spec = JobSpec {
             name: "pair".into(),
             ship_bytes: 0,
@@ -3163,7 +3171,7 @@ mod tests {
             faults,
             ..MachineConfig::default()
         };
-        Machine::new(cfg, SystemNet::single(&build::linear(2)))
+        Machine::new(cfg, SystemNet::single(&build::linear(2).unwrap()))
     }
 
     fn pair_spec(sender: Vec<Op>, receiver: Vec<Op>) -> JobSpec {

@@ -39,7 +39,7 @@ pub struct Span {
     /// Span class.
     pub kind: SpanKind,
     /// Node the span executed on (for messages: the destination).
-    pub node: u16,
+    pub node: u32,
     /// Owning job, when known.
     pub job: Option<JobId>,
     /// Owning process, when known.

@@ -13,9 +13,9 @@ use parsched_topology::{Channel, NodeId, PartitionPlan, Router, Topology, Topolo
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GlobalChannel {
     /// Global index of the sending processor.
-    pub from: u16,
+    pub from: u32,
     /// Global index of the receiving processor.
-    pub to: u16,
+    pub to: u32,
 }
 
 impl GlobalChannel {
@@ -35,11 +35,14 @@ pub struct SystemNet {
     /// Per-partition topology kinds (the wormhole layer derives its
     /// virtual-channel escape classes from the shape).
     kinds: Vec<TopologyKind>,
-    /// All directed channels, in deterministic order.
+    /// All directed channels, sorted by `(from, to)` — `Topology::channels`
+    /// emits ascending order and partitions are visited base-ascending, so
+    /// the sort comes for free.
     channels: Vec<GlobalChannel>,
-    /// `channel_index[from * nodes + to]` -> index into `channels`
-    /// (u32::MAX = not adjacent).
-    channel_index: Vec<u32>,
+    /// CSR row offsets over `channels`: channels leaving processor `f` are
+    /// `channels[offsets[f]..offsets[f + 1]]`. A flat `from * nodes + to`
+    /// table is O(n^2) memory — 17 GB at 64k nodes — where this is O(n + E).
+    offsets: Vec<u32>,
 }
 
 impl SystemNet {
@@ -47,29 +50,38 @@ impl SystemNet {
     pub fn from_plan(plan: &PartitionPlan) -> SystemNet {
         let nodes = plan.system_size;
         let mut channels = Vec::new();
-        let mut channel_index = vec![u32::MAX; nodes * nodes];
         let mut routers = Vec::with_capacity(plan.count());
         let mut kinds = Vec::with_capacity(plan.count());
         for part in &plan.partitions {
             routers.push(Router::for_topology(&part.topology));
             kinds.push(part.topology.kind());
             for Channel { from, to } in part.topology.channels() {
-                let g = GlobalChannel {
-                    from: (part.base + from.idx()) as u16,
-                    to: (part.base + to.idx()) as u16,
-                };
-                channel_index[g.from as usize * nodes + g.to as usize] =
-                    channels.len() as u32;
-                channels.push(g);
+                channels.push(GlobalChannel {
+                    from: global_id(part.base + from.idx()),
+                    to: global_id(part.base + to.idx()),
+                });
             }
         }
+        debug_assert!(
+            channels.is_sorted_by_key(|c| (c.from, c.to)),
+            "channel emission order must be (from, to)-ascending"
+        );
+        let total = u32::try_from(channels.len()).expect("channel count exceeds u32");
+        let mut offsets = vec![0u32; nodes + 1];
+        for c in &channels {
+            offsets[c.from as usize + 1] += 1;
+        }
+        for f in 0..nodes {
+            offsets[f + 1] += offsets[f];
+        }
+        debug_assert_eq!(offsets[nodes], total);
         SystemNet {
             nodes,
             partition_size: plan.partition_size,
             routers,
             kinds,
             channels,
-            channel_index,
+            offsets,
         }
     }
 
@@ -99,14 +111,19 @@ impl SystemNet {
     }
 
     /// Index of the channel `from -> to`, if the processors are adjacent.
-    pub fn channel_id(&self, from: u16, to: u16) -> Option<usize> {
-        let v = self.channel_index[from as usize * self.nodes + to as usize];
-        (v != u32::MAX).then_some(v as usize)
+    /// Binary search within `from`'s CSR row (rows are degree-sized: at
+    /// most a handful of entries on every shipped shape).
+    pub fn channel_id(&self, from: u32, to: u32) -> Option<usize> {
+        let row = self.offsets[from as usize] as usize..self.offsets[from as usize + 1] as usize;
+        self.channels[row.clone()]
+            .binary_search_by_key(&to, |c| c.to)
+            .ok()
+            .map(|i| row.start + i)
     }
 
     /// Partition id of a global processor.
     #[inline]
-    pub fn partition_of(&self, node: u16) -> usize {
+    pub fn partition_of(&self, node: u32) -> usize {
         node as usize / self.partition_size
     }
 
@@ -128,12 +145,12 @@ impl SystemNet {
     /// The full local-index path from `src` to `dst` within `src`'s
     /// partition, plus the partition id and its base offset — the wormhole
     /// layer derives virtual-channel classes from local coordinates.
-    pub fn local_route(&self, src: u16, dst: u16) -> Option<(usize, u16, Vec<NodeId>)> {
+    pub fn local_route(&self, src: u32, dst: u32) -> Option<(usize, u32, Vec<NodeId>)> {
         let p = self.partition_of(src);
         if p != self.partition_of(dst) {
             return None;
         }
-        let base = (p * self.partition_size) as u16;
+        let base = global_id(p * self.partition_size);
         let local = self.routers[p].path(NodeId(src - base), NodeId(dst - base));
         Some((p, base, local))
     }
@@ -143,34 +160,34 @@ impl SystemNet {
     ///
     /// Allocates; the per-message hot path walks [`SystemNet::next_hop`]
     /// instead and never materializes the path.
-    pub fn route(&self, src: u16, dst: u16) -> Option<Vec<u16>> {
+    pub fn route(&self, src: u32, dst: u32) -> Option<Vec<u32>> {
         let p = self.partition_of(src);
         if p != self.partition_of(dst) {
             return None;
         }
-        let base = (p * self.partition_size) as u16;
+        let base = global_id(p * self.partition_size);
         let local = self.routers[p].path(NodeId(src - base), NodeId(dst - base));
         Some(local.into_iter().map(|l| base + l.0).collect())
     }
 
-    /// The node after `src` on the minimal route to `dst`: one flat-table
-    /// lookup, no allocation. `None` when `src == dst` or the processors
-    /// are in different partitions.
+    /// The node after `src` on the minimal route to `dst`: one routing-
+    /// strategy evaluation, no allocation. `None` when `src == dst` or the
+    /// processors are in different partitions.
     #[inline]
-    pub fn next_hop(&self, src: u16, dst: u16) -> Option<u16> {
+    pub fn next_hop(&self, src: u32, dst: u32) -> Option<u32> {
         let p = self.partition_of(src);
         if src == dst || p != self.partition_of(dst) {
             return None;
         }
-        let base = (p * self.partition_size) as u16;
+        let base = global_id(p * self.partition_size);
         self.routers[p]
             .next_hop(NodeId(src - base), NodeId(dst - base))
             .map(|l| base + l.0)
     }
 
     /// Hop count from `src` to `dst` (0 for self; `None` across
-    /// partitions). Walks the next-hop table; no allocation.
-    pub fn hops(&self, src: u16, dst: u16) -> Option<usize> {
+    /// partitions). Walks the next-hop function; no allocation.
+    pub fn hops(&self, src: u32, dst: u32) -> Option<usize> {
         if self.partition_of(src) != self.partition_of(dst) {
             return None;
         }
@@ -187,6 +204,14 @@ impl SystemNet {
     }
 }
 
+/// Checked global-processor-index conversion: the machine addresses at most
+/// `u32::MAX` processors, and the topology layer rejects larger requests
+/// before a plan can exist.
+#[inline]
+fn global_id(i: usize) -> u32 {
+    u32::try_from(i).expect("global processor index exceeds u32")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,7 +219,7 @@ mod tests {
 
     #[test]
     fn single_partition_wiring() {
-        let net = SystemNet::single(&build::ring(4));
+        let net = SystemNet::single(&build::ring(4).unwrap());
         assert_eq!(net.nodes(), 4);
         assert_eq!(net.channels().len(), 8);
         assert!(net.channel_id(0, 1).is_some());
@@ -238,5 +263,23 @@ mod tests {
         assert_eq!(net.partitions(), 4);
         assert_eq!(net.partition_size(), 4);
         assert_eq!(net.channels()[0].label(), "0->1");
+    }
+
+    /// The CSR channel index answers exactly what the old n^2 flat table
+    /// answered: every adjacent pair maps to its position in `channels`,
+    /// every non-adjacent pair to `None`.
+    #[test]
+    fn csr_channel_index_matches_adjacency() {
+        let plan = PartitionPlan::equal(16, 8, TopologyKind::Mesh { rows: 0, cols: 0 }).unwrap();
+        let net = SystemNet::from_plan(&plan);
+        for from in 0..16u32 {
+            for to in 0..16u32 {
+                let expected = net
+                    .channels()
+                    .iter()
+                    .position(|c| c.from == from && c.to == to);
+                assert_eq!(net.channel_id(from, to), expected, "{from}->{to}");
+            }
+        }
     }
 }

@@ -175,6 +175,10 @@ pub struct WormholeState {
     pub chans: Vec<VcChannel>,
     /// Per-message worm slots (grown on demand, like the message slab).
     pub worms: Vec<Option<Worm>>,
+    /// Running count of held VCs across all channels. The occupancy gauge
+    /// samples this on every grant; a recount would be O(channels) per
+    /// sample, which dominated whole runs on 64k-node machines.
+    pub held: usize,
 }
 
 impl WormholeState {
@@ -195,6 +199,7 @@ impl WormholeState {
             credits: u64::from(cfg.vc_credits.max(1)),
             chans,
             worms: Vec::new(),
+            held: 0,
         }
     }
 
@@ -247,7 +252,12 @@ impl WormholeState {
 
     /// Total VCs currently held across all channels (occupancy gauge).
     pub fn occupied_vcs(&self) -> usize {
-        self.chans.iter().map(|c| c.occupied()).sum()
+        debug_assert_eq!(
+            self.held,
+            self.chans.iter().map(|c| c.occupied()).sum::<usize>(),
+            "held-VC counter out of sync with the channel tables"
+        );
+        self.held
     }
 }
 
@@ -271,6 +281,7 @@ mod tests {
             credits,
             chans: (0..3).map(|_| VcChannel::new(2, 1)).collect(),
             worms: Vec::new(),
+            held: 0,
         }
     }
 

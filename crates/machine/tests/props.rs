@@ -114,10 +114,10 @@ fn random_topo(rng: &mut DetRng) -> Topo {
 
 fn make_net(t: Topo) -> SystemNet {
     let topo = match t {
-        Topo::Linear(n) => build::linear(n),
-        Topo::Ring(n) => build::ring(n),
-        Topo::Mesh(r, c) => build::mesh(r, c),
-        Topo::Cube(d) => build::hypercube(d),
+        Topo::Linear(n) => build::linear(n).unwrap(),
+        Topo::Ring(n) => build::ring(n).unwrap(),
+        Topo::Mesh(r, c) => build::mesh(r, c).unwrap(),
+        Topo::Cube(d) => build::hypercube(d).unwrap(),
     };
     SystemNet::single(&topo)
 }
@@ -129,7 +129,7 @@ fn run_jobs(
     jobs: &[ForkJoin],
     queue: QueueKind,
 ) -> (Machine, SimTime, u64) {
-    let nodes = net.nodes() as u16;
+    let nodes = net.nodes() as u32;
     let mut m = Machine::new(cfg, net);
     let ids: Vec<JobId> = jobs
         .iter()
@@ -137,8 +137,8 @@ fn run_jobs(
         .map(|(i, fj)| {
             let spec = build_job(i, fj);
             spec.check_balanced().expect("generator emits balanced jobs");
-            let placement: Vec<u16> =
-                (0..spec.width()).map(|r| (r as u16 + i as u16) % nodes).collect();
+            let placement: Vec<u32> =
+                (0..spec.width()).map(|r| (r as u32 + i as u32) % nodes).collect();
             m.queue_job(spec, placement, SimDuration::from_millis(2))
         })
         .collect();
@@ -175,7 +175,7 @@ fn conservation_laws_hold() {
         let expected: u64 = jobs.iter().map(|fj| 2 * (fj.width as u64 - 1)).sum();
         assert_eq!(m.counters.messages_sent, expected, "case {case}");
         for n in 0..m.node_count() {
-            let node = m.node(n as u16);
+            let node = m.node(n as u32);
             assert_eq!(node.mmu.used(), 0, "case {case} node {n}");
             assert_eq!(node.mmu.queue_len(), 0, "case {case} node {n}");
             assert!(node.cpu.is_idle(), "case {case} node {n}");

@@ -31,7 +31,7 @@ fn compute_job(name: &str, millis: u64, mem: u64) -> JobSpec {
 
 #[test]
 fn single_compute_job_takes_load_plus_compute() {
-    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(1)));
+    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(1).unwrap()));
     let q = SimDuration::from_millis(2);
     let job = m.queue_job(compute_job("solo", 10, 1024), vec![0], q);
     run(&mut m, &[job]);
@@ -49,7 +49,7 @@ fn single_compute_job_takes_load_plus_compute() {
 fn round_robin_interleaves_equal_processes() {
     // Two identical processes on one CPU must finish at nearly the same
     // time (RR fairness), roughly 2x the solo time.
-    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(1)));
+    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(1).unwrap()));
     let q = SimDuration::from_millis(2);
     let spec = JobSpec {
         name: "pair".into(),
@@ -79,7 +79,7 @@ fn round_robin_interleaves_equal_processes() {
 fn message_crosses_multiple_hops() {
     // rank0 on node0 sends 1 KB to rank1 on node3 of a 4-node linear array.
     let cfg = MachineConfig::default();
-    let mut m = Machine::new(cfg.clone(), SystemNet::single(&build::linear(4)));
+    let mut m = Machine::new(cfg.clone(), SystemNet::single(&build::linear(4).unwrap()));
     let spec = JobSpec {
         name: "hop".into(),
         ship_bytes: 0,
@@ -117,7 +117,7 @@ fn message_crosses_multiple_hops() {
 
 #[test]
 fn self_send_uses_mailbox_machinery() {
-    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(1)));
+    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(1).unwrap()));
     let spec = JobSpec {
         name: "selfie".into(),
         ship_bytes: 0,
@@ -146,7 +146,7 @@ fn self_send_uses_mailbox_machinery() {
 fn high_priority_arrival_preempts_compute() {
     // rank0 computes for 50 ms while rank1's message arrives mid-burst: the
     // arrival handler must preempt the computation (T805 quantum-loss rule).
-    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(2)));
+    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(2).unwrap()));
     let spec = JobSpec {
         name: "preempt".into(),
         ship_bytes: 0,
@@ -221,7 +221,7 @@ fn fork_join_completes_and_gathers() {
             },
         ],
     };
-    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::ring(4)));
+    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::ring(4).unwrap()));
     let job = m.queue_job(spec, vec![0, 1, 2, 3], SimDuration::from_millis(2));
     run(&mut m, &[job]);
     assert!(m.all_jobs_done());
@@ -245,7 +245,7 @@ fn sender_blocks_when_memory_is_tight() {
     // Issue the two sends back-to-back so the second finds the first's
     // buffer still in flight.
     cfg.send_per_byte = parsched_des::SimDuration::ZERO;
-    let mut m = Machine::new(cfg, SystemNet::single(&build::linear(2)));
+    let mut m = Machine::new(cfg, SystemNet::single(&build::linear(2).unwrap()));
     let spec = JobSpec {
         name: "tight".into(),
         ship_bytes: 0,
@@ -295,7 +295,7 @@ fn cut_through_beats_store_and_forward_on_long_paths() {
     for switching in [Switching::StoreAndForward, Switching::CutThrough] {
         let mut cfg = MachineConfig::default();
         cfg.switching = switching;
-        let mut m = Machine::new(cfg, SystemNet::single(&build::linear(8)));
+        let mut m = Machine::new(cfg, SystemNet::single(&build::linear(8).unwrap()));
         let job = m.queue_job(spec(), vec![0, 7], SimDuration::from_millis(2));
         let end = run(&mut m, &[job]);
         assert!(m.all_jobs_done());
@@ -317,7 +317,7 @@ fn cut_through_beats_store_and_forward_on_long_paths() {
 fn reserved_strict_mode_also_completes() {
     let mut cfg = MachineConfig::default();
     cfg.flow = FlowControl::ReservedStrict;
-    let mut m = Machine::new(cfg, SystemNet::single(&build::linear(4)));
+    let mut m = Machine::new(cfg, SystemNet::single(&build::linear(4).unwrap()));
     let spec = JobSpec {
         name: "fifo".into(),
         ship_bytes: 0,
@@ -348,7 +348,7 @@ fn jobs_queue_for_memory_and_load_when_freed() {
     cfg.mem_capacity = 100 * 1024;
     cfg.transit_reserve = 0;
     cfg.os_overhead = 0;
-    let mut m = Machine::new(cfg, SystemNet::single(&build::linear(1)));
+    let mut m = Machine::new(cfg, SystemNet::single(&build::linear(1).unwrap()));
     let a = m.queue_job(compute_job("a", 10, 90 * 1024), vec![0], SimDuration::from_millis(2));
     let b = m.queue_job(compute_job("b", 10, 90 * 1024), vec![0], SimDuration::from_millis(2));
     run(&mut m, &[a, b]);
@@ -365,7 +365,7 @@ fn jobs_queue_for_memory_and_load_when_freed() {
 
 #[test]
 fn notes_report_lifecycle() {
-    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(1)));
+    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(1).unwrap()));
     let job = m.queue_job(compute_job("noted", 1, 0), vec![0], SimDuration::from_millis(2));
     run(&mut m, &[job]);
     let notes = m.drain_notes();
@@ -377,7 +377,7 @@ fn notes_report_lifecycle() {
 #[test]
 fn determinism_same_seeded_run_twice() {
     let build_and_run = || {
-        let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::ring(4)));
+        let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::ring(4).unwrap()));
         let spec = JobSpec {
             name: "det".into(),
             ship_bytes: 0,
@@ -412,7 +412,7 @@ fn determinism_same_seeded_run_twice() {
 #[test]
 fn both_engine_backends_agree() {
     let run_with = |kind: QueueKind| {
-        let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(4)));
+        let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(4).unwrap()));
         let spec = JobSpec {
             name: "backend".into(),
             ship_bytes: 0,
@@ -448,7 +448,7 @@ fn both_engine_backends_agree() {
 fn timeline_records_compute_handlers_and_messages() {
     let mut cfg = MachineConfig::default();
     cfg.record_timeline = true;
-    let mut m = Machine::new(cfg.clone(), SystemNet::single(&build::linear(2)));
+    let mut m = Machine::new(cfg.clone(), SystemNet::single(&build::linear(2).unwrap()));
     let work = SimDuration::from_millis(12);
     let spec = JobSpec {
         name: "traced".into(),
@@ -498,7 +498,7 @@ fn timeline_records_compute_handlers_and_messages() {
 
 #[test]
 fn timeline_disabled_by_default_and_free() {
-    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(1)));
+    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(1).unwrap()));
     let job = m.queue_job(compute_job("plain", 5, 0), vec![0], SimDuration::from_millis(2));
     run(&mut m, &[job]);
     assert!(!m.timeline.is_enabled());
@@ -509,7 +509,7 @@ fn timeline_disabled_by_default_and_free() {
 fn messages_between_same_pair_arrive_in_fifo_order() {
     // Three same-tag messages 0 -> 1: the receiver's three Recvs must see
     // them in send order (checked via cumulative byte accounting).
-    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(2)));
+    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(2).unwrap()));
     let spec = JobSpec {
         name: "fifo".into(),
         ship_bytes: 0,
@@ -542,7 +542,7 @@ fn messages_between_same_pair_arrive_in_fifo_order() {
 fn tags_demultiplex_out_of_order_arrivals() {
     // The receiver waits for tag 2 FIRST even though tag 1's message
     // arrives first: mailbox matching must hold tag 1 until asked for.
-    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(2)));
+    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(2).unwrap()));
     let spec = JobSpec {
         name: "tags".into(),
         ship_bytes: 0,
@@ -585,7 +585,7 @@ fn jobs_mailboxes_are_isolated() {
             },
         ],
     };
-    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(2)));
+    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(2).unwrap()));
     let a = m.queue_job(mk(), vec![0, 1], SimDuration::from_millis(2));
     let b = m.queue_job(mk(), vec![0, 1], SimDuration::from_millis(2));
     run(&mut m, &[a, b]);
@@ -595,7 +595,7 @@ fn jobs_mailboxes_are_isolated() {
 
 #[test]
 fn zero_byte_messages_work() {
-    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::ring(3)));
+    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::ring(3).unwrap()));
     let spec = JobSpec {
         name: "zero".into(),
         ship_bytes: 0,
@@ -622,7 +622,7 @@ fn zero_byte_messages_work() {
 fn blocking_send_mode_round_trips() {
     let mut cfg = MachineConfig::default();
     cfg.send_mode = SendMode::Blocking;
-    let mut m = Machine::new(cfg, SystemNet::single(&build::linear(2)));
+    let mut m = Machine::new(cfg, SystemNet::single(&build::linear(2).unwrap()));
     let spec = JobSpec {
         name: "blocking".into(),
         ship_bytes: 0,
@@ -660,7 +660,7 @@ fn reserved_strict_can_deadlock_and_reports() {
     cfg.mem_capacity = 80 * 1024;
     cfg.os_overhead = 0;
     cfg.transit_reserve = 0;
-    let mut m = Machine::new(cfg, SystemNet::single(&build::linear(4)));
+    let mut m = Machine::new(cfg, SystemNet::single(&build::linear(4).unwrap()));
     // Rank 0 (node 0) floods rank 1 (node 3) while rank 1 floods back.
     let flood: Vec<Op> = (0..6)
         .map(|_| Op::Send { to: Rank(1), bytes: 30 * 1024, tag: Tag(1) })
@@ -696,7 +696,7 @@ fn reserved_strict_can_deadlock_and_reports() {
     cfg2.mem_capacity = 80 * 1024;
     cfg2.os_overhead = 0;
     cfg2.transit_reserve = 0;
-    let mut m2 = Machine::new(cfg2, SystemNet::single(&build::linear(4)));
+    let mut m2 = Machine::new(cfg2, SystemNet::single(&build::linear(4).unwrap()));
     let flood: Vec<Op> = (0..6)
         .map(|_| Op::Send { to: Rank(1), bytes: 30 * 1024, tag: Tag(1) })
         .chain((0..6).map(|_| Op::Recv { tag: Tag(2) }))
@@ -722,7 +722,7 @@ fn reserved_strict_can_deadlock_and_reports() {
 fn recv_any_gathers_across_tags_counted_separately() {
     // RecvAny(count=2, tag=7) must consume exactly the two tag-7 messages
     // and leave the tag-8 one for the later Recv.
-    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::star(4)));
+    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::star(4).unwrap()));
     let spec = JobSpec {
         name: "gather".into(),
         ship_bytes: 0,
@@ -757,7 +757,7 @@ fn recv_any_gathers_across_tags_counted_separately() {
 #[test]
 fn job_summary_accounts_load_cpu_and_response() {
     let cfg = MachineConfig::default();
-    let mut m = Machine::new(cfg.clone(), SystemNet::single(&build::linear(2)));
+    let mut m = Machine::new(cfg.clone(), SystemNet::single(&build::linear(2).unwrap()));
     let work = SimDuration::from_millis(30);
     let spec = JobSpec {
         name: "summarized".into(),
@@ -790,7 +790,7 @@ fn job_summary_accounts_load_cpu_and_response() {
 
 #[test]
 fn machine_stats_csv_row_matches_header() {
-    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(2)));
+    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(2).unwrap()));
     let job = m.queue_job(compute_job("csv", 3, 0), vec![0], SimDuration::from_millis(2));
     run(&mut m, &[job]);
     let stats = MachineStats::capture(&m, SimTime(1_000_000));
@@ -802,7 +802,7 @@ fn machine_stats_csv_row_matches_header() {
 
 #[test]
 fn empty_program_job_completes_instantly() {
-    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(1)));
+    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(1).unwrap()));
     let spec = JobSpec {
         name: "noop".into(),
         ship_bytes: 0,
@@ -816,7 +816,7 @@ fn empty_program_job_completes_instantly() {
 
 #[test]
 fn recv_any_with_zero_count_is_a_noop() {
-    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(1)));
+    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(1).unwrap()));
     let spec = JobSpec {
         name: "zero-gather".into(),
         ship_bytes: 0,
@@ -835,7 +835,7 @@ fn recv_any_with_zero_count_is_a_noop() {
 
 #[test]
 fn zero_duration_compute_ops_are_skipped() {
-    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(1)));
+    let mut m = Machine::new(MachineConfig::default(), SystemNet::single(&build::linear(1).unwrap()));
     let spec = JobSpec {
         name: "zeros".into(),
         ship_bytes: 0,

@@ -53,10 +53,10 @@ fn exchange_job(name: &str, width: usize, rounds: u32) -> JobSpec {
 fn message_slots_are_recycled_without_changing_behaviour() {
     let mut m = Machine::new(
         MachineConfig::default(),
-        SystemNet::single(&build::hypercube(4)),
+        SystemNet::single(&build::hypercube(4).unwrap()),
     );
     let q = SimDuration::from_millis(2);
-    let placement: Vec<u16> = (0..16).collect();
+    let placement: Vec<u32> = (0..16).collect();
     let jobs: Vec<JobId> = (0..4)
         .map(|i| {
             m.queue_job(

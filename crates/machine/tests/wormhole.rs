@@ -67,12 +67,12 @@ fn wormhole_delivers_across_every_topology_family() {
     // (topology, src host, dst host): each pair crosses the part of the
     // fabric its escape classes exist for (ring/torus wraparound, fat-tree
     // up/down turn, dragonfly global link).
-    let cases: Vec<(Topology, u16, u16)> = vec![
-        (build::linear(4), 0, 3),
-        (build::ring(6), 0, 4),
-        (build::torus(4, 4), 0, 15),
-        (build::fat_tree(4), 0, 15),
-        (build::dragonfly(2, 1, 1), 1, 11),
+    let cases: Vec<(Topology, u32, u32)> = vec![
+        (build::linear(4).unwrap(), 0, 3),
+        (build::ring(6).unwrap(), 0, 4),
+        (build::torus(4, 4).unwrap(), 0, 15),
+        (build::fat_tree(4).unwrap(), 0, 15),
+        (build::dragonfly(2, 1, 1).unwrap(), 1, 11),
     ];
     for (topo, src, dst) in cases {
         let kind = topo.kind();
@@ -87,7 +87,7 @@ fn wormhole_delivers_across_every_topology_family() {
         assert!(m.counters.vc_allocs as usize >= 1, "{kind:?}");
         assert_flit_conservation(&m);
         for n in 0..m.node_count() {
-            assert_eq!(m.node(n as u16).mmu.used(), 0, "leak on {kind:?} node {n}");
+            assert_eq!(m.node(n as u32).mmu.used(), 0, "leak on {kind:?} node {n}");
         }
     }
 }
@@ -101,7 +101,7 @@ fn wormhole_pipelines_long_messages_unlike_saf() {
     for switching in [Switching::StoreAndForward, Switching::Wormhole] {
         let mut cfg = wormhole_cfg();
         cfg.switching = switching;
-        let mut m = Machine::new(cfg, SystemNet::single(&build::linear(8)));
+        let mut m = Machine::new(cfg, SystemNet::single(&build::linear(8).unwrap()));
         let job = m.queue_job(pair_spec(50_000), vec![0, 7], SimDuration::from_millis(2));
         let end = run(&mut m, &[job]);
         assert!(m.all_jobs_done());
@@ -120,7 +120,7 @@ fn worms_contend_for_the_single_escape_vc() {
     // Two jobs funnel through the shared middle links of a linear array.
     // With one escape class x one VC per class, the second worm must wait
     // for the first to release each link's only VC — both still deliver.
-    let mut m = Machine::new(wormhole_cfg(), SystemNet::single(&build::linear(4)));
+    let mut m = Machine::new(wormhole_cfg(), SystemNet::single(&build::linear(4).unwrap()));
     let a = m.queue_job(pair_spec(8192), vec![0, 3], SimDuration::from_millis(2));
     let b = m.queue_job(pair_spec(8192), vec![0, 3], SimDuration::from_millis(2));
     run(&mut m, &[a, b]);
@@ -144,7 +144,7 @@ fn link_outage_drains_the_worm_and_retry_redelivers() {
         down_at: SimTime::ZERO + SimDuration::from_millis(40),
         up_at: SimTime::ZERO + SimDuration::from_millis(55),
     });
-    let mut m = Machine::new(cfg, SystemNet::single(&build::linear(2)));
+    let mut m = Machine::new(cfg, SystemNet::single(&build::linear(2).unwrap()));
     let job = m.queue_job(pair_spec(50_000), vec![0, 1], SimDuration::from_millis(2));
     run(&mut m, &[job]);
     assert_eq!(m.job(job).state, JobState::Done);
@@ -167,7 +167,7 @@ fn node_crash_mid_worm_drains_without_retry() {
         node: 1,
         at: SimTime::ZERO + SimDuration::from_millis(40),
     });
-    let mut m = Machine::new(cfg, SystemNet::single(&build::linear(2)));
+    let mut m = Machine::new(cfg, SystemNet::single(&build::linear(2).unwrap()));
     let job = m.queue_job(pair_spec(50_000), vec![0, 1], SimDuration::from_millis(2));
     run(&mut m, &[job]);
     assert_eq!(m.job(job).state, JobState::Failed);
@@ -191,7 +191,7 @@ fn wormhole_replay_is_deterministic() {
         });
         cfg.faults.drop_prob = 0.05;
         cfg.faults.drop_seed = 11;
-        let mut m = Machine::new(cfg, SystemNet::single(&build::ring(6)));
+        let mut m = Machine::new(cfg, SystemNet::single(&build::ring(6).unwrap()));
         let a = m.queue_job(pair_spec(20_000), vec![0, 4], SimDuration::from_millis(2));
         let b = m.queue_job(pair_spec(20_000), vec![2, 5], SimDuration::from_millis(2));
         m.recorder = Some(Box::new(parsched_obs::CollectRecorder::new()));

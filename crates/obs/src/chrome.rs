@@ -22,9 +22,9 @@ use std::fmt::Write as _;
 #[derive(Debug, Clone, Default)]
 pub struct TraceLayout {
     /// Number of nodes (pids 1..=node_count).
-    pub node_count: u16,
+    pub node_count: u32,
     /// Directed channels as `(from, to)`, indexed by channel id.
-    pub links: Vec<(u16, u16)>,
+    pub links: Vec<(u32, u32)>,
     /// Display names per job id (falls back to `job{id}`).
     pub job_names: Vec<String>,
 }
@@ -47,7 +47,7 @@ impl TraceLayout {
             .take(chan as usize)
             .filter(|(f, _)| *f == from)
             .count() as u32;
-        Some((from as u32 + 1, tid))
+        Some((from + 1, tid))
     }
 }
 
@@ -94,7 +94,7 @@ impl ChromeTrace {
         let mut t = ChromeTrace::default();
         t.metadata(SCHED_PID, None, "scheduler");
         for n in 0..layout.node_count {
-            let pid = n as u32 + 1;
+            let pid = n + 1;
             t.metadata(pid, None, &format!("node {n}"));
             t.metadata(pid, Some(0), "cpu");
         }
@@ -191,18 +191,18 @@ impl ChromeTrace {
             ObsEvent::QuantumStart { node, job, rank } => {
                 let name = format!("{}:r{rank}", layout.job_name(job));
                 let args = format!(r#""job":{job},"rank":{rank}"#);
-                self.begin(node as u32 + 1, 0, ts, name, args);
+                self.begin(node + 1, 0, ts, name, args);
             }
             ObsEvent::QuantumEnd { node, reason, .. } => {
                 let extra = format!(r#""end":"{}""#, reason.label());
-                self.end(node as u32 + 1, 0, ts, &extra);
+                self.end(node + 1, 0, ts, &extra);
             }
             ObsEvent::HandlerStart { node, msg } => {
                 let name = format!("handler m{msg}");
-                self.begin(node as u32 + 1, 0, ts, name, format!(r#""msg":{msg}"#));
+                self.begin(node + 1, 0, ts, name, format!(r#""msg":{msg}"#));
             }
             ObsEvent::HandlerEnd { node, .. } => {
-                self.end(node as u32 + 1, 0, ts, "");
+                self.end(node + 1, 0, ts, "");
             }
             ObsEvent::MsgSend {
                 msg,
@@ -213,7 +213,7 @@ impl ChromeTrace {
             } => {
                 let name = format!("send m{msg} -> {dst}");
                 let args = format!(r#""msg":{msg},"job":{job},"bytes":{bytes}"#);
-                self.instant(src as u32 + 1, 0, ts, &name, &args);
+                self.instant(src + 1, 0, ts, &name, &args);
             }
             ObsEvent::HopStart { msg, chan } => {
                 if let Some((pid, tid)) = layout.link_track(chan) {
@@ -246,11 +246,11 @@ impl ChromeTrace {
             ObsEvent::MsgDeliver { msg, job, node } => {
                 let name = format!("deliver m{msg}");
                 let args = format!(r#""msg":{msg},"job":{job}"#);
-                self.instant(node as u32 + 1, 0, ts, &name, &args);
+                self.instant(node + 1, 0, ts, &name, &args);
             }
             ObsEvent::NodeCrashed { node } => {
                 let name = format!("CRASH node {node}");
-                self.instant(node as u32 + 1, 0, ts, &name, &format!(r#""node":{node}"#));
+                self.instant(node + 1, 0, ts, &name, &format!(r#""node":{node}"#));
             }
             ObsEvent::LinkDown { chan } => {
                 if let Some((pid, tid)) = layout.link_track(chan) {
@@ -265,7 +265,7 @@ impl ChromeTrace {
             ObsEvent::MsgDropped { msg, job, node } => {
                 let name = format!("drop m{msg}");
                 let args = format!(r#""msg":{msg},"job":{job}"#);
-                self.instant(node as u32 + 1, 0, ts, &name, &args);
+                self.instant(node + 1, 0, ts, &name, &args);
             }
             ObsEvent::MsgRetry { msg, attempt } => {
                 let name = format!("retry m{msg} #{attempt}");

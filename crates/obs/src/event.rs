@@ -68,7 +68,7 @@ pub enum ObsEvent {
     /// A low-priority process was dispatched onto its node's CPU.
     QuantumStart {
         /// Global node index.
-        node: u16,
+        node: u32,
         /// Job id.
         job: u32,
         /// Process rank within the job.
@@ -77,7 +77,7 @@ pub enum ObsEvent {
     /// The running low-priority slice ended.
     QuantumEnd {
         /// Global node index.
-        node: u16,
+        node: u32,
         /// Job id.
         job: u32,
         /// Process rank within the job.
@@ -88,14 +88,14 @@ pub enum ObsEvent {
     /// A high-priority message handler started on a node's CPU.
     HandlerStart {
         /// Global node index.
-        node: u16,
+        node: u32,
         /// Message the handler serves.
         msg: u32,
     },
     /// The running high-priority handler completed.
     HandlerEnd {
         /// Global node index.
-        node: u16,
+        node: u32,
         /// Message the handler served.
         msg: u32,
     },
@@ -106,11 +106,13 @@ pub enum ObsEvent {
         /// Owning job.
         job: u32,
         /// Sending node.
-        src: u16,
+        src: u32,
         /// Destination node.
-        dst: u16,
-        /// Payload bytes.
-        bytes: u64,
+        dst: u32,
+        /// Payload bytes, saturated at `u32::MAX` (4 GiB-1) so the event
+        /// stays within its two-word size pin; the machine's own accounting
+        /// keeps the exact 64-bit count.
+        bytes: u32,
     },
     /// A message transfer started occupying a channel.
     HopStart {
@@ -133,12 +135,12 @@ pub enum ObsEvent {
         /// Owning job.
         job: u32,
         /// Destination node.
-        node: u16,
+        node: u32,
     },
     /// A node's CPU fail-stopped (declared in the fault plan).
     NodeCrashed {
         /// Global node index.
-        node: u16,
+        node: u32,
     },
     /// A link went down (declared outage window opened).
     LinkDown {
@@ -158,7 +160,7 @@ pub enum ObsEvent {
         /// Owning job.
         job: u32,
         /// Node the message last occupied.
-        node: u16,
+        node: u32,
     },
     /// A failed delivery attempt (corruption, timeout, or mailbox
     /// overflow) scheduled a retransmission.

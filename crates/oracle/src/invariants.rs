@@ -114,13 +114,13 @@ pub fn check_event_stream(events: &[TimedEvent]) {
     use std::collections::HashSet;
     let mut last = None;
     // msg id -> (job, dst) while in flight (sent, not yet delivered).
-    let mut in_flight: HashMap<u32, (u32, u16)> = HashMap::new();
+    let mut in_flight: HashMap<u32, (u32, u32)> = HashMap::new();
     // msg ids terminally dropped by a fault (slot may be recycled later).
     let mut dropped: HashSet<u32> = HashSet::new();
     // node -> msg of the running handler.
-    let mut handler: HashMap<u16, u32> = HashMap::new();
+    let mut handler: HashMap<u32, u32> = HashMap::new();
     // node -> (job, rank) of the running low-priority slice.
-    let mut quantum: HashMap<u16, (u32, u32)> = HashMap::new();
+    let mut quantum: HashMap<u32, (u32, u32)> = HashMap::new();
     for (i, (at, ev)) in events.iter().enumerate() {
         if let Some(prev) = last {
             assert!(
@@ -255,7 +255,7 @@ pub fn check_fcfs_admission(events: &[TimedEvent]) {
 /// are exact complements, so their integrals sum to the run span exactly
 /// (0/1 gauges stepped at integer-nanosecond instants are exact in f64).
 /// Recording on.
-pub fn check_cpu_conservation(metrics: &MachineMetrics, node_count: u16, span: SimDuration) {
+pub fn check_cpu_conservation(metrics: &MachineMetrics, node_count: u32, span: SimDuration) {
     let span = span.nanos() as f64;
     for node in 0..node_count {
         let busy = metrics.registry.integral_ns(metrics.cpu_busy_id(node));

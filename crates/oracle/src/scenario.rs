@@ -260,7 +260,7 @@ impl Scenario {
             // for the requeued job to land on.
             if partition_size >= 2 && rng.uniform_u64(0, 2) == 0 {
                 plan.crashes.push(NodeCrash {
-                    node: rng.uniform_u64(0, 16) as u16,
+                    node: rng.uniform_u64(0, 16) as u32,
                     at: SimTime(rng.uniform_u64(1, 61) * 1_000_000), // 1..60 ms
                 });
             }
@@ -268,7 +268,7 @@ impl Scenario {
             // topology when both ends share a partition; pairs that are
             // not wired are ignored by the machine, so every draw is safe.
             for _ in 0..rng.uniform_u64(0, 3) {
-                let pair = rng.uniform_u64(0, 8) as u16;
+                let pair = rng.uniform_u64(0, 8) as u32;
                 let down = rng.uniform_u64(0, 21) * 1_000_000;
                 let dur = rng.uniform_u64(1, 11) * 1_000_000;
                 plan.links.push(LinkWindow {
@@ -381,6 +381,19 @@ impl Scenario {
             if app == App::Sort && !partition_size.is_power_of_two() {
                 arch = Arch::Fixed;
             }
+        }
+
+        // Node-index widening (one case in 24): stretch the same scenario
+        // onto a machine crossing the old 65 536-node index ceiling. The
+        // occupied partitions keep their exact geometry — the machine just
+        // gains thousands of idle sibling partitions — so any residual
+        // 16-bit index assumption (a wrap aliasing high nodes onto low
+        // ones) shows up as a divergence or invariant breach end to end.
+        // Pure time-sharing keeps its whole-machine single partition, so
+        // only the space-sharing classes stretch. Drawn last so earlier
+        // sweeps keep their exact draw sequences.
+        if class != PolicyClass::PureTs && rng.uniform_u64(0, 24) == 0 {
+            system_size = 65_537usize.div_ceil(partition_size) * partition_size;
         }
 
         Scenario {
@@ -536,7 +549,12 @@ mod tests {
             let plan = s.config().plan();
             assert_eq!(plan.system_size, s.system_size);
             if s.switching != Switching::Wormhole {
-                assert_eq!(s.system_size, 16, "only wormhole cases resize");
+                assert!(
+                    s.system_size == 16 || s.system_size > 65_536,
+                    "non-wormhole cases are 16-node or stretched past the \
+                     old u16 ceiling, got {}",
+                    s.system_size
+                );
             }
         }
     }
@@ -549,25 +567,25 @@ mod tests {
         for case in 0..96 {
             let s = Scenario::generate(7, case);
             if s.switching != Switching::Wormhole {
-                assert_eq!(s.system_size, 16);
+                assert!(s.system_size == 16 || s.system_size > 65_536);
                 continue;
             }
             wormhole += 1;
             match s.topology {
                 TopologyKind::Torus { .. } => {
                     kinds.insert("torus");
-                    assert_eq!(s.system_size, 16);
+                    assert!(s.system_size == 16 || s.system_size > 65_536);
                     assert!([4, 8, 16].contains(&s.partition_size));
                 }
                 TopologyKind::FatTree { k: 2 } => {
                     kinds.insert("fat-tree");
                     assert_eq!(s.partition_size, 7);
-                    assert!([7, 14].contains(&s.system_size));
+                    assert!([7, 14].contains(&s.system_size) || s.system_size > 65_536);
                 }
                 TopologyKind::Dragonfly { a: 2, p: 1, h: 1 } => {
                     kinds.insert("dragonfly");
                     assert_eq!(s.partition_size, 12);
-                    assert!([12, 24].contains(&s.system_size));
+                    assert!([12, 24].contains(&s.system_size) || s.system_size > 65_536);
                 }
                 other => panic!("wormhole case drew topology {other:?}"),
             }

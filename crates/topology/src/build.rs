@@ -6,116 +6,194 @@
 //! configured" (§3.1). We skip the switch-wiring detail and construct the
 //! logical topologies directly; [`nap_backbone`] builds the hardwired base
 //! configuration for tests that want it.
+//!
+//! Every builder validates its node count against [`MAX_NODES`] *before*
+//! allocating or casting anything, and returns a typed [`TopologyError`]
+//! for oversize, empty, or unrealizable requests. (Before PR 10 the
+//! builders wrapped indices through bare `as u16` casts, silently
+//! corrupting any adjacency past 65 536 nodes.)
 
-use crate::types::{NodeId, Topology, TopologyKind};
+use crate::types::{NodeId, Topology, TopologyError, TopologyKind, MAX_NODES};
+
+/// Complete graphs cap at this many nodes: their adjacency is quadratic
+/// (`n·(n-1)` entries), so a `MAX_NODES`-sized request would be an
+/// out-of-memory error dressed up as a topology.
+pub const COMPLETE_MAX_NODES: usize = 4096;
+
+/// Pre-validated index conversion. Builders check the total node count up
+/// front, so this cannot fail on any reachable path; the check is kept (a
+/// panic rather than a raw cast) so a future builder bug fails loudly
+/// instead of wrapping.
+#[inline]
+fn nid(i: usize) -> NodeId {
+    NodeId::from_index(i)
+}
+
+/// Validate a requested node count: nonzero and within [`MAX_NODES`].
+fn check_size(shape: &'static str, n: usize) -> Result<(), TopologyError> {
+    if n == 0 {
+        return Err(TopologyError::Empty { shape });
+    }
+    if n > MAX_NODES {
+        return Err(TopologyError::TooManyNodes {
+            shape,
+            requested: n as u128,
+            max: MAX_NODES as u64,
+        });
+    }
+    Ok(())
+}
 
 /// Linear array of `n` nodes: `0 - 1 - ... - n-1`.
-pub fn linear(n: usize) -> Topology {
-    assert!(n >= 1, "linear: need at least one node");
+pub fn linear(n: usize) -> Result<Topology, TopologyError> {
+    check_size("linear", n)?;
     let adj = (0..n)
         .map(|i| {
             let mut l = Vec::with_capacity(2);
             if i > 0 {
-                l.push(NodeId((i - 1) as u16));
+                l.push(nid(i - 1));
             }
             if i + 1 < n {
-                l.push(NodeId((i + 1) as u16));
+                l.push(nid(i + 1));
             }
             l
         })
         .collect();
-    Topology::from_adjacency(TopologyKind::Linear, adj)
+    Ok(Topology::from_adjacency(TopologyKind::Linear, adj))
 }
 
 /// Ring of `n` nodes (for `n <= 2` this degenerates to the linear array,
 /// since the graph is simple).
-pub fn ring(n: usize) -> Topology {
-    assert!(n >= 1, "ring: need at least one node");
+pub fn ring(n: usize) -> Result<Topology, TopologyError> {
+    check_size("ring", n)?;
     if n <= 2 {
         // Same adjacency as the linear array (the graph is simple), but keep
         // the requested kind for labelling.
-        let base = linear(n);
+        let base = linear(n)?;
         let adj = base.nodes().map(|u| base.neighbors(u).to_vec()).collect();
-        return Topology::from_adjacency(TopologyKind::Ring, adj);
+        return Ok(Topology::from_adjacency(TopologyKind::Ring, adj));
     }
     let adj = (0..n)
-        .map(|i| {
-            vec![
-                NodeId(((i + n - 1) % n) as u16),
-                NodeId(((i + 1) % n) as u16),
-            ]
-        })
+        .map(|i| vec![nid((i + n - 1) % n), nid((i + 1) % n)])
         .collect();
-    Topology::from_adjacency(TopologyKind::Ring, adj)
+    Ok(Topology::from_adjacency(TopologyKind::Ring, adj))
 }
 
 /// `rows x cols` 2-D mesh without wraparound. Node `(r, c)` has index
-/// `r * cols + c`.
-pub fn mesh(rows: usize, cols: usize) -> Topology {
-    assert!(rows >= 1 && cols >= 1, "mesh: need positive extents");
-    let n = rows * cols;
+/// `r * cols + c`. The product is validated up front (in 128-bit, so an
+/// overflowing `rows * cols` is reported exactly instead of wrapping
+/// before the check).
+pub fn mesh(rows: usize, cols: usize) -> Result<Topology, TopologyError> {
+    let n = checked_extent_product("mesh", rows, cols)?;
     let mut adj = vec![Vec::with_capacity(4); n];
     for r in 0..rows {
         for c in 0..cols {
             let i = r * cols + c;
             if r > 0 {
-                adj[i].push(NodeId((i - cols) as u16));
+                adj[i].push(nid(i - cols));
             }
             if r + 1 < rows {
-                adj[i].push(NodeId((i + cols) as u16));
+                adj[i].push(nid(i + cols));
             }
             if c > 0 {
-                adj[i].push(NodeId((i - 1) as u16));
+                adj[i].push(nid(i - 1));
             }
             if c + 1 < cols {
-                adj[i].push(NodeId((i + 1) as u16));
+                adj[i].push(nid(i + 1));
             }
         }
     }
-    Topology::from_adjacency(
+    Ok(Topology::from_adjacency(
         TopologyKind::Mesh {
-            rows: rows as u16,
-            cols: cols as u16,
+            rows: extent_u32(rows),
+            cols: extent_u32(cols),
         },
         adj,
-    )
+    ))
+}
+
+/// Validate a 2-D extent pair: both nonzero, product within [`MAX_NODES`].
+fn checked_extent_product(
+    shape: &'static str,
+    rows: usize,
+    cols: usize,
+) -> Result<usize, TopologyError> {
+    if rows == 0 || cols == 0 {
+        return Err(TopologyError::Empty { shape });
+    }
+    let product = rows as u128 * cols as u128;
+    if product > MAX_NODES as u128 {
+        return Err(TopologyError::TooManyNodes {
+            shape,
+            requested: product,
+            max: MAX_NODES as u64,
+        });
+    }
+    Ok(rows * cols)
+}
+
+/// An extent already bounded by a product check (`rows * cols <= MAX_NODES`
+/// with both factors nonzero implies each factor fits `u32`).
+#[inline]
+fn extent_u32(v: usize) -> u32 {
+    u32::try_from(v).expect("extent exceeds u32 after product validation")
 }
 
 /// The squarest mesh for `n` nodes (the paper's partitions are powers of
 /// two: 4 -> 2x2, 8 -> 2x4, 16 -> 4x4).
-pub fn mesh_for(n: usize) -> Topology {
-    assert!(n >= 1);
-    let mut rows = (n as f64).sqrt() as usize;
+pub fn mesh_for(n: usize) -> Result<Topology, TopologyError> {
+    check_size("mesh", n)?;
+    let mut rows = isqrt(n);
     while rows > 1 && !n.is_multiple_of(rows) {
         rows -= 1;
     }
     mesh(rows.max(1), n / rows.max(1))
 }
 
+/// Integer square root (floor). `f64` loses integer precision past 2^53,
+/// so the float shortcut the old builder used is corrected here.
+fn isqrt(n: usize) -> usize {
+    #[allow(clippy::cast_possible_truncation, clippy::cast_precision_loss)]
+    let mut r = (n as f64).sqrt() as usize;
+    while r > 0 && r.checked_mul(r).is_none_or(|sq| sq > n) {
+        r -= 1;
+    }
+    while (r + 1).checked_mul(r + 1).is_some_and(|sq| sq <= n) {
+        r += 1;
+    }
+    r
+}
+
 /// Binary hypercube with `2^dim` nodes; neighbors differ in one address bit.
-pub fn hypercube(dim: u8) -> Topology {
-    assert!(dim <= 15, "hypercube: dimension too large");
+/// Dimensions past 31 would exceed the [`MAX_NODES`] ceiling.
+pub fn hypercube(dim: u8) -> Result<Topology, TopologyError> {
+    if dim > 31 {
+        return Err(TopologyError::TooManyNodes {
+            shape: "hypercube",
+            requested: 1u128 << dim,
+            max: MAX_NODES as u64,
+        });
+    }
     let n = 1usize << dim;
     let adj = (0..n)
-        .map(|i| (0..dim).map(|d| NodeId((i ^ (1 << d)) as u16)).collect())
+        .map(|i| (0..dim).map(|d| nid(i ^ (1 << d))).collect())
         .collect();
-    Topology::from_adjacency(TopologyKind::Hypercube { dim }, adj)
+    Ok(Topology::from_adjacency(TopologyKind::Hypercube { dim }, adj))
 }
 
 /// `rows x cols` 2-D torus (mesh with wraparound links). Degree 4 for
 /// extents >= 3, so it fits the T805's four links — a configuration some
 /// contemporary Transputer machines used.
-pub fn torus(rows: usize, cols: usize) -> Topology {
-    assert!(rows >= 1 && cols >= 1, "torus: need positive extents");
-    let n = rows * cols;
+pub fn torus(rows: usize, cols: usize) -> Result<Topology, TopologyError> {
+    let n = checked_extent_product("torus", rows, cols)?;
     let mut adj: Vec<Vec<NodeId>> = vec![Vec::with_capacity(4); n];
     let connect = |a: usize, b: usize, adj: &mut Vec<Vec<NodeId>>| {
         if a == b {
             return;
         }
-        if !adj[a].contains(&NodeId(b as u16)) {
-            adj[a].push(NodeId(b as u16));
-            adj[b].push(NodeId(a as u16));
+        if !adj[a].contains(&nid(b)) {
+            adj[a].push(nid(b));
+            adj[b].push(nid(a));
         }
     };
     for r in 0..rows {
@@ -125,19 +203,19 @@ pub fn torus(rows: usize, cols: usize) -> Topology {
             connect(i, ((r + 1) % rows) * cols + c, &mut adj);
         }
     }
-    Topology::from_adjacency(
+    Ok(Topology::from_adjacency(
         TopologyKind::Torus {
-            rows: rows as u16,
-            cols: cols as u16,
+            rows: extent_u32(rows),
+            cols: extent_u32(cols),
         },
         adj,
-    )
+    ))
 }
 
 /// The squarest torus for `n` nodes.
-pub fn torus_for(n: usize) -> Topology {
-    assert!(n >= 1);
-    let mut rows = (n as f64).sqrt() as usize;
+pub fn torus_for(n: usize) -> Result<Topology, TopologyError> {
+    check_size("torus", n)?;
+    let mut rows = isqrt(n);
     while rows > 1 && !n.is_multiple_of(rows) {
         rows -= 1;
     }
@@ -146,40 +224,43 @@ pub fn torus_for(n: usize) -> Topology {
 
 /// Complete binary tree rooted at node 0 (children of `i` are `2i+1` and
 /// `2i+2`). Degree <= 3.
-pub fn binary_tree(n: usize) -> Topology {
-    assert!(n >= 1, "binary_tree: need at least one node");
+pub fn binary_tree(n: usize) -> Result<Topology, TopologyError> {
+    check_size("binary_tree", n)?;
     let mut adj: Vec<Vec<NodeId>> = vec![Vec::with_capacity(3); n];
     for i in 1..n {
         let parent = (i - 1) / 2;
-        adj[i].push(NodeId(parent as u16));
-        adj[parent].push(NodeId(i as u16));
+        adj[i].push(nid(parent));
+        adj[parent].push(nid(i));
     }
-    Topology::from_adjacency(TopologyKind::Tree, adj)
+    Ok(Topology::from_adjacency(TopologyKind::Tree, adj))
 }
 
 /// Star: node 0 is the hub.
-pub fn star(n: usize) -> Topology {
-    assert!(n >= 1);
+pub fn star(n: usize) -> Result<Topology, TopologyError> {
+    check_size("star", n)?;
     let mut adj = vec![Vec::new(); n];
     for i in 1..n {
-        adj[0].push(NodeId(i as u16));
+        adj[0].push(nid(i));
         adj[i].push(NodeId(0));
     }
-    Topology::from_adjacency(TopologyKind::Star, adj)
+    Ok(Topology::from_adjacency(TopologyKind::Star, adj))
 }
 
-/// Complete graph (idealized crossbar).
-pub fn complete(n: usize) -> Topology {
-    assert!(n >= 1);
+/// Complete graph (idealized crossbar). Caps at [`COMPLETE_MAX_NODES`]
+/// because the adjacency is quadratic in `n`.
+pub fn complete(n: usize) -> Result<Topology, TopologyError> {
+    check_size("complete", n)?;
+    if n > COMPLETE_MAX_NODES {
+        return Err(TopologyError::TooManyNodes {
+            shape: "complete",
+            requested: n as u128,
+            max: COMPLETE_MAX_NODES as u64,
+        });
+    }
     let adj = (0..n)
-        .map(|i| {
-            (0..n)
-                .filter(|&j| j != i)
-                .map(|j| NodeId(j as u16))
-                .collect()
-        })
+        .map(|i| (0..n).filter(|&j| j != i).map(nid).collect())
         .collect();
-    Topology::from_adjacency(TopologyKind::Complete, adj)
+    Ok(Topology::from_adjacency(TopologyKind::Complete, adj))
 }
 
 /// Nodes in a three-level `k`-ary fat-tree: `k³/4` hosts + `k²/2` edge +
@@ -188,13 +269,28 @@ pub fn fat_tree_size(k: usize) -> usize {
     k * k * k / 4 + k * k + k * k / 4
 }
 
+/// [`fat_tree_size`] in 128-bit, safe for any `k`.
+fn fat_tree_size_wide(k: usize) -> u128 {
+    let k = k as u128;
+    k * k * k / 4 + k * k + k * k / 4
+}
+
 /// Three-level k-ary fat-tree (`k` even, >= 2), every vertex a processor:
 /// hosts first (`k³/4`), then per-pod edge switches (`k²/2`), per-pod
 /// aggregation switches (`k²/2`), and core switches (`k²/4`) last. Pod `p`
 /// holds edge/agg switches `p·k/2 .. (p+1)·k/2`; aggregation switch `j` of
 /// every pod uplinks to core group `j` (cores `j·k/2 .. (j+1)·k/2`).
-pub fn fat_tree(k: usize) -> Topology {
-    assert!(k >= 2 && k.is_multiple_of(2), "fat_tree: k must be even and >= 2");
+pub fn fat_tree(k: usize) -> Result<Topology, TopologyError> {
+    if k < 2 || !k.is_multiple_of(2) {
+        return Err(TopologyError::Unrealizable { shape: "fat_tree", n: k as u128 });
+    }
+    if fat_tree_size_wide(k) > MAX_NODES as u128 {
+        return Err(TopologyError::TooManyNodes {
+            shape: "fat_tree",
+            requested: fat_tree_size_wide(k),
+            max: MAX_NODES as u64,
+        });
+    }
     let half = k / 2;
     let hosts = k * k * k / 4;
     let edges = k * k / 2;
@@ -205,8 +301,8 @@ pub fn fat_tree(k: usize) -> Topology {
     let core0 = hosts + edges + aggs;
     let mut adj: Vec<Vec<NodeId>> = vec![Vec::with_capacity(k); n];
     let connect = |a: usize, b: usize, adj: &mut Vec<Vec<NodeId>>| {
-        adj[a].push(NodeId(b as u16));
-        adj[b].push(NodeId(a as u16));
+        adj[a].push(nid(b));
+        adj[b].push(nid(a));
     };
     for hst in 0..hosts {
         // Pods hold k²/4 hosts, k/2 per edge switch.
@@ -227,25 +323,33 @@ pub fn fat_tree(k: usize) -> Topology {
             }
         }
     }
-    Topology::from_adjacency(TopologyKind::FatTree { k: k as u16 }, adj)
+    // k <= 2580 once the size fits MAX_NODES, so the radix fits u16.
+    let k16 = u16::try_from(k).expect("fat-tree radix exceeds u16 after size check");
+    Ok(Topology::from_adjacency(TopologyKind::FatTree { k: k16 }, adj))
 }
 
 /// The fat-tree whose vertex count is exactly `n`, if one exists.
-pub fn fat_tree_for(n: usize) -> Option<Topology> {
+pub fn fat_tree_for(n: usize) -> Result<Topology, TopologyError> {
+    check_size("fat_tree", n)?;
     let mut k = 2;
     while fat_tree_size(k) <= n {
         if fat_tree_size(k) == n {
-            return Some(fat_tree(k));
+            return fat_tree(k);
         }
         k += 2;
     }
-    None
+    Err(TopologyError::Unrealizable { shape: "fat_tree", n: n as u128 })
 }
 
 /// Nodes in a `dragonfly(a, p, h)`: `a·h + 1` groups of `a` routers with
 /// `p` terminals each.
 pub fn dragonfly_size(a: usize, p: usize, h: usize) -> usize {
     (a * h + 1) * a * (1 + p)
+}
+
+/// [`dragonfly_size`] in 128-bit, safe for any parameters.
+fn dragonfly_size_wide(a: usize, p: usize, h: usize) -> u128 {
+    (a as u128 * h as u128 + 1) * a as u128 * (1 + p as u128)
 }
 
 /// Dragonfly with `a` routers per group (complete intra-group graph), `p`
@@ -255,17 +359,26 @@ pub fn dragonfly_size(a: usize, p: usize, h: usize) -> usize {
 /// `(i + q + 1) mod g`). Group `i` occupies the index block
 /// `i·a·(1+p) ..`; within it router `r` sits at `r·(1+p)` followed by its
 /// `p` terminals. Routers and terminals are all processors.
-pub fn dragonfly(a: usize, p: usize, h: usize) -> Topology {
-    assert!(a >= 1 && p >= 1 && h >= 1, "dragonfly: need a, p, h >= 1");
+pub fn dragonfly(a: usize, p: usize, h: usize) -> Result<Topology, TopologyError> {
+    if a < 1 || p < 1 || h < 1 {
+        return Err(TopologyError::Empty { shape: "dragonfly" });
+    }
+    if dragonfly_size_wide(a, p, h) > MAX_NODES as u128 {
+        return Err(TopologyError::TooManyNodes {
+            shape: "dragonfly",
+            requested: dragonfly_size_wide(a, p, h),
+            max: MAX_NODES as u64,
+        });
+    }
     let groups = a * h + 1;
     let block = a * (1 + p);
     let n = dragonfly_size(a, p, h);
     let router = |g: usize, r: usize| g * block + r * (1 + p);
     let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     let connect = |x: usize, y: usize, adj: &mut Vec<Vec<NodeId>>| {
-        if !adj[x].contains(&NodeId(y as u16)) {
-            adj[x].push(NodeId(y as u16));
-            adj[y].push(NodeId(x as u16));
+        if !adj[x].contains(&nid(y)) {
+            adj[x].push(nid(y));
+            adj[y].push(nid(x));
         }
     };
     for g in 0..groups {
@@ -286,14 +399,16 @@ pub fn dragonfly(a: usize, p: usize, h: usize) -> Topology {
             }
         }
     }
-    Topology::from_adjacency(
+    // The size check bounds a, p, h well under u16::MAX.
+    let param = |v: usize| u16::try_from(v).expect("dragonfly parameter exceeds u16");
+    Ok(Topology::from_adjacency(
         TopologyKind::Dragonfly {
-            a: a as u16,
-            p: p as u16,
-            h: h as u16,
+            a: param(a),
+            p: param(p),
+            h: param(h),
         },
         adj,
-    )
+    ))
 }
 
 /// Index geometry of [`fat_tree`]'s vertex layout, shared by the up/down
@@ -430,15 +545,16 @@ impl DragonflyGeom {
 
 /// The balanced (`a = 2h`, `p = h`) dragonfly whose vertex count is
 /// exactly `n`, if one exists.
-pub fn dragonfly_for(n: usize) -> Option<Topology> {
+pub fn dragonfly_for(n: usize) -> Result<Topology, TopologyError> {
+    check_size("dragonfly", n)?;
     let mut h = 1;
     while dragonfly_size(2 * h, h, h) <= n {
         if dragonfly_size(2 * h, h, h) == n {
-            return Some(dragonfly(2 * h, h, h));
+            return dragonfly(2 * h, h, h);
         }
         h += 1;
     }
-    None
+    Err(TopologyError::Unrealizable { shape: "dragonfly", n: n as u128 })
 }
 
 /// The hardwired base configuration of the paper's machine: four pipelines
@@ -446,12 +562,12 @@ pub fn dragonfly_for(n: usize) -> Option<Topology> {
 /// connected (one inter-nap link between consecutive naps). The C004
 /// switches let the real machine rewire the spare links into any of the
 /// logical topologies; simulated experiments use those logical topologies
-/// directly.
+/// directly. Infallible: the shape is fixed at 16 nodes.
 pub fn nap_backbone() -> Topology {
     let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); 16];
     let mut connect = |a: usize, b: usize| {
-        adj[a].push(NodeId(b as u16));
-        adj[b].push(NodeId(a as u16));
+        adj[a].push(nid(b));
+        adj[b].push(nid(a));
     };
     for nap in 0..4 {
         let base = nap * 4;
@@ -468,32 +584,41 @@ pub fn nap_backbone() -> Topology {
 
 /// Build the topology the paper calls `<n><letter>` (e.g. `8L`, `4H`).
 ///
-/// Returns `None` for combinations the shape cannot realize (a hypercube
-/// needs a power-of-two node count).
-pub fn by_kind(kind: TopologyKind, n: usize) -> Option<Topology> {
+/// Returns a typed error for combinations the shape cannot realize (a
+/// hypercube needs a power-of-two node count) or that exceed the node-id
+/// ceiling.
+pub fn by_kind(kind: TopologyKind, n: usize) -> Result<Topology, TopologyError> {
     match kind {
-        TopologyKind::Linear => Some(linear(n)),
-        TopologyKind::Ring => Some(ring(n)),
-        TopologyKind::Mesh { .. } => Some(mesh_for(n)),
+        TopologyKind::Linear => linear(n),
+        TopologyKind::Ring => ring(n),
+        TopologyKind::Mesh { .. } => mesh_for(n),
         TopologyKind::Hypercube { .. } => {
+            check_size("hypercube", n)?;
             if n.is_power_of_two() {
-                Some(hypercube(n.trailing_zeros() as u8))
+                hypercube(u8::try_from(n.trailing_zeros()).expect("log2 fits u8"))
             } else {
-                None
+                Err(TopologyError::Unrealizable { shape: "hypercube", n: n as u128 })
             }
         }
-        TopologyKind::Torus { .. } => Some(torus_for(n)),
-        TopologyKind::Tree => Some(binary_tree(n)),
-        TopologyKind::Star => Some(star(n)),
-        TopologyKind::Complete => Some(complete(n)),
+        TopologyKind::Torus { .. } => torus_for(n),
+        TopologyKind::Tree => binary_tree(n),
+        TopologyKind::Star => star(n),
+        TopologyKind::Complete => complete(n),
         TopologyKind::FatTree { k: 0 } => fat_tree_for(n),
         TopologyKind::FatTree { k } => {
-            (fat_tree_size(k as usize) == n).then(|| fat_tree(k as usize))
+            if fat_tree_size(k as usize) == n {
+                fat_tree(k as usize)
+            } else {
+                Err(TopologyError::Unrealizable { shape: "fat_tree", n: n as u128 })
+            }
         }
         TopologyKind::Dragonfly { a: 0, p: 0, h: 0 } => dragonfly_for(n),
         TopologyKind::Dragonfly { a, p, h } => {
-            (dragonfly_size(a as usize, p as usize, h as usize) == n)
-                .then(|| dragonfly(a as usize, p as usize, h as usize))
+            if dragonfly_size(a as usize, p as usize, h as usize) == n {
+                dragonfly(a as usize, p as usize, h as usize)
+            } else {
+                Err(TopologyError::Unrealizable { shape: "dragonfly", n: n as u128 })
+            }
         }
     }
 }
@@ -504,7 +629,7 @@ mod tests {
 
     #[test]
     fn linear_shape() {
-        let t = linear(5);
+        let t = linear(5).unwrap();
         assert_eq!(t.len(), 5);
         assert_eq!(t.edge_count(), 4);
         assert_eq!(t.degree(NodeId(0)), 1);
@@ -514,7 +639,14 @@ mod tests {
 
     #[test]
     fn single_node_topologies() {
-        for t in [linear(1), ring(1), mesh(1, 1), hypercube(0), star(1), complete(1)] {
+        for t in [
+            linear(1).unwrap(),
+            ring(1).unwrap(),
+            mesh(1, 1).unwrap(),
+            hypercube(0).unwrap(),
+            star(1).unwrap(),
+            complete(1).unwrap(),
+        ] {
             assert_eq!(t.len(), 1);
             assert_eq!(t.edge_count(), 0);
             assert!(t.is_connected());
@@ -522,8 +654,55 @@ mod tests {
     }
 
     #[test]
+    fn zero_sized_requests_are_typed_errors() {
+        assert_eq!(linear(0).unwrap_err(), TopologyError::Empty { shape: "linear" });
+        assert_eq!(ring(0).unwrap_err(), TopologyError::Empty { shape: "ring" });
+        assert_eq!(mesh(0, 5).unwrap_err(), TopologyError::Empty { shape: "mesh" });
+        assert_eq!(mesh(5, 0).unwrap_err(), TopologyError::Empty { shape: "mesh" });
+        assert_eq!(torus(0, 0).unwrap_err(), TopologyError::Empty { shape: "torus" });
+        assert_eq!(star(0).unwrap_err(), TopologyError::Empty { shape: "star" });
+        assert_eq!(
+            dragonfly(2, 0, 1).unwrap_err(),
+            TopologyError::Empty { shape: "dragonfly" }
+        );
+    }
+
+    #[test]
+    fn oversize_requests_are_typed_errors_not_wraps() {
+        // > 2^32 - 1 nodes: every shape must refuse.
+        let big = MAX_NODES + 1;
+        assert!(matches!(linear(big), Err(TopologyError::TooManyNodes { .. })));
+        assert!(matches!(ring(big), Err(TopologyError::TooManyNodes { .. })));
+        assert!(matches!(
+            binary_tree(big),
+            Err(TopologyError::TooManyNodes { .. })
+        ));
+        assert!(matches!(hypercube(32), Err(TopologyError::TooManyNodes { .. })));
+        // Mesh extent product overflowing usize is caught before wrapping.
+        let e = mesh(usize::MAX, usize::MAX).unwrap_err();
+        match e {
+            TopologyError::TooManyNodes { shape, requested, .. } => {
+                assert_eq!(shape, "mesh");
+                assert_eq!(requested, usize::MAX as u128 * usize::MAX as u128);
+            }
+            other => panic!("expected TooManyNodes, got {other:?}"),
+        }
+        // 2^32 exactly is one past the ceiling (ids 0..2^32-1 inclusive).
+        assert!(matches!(
+            mesh(1 << 16, 1 << 16),
+            Err(TopologyError::TooManyNodes { .. })
+        ));
+        // Complete caps lower (quadratic adjacency).
+        assert!(matches!(
+            complete(COMPLETE_MAX_NODES + 1),
+            Err(TopologyError::TooManyNodes { max: 4096, .. })
+        ));
+        assert!(complete(64).is_ok());
+    }
+
+    #[test]
     fn ring_shape() {
-        let t = ring(6);
+        let t = ring(6).unwrap();
         assert_eq!(t.edge_count(), 6);
         assert!(t.nodes().all(|u| t.degree(u) == 2));
         assert!(t.adjacent(NodeId(0), NodeId(5)));
@@ -531,14 +710,14 @@ mod tests {
 
     #[test]
     fn ring_of_two_is_single_edge() {
-        let t = ring(2);
+        let t = ring(2).unwrap();
         assert_eq!(t.edge_count(), 1);
         assert_eq!(t.kind(), TopologyKind::Ring);
     }
 
     #[test]
     fn mesh_shape() {
-        let t = mesh(4, 4);
+        let t = mesh(4, 4).unwrap();
         assert_eq!(t.len(), 16);
         assert_eq!(t.edge_count(), 24);
         assert_eq!(t.degree(NodeId(0)), 2); // corner
@@ -549,15 +728,25 @@ mod tests {
 
     #[test]
     fn mesh_for_picks_squarest() {
-        assert_eq!(mesh_for(16).kind(), TopologyKind::Mesh { rows: 4, cols: 4 });
-        assert_eq!(mesh_for(8).kind(), TopologyKind::Mesh { rows: 2, cols: 4 });
-        assert_eq!(mesh_for(4).kind(), TopologyKind::Mesh { rows: 2, cols: 2 });
-        assert_eq!(mesh_for(2).kind(), TopologyKind::Mesh { rows: 1, cols: 2 });
+        let kind_of = |n: usize| mesh_for(n).unwrap().kind();
+        assert_eq!(kind_of(16), TopologyKind::Mesh { rows: 4, cols: 4 });
+        assert_eq!(kind_of(8), TopologyKind::Mesh { rows: 2, cols: 4 });
+        assert_eq!(kind_of(4), TopologyKind::Mesh { rows: 2, cols: 2 });
+        assert_eq!(kind_of(2), TopologyKind::Mesh { rows: 1, cols: 2 });
+    }
+
+    #[test]
+    fn isqrt_is_exact() {
+        for n in 0..200 {
+            let r = isqrt(n);
+            assert!(r * r <= n && (r + 1) * (r + 1) > n, "isqrt({n}) = {r}");
+        }
+        assert_eq!(isqrt(usize::MAX), (1 << 32) - 1);
     }
 
     #[test]
     fn hypercube_shape() {
-        let t = hypercube(4);
+        let t = hypercube(4).unwrap();
         assert_eq!(t.len(), 16);
         assert_eq!(t.edge_count(), 32);
         assert!(t.nodes().all(|u| t.degree(u) == 4));
@@ -570,10 +759,10 @@ mod tests {
         // Every topology the paper configures must respect the T805's four
         // physical links per processor.
         for t in [
-            linear(16),
-            ring(16),
-            mesh(4, 4),
-            hypercube(4),
+            linear(16).unwrap(),
+            ring(16).unwrap(),
+            mesh(4, 4).unwrap(),
+            hypercube(4).unwrap(),
         ] {
             assert!(t.max_degree() <= 4, "{} exceeds 4 links", t.kind());
         }
@@ -595,7 +784,10 @@ mod tests {
             by_kind(TopologyKind::Hypercube { dim: 0 }, 8).unwrap().len(),
             8
         );
-        assert!(by_kind(TopologyKind::Hypercube { dim: 0 }, 6).is_none());
+        assert!(matches!(
+            by_kind(TopologyKind::Hypercube { dim: 0 }, 6),
+            Err(TopologyError::Unrealizable { shape: "hypercube", n: 6 })
+        ));
         assert_eq!(by_kind(TopologyKind::Linear, 3).unwrap().len(), 3);
         assert_eq!(
             by_kind(TopologyKind::Mesh { rows: 0, cols: 0 }, 8)
@@ -607,7 +799,7 @@ mod tests {
 
     #[test]
     fn torus_shape() {
-        let t = torus(4, 4);
+        let t = torus(4, 4).unwrap();
         assert_eq!(t.len(), 16);
         assert!(t.nodes().all(|u| t.degree(u) == 4), "torus is regular");
         assert!(t.max_degree() <= 4, "must fit 4 transputer links");
@@ -615,21 +807,21 @@ mod tests {
         assert!(t.adjacent(NodeId(0), NodeId(3)), "row wraparound");
         assert!(t.adjacent(NodeId(0), NodeId(12)), "column wraparound");
         // Degenerate extents collapse gracefully.
-        assert_eq!(torus(1, 4).edge_count(), 4); // ring of 4
-        assert_eq!(torus(2, 2).edge_count(), 4); // no double edges
+        assert_eq!(torus(1, 4).unwrap().edge_count(), 4); // ring of 4
+        assert_eq!(torus(2, 2).unwrap().edge_count(), 4); // no double edges
     }
 
     #[test]
     fn torus_beats_mesh_on_distance() {
-        let m = crate::metrics::metrics(&mesh(4, 4));
-        let t = crate::metrics::metrics(&torus(4, 4));
+        let m = crate::metrics::metrics(&mesh(4, 4).unwrap());
+        let t = crate::metrics::metrics(&torus(4, 4).unwrap());
         assert!(t.diameter < m.diameter, "wraparound halves the diameter");
         assert!(t.avg_distance < m.avg_distance);
     }
 
     #[test]
     fn binary_tree_shape() {
-        let t = binary_tree(15);
+        let t = binary_tree(15).unwrap();
         assert_eq!(t.edge_count(), 14);
         assert_eq!(t.degree(NodeId(0)), 2);
         assert_eq!(t.degree(NodeId(1)), 3);
@@ -643,7 +835,7 @@ mod tests {
     #[test]
     fn fat_tree_shape() {
         // k = 4: 16 hosts, 8 edge, 8 agg, 4 core = 36 vertices, degree k.
-        let t = fat_tree(4);
+        let t = fat_tree(4).unwrap();
         assert_eq!(t.len(), 36);
         assert_eq!(fat_tree_size(4), 36);
         assert!(t.is_connected());
@@ -656,14 +848,22 @@ mod tests {
         assert_eq!(t.edge_count(), 48);
         assert_eq!(fat_tree_size(2), 7);
         assert_eq!(fat_tree_size(8), 208);
-        assert_eq!(fat_tree_for(36).unwrap().kind(), TopologyKind::FatTree { k: 4 });
-        assert!(fat_tree_for(37).is_none());
+        assert_eq!(
+            fat_tree_for(36).unwrap().kind(),
+            TopologyKind::FatTree { k: 4 }
+        );
+        assert!(matches!(
+            fat_tree_for(37),
+            Err(TopologyError::Unrealizable { shape: "fat_tree", n: 37 })
+        ));
+        assert!(matches!(fat_tree(3), Err(TopologyError::Unrealizable { .. })));
+        assert!(matches!(fat_tree(2600), Err(TopologyError::TooManyNodes { .. })));
     }
 
     #[test]
     fn dragonfly_shape() {
         // a=3, p=3, h=1: 4 groups of 3 routers + 9 terminals = 48 vertices.
-        let t = dragonfly(3, 3, 1);
+        let t = dragonfly(3, 3, 1).unwrap();
         assert_eq!(t.len(), 48);
         assert_eq!(dragonfly_size(3, 3, 1), 48);
         assert!(t.is_connected());
@@ -677,22 +877,25 @@ mod tests {
             dragonfly_for(108).unwrap().kind(),
             TopologyKind::Dragonfly { a: 4, p: 2, h: 2 }
         );
-        assert!(dragonfly_for(100).is_none());
+        assert!(matches!(
+            dragonfly_for(100),
+            Err(TopologyError::Unrealizable { shape: "dragonfly", n: 100 })
+        ));
     }
 
     #[test]
     fn by_kind_modern_topologies() {
         assert_eq!(by_kind(TopologyKind::FatTree { k: 0 }, 36).unwrap().len(), 36);
-        assert!(by_kind(TopologyKind::FatTree { k: 0 }, 35).is_none());
+        assert!(by_kind(TopologyKind::FatTree { k: 0 }, 35).is_err());
         assert_eq!(by_kind(TopologyKind::FatTree { k: 4 }, 36).unwrap().len(), 36);
-        assert!(by_kind(TopologyKind::FatTree { k: 4 }, 16).is_none());
+        assert!(by_kind(TopologyKind::FatTree { k: 4 }, 16).is_err());
         assert_eq!(
             by_kind(TopologyKind::Dragonfly { a: 1, p: 7, h: 1 }, 16)
                 .unwrap()
                 .len(),
             16
         );
-        assert!(by_kind(TopologyKind::Dragonfly { a: 1, p: 7, h: 1 }, 12).is_none());
+        assert!(by_kind(TopologyKind::Dragonfly { a: 1, p: 7, h: 1 }, 12).is_err());
         assert_eq!(
             by_kind(TopologyKind::Dragonfly { a: 0, p: 0, h: 0 }, 12)
                 .unwrap()
@@ -703,9 +906,9 @@ mod tests {
 
     #[test]
     fn complete_and_star() {
-        let c = complete(5);
+        let c = complete(5).unwrap();
         assert_eq!(c.edge_count(), 10);
-        let s = star(5);
+        let s = star(5).unwrap();
         assert_eq!(s.edge_count(), 4);
         assert_eq!(s.degree(NodeId(0)), 4);
     }

@@ -127,7 +127,7 @@ pub fn channel_dependency_cycle<F>(
 where
     F: Fn(NodeId, &[NodeId]) -> Vec<u8>,
 {
-    let mut index: HashMap<(u16, u16, u8), usize> = HashMap::new();
+    let mut index: HashMap<(u32, u32, u8), usize> = HashMap::new();
     let mut nodes: Vec<(Channel, u8)> = Vec::new();
     let mut deps: Vec<Vec<usize>> = Vec::new();
     for src in topo.nodes() {
@@ -216,23 +216,23 @@ mod tests {
     #[test]
     fn canonical_combinations_are_deadlock_free() {
         for topo in [
-            build::linear(8),
-            build::ring(6),
-            build::ring(9),
-            build::mesh(4, 4),
-            build::hypercube(4),
-            build::torus(4, 4),
-            build::torus(3, 5),
-            build::torus(2, 6),
-            build::binary_tree(15),
-            build::star(8),
-            build::complete(6),
+            build::linear(8).unwrap(),
+            build::ring(6).unwrap(),
+            build::ring(9).unwrap(),
+            build::mesh(4, 4).unwrap(),
+            build::hypercube(4).unwrap(),
+            build::torus(4, 4).unwrap(),
+            build::torus(3, 5).unwrap(),
+            build::torus(2, 6).unwrap(),
+            build::binary_tree(15).unwrap(),
+            build::star(8).unwrap(),
+            build::complete(6).unwrap(),
             build::nap_backbone(),
-            build::fat_tree(4),
-            build::fat_tree(8),
-            build::dragonfly(2, 1, 1),
-            build::dragonfly(3, 3, 1),
-            build::dragonfly(4, 2, 2),
+            build::fat_tree(4).unwrap(),
+            build::fat_tree(8).unwrap(),
+            build::dragonfly(2, 1, 1).unwrap(),
+            build::dragonfly(3, 3, 1).unwrap(),
+            build::dragonfly(4, 2, 2).unwrap(),
         ] {
             assert_deadlock_free(&topo);
         }
@@ -240,7 +240,7 @@ mod tests {
 
     #[test]
     fn valiant_dragonfly_is_deadlock_free_with_three_classes() {
-        for topo in [build::dragonfly(3, 3, 1), build::dragonfly(4, 2, 2)] {
+        for topo in [build::dragonfly(3, 3, 1).unwrap(), build::dragonfly(4, 2, 2).unwrap()] {
             let kind = topo.kind();
             let n = topo.len();
             let router = Router::dragonfly_valiant(&topo);
@@ -256,7 +256,7 @@ mod tests {
     /// and the checker must say so.
     #[test]
     fn no_escape_ring_fixture_is_caught() {
-        let topo = build::ring(6);
+        let topo = build::ring(6).unwrap();
         let router = Router::for_topology(&topo);
         let cycle = channel_dependency_cycle(&topo, &router, |_, path| vec![0; path.len()])
             .expect("class-collapsed ring must contain a dependency cycle");
@@ -270,7 +270,7 @@ mod tests {
 
     #[test]
     fn no_escape_torus_fixture_is_caught() {
-        let topo = build::torus(4, 4);
+        let topo = build::torus(4, 4).unwrap();
         let router = Router::for_topology(&topo);
         assert!(
             channel_dependency_cycle(&topo, &router, |_, path| vec![0; path.len()]).is_some(),
@@ -281,11 +281,11 @@ mod tests {
     #[test]
     fn class_counts_match_assignments() {
         for topo in [
-            build::ring(8),
-            build::torus(4, 4),
-            build::fat_tree(4),
-            build::dragonfly(3, 3, 1),
-            build::mesh(3, 3),
+            build::ring(8).unwrap(),
+            build::torus(4, 4).unwrap(),
+            build::fat_tree(4).unwrap(),
+            build::dragonfly(3, 3, 1).unwrap(),
+            build::mesh(3, 3).unwrap(),
         ] {
             let kind = topo.kind();
             let n = topo.len();

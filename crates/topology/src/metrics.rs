@@ -24,7 +24,7 @@ pub struct TopologyMetrics {
 /// ```
 /// use parsched_topology::{build, metrics::metrics};
 ///
-/// let cube = metrics(&build::hypercube(4));
+/// let cube = metrics(&build::hypercube(4).unwrap());
 /// assert_eq!(cube.diameter, 4);
 /// assert_eq!(cube.bisection_width, 8);
 /// ```
@@ -157,30 +157,30 @@ mod tests {
 
     #[test]
     fn known_diameters() {
-        assert_eq!(diameter(&build::linear(16)), 15);
-        assert_eq!(diameter(&build::ring(16)), 8);
-        assert_eq!(diameter(&build::mesh(4, 4)), 6);
-        assert_eq!(diameter(&build::hypercube(4)), 4);
-        assert_eq!(diameter(&build::complete(16)), 1);
-        assert_eq!(diameter(&build::star(16)), 2);
+        assert_eq!(diameter(&build::linear(16).unwrap()), 15);
+        assert_eq!(diameter(&build::ring(16).unwrap()), 8);
+        assert_eq!(diameter(&build::mesh(4, 4).unwrap()), 6);
+        assert_eq!(diameter(&build::hypercube(4).unwrap()), 4);
+        assert_eq!(diameter(&build::complete(16).unwrap()), 1);
+        assert_eq!(diameter(&build::star(16).unwrap()), 2);
     }
 
     #[test]
     fn known_bisections() {
-        assert_eq!(bisection_width(&build::linear(16)), 1);
-        assert_eq!(bisection_width(&build::ring(16)), 2);
-        assert_eq!(bisection_width(&build::mesh(4, 4)), 4);
-        assert_eq!(bisection_width(&build::hypercube(4)), 8);
+        assert_eq!(bisection_width(&build::linear(16).unwrap()), 1);
+        assert_eq!(bisection_width(&build::ring(16).unwrap()), 2);
+        assert_eq!(bisection_width(&build::mesh(4, 4).unwrap()), 4);
+        assert_eq!(bisection_width(&build::hypercube(4).unwrap()), 8);
     }
 
     #[test]
     fn avg_distance_orders_paper_topologies() {
         // The paper's intuition: linear is the "low degree, long diameter"
         // worst case; hypercube the best.
-        let l = metrics(&build::linear(16)).avg_distance;
-        let r = metrics(&build::ring(16)).avg_distance;
-        let m = metrics(&build::mesh(4, 4)).avg_distance;
-        let h = metrics(&build::hypercube(4)).avg_distance;
+        let l = metrics(&build::linear(16).unwrap()).avg_distance;
+        let r = metrics(&build::ring(16).unwrap()).avg_distance;
+        let m = metrics(&build::mesh(4, 4).unwrap()).avg_distance;
+        let h = metrics(&build::hypercube(4).unwrap()).avg_distance;
         assert!(l > r && r > m && m > h, "l={l} r={r} m={m} h={h}");
     }
 
@@ -188,14 +188,14 @@ mod tests {
     fn avg_distance_linear_formula() {
         // Mean distance of a path graph on n nodes is (n+1)/3.
         let n = 10usize;
-        let got = metrics(&build::linear(n)).avg_distance;
+        let got = metrics(&build::linear(n).unwrap()).avg_distance;
         let expect = (n as f64 + 1.0) / 3.0;
         assert!((got - expect).abs() < 1e-9, "got {got}, expect {expect}");
     }
 
     #[test]
     fn single_node_metrics() {
-        let m = metrics(&build::linear(1));
+        let m = metrics(&build::linear(1).unwrap());
         assert_eq!(m.diameter, 0);
         assert_eq!(m.avg_distance, 0.0);
         assert_eq!(m.bisection_width, 0);
@@ -203,7 +203,7 @@ mod tests {
 
     #[test]
     fn greedy_bisection_reasonable_on_large_ring() {
-        let t = build::ring(32);
+        let t = build::ring(32).unwrap();
         let w = bisection_width(&t);
         assert!((2..=4).contains(&w), "ring-32 bisection came out {w}");
     }

@@ -44,7 +44,7 @@ impl Partition {
             "processor {global} not in partition {}",
             self.id
         );
-        NodeId((global - self.base) as u16)
+        NodeId::from_index(global - self.base)
     }
 
     /// True if the global processor index belongs to this partition.
@@ -159,7 +159,7 @@ impl PartitionPlan {
         let mut partitions = Vec::with_capacity(count);
         for id in 0..count {
             let topology = build::by_kind(kind, partition_size)
-                .ok_or(PlanError::Unrealizable { partition_size, kind })?;
+                .map_err(|_| PlanError::Unrealizable { partition_size, kind })?;
             partitions.push(Partition {
                 id,
                 base: id * partition_size,

@@ -1,24 +1,36 @@
 //! Routing.
 //!
 //! The store-and-forward network needs, at every node, the next hop toward
-//! any destination. A [`Router`] is a full next-hop table. Three builders
-//! are provided:
+//! any destination. A [`Router`] answers that query either from a full
+//! next-hop table (BFS shortest paths, for arbitrary adjacency) or — for
+//! every canonical builder shape — *algorithmically*, from the same pure
+//! per-kind hop formulas that used to fill the tables. The algorithmic
+//! strategies need O(1) memory instead of the table's O(n²), which is what
+//! lets routers exist at 16k–64k nodes (a 64k-node table would be 17 GB);
+//! because they evaluate the exact formulas the tables were filled from,
+//! next hops are bit-identical to the tabled ones.
 //!
 //! * [`Router::shortest_path`] — BFS-based minimal routing for any topology,
-//!   deterministic (smallest-index neighbor wins ties).
+//!   deterministic (smallest-index neighbor wins ties). Tabled.
 //! * [`Router::dimension_order`] — X-then-Y routing for meshes (minimal and
 //!   deadlock-free under hop-by-hop buffering).
 //! * [`Router::ecube`] — e-cube routing for hypercubes (fix address bits
 //!   lowest-first; minimal and deadlock-free).
+//! * [`Router::dimension_order_torus`], [`Router::fat_tree_updown`],
+//!   [`Router::dragonfly_minimal`] / [`Router::dragonfly_valiant`] — the
+//!   per-shape strategies from PR 9.
 //!
-//! For linear arrays and rings, shortest-path BFS already yields the natural
-//! route (rings break distance ties toward the lower-index neighbor).
+//! [`Router::for_topology`] additionally recognizes canonical linear
+//! arrays, rings, binary trees, stars and complete graphs (validating the
+//! adjacency in O(E)) and routes them with closed-form hops that reproduce
+//! BFS's tie-breaking exactly; a hand-built non-canonical adjacency falls
+//! back to the BFS table, as before.
 
 use crate::build::{DragonflyGeom, FatTreeGeom};
 use crate::types::{NodeId, Topology, TopologyKind};
 
 /// Sentinel marking "no route" / "self" entries in the next-hop table.
-const NO_HOP: u16 = u16::MAX;
+const NO_HOP: u32 = u32::MAX;
 
 /// One up*/down* step from `cur` toward `dst` (`cur != dst`). Applied
 /// hop-by-hop, so the table walk is self-consistent by construction.
@@ -107,18 +119,113 @@ fn dragonfly_hop(g: &DragonflyGeom, cur: usize, dst: usize, valiant: bool) -> us
     }
 }
 
-/// A complete next-hop table for one topology.
+/// One dimension-order mesh step (columns first, then rows).
+#[inline]
+fn mesh_hop(cols: usize, src: usize, dst: usize) -> usize {
+    let (sr, sc) = (src / cols, src % cols);
+    let (dr, dc) = (dst / cols, dst % cols);
+    if sc < dc {
+        src + 1
+    } else if sc > dc {
+        src - 1
+    } else if sr < dr {
+        src + cols
+    } else {
+        src - cols
+    }
+}
+
+/// One step along a ring of length `len`, the shortest way from `a` toward
+/// `b` (ties go up/forward, matching the torus table builder).
+#[inline]
+fn ring_step(a: usize, b: usize, len: usize) -> usize {
+    let fwd = (b + len - a) % len;
+    let bwd = (a + len - b) % len;
+    if fwd <= bwd {
+        (a + 1) % len
+    } else {
+        (a + len - 1) % len
+    }
+}
+
+/// One dimension-order torus step (columns first, shortest way around each
+/// ring).
+#[inline]
+fn torus_hop(rows: usize, cols: usize, src: usize, dst: usize) -> usize {
+    let (sr, sc) = (src / cols, src % cols);
+    let (dr, dc) = (dst / cols, dst % cols);
+    if sc != dc {
+        sr * cols + ring_step(sc, dc, cols)
+    } else {
+        ring_step(sr, dr, rows) * cols + sc
+    }
+}
+
+/// One shortest-way ring hop with BFS tie-breaking: at the antipode of an
+/// even ring both directions are downhill and BFS picks the smaller
+/// neighbor index.
+#[inline]
+fn ring_hop(n: usize, src: usize, dst: usize) -> usize {
+    let fwd = (dst + n - src) % n;
+    let bwd = n - fwd;
+    let up = (src + 1) % n;
+    let down = (src + n - 1) % n;
+    if fwd < bwd {
+        up
+    } else if bwd < fwd {
+        down
+    } else {
+        up.min(down)
+    }
+}
+
+/// One hop down (or up) the complete binary tree rooted at 0: descend into
+/// the child whose subtree holds `dst`, else climb to the parent. The tree
+/// path is unique, so this matches BFS exactly.
+fn tree_hop(src: usize, dst: usize) -> usize {
+    let mut v = dst;
+    while v > src {
+        let parent = (v - 1) / 2;
+        if parent == src {
+            return v; // v is src's child on the (unique) path to dst
+        }
+        v = parent;
+    }
+    (src - 1) / 2 // src is not an ancestor of dst: go up
+}
+
+/// How a [`Router`] answers next-hop queries. Table for BFS (arbitrary
+/// adjacency); everything else is the closed-form hop rule of one
+/// canonical shape, evaluated on demand.
+#[derive(Debug, Clone)]
+enum Strategy {
+    /// `table[src * n + dst]` = next hop from `src` toward `dst`.
+    Table(Vec<u32>),
+    Linear,
+    Ring,
+    Mesh { cols: usize },
+    Torus { rows: usize, cols: usize },
+    Hypercube,
+    Tree,
+    Star,
+    Complete,
+    FatTree(FatTreeGeom),
+    Dragonfly { geom: DragonflyGeom, valiant: bool },
+}
+
+/// A next-hop oracle for one topology.
 #[derive(Debug, Clone)]
 pub struct Router {
     n: usize,
-    /// `table[src * n + dst]` = next hop from `src` toward `dst`.
-    table: Vec<u16>,
+    strategy: Strategy,
 }
 
 impl Router {
     /// Minimal routing for an arbitrary connected topology via per-
     /// destination BFS. Ties broken toward the smallest neighbor index, so
-    /// tables are deterministic.
+    /// tables are deterministic. This is the only strategy that
+    /// materializes an O(n²) table; the canonical shapes route
+    /// algorithmically.
     pub fn shortest_path(topo: &Topology) -> Router {
         let n = topo.len();
         let mut table = vec![NO_HOP; n * n];
@@ -140,7 +247,7 @@ impl Router {
                 table[src.idx() * n + dst.idx()] = hop.0;
             }
         }
-        Router { n, table }
+        Router { n, strategy: Strategy::Table(table) }
     }
 
     /// Dimension-order (X-Y) routing for a mesh: correct columns first, then
@@ -155,27 +262,7 @@ impl Router {
         let (rows, cols) = (rows as usize, cols as usize);
         let n = topo.len();
         assert_eq!(n, rows * cols);
-        let mut table = vec![NO_HOP; n * n];
-        for src in 0..n {
-            let (sr, sc) = (src / cols, src % cols);
-            for dst in 0..n {
-                if src == dst {
-                    continue;
-                }
-                let (dr, dc) = (dst / cols, dst % cols);
-                let hop = if sc < dc {
-                    src + 1
-                } else if sc > dc {
-                    src - 1
-                } else if sr < dr {
-                    src + cols
-                } else {
-                    src - cols
-                };
-                table[src * n + dst] = hop as u16;
-            }
-        }
-        Router { n, table }
+        Router { n, strategy: Strategy::Mesh { cols } }
     }
 
     /// E-cube routing for a hypercube: flip the lowest differing address bit.
@@ -186,19 +273,7 @@ impl Router {
         let TopologyKind::Hypercube { .. } = topo.kind() else {
             panic!("ecube: not a hypercube: {}", topo.kind());
         };
-        let n = topo.len();
-        let mut table = vec![NO_HOP; n * n];
-        for src in 0..n {
-            for dst in 0..n {
-                if src == dst {
-                    continue;
-                }
-                let diff = src ^ dst;
-                let bit = diff.trailing_zeros();
-                table[src * n + dst] = (src ^ (1 << bit)) as u16;
-            }
-        }
-        Router { n, table }
+        Router { n: topo.len(), strategy: Strategy::Hypercube }
     }
 
     /// Dimension-order routing for a torus: correct columns first (shortest
@@ -213,35 +288,7 @@ impl Router {
         let (rows, cols) = (rows as usize, cols as usize);
         let n = topo.len();
         assert_eq!(n, rows * cols);
-        // One step along a ring of length `len`, the shortest way from `a`
-        // toward `b` (ties go up, matching BFS's smaller-index preference
-        // often enough for tests to pin separately).
-        fn step(a: usize, b: usize, len: usize) -> usize {
-            let fwd = (b + len - a) % len;
-            let bwd = (a + len - b) % len;
-            if fwd <= bwd {
-                (a + 1) % len
-            } else {
-                (a + len - 1) % len
-            }
-        }
-        let mut table = vec![NO_HOP; n * n];
-        for src in 0..n {
-            let (sr, sc) = (src / cols, src % cols);
-            for dst in 0..n {
-                if src == dst {
-                    continue;
-                }
-                let (dr, dc) = (dst / cols, dst % cols);
-                let hop = if sc != dc {
-                    sr * cols + step(sc, dc, cols)
-                } else {
-                    step(sr, dr, rows) * cols + sc
-                };
-                table[src * n + dst] = hop as u16;
-            }
-        }
-        Router { n, table }
+        Router { n, strategy: Strategy::Torus { rows, cols } }
     }
 
     /// Up*/down* routing for a fat-tree: climb toward the core exactly as
@@ -260,15 +307,7 @@ impl Router {
         let g = FatTreeGeom::new(k as usize);
         let n = topo.len();
         assert_eq!(n, crate::build::fat_tree_size(k as usize));
-        let mut table = vec![NO_HOP; n * n];
-        for src in 0..n {
-            for dst in 0..n {
-                if src != dst {
-                    table[src * n + dst] = fat_tree_hop(&g, src, dst) as u16;
-                }
-            }
-        }
-        Router { n, table }
+        Router { n, strategy: Strategy::FatTree(g) }
     }
 
     /// Minimal routing for a dragonfly: local hop to the gateway router,
@@ -278,7 +317,7 @@ impl Router {
     /// # Panics
     /// Panics if `topo` is not a dragonfly.
     pub fn dragonfly_minimal(topo: &Topology) -> Router {
-        Router::dragonfly_table(topo, false)
+        Router::dragonfly_router(topo, false)
     }
 
     /// Valiant routing for a dragonfly: traffic to a remote group detours
@@ -289,47 +328,57 @@ impl Router {
     /// # Panics
     /// Panics if `topo` is not a dragonfly.
     pub fn dragonfly_valiant(topo: &Topology) -> Router {
-        Router::dragonfly_table(topo, true)
+        Router::dragonfly_router(topo, true)
     }
 
-    fn dragonfly_table(topo: &Topology, valiant: bool) -> Router {
+    fn dragonfly_router(topo: &Topology, valiant: bool) -> Router {
         let TopologyKind::Dragonfly { a, p, h } = topo.kind() else {
             panic!("dragonfly router: not a dragonfly: {}", topo.kind());
         };
         let g = DragonflyGeom::new(a as usize, p as usize, h as usize);
         let n = topo.len();
         assert_eq!(n, crate::build::dragonfly_size(a as usize, p as usize, h as usize));
-        let mut table = vec![NO_HOP; n * n];
-        for src in 0..n {
-            for dst in 0..n {
-                if src != dst {
-                    table[src * n + dst] = dragonfly_hop(&g, src, dst, valiant) as u16;
-                }
-            }
-        }
-        Router { n, table }
+        Router { n, strategy: Strategy::Dragonfly { geom: g, valiant } }
     }
 
     /// The preferred router for a topology: dimension-order for meshes and
     /// tori, e-cube for hypercubes, up*/down* for fat-trees, minimal for
-    /// dragonflies, BFS otherwise.
+    /// dragonflies; closed-form hops for canonical linear arrays, rings,
+    /// binary trees, stars and complete graphs (validated in O(E), falling
+    /// back to the BFS table for hand-built adjacencies); BFS otherwise.
     pub fn for_topology(topo: &Topology) -> Router {
+        let n = topo.len();
         match topo.kind() {
             TopologyKind::Mesh { .. } => Router::dimension_order(topo),
             TopologyKind::Torus { .. } => Router::dimension_order_torus(topo),
             TopologyKind::Hypercube { .. } => Router::ecube(topo),
             TopologyKind::FatTree { .. } => Router::fat_tree_updown(topo),
             TopologyKind::Dragonfly { .. } => Router::dragonfly_minimal(topo),
+            TopologyKind::Linear if is_canonical_linear(topo) => {
+                Router { n, strategy: Strategy::Linear }
+            }
+            TopologyKind::Ring if is_canonical_ring(topo) => {
+                Router { n, strategy: Strategy::Ring }
+            }
+            TopologyKind::Tree if is_canonical_tree(topo) => {
+                Router { n, strategy: Strategy::Tree }
+            }
+            TopologyKind::Star if is_canonical_star(topo) => {
+                Router { n, strategy: Strategy::Star }
+            }
+            TopologyKind::Complete if is_canonical_complete(topo) => {
+                Router { n, strategy: Strategy::Complete }
+            }
             _ => Router::shortest_path(topo),
         }
     }
 
-    /// Number of nodes this table covers.
+    /// Number of nodes this router covers.
     pub fn len(&self) -> usize {
         self.n
     }
 
-    /// True for the empty table.
+    /// True for the empty router.
     pub fn is_empty(&self) -> bool {
         self.n == 0
     }
@@ -338,15 +387,46 @@ impl Router {
     /// route exists.
     #[inline]
     pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
-        let v = self.table[src.idx() * self.n + dst.idx()];
-        (v != NO_HOP).then_some(NodeId(v))
+        if src == dst {
+            return None;
+        }
+        let (s, d) = (src.idx(), dst.idx());
+        let hop = match &self.strategy {
+            Strategy::Table(table) => {
+                let v = table[s * self.n + d];
+                return (v != NO_HOP).then_some(NodeId(v));
+            }
+            Strategy::Linear => {
+                if d > s {
+                    s + 1
+                } else {
+                    s - 1
+                }
+            }
+            Strategy::Ring => ring_hop(self.n, s, d),
+            Strategy::Mesh { cols } => mesh_hop(*cols, s, d),
+            Strategy::Torus { rows, cols } => torus_hop(*rows, *cols, s, d),
+            Strategy::Hypercube => s ^ (1 << (s ^ d).trailing_zeros()),
+            Strategy::Tree => tree_hop(s, d),
+            Strategy::Star => {
+                if s == 0 {
+                    d
+                } else {
+                    0
+                }
+            }
+            Strategy::Complete => d,
+            Strategy::FatTree(g) => fat_tree_hop(g, s, d),
+            Strategy::Dragonfly { geom, valiant } => dragonfly_hop(geom, s, d, *valiant),
+        };
+        Some(NodeId::from_index(hop))
     }
 
     /// The full hop sequence from `src` to `dst` (exclusive of `src`,
     /// inclusive of `dst`); empty when `src == dst`.
     ///
     /// # Panics
-    /// Panics if the table has no route or contains a loop (both are
+    /// Panics if the router has no route or produces a loop (both are
     /// construction bugs).
     pub fn path(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
         let mut path = Vec::new();
@@ -371,6 +451,69 @@ impl Router {
     }
 }
 
+/// Canonical-adjacency checks (O(E) each). `for_topology` uses these to
+/// decide whether a kind's closed-form hop rule actually matches the graph
+/// it was handed; `Topology::from_adjacency` already guarantees simplicity
+/// and symmetry, so degree/membership checks suffice.
+fn is_canonical_linear(topo: &Topology) -> bool {
+    let n = topo.len();
+    (0..n).all(|i| {
+        let mut expect = Vec::with_capacity(2);
+        if i > 0 {
+            expect.push(NodeId::from_index(i - 1));
+        }
+        if i + 1 < n {
+            expect.push(NodeId::from_index(i + 1));
+        }
+        topo.neighbors(NodeId::from_index(i)) == expect.as_slice()
+    })
+}
+
+fn is_canonical_ring(topo: &Topology) -> bool {
+    let n = topo.len();
+    if n <= 2 {
+        return is_canonical_linear(topo);
+    }
+    (0..n).all(|i| {
+        let mut expect = [
+            NodeId::from_index((i + n - 1) % n),
+            NodeId::from_index((i + 1) % n),
+        ];
+        expect.sort_unstable();
+        topo.neighbors(NodeId::from_index(i)) == expect.as_slice()
+    })
+}
+
+fn is_canonical_tree(topo: &Topology) -> bool {
+    let n = topo.len();
+    (0..n).all(|i| {
+        let mut expect = Vec::with_capacity(3);
+        if i > 0 {
+            expect.push(NodeId::from_index((i - 1) / 2));
+        }
+        if 2 * i + 1 < n {
+            expect.push(NodeId::from_index(2 * i + 1));
+        }
+        if 2 * i + 2 < n {
+            expect.push(NodeId::from_index(2 * i + 2));
+        }
+        expect.sort_unstable();
+        topo.neighbors(NodeId::from_index(i)) == expect.as_slice()
+    })
+}
+
+fn is_canonical_star(topo: &Topology) -> bool {
+    let n = topo.len();
+    topo.degree(NodeId(0)) == n - 1
+        && (1..n).all(|i| topo.neighbors(NodeId::from_index(i)) == [NodeId(0)])
+}
+
+fn is_canonical_complete(topo: &Topology) -> bool {
+    let n = topo.len();
+    // Simple + symmetric + degree n-1 everywhere == complete.
+    topo.nodes().all(|u| topo.degree(u) == n - 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,7 +525,7 @@ mod tests {
             for dst in topo.nodes() {
                 let path = router.path(src, dst);
                 assert_eq!(
-                    path.len() as u32,
+                    u32::try_from(path.len()).unwrap(),
                     dist[dst.idx()],
                     "non-minimal path {src}->{dst} on {}",
                     topo.kind()
@@ -400,12 +543,12 @@ mod tests {
     #[test]
     fn bfs_router_minimal_on_all_shapes() {
         for topo in [
-            build::linear(7),
-            build::ring(8),
-            build::mesh(3, 5),
-            build::hypercube(3),
-            build::star(6),
-            build::complete(5),
+            build::linear(7).unwrap(),
+            build::ring(8).unwrap(),
+            build::mesh(3, 5).unwrap(),
+            build::hypercube(3).unwrap(),
+            build::star(6).unwrap(),
+            build::complete(5).unwrap(),
             build::nap_backbone(),
         ] {
             let r = Router::shortest_path(&topo);
@@ -413,9 +556,75 @@ mod tests {
         }
     }
 
+    /// The load-bearing equivalence: on every canonical shape the
+    /// algorithmic strategy `for_topology` now picks must answer exactly
+    /// what the BFS table answers — same hop, every (src, dst) pair. (For
+    /// mesh/torus/hypercube/fat-tree/dragonfly kinds `for_topology` keeps
+    /// the same formulas it always used, so only the newly-algorithmic
+    /// shapes need the sweep.)
+    #[test]
+    fn algorithmic_strategies_match_bfs_tables_exactly() {
+        for topo in [
+            build::linear(1).unwrap(),
+            build::linear(2).unwrap(),
+            build::linear(17).unwrap(),
+            build::ring(2).unwrap(),
+            build::ring(3).unwrap(),
+            build::ring(16).unwrap(), // even: antipodal ties
+            build::ring(17).unwrap(),
+            build::binary_tree(1).unwrap(),
+            build::binary_tree(2).unwrap(),
+            build::binary_tree(31).unwrap(),
+            build::binary_tree(40).unwrap(), // ragged last level
+            build::star(2).unwrap(),
+            build::star(9).unwrap(),
+            build::complete(2).unwrap(),
+            build::complete(7).unwrap(),
+            build::nap_backbone(),
+        ] {
+            let fast = Router::for_topology(&topo);
+            assert!(
+                !matches!(fast.strategy, Strategy::Table(_)),
+                "{} should route algorithmically",
+                topo.kind()
+            );
+            let bfs = Router::shortest_path(&topo);
+            for s in topo.nodes() {
+                for d in topo.nodes() {
+                    assert_eq!(
+                        fast.next_hop(s, d),
+                        bfs.next_hop(s, d),
+                        "{}: {s}->{d}",
+                        topo.kind()
+                    );
+                }
+            }
+        }
+    }
+
+    /// A hand-built adjacency whose kind lies about its shape must fall
+    /// back to the BFS table, not trust the closed form.
+    #[test]
+    fn non_canonical_adjacency_falls_back_to_bfs() {
+        // Kind says Linear, adjacency is a 4-star rooted at 0.
+        let topo = Topology::from_adjacency(
+            TopologyKind::Linear,
+            vec![
+                vec![NodeId(1), NodeId(2), NodeId(3)],
+                vec![NodeId(0)],
+                vec![NodeId(0)],
+                vec![NodeId(0)],
+            ],
+        );
+        let r = Router::for_topology(&topo);
+        assert!(matches!(r.strategy, Strategy::Table(_)));
+        assert_eq!(r.next_hop(NodeId(1), NodeId(3)), Some(NodeId(0)));
+        check_minimal(&topo, &r);
+    }
+
     #[test]
     fn dimension_order_minimal_and_xy() {
-        let topo = build::mesh(4, 4);
+        let topo = build::mesh(4, 4).unwrap();
         let r = Router::dimension_order(&topo);
         check_minimal(&topo, &r);
         // From (0,0)=0 to (2,3)=11: must move in X (columns) first.
@@ -425,7 +634,7 @@ mod tests {
 
     #[test]
     fn ecube_minimal_and_bit_ordered() {
-        let topo = build::hypercube(4);
+        let topo = build::hypercube(4).unwrap();
         let r = Router::ecube(&topo);
         check_minimal(&topo, &r);
         // 0b0000 -> 0b1010 must fix bit 1 then bit 3.
@@ -435,7 +644,7 @@ mod tests {
 
     #[test]
     fn ring_routes_take_short_way_round() {
-        let topo = build::ring(8);
+        let topo = build::ring(8).unwrap();
         let r = Router::shortest_path(&topo);
         assert_eq!(r.hops(NodeId(0), NodeId(3)), 3);
         assert_eq!(r.hops(NodeId(0), NodeId(6)), 2); // around the back
@@ -444,7 +653,7 @@ mod tests {
 
     #[test]
     fn self_route_is_empty() {
-        let topo = build::linear(4);
+        let topo = build::linear(4).unwrap();
         let r = Router::shortest_path(&topo);
         assert!(r.path(NodeId(2), NodeId(2)).is_empty());
         assert_eq!(r.next_hop(NodeId(2), NodeId(2)), None);
@@ -452,9 +661,9 @@ mod tests {
 
     #[test]
     fn for_topology_picks_specialized_tables() {
-        let mesh = build::mesh(2, 4);
-        let hc = build::hypercube(3);
-        let lin = build::linear(4);
+        let mesh = build::mesh(2, 4).unwrap();
+        let hc = build::hypercube(3).unwrap();
+        let lin = build::linear(4).unwrap();
         // All must produce minimal, loop-free routes.
         check_minimal(&mesh, &Router::for_topology(&mesh));
         check_minimal(&hc, &Router::for_topology(&hc));
@@ -464,12 +673,12 @@ mod tests {
     #[test]
     fn torus_dimension_order_minimal() {
         for (r, c) in [(3usize, 3usize), (4, 4), (2, 5)] {
-            let topo = build::torus(r, c);
+            let topo = build::torus(r, c).unwrap();
             let router = Router::dimension_order_torus(&topo);
             check_minimal(&topo, &router);
         }
         // Wraparound is actually used: 0 -> 3 on a 4x4 torus is one hop.
-        let topo = build::torus(4, 4);
+        let topo = build::torus(4, 4).unwrap();
         let router = Router::dimension_order_torus(&topo);
         assert_eq!(router.hops(NodeId(0), NodeId(3)), 1);
         assert_eq!(router.hops(NodeId(0), NodeId(15)), 2);
@@ -478,19 +687,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "not a torus")]
     fn torus_router_rejects_non_torus() {
-        let _ = Router::dimension_order_torus(&build::mesh(2, 2));
+        let _ = Router::dimension_order_torus(&build::mesh(2, 2).unwrap());
     }
 
     #[test]
     #[should_panic(expected = "not a mesh")]
     fn dimension_order_rejects_non_mesh() {
-        let _ = Router::dimension_order(&build::ring(4));
+        let _ = Router::dimension_order(&build::ring(4).unwrap());
     }
 
     #[test]
     #[should_panic(expected = "not a hypercube")]
     fn ecube_rejects_non_hypercube() {
-        let _ = Router::ecube(&build::mesh(2, 2));
+        let _ = Router::ecube(&build::mesh(2, 2).unwrap());
     }
 
     /// Path validity without a minimality claim: up*/down* and Valiant
@@ -500,8 +709,9 @@ mod tests {
         let n = topo.len();
         assert_eq!(r.len(), n);
         let stride = (n / 48).max(1);
-        let mut sample: Vec<NodeId> = (0..n).step_by(stride).map(|i| NodeId(i as u16)).collect();
-        sample.push(NodeId((n - 1) as u16));
+        let mut sample: Vec<NodeId> =
+            (0..n).step_by(stride).map(NodeId::from_index).collect();
+        sample.push(NodeId::from_index(n - 1));
         for &src in &sample {
             for &dst in &sample {
                 let path = r.path(src, dst); // panics on loops and missing routes
@@ -527,28 +737,28 @@ mod tests {
     #[test]
     fn for_topology_routes_every_builder_sampled_2_to_4096() {
         let topos = [
-            build::linear(2),
-            build::linear(96),
-            build::ring(3),
-            build::ring(257),
-            build::mesh(2, 2),
-            build::mesh(17, 23),
-            build::torus(3, 3),
-            build::torus(64, 64),
-            build::hypercube(1),
-            build::hypercube(12),
-            build::binary_tree(511),
-            build::star(129),
-            build::complete(65),
+            build::linear(2).unwrap(),
+            build::linear(96).unwrap(),
+            build::ring(3).unwrap(),
+            build::ring(257).unwrap(),
+            build::mesh(2, 2).unwrap(),
+            build::mesh(17, 23).unwrap(),
+            build::torus(3, 3).unwrap(),
+            build::torus(64, 64).unwrap(),
+            build::hypercube(1).unwrap(),
+            build::hypercube(12).unwrap(),
+            build::binary_tree(511).unwrap(),
+            build::star(129).unwrap(),
+            build::complete(65).unwrap(),
             build::nap_backbone(),
-            build::fat_tree(2),
-            build::fat_tree(4),
-            build::fat_tree(8),
-            build::fat_tree(16),
-            build::dragonfly(1, 1, 1),
-            build::dragonfly(3, 3, 1),
-            build::dragonfly(4, 2, 2),
-            build::dragonfly(10, 5, 5),
+            build::fat_tree(2).unwrap(),
+            build::fat_tree(4).unwrap(),
+            build::fat_tree(8).unwrap(),
+            build::fat_tree(16).unwrap(),
+            build::dragonfly(1, 1, 1).unwrap(),
+            build::dragonfly(3, 3, 1).unwrap(),
+            build::dragonfly(4, 2, 2).unwrap(),
+            build::dragonfly(10, 5, 5).unwrap(),
         ];
         for topo in &topos {
             check_routes(topo, &Router::for_topology(topo));
@@ -557,7 +767,7 @@ mod tests {
 
     #[test]
     fn fat_tree_updown_turns_at_most_once() {
-        let topo = build::fat_tree(4);
+        let topo = build::fat_tree(4).unwrap();
         let g = FatTreeGeom::new(4);
         let r = Router::fat_tree_updown(&topo);
         for src in topo.nodes() {
@@ -589,7 +799,7 @@ mod tests {
 
     #[test]
     fn dragonfly_minimal_and_valiant_global_hop_budget() {
-        let topo = build::dragonfly(3, 3, 1);
+        let topo = build::dragonfly(3, 3, 1).unwrap();
         let g = DragonflyGeom::new(3, 3, 1);
         let minimal = Router::dragonfly_minimal(&topo);
         let valiant = Router::dragonfly_valiant(&topo);
@@ -624,18 +834,18 @@ mod tests {
     #[test]
     #[should_panic(expected = "not a fat-tree")]
     fn fat_tree_router_rejects_other_shapes() {
-        let _ = Router::fat_tree_updown(&build::mesh(2, 2));
+        let _ = Router::fat_tree_updown(&build::mesh(2, 2).unwrap());
     }
 
     #[test]
     #[should_panic(expected = "not a dragonfly")]
     fn dragonfly_router_rejects_other_shapes() {
-        let _ = Router::dragonfly_minimal(&build::ring(4));
+        let _ = Router::dragonfly_minimal(&build::ring(4).unwrap());
     }
 
     #[test]
     fn deterministic_tie_break() {
-        let topo = build::ring(4);
+        let topo = build::ring(4).unwrap();
         let a = Router::shortest_path(&topo);
         let b = Router::shortest_path(&topo);
         for s in topo.nodes() {

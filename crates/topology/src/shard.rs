@@ -74,7 +74,7 @@ impl ShardPlan {
     /// This is the ownership test the fault-plan slicer uses: a declared
     /// fault is shipped with exactly the shard that owns the node(s) it
     /// names. Nodes past the last partition belong to no shard.
-    pub fn owns_node(&self, s: usize, node: u16, partition_size: usize) -> bool {
+    pub fn owns_node(&self, s: usize, node: u32, partition_size: usize) -> bool {
         assert!(partition_size > 0, "partition size must be nonzero");
         let p = node as usize / partition_size;
         p < self.of_partition.len() && self.of_partition[p] == s

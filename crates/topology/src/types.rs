@@ -2,15 +2,108 @@
 
 use std::fmt;
 
+/// Largest node count any builder will accept: `NodeId` is a `u32`, and the
+/// error contract promises that requesting more than `u32::MAX` nodes fails
+/// loudly instead of wrapping. (Complete graphs cap far lower — their
+/// adjacency is quadratic; see [`crate::build::complete`].)
+pub const MAX_NODES: usize = u32::MAX as usize;
+
+/// Why a topology could not be built. Builders return this instead of
+/// silently truncating oversize indices (the pre-PR-10 behavior wrapped
+/// `usize` node indices through `as u16`, corrupting any adjacency past
+/// 65 536 nodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The request needs more node ids than the shape can address.
+    /// `requested` is reported in `u128` so even an overflowing
+    /// `rows * cols` product is shown exactly.
+    TooManyNodes {
+        /// Builder name (`"mesh"`, `"complete"`, ...).
+        shape: &'static str,
+        /// Requested node count.
+        requested: u128,
+        /// The shape's ceiling ([`MAX_NODES`] unless the shape caps lower).
+        max: u64,
+    },
+    /// The shape cannot be realized with the requested size or parameters
+    /// (a hypercube needs a power-of-two node count, a fat-tree an even
+    /// radix, ...).
+    Unrealizable {
+        /// Builder name.
+        shape: &'static str,
+        /// The offending size (or parameter, for parameterized shapes).
+        n: u128,
+    },
+    /// A zero extent was requested; every shape needs at least one node.
+    Empty {
+        /// Builder name.
+        shape: &'static str,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TopologyError::TooManyNodes { shape, requested, max } => write!(
+                f,
+                "{shape}: {requested} nodes exceed the {max}-node ceiling \
+                 (NodeId is 32-bit; complete graphs cap lower because their \
+                 adjacency is quadratic)"
+            ),
+            TopologyError::Unrealizable { shape, n } => write!(
+                f,
+                "{shape}: cannot be realized with size/parameter {n}"
+            ),
+            TopologyError::Empty { shape } => {
+                write!(f, "{shape}: need at least one node")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
 /// Index of a node within one topology (local, zero-based).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct NodeId(pub u16);
+pub struct NodeId(pub u32);
 
 impl NodeId {
     /// The index as a `usize` for table lookups.
     #[inline]
     pub fn idx(self) -> usize {
         self.0 as usize
+    }
+
+    /// Checked conversion from a `usize` index. Internal builders validate
+    /// the total node count up front and then use [`NodeId::from_index`];
+    /// external callers holding an unvalidated index should prefer this.
+    #[inline]
+    pub fn try_from_index(i: usize) -> Result<NodeId, TopologyError> {
+        match u32::try_from(i) {
+            Ok(v) => Ok(NodeId(v)),
+            Err(_) => Err(TopologyError::TooManyNodes {
+                shape: "node index",
+                requested: i as u128 + 1,
+                max: MAX_NODES as u64,
+            }),
+        }
+    }
+
+    /// Conversion from an index already known to be in range (because the
+    /// containing topology's node count was validated at construction).
+    /// Still checked — an out-of-range index is a programming error and
+    /// panics instead of wrapping.
+    #[inline]
+    pub fn from_index(i: usize) -> NodeId {
+        NodeId(u32::try_from(i).expect("node index exceeds NodeId range"))
+    }
+}
+
+impl TryFrom<usize> for NodeId {
+    type Error = TopologyError;
+
+    fn try_from(i: usize) -> Result<NodeId, TopologyError> {
+        NodeId::try_from_index(i)
     }
 }
 
@@ -55,9 +148,9 @@ pub enum TopologyKind {
     /// 2-D mesh, `rows x cols`, no wraparound.
     Mesh {
         /// Number of rows.
-        rows: u16,
+        rows: u32,
         /// Number of columns.
-        cols: u16,
+        cols: u32,
     },
     /// Binary hypercube of the given dimension.
     Hypercube {
@@ -67,9 +160,9 @@ pub enum TopologyKind {
     /// 2-D torus (mesh with wraparound), `rows x cols`.
     Torus {
         /// Number of rows.
-        rows: u16,
+        rows: u32,
         /// Number of columns.
-        cols: u16,
+        cols: u32,
     },
     /// Complete binary tree rooted at node 0 (children of `i` are `2i+1`,
     /// `2i+2`).
@@ -153,10 +246,11 @@ impl Topology {
     ///
     /// # Panics
     /// Panics on a malformed graph (asymmetric edge, self-loop, index out of
-    /// range) — topologies are constructed by this crate's builders, so a
-    /// malformed one is a programming error.
+    /// range, more than [`MAX_NODES`] nodes) — topologies are constructed by
+    /// this crate's builders, so a malformed one is a programming error.
     pub fn from_adjacency(kind: TopologyKind, mut adj: Vec<Vec<NodeId>>) -> Topology {
         let n = adj.len();
+        assert!(n <= MAX_NODES, "adjacency exceeds the {MAX_NODES}-node ceiling");
         for (i, list) in adj.iter_mut().enumerate() {
             list.sort_unstable();
             list.dedup();
@@ -167,9 +261,10 @@ impl Topology {
         }
         // Symmetry check.
         for i in 0..n {
+            let id = NodeId::from_index(i);
             for &nb in &adj[i] {
                 assert!(
-                    adj[nb.idx()].binary_search(&NodeId(i as u16)).is_ok(),
+                    adj[nb.idx()].binary_search(&id).is_ok(),
                     "edge {i}->{nb} has no reverse"
                 );
             }
@@ -194,7 +289,7 @@ impl Topology {
 
     /// All node ids, in order.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.adj.len() as u16).map(NodeId)
+        (0..self.adj.len()).map(NodeId::from_index)
     }
 
     /// Neighbors of `node`, ascending.
@@ -212,11 +307,13 @@ impl Topology {
         self.adj[a.idx()].binary_search(&b).is_ok()
     }
 
-    /// Every directed channel (both directions of every edge).
+    /// Every directed channel (both directions of every edge), emitted in
+    /// ascending `(from, to)` order (the wiring layer's CSR channel index
+    /// relies on this ordering).
     pub fn channels(&self) -> impl Iterator<Item = Channel> + '_ {
         self.adj.iter().enumerate().flat_map(|(i, list)| {
             list.iter().map(move |&to| Channel {
-                from: NodeId(i as u16),
+                from: NodeId::from_index(i),
                 to,
             })
         })
@@ -292,6 +389,16 @@ mod tests {
     }
 
     #[test]
+    fn channels_emit_in_ascending_from_to_order() {
+        let t = path3();
+        let chans: Vec<(u32, u32)> =
+            t.channels().map(|c| (c.from.0, c.to.0)).collect();
+        let mut sorted = chans.clone();
+        sorted.sort_unstable();
+        assert_eq!(chans, sorted, "CSR wiring depends on this order");
+    }
+
+    #[test]
     #[should_panic(expected = "no reverse")]
     fn asymmetric_graph_rejected() {
         Topology::from_adjacency(
@@ -320,5 +427,30 @@ mod tests {
             vec![vec![NodeId(1)], vec![NodeId(0)], vec![NodeId(3)], vec![NodeId(2)]],
         );
         assert!(!t.is_connected());
+    }
+
+    #[test]
+    fn node_id_checked_conversions() {
+        assert_eq!(NodeId::try_from_index(7), Ok(NodeId(7)));
+        assert_eq!(NodeId::try_from(MAX_NODES), Ok(NodeId(u32::MAX)));
+        assert!(matches!(
+            NodeId::try_from_index(MAX_NODES + 1),
+            Err(TopologyError::TooManyNodes { .. })
+        ));
+    }
+
+    #[test]
+    fn topology_error_messages_name_the_shape() {
+        let e = TopologyError::TooManyNodes {
+            shape: "mesh",
+            requested: 1 << 33,
+            max: MAX_NODES as u64,
+        };
+        assert!(e.to_string().contains("mesh"), "{e}");
+        assert!(e.to_string().contains("ceiling"), "{e}");
+        let e = TopologyError::Unrealizable { shape: "hypercube", n: 6 };
+        assert!(e.to_string().contains("hypercube"), "{e}");
+        let e = TopologyError::Empty { shape: "ring" };
+        assert!(e.to_string().contains("at least one"), "{e}");
     }
 }

@@ -1,0 +1,187 @@
+//! Boundary properties around the old 16-bit node-index ceiling.
+//!
+//! Every shape, asked for 65 535 / 65 536 / 65 537 nodes, must either
+//! construct a valid interconnect — real adjacency, minimal routes that
+//! terminate, every hop an actual edge — or return the typed
+//! [`TopologyError`] / unrealizable verdict. Never a silent index wrap,
+//! never a panic. (Before `NodeId` was widened to `u32`, node 65 536
+//! aliased onto node 0 through a bare `as u16` cast; the regression test
+//! at the bottom pins that class of bug as fixed.)
+
+use parsched_topology::{build, NodeId, Router, Topology, TopologyError, TopologyKind};
+
+const BOUNDARY: [usize; 3] = [65_535, 65_536, 65_537];
+
+fn kinds() -> Vec<(&'static str, TopologyKind)> {
+    vec![
+        ("linear", TopologyKind::Linear),
+        ("ring", TopologyKind::Ring),
+        ("mesh", TopologyKind::Mesh { rows: 0, cols: 0 }),
+        ("hypercube", TopologyKind::Hypercube { dim: 0 }),
+        ("torus", TopologyKind::Torus { rows: 0, cols: 0 }),
+        ("tree", TopologyKind::Tree),
+        ("star", TopologyKind::Star),
+        ("complete", TopologyKind::Complete),
+        ("fat-tree", TopologyKind::FatTree { k: 0 }),
+        ("dragonfly", TopologyKind::Dragonfly { a: 0, p: 0, h: 0 }),
+    ]
+}
+
+/// Routes between a boundary-heavy sample of node pairs must terminate at
+/// the destination with every hop crossing a real edge of the adjacency.
+fn assert_routes_valid(name: &str, topo: &Topology) {
+    let n = topo.len();
+    let router = Router::for_topology(topo);
+    let samples: Vec<usize> = [0, 1, n / 2, 65_534, 65_535, 65_536, n - 1]
+        .into_iter()
+        .filter(|&v| v < n)
+        .collect();
+    for &s in &samples {
+        for &d in &samples {
+            let (src, dst) = (NodeId::from_index(s), NodeId::from_index(d));
+            let mut cur = src;
+            let mut hops = 0usize;
+            while cur != dst {
+                let next = router
+                    .next_hop(cur, dst)
+                    .unwrap_or_else(|| panic!("{name}: no hop at {cur} toward {dst}"));
+                assert!(
+                    topo.neighbors(cur).contains(&next),
+                    "{name}: hop {cur} -> {next} is not an edge"
+                );
+                cur = next;
+                hops += 1;
+                assert!(hops <= n, "{name}: route {src} -> {dst} does not terminate");
+            }
+            assert_eq!(router.hops(src, dst), hops, "{name}: hops() disagrees with walk");
+        }
+    }
+}
+
+/// Every shape at every boundary size: valid construction or typed error.
+#[test]
+fn every_builder_is_sound_at_the_u16_boundary() {
+    for (name, kind) in kinds() {
+        for n in BOUNDARY {
+            match build::by_kind(kind, n) {
+                Ok(topo) => {
+                    assert_eq!(topo.len(), n, "{name}({n}): wrong node count");
+                    // Adjacency indices in range (a u16 wrap would have
+                    // folded high neighbors onto low indices, which the
+                    // route validation below would catch as a non-edge).
+                    for v in [0, n / 2, 65_535, 65_536, n - 1].into_iter().filter(|&v| v < n) {
+                        for &w in topo.neighbors(NodeId::from_index(v)) {
+                            assert!(w.idx() < n, "{name}({n}): neighbor {w} out of range");
+                        }
+                    }
+                    assert_routes_valid(name, &topo);
+                }
+                Err(err) => {
+                    // The typed verdict must identify the shape; the sizes
+                    // themselves are all addressable, so only realizability
+                    // (hypercube power-of-two, exact fat-tree/dragonfly
+                    // vertex counts, the complete-graph cap) may refuse.
+                    assert!(
+                        matches!(
+                            err,
+                            TopologyError::Unrealizable { .. } | TopologyError::TooManyNodes { .. }
+                        ),
+                        "{name}({n}): unexpected error {err}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The exact boundary outcomes per shape (pinned so a future realizability
+/// change is a conscious one).
+#[test]
+fn boundary_outcomes_are_the_expected_ones() {
+    use TopologyKind::*;
+    // 65 536 = 2^16 is a hypercube; its neighbors are not.
+    assert_eq!(build::by_kind(Hypercube { dim: 0 }, 65_536).unwrap().len(), 65_536);
+    assert!(build::by_kind(Hypercube { dim: 0 }, 65_535).is_err());
+    assert!(build::by_kind(Hypercube { dim: 0 }, 65_537).is_err());
+    // Linear, ring, mesh, torus, tree, star realize every boundary size
+    // (65 537 is prime, so its "squarest" mesh degenerates to 1 x 65 537).
+    for n in BOUNDARY {
+        for kind in [
+            Linear,
+            Ring,
+            Mesh { rows: 0, cols: 0 },
+            Torus { rows: 0, cols: 0 },
+            Tree,
+            Star,
+        ] {
+            assert_eq!(build::by_kind(kind, n).unwrap().len(), n, "{kind} at {n}");
+        }
+    }
+    // No three-level fat-tree or balanced dragonfly has a vertex count in
+    // the boundary window (k = 62 gives 64 387, k = 64 gives 70 656;
+    // h = 11 gives 64 152, h = 12 gives 90 168): typed refusals.
+    for n in BOUNDARY {
+        assert!(build::by_kind(FatTree { k: 0 }, n).is_err(), "fat-tree at {n}");
+        assert!(build::by_kind(Dragonfly { a: 0, p: 0, h: 0 }, n).is_err(), "dragonfly at {n}");
+    }
+    // The complete graph's quadratic adjacency is capped far below this.
+    for n in BOUNDARY {
+        assert!(matches!(
+            build::by_kind(Complete, n),
+            Err(TopologyError::TooManyNodes { shape: "complete", .. })
+        ));
+    }
+}
+
+/// The nearest fat-tree and dragonfly *above* the boundary construct and
+/// route soundly — the hierarchical shapes cross 65 536 at their own
+/// vertex counts, not at round numbers.
+#[test]
+fn hierarchical_shapes_cross_the_boundary_at_their_own_sizes() {
+    let ft = build::fat_tree(64).unwrap();
+    assert_eq!(ft.len(), 70_656);
+    assert_routes_valid("fat-tree k=64", &ft);
+
+    let df = build::dragonfly(24, 12, 12).unwrap();
+    assert_eq!(df.len(), 90_168);
+    assert_routes_valid("dragonfly h=12", &df);
+}
+
+/// Regression: the silent-wrap bug this crate used to have. A 70 000-node
+/// linear array once aliased node 65 536 onto node 0 (`as u16` index
+/// casts), giving node 0 a phantom third neighbor and non-terminating
+/// "minimal" routes. Pin the fixed behavior.
+#[test]
+fn node_65536_no_longer_aliases_onto_node_0() {
+    let topo = build::linear(70_000).unwrap();
+    // Node 0 has exactly one neighbor: node 1. No phantom wrapped edge.
+    assert_eq!(topo.neighbors(NodeId(0)), &[NodeId(1)]);
+    // Node 65 536 sits between its true linear neighbors.
+    assert_eq!(
+        topo.neighbors(NodeId(65_536)),
+        &[NodeId(65_535), NodeId(65_537)]
+    );
+    let router = Router::for_topology(&topo);
+    assert_eq!(router.hops(NodeId(0), NodeId(69_999)), 69_999);
+}
+
+/// Requests past the *new* ceiling fail loudly with the typed error — for
+/// every shape, including overflowing extent products.
+#[test]
+fn past_u32_requests_are_typed_errors() {
+    let too_many = (1usize << 32) + 1;
+    for (name, kind) in kinds() {
+        let err = build::by_kind(kind, too_many).unwrap_err();
+        assert!(
+            matches!(err, TopologyError::TooManyNodes { .. }),
+            "{name}: expected TooManyNodes, got {err}"
+        );
+    }
+    // A mesh whose extent *product* overflows is caught before any
+    // allocation, and reports the exact requested size.
+    match build::mesh(1 << 16, 1 << 16).unwrap_err() {
+        TopologyError::TooManyNodes { requested, .. } => assert_eq!(requested, 1u128 << 32),
+        other => panic!("expected TooManyNodes, got {other}"),
+    }
+    assert!(build::torus(1 << 17, 1 << 17).is_err());
+}

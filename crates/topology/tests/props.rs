@@ -13,20 +13,22 @@ const CASES: u64 = 64;
 /// proptest strategy's shape families and size ranges.
 fn random_topology(rng: &mut DetRng) -> Topology {
     match rng.uniform_u64(0, 8) {
-        0 => build::linear(rng.uniform_u64(1, 25) as usize),
-        1 => build::ring(rng.uniform_u64(1, 25) as usize),
+        0 => build::linear(rng.uniform_u64(1, 25) as usize).unwrap(),
+        1 => build::ring(rng.uniform_u64(1, 25) as usize).unwrap(),
         2 => build::mesh(
             rng.uniform_u64(1, 6) as usize,
             rng.uniform_u64(1, 6) as usize,
-        ),
-        3 => build::hypercube(rng.uniform_u64(0, 5) as u8),
-        4 => build::star(rng.uniform_u64(1, 17) as usize),
-        5 => build::complete(rng.uniform_u64(1, 11) as usize),
+        )
+        .unwrap(),
+        3 => build::hypercube(rng.uniform_u64(0, 5) as u8).unwrap(),
+        4 => build::star(rng.uniform_u64(1, 17) as usize).unwrap(),
+        5 => build::complete(rng.uniform_u64(1, 11) as usize).unwrap(),
         6 => build::torus(
             rng.uniform_u64(1, 5) as usize,
             rng.uniform_u64(1, 6) as usize,
-        ),
-        _ => build::binary_tree(rng.uniform_u64(1, 32) as usize),
+        )
+        .unwrap(),
+        _ => build::binary_tree(rng.uniform_u64(1, 32) as usize).unwrap(),
     }
 }
 
@@ -111,7 +113,7 @@ fn partition_plan_tiles_the_machine() {
         let mut seen = [false; 16];
         for p in &plan.partitions {
             for l in 0..p.size() {
-                let g = p.to_global(NodeId(l as u16));
+                let g = p.to_global(NodeId(l as u32));
                 assert!(!seen[g], "processor {} covered twice", g);
                 seen[g] = true;
             }
@@ -124,10 +126,10 @@ fn partition_plan_tiles_the_machine() {
 fn paper_topology_metrics_table() {
     // Table of the 16-node variants used throughout EXPERIMENTS.md.
     let rows = [
-        ("linear", build::linear(16), 15u32, 1u32),
-        ("ring", build::ring(16), 8, 2),
-        ("mesh", build::mesh(4, 4), 6, 4),
-        ("hypercube", build::hypercube(4), 4, 8),
+        ("linear", build::linear(16).unwrap(), 15u32, 1u32),
+        ("ring", build::ring(16).unwrap(), 8, 2),
+        ("mesh", build::mesh(4, 4).unwrap(), 6, 4),
+        ("hypercube", build::hypercube(4).unwrap(), 4, 8),
     ];
     for (name, topo, diam, bisect) in rows {
         let m = metrics::metrics(&topo);

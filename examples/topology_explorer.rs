@@ -16,10 +16,10 @@ fn main() {
         "topology", "diameter", "avg dist", "bisection", "degree", "edges"
     );
     let topos = [
-        ("linear", build::linear(16)),
-        ("ring", build::ring(16)),
-        ("mesh 4x4", build::mesh(4, 4)),
-        ("hypercube", build::hypercube(4)),
+        ("linear", build::linear(16).unwrap()),
+        ("ring", build::ring(16).unwrap()),
+        ("mesh 4x4", build::mesh(4, 4).unwrap()),
+        ("hypercube", build::hypercube(4).unwrap()),
         ("nap chain", build::nap_backbone()),
     ];
     for (name, topo) in &topos {
@@ -34,7 +34,7 @@ fn main() {
     println!("\nroute from processor 0 to processor 11:");
     for (name, topo) in &topos {
         let router = Router::for_topology(topo);
-        let path: Vec<String> = std::iter::once(0u16)
+        let path: Vec<String> = std::iter::once(0u32)
             .chain(router.path(NodeId(0), NodeId(11)).iter().map(|n| n.0))
             .map(|n| n.to_string())
             .collect();

@@ -19,7 +19,13 @@
 # the 1024-node t1k_* cells, and the ~4096-node t4k_* wormhole-vs-
 # store-and-forward cells, asserting each family's sequential/2-shard/
 # 4-shard goldens are bit-equal, so sharded simulated results are gated
-# there too.
+# there too. A 16k-node smoke gate (`scale --smoke`) constructs and
+# routes a 128x128 torus, runs one short wormhole batch at 16 384 nodes,
+# and drives an observed run on a 70 225-node machine whose traffic must
+# cross the old 65 536 node-index ceiling — no goldens, just the widened
+# u32 index paths end to end. The heavier t16k_*/t64k_* perf cells are
+# pinned in BENCH_parsched.json but gated behind `perf --heavy` so the
+# standard tier-1 wall-clock stays flat.
 # Everything runs offline; no network access required.
 #
 #   scripts/tier1.sh             the standard gate
@@ -43,6 +49,7 @@ cargo run --release -p parsched-bench --bin perf -- --check --quick
 cargo run --release -p parsched-bench --bin faults -- --smoke
 cargo run --release -p parsched-bench --bin shards -- --smoke
 cargo run --release -p parsched-bench --bin arrivals -- --smoke
+cargo run --release -p parsched-bench --bin scale -- --smoke
 
 if [ "$mode" = "tier1-full" ]; then
     ORACLE_CASES="${ORACLE_CASES:-480}" \

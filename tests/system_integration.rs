@@ -104,7 +104,7 @@ fn memory_is_conserved_end_to_end() {
     assert_eq!(engine.run(&mut driver), RunOutcome::Drained);
     assert!(driver.all_done());
     for n in 0..driver.machine.node_count() {
-        let node = driver.machine.node(n as u16);
+        let node = driver.machine.node(n as u32);
         assert_eq!(node.mmu.used(), 0, "node {n} leaked memory");
         assert_eq!(node.mmu.queue_len(), 0, "node {n} has stranded requests");
         assert!(node.cpu.is_idle(), "node {n} CPU not idle at drain");
